@@ -1,0 +1,47 @@
+// Ablation: corner-case share. WDC Products is used in its hardest variant
+// (80% corner cases, Section 2). This ablation regenerates the benchmark
+// at different corner-case fractions and reports zero-shot and fine-tuned
+// F1, showing that corner cases are what makes the benchmark hard and what
+// fine-tuning learns.
+
+#include "bench_common.h"
+
+using namespace tailormatch;
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader("Ablation: corner-case fraction (Llama 8B, WDC-style)",
+                     env);
+
+  eval::TablePrinter table({"Corner fraction", "Zero-shot F1",
+                            "Fine-tuned F1", "Fine-tuning gain"});
+  for (double fraction : {0.2, 0.5, 0.8}) {
+    data::BenchmarkSpec spec =
+        data::GetBenchmarkSpec(data::BenchmarkId::kWdcSmall);
+    spec.corner_fraction = fraction;
+    spec.name = StrFormat("WDC-corner-%.0f%%", 100 * fraction);
+    data::Benchmark benchmark =
+        data::BuildBenchmark(spec, env.context().data_scale);
+
+    llm::SimLlm& zero_shot = env.zero_shot(llm::ModelFamily::kLlama8B);
+    const double zero = core::TestF1(zero_shot, benchmark, env.context());
+
+    core::FineTuner tuner(llm::GetFamilyProfile(llm::ModelFamily::kLlama8B));
+    core::FineTuneOptions options;
+    options.valid_max_pairs = env.context().valid_max_pairs;
+    if (env.context().epochs_override > 0) {
+      options.epochs = env.context().epochs_override;
+    }
+    core::FineTuneResult result =
+        tuner.Run(zero_shot, benchmark.train, benchmark.valid, options);
+    const double tuned = core::TestF1(*result.model, benchmark, env.context());
+
+    table.AddRow({StrFormat("%.0f%%", 100 * fraction),
+                  StrFormat("%.2f", zero), StrFormat("%.2f", tuned),
+                  StrFormat("%+.2f", tuned - zero)});
+  }
+  table.Print();
+  std::printf("\nExpected shape: zero-shot F1 falls as the corner-case share\n"
+              "rises, while fine-tuning recovers most of the gap.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: LoRA rank. The paper fixes r=64 (alpha 16) for the 4096-dim
+// Llama models "to balance performance and computational efficiency"; this
+// ablation sweeps the rank at simulation scale and reports WDC F1 and the
+// number of trainable parameters, showing the capacity/efficiency tradeoff
+// that motivated the choice.
+
+#include "bench_common.h"
+
+using namespace tailormatch;
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader("Ablation: LoRA rank (Llama 8B on WDC small)", env);
+
+  const data::Benchmark& wdc = env.benchmark(data::BenchmarkId::kWdcSmall);
+  const double zero = env.ZeroShotF1(llm::ModelFamily::kLlama8B,
+                                     data::BenchmarkId::kWdcSmall);
+
+  eval::TablePrinter table(
+      {"LoRA rank", "Trainable params", "WDC F1", "Delta vs zero-shot"});
+  for (int rank : {2, 4, 8, 16}) {
+    llm::FamilyProfile profile =
+        llm::GetFamilyProfile(llm::ModelFamily::kLlama8B);
+    profile.lora_rank = rank;
+
+    // Count trainable parameters at this rank.
+    size_t trainable = 0;
+    {
+      auto probe = env.zero_shot(llm::ModelFamily::kLlama8B).Clone();
+      nn::LoraConfig lora;
+      lora.rank = rank;
+      lora.alpha = profile.lora_alpha;
+      lora.dropout = profile.lora_dropout;
+      probe->EnableLora(lora);
+      for (const nn::Tensor& t : probe->TrainableParameters()) {
+        trainable += t.size();
+      }
+    }
+
+    core::FineTuner tuner(profile);
+    core::FineTuneOptions options;
+    options.valid_max_pairs = env.context().valid_max_pairs;
+    if (env.context().epochs_override > 0) {
+      options.epochs = env.context().epochs_override;
+    }
+    core::FineTuneResult result =
+        tuner.Run(env.zero_shot(llm::ModelFamily::kLlama8B), wdc.train,
+                  wdc.valid, options);
+    const double f1 =
+        env.TestF1(*result.model, data::BenchmarkId::kWdcSmall);
+    table.AddRow({StrFormat("%d", rank), StrFormat("%zu", trainable),
+                  StrFormat("%.2f", f1), StrFormat("%+.2f", f1 - zero)});
+  }
+  table.Print();
+  std::printf("\nZero-shot baseline: %.2f F1. Expected shape: gains saturate\n"
+              "quickly with rank - at simulation scale even tiny ranks carry\n"
+              "the needed capacity, mirroring the paper's observation that\n"
+              "r=64 is about balance rather than raw performance.\n", zero);
+  return 0;
+}

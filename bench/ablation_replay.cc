@@ -1,0 +1,58 @@
+// Ablation: pretraining replay for cross-domain generalization — an
+// implementation of the paper's stated future work ("develop strategies to
+// improve cross-domain generalization"). Mixing a fraction of generic
+// pretraining pairs into fine-tuning counteracts the catastrophic
+// forgetting behind Table 2's negative product->scholar deltas.
+
+#include "bench_common.h"
+
+using namespace tailormatch;
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader(
+      "Ablation: pretraining replay vs cross-domain forgetting (Llama 8B "
+      "fine-tuned on WDC)",
+      env);
+
+  const data::Benchmark& wdc = env.benchmark(data::BenchmarkId::kWdcSmall);
+  const double zero_wdc = env.ZeroShotF1(llm::ModelFamily::kLlama8B,
+                                         data::BenchmarkId::kWdcSmall);
+  const double zero_ds = env.ZeroShotF1(llm::ModelFamily::kLlama8B,
+                                        data::BenchmarkId::kDblpScholar);
+  const double zero_da = env.ZeroShotF1(llm::ModelFamily::kLlama8B,
+                                        data::BenchmarkId::kDblpAcm);
+
+  eval::TablePrinter table({"Replay fraction", "WDC F1", "D-A F1", "D-S F1",
+                            "Cross-domain delta"});
+  table.AddRow({"zero-shot", StrFormat("%.2f", zero_wdc),
+                StrFormat("%.2f", zero_da), StrFormat("%.2f", zero_ds),
+                "-"});
+  for (double replay : {0.0, 0.15, 0.4}) {
+    core::FineTuner tuner(llm::GetFamilyProfile(llm::ModelFamily::kLlama8B));
+    core::FineTuneOptions options;
+    options.replay_fraction = replay;
+    options.valid_max_pairs = env.context().valid_max_pairs;
+    if (env.context().epochs_override > 0) {
+      options.epochs = env.context().epochs_override;
+    }
+    core::FineTuneResult result =
+        tuner.Run(env.zero_shot(llm::ModelFamily::kLlama8B), wdc.train,
+                  wdc.valid, options);
+    const double wdc_f1 =
+        env.TestF1(*result.model, data::BenchmarkId::kWdcSmall);
+    const double da_f1 = env.TestF1(*result.model, data::BenchmarkId::kDblpAcm);
+    const double ds_f1 =
+        env.TestF1(*result.model, data::BenchmarkId::kDblpScholar);
+    const double cross_delta =
+        0.5 * ((da_f1 - zero_da) + (ds_f1 - zero_ds));
+    table.AddRow({StrFormat("%.0f%%", 100 * replay),
+                  StrFormat("%.2f", wdc_f1), StrFormat("%.2f", da_f1),
+                  StrFormat("%.2f", ds_f1), StrFormat("%+.2f", cross_delta)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: replay raises the cross-domain delta toward zero\n"
+      "while costing little on the fine-tuning target.\n");
+  return 0;
+}

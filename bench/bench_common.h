@@ -1,0 +1,133 @@
+#ifndef TAILORMATCH_BENCH_BENCH_COMMON_H_
+#define TAILORMATCH_BENCH_BENCH_COMMON_H_
+
+// Shared infrastructure for the table-reproduction harnesses. Each
+// bench_table* binary regenerates one table of the paper; absolute F1
+// values depend on the simulated substrate (see DESIGN.md), the *shape*
+// (who wins, sign of the deltas) is the reproduction target.
+//
+// Environment knobs (defaults keep a full run tractable on one core):
+//   TM_SCALE=0.25   dataset scale (1.0 reproduces Table 1 sizes exactly)
+//   TM_EVAL_MAX=700 test subsample cap (0 = full test splits)
+//   TM_EPOCHS=0     fine-tuning epochs (0 = the paper's 10)
+//   TM_CACHE_DIR    checkpoint cache ("tm_cache")
+
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/fine_tuner.h"
+#include "eval/table_printer.h"
+#include "llm/pretrainer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tailormatch::bench {
+
+// Lazily pretrained/loaded zero-shot models plus benchmark data, shared by
+// all grids in one binary.
+class BenchEnvironment {
+ public:
+  BenchEnvironment()
+      : context_(core::ExperimentContext::FromEnv()),
+        benchmarks_(context_.data_scale) {}
+
+  const core::ExperimentContext& context() const { return context_; }
+
+  const data::Benchmark& benchmark(data::BenchmarkId id) {
+    return benchmarks_.Get(id);
+  }
+
+  llm::SimLlm& zero_shot(llm::ModelFamily family) {
+    auto it = zero_shots_.find(family);
+    if (it == zero_shots_.end()) {
+      it = zero_shots_
+               .emplace(family,
+                        llm::GetZeroShotModel(family, context_.cache_dir))
+               .first;
+    }
+    return *it->second;
+  }
+
+  // Evaluates a model on a benchmark's test split.
+  double TestF1(const llm::SimLlm& model, data::BenchmarkId id,
+                prompt::PromptTemplate tmpl = prompt::PromptTemplate::kDefault) {
+    return core::TestF1(model, benchmark(id), context_, tmpl);
+  }
+
+  // Zero-shot F1 values, memoized per (family, benchmark, template).
+  double ZeroShotF1(llm::ModelFamily family, data::BenchmarkId id) {
+    auto key = std::make_pair(family, id);
+    auto it = zero_f1_.find(key);
+    if (it == zero_f1_.end()) {
+      it = zero_f1_.emplace(key, TestF1(zero_shot(family), id)).first;
+    }
+    return it->second;
+  }
+
+  // Fine-tunes (with on-disk memoization) on an explicit training set.
+  std::unique_ptr<llm::SimLlm> FineTune(llm::ModelFamily family,
+                                        const data::Dataset& train,
+                                        const data::Dataset& valid,
+                                        const core::FineTuneOptions& options,
+                                        const std::string& cache_key) {
+    return core::CachedFineTune(context_, llm::GetFamilyProfile(family),
+                                zero_shot(family), train, valid, options,
+                                cache_key);
+  }
+
+  // Standard fine-tuning on a benchmark's own train/valid splits.
+  std::unique_ptr<llm::SimLlm> FineTuneOn(llm::ModelFamily family,
+                                          data::BenchmarkId id,
+                                          const std::string& key_prefix) {
+    const data::Benchmark& bench = benchmark(id);
+    core::FineTuneOptions options;
+    options.valid_max_pairs = context_.valid_max_pairs;
+    return FineTune(family, bench.train, bench.valid, options,
+                    key_prefix + "_" + data::BenchmarkShortName(id));
+  }
+
+ private:
+  core::ExperimentContext context_;
+  core::BenchmarkCache benchmarks_;
+  std::map<llm::ModelFamily, std::unique_ptr<llm::SimLlm>> zero_shots_;
+  std::map<std::pair<llm::ModelFamily, data::BenchmarkId>, double> zero_f1_;
+};
+
+inline std::string Cell(double f1, double delta, bool with_delta = true) {
+  return eval::TablePrinter::ScoreCell(f1, delta, with_delta);
+}
+
+inline std::string GainCell(double gain_percent) {
+  return StrFormat("%.0f%%", gain_percent);
+}
+
+// Stopwatch for progress lines.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::time(nullptr)) {}
+  long seconds() const { return std::time(nullptr) - start_; }
+
+ private:
+  std::time_t start_;
+};
+
+inline void PrintHeader(const char* title, const BenchEnvironment& env) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("scale=%.2f eval_max=%d epochs=%s cache=%s\n",
+              env.context().data_scale, env.context().eval_max_pairs,
+              env.context().epochs_override > 0
+                  ? StrFormat("%d", env.context().epochs_override).c_str()
+                  : "paper-default(10)",
+              env.context().cache_dir.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace tailormatch::bench
+
+#endif  // TAILORMATCH_BENCH_BENCH_COMMON_H_

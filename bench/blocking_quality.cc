@@ -1,0 +1,69 @@
+// Pipeline-substrate benchmark: blocking quality on generated catalogs.
+// Not a paper table — entity matching benchmarks arrive pre-blocked — but
+// the paper's data-integration framing (Section 1) presumes this stage;
+// this harness reports pair completeness vs reduction ratio for the three
+// blockers on a WDC-style catalog.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "block/blocker.h"
+#include "data/generator.h"
+
+using namespace tailormatch;
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader("Blocking quality (catalog deduplication substrate)",
+                     env);
+
+  // A catalog of 400 products, each listed 1-3 times.
+  data::ProductGeneratorConfig config;
+  config.id_salt = 4242;
+  data::ProductGenerator generator(config);
+  Rng rng(31);
+  std::vector<data::Entity> records;
+  for (int i = 0; i < 400; ++i) {
+    data::Entity base = generator.SampleBase(rng);
+    const int listings = rng.NextInt(1, 3);
+    for (int listing = 0; listing < listings; ++listing) {
+      records.push_back(
+          generator.RenderVariant(base, listing == 0 ? 0.15 : 0.5, rng));
+    }
+  }
+  rng.Shuffle(records);
+  std::printf("catalog: %zu listings of 400 products\n", records.size());
+
+  struct Entry {
+    const char* name;
+    std::unique_ptr<block::Blocker> blocker;
+  };
+  std::vector<Entry> blockers;
+  blockers.push_back({"token (>=2 shared)",
+                      std::make_unique<block::TokenBlocker>()});
+  blockers.push_back({"sorted-neighborhood (w=8)",
+                      std::make_unique<block::SortedNeighborhoodBlocker>(8)});
+  blockers.push_back({"tfidf-knn (k=6)",
+                      std::make_unique<block::TfidfKnnBlocker>(6)});
+
+  eval::TablePrinter table({"Blocker", "Candidates", "Pair completeness",
+                            "Reduction ratio", "Time"});
+  for (Entry& entry : blockers) {
+    bench::Stopwatch watch;
+    std::vector<block::CandidatePair> candidates =
+        entry.blocker->CandidatesWithin(records);
+    block::BlockingQuality quality =
+        block::EvaluateBlockingWithin(records, candidates);
+    table.AddRow({entry.name, StrFormat("%zu", quality.candidates),
+                  StrFormat("%.3f", quality.pair_completeness),
+                  StrFormat("%.3f", quality.reduction_ratio),
+                  StrFormat("%lds", watch.seconds())});
+  }
+  table.Print();
+  std::printf("\nExpected shape: token and tfidf-knn blocking keep nearly\n"
+              "all true pairs while discarding >98%% of the %zu possible\n"
+              "pairs; single-pass sorted neighborhood trades completeness\n"
+              "for simplicity (production systems run multiple passes).\n",
+              records.size() * (records.size() - 1) / 2);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Error analysis: corner-case vs ordinary-pair F1, before and after
+// fine-tuning. WDC Products' defining property is its 80% corner-case
+// share (Section 2); this harness shows where zero-shot models fail and
+// what fine-tuning actually fixes.
+
+#include "bench_common.h"
+#include "eval/evaluator.h"
+
+using namespace tailormatch;
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader("Error analysis: corner cases vs ordinary pairs (WDC)",
+                     env);
+
+  const data::Benchmark& wdc = env.benchmark(data::BenchmarkId::kWdcSmall);
+  eval::EvalOptions options;
+  options.max_pairs = env.context().eval_max_pairs;
+
+  eval::TablePrinter table({"Model", "Setting", "Overall F1", "Corner F1",
+                            "Ordinary F1"});
+  for (llm::ModelFamily family :
+       {llm::ModelFamily::kLlama8B, llm::ModelFamily::kGpt4oMini}) {
+    eval::StratifiedEvalResult zero =
+        eval::EvaluateByCornerCase(env.zero_shot(family), wdc.test, options);
+    table.AddRow({llm::ModelFamilyTableName(family), "zero-shot",
+                  StrFormat("%.2f", zero.overall.metrics.f1),
+                  StrFormat("%.2f", zero.corner.metrics.f1),
+                  StrFormat("%.2f", zero.ordinary.metrics.f1)});
+    auto tuned = env.FineTuneOn(family, data::BenchmarkId::kWdcSmall, "t2");
+    eval::StratifiedEvalResult fine =
+        eval::EvaluateByCornerCase(*tuned, wdc.test, options);
+    table.AddRow({llm::ModelFamilyTableName(family), "fine-tuned",
+                  StrFormat("%.2f", fine.overall.metrics.f1),
+                  StrFormat("%.2f", fine.corner.metrics.f1),
+                  StrFormat("%.2f", fine.ordinary.metrics.f1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: corner-case F1 is far below ordinary-pair F1 for\n"
+      "zero-shot models, and fine-tuning closes most of that gap (corner\n"
+      "cases are what the fine-tuning set teaches).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Baseline comparison: zero-shot vs few-shot in-context learning vs LoRA
+// fine-tuning. The paper's premise (Section 1) is that prior LLM entity
+// matching work relies on prompt engineering and in-context learning; this
+// harness quantifies the three regimes on WDC so the fine-tuning deltas of
+// Tables 2-5 have their natural baselines.
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "llm/icl.h"
+
+using namespace tailormatch;
+
+namespace {
+
+double IclF1(bench::BenchEnvironment& env, const llm::SimLlm& model,
+             const data::Benchmark& benchmark, int num_demos) {
+  llm::InContextMatcher::Config config;
+  config.num_demonstrations = num_demos;
+  llm::InContextMatcher matcher(&model, benchmark.train.pairs, config);
+  eval::ConfusionCounts counts;
+  int evaluated = 0;
+  for (const data::EntityPair& pair : benchmark.test.pairs) {
+    if (env.context().eval_max_pairs > 0 &&
+        evaluated >= env.context().eval_max_pairs) {
+      break;
+    }
+    ++evaluated;
+    counts.Add(matcher.PredictMatchProbability(pair) > 0.5, pair.label);
+  }
+  return eval::ComputeMetrics(counts).f1;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader(
+      "Baselines: zero-shot vs in-context learning vs fine-tuning (WDC)",
+      env);
+
+  const data::Benchmark& wdc = env.benchmark(data::BenchmarkId::kWdcSmall);
+  eval::TablePrinter table({"Model", "Zero-shot", "ICL k=4", "ICL k=10",
+                            "LoRA fine-tuned"});
+  for (llm::ModelFamily family :
+       {llm::ModelFamily::kLlama8B, llm::ModelFamily::kGpt4oMini}) {
+    llm::SimLlm& zero_shot = env.zero_shot(family);
+    const double zero = env.ZeroShotF1(family, data::BenchmarkId::kWdcSmall);
+    const double icl4 = IclF1(env, zero_shot, wdc, 4);
+    const double icl10 = IclF1(env, zero_shot, wdc, 10);
+    auto tuned = env.FineTuneOn(family, data::BenchmarkId::kWdcSmall, "t2");
+    const double fine_tuned =
+        env.TestF1(*tuned, data::BenchmarkId::kWdcSmall);
+    table.AddRow({llm::ModelFamilyTableName(family), StrFormat("%.2f", zero),
+                  StrFormat("%.2f", icl4), StrFormat("%.2f", icl10),
+                  StrFormat("%.2f", fine_tuned)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: fine-tuning beats both zero-shot and in-context\n"
+      "learning (the paper's motivation for moving beyond ICL). Note the\n"
+      "corner-case effect: on the 80%%-corner-case WDC benchmark,\n"
+      "nearest-neighbour demonstration voting can fall *below* zero-shot,\n"
+      "because surface-similar demonstrations carry opposite labels by\n"
+      "construction - the same hardness that defeats PLM-era matchers.\n");
+  return 0;
+}

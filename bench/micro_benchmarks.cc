@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrate components: tensor ops, tokenizer, similarity metrics, teacher
+// scoring, data generation, and the simulated LLM forward pass.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generator.h"
+#include "llm/model_config.h"
+#include "llm/pretrainer.h"
+#include "llm/sim_llm.h"
+#include "llm/teacher.h"
+#include "nn/tensor.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace tailormatch;
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::Randn(n, n, 1.0f, rng, false);
+  nn::Tensor b = nn::Tensor::Randn(n, n, 1.0f, rng, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    nn::Tensor a = nn::Tensor::Randn(n, n, 1.0f, rng, true);
+    nn::Tensor b = nn::Tensor::Randn(n, n, 1.0f, rng, true);
+    nn::Tensor loss = nn::Sum(nn::MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.grad().data());
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(32);
+
+text::Tokenizer& SharedTokenizer() {
+  static text::Tokenizer* tokenizer = [] {
+    auto pairs = llm::BuildPretrainPairs(500, 77);
+    std::vector<std::string> corpus;
+    for (auto& pair : pairs) {
+      corpus.push_back(pair.left.surface + " " + pair.right.surface);
+    }
+    auto* t = new text::Tokenizer();
+    t->Train(corpus, 4000, 2);
+    return t;
+  }();
+  return *tokenizer;
+}
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  text::Tokenizer& tokenizer = SharedTokenizer();
+  const std::string text =
+      "Do the two entity descriptions refer to the same real-world product? "
+      "Entity 1: sonara pulse zmw-304 printer 460 mah pro Entity 2: sonara "
+      "pulse zmw 304 printer (7899-823-109)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Encode(text));
+  }
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::LevenshteinDistance(
+        "sprocketx vertex pg-730 cassette", "sprocketx vertex pg-1130"));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaroWinkler("velodyne", "veloodyne"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_TeacherScore(benchmark::State& state) {
+  llm::TeacherLlm teacher;
+  data::EntityPair pair;
+  pair.left.surface = "sprocketx vertex pg-730 cassette 7sp 12-32t pro";
+  pair.right.surface = "sprocketx vertex pg 1130 cassette 11sp 11-36t";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(teacher.MatchScore(pair));
+  }
+}
+BENCHMARK(BM_TeacherScore);
+
+void BM_ProductGeneration(benchmark::State& state) {
+  data::ProductGenerator generator((data::ProductGeneratorConfig()));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.SampleBase(rng));
+  }
+}
+BENCHMARK(BM_ProductGeneration);
+
+void BM_SimLlmForward(benchmark::State& state) {
+  static llm::SimLlm* model = [] {
+    llm::ModelConfig config;
+    config.dim = 32;
+    config.num_heads = 2;
+    config.num_layers = 2;
+    return new llm::SimLlm(config, SharedTokenizer());
+  }();
+  const std::string prompt =
+      "Do the two entity descriptions refer to the same real-world product? "
+      "Entity 1: sonara pulse zmw-304 printer Entity 2: sonara pulse zmw 304";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->PredictMatchProbability(prompt));
+  }
+}
+BENCHMARK(BM_SimLlmForward);
+
+void BM_SimLlmTrainStep(benchmark::State& state) {
+  static llm::SimLlm* model = [] {
+    llm::ModelConfig config;
+    config.dim = 32;
+    config.num_heads = 2;
+    config.num_layers = 2;
+    return new llm::SimLlm(config, SharedTokenizer());
+  }();
+  llm::TrainExample example = model->EncodeExample(
+      "Entity 1: sonara pulse zmw-304 printer Entity 2: sonara pulse zmw 304",
+      true);
+  Rng rng(4);
+  for (auto _ : state) {
+    nn::Tensor loss = model->ForwardLoss(example, /*training=*/true, rng);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_SimLlmTrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

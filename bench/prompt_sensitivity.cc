@@ -1,0 +1,108 @@
+// Reproduces the prompt-sensitivity analysis of Section 3.3: the standard
+// deviation of F1 across the fine-tuning prompt and three alternative
+// phrasings, before and after fine-tuning. The paper reports that
+// fine-tuning collapses Llama 8B's sensitivity from 15.76 to ~1.9-3.5 F1
+// points while GPT-4o-mini starts low (2.72) and drops further.
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+
+using namespace tailormatch;
+using data::BenchmarkId;
+using llm::ModelFamily;
+
+namespace {
+
+std::vector<double> F1AcrossPrompts(bench::BenchEnvironment& env,
+                                    const llm::SimLlm& model,
+                                    BenchmarkId id) {
+  std::vector<double> scores;
+  for (prompt::PromptTemplate tmpl : prompt::AllPromptTemplates()) {
+    scores.push_back(env.TestF1(model, id, tmpl));
+  }
+  return scores;
+}
+
+std::string Sensitivity(const std::vector<double>& scores) {
+  return StrFormat("%.2f", eval::StdDev(scores));
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader(
+      "Section 3.3: prompt sensitivity (stddev of F1 across 4 prompts)",
+      env);
+
+  eval::TablePrinter table({"Model", "Setting", "Test set", "default",
+                            "simple-free", "complex-force", "simple-force",
+                            "StdDev"});
+
+  for (ModelFamily family : {ModelFamily::kLlama8B, ModelFamily::kGpt4oMini}) {
+    std::vector<double> zero_sensitivities;
+    std::vector<double> tuned_sensitivities;
+    for (BenchmarkId id :
+         {BenchmarkId::kWdcSmall, BenchmarkId::kAbtBuy,
+          BenchmarkId::kDblpScholar}) {
+      // Zero-shot sensitivity.
+      std::vector<double> zero_scores =
+          F1AcrossPrompts(env, env.zero_shot(family), id);
+      zero_sensitivities.push_back(eval::StdDev(zero_scores));
+      std::vector<std::string> zero_row = {
+          llm::ModelFamilyTableName(family), "zero-shot",
+          data::BenchmarkShortName(id)};
+      for (double score : zero_scores) {
+        zero_row.push_back(StrFormat("%.2f", score));
+      }
+      zero_row.push_back(Sensitivity(zero_scores));
+      table.AddRow(zero_row);
+
+      // Fine-tuned (on the same dataset, i.e. non-transfer) sensitivity.
+      auto model = env.FineTuneOn(family, id, "t2");
+      std::vector<double> tuned_scores = F1AcrossPrompts(env, *model, id);
+      tuned_sensitivities.push_back(eval::StdDev(tuned_scores));
+      std::vector<std::string> tuned_row = {
+          llm::ModelFamilyTableName(family), "fine-tuned",
+          data::BenchmarkShortName(id)};
+      for (double score : tuned_scores) {
+        tuned_row.push_back(StrFormat("%.2f", score));
+      }
+      tuned_row.push_back(Sensitivity(tuned_scores));
+      table.AddRow(tuned_row);
+    }
+    table.AddSeparator();
+    std::printf("%s: mean sensitivity zero-shot %.2f -> fine-tuned %.2f\n",
+                llm::ModelFamilyTableName(family),
+                eval::Mean(zero_sensitivities),
+                eval::Mean(tuned_sensitivities));
+  }
+
+  // Structured explanations further stabilize performance (Section 4 /
+  // contribution 5): compare sensitivities of the WDC-tuned Llama model
+  // with and without structured explanations.
+  {
+    const data::Benchmark& wdc = env.benchmark(BenchmarkId::kWdcSmall);
+    core::FineTuneOptions options;
+    options.explanation_style = explain::ExplanationStyle::kStructured;
+    options.valid_max_pairs = env.context().valid_max_pairs;
+    auto structured = env.FineTune(ModelFamily::kLlama8B, wdc.train, wdc.valid,
+                                   options, "t3_structured");
+    std::vector<double> scores =
+        F1AcrossPrompts(env, *structured, BenchmarkId::kWdcSmall);
+    std::vector<std::string> row = {"Llama 8B", "ft+structured", "WDC"};
+    for (double score : scores) row.push_back(StrFormat("%.2f", score));
+    row.push_back(Sensitivity(scores));
+    table.AddRow(row);
+  }
+
+  table.Print();
+  std::printf(
+      "\nPaper shapes to check: the weakly-instruction-tuned model (Llama)\n"
+      "is more prompt-sensitive than GPT-4o-mini in every setting. Known\n"
+      "deviation (see EXPERIMENTS.md): in the simulation, single-prompt\n"
+      "LoRA fine-tuning *specializes* the model to the tuning prompt and\n"
+      "raises sensitivity, whereas real instruction-tuned LLMs generalize\n"
+      "the fine-tuned behaviour across phrasings.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Reproduces Table 3: fine-tuning with different training-example
+// representations (Section 4). All models are fine-tuned on WDC small with
+// the representation named in the row and evaluated on WDC (no transfer),
+// the other product datasets (in-domain transfer), and the scholar
+// datasets (cross-domain transfer). Deltas are against standard
+// fine-tuning on WDC, as in the paper.
+
+#include "bench_common.h"
+#include "explain/explanation.h"
+
+using namespace tailormatch;
+using bench::Cell;
+using data::BenchmarkId;
+using explain::ExplanationStyle;
+using llm::ModelFamily;
+
+namespace {
+
+const std::vector<BenchmarkId> kColumns = {
+    BenchmarkId::kWdcSmall, BenchmarkId::kAbtBuy, BenchmarkId::kAmazonGoogle,
+    BenchmarkId::kWalmartAmazon, BenchmarkId::kDblpAcm,
+    BenchmarkId::kDblpScholar};
+
+std::map<BenchmarkId, double> EvaluateAll(bench::BenchEnvironment& env,
+                                          const llm::SimLlm& model) {
+  std::map<BenchmarkId, double> out;
+  for (BenchmarkId id : kColumns) out[id] = env.TestF1(model, id);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader(
+      "Table 3: explanation representations (deltas vs standard fine-tuning "
+      "on WDC)",
+      env);
+
+  eval::TablePrinter table({"Model", "Train set", "WDC", "A-B", "A-G", "W-A",
+                            "In-dom Gain", "D-A", "D-S", "Cross Gain"});
+
+  // Specialized per-dataset gains (needed for the transfer-gain columns)
+  // come from the standard fine-tuning baselines of Table 2; the cache
+  // shares them across bench binaries.
+  const std::vector<BenchmarkId> product_targets =
+      core::InDomainTargets(BenchmarkId::kWdcSmall);
+  const std::vector<BenchmarkId> scholar_targets =
+      core::CrossDomainTargets(BenchmarkId::kWdcSmall);
+
+  struct FamilyPlan {
+    ModelFamily family;
+    std::vector<ExplanationStyle> styles;
+  };
+  // Structured explanations are exclusively tested on the larger models
+  // (Section 4.1).
+  const std::vector<FamilyPlan> plans = {
+      {ModelFamily::kLlama8B, explain::AllExplanationStyles()},
+      {ModelFamily::kGpt4oMini, explain::AllExplanationStyles()},
+      {ModelFamily::kLlama70B,
+       {ExplanationStyle::kNone, ExplanationStyle::kStructured}},
+      {ModelFamily::kGpt4o,
+       {ExplanationStyle::kNone, ExplanationStyle::kStructured}},
+  };
+
+  for (const FamilyPlan& plan : plans) {
+    bench::Stopwatch watch;
+    std::map<BenchmarkId, double> zero;
+    for (BenchmarkId id : kColumns) zero[id] = env.ZeroShotF1(plan.family, id);
+
+    // Per-dataset specialized models (for transfer-gain denominators).
+    std::map<BenchmarkId, double> specialized;
+    const bool small_model = plan.family == ModelFamily::kLlama8B ||
+                             plan.family == ModelFamily::kGpt4oMini;
+    if (small_model) {
+      for (BenchmarkId target : product_targets) {
+        auto model = env.FineTuneOn(plan.family, target, "t2");
+        specialized[target] = env.TestF1(*model, target);
+      }
+      for (BenchmarkId target : scholar_targets) {
+        auto model = env.FineTuneOn(plan.family, target, "t2");
+        specialized[target] = env.TestF1(*model, target);
+      }
+    }
+
+    std::map<ExplanationStyle, std::map<BenchmarkId, double>> results;
+    for (ExplanationStyle style : plan.styles) {
+      const data::Benchmark& wdc = env.benchmark(BenchmarkId::kWdcSmall);
+      core::FineTuneOptions options;
+      options.explanation_style = style;
+      options.valid_max_pairs = env.context().valid_max_pairs;
+      auto model =
+          env.FineTune(plan.family, wdc.train, wdc.valid, options,
+                       StrFormat("t3_%s", explain::ExplanationStyleName(style)));
+      results[style] = EvaluateAll(env, *model);
+      TM_LOG(Info) << llm::ModelFamilyTableName(plan.family) << " / "
+                   << explain::ExplanationStyleName(style) << " done ("
+                   << watch.seconds() << "s elapsed)";
+    }
+    const std::map<BenchmarkId, double>& baseline =
+        results[ExplanationStyle::kNone];
+
+    // Zero-shot row (deltas vs the fine-tuned baseline, as in Table 3).
+    {
+      std::vector<std::string> row = {llm::ModelFamilyTableName(plan.family),
+                                      "Zero-shot"};
+      for (BenchmarkId id : kColumns) {
+        row.push_back(Cell(zero.at(id), zero.at(id) - baseline.at(id)));
+        if (id == BenchmarkId::kWalmartAmazon) row.push_back("-");
+      }
+      row.push_back("-");
+      table.AddRow(row);
+    }
+    for (ExplanationStyle style : plan.styles) {
+      const auto& f1 = results[style];
+      std::vector<std::string> row = {llm::ModelFamilyTableName(plan.family),
+                                      explain::ExplanationStyleTableName(style)};
+      for (BenchmarkId id :
+           {BenchmarkId::kWdcSmall, BenchmarkId::kAbtBuy,
+            BenchmarkId::kAmazonGoogle, BenchmarkId::kWalmartAmazon}) {
+        row.push_back(Cell(f1.at(id), f1.at(id) - baseline.at(id)));
+      }
+      row.push_back(small_model
+                        ? bench::GainCell(core::ComputeTransferGain(
+                              product_targets, f1, zero, specialized))
+                        : "-");
+      for (BenchmarkId id :
+           {BenchmarkId::kDblpAcm, BenchmarkId::kDblpScholar}) {
+        row.push_back(Cell(f1.at(id), f1.at(id) - baseline.at(id)));
+      }
+      row.push_back(small_model
+                        ? bench::GainCell(core::ComputeTransferGain(
+                              scholar_targets, f1, zero, specialized))
+                        : "-");
+      table.AddRow(row);
+    }
+    table.AddSeparator();
+  }
+
+  table.Print();
+  std::printf(
+      "\nPaper shapes to check: structured explanations beat standard\n"
+      "fine-tuning for three of the four models (GPT-4o being the\n"
+      "exception) and improve in-domain generalization; long textual\n"
+      "explanations help least.\n");
+  return 0;
+}

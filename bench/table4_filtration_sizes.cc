@@ -1,0 +1,52 @@
+// Reproduces Table 4: the impact of the filtration and generation methods
+// on training-set size (Section 5). Counts scale with TM_SCALE; the paper's
+// absolute numbers correspond to scale 1.0.
+
+#include "bench_common.h"
+#include "select/filters.h"
+#include "select/generation.h"
+
+using namespace tailormatch;
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader(
+      "Table 4: training-set sizes after filtration / generation", env);
+
+  const data::Benchmark& wdc = env.benchmark(data::BenchmarkId::kWdcSmall);
+  const data::BenchmarkSpec spec =
+      data::GetBenchmarkSpec(data::BenchmarkId::kWdcSmall);
+  llm::TeacherLlm teacher;
+
+  bench::Stopwatch watch;
+  data::Dataset filtered = select::ErrorBasedFilter(wdc.train, teacher);
+  data::Dataset filtered_rel = select::RelevancyFilter(filtered, teacher);
+  data::Dataset syn = select::BuildSyntheticSet(wdc.train, spec);
+  data::Dataset syn_filtered = select::ErrorBasedFilter(syn, teacher);
+  data::Dataset syn_filtered_rel = select::RelevancyFilter(syn_filtered, teacher);
+
+  eval::TablePrinter table({"Dataset", "# Pos", "# Neg", "# Total"});
+  auto add = [&table](const char* name, const data::Dataset& dataset) {
+    table.AddRow({name, StrFormat("%d", dataset.CountPositives()),
+                  StrFormat("%d", dataset.CountNegatives()),
+                  StrFormat("%d", dataset.size())});
+  };
+  add("WDC-small", wdc.train);
+  add("WDC-filtered", filtered);
+  add("WDC-filtered-rel", filtered_rel);
+  add("Syn", syn);
+  add("Syn-filtered", syn_filtered);
+  add("Syn-filtered-rel", syn_filtered_rel);
+  table.Print();
+
+  std::printf(
+      "\nPaper reference at scale 1.0: 2,500 / 2,006 / 608 / 20,140 /\n"
+      "13,824 / 8,900. Shapes to check: error filtering removes a modest\n"
+      "share (mislabeled pairs), relevancy filtering shrinks further, the\n"
+      "generated Syn set is ~8x the seed set, and filtering discards a\n"
+      "larger share of generated pairs than of original ones (the\n"
+      "generation methods mislabel matches, Section 5.2).\n"
+      "(elapsed %lds)\n",
+      watch.seconds());
+  return 0;
+}

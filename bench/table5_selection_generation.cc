@@ -1,0 +1,178 @@
+// Reproduces Table 5: fine-tuning with example selection and generation
+// (Section 5). Llama 8B rows cover the WDC size sweep, the filtered sets,
+// the synthetic sets, and error-based selection; GPT-4o-mini covers the
+// subset the paper ran (the rest was skipped for cost there). Deltas are
+// against fine-tuning on WDC-small.
+
+#include "bench_common.h"
+#include "select/error_selection.h"
+#include "select/filters.h"
+#include "select/generation.h"
+
+using namespace tailormatch;
+using bench::Cell;
+using data::BenchmarkId;
+using llm::ModelFamily;
+
+namespace {
+
+const std::vector<BenchmarkId> kColumns = {
+    BenchmarkId::kWdcSmall, BenchmarkId::kAbtBuy, BenchmarkId::kAmazonGoogle,
+    BenchmarkId::kWalmartAmazon, BenchmarkId::kDblpAcm,
+    BenchmarkId::kDblpScholar};
+
+}  // namespace
+
+int main() {
+  bench::BenchEnvironment env;
+  bench::PrintHeader(
+      "Table 5: example selection and generation (deltas vs fine-tuning on "
+      "WDC-small)",
+      env);
+
+  llm::TeacherLlm teacher;
+  const data::Benchmark& wdc = env.benchmark(BenchmarkId::kWdcSmall);
+  const data::BenchmarkSpec spec = data::GetBenchmarkSpec(BenchmarkId::kWdcSmall);
+
+  // Build the derived training sets once (teacher filtering + generation).
+  data::Dataset wdc_filtered = select::ErrorBasedFilter(wdc.train, teacher);
+  data::Dataset wdc_filtered_rel =
+      select::RelevancyFilter(wdc_filtered, teacher);
+  data::Dataset syn = select::BuildSyntheticSet(wdc.train, spec);
+  data::Dataset syn_filtered = select::ErrorBasedFilter(syn, teacher);
+  data::Dataset syn_filtered_rel =
+      select::RelevancyFilter(syn_filtered, teacher);
+
+  struct TrainSetRow {
+    std::string label;
+    const data::Dataset* train;  // null => special handling
+  };
+
+  eval::TablePrinter table({"Model", "Train set", "WDC", "A-B", "A-G", "W-A",
+                            "In-dom Gain", "D-A", "D-S", "Cross Gain"});
+
+  const std::vector<BenchmarkId> product_targets =
+      core::InDomainTargets(BenchmarkId::kWdcSmall);
+  const std::vector<BenchmarkId> scholar_targets =
+      core::CrossDomainTargets(BenchmarkId::kWdcSmall);
+
+  struct FamilyPlan {
+    ModelFamily family;
+    bool full_sweep;  // mini only runs the subset the paper ran
+  };
+  for (const FamilyPlan plan :
+       {FamilyPlan{ModelFamily::kLlama8B, true},
+        FamilyPlan{ModelFamily::kGpt4oMini, false}}) {
+    bench::Stopwatch watch;
+    std::map<BenchmarkId, double> zero;
+    for (BenchmarkId id : kColumns) zero[id] = env.ZeroShotF1(plan.family, id);
+    std::map<BenchmarkId, double> specialized;
+    for (BenchmarkId target : product_targets) {
+      specialized[target] =
+          env.TestF1(*env.FineTuneOn(plan.family, target, "t2"), target);
+    }
+    for (BenchmarkId target : scholar_targets) {
+      specialized[target] =
+          env.TestF1(*env.FineTuneOn(plan.family, target, "t2"), target);
+    }
+
+    std::vector<std::pair<std::string, const data::Dataset*>> rows;
+    rows.emplace_back("WDC-small", &wdc.train);
+    if (plan.full_sweep) {
+      rows.emplace_back("WDC-medium",
+                        &env.benchmark(BenchmarkId::kWdcMedium).train);
+      rows.emplace_back("WDC-large",
+                        &env.benchmark(BenchmarkId::kWdcLarge).train);
+    }
+    rows.emplace_back("WDC-s-filter", &wdc_filtered);
+    if (plan.full_sweep) {
+      rows.emplace_back("WDC-s-filter-rel", &wdc_filtered_rel);
+    }
+    rows.emplace_back("Syn-filter", &syn_filtered);
+    if (plan.full_sweep) {
+      rows.emplace_back("Syn-filter-rel", &syn_filtered_rel);
+    }
+
+    std::map<std::string, std::map<BenchmarkId, double>> results;
+    for (const auto& [label, train] : rows) {
+      core::FineTuneOptions options;
+      options.valid_max_pairs = env.context().valid_max_pairs;
+      auto model = env.FineTune(plan.family, *train, wdc.valid, options,
+                                "t5_" + label);
+      for (BenchmarkId id : kColumns) {
+        results[label][id] = env.TestF1(*model, id);
+      }
+      TM_LOG(Info) << llm::ModelFamilyTableName(plan.family) << " / " << label
+                   << " done (" << watch.seconds() << "s elapsed)";
+    }
+
+    // Error-based example selection (Llama only; Section 5.3 notes OpenAI
+    // fine-tuning limitations prevent it for the GPT series).
+    if (plan.full_sweep) {
+      const data::Benchmark& large = env.benchmark(BenchmarkId::kWdcLarge);
+      const llm::FamilyProfile profile = llm::GetFamilyProfile(plan.family);
+      select::ErrorSelectionOptions options;
+      options.rounds = 5;
+      options.added_per_round = wdc.train.size();
+      options.epochs_per_round = 5;
+      options.train.learning_rate = profile.finetune_lr;
+      options.train.batch_size = profile.batch_size;
+      options.lora.rank = profile.lora_rank;
+      options.lora.alpha = profile.lora_alpha;
+      options.lora.dropout = profile.lora_dropout;
+      options.valid_max_pairs = env.context().valid_max_pairs;
+      select::ErrorSelectionResult selection = select::RunErrorBasedSelection(
+          env.zero_shot(plan.family), wdc.train, large.train, wdc.valid,
+          options);
+      for (BenchmarkId id : kColumns) {
+        results["WDC-s-err-sel"][id] = env.TestF1(*selection.model, id);
+      }
+      rows.emplace_back("WDC-s-err-sel", nullptr);
+      TM_LOG(Info) << "error-based selection done: best round "
+                   << selection.best_round << " (" << watch.seconds()
+                   << "s elapsed)";
+    }
+
+    const std::map<BenchmarkId, double>& baseline = results["WDC-small"];
+    // Zero-shot row.
+    {
+      std::vector<std::string> row = {llm::ModelFamilyTableName(plan.family),
+                                      "Zero-shot"};
+      for (BenchmarkId id : kColumns) {
+        row.push_back(Cell(zero.at(id), zero.at(id) - baseline.at(id)));
+        if (id == BenchmarkId::kWalmartAmazon) row.push_back("-");
+      }
+      row.push_back("-");
+      table.AddRow(row);
+    }
+    for (const auto& [label, unused_train] : rows) {
+      const auto& f1 = results[label];
+      std::vector<std::string> row = {llm::ModelFamilyTableName(plan.family),
+                                      label};
+      for (BenchmarkId id :
+           {BenchmarkId::kWdcSmall, BenchmarkId::kAbtBuy,
+            BenchmarkId::kAmazonGoogle, BenchmarkId::kWalmartAmazon}) {
+        row.push_back(Cell(f1.at(id), f1.at(id) - baseline.at(id)));
+      }
+      row.push_back(bench::GainCell(core::ComputeTransferGain(
+          product_targets, f1, zero, specialized)));
+      for (BenchmarkId id :
+           {BenchmarkId::kDblpAcm, BenchmarkId::kDblpScholar}) {
+        row.push_back(Cell(f1.at(id), f1.at(id) - baseline.at(id)));
+      }
+      row.push_back(bench::GainCell(core::ComputeTransferGain(
+          scholar_targets, f1, zero, specialized)));
+      table.AddRow(row);
+    }
+    table.AddSeparator();
+  }
+
+  table.Print();
+  std::printf(
+      "\nPaper shapes to check: filtering and generation+filtering lift\n"
+      "Llama 8B above the WDC-small baseline (quality beats quantity: the\n"
+      "filtered small sets rival or beat WDC-large); error-based selection\n"
+      "gives Llama its best no-transfer score; GPT-4o-mini does not\n"
+      "benefit from filtration.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 1 walk-through: the complete TailorMatch fine-tuning and
+// inference setup. Each stage of the pipeline prints its artifacts:
+// explanation generation (Dimension 1), example filtration and generation
+// (Dimension 2), LoRA fine-tuning with per-epoch checkpoints, and
+// inference with the Narayan-style answer parser.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "explain/explanation.h"
+#include "select/filters.h"
+#include "select/generation.h"
+
+using namespace tailormatch;
+
+int main() {
+  std::printf("== Figure 1: TailorMatch pipeline overview ==\n");
+  core::ExperimentContext context = core::ExperimentContext::FromEnv();
+
+  // Stage 0: benchmark data.
+  data::Benchmark wdc =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, context.data_scale);
+  std::printf("\n[data] WDC Products (small): %d train / %d valid / %d test\n",
+              wdc.train.size(), wdc.valid.size(), wdc.test.size());
+  const data::EntityPair& sample = wdc.train.pairs.front();
+  std::printf("  sample pair (label=%s):\n    E1: %s\n    E2: %s\n",
+              sample.label ? "match" : "non-match",
+              sample.left.surface.c_str(), sample.right.surface.c_str());
+
+  // Stage 1 (Dimension 1): explanation generation by the teacher LLM.
+  explain::ExplanationGenerator structured(
+      explain::ExplanationStyle::kStructured);
+  std::printf("\n[explanations] structured explanation for the sample:\n  %s\n",
+              structured.Generate(sample).text.c_str());
+
+  // Stage 2 (Dimension 2): filtration and example generation.
+  llm::TeacherLlm teacher;
+  data::Dataset filtered = select::ErrorBasedFilter(wdc.train, teacher);
+  data::Dataset generated = select::BuildSyntheticSet(
+      wdc.train, data::GetBenchmarkSpec(data::BenchmarkId::kWdcSmall));
+  std::printf("\n[selection] error-based filter: %d -> %d pairs\n",
+              wdc.train.size(), filtered.size());
+  std::printf("[generation] synthetic set: %d -> %d pairs\n",
+              wdc.train.size(), generated.size());
+
+  // Stage 3: LoRA fine-tuning with per-epoch checkpoint selection.
+  core::PipelineConfig config;
+  config.family = llm::ModelFamily::kLlama8B;
+  config.benchmark = data::BenchmarkId::kWdcSmall;
+  config.explanation_style = explain::ExplanationStyle::kStructured;
+  core::PipelineReport report = core::RunPipeline(config);
+  std::printf("\n[fine-tuning] llama8b-sim + LoRA + structured explanations\n");
+  for (size_t epoch = 0; epoch < report.train_stats.epoch_valid_score.size();
+       ++epoch) {
+    std::printf("  epoch %zu: train loss %.4f, valid F1 %.2f%s\n", epoch + 1,
+                report.train_stats.epoch_train_loss[epoch],
+                report.train_stats.epoch_valid_score[epoch],
+                static_cast<int>(epoch) == report.train_stats.best_epoch
+                    ? "  <- checkpoint selected"
+                    : "");
+  }
+
+  // Stage 4: inference.
+  std::printf("\n[inference] zero-shot F1 %.2f -> fine-tuned F1 %.2f\n",
+              report.zero_shot_f1, report.fine_tuned_f1);
+  core::Matcher matcher(report.model);
+  core::MatchDecision decision = matcher.Match(
+      "jarvo evolve kx-80 ms stereo (7899-823-109)",
+      "jarvo evolve kx 80 uc stereo headset");
+  std::printf("  query response: %s\n", decision.response.c_str());
+  std::printf("  parsed verdict: %s (p=%.3f)\n",
+              decision.is_match ? "match" : "non-match",
+              decision.probability);
+  return 0;
+}

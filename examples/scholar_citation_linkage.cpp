@@ -1,0 +1,88 @@
+// Bibliographic record linkage (the DBLP-Scholar scenario): link citation
+// records between a clean index and a noisy web-crawled index. Shows the
+// cross-domain lesson of Section 3.2 empirically: a matcher fine-tuned on
+// scholar data beats both the zero-shot model and a matcher fine-tuned on
+// product data when linking citations.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/fine_tuner.h"
+#include "core/matcher.h"
+#include "data/benchmark_factory.h"
+#include "eval/evaluator.h"
+#include "llm/pretrainer.h"
+
+using namespace tailormatch;
+
+namespace {
+
+double LinkF1(const llm::SimLlm& model, const data::Dataset& test_set,
+              int max_pairs) {
+  eval::EvalOptions options;
+  options.max_pairs = max_pairs;
+  return eval::EvaluateF1(model, test_set, options);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Citation record linkage (DBLP vs Scholar) ==\n");
+  core::ExperimentContext context = core::ExperimentContext::FromEnv();
+
+  data::Benchmark scholar =
+      data::BuildBenchmark(data::BenchmarkId::kDblpScholar,
+                           context.data_scale);
+  data::Benchmark products =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, context.data_scale);
+
+  std::printf("linking %d citation pairs (%d matches)\n",
+              scholar.test.size(), scholar.test.CountPositives());
+
+  auto zero_shot =
+      llm::GetZeroShotModel(llm::ModelFamily::kLlama8B, context.cache_dir);
+  llm::FamilyProfile profile =
+      llm::GetFamilyProfile(llm::ModelFamily::kLlama8B);
+  core::FineTuner tuner(profile);
+  core::FineTuneOptions options;
+  options.valid_max_pairs = context.valid_max_pairs;
+  if (context.epochs_override > 0) options.epochs = context.epochs_override;
+
+  std::printf("fine-tuning on DBLP-Scholar (%d pairs)...\n",
+              scholar.train.size());
+  core::FineTuneResult scholar_tuned =
+      tuner.Run(*zero_shot, scholar.train, scholar.valid, options);
+  std::printf("fine-tuning on WDC products (%d pairs)...\n",
+              products.train.size());
+  core::FineTuneResult product_tuned =
+      tuner.Run(*zero_shot, products.train, products.valid, options);
+
+  const int cap = context.eval_max_pairs;
+  const double zero_f1 = LinkF1(*zero_shot, scholar.test, cap);
+  const double scholar_f1 = LinkF1(*scholar_tuned.model, scholar.test, cap);
+  const double product_f1 = LinkF1(*product_tuned.model, scholar.test, cap);
+
+  std::printf("\nlinkage quality on DBLP-Scholar test pairs (F1):\n");
+  std::printf("  zero-shot model:           %.2f\n", zero_f1);
+  std::printf("  fine-tuned on scholar:     %.2f\n", scholar_f1);
+  std::printf("  fine-tuned on products:    %.2f  <- cross-domain transfer\n",
+              product_f1);
+  std::printf(
+      "\nSection 3.2's lesson: in-domain fine-tuning helps, while a model\n"
+      "fine-tuned on another topical domain can fall below zero-shot.\n");
+
+  // Show a linked record pair through the Matcher API.
+  core::Matcher matcher(
+      std::shared_ptr<llm::SimLlm>(std::move(scholar_tuned.model)));
+  for (const data::EntityPair& pair : scholar.test.pairs) {
+    if (!pair.label) continue;
+    core::MatchDecision decision = matcher.Match(pair);
+    std::printf("\nexample link:\n  DBLP:    %s\n  Scholar: %s\n  -> %s "
+                "(p=%.3f)\n",
+                pair.left.surface.c_str(), pair.right.surface.c_str(),
+                decision.response.c_str(), decision.probability);
+    break;
+  }
+  return 0;
+}

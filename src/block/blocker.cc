@@ -1,0 +1,293 @@
+#include "block/blocker.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace tailormatch::block {
+
+namespace {
+
+// Deduplicates and canonicalizes candidate lists.
+std::vector<CandidatePair> Canonicalize(std::vector<CandidatePair> pairs,
+                                        bool within) {
+  if (within) {
+    for (CandidatePair& pair : pairs) {
+      if (pair.left > pair.right) std::swap(pair.left, pair.right);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const CandidatePair& a, const CandidatePair& b) {
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+  pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                          [](const CandidatePair& a, const CandidatePair& b) {
+                            return a.left == b.left && a.right == b.right;
+                          }),
+              pairs.end());
+  if (within) {
+    pairs.erase(std::remove_if(pairs.begin(), pairs.end(),
+                               [](const CandidatePair& pair) {
+                                 return pair.left == pair.right;
+                               }),
+                pairs.end());
+  }
+  return pairs;
+}
+
+using TokenIndex = std::unordered_map<std::string, std::vector<int>>;
+
+TokenIndex BuildTokenIndex(const std::vector<data::Entity>& records,
+                           int min_token_length) {
+  TokenIndex index;
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::vector<std::string> tokens = text::PreTokenize(records[i].surface);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (const std::string& token : tokens) {
+      if (static_cast<int>(token.size()) >= min_token_length) {
+        index[token].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+// ---- TokenBlocker ----
+
+std::vector<CandidatePair> TokenBlocker::CandidatesWithin(
+    const std::vector<data::Entity>& records) const {
+  TokenIndex index = BuildTokenIndex(records, config_.min_token_length);
+  std::unordered_map<int64_t, int> shared_counts;
+  for (auto& [token, postings] : index) {
+    if (static_cast<int>(postings.size()) > config_.max_token_frequency) {
+      continue;
+    }
+    for (size_t a = 0; a < postings.size(); ++a) {
+      for (size_t b = a + 1; b < postings.size(); ++b) {
+        const int64_t key =
+            static_cast<int64_t>(postings[a]) * 1000000 + postings[b];
+        ++shared_counts[key];
+      }
+    }
+  }
+  std::vector<CandidatePair> candidates;
+  for (auto& [key, count] : shared_counts) {
+    if (count >= config_.min_shared_tokens) {
+      candidates.push_back({static_cast<int>(key / 1000000),
+                            static_cast<int>(key % 1000000)});
+    }
+  }
+  return Canonicalize(std::move(candidates), /*within=*/true);
+}
+
+std::vector<CandidatePair> TokenBlocker::CandidatesAcross(
+    const std::vector<data::Entity>& left,
+    const std::vector<data::Entity>& right) const {
+  TokenIndex right_index = BuildTokenIndex(right, config_.min_token_length);
+  std::vector<CandidatePair> candidates;
+  for (size_t i = 0; i < left.size(); ++i) {
+    std::vector<std::string> tokens = text::PreTokenize(left[i].surface);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    std::unordered_map<int, int> shared;
+    for (const std::string& token : tokens) {
+      auto it = right_index.find(token);
+      if (it == right_index.end() ||
+          static_cast<int>(it->second.size()) > config_.max_token_frequency) {
+        continue;
+      }
+      for (int j : it->second) ++shared[j];
+    }
+    for (auto& [j, count] : shared) {
+      if (count >= config_.min_shared_tokens) {
+        candidates.push_back({static_cast<int>(i), j});
+      }
+    }
+  }
+  return Canonicalize(std::move(candidates), /*within=*/false);
+}
+
+// ---- SortedNeighborhoodBlocker ----
+
+std::string SortedNeighborhoodBlocker::SortKey(const data::Entity& entity) {
+  // Digit tokens (model numbers, SKU groups) lead the key: they survive
+  // rendering variation far better than words, so two descriptions of the
+  // same entity sort adjacently even when word sets diverge.
+  std::vector<std::string> digits;
+  std::vector<std::string> words;
+  for (const std::string& token : text::PreTokenize(entity.surface)) {
+    if (std::isdigit(static_cast<unsigned char>(token[0]))) {
+      digits.push_back(token);
+    } else if (token.size() >= 2) {
+      words.push_back(token);
+    }
+  }
+  std::sort(digits.begin(), digits.end());
+  std::sort(words.begin(), words.end());
+  return Join(digits, " ") + "|" + Join(words, " ");
+}
+
+std::vector<CandidatePair> SortedNeighborhoodBlocker::CandidatesWithin(
+    const std::vector<data::Entity>& records) const {
+  std::vector<int> order(records.size());
+  for (size_t i = 0; i < records.size(); ++i) order[i] = static_cast<int>(i);
+  std::vector<std::string> keys(records.size());
+  for (size_t i = 0; i < records.size(); ++i) keys[i] = SortKey(records[i]);
+  std::sort(order.begin(), order.end(),
+            [&keys](int a, int b) { return keys[a] < keys[b]; });
+  std::vector<CandidatePair> candidates;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = i + 1; j < order.size() && j <= i + window_; ++j) {
+      candidates.push_back({order[i], order[j]});
+    }
+  }
+  return Canonicalize(std::move(candidates), /*within=*/true);
+}
+
+std::vector<CandidatePair> SortedNeighborhoodBlocker::CandidatesAcross(
+    const std::vector<data::Entity>& left,
+    const std::vector<data::Entity>& right) const {
+  // Merge both collections into one sorted sequence, then pair cross-
+  // collection records within the window.
+  struct Tagged {
+    std::string key;
+    int index;
+    bool from_left;
+  };
+  std::vector<Tagged> merged;
+  merged.reserve(left.size() + right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    merged.push_back({SortKey(left[i]), static_cast<int>(i), true});
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    merged.push_back({SortKey(right[j]), static_cast<int>(j), false});
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Tagged& a, const Tagged& b) { return a.key < b.key; });
+  std::vector<CandidatePair> candidates;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    for (size_t j = i + 1; j < merged.size() && j <= i + window_; ++j) {
+      if (merged[i].from_left == merged[j].from_left) continue;
+      const Tagged& l = merged[i].from_left ? merged[i] : merged[j];
+      const Tagged& r = merged[i].from_left ? merged[j] : merged[i];
+      candidates.push_back({l.index, r.index});
+    }
+  }
+  return Canonicalize(std::move(candidates), /*within=*/false);
+}
+
+// ---- TfidfKnnBlocker ----
+
+std::vector<CandidatePair> TfidfKnnBlocker::CandidatesWithin(
+    const std::vector<data::Entity>& records) const {
+  text::TfidfEmbedder embedder;
+  std::vector<std::string> corpus;
+  corpus.reserve(records.size());
+  for (const data::Entity& record : records) corpus.push_back(record.surface);
+  embedder.Fit(corpus);
+  text::NearestNeighborIndex index(&embedder);
+  index.AddAll(corpus);
+  std::vector<CandidatePair> candidates;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (int j : index.Query(records[i].surface, k_,
+                             /*exclude=*/static_cast<int>(i))) {
+      candidates.push_back({static_cast<int>(i), j});
+    }
+  }
+  return Canonicalize(std::move(candidates), /*within=*/true);
+}
+
+std::vector<CandidatePair> TfidfKnnBlocker::CandidatesAcross(
+    const std::vector<data::Entity>& left,
+    const std::vector<data::Entity>& right) const {
+  text::TfidfEmbedder embedder;
+  std::vector<std::string> corpus;
+  corpus.reserve(left.size() + right.size());
+  for (const data::Entity& record : left) corpus.push_back(record.surface);
+  for (const data::Entity& record : right) corpus.push_back(record.surface);
+  embedder.Fit(corpus);
+  text::NearestNeighborIndex index(&embedder);
+  for (const data::Entity& record : right) index.Add(record.surface);
+  std::vector<CandidatePair> candidates;
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (int j : index.Query(left[i].surface, k_)) {
+      candidates.push_back({static_cast<int>(i), j});
+    }
+  }
+  return Canonicalize(std::move(candidates), /*within=*/false);
+}
+
+// ---- Quality metrics ----
+
+BlockingQuality EvaluateBlockingWithin(
+    const std::vector<data::Entity>& records,
+    const std::vector<CandidatePair>& candidates) {
+  BlockingQuality quality;
+  quality.candidates = candidates.size();
+  std::set<std::pair<int, int>> candidate_set;
+  for (const CandidatePair& pair : candidates) {
+    candidate_set.emplace(std::min(pair.left, pair.right),
+                          std::max(pair.left, pair.right));
+  }
+  const size_t n = records.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (records[i].entity_id == records[j].entity_id) {
+        ++quality.true_pairs;
+        if (candidate_set.count({static_cast<int>(i), static_cast<int>(j)})) {
+          ++quality.found_true_pairs;
+        }
+      }
+    }
+  }
+  const double all_pairs = 0.5 * static_cast<double>(n) * (n - 1);
+  quality.pair_completeness =
+      quality.true_pairs > 0
+          ? static_cast<double>(quality.found_true_pairs) / quality.true_pairs
+          : 1.0;
+  quality.reduction_ratio =
+      all_pairs > 0 ? 1.0 - quality.candidates / all_pairs : 0.0;
+  return quality;
+}
+
+BlockingQuality EvaluateBlockingAcross(
+    const std::vector<data::Entity>& left,
+    const std::vector<data::Entity>& right,
+    const std::vector<CandidatePair>& candidates) {
+  BlockingQuality quality;
+  quality.candidates = candidates.size();
+  std::set<std::pair<int, int>> candidate_set;
+  for (const CandidatePair& pair : candidates) {
+    candidate_set.emplace(pair.left, pair.right);
+  }
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (left[i].entity_id == right[j].entity_id) {
+        ++quality.true_pairs;
+        if (candidate_set.count({static_cast<int>(i), static_cast<int>(j)})) {
+          ++quality.found_true_pairs;
+        }
+      }
+    }
+  }
+  const double all_pairs =
+      static_cast<double>(left.size()) * static_cast<double>(right.size());
+  quality.pair_completeness =
+      quality.true_pairs > 0
+          ? static_cast<double>(quality.found_true_pairs) / quality.true_pairs
+          : 1.0;
+  quality.reduction_ratio =
+      all_pairs > 0 ? 1.0 - quality.candidates / all_pairs : 0.0;
+  return quality;
+}
+
+}  // namespace tailormatch::block

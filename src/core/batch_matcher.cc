@@ -1,0 +1,31 @@
+#include "core/batch_matcher.h"
+
+#include <thread>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace tailormatch::core {
+
+BatchMatcher::BatchMatcher(std::shared_ptr<llm::SimLlm> model,
+                           prompt::PromptTemplate prompt_template,
+                           int num_threads)
+    : model_(std::move(model)), prompt_template_(prompt_template) {
+  TM_CHECK(model_ != nullptr);
+  num_threads_ = num_threads > 0
+                     ? num_threads
+                     : static_cast<int>(std::max(
+                           1u, std::thread::hardware_concurrency()));
+}
+
+std::vector<MatchDecision> BatchMatcher::MatchAll(
+    const std::vector<data::EntityPair>& pairs) const {
+  std::vector<MatchDecision> decisions(pairs.size());
+  Matcher matcher(model_, prompt_template_);
+  ThreadPool::ParallelFor(
+      pairs.size(), static_cast<size_t>(num_threads_),
+      [&](size_t i) { decisions[i] = matcher.Match(pairs[i]); });
+  return decisions;
+}
+
+}  // namespace tailormatch::core

@@ -1,0 +1,38 @@
+#ifndef TAILORMATCH_CORE_BATCH_MATCHER_H_
+#define TAILORMATCH_CORE_BATCH_MATCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/matcher.h"
+#include "data/entity.h"
+
+namespace tailormatch::core {
+
+// Thread-pooled batch inference: the paper runs its hosted evaluations
+// through the OpenAI *batch* API; this is the local equivalent. Model
+// forward passes are read-only and thread-safe, so pairs are partitioned
+// across a worker pool.
+class BatchMatcher {
+ public:
+  // `num_threads` 0 = hardware concurrency.
+  BatchMatcher(std::shared_ptr<llm::SimLlm> model,
+               prompt::PromptTemplate prompt_template =
+                   prompt::PromptTemplate::kDefault,
+               int num_threads = 0);
+
+  // Matches all pairs; result i corresponds to pairs[i].
+  std::vector<MatchDecision> MatchAll(
+      const std::vector<data::EntityPair>& pairs) const;
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  std::shared_ptr<llm::SimLlm> model_;
+  prompt::PromptTemplate prompt_template_;
+  int num_threads_;
+};
+
+}  // namespace tailormatch::core
+
+#endif  // TAILORMATCH_CORE_BATCH_MATCHER_H_

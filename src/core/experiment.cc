@@ -1,0 +1,146 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tailormatch::core {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+std::string SanitizeKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    const bool keep = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '-' || c == '_' || c == '.';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentContext ExperimentContext::FromEnv() {
+  ExperimentContext context;
+  context.data_scale = EnvDouble("TM_SCALE", 0.25);
+  context.eval_max_pairs = EnvInt("TM_EVAL_MAX", 700);
+  context.valid_max_pairs = EnvInt("TM_VALID_MAX", 400);
+  context.epochs_override = EnvInt("TM_EPOCHS", 0);
+  context.cache_dir = llm::DefaultCacheDir();
+  TM_CHECK_GT(context.data_scale, 0.0);
+  return context;
+}
+
+const data::Benchmark& BenchmarkCache::Get(data::BenchmarkId id) {
+  auto it = cache_.find(id);
+  if (it == cache_.end()) {
+    it = cache_.emplace(id, data::BuildBenchmark(id, scale_)).first;
+  }
+  return it->second;
+}
+
+double TestF1(const llm::SimLlm& model, const data::Benchmark& benchmark,
+              const ExperimentContext& context,
+              prompt::PromptTemplate prompt_template) {
+  eval::EvalOptions options;
+  options.prompt_template = prompt_template;
+  options.max_pairs = context.eval_max_pairs;
+  return eval::EvaluateF1(model, benchmark.test, options);
+}
+
+std::unique_ptr<llm::SimLlm> CachedFineTune(
+    const ExperimentContext& context, const llm::FamilyProfile& profile,
+    const llm::SimLlm& zero_shot, const data::Dataset& train,
+    const data::Dataset& valid, const FineTuneOptions& options,
+    const std::string& cache_key) {
+  std::string path;
+  if (!context.cache_dir.empty() && !cache_key.empty()) {
+    const std::string full_key = StrFormat(
+        "ft_%s_%s_s%.3f_e%d", profile.config.family.c_str(),
+        cache_key.c_str(), context.data_scale,
+        options.epochs > 0 ? options.epochs
+                           : (context.epochs_override > 0
+                                  ? context.epochs_override
+                                  : profile.finetune_epochs));
+    std::error_code ec;
+    std::filesystem::create_directories(context.cache_dir, ec);
+    path = context.cache_dir + "/" + SanitizeKey(full_key) + ".ckpt";
+    if (std::filesystem::exists(path)) {
+      Result<std::unique_ptr<llm::SimLlm>> loaded =
+          llm::SimLlm::LoadCheckpoint(path);
+      if (loaded.ok()) return std::move(loaded).value();
+      TM_LOG(Warning) << "ignoring unreadable fine-tune cache " << path;
+    }
+  }
+  FineTuner tuner(profile);
+  FineTuneOptions resolved = options;
+  if (resolved.epochs == 0 && context.epochs_override > 0) {
+    resolved.epochs = context.epochs_override;
+  }
+  if (resolved.valid_max_pairs == 0) {
+    resolved.valid_max_pairs = context.valid_max_pairs;
+  }
+  FineTuneResult result = tuner.Run(zero_shot, train, valid, resolved);
+  if (!path.empty()) {
+    Status status = result.model->SaveCheckpoint(path);
+    if (!status.ok()) {
+      TM_LOG(Warning) << "cannot cache fine-tune: " << status.ToString();
+    }
+  }
+  return std::move(result.model);
+}
+
+double ComputeTransferGain(
+    const std::vector<data::BenchmarkId>& targets,
+    const std::map<data::BenchmarkId, double>& model_f1,
+    const std::map<data::BenchmarkId, double>& zero_f1,
+    const std::map<data::BenchmarkId, double>& specialized_f1) {
+  TM_CHECK(!targets.empty());
+  double model_gain = 0.0;
+  double specialized_gain = 0.0;
+  for (data::BenchmarkId target : targets) {
+    model_gain += model_f1.at(target) - zero_f1.at(target);
+    specialized_gain += specialized_f1.at(target) - zero_f1.at(target);
+  }
+  model_gain /= static_cast<double>(targets.size());
+  specialized_gain /= static_cast<double>(targets.size());
+  if (specialized_gain == 0.0) return 0.0;
+  return 100.0 * model_gain / specialized_gain;
+}
+
+std::vector<data::BenchmarkId> InDomainTargets(data::BenchmarkId source) {
+  std::vector<data::BenchmarkId> targets;
+  for (data::BenchmarkId id : data::Table2BenchmarkIds()) {
+    if (id != source &&
+        data::BenchmarkDomain(id) == data::BenchmarkDomain(source)) {
+      targets.push_back(id);
+    }
+  }
+  return targets;
+}
+
+std::vector<data::BenchmarkId> CrossDomainTargets(data::BenchmarkId source) {
+  std::vector<data::BenchmarkId> targets;
+  for (data::BenchmarkId id : data::Table2BenchmarkIds()) {
+    if (data::BenchmarkDomain(id) != data::BenchmarkDomain(source)) {
+      targets.push_back(id);
+    }
+  }
+  return targets;
+}
+
+}  // namespace tailormatch::core

@@ -1,0 +1,85 @@
+#ifndef TAILORMATCH_CORE_EXPERIMENT_H_
+#define TAILORMATCH_CORE_EXPERIMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fine_tuner.h"
+#include "data/benchmark_factory.h"
+#include "eval/evaluator.h"
+#include "llm/pretrainer.h"
+
+namespace tailormatch::core {
+
+// Shared configuration for experiment grids, resolved from the
+// environment so benches scale from laptop smoke runs to full
+// reproductions:
+//   TM_SCALE      dataset scale factor (default 0.25; 1.0 = Table 1 sizes)
+//   TM_EVAL_MAX   test-set subsample cap (default 700; 0 = full test sets)
+//   TM_VALID_MAX  validation subsample cap for checkpoint selection
+//   TM_EPOCHS     fine-tuning epoch override (0 = paper default 10)
+//   TM_CACHE_DIR  checkpoint cache directory (default "tm_cache")
+struct ExperimentContext {
+  double data_scale = 0.25;
+  int eval_max_pairs = 700;
+  int valid_max_pairs = 400;
+  int epochs_override = 0;
+  std::string cache_dir = "tm_cache";
+
+  static ExperimentContext FromEnv();
+};
+
+// Process-wide lazy cache of materialized benchmarks at one scale.
+class BenchmarkCache {
+ public:
+  explicit BenchmarkCache(double scale) : scale_(scale) {}
+
+  const data::Benchmark& Get(data::BenchmarkId id);
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+  std::map<data::BenchmarkId, data::Benchmark> cache_;
+};
+
+// Evaluates a model on a benchmark's test split (subsampled per context).
+double TestF1(const llm::SimLlm& model, const data::Benchmark& benchmark,
+              const ExperimentContext& context,
+              prompt::PromptTemplate prompt_template =
+                  prompt::PromptTemplate::kDefault);
+
+// Fine-tunes with on-disk memoization: results are stored in the context's
+// cache directory keyed by a caller-provided unique key (plus scale/epoch
+// settings), so re-running a bench reuses earlier work. Returns the
+// fine-tuned model.
+std::unique_ptr<llm::SimLlm> CachedFineTune(
+    const ExperimentContext& context, const llm::FamilyProfile& profile,
+    const llm::SimLlm& zero_shot, const data::Dataset& train,
+    const data::Dataset& valid, const FineTuneOptions& options,
+    const std::string& cache_key);
+
+// Transfer gain (Sections 3.2/4.2/5): the average F1 gain of one model over
+// zero-shot on the target benchmarks, divided by the average gain of
+// models fine-tuned specifically on those targets.
+//   targets: the benchmarks to average over (in-domain excludes the
+//            model's own training set; cross-domain uses the other
+//            domain's benchmarks)
+//   model_f1 / zero_f1 / specialized_f1: per-benchmark F1 maps
+// Returns the gain as a percentage (e.g. 72.0).
+double ComputeTransferGain(
+    const std::vector<data::BenchmarkId>& targets,
+    const std::map<data::BenchmarkId, double>& model_f1,
+    const std::map<data::BenchmarkId, double>& zero_f1,
+    const std::map<data::BenchmarkId, double>& specialized_f1);
+
+// The in-domain siblings of a benchmark (same domain, excluding itself,
+// restricted to the Table 2 set).
+std::vector<data::BenchmarkId> InDomainTargets(data::BenchmarkId source);
+// The cross-domain targets (the Table 2 benchmarks of the other domain).
+std::vector<data::BenchmarkId> CrossDomainTargets(data::BenchmarkId source);
+
+}  // namespace tailormatch::core
+
+#endif  // TAILORMATCH_CORE_EXPERIMENT_H_

@@ -1,0 +1,85 @@
+#include "core/fine_tuner.h"
+
+#include <algorithm>
+
+#include "eval/evaluator.h"
+#include "llm/pretrainer.h"
+#include "util/check.h"
+
+namespace tailormatch::core {
+
+std::vector<llm::TrainExample> FineTuner::BuildExamples(
+    const llm::SimLlm& model, const std::vector<data::EntityPair>& pairs,
+    prompt::PromptTemplate prompt_template, explain::ExplanationStyle style,
+    uint64_t seed) {
+  explain::ExplanationGenerator generator(style, seed);
+  std::vector<llm::TrainExample> examples;
+  examples.reserve(pairs.size());
+  for (const data::EntityPair& pair : pairs) {
+    llm::TrainExample example = model.EncodeExample(
+        prompt::RenderPrompt(prompt_template, pair), pair.label);
+    generator.Augment(pair, &example, model.config().num_attr_slots,
+                      model.config().num_text_buckets);
+    examples.push_back(std::move(example));
+  }
+  return examples;
+}
+
+FineTuneResult FineTuner::Run(const llm::SimLlm& zero_shot,
+                              const data::Dataset& train,
+                              const data::Dataset& valid,
+                              const FineTuneOptions& options) const {
+  TM_CHECK(!train.pairs.empty()) << "empty training set";
+  FineTuneResult result;
+  result.model = zero_shot.Clone();
+
+  if (!options.full_fine_tuning) {
+    nn::LoraConfig lora;
+    lora.rank = profile_.lora_rank;
+    lora.alpha = profile_.lora_alpha;
+    lora.dropout = profile_.lora_dropout;
+    result.model->EnableLora(lora);
+  }
+
+  std::vector<llm::TrainExample> examples =
+      BuildExamples(*result.model, train.pairs, options.prompt_template,
+                    options.explanation_style, options.seed);
+  if (options.replay_fraction > 0.0) {
+    const int replay_count = std::max(
+        1, static_cast<int>(options.replay_fraction * train.size()));
+    std::vector<data::EntityPair> replay =
+        llm::BuildPretrainPairs(replay_count, options.seed ^ 0x9e11);
+    std::vector<llm::TrainExample> replay_examples =
+        BuildExamples(*result.model, replay, options.prompt_template,
+                      explain::ExplanationStyle::kNone, options.seed);
+    examples.insert(examples.end(),
+                    std::make_move_iterator(replay_examples.begin()),
+                    std::make_move_iterator(replay_examples.end()));
+  }
+
+  llm::TrainOptions train_options;
+  train_options.epochs =
+      options.epochs > 0 ? options.epochs : profile_.finetune_epochs;
+  train_options.batch_size =
+      options.batch_size > 0 ? options.batch_size : profile_.batch_size;
+  train_options.learning_rate = options.learning_rate > 0.0f
+                                    ? options.learning_rate
+                                    : profile_.finetune_lr;
+  train_options.seed = options.seed;
+
+  eval::EvalOptions eval_options;
+  eval_options.prompt_template = options.prompt_template;
+  eval_options.max_pairs = options.valid_max_pairs;
+  llm::ValidationFn validation = [&valid, &eval_options](
+                                     const llm::SimLlm& model) {
+    return eval::EvaluateF1(model, valid, eval_options);
+  };
+  if (valid.pairs.empty()) validation = nullptr;
+
+  result.stats =
+      llm::TrainModel(*result.model, examples, train_options, validation);
+  result.model->MergeLora();
+  return result;
+}
+
+}  // namespace tailormatch::core

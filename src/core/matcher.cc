@@ -1,0 +1,37 @@
+#include "core/matcher.h"
+
+namespace tailormatch::core {
+
+MatchDecision Matcher::Match(const data::EntityPair& pair) const {
+  MatchDecision decision;
+  const std::string prompt_text =
+      prompt::RenderPrompt(prompt_template_, pair);
+  decision.probability = model_->PredictMatchProbability(prompt_text);
+  decision.response = model_->Respond(prompt_text);
+  bool parsed = false;
+  decision.parseable = prompt::ParseYesNo(decision.response, &parsed);
+  decision.is_match = decision.parseable ? parsed : false;
+  return decision;
+}
+
+MatchDecision Matcher::Match(const data::Entity& left,
+                             const data::Entity& right) const {
+  data::EntityPair pair;
+  pair.left = left;
+  pair.right = right;
+  return Match(pair);
+}
+
+MatchDecision Matcher::Match(const std::string& left,
+                             const std::string& right,
+                             data::Domain domain) const {
+  data::Entity a;
+  a.surface = left;
+  a.domain = domain;
+  data::Entity b;
+  b.surface = right;
+  b.domain = domain;
+  return Match(a, b);
+}
+
+}  // namespace tailormatch::core

@@ -1,0 +1,53 @@
+#ifndef TAILORMATCH_CORE_MATCHER_H_
+#define TAILORMATCH_CORE_MATCHER_H_
+
+#include <memory>
+#include <string>
+
+#include "data/entity.h"
+#include "llm/sim_llm.h"
+#include "prompt/prompt.h"
+
+namespace tailormatch::core {
+
+// Outcome of a single match query, including the raw model response the
+// way the paper's inference pipeline sees it.
+struct MatchDecision {
+  bool is_match = false;
+  double probability = 0.0;  // P(match)
+  std::string response;      // natural-language model output
+  bool parseable = true;     // Narayan et al. parser found a verdict
+};
+
+// User-facing inference API: wraps a (zero-shot or fine-tuned) model and a
+// prompt template, and answers "do these two descriptions refer to the same
+// entity?".
+class Matcher {
+ public:
+  Matcher(std::shared_ptr<llm::SimLlm> model,
+          prompt::PromptTemplate prompt_template =
+              prompt::PromptTemplate::kDefault)
+      : model_(std::move(model)), prompt_template_(prompt_template) {}
+
+  // Matches two free-text entity descriptions.
+  MatchDecision Match(const std::string& left, const std::string& right,
+                      data::Domain domain = data::Domain::kProduct) const;
+
+  // Matches two structured entities (their rendered surfaces are used).
+  MatchDecision Match(const data::Entity& left,
+                      const data::Entity& right) const;
+
+  // Matches a benchmark pair.
+  MatchDecision Match(const data::EntityPair& pair) const;
+
+  const llm::SimLlm& model() const { return *model_; }
+  prompt::PromptTemplate prompt_template() const { return prompt_template_; }
+
+ private:
+  std::shared_ptr<llm::SimLlm> model_;
+  prompt::PromptTemplate prompt_template_;
+};
+
+}  // namespace tailormatch::core
+
+#endif  // TAILORMATCH_CORE_MATCHER_H_

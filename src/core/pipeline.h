@@ -1,0 +1,45 @@
+#ifndef TAILORMATCH_CORE_PIPELINE_H_
+#define TAILORMATCH_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/fine_tuner.h"
+#include "core/matcher.h"
+#include "select/filters.h"
+#include "select/generation.h"
+
+namespace tailormatch::core {
+
+// End-to-end configuration of the Figure 1 pipeline: pick a model and a
+// benchmark, choose the training-example representation (Dimension 1) and
+// selection/generation strategy (Dimension 2), fine-tune, evaluate.
+struct PipelineConfig {
+  llm::ModelFamily family = llm::ModelFamily::kLlama8B;
+  data::BenchmarkId benchmark = data::BenchmarkId::kWdcSmall;
+  explain::ExplanationStyle explanation_style =
+      explain::ExplanationStyle::kNone;
+  bool error_based_filtering = false;
+  bool relevancy_filtering = false;
+  bool generate_examples = false;
+  prompt::PromptTemplate prompt_template = prompt::PromptTemplate::kDefault;
+  ExperimentContext context = ExperimentContext::FromEnv();
+};
+
+struct PipelineReport {
+  double zero_shot_f1 = 0.0;
+  double fine_tuned_f1 = 0.0;
+  int original_train_size = 0;
+  int final_train_size = 0;
+  llm::TrainStats train_stats;
+  std::shared_ptr<llm::SimLlm> model;
+};
+
+// Runs the complete TailorMatch flow and returns the report plus the
+// fine-tuned model (wrap it in a Matcher for inference).
+PipelineReport RunPipeline(const PipelineConfig& config);
+
+}  // namespace tailormatch::core
+
+#endif  // TAILORMATCH_CORE_PIPELINE_H_

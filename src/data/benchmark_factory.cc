@@ -1,0 +1,347 @@
+#include "data/benchmark_factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tailormatch::data {
+
+const char* BenchmarkName(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kWdcSmall:
+      return "WDC Products (small)";
+    case BenchmarkId::kWdcMedium:
+      return "WDC Products (medium)";
+    case BenchmarkId::kWdcLarge:
+      return "WDC Products (large)";
+    case BenchmarkId::kAbtBuy:
+      return "Abt-Buy";
+    case BenchmarkId::kAmazonGoogle:
+      return "Amazon-Google";
+    case BenchmarkId::kWalmartAmazon:
+      return "Walmart-Amazon";
+    case BenchmarkId::kDblpAcm:
+      return "DBLP-ACM";
+    case BenchmarkId::kDblpScholar:
+      return "DBLP-Scholar";
+  }
+  return "?";
+}
+
+const char* BenchmarkShortName(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kWdcSmall:
+      return "WDC";
+    case BenchmarkId::kWdcMedium:
+      return "WDC-m";
+    case BenchmarkId::kWdcLarge:
+      return "WDC-l";
+    case BenchmarkId::kAbtBuy:
+      return "A-B";
+    case BenchmarkId::kAmazonGoogle:
+      return "A-G";
+    case BenchmarkId::kWalmartAmazon:
+      return "W-A";
+    case BenchmarkId::kDblpAcm:
+      return "D-A";
+    case BenchmarkId::kDblpScholar:
+      return "D-S";
+  }
+  return "?";
+}
+
+Domain BenchmarkDomain(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kDblpAcm:
+    case BenchmarkId::kDblpScholar:
+      return Domain::kScholar;
+    default:
+      return Domain::kProduct;
+  }
+}
+
+namespace {
+
+// The WDC small/medium/large variants share validation/test pools (the
+// paper evaluates all of them on the same 500/4,000 test split).
+constexpr uint64_t kWdcSeed = 101;
+
+ProductGeneratorConfig WdcProductConfig() {
+  ProductGeneratorConfig config;
+  config.categories = {{"electronics", 1.0},
+                       {"audio", 1.0},
+                       {"storage", 1.0},
+                       {"clothing", 1.0},
+                       {"bike", 1.0}};
+  config.typo_rate = 0.04;
+  config.noise_token_rate = 0.3;
+  config.id_salt = 11;
+  return config;
+}
+
+}  // namespace
+
+BenchmarkSpec GetBenchmarkSpec(BenchmarkId id) {
+  BenchmarkSpec spec;
+  spec.id = id;
+  spec.name = BenchmarkName(id);
+  spec.domain = BenchmarkDomain(id);
+  switch (id) {
+    case BenchmarkId::kWdcSmall:
+      // 80% corner cases: the hardest WDC variant (Section 2).
+      spec.train_pos = 500;
+      spec.train_neg = 2000;
+      spec.valid_pos = 500;
+      spec.valid_neg = 2000;
+      spec.test_pos = 500;
+      spec.test_neg = 4000;
+      spec.corner_fraction = 0.8;
+      spec.match_divergence = 0.45;
+      spec.hard_divergence = 0.8;
+      spec.label_noise = 0.04;
+      spec.seed = kWdcSeed;
+      spec.product_config = WdcProductConfig();
+      break;
+    case BenchmarkId::kWdcMedium:
+      spec.train_pos = 1500;
+      spec.train_neg = 4500;
+      spec.valid_pos = 500;
+      spec.valid_neg = 3000;
+      spec.test_pos = 500;
+      spec.test_neg = 4000;
+      spec.corner_fraction = 0.8;
+      spec.match_divergence = 0.45;
+      spec.hard_divergence = 0.8;
+      spec.label_noise = 0.04;
+      spec.seed = kWdcSeed;
+      spec.product_config = WdcProductConfig();
+      break;
+    case BenchmarkId::kWdcLarge:
+      spec.train_pos = 8471;
+      spec.train_neg = 11364;
+      spec.valid_pos = 500;
+      spec.valid_neg = 4000;
+      spec.test_pos = 500;
+      spec.test_neg = 4000;
+      spec.corner_fraction = 0.8;
+      spec.match_divergence = 0.45;
+      spec.hard_divergence = 0.8;
+      // The large crawl trades quality for volume (why filtration of the
+      // small set can beat training on the large set, Section 5.1).
+      spec.label_noise = 0.06;
+      spec.seed = kWdcSeed;
+      spec.product_config = WdcProductConfig();
+      break;
+    case BenchmarkId::kAbtBuy:
+      spec.train_pos = 822;
+      spec.train_neg = 6837;
+      spec.valid_pos = 206;
+      spec.valid_neg = 1710;
+      spec.test_pos = 206;
+      spec.test_neg = 1710;
+      spec.corner_fraction = 0.35;
+      spec.match_divergence = 0.4;
+      spec.hard_divergence = 0.7;
+      spec.label_noise = 0.02;
+      spec.seed = 202;
+      spec.product_config.categories = {{"electronics", 1.5}, {"audio", 1.0}};
+      spec.product_config.typo_rate = 0.03;
+      spec.product_config.id_salt = 22;
+      break;
+    case BenchmarkId::kAmazonGoogle:
+      // Software products: editions/versions dominate the matching
+      // decision, which makes this the hardest product benchmark.
+      spec.train_pos = 933;
+      spec.train_neg = 8234;
+      spec.valid_pos = 234;
+      spec.valid_neg = 2059;
+      spec.test_pos = 234;
+      spec.test_neg = 2059;
+      spec.corner_fraction = 0.7;
+      spec.match_divergence = 0.55;
+      spec.hard_divergence = 0.85;
+      spec.label_noise = 0.03;
+      spec.seed = 303;
+      spec.product_config.categories = {{"software", 1.0}};
+      spec.product_config.typo_rate = 0.02;
+      spec.product_config.id_salt = 33;
+      break;
+    case BenchmarkId::kWalmartAmazon:
+      spec.train_pos = 769;
+      spec.train_neg = 7424;
+      spec.valid_pos = 193;
+      spec.valid_neg = 1856;
+      spec.test_pos = 193;
+      spec.test_neg = 1856;
+      spec.corner_fraction = 0.5;
+      spec.match_divergence = 0.5;
+      spec.hard_divergence = 0.75;
+      spec.label_noise = 0.03;
+      spec.seed = 404;
+      spec.product_config.categories = {
+          {"electronics", 1.0}, {"storage", 1.0}, {"clothing", 1.0}};
+      spec.product_config.typo_rate = 0.035;
+      spec.product_config.id_salt = 44;
+      break;
+    case BenchmarkId::kDblpAcm:
+      spec.train_pos = 1776;
+      spec.train_neg = 8114;
+      spec.valid_pos = 444;
+      spec.valid_neg = 2029;
+      spec.test_pos = 444;
+      spec.test_neg = 2029;
+      spec.corner_fraction = 0.3;
+      spec.match_divergence = 0.35;
+      spec.hard_divergence = 0.6;
+      spec.label_noise = 0.01;
+      spec.seed = 505;
+      spec.scholar_config.scholar_noise = 0.02;
+      spec.scholar_config.id_salt = 55;
+      break;
+    case BenchmarkId::kDblpScholar:
+      spec.train_pos = 4277;
+      spec.train_neg = 18688;
+      spec.valid_pos = 1070;
+      spec.valid_neg = 4672;
+      spec.test_pos = 1070;
+      spec.test_neg = 4672;
+      spec.corner_fraction = 0.45;
+      spec.match_divergence = 0.5;
+      spec.hard_divergence = 0.75;
+      spec.label_noise = 0.04;
+      spec.seed = 606;
+      spec.scholar_config.scholar_noise = 0.08;
+      spec.scholar_config.id_salt = 66;
+      break;
+  }
+  return spec;
+}
+
+std::vector<BenchmarkId> AllBenchmarkIds() {
+  return {BenchmarkId::kWdcSmall,     BenchmarkId::kWdcMedium,
+          BenchmarkId::kWdcLarge,     BenchmarkId::kAbtBuy,
+          BenchmarkId::kAmazonGoogle, BenchmarkId::kWalmartAmazon,
+          BenchmarkId::kDblpScholar,  BenchmarkId::kDblpAcm};
+}
+
+std::vector<BenchmarkId> Table2BenchmarkIds() {
+  return {BenchmarkId::kAbtBuy,        BenchmarkId::kAmazonGoogle,
+          BenchmarkId::kWalmartAmazon, BenchmarkId::kWdcSmall,
+          BenchmarkId::kDblpAcm,       BenchmarkId::kDblpScholar};
+}
+
+std::unique_ptr<EntityGenerator> MakeGenerator(const BenchmarkSpec& spec) {
+  if (spec.domain == Domain::kProduct) {
+    return std::make_unique<ProductGenerator>(spec.product_config);
+  }
+  return std::make_unique<ScholarGenerator>(spec.scholar_config);
+}
+
+namespace {
+
+EntityPair MakeMatch(const BenchmarkSpec& spec, EntityGenerator& generator,
+                     bool corner, Rng& rng) {
+  EntityPair pair;
+  Entity base = generator.SampleBase(rng);
+  pair.left = generator.RenderVariant(base, 0.15, rng);
+  pair.right = generator.RenderVariant(
+      base, corner ? spec.hard_divergence : spec.match_divergence, rng);
+  pair.label = true;
+  pair.corner_case = corner;
+  return pair;
+}
+
+EntityPair MakeNonMatch(const BenchmarkSpec& /*spec*/, EntityGenerator& generator,
+                        bool corner, Rng& rng) {
+  EntityPair pair;
+  Entity base = generator.SampleBase(rng);
+  Entity other =
+      corner ? generator.MutateToSibling(base, rng) : generator.SampleBase(rng);
+  pair.left = generator.RenderVariant(base, 0.2, rng);
+  pair.right = generator.RenderVariant(other, 0.2, rng);
+  pair.label = false;
+  pair.corner_case = corner;
+  return pair;
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+int Scaled(int count, double scale) {
+  if (scale >= 1.0) return count;
+  return std::max(16, static_cast<int>(std::lround(count * scale)));
+}
+
+}  // namespace
+
+Dataset BuildSplit(const BenchmarkSpec& spec, EntityGenerator& generator,
+                   const std::string& split_name, int num_pos, int num_neg,
+                   Rng& rng) {
+  Dataset dataset;
+  dataset.name = spec.name + "/" + split_name;
+  dataset.domain = spec.domain;
+  dataset.pairs.reserve(static_cast<size_t>(num_pos + num_neg));
+  for (int i = 0; i < num_pos; ++i) {
+    dataset.pairs.push_back(
+        MakeMatch(spec, generator, rng.NextBool(spec.corner_fraction), rng));
+  }
+  for (int i = 0; i < num_neg; ++i) {
+    dataset.pairs.push_back(MakeNonMatch(
+        spec, generator, rng.NextBool(spec.corner_fraction), rng));
+  }
+  // Label noise models imperfect web/citation ground truth. The test split
+  // is kept clean so that F1 measures model quality, not annotation noise.
+  if (split_name != "test" && spec.label_noise > 0.0) {
+    for (EntityPair& pair : dataset.pairs) {
+      if (rng.NextBool(spec.label_noise)) pair.label = !pair.label;
+    }
+  }
+  rng.Shuffle(dataset.pairs);
+  return dataset;
+}
+
+Benchmark BuildBenchmark(const BenchmarkSpec& spec, double scale) {
+  TM_CHECK_GT(scale, 0.0);
+  Benchmark benchmark;
+  benchmark.name = spec.name;
+  benchmark.domain = spec.domain;
+
+  // Each split gets its own generator + stream so that (a) test entities
+  // are unseen during training and (b) the WDC size variants agree on
+  // validation/test content.
+  {
+    auto generator = MakeGenerator(spec);
+    Rng rng(spec.seed * 7919 + HashName("train") + spec.train_pos);
+    benchmark.train = BuildSplit(spec, *generator, "train",
+                                 Scaled(spec.train_pos, scale),
+                                 Scaled(spec.train_neg, scale), rng);
+  }
+  {
+    auto generator = MakeGenerator(spec);
+    Rng rng(spec.seed * 7919 + HashName("valid"));
+    benchmark.valid = BuildSplit(spec, *generator, "valid",
+                                 Scaled(spec.valid_pos, scale),
+                                 Scaled(spec.valid_neg, scale), rng);
+  }
+  {
+    auto generator = MakeGenerator(spec);
+    Rng rng(spec.seed * 7919 + HashName("test"));
+    benchmark.test = BuildSplit(spec, *generator, "test",
+                                Scaled(spec.test_pos, scale),
+                                Scaled(spec.test_neg, scale), rng);
+  }
+  return benchmark;
+}
+
+Benchmark BuildBenchmark(BenchmarkId id, double scale) {
+  return BuildBenchmark(GetBenchmarkSpec(id), scale);
+}
+
+}  // namespace tailormatch::data

@@ -1,0 +1,153 @@
+#include "data/dataset_io.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace tailormatch::data {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+Status WritePairsCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "left,right,label,corner_case\n";
+  for (const EntityPair& pair : dataset.pairs) {
+    out << CsvEscape(pair.left.surface) << "," << CsvEscape(pair.right.surface)
+        << "," << (pair.label ? 1 : 0) << "," << (pair.corner_case ? 1 : 0)
+        << "\n";
+  }
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+namespace {
+
+// Parses one CSV record (handles quoted fields with doubled quotes).
+// Returns false on malformed input.
+bool ParseCsvLine(const std::string& line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!current.empty()) return false;  // quote mid-field
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(current);
+  return true;
+}
+
+}  // namespace
+
+Result<Dataset> ReadPairsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  Dataset dataset;
+  dataset.name = path;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV: " + path);
+  }
+  if (line != "left,right,label,corner_case") {
+    return Status::InvalidArgument("unexpected CSV header: " + line);
+  }
+  int line_number = 1;
+  std::vector<std::string> fields;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (!ParseCsvLine(line, &fields) || fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrFormat("malformed CSV record at line %d", line_number));
+    }
+    EntityPair pair;
+    pair.left.surface = fields[0];
+    pair.right.surface = fields[1];
+    pair.label = fields[2] == "1";
+    pair.corner_case = fields[3] == "1";
+    dataset.pairs.push_back(std::move(pair));
+  }
+  return dataset;
+}
+
+Status WriteFineTuningJsonl(const Dataset& dataset,
+                            const std::string& instruction,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const EntityPair& pair : dataset.pairs) {
+    const std::string prompt = instruction + " Entity 1: " +
+                               pair.left.surface +
+                               " Entity 2: " + pair.right.surface;
+    out << "{\"messages\":[{\"role\":\"user\",\"content\":\""
+        << JsonEscape(prompt)
+        << "\"},{\"role\":\"assistant\",\"content\":\""
+        << (pair.label ? "Yes." : "No.") << "\"}]}\n";
+  }
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+}  // namespace tailormatch::data

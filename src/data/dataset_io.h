@@ -1,0 +1,37 @@
+#ifndef TAILORMATCH_DATA_DATASET_IO_H_
+#define TAILORMATCH_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/entity.h"
+#include "util/status.h"
+
+namespace tailormatch::data {
+
+// Serialization of datasets to the interchange formats used by the
+// original TailorMatch artifacts: a CSV of labelled pairs for analysis and
+// a JSONL chat-style file for fine-tuning services.
+
+// CSV with header "left,right,label,corner_case"; surfaces are quoted and
+// internal quotes doubled (RFC 4180 style).
+Status WritePairsCsv(const Dataset& dataset, const std::string& path);
+Result<Dataset> ReadPairsCsv(const std::string& path);
+
+// JSONL where each line is
+//   {"messages":[{"role":"user","content":<prompt>},
+//                {"role":"assistant","content":<completion>}]}
+// i.e. the OpenAI fine-tuning format the paper's hosted experiments use.
+// `instruction` is the prompt text prepended to each pair.
+Status WriteFineTuningJsonl(const Dataset& dataset,
+                            const std::string& instruction,
+                            const std::string& path);
+
+// Escapes a string for embedding in a JSON literal (quotes, backslashes,
+// control characters).
+std::string JsonEscape(const std::string& text);
+// Escapes a CSV field (wraps in quotes when needed).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace tailormatch::data
+
+#endif  // TAILORMATCH_DATA_DATASET_IO_H_

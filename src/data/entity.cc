@@ -1,0 +1,46 @@
+#include "data/entity.h"
+
+namespace tailormatch::data {
+
+const char* DomainName(Domain domain) {
+  switch (domain) {
+    case Domain::kProduct:
+      return "product";
+    case Domain::kScholar:
+      return "scholar";
+  }
+  return "unknown";
+}
+
+const std::string& Entity::GetAttribute(const std::string& name) const {
+  static const std::string kEmpty;
+  for (const Attribute& attr : attributes) {
+    if (attr.name == name) return attr.value;
+  }
+  return kEmpty;
+}
+
+bool Entity::HasAttribute(const std::string& name) const {
+  for (const Attribute& attr : attributes) {
+    if (attr.name == name) return true;
+  }
+  return false;
+}
+
+int Dataset::CountPositives() const {
+  int count = 0;
+  for (const EntityPair& pair : pairs) count += pair.label ? 1 : 0;
+  return count;
+}
+
+int Dataset::CountNegatives() const {
+  return size() - CountPositives();
+}
+
+int Dataset::CountCornerCases() const {
+  int count = 0;
+  for (const EntityPair& pair : pairs) count += pair.corner_case ? 1 : 0;
+  return count;
+}
+
+}  // namespace tailormatch::data

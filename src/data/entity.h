@@ -1,0 +1,73 @@
+#ifndef TAILORMATCH_DATA_ENTITY_H_
+#define TAILORMATCH_DATA_ENTITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tailormatch::data {
+
+// Topical domain of a benchmark (the paper evaluates products vs scholarly
+// works for cross-domain generalization).
+enum class Domain { kProduct, kScholar };
+
+const char* DomainName(Domain domain);
+
+// A structured entity description. Attributes keep their generation-time
+// names (brand/model/... or author/title/...) so that the structured
+// explanation generator can reference them; the prompt layer only sees the
+// rendered surface form.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+struct Entity {
+  // Stable identity of the underlying real-world entity. Two descriptions
+  // match iff their entity_id is equal (the generator's ground truth).
+  uint64_t entity_id = 0;
+  Domain domain = Domain::kProduct;
+  std::string category;
+  std::vector<Attribute> attributes;
+  // The rendered textual description shown in prompts: the `title` attribute
+  // for products, "author; title; venue; year" for scholar records
+  // (Section 2 serialization rules).
+  std::string surface;
+
+  // Returns the value of the named attribute, or "" when absent.
+  const std::string& GetAttribute(const std::string& name) const;
+  bool HasAttribute(const std::string& name) const;
+};
+
+// A labelled record pair: the unit of training and evaluation.
+struct EntityPair {
+  Entity left;
+  Entity right;
+  bool label = false;        // true = match
+  bool corner_case = false;  // hard positive / hard negative
+};
+
+// One split of a benchmark.
+struct Dataset {
+  std::string name;
+  Domain domain = Domain::kProduct;
+  std::vector<EntityPair> pairs;
+
+  int CountPositives() const;
+  int CountNegatives() const;
+  int CountCornerCases() const;
+  int size() const { return static_cast<int>(pairs.size()); }
+};
+
+// A full benchmark: train / validation / test splits.
+struct Benchmark {
+  std::string name;
+  Domain domain = Domain::kProduct;
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+};
+
+}  // namespace tailormatch::data
+
+#endif  // TAILORMATCH_DATA_ENTITY_H_

@@ -1,0 +1,369 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "data/perturb.h"
+#include "data/word_pools.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace tailormatch::data {
+
+namespace {
+
+std::string Pick(std::span<const std::string_view> pool, Rng& rng) {
+  TM_CHECK(!pool.empty());
+  return std::string(pool[rng.NextBounded(static_cast<uint32_t>(pool.size()))]);
+}
+
+std::span<const std::string_view> BrandPool(const std::string& category) {
+  if (category == "electronics") return ElectronicsBrands();
+  if (category == "audio") return AudioBrands();
+  if (category == "storage") return StorageBrands();
+  if (category == "clothing") return ClothingBrands();
+  if (category == "bike") return BikeBrands();
+  if (category == "software") return SoftwareBrands();
+  return GenericBrands();
+}
+
+std::span<const std::string_view> TypePool(const std::string& category) {
+  if (category == "electronics") return ElectronicsTypes();
+  if (category == "audio") return AudioTypes();
+  if (category == "storage") return StorageTypes();
+  if (category == "clothing") return ClothingTypes();
+  if (category == "bike") return BikeTypes();
+  if (category == "software") return SoftwareTypes();
+  return GenericTypes();
+}
+
+std::string MakeModelCode(Rng& rng) {
+  std::string letters;
+  const int num_letters = rng.NextInt(2, 3);
+  for (int i = 0; i < num_letters; ++i) {
+    letters.push_back(static_cast<char>('a' + rng.NextInt(0, 25)));
+  }
+  const int digits = rng.NextInt(2, 4);
+  std::string number;
+  number.push_back(static_cast<char>('1' + rng.NextInt(0, 8)));
+  for (int i = 1; i < digits; ++i) {
+    number.push_back(static_cast<char>('0' + rng.NextInt(0, 9)));
+  }
+  return letters + "-" + number;
+}
+
+std::string MakeSpec(const std::string& category, Rng& rng) {
+  if (category == "storage") {
+    static const int kSizes[] = {120, 250, 500, 1000, 2000, 4000};
+    return StrFormat("%d gb", kSizes[rng.NextBounded(6)]);
+  }
+  if (category == "bike") {
+    const int speeds = rng.NextInt(7, 12);
+    const int low = rng.NextInt(11, 13);
+    const int high = rng.NextInt(28, 40);
+    return StrFormat("%dsp %d-%dt", speeds, low, high);
+  }
+  if (category == "clothing") {
+    static const char* kSizes[] = {"xs", "s", "m", "l", "xl", "xxl"};
+    return kSizes[rng.NextBounded(6)];
+  }
+  if (category == "software") {
+    return StrFormat("v%d.%d", rng.NextInt(1, 12), rng.NextInt(0, 9));
+  }
+  // electronics / audio / generic: a wattage-, inch- or hz-style spec.
+  static const char* kUnits[] = {"w", "in", "hz", "mm", "mah"};
+  return StrFormat("%d %s", rng.NextInt(5, 96) * 10,
+                   kUnits[rng.NextBounded(5)]);
+}
+
+std::string MakeSku(Rng& rng) {
+  return StrFormat("%04d-%03d-%03d", rng.NextInt(1000, 9999),
+                   rng.NextInt(100, 999), rng.NextInt(100, 999));
+}
+
+}  // namespace
+
+// ---- Surface renderers ----
+
+std::string RenderProductSurface(const Entity& entity, double divergence,
+                                 double typo_rate, double noise_rate,
+                                 Rng& rng) {
+  const double d = std::clamp(divergence, 0.0, 1.0);
+  std::vector<std::string> tokens;
+  auto keep = [&](double base_drop) { return !rng.NextBool(base_drop * d); };
+
+  std::string brand = entity.GetAttribute("brand");
+  if (!brand.empty() && keep(0.35)) {
+    if (rng.NextBool(0.15 + 0.3 * d)) brand = Abbreviate(brand, 4);
+    tokens.push_back(brand);
+  }
+  if (const std::string& line = entity.GetAttribute("line");
+      !line.empty() && keep(0.4)) {
+    tokens.push_back(line);
+  }
+  if (const std::string& model = entity.GetAttribute("model");
+      !model.empty()) {
+    // The model code is the discriminative core of a product title; it is
+    // reformatted but (almost) never dropped.
+    if (!rng.NextBool(0.03 * d)) tokens.push_back(ReformatCode(model, rng));
+  }
+  if (const std::string& type = entity.GetAttribute("type");
+      !type.empty() && keep(0.5)) {
+    tokens.push_back(type);
+  }
+  if (const std::string& spec = entity.GetAttribute("spec");
+      !spec.empty() && keep(0.55)) {
+    tokens.push_back(spec);
+  }
+  if (const std::string& variant = entity.GetAttribute("variant");
+      !variant.empty() && keep(0.65)) {
+    tokens.push_back(variant);
+  }
+  if (const std::string& sku = entity.GetAttribute("sku"); !sku.empty()) {
+    if (rng.NextBool(0.35 * (1.0 - d))) tokens.push_back("(" + sku + ")");
+  }
+
+  if (rng.NextBool(0.15 + 0.35 * d)) tokens = SwapAdjacentTokens(tokens, rng);
+  for (std::string& token : tokens) {
+    // Typos corrupt only alphabetic tokens: real shop listings garble
+    // words, but copy-pasted identifiers (model numbers, SKUs) stay exact
+    // and remain the reliable identity signal.
+    bool alphabetic = !token.empty();
+    for (char c : token) {
+      if (!std::isalpha(static_cast<unsigned char>(c))) alphabetic = false;
+    }
+    if (alphabetic && rng.NextBool(typo_rate * (1.0 + 2.0 * d))) {
+      token = ApplyTypo(token, rng);
+    }
+  }
+  if (rng.NextBool(noise_rate)) tokens.push_back(RandomNoiseToken(rng));
+  if (tokens.empty()) tokens.push_back(entity.GetAttribute("model"));
+  return Join(tokens, " ");
+}
+
+std::string RenderScholarSurface(const Entity& entity, double divergence,
+                                 double noise, Rng& rng) {
+  const double d = std::clamp(divergence, 0.0, 1.0);
+  // Authors.
+  std::vector<std::string> author_full = Split(entity.GetAttribute("author"), ',');
+  std::vector<std::string> rendered_authors;
+  const bool use_initials = rng.NextBool(0.3 + 0.4 * d);
+  const size_t max_authors =
+      rng.NextBool(0.25 * d + noise) && author_full.size() > 1
+          ? 1
+          : author_full.size();
+  for (size_t i = 0; i < std::min(author_full.size(), max_authors); ++i) {
+    std::vector<std::string> parts = SplitWhitespace(author_full[i]);
+    if (parts.size() == 2 && use_initials) {
+      rendered_authors.push_back(Initial(parts[0]) + " " + parts[1]);
+    } else {
+      rendered_authors.push_back(Trim(author_full[i]));
+    }
+  }
+  std::string authors = Join(rendered_authors, ", ");
+  if (max_authors < author_full.size()) authors += " et al";
+
+  // Title (word drops + typos under noise).
+  std::vector<std::string> title_tokens =
+      SplitWhitespace(entity.GetAttribute("title"));
+  if (rng.NextBool(0.4 * d)) title_tokens = DropTokens(title_tokens, 0.15, rng);
+  for (std::string& token : title_tokens) {
+    if (rng.NextBool(noise)) token = ApplyTypo(token, rng);
+  }
+  std::string title = Join(title_tokens, " ");
+
+  // Venue: full name, abbreviation, or dropped.
+  std::string venue = entity.GetAttribute("venue");
+  const std::string& venue_abbrev = entity.GetAttribute("venue_abbrev");
+  if (rng.NextBool(0.45)) venue = venue_abbrev;
+  if (rng.NextBool(0.35 * d + noise)) venue.clear();
+
+  // Year: occasionally dropped, occasionally off by one in noisy indexes.
+  std::string year = entity.GetAttribute("year");
+  if (rng.NextBool(noise) && !year.empty()) {
+    int y = std::stoi(year);
+    year = StrFormat("%d", y + (rng.NextBool() ? 1 : -1));
+  }
+  if (rng.NextBool(0.3 * d)) year.clear();
+
+  // Section 2: bibliographic attributes concatenated with semicolons.
+  std::vector<std::string> fields;
+  fields.push_back(authors);
+  fields.push_back(title);
+  if (!venue.empty()) fields.push_back(venue);
+  if (!year.empty()) fields.push_back(year);
+  return Join(fields, "; ");
+}
+
+// ---- ProductGenerator ----
+
+ProductGenerator::ProductGenerator(ProductGeneratorConfig config)
+    : config_(std::move(config)) {
+  TM_CHECK(!config_.categories.empty());
+  for (const CategoryWeight& cw : config_.categories) {
+    total_weight_ += cw.weight;
+  }
+  TM_CHECK_GT(total_weight_, 0.0);
+}
+
+std::string ProductGenerator::SampleCategory(Rng& rng) const {
+  double r = rng.NextDouble() * total_weight_;
+  for (const CategoryWeight& cw : config_.categories) {
+    r -= cw.weight;
+    if (r <= 0.0) return cw.category;
+  }
+  return config_.categories.back().category;
+}
+
+Entity ProductGenerator::SampleBase(Rng& rng) {
+  Entity entity;
+  entity.domain = Domain::kProduct;
+  entity.entity_id = (config_.id_salt << 32) | next_id_++;
+  entity.category = SampleCategory(rng);
+  entity.attributes.push_back({"brand", Pick(BrandPool(entity.category), rng)});
+  entity.attributes.push_back({"line", Pick(ProductLines(), rng)});
+  entity.attributes.push_back({"model", MakeModelCode(rng)});
+  entity.attributes.push_back({"type", Pick(TypePool(entity.category), rng)});
+  entity.attributes.push_back({"spec", MakeSpec(entity.category, rng)});
+  const bool software = entity.category == "software";
+  entity.attributes.push_back(
+      {"variant",
+       software ? Pick(SoftwareEditions(), rng) : Pick(VariantWords(), rng)});
+  entity.attributes.push_back({"sku", MakeSku(rng)});
+  entity.surface = RenderProductSurface(entity, /*divergence=*/0.1,
+                                        config_.typo_rate,
+                                        config_.noise_token_rate, rng);
+  return entity;
+}
+
+Entity ProductGenerator::RenderVariant(const Entity& base, double divergence,
+                                       Rng& rng) const {
+  Entity variant = base;
+  variant.surface = RenderProductSurface(base, divergence, config_.typo_rate,
+                                         config_.noise_token_rate, rng);
+  return variant;
+}
+
+Entity ProductGenerator::MutateToSibling(const Entity& base, Rng& rng) {
+  Entity sibling = base;
+  sibling.entity_id = (config_.id_salt << 32) | next_id_++;
+  const bool software = base.category == "software";
+  // Pick what distinguishes the sibling: a different model revision, a
+  // different spec, or a different edition (the "Windows Home vs Pro" /
+  // "PG-730 vs PG-1130" style of hard negative). Clothing sizes carry no
+  // identifier, so clothing siblings always differ in the model code.
+  // Mutation mix favours the model code: a spec difference can legitimately
+  // be dropped from a rendering (losing the evidence), so it stays a
+  // minority of corner cases.
+  int mutation = 0;
+  if (base.category != "clothing") {
+    const double r = rng.NextDouble();
+    if (software) {
+      mutation = r < 0.5 ? 0 : (r < 0.75 ? 1 : 2);
+    } else {
+      mutation = r < 0.8 ? 0 : 1;
+    }
+  }
+  for (Attribute& attr : sibling.attributes) {
+    if (mutation == 0 && attr.name == "model") {
+      attr.value = MutateDigits(attr.value, rng);
+    } else if (mutation == 1 && attr.name == "spec") {
+      std::string fresh = MakeSpec(base.category, rng);
+      attr.value = fresh == attr.value ? MutateDigits(fresh, rng) : fresh;
+    } else if (mutation == 2 && attr.name == "variant") {
+      std::string fresh = Pick(SoftwareEditions(), rng);
+      while (fresh == attr.value) fresh = Pick(SoftwareEditions(), rng);
+      attr.value = fresh;
+    } else if (attr.name == "sku") {
+      attr.value = MakeSku(rng);  // skus never collide across products
+    }
+  }
+  sibling.surface = RenderProductSurface(sibling, /*divergence=*/0.1,
+                                         config_.typo_rate,
+                                         config_.noise_token_rate, rng);
+  return sibling;
+}
+
+// ---- ScholarGenerator ----
+
+ScholarGenerator::ScholarGenerator(ScholarGeneratorConfig config)
+    : config_(std::move(config)) {}
+
+Entity ScholarGenerator::SampleBase(Rng& rng) {
+  Entity entity;
+  entity.domain = Domain::kScholar;
+  entity.entity_id = (config_.shared_pool_salt << 32) | next_id_++;
+  entity.category = "paper";
+
+  const int num_authors = rng.NextInt(1, 4);
+  std::vector<std::string> authors;
+  for (int i = 0; i < num_authors; ++i) {
+    authors.push_back(Pick(FirstNames(), rng) + " " + Pick(LastNames(), rng));
+  }
+  entity.attributes.push_back({"author", Join(authors, ",")});
+
+  std::string title = Pick(TitleAdjectives(), rng) + " " +
+                      Pick(TitleTasks(), rng) + " of " +
+                      Pick(TitleAdjectives(), rng) + " " +
+                      Pick(TitleNouns(), rng);
+  entity.attributes.push_back({"title", title});
+
+  const uint32_t venue_idx =
+      rng.NextBounded(static_cast<uint32_t>(VenueNames().size()));
+  entity.attributes.push_back(
+      {"venue", std::string(VenueNames()[venue_idx])});
+  entity.attributes.push_back(
+      {"venue_abbrev", std::string(VenueAbbreviations()[venue_idx])});
+  entity.attributes.push_back(
+      {"year", StrFormat("%d", rng.NextInt(1995, 2015))});
+
+  entity.surface =
+      RenderScholarSurface(entity, 0.1, config_.scholar_noise, rng);
+  return entity;
+}
+
+Entity ScholarGenerator::RenderVariant(const Entity& base, double divergence,
+                                       Rng& rng) const {
+  Entity variant = base;
+  variant.surface =
+      RenderScholarSurface(base, divergence, config_.scholar_noise, rng);
+  return variant;
+}
+
+Entity ScholarGenerator::MutateToSibling(const Entity& base, Rng& rng) {
+  Entity sibling = base;
+  sibling.entity_id = (config_.shared_pool_salt << 32) | next_id_++;
+  if (rng.NextBool(0.6)) {
+    // Different paper by the same group at the same venue: swap one title
+    // content word.
+    for (Attribute& attr : sibling.attributes) {
+      if (attr.name == "title") {
+        std::vector<std::string> tokens = SplitWhitespace(attr.value);
+        const size_t idx = rng.NextBounded(static_cast<uint32_t>(tokens.size()));
+        std::string fresh = Pick(TitleNouns(), rng);
+        while (fresh == tokens[idx]) fresh = Pick(TitleNouns(), rng);
+        tokens[idx] = fresh;
+        attr.value = Join(tokens, " ");
+      }
+    }
+  } else {
+    // Same title, different year and venue: the conference-vs-extended-
+    // journal-version trap.
+    const uint32_t venue_idx =
+        rng.NextBounded(static_cast<uint32_t>(VenueNames().size()));
+    for (Attribute& attr : sibling.attributes) {
+      if (attr.name == "year") {
+        attr.value = StrFormat("%d", std::stoi(attr.value) + rng.NextInt(1, 3));
+      } else if (attr.name == "venue") {
+        attr.value = std::string(VenueNames()[venue_idx]);
+      } else if (attr.name == "venue_abbrev") {
+        attr.value = std::string(VenueAbbreviations()[venue_idx]);
+      }
+    }
+  }
+  sibling.surface =
+      RenderScholarSurface(sibling, 0.1, config_.scholar_noise, rng);
+  return sibling;
+}
+
+}  // namespace tailormatch::data

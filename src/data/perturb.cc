@@ -1,0 +1,132 @@
+#include "data/perturb.h"
+
+#include <cctype>
+
+#include "util/check.h"
+
+namespace tailormatch::data {
+
+std::string ApplyTypo(const std::string& word, Rng& rng) {
+  if (word.size() < 3) return word;
+  std::string out = word;
+  const int kind = rng.NextInt(0, 2);
+  const size_t pos = 1 + rng.NextBounded(static_cast<uint32_t>(out.size() - 2));
+  switch (kind) {
+    case 0:  // swap adjacent characters
+      std::swap(out[pos], out[pos - 1]);
+      break;
+    case 1:  // drop a character
+      out.erase(pos, 1);
+      break;
+    default:  // duplicate a character
+      out.insert(pos, 1, out[pos]);
+      break;
+  }
+  return out;
+}
+
+std::string Abbreviate(const std::string& word, int keep) {
+  if (static_cast<int>(word.size()) < keep + 2) return word;
+  return word.substr(0, static_cast<size_t>(keep));
+}
+
+std::string Initial(const std::string& word) {
+  return word.empty() ? word : word.substr(0, 1);
+}
+
+std::string ReformatCode(const std::string& code, Rng& rng) {
+  // Split into alternating letter/digit groups, then rejoin with a random
+  // separator choice.
+  std::vector<std::string> groups;
+  std::string current;
+  int current_kind = -1;  // 0 letters, 1 digits
+  for (char c : code) {
+    unsigned char u = static_cast<unsigned char>(c);
+    int kind;
+    if (std::isalpha(u)) {
+      kind = 0;
+    } else if (std::isdigit(u)) {
+      kind = 1;
+    } else {
+      continue;  // strip existing separators
+    }
+    if (kind != current_kind && !current.empty()) {
+      groups.push_back(current);
+      current.clear();
+    }
+    current_kind = kind;
+    current.push_back(c);
+  }
+  if (!current.empty()) groups.push_back(current);
+  if (groups.empty()) return code;
+  const int style = rng.NextInt(0, 2);
+  std::string out;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) {
+      if (style == 0) out += '-';
+      if (style == 1) out += ' ';
+      // style 2: no separator
+    }
+    out += groups[i];
+  }
+  return out;
+}
+
+std::vector<std::string> DropTokens(const std::vector<std::string>& tokens,
+                                    double p, Rng& rng) {
+  std::vector<std::string> out;
+  for (const std::string& token : tokens) {
+    if (!rng.NextBool(p)) out.push_back(token);
+  }
+  if (out.empty() && !tokens.empty()) {
+    out.push_back(tokens[rng.NextBounded(
+        static_cast<uint32_t>(tokens.size()))]);
+  }
+  return out;
+}
+
+std::vector<std::string> SwapAdjacentTokens(
+    const std::vector<std::string>& tokens, Rng& rng) {
+  if (tokens.size() < 2) return tokens;
+  std::vector<std::string> out = tokens;
+  const size_t i = rng.NextBounded(static_cast<uint32_t>(out.size() - 1));
+  std::swap(out[i], out[i + 1]);
+  return out;
+}
+
+std::string MutateDigits(const std::string& number, Rng& rng) {
+  std::string out = number;
+  bool changed = false;
+  for (char& c : out) {
+    if (std::isdigit(static_cast<unsigned char>(c)) && rng.NextBool(0.5)) {
+      char replacement = static_cast<char>('0' + rng.NextInt(0, 9));
+      if (replacement != c) {
+        c = replacement;
+        changed = true;
+      }
+    }
+  }
+  if (!changed) {
+    // Guarantee a difference: bump the first digit (wrapping 9 -> 0 would
+    // collide only if the string had one digit equal after increment, so
+    // use +1 mod 10 which always changes the character).
+    for (char& c : out) {
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        c = static_cast<char>('0' + (c - '0' + 1) % 10);
+        changed = true;
+        break;
+      }
+    }
+  }
+  if (!changed) out += "2";  // no digits at all: append one
+  return out;
+}
+
+std::string RandomNoiseToken(Rng& rng) {
+  static const char* kNoise[] = {"new",    "oem",    "original", "genuine",
+                                 "sealed", "retail", "bulk",     "eu",
+                                 "us",     "edition", "official", "promo"};
+  return kNoise[rng.NextBounded(sizeof(kNoise) / sizeof(kNoise[0]))];
+}
+
+}  // namespace tailormatch::data

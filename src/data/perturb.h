@@ -1,0 +1,47 @@
+#ifndef TAILORMATCH_DATA_PERTURB_H_
+#define TAILORMATCH_DATA_PERTURB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tailormatch::data {
+
+// Low-level surface perturbation operators shared by the product and
+// scholar generators. These model the real-world heterogeneity that makes
+// entity matching hard: two shops (or two citation indexes) render the same
+// entity with different conventions.
+
+// Introduces a single character-level typo (swap, drop, or duplicate).
+std::string ApplyTypo(const std::string& word, Rng& rng);
+
+// Abbreviates a word to its first `keep` characters ("professional" ->
+// "prof"). Words shorter than keep+2 are returned unchanged.
+std::string Abbreviate(const std::string& word, int keep = 4);
+
+// First-letter initial ("marcus" -> "m").
+std::string Initial(const std::string& word);
+
+// Reformats an alphanumeric model code, toggling the separator between
+// letter and digit groups: "pg-730" <-> "pg 730" <-> "pg730".
+std::string ReformatCode(const std::string& code, Rng& rng);
+
+// Randomly drops each token with probability p (never drops all tokens).
+std::vector<std::string> DropTokens(const std::vector<std::string>& tokens,
+                                    double p, Rng& rng);
+
+// Swaps two random adjacent tokens.
+std::vector<std::string> SwapAdjacentTokens(
+    const std::vector<std::string>& tokens, Rng& rng);
+
+// Mutates the digits of a numeric string so the result differs (used to
+// fabricate corner-case siblings, e.g. "730" -> "1130").
+std::string MutateDigits(const std::string& number, Rng& rng);
+
+// Marketing noise tokens occasionally appended by shops.
+std::string RandomNoiseToken(Rng& rng);
+
+}  // namespace tailormatch::data
+
+#endif  // TAILORMATCH_DATA_PERTURB_H_

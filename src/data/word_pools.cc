@@ -1,0 +1,185 @@
+#include "data/word_pools.h"
+
+namespace tailormatch::data {
+
+namespace {
+
+constexpr std::string_view kElectronicsBrands[] = {
+    "sonara",   "vextech",  "lumina",  "orbix",   "pixelon", "novacore",
+    "zentry",   "quantec",  "helixon", "averon",  "brightec", "cruxon",
+    "dynavox",  "electra",  "fenwick", "gigatron",
+};
+
+constexpr std::string_view kAudioBrands[] = {
+    "jarvo",   "acoustix", "melodian", "soundrex", "harmonia", "vibra",
+    "echotone", "bassline", "clarion",  "resona",
+};
+
+constexpr std::string_view kStorageBrands[] = {
+    "datavault", "storix", "memtron", "diskara", "archivon", "bitkeep",
+    "savetech",  "cachely",
+};
+
+constexpr std::string_view kClothingBrands[] = {
+    "weavely", "stitcher", "cottona", "fabrik", "looma", "threadon",
+    "velutex", "garmina",  "tailoro", "knitwell",
+};
+
+constexpr std::string_view kBikeBrands[] = {
+    "sprocketx", "velodyne", "chainpro", "pedalon", "gearum", "cyclemax",
+    "spinnaker", "crankset",
+};
+
+constexpr std::string_view kSoftwareBrands[] = {
+    "softara", "codexon", "appgrid", "logivia", "bytewise", "sysforge",
+    "netvista", "datamind", "cloudora", "pixelsoft",
+};
+
+constexpr std::string_view kProductLines[] = {
+    "evolve", "aspire", "fusion", "vertex", "matrix",  "pulse", "nimbus",
+    "zenith", "tundra", "cobalt", "raptor", "stratos", "titan", "aurora",
+    "onyx",   "vector", "breeze", "summit", "ranger",  "comet",
+};
+
+constexpr std::string_view kElectronicsTypes[] = {
+    "monitor", "keyboard", "mouse",  "router", "webcam",
+    "charger", "tablet",   "camera", "printer", "projector",
+};
+
+constexpr std::string_view kAudioTypes[] = {
+    "headset", "speaker", "earbuds", "microphone", "soundbar", "amplifier",
+};
+
+constexpr std::string_view kStorageTypes[] = {
+    "ssd", "hdd", "flashdrive", "memorycard", "nas",
+};
+
+constexpr std::string_view kClothingTypes[] = {
+    "jacket", "hoodie", "sneakers", "jeans", "tshirt", "backpack",
+};
+
+constexpr std::string_view kBikeTypes[] = {
+    "cassette", "derailleur", "crankarm", "chainring", "hub", "shifter",
+};
+
+constexpr std::string_view kSoftwareTypes[] = {
+    "os",        "photoeditor", "videoeditor", "antivirus",
+    "officesuite", "database",  "compiler",    "firewall",
+};
+
+constexpr std::string_view kVariantWords[] = {
+    "pro",    "lite", "max",  "mini", "plus", "ultra",
+    "stereo", "mono", "wired", "wireless", "ms", "uc",
+};
+
+constexpr std::string_view kSoftwareEditions[] = {
+    "home",     "professional", "enterprise", "student", "ultimate",
+    "standard", "premium",      "basic",      "deluxe",
+};
+
+constexpr std::string_view kColors[] = {
+    "black", "white", "silver", "blue", "red", "green", "gray", "gold",
+};
+
+constexpr std::string_view kFirstNames[] = {
+    "wei",     "elena",  "marcus", "priya",   "johan",  "sofia",  "ahmed",
+    "yuki",    "carlos", "ingrid", "rajesh",  "marta",  "dmitri", "chen",
+    "fatima",  "lukas",  "aisha",  "pedro",   "hannah", "tomas",  "ana",
+    "viktor",  "leila",  "george", "mei",     "oscar",  "nadia",  "paul",
+    "irene",   "samuel", "olga",   "martin",
+};
+
+constexpr std::string_view kLastNames[] = {
+    "zhang",    "muller",  "okafor",   "petrov",  "tanaka",  "silva",
+    "kowalski", "haddad",  "lindberg", "moreau",  "ivanov",  "castillo",
+    "novak",    "fischer", "rossi",    "yamamoto", "andersen", "dubois",
+    "kumar",    "santos",  "weber",    "nakamura", "johansson", "ferrari",
+    "schmidt",  "larsen",  "varga",    "bianchi", "hoffman",  "sato",
+};
+
+constexpr std::string_view kTitleNouns[] = {
+    "databases", "indexes",   "transactions", "queries",   "streams",
+    "graphs",    "networks",  "embeddings",   "caches",    "schemas",
+    "pipelines", "workloads", "joins",        "partitions", "replicas",
+    "snapshots", "logs",      "buffers",      "clusters",  "tables",
+};
+
+constexpr std::string_view kTitleAdjectives[] = {
+    "scalable",    "distributed", "adaptive",  "incremental", "robust",
+    "efficient",   "parallel",    "secure",    "approximate", "declarative",
+    "transactional", "streaming", "federated", "versioned",   "learned",
+};
+
+constexpr std::string_view kTitleTasks[] = {
+    "optimization", "processing",  "matching",   "integration",
+    "resolution",   "compression", "estimation", "verification",
+    "partitioning", "scheduling",  "recovery",   "deduplication",
+};
+
+constexpr std::string_view kVenueNames[] = {
+    "international conference on data engineering systems",
+    "symposium on large scale databases",
+    "workshop on data integration methods",
+    "journal of information management",
+    "conference on knowledge discovery practice",
+    "transactions on database theory",
+    "european data management forum",
+    "symposium on distributed computing principles",
+    "international web data workshop",
+    "journal of scalable analytics",
+};
+
+constexpr std::string_view kVenueAbbreviations[] = {
+    "icdes", "slsdb", "wdim", "jim", "ckdp",
+    "tdt",   "edmf",  "sdcp", "iwdw", "jsa",
+};
+
+constexpr std::string_view kGenericBrands[] = {
+    "acmecorp", "globomart", "unibrand", "omnitek", "standardco",
+    "primex",   "baseline",  "genera",   "modulon", "corex",
+};
+
+constexpr std::string_view kGenericTypes[] = {
+    "widget", "gadget", "device", "appliance", "instrument",
+    "fixture", "module", "component", "kit", "unit",
+};
+
+}  // namespace
+
+std::span<const std::string_view> ElectronicsBrands() {
+  return kElectronicsBrands;
+}
+std::span<const std::string_view> AudioBrands() { return kAudioBrands; }
+std::span<const std::string_view> StorageBrands() { return kStorageBrands; }
+std::span<const std::string_view> ClothingBrands() { return kClothingBrands; }
+std::span<const std::string_view> BikeBrands() { return kBikeBrands; }
+std::span<const std::string_view> SoftwareBrands() { return kSoftwareBrands; }
+std::span<const std::string_view> ProductLines() { return kProductLines; }
+std::span<const std::string_view> ElectronicsTypes() {
+  return kElectronicsTypes;
+}
+std::span<const std::string_view> AudioTypes() { return kAudioTypes; }
+std::span<const std::string_view> StorageTypes() { return kStorageTypes; }
+std::span<const std::string_view> ClothingTypes() { return kClothingTypes; }
+std::span<const std::string_view> BikeTypes() { return kBikeTypes; }
+std::span<const std::string_view> SoftwareTypes() { return kSoftwareTypes; }
+std::span<const std::string_view> VariantWords() { return kVariantWords; }
+std::span<const std::string_view> SoftwareEditions() {
+  return kSoftwareEditions;
+}
+std::span<const std::string_view> Colors() { return kColors; }
+std::span<const std::string_view> FirstNames() { return kFirstNames; }
+std::span<const std::string_view> LastNames() { return kLastNames; }
+std::span<const std::string_view> TitleNouns() { return kTitleNouns; }
+std::span<const std::string_view> TitleAdjectives() {
+  return kTitleAdjectives;
+}
+std::span<const std::string_view> TitleTasks() { return kTitleTasks; }
+std::span<const std::string_view> VenueNames() { return kVenueNames; }
+std::span<const std::string_view> VenueAbbreviations() {
+  return kVenueAbbreviations;
+}
+std::span<const std::string_view> GenericBrands() { return kGenericBrands; }
+std::span<const std::string_view> GenericTypes() { return kGenericTypes; }
+
+}  // namespace tailormatch::data

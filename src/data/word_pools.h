@@ -1,0 +1,64 @@
+#ifndef TAILORMATCH_DATA_WORD_POOLS_H_
+#define TAILORMATCH_DATA_WORD_POOLS_H_
+
+#include <span>
+#include <string_view>
+
+namespace tailormatch::data {
+
+// Static word pools backing the synthetic benchmark generators. The pools
+// are split so that the two topical domains share almost no vocabulary
+// (which is what makes cross-domain transfer genuinely hard), while product
+// datasets share brand/type vocabulary (which is what makes in-domain
+// transfer possible).
+
+// ---- Product domain ----
+
+// General merchandise brands (electronics, audio, storage, clothing,
+// bike parts). Used by WDC Products, Abt-Buy, Walmart-Amazon.
+std::span<const std::string_view> ElectronicsBrands();
+std::span<const std::string_view> AudioBrands();
+std::span<const std::string_view> StorageBrands();
+std::span<const std::string_view> ClothingBrands();
+std::span<const std::string_view> BikeBrands();
+// Software vendors; exclusive to Amazon-Google (the paper notes it covers a
+// different product type: operating systems, editing applications).
+std::span<const std::string_view> SoftwareBrands();
+
+// Product line names (fantasy-ish words usable after any brand).
+std::span<const std::string_view> ProductLines();
+
+// Type nouns per category.
+std::span<const std::string_view> ElectronicsTypes();
+std::span<const std::string_view> AudioTypes();
+std::span<const std::string_view> StorageTypes();
+std::span<const std::string_view> ClothingTypes();
+std::span<const std::string_view> BikeTypes();
+std::span<const std::string_view> SoftwareTypes();
+
+// Variant/edition words ("pro", "ms", "uc", ...), colors, and units.
+std::span<const std::string_view> VariantWords();
+std::span<const std::string_view> SoftwareEditions();
+std::span<const std::string_view> Colors();
+
+// ---- Scholar domain ----
+
+std::span<const std::string_view> FirstNames();
+std::span<const std::string_view> LastNames();
+// Research topic words used to compose paper titles.
+std::span<const std::string_view> TitleNouns();
+std::span<const std::string_view> TitleAdjectives();
+std::span<const std::string_view> TitleTasks();
+// Venue full names; VenueAbbreviation(i) gives the short form of venue i.
+std::span<const std::string_view> VenueNames();
+std::span<const std::string_view> VenueAbbreviations();
+
+// ---- Pretraining domain (generic, used to build zero-shot checkpoints) ----
+// Deliberately overlaps both domains a little (a real LLM has seen both
+// products and papers), plus its own generic vocabulary.
+std::span<const std::string_view> GenericBrands();
+std::span<const std::string_view> GenericTypes();
+
+}  // namespace tailormatch::data
+
+#endif  // TAILORMATCH_DATA_WORD_POOLS_H_

@@ -1,0 +1,88 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tailormatch::eval {
+
+std::vector<ScoredPair> ScoreDataset(const llm::SimLlm& model,
+                                     const data::Dataset& dataset,
+                                     prompt::PromptTemplate tmpl,
+                                     int max_pairs) {
+  std::vector<ScoredPair> scored;
+  for (const data::EntityPair& pair : dataset.pairs) {
+    if (max_pairs > 0 && static_cast<int>(scored.size()) >= max_pairs) break;
+    ScoredPair sp;
+    sp.probability =
+        model.PredictMatchProbability(prompt::RenderPrompt(tmpl, pair));
+    sp.label = pair.label;
+    scored.push_back(sp);
+  }
+  return scored;
+}
+
+CalibrationReport ComputeCalibration(const std::vector<ScoredPair>& scored,
+                                     int num_bins) {
+  TM_CHECK_GT(num_bins, 0);
+  CalibrationReport report;
+  report.bin_confidence.assign(static_cast<size_t>(num_bins), 0.0);
+  report.bin_accuracy.assign(static_cast<size_t>(num_bins), 0.0);
+  report.bin_counts.assign(static_cast<size_t>(num_bins), 0);
+  double brier = 0.0;
+  for (const ScoredPair& sp : scored) {
+    const double target = sp.label ? 1.0 : 0.0;
+    brier += (sp.probability - target) * (sp.probability - target);
+    int bin = static_cast<int>(sp.probability * num_bins);
+    bin = std::clamp(bin, 0, num_bins - 1);
+    report.bin_confidence[static_cast<size_t>(bin)] += sp.probability;
+    report.bin_accuracy[static_cast<size_t>(bin)] += target;
+    ++report.bin_counts[static_cast<size_t>(bin)];
+  }
+  if (!scored.empty()) {
+    report.brier_score = brier / static_cast<double>(scored.size());
+  }
+  double ece = 0.0;
+  for (int b = 0; b < num_bins; ++b) {
+    const int count = report.bin_counts[static_cast<size_t>(b)];
+    if (count == 0) continue;
+    report.bin_confidence[static_cast<size_t>(b)] /= count;
+    report.bin_accuracy[static_cast<size_t>(b)] /= count;
+    ece += (static_cast<double>(count) / scored.size()) *
+           std::abs(report.bin_confidence[static_cast<size_t>(b)] -
+                    report.bin_accuracy[static_cast<size_t>(b)]);
+  }
+  report.expected_calibration_error = ece;
+  return report;
+}
+
+std::vector<ThresholdPoint> SweepThresholds(
+    const std::vector<ScoredPair>& scored, double step) {
+  TM_CHECK_GT(step, 0.0);
+  std::vector<ThresholdPoint> sweep;
+  for (double threshold = step; threshold < 1.0; threshold += step) {
+    ThresholdPoint point;
+    point.threshold = threshold;
+    ConfusionCounts counts;
+    for (const ScoredPair& sp : scored) {
+      counts.Add(sp.probability >= threshold, sp.label);
+    }
+    point.metrics = ComputeMetrics(counts);
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+ThresholdPoint BestThreshold(const std::vector<ScoredPair>& scored,
+                             double step) {
+  std::vector<ThresholdPoint> sweep = SweepThresholds(scored, step);
+  TM_CHECK(!sweep.empty());
+  return *std::max_element(sweep.begin(), sweep.end(),
+                           [](const ThresholdPoint& a,
+                              const ThresholdPoint& b) {
+                             return a.metrics.f1 < b.metrics.f1;
+                           });
+}
+
+}  // namespace tailormatch::eval

@@ -1,0 +1,63 @@
+#ifndef TAILORMATCH_EVAL_CALIBRATION_H_
+#define TAILORMATCH_EVAL_CALIBRATION_H_
+
+#include <vector>
+
+#include "data/entity.h"
+#include "eval/metrics.h"
+#include "llm/sim_llm.h"
+#include "prompt/prompt.h"
+
+namespace tailormatch::eval {
+
+// Probability-quality analysis of a matcher. Production entity-resolution
+// pipelines act on P(match) (e.g. route uncertain pairs to human review),
+// so beyond F1 the library reports how trustworthy the probabilities are
+// and where the decision threshold should sit.
+
+// One scored pair: the model's P(match) and the ground truth.
+struct ScoredPair {
+  double probability = 0.0;
+  bool label = false;
+};
+
+// Scores every pair of a dataset with the model (deterministic).
+std::vector<ScoredPair> ScoreDataset(
+    const llm::SimLlm& model, const data::Dataset& dataset,
+    prompt::PromptTemplate tmpl = prompt::PromptTemplate::kDefault,
+    int max_pairs = 0);
+
+// Calibration diagnostics.
+struct CalibrationReport {
+  // Expected calibration error over `num_bins` equal-width bins.
+  double expected_calibration_error = 0.0;
+  // Brier score (mean squared error of the probability).
+  double brier_score = 0.0;
+  // Per-bin mean predicted probability and empirical match rate.
+  std::vector<double> bin_confidence;
+  std::vector<double> bin_accuracy;
+  std::vector<int> bin_counts;
+};
+
+CalibrationReport ComputeCalibration(const std::vector<ScoredPair>& scored,
+                                     int num_bins = 10);
+
+// One point of the threshold sweep.
+struct ThresholdPoint {
+  double threshold = 0.5;
+  PrecisionRecallF1 metrics;
+};
+
+// F1/precision/recall at each decision threshold in (0, 1), stepping by
+// `step`. Used to pick operating points and to check that the default 0.5
+// verbalizer threshold is near-optimal.
+std::vector<ThresholdPoint> SweepThresholds(
+    const std::vector<ScoredPair>& scored, double step = 0.05);
+
+// The sweep's best-F1 threshold.
+ThresholdPoint BestThreshold(const std::vector<ScoredPair>& scored,
+                             double step = 0.05);
+
+}  // namespace tailormatch::eval
+
+#endif  // TAILORMATCH_EVAL_CALIBRATION_H_

@@ -1,0 +1,97 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace tailormatch::eval {
+
+namespace {
+
+// Stratified deterministic subsample preserving the positive:negative
+// ratio.
+std::vector<const data::EntityPair*> SelectPairs(const data::Dataset& dataset,
+                                                 const EvalOptions& options) {
+  std::vector<const data::EntityPair*> selected;
+  if (options.max_pairs <= 0 ||
+      dataset.size() <= options.max_pairs) {
+    selected.reserve(dataset.pairs.size());
+    for (const data::EntityPair& pair : dataset.pairs) {
+      selected.push_back(&pair);
+    }
+    return selected;
+  }
+  std::vector<const data::EntityPair*> positives;
+  std::vector<const data::EntityPair*> negatives;
+  for (const data::EntityPair& pair : dataset.pairs) {
+    (pair.label ? positives : negatives).push_back(&pair);
+  }
+  const double pos_ratio =
+      static_cast<double>(positives.size()) / dataset.size();
+  int take_pos = std::max(
+      1, static_cast<int>(pos_ratio * options.max_pairs + 0.5));
+  take_pos = std::min<int>(take_pos, static_cast<int>(positives.size()));
+  int take_neg = std::min<int>(options.max_pairs - take_pos,
+                               static_cast<int>(negatives.size()));
+  Rng rng(options.subsample_seed);
+  for (size_t i : rng.SampleIndices(positives.size(),
+                                    static_cast<size_t>(take_pos))) {
+    selected.push_back(positives[i]);
+  }
+  for (size_t i : rng.SampleIndices(negatives.size(),
+                                    static_cast<size_t>(take_neg))) {
+    selected.push_back(negatives[i]);
+  }
+  return selected;
+}
+
+}  // namespace
+
+EvalResult EvaluateModel(const llm::SimLlm& model,
+                         const data::Dataset& dataset,
+                         const EvalOptions& options) {
+  EvalResult result;
+  for (const data::EntityPair* pair : SelectPairs(dataset, options)) {
+    const std::string prompt_text =
+        prompt::RenderPrompt(options.prompt_template, *pair);
+    const std::string response = model.Respond(prompt_text);
+    bool predicted = false;
+    if (!prompt::ParseYesNo(response, &predicted)) {
+      ++result.unparseable;
+      predicted = false;  // conservative: unparseable counts as non-match
+    }
+    result.counts.Add(predicted, pair->label);
+  }
+  result.metrics = ComputeMetrics(result.counts);
+  return result;
+}
+
+double EvaluateF1(const llm::SimLlm& model, const data::Dataset& dataset,
+                  const EvalOptions& options) {
+  return EvaluateModel(model, dataset, options).metrics.f1;
+}
+
+StratifiedEvalResult EvaluateByCornerCase(const llm::SimLlm& model,
+                                          const data::Dataset& dataset,
+                                          const EvalOptions& options) {
+  StratifiedEvalResult result;
+  for (const data::EntityPair* pair : SelectPairs(dataset, options)) {
+    const std::string prompt_text =
+        prompt::RenderPrompt(options.prompt_template, *pair);
+    const std::string response = model.Respond(prompt_text);
+    bool predicted = false;
+    if (!prompt::ParseYesNo(response, &predicted)) {
+      ++result.overall.unparseable;
+      predicted = false;
+    }
+    result.overall.counts.Add(predicted, pair->label);
+    EvalResult& bucket = pair->corner_case ? result.corner : result.ordinary;
+    bucket.counts.Add(predicted, pair->label);
+  }
+  result.overall.metrics = ComputeMetrics(result.overall.counts);
+  result.corner.metrics = ComputeMetrics(result.corner.counts);
+  result.ordinary.metrics = ComputeMetrics(result.ordinary.counts);
+  return result;
+}
+
+}  // namespace tailormatch::eval

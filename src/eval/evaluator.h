@@ -1,0 +1,53 @@
+#ifndef TAILORMATCH_EVAL_EVALUATOR_H_
+#define TAILORMATCH_EVAL_EVALUATOR_H_
+
+#include "data/entity.h"
+#include "eval/metrics.h"
+#include "llm/sim_llm.h"
+#include "prompt/prompt.h"
+
+namespace tailormatch::eval {
+
+struct EvalOptions {
+  prompt::PromptTemplate prompt_template = prompt::PromptTemplate::kDefault;
+  // 0 = evaluate every pair; otherwise a stratified subsample of this size
+  // (class ratio preserved, deterministic). Used to keep large grids
+  // tractable; the paper's stability criterion (>=150 positives) is
+  // asserted in the benches.
+  int max_pairs = 0;
+  uint64_t subsample_seed = 1234;
+};
+
+struct EvalResult {
+  PrecisionRecallF1 metrics;
+  ConfusionCounts counts;
+  int unparseable = 0;  // responses with neither yes nor no
+};
+
+// Runs the full inference path on a dataset: render prompt -> model
+// response -> Narayan et al. parse -> confusion counts. Responses that
+// parse as neither yes nor no count as non-match predictions (the
+// conservative convention).
+EvalResult EvaluateModel(const llm::SimLlm& model, const data::Dataset& dataset,
+                         const EvalOptions& options = {});
+
+// Convenience: F1 only (used as the validation callback during training).
+double EvaluateF1(const llm::SimLlm& model, const data::Dataset& dataset,
+                  const EvalOptions& options = {});
+
+// Corner-case-stratified evaluation (WDC Products' defining dimension,
+// Section 2): metrics over all pairs, over corner cases only, and over
+// ordinary pairs only, from a single inference pass.
+struct StratifiedEvalResult {
+  EvalResult overall;
+  EvalResult corner;
+  EvalResult ordinary;
+};
+
+StratifiedEvalResult EvaluateByCornerCase(const llm::SimLlm& model,
+                                          const data::Dataset& dataset,
+                                          const EvalOptions& options = {});
+
+}  // namespace tailormatch::eval
+
+#endif  // TAILORMATCH_EVAL_EVALUATOR_H_

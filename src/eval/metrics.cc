@@ -1,0 +1,36 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace tailormatch::eval {
+
+PrecisionRecallF1 ComputeMetrics(const ConfusionCounts& counts) {
+  PrecisionRecallF1 out;
+  const double tp = counts.true_positive;
+  const double fp = counts.false_positive;
+  const double fn = counts.false_negative;
+  out.precision = tp + fp > 0 ? 100.0 * tp / (tp + fp) : 0.0;
+  out.recall = tp + fn > 0 ? 100.0 * tp / (tp + fn) : 0.0;
+  out.f1 = out.precision + out.recall > 0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace tailormatch::eval

@@ -1,0 +1,42 @@
+#ifndef TAILORMATCH_EVAL_METRICS_H_
+#define TAILORMATCH_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace tailormatch::eval {
+
+// Binary confusion counts with the positive class = "match".
+struct ConfusionCounts {
+  int true_positive = 0;
+  int false_positive = 0;
+  int true_negative = 0;
+  int false_negative = 0;
+
+  void Add(bool predicted, bool actual) {
+    if (predicted && actual) ++true_positive;
+    if (predicted && !actual) ++false_positive;
+    if (!predicted && !actual) ++true_negative;
+    if (!predicted && actual) ++false_negative;
+  }
+  int total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+};
+
+// Precision / recall / F1 in percent (the paper reports F1 x 100).
+struct PrecisionRecallF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+PrecisionRecallF1 ComputeMetrics(const ConfusionCounts& counts);
+
+// Mean and sample standard deviation of a score list (prompt sensitivity is
+// the stddev of F1 across prompt templates, Section 3.3).
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+}  // namespace tailormatch::eval
+
+#endif  // TAILORMATCH_EVAL_METRICS_H_

@@ -1,0 +1,61 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace tailormatch::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TM_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  TM_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  auto print_separator = [&]() {
+    out << "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << "|";
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  print_separator();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_separator();
+    } else {
+      print_row(row);
+    }
+  }
+}
+
+std::string TablePrinter::ScoreCell(double f1, double delta, bool show_delta) {
+  if (!show_delta) return StrFormat("%.2f", f1);
+  return StrFormat("%.2f (%+.2f)", f1, delta);
+}
+
+}  // namespace tailormatch::eval

@@ -1,0 +1,32 @@
+#ifndef TAILORMATCH_EVAL_TABLE_PRINTER_H_
+#define TAILORMATCH_EVAL_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace tailormatch::eval {
+
+// Fixed-width text table renderer used by the benchmark harnesses to print
+// the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  void Print(std::ostream& out = std::cout) const;
+
+  // Formats "F1 (+delta)" cells the way Tables 2/3/5 do.
+  static std::string ScoreCell(double f1, double delta, bool show_delta);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+}  // namespace tailormatch::eval
+
+#endif  // TAILORMATCH_EVAL_TABLE_PRINTER_H_

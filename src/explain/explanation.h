@@ -1,0 +1,84 @@
+#ifndef TAILORMATCH_EXPLAIN_EXPLANATION_H_
+#define TAILORMATCH_EXPLAIN_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/entity.h"
+#include "llm/sim_llm.h"
+
+namespace tailormatch::explain {
+
+// The training-example representations compared in Section 4.
+enum class ExplanationStyle {
+  kNone,           // plain pairs (standard fine-tuning, Figure 2)
+  kLongTextual,    // open-ended explanations, ~293 tokens on average
+  kWadhwa,         // concise explanations a la Wadhwa et al., ~90 tokens
+  kStructuredNoImportanceNoSimilarity,  // "no imp.&sim." ablation
+  kStructuredNoImportance,              // "no importance" ablation
+  kStructured,     // full Figure 4 format
+};
+
+const char* ExplanationStyleName(ExplanationStyle style);
+// Row labels used by Table 3 ("long textual", "Wadhwa et al.", ...).
+const char* ExplanationStyleTableName(ExplanationStyle style);
+std::vector<ExplanationStyle> AllExplanationStyles();
+
+// One attribute line of a structured explanation (Figure 4).
+struct AttributeExplanation {
+  std::string attribute;
+  double importance = 0.0;
+  std::string left_value;
+  std::string right_value;  // "missing" when absent on one side
+  double similarity = 0.0;
+};
+
+struct Explanation {
+  ExplanationStyle style = ExplanationStyle::kNone;
+  // Rendered completion text ("Yes. ..." / "No. ...").
+  std::string text;
+  std::vector<AttributeExplanation> attributes;
+};
+
+// Simulates the teacher LLM's explanation generation (the paper prompts
+// GPT-4o-mini for them). Structured explanations are derived from genuine
+// attribute alignment of the underlying records with mild teacher noise;
+// textual explanations are templated around the same signal plus filler.
+class ExplanationGenerator {
+ public:
+  explicit ExplanationGenerator(ExplanationStyle style, uint64_t seed = 777);
+
+  ExplanationStyle style() const { return style_; }
+
+  // Generates the explanation for a labelled pair.
+  Explanation Generate(const data::EntityPair& pair) const;
+
+  // Fills the auxiliary supervision fields of a TrainExample from the
+  // explanation (the simulation's counterpart of appending the explanation
+  // to the completion; see DESIGN.md substitution table).
+  void Augment(const data::EntityPair& pair, llm::TrainExample* example,
+               int num_attr_slots, int num_text_buckets) const;
+
+  // Slot index of a generator attribute name, shared with the model's
+  // attribute head; returns -1 for unknown attributes.
+  static int AttributeSlot(const std::string& name);
+  // The stated importance of an attribute for the match decision.
+  static double AttributeImportance(const std::string& name);
+
+ private:
+  std::vector<AttributeExplanation> AlignAttributes(
+      const data::EntityPair& pair) const;
+  std::string RenderStructuredText(
+      const data::EntityPair& pair,
+      const std::vector<AttributeExplanation>& attrs) const;
+  std::string RenderTextual(const data::EntityPair& pair,
+                            const std::vector<AttributeExplanation>& attrs,
+                            bool verbose) const;
+
+  ExplanationStyle style_;
+  uint64_t seed_;
+};
+
+}  // namespace tailormatch::explain
+
+#endif  // TAILORMATCH_EXPLAIN_EXPLANATION_H_

@@ -1,0 +1,75 @@
+#include "llm/icl.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tailormatch::llm {
+
+namespace {
+
+std::string PairDocument(const data::EntityPair& pair) {
+  return pair.left.surface + " " + pair.right.surface;
+}
+
+}  // namespace
+
+InContextMatcher::InContextMatcher(
+    const SimLlm* model, std::vector<data::EntityPair> demonstration_pool,
+    Config config)
+    : model_(model), pool_(std::move(demonstration_pool)), config_(config) {
+  TM_CHECK(model_ != nullptr);
+  TM_CHECK(!pool_.empty()) << "ICL needs a non-empty demonstration pool";
+  TM_CHECK_GT(config_.num_demonstrations, 0);
+  std::vector<std::string> corpus;
+  corpus.reserve(pool_.size());
+  for (const data::EntityPair& pair : pool_) {
+    corpus.push_back(PairDocument(pair));
+  }
+  embedder_.Fit(corpus);
+  index_ = std::make_unique<text::NearestNeighborIndex>(&embedder_);
+  index_->AddAll(corpus);
+}
+
+std::vector<const data::EntityPair*> InContextMatcher::SelectDemonstrations(
+    const data::EntityPair& pair) const {
+  std::vector<const data::EntityPair*> demos;
+  for (int idx :
+       index_->Query(PairDocument(pair), config_.num_demonstrations)) {
+    demos.push_back(&pool_[static_cast<size_t>(idx)]);
+  }
+  return demos;
+}
+
+double InContextMatcher::PredictMatchProbability(
+    const data::EntityPair& pair) const {
+  const double zero_shot = model_->PredictMatchProbability(
+      prompt::RenderPrompt(config_.prompt_template, pair));
+
+  // Similarity-weighted vote of the selected demonstrations.
+  const text::SparseVector query = embedder_.Embed(PairDocument(pair));
+  double vote = 0.0;
+  double weight_sum = 0.0;
+  for (const data::EntityPair* demo : SelectDemonstrations(pair)) {
+    const double similarity = std::max(
+        0.0, text::TfidfEmbedder::Cosine(query,
+                                         embedder_.Embed(PairDocument(*demo))));
+    vote += similarity * (demo->label ? 1.0 : 0.0);
+    weight_sum += similarity;
+  }
+  if (weight_sum <= 1e-9) return zero_shot;  // no informative demos
+  const double demo_probability = vote / weight_sum;
+  return (1.0 - config_.demo_weight) * zero_shot +
+         config_.demo_weight * demo_probability;
+}
+
+std::string InContextMatcher::Respond(const data::EntityPair& pair) const {
+  if (PredictMatchProbability(pair) > 0.5) {
+    return "Yes. Based on the demonstrations, the two descriptions refer to "
+           "the same entity.";
+  }
+  return "No. Based on the demonstrations, the two descriptions refer to "
+         "different entities.";
+}
+
+}  // namespace tailormatch::llm

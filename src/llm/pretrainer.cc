@@ -1,0 +1,171 @@
+#include "llm/pretrainer.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "data/generator.h"
+#include "llm/trainer.h"
+#include "prompt/prompt.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace tailormatch::llm {
+
+namespace {
+
+// A generic mixture resembling "the web": general merchandise, software,
+// scholarly records, and entirely generic items.
+data::ProductGeneratorConfig PretrainProductConfig() {
+  data::ProductGeneratorConfig config;
+  config.categories = {{"electronics", 1.0}, {"audio", 0.7},
+                       {"storage", 0.7},     {"clothing", 0.7},
+                       {"bike", 0.5},        {"software", 0.6},
+                       {"generic", 1.2}};
+  config.typo_rate = 0.03;
+  config.id_salt = 0xbeef;
+  return config;
+}
+
+}  // namespace
+
+std::vector<data::EntityPair> BuildPretrainPairs(int num_pairs,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  data::ProductGenerator products(PretrainProductConfig());
+  data::ScholarGeneratorConfig scholar_config;
+  scholar_config.scholar_noise = 0.04;
+  scholar_config.id_salt = 0xfeed;
+  scholar_config.shared_pool_salt = 0xfeed;
+  data::ScholarGenerator scholars(scholar_config);
+
+  std::vector<data::EntityPair> pairs;
+  pairs.reserve(static_cast<size_t>(num_pairs));
+  for (int i = 0; i < num_pairs; ++i) {
+    data::EntityGenerator& generator =
+        rng.NextBool(0.3) ? static_cast<data::EntityGenerator&>(scholars)
+                          : static_cast<data::EntityGenerator&>(products);
+    data::EntityPair pair;
+    const bool corner = rng.NextBool(0.6);
+    if (rng.NextBool(0.5)) {
+      data::Entity base = generator.SampleBase(rng);
+      pair.left = generator.RenderVariant(base, 0.15, rng);
+      pair.right = generator.RenderVariant(base, corner ? 0.7 : 0.35, rng);
+      pair.label = true;
+    } else {
+      data::Entity base = generator.SampleBase(rng);
+      data::Entity other = corner ? generator.MutateToSibling(base, rng)
+                                  : generator.SampleBase(rng);
+      pair.left = generator.RenderVariant(base, 0.2, rng);
+      pair.right = generator.RenderVariant(other, 0.2, rng);
+      pair.label = false;
+    }
+    pair.corner_case = corner;
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+int PretrainPromptVariety(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kLlama8B:
+      return 2;  // narrow instruction exposure -> prompt-sensitive
+    case ModelFamily::kLlama70B:
+      return 3;
+    case ModelFamily::kGpt4oMini:
+      return 6;  // instruction-tuned breadth -> robust to rephrasing
+    case ModelFamily::kGpt4o:
+      return 6;
+  }
+  return 2;
+}
+
+std::string PretrainPrompt(const data::EntityPair& pair, int phrasing) {
+  using prompt::PromptTemplate;
+  switch (phrasing % 6) {
+    case 0:
+      return prompt::RenderPrompt(PromptTemplate::kDefault, pair);
+    case 1: {
+      // A generic paraphrase not among the evaluation prompts.
+      return "Decide whether the following two records describe one and the "
+             "same item. Entity 1: " +
+             pair.left.surface + " Entity 2: " + pair.right.surface;
+    }
+    case 2:
+      return prompt::RenderPrompt(PromptTemplate::kSimpleFree, pair);
+    case 3:
+      return prompt::RenderPrompt(PromptTemplate::kComplexForce, pair);
+    case 4:
+      return prompt::RenderPrompt(PromptTemplate::kSimpleForce, pair);
+    default:
+      return "Are these two descriptions duplicates? Entity 1: " +
+             pair.left.surface + " Entity 2: " + pair.right.surface;
+  }
+}
+
+std::unique_ptr<SimLlm> Pretrain(const FamilyProfile& profile) {
+  TM_LOG(Info) << "pretraining " << profile.config.family << " ("
+               << profile.pretrain_pairs << " pairs x "
+               << profile.pretrain_epochs << " epochs)";
+  std::vector<data::EntityPair> pairs =
+      BuildPretrainPairs(profile.pretrain_pairs, profile.config.init_seed);
+
+  const int variety = PretrainPromptVariety(profile.family);
+  Rng rng(profile.config.init_seed ^ 0xabcd);
+
+  // Tokenizer corpus: the rendered prompts (instructions + surfaces).
+  std::vector<std::string> prompts;
+  prompts.reserve(pairs.size());
+  for (const data::EntityPair& pair : pairs) {
+    prompts.push_back(PretrainPrompt(pair, rng.NextInt(0, variety - 1)));
+  }
+  text::Tokenizer tokenizer;
+  tokenizer.Train(prompts, profile.config.max_vocab, /*min_count=*/2);
+
+  auto model = std::make_unique<SimLlm>(profile.config, std::move(tokenizer));
+  std::vector<TrainExample> examples;
+  examples.reserve(prompts.size());
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    examples.push_back(model->EncodeExample(prompts[i], pairs[i].label));
+  }
+  TrainOptions options;
+  options.epochs = profile.pretrain_epochs;
+  options.batch_size = 32;
+  options.learning_rate = profile.pretrain_lr;
+  options.seed = profile.config.init_seed ^ 0x77;
+  TrainModel(*model, examples, options);
+  return model;
+}
+
+std::string DefaultCacheDir() {
+  const char* env = std::getenv("TM_CACHE_DIR");
+  return env != nullptr ? env : "tm_cache";
+}
+
+std::unique_ptr<SimLlm> GetZeroShotModel(ModelFamily family,
+                                         const std::string& cache_dir) {
+  const FamilyProfile profile = GetFamilyProfile(family);
+  std::string path;
+  if (!cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir, ec);
+    path = cache_dir + "/" + profile.config.family + ".ckpt";
+    if (std::filesystem::exists(path)) {
+      Result<std::unique_ptr<SimLlm>> loaded = SimLlm::LoadCheckpoint(path);
+      if (loaded.ok()) {
+        return std::move(loaded).value();
+      }
+      TM_LOG(Warning) << "ignoring unreadable checkpoint " << path << ": "
+                      << loaded.status().ToString();
+    }
+  }
+  std::unique_ptr<SimLlm> model = Pretrain(profile);
+  if (!path.empty()) {
+    Status status = model->SaveCheckpoint(path);
+    if (!status.ok()) {
+      TM_LOG(Warning) << "cannot cache checkpoint: " << status.ToString();
+    }
+  }
+  return model;
+}
+
+}  // namespace tailormatch::llm

@@ -1,0 +1,362 @@
+#include "llm/sim_llm.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/serialize.h"
+
+namespace tailormatch::llm {
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x544d434bu;  // "TMCK"
+constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+SimLlm::SimLlm(ModelConfig config, text::Tokenizer tokenizer)
+    : config_(std::move(config)), tokenizer_(std::move(tokenizer)) {
+  TM_CHECK(tokenizer_.trained()) << "SimLlm requires a trained tokenizer";
+  Rng rng(config_.init_seed);
+  token_embedding_ =
+      std::make_unique<nn::Embedding>(tokenizer_.vocab_size(), config_.dim, rng);
+  position_embedding_ =
+      std::make_unique<nn::Embedding>(config_.max_seq, config_.dim, rng);
+  duplicate_flag_embedding_ =
+      std::make_unique<nn::Embedding>(4, config_.dim, rng);
+  segment_embedding_ = std::make_unique<nn::Embedding>(3, config_.dim, rng);
+  blocks_.reserve(static_cast<size_t>(config_.num_layers));
+  for (int i = 0; i < config_.num_layers; ++i) {
+    blocks_.push_back(std::make_unique<nn::TransformerBlock>(
+        config_.dim, config_.num_heads, config_.dropout, rng));
+  }
+  final_norm_ = std::make_unique<nn::LayerNorm>(config_.dim);
+  cls_head_ = std::make_unique<nn::LoraLinear>(2 * config_.dim, 2, rng);
+  attr_head_ = std::make_unique<nn::LoraLinear>(2 * config_.dim,
+                                                config_.num_attr_slots, rng);
+  text_head_ = std::make_unique<nn::LoraLinear>(2 * config_.dim,
+                                                config_.num_text_buckets, rng);
+}
+
+nn::Tensor SimLlm::EncodeHidden(const std::vector<int>& ids,
+                                const nn::ForwardContext& ctx) const {
+  std::vector<int> clipped = ids;
+  if (static_cast<int>(clipped.size()) > config_.max_seq) {
+    clipped.resize(static_cast<size_t>(config_.max_seq));
+  }
+  TM_CHECK(!clipped.empty());
+  std::vector<int> positions(clipped.size());
+  std::iota(positions.begin(), positions.end(), 0);
+  // Token-match attention bias: 1 where two positions hold the identical
+  // (non-special) token. See MultiHeadAttention for rationale.
+  const int seq = static_cast<int>(clipped.size());
+  nn::Tensor match_bias(seq, seq);
+  for (int i = 0; i < seq; ++i) {
+    if (clipped[static_cast<size_t>(i)] < text::Vocab::kNumSpecialTokens) {
+      continue;
+    }
+    for (int j = 0; j < seq; ++j) {
+      if (i != j && clipped[static_cast<size_t>(i)] ==
+                        clipped[static_cast<size_t>(j)]) {
+        match_bias.set(i, j, 1.0f);
+      }
+    }
+  }
+  // Segments: 0 = instruction, 1 = first entity, 2 = second entity,
+  // switching at each occurrence of the "entity" marker token.
+  std::vector<int> segments(clipped.size(), 0);
+  {
+    // The serialized prompt always ends with "... Entity 1: <e1> Entity 2:
+    // <e2>"; instructions may also mention the word "entity", so the
+    // markers are the *last two* occurrences of the token.
+    const int entity_marker = tokenizer_.vocab().GetId("entity");
+    std::vector<int> occurrences;
+    for (int i = 0; i < seq; ++i) {
+      if (clipped[static_cast<size_t>(i)] == entity_marker) {
+        occurrences.push_back(i);
+      }
+    }
+    int entity1_start = seq, entity2_start = seq;
+    if (occurrences.size() >= 2) {
+      entity1_start = occurrences[occurrences.size() - 2];
+      entity2_start = occurrences[occurrences.size() - 1];
+    } else if (occurrences.size() == 1) {
+      entity1_start = occurrences[0];
+    }
+    for (int i = 0; i < seq; ++i) {
+      segments[static_cast<size_t>(i)] =
+          i >= entity2_start ? 2 : (i >= entity1_start ? 1 : 0);
+    }
+  }
+  // Duplicate flags classify each entity token by {word, digit} x
+  // {unmatched, matched-in-the-other-entity}. Cross-entity overlap is the
+  // core matching evidence, and an *unmatched digit identifier* is the
+  // core non-matching evidence, so both get explicit feature rows.
+  std::vector<int> duplicate_flags(clipped.size(), 0);
+  for (int i = 0; i < seq; ++i) {
+    const int id = clipped[static_cast<size_t>(i)];
+    if (id < text::Vocab::kNumSpecialTokens ||
+        segments[static_cast<size_t>(i)] == 0) {
+      continue;
+    }
+    bool matched = false;
+    for (int j = 0; j < seq; ++j) {
+      if (segments[static_cast<size_t>(j)] != 0 &&
+          segments[static_cast<size_t>(j)] !=
+              segments[static_cast<size_t>(i)] &&
+          id == clipped[static_cast<size_t>(j)]) {
+        matched = true;
+        break;
+      }
+    }
+    duplicate_flags[static_cast<size_t>(i)] =
+        (text::Tokenizer::IsDigitBucketId(id) ? 2 : 0) + (matched ? 1 : 0);
+  }
+  nn::Tensor h = nn::Add(
+      nn::Add(nn::Add(token_embedding_->Forward(clipped),
+                      position_embedding_->Forward(positions)),
+              segment_embedding_->Forward(segments)),
+      duplicate_flag_embedding_->Forward(duplicate_flags));
+  for (const auto& block : blocks_) {
+    h = block->Forward(h, ctx, &match_bias);
+  }
+  h = final_norm_->Forward(h);
+  // Mean pooling captures aggregate overlap; max pooling lets a single
+  // decisive token (an unmatched model number) dominate. Their concat
+  // feeds the verbalizer and auxiliary heads.
+  return nn::ConcatCols({nn::MeanRows(h), nn::MaxRows(h)});
+}
+
+nn::Tensor SimLlm::ClsLogits(const std::vector<int>& ids,
+                             const nn::ForwardContext& ctx) const {
+  return cls_head_->Forward(EncodeHidden(ids, ctx), ctx);
+}
+
+double SimLlm::PredictMatchProbability(const std::string& prompt_text) const {
+  nn::ForwardContext ctx;  // eval mode, no dropout
+  std::vector<int> ids = tokenizer_.EncodeForModel(prompt_text, config_.max_seq);
+  nn::Tensor logits = ClsLogits(ids, ctx);
+  const float no_logit = logits.at(0, 0);
+  const float yes_logit = logits.at(0, 1);
+  const float m = std::max(no_logit, yes_logit);
+  const double e_no = std::exp(no_logit - m);
+  const double e_yes = std::exp(yes_logit - m);
+  return e_yes / (e_no + e_yes);
+}
+
+std::string SimLlm::Respond(const std::string& prompt_text) const {
+  const double p = PredictMatchProbability(prompt_text);
+  if (p > 0.5) {
+    return "Yes. The two descriptions appear to refer to the same entity.";
+  }
+  return "No. The two descriptions appear to refer to different entities.";
+}
+
+TrainExample SimLlm::EncodeExample(const std::string& prompt_text,
+                                   bool label) const {
+  TrainExample example;
+  example.tokens = tokenizer_.EncodeForModel(prompt_text, config_.max_seq);
+  example.label = label;
+  return example;
+}
+
+nn::Tensor SimLlm::ForwardLoss(const TrainExample& example, bool training,
+                               Rng& rng) const {
+  nn::ForwardContext ctx;
+  ctx.training = training;
+  ctx.rng = &rng;
+  nn::Tensor hidden = EncodeHidden(example.tokens, ctx);
+  nn::Tensor logits = cls_head_->Forward(hidden, ctx);
+  nn::Tensor loss = nn::SoftmaxCrossEntropy(logits, example.label ? 1 : 0);
+  if (example.has_attr_targets) {
+    nn::Tensor attr_pred = attr_head_->Forward(hidden, ctx);
+    nn::Tensor attr_loss =
+        nn::WeightedMseLoss(attr_pred, example.attr_targets,
+                            example.attr_weights, example.attr_mask);
+    loss = nn::Add(loss, nn::Scale(attr_loss, example.aux_weight));
+  }
+  if (example.has_text_targets) {
+    nn::Tensor text_pred = text_head_->Forward(hidden, ctx);
+    nn::Tensor text_loss = nn::SigmoidBceLoss(text_pred, example.text_targets);
+    loss = nn::Add(loss, nn::Scale(text_loss, example.aux_weight));
+  }
+  return loss;
+}
+
+std::vector<nn::Tensor> SimLlm::TrainableParameters() const {
+  std::vector<nn::Tensor> params;
+  token_embedding_->CollectParameters(&params);
+  position_embedding_->CollectParameters(&params);
+  duplicate_flag_embedding_->CollectParameters(&params);
+  segment_embedding_->CollectParameters(&params);
+  for (const auto& block : blocks_) block->CollectParameters(&params);
+  final_norm_->CollectParameters(&params);
+  cls_head_->CollectParameters(&params);
+  attr_head_->CollectParameters(&params);
+  text_head_->CollectParameters(&params);
+  return params;
+}
+
+std::vector<nn::Tensor> SimLlm::StateTensors() const {
+  std::vector<nn::Tensor> tensors;
+  token_embedding_->CollectStateTensors(&tensors);
+  position_embedding_->CollectStateTensors(&tensors);
+  duplicate_flag_embedding_->CollectStateTensors(&tensors);
+  segment_embedding_->CollectStateTensors(&tensors);
+  for (const auto& block : blocks_) block->CollectStateTensors(&tensors);
+  final_norm_->CollectStateTensors(&tensors);
+  cls_head_->CollectStateTensors(&tensors);
+  attr_head_->CollectStateTensors(&tensors);
+  text_head_->CollectStateTensors(&tensors);
+  return tensors;
+}
+
+void SimLlm::EnableLora(const nn::LoraConfig& config) {
+  TM_CHECK(!lora_enabled_) << "LoRA already enabled";
+  Rng rng(config_.init_seed ^ 0x10adULL);
+  token_embedding_->SetTrainable(false);
+  position_embedding_->SetTrainable(false);
+  duplicate_flag_embedding_->SetTrainable(false);
+  segment_embedding_->SetTrainable(false);
+  for (auto& block : blocks_) {
+    block->EnableLora(config, rng);
+  }
+  // Task heads stay fully trainable (they are tiny, like the verbalizer
+  // embeddings that always train in LoRA setups).
+  lora_enabled_ = true;
+}
+
+void SimLlm::MergeLora() {
+  if (!lora_enabled_) return;
+  for (auto& block : blocks_) block->MergeLora();
+  token_embedding_->SetTrainable(true);
+  position_embedding_->SetTrainable(true);
+  duplicate_flag_embedding_->SetTrainable(true);
+  segment_embedding_->SetTrainable(true);
+  lora_enabled_ = false;
+}
+
+std::vector<std::vector<float>> SimLlm::SnapshotState() const {
+  std::vector<std::vector<float>> snapshot;
+  for (const nn::Tensor& t : StateTensors()) snapshot.push_back(t.data());
+  return snapshot;
+}
+
+void SimLlm::RestoreState(const std::vector<std::vector<float>>& state) {
+  std::vector<nn::Tensor> tensors = StateTensors();
+  TM_CHECK_EQ(tensors.size(), state.size())
+      << "snapshot structure mismatch (was LoRA toggled in between?)";
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    TM_CHECK_EQ(tensors[i].size(), state[i].size());
+    tensors[i].data() = state[i];
+  }
+}
+
+Status SimLlm::SaveCheckpoint(const std::string& path) const {
+  if (lora_enabled_) {
+    return Status::FailedPrecondition(
+        "merge or disable LoRA adapters before saving a checkpoint");
+  }
+  BinaryWriter writer;
+  writer.WriteU32(kCheckpointMagic);
+  writer.WriteU32(kCheckpointVersion);
+  writer.WriteString(config_.family);
+  writer.WriteI32(config_.dim);
+  writer.WriteI32(config_.num_heads);
+  writer.WriteI32(config_.num_layers);
+  writer.WriteI32(config_.max_seq);
+  writer.WriteI32(config_.max_vocab);
+  writer.WriteFloat(config_.dropout);
+  writer.WriteU64(config_.init_seed);
+  writer.WriteI32(config_.num_attr_slots);
+  writer.WriteI32(config_.num_text_buckets);
+  // Tokenizer vocabulary (specials included; order defines ids).
+  const auto& tokens = tokenizer_.vocab().tokens();
+  writer.WriteU32(static_cast<uint32_t>(tokens.size()));
+  for (const std::string& token : tokens) writer.WriteString(token);
+  // Weights.
+  std::vector<nn::Tensor> tensors = StateTensors();
+  writer.WriteU32(static_cast<uint32_t>(tensors.size()));
+  for (const nn::Tensor& t : tensors) {
+    writer.WriteI32(t.rows());
+    writer.WriteI32(t.cols());
+    writer.WriteFloatVector(t.data());
+  }
+  return writer.Flush(path);
+}
+
+Result<std::unique_ptr<SimLlm>> SimLlm::LoadCheckpoint(
+    const std::string& path) {
+  Result<BinaryReader> reader_or = BinaryReader::FromFile(path);
+  if (!reader_or.ok()) return reader_or.status();
+  BinaryReader reader = std::move(reader_or).value();
+
+  uint32_t magic, version;
+  TM_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a TailorMatch checkpoint: " + path);
+  }
+  TM_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  ModelConfig config;
+  TM_RETURN_IF_ERROR(reader.ReadString(&config.family));
+  TM_RETURN_IF_ERROR(reader.ReadI32(&config.dim));
+  TM_RETURN_IF_ERROR(reader.ReadI32(&config.num_heads));
+  TM_RETURN_IF_ERROR(reader.ReadI32(&config.num_layers));
+  TM_RETURN_IF_ERROR(reader.ReadI32(&config.max_seq));
+  TM_RETURN_IF_ERROR(reader.ReadI32(&config.max_vocab));
+  TM_RETURN_IF_ERROR(reader.ReadFloat(&config.dropout));
+  TM_RETURN_IF_ERROR(reader.ReadU64(&config.init_seed));
+  TM_RETURN_IF_ERROR(reader.ReadI32(&config.num_attr_slots));
+  TM_RETURN_IF_ERROR(reader.ReadI32(&config.num_text_buckets));
+
+  uint32_t num_tokens;
+  TM_RETURN_IF_ERROR(reader.ReadU32(&num_tokens));
+  std::vector<std::string> tokens(num_tokens);
+  for (uint32_t i = 0; i < num_tokens; ++i) {
+    TM_RETURN_IF_ERROR(reader.ReadString(&tokens[i]));
+  }
+  text::Tokenizer tokenizer = text::Tokenizer::FromVocabTokens(tokens);
+
+  auto model = std::make_unique<SimLlm>(config, std::move(tokenizer));
+  std::vector<nn::Tensor> tensors = model->StateTensors();
+  uint32_t num_tensors;
+  TM_RETURN_IF_ERROR(reader.ReadU32(&num_tensors));
+  if (num_tensors != tensors.size()) {
+    return Status::InvalidArgument("checkpoint tensor count mismatch");
+  }
+  for (nn::Tensor& t : tensors) {
+    int32_t rows, cols;
+    TM_RETURN_IF_ERROR(reader.ReadI32(&rows));
+    TM_RETURN_IF_ERROR(reader.ReadI32(&cols));
+    if (rows != t.rows() || cols != t.cols()) {
+      return Status::InvalidArgument("checkpoint tensor shape mismatch");
+    }
+    std::vector<float> values;
+    TM_RETURN_IF_ERROR(reader.ReadFloatVector(&values));
+    if (values.size() != t.size()) {
+      return Status::InvalidArgument("checkpoint tensor size mismatch");
+    }
+    t.data() = std::move(values);
+  }
+  return model;
+}
+
+std::unique_ptr<SimLlm> SimLlm::Clone() const {
+  TM_CHECK(!lora_enabled_) << "clone before enabling LoRA";
+  auto copy = std::make_unique<SimLlm>(config_, tokenizer_);
+  copy->RestoreState(SnapshotState());
+  return copy;
+}
+
+int TextBucketForWord(const std::string& word, int num_buckets) {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : word) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(num_buckets));
+}
+
+}  // namespace tailormatch::llm

@@ -1,0 +1,136 @@
+#ifndef TAILORMATCH_LLM_SIM_LLM_H_
+#define TAILORMATCH_LLM_SIM_LLM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llm/model_config.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tailormatch::llm {
+
+// A training example as consumed by the simulated LLM: the encoded prompt,
+// the Yes/No completion, and optional explanation supervision. The paper
+// trains a generative model on "<prompt> -> Yes/No [+ explanation]"; the
+// simulation maps the completion onto a verbalizer head and the explanation
+// onto auxiliary targets (see DESIGN.md, substitution table).
+struct TrainExample {
+  std::vector<int> tokens;
+  bool label = false;
+
+  // Structured-explanation supervision (Figure 4): per attribute slot the
+  // value similarity (target), the stated importance (weight), and whether
+  // the slot was mentioned (mask).
+  bool has_attr_targets = false;
+  std::vector<float> attr_targets;
+  std::vector<float> attr_weights;
+  std::vector<float> attr_mask;
+
+  // Textual-explanation supervision (Figure 3): hashed bag of explanation
+  // words.
+  bool has_text_targets = false;
+  std::vector<float> text_targets;
+
+  // Multiplier on the auxiliary losses.
+  float aux_weight = 0.5f;
+};
+
+// A simulated large language model for entity matching: a small
+// encoder-style transformer with a Yes/No verbalizer head. Supports full
+// training (used for "pretraining" that produces zero-shot checkpoints) and
+// LoRA fine-tuning (the paper's setup).
+class SimLlm {
+ public:
+  SimLlm(ModelConfig config, text::Tokenizer tokenizer);
+
+  SimLlm(const SimLlm&) = delete;
+  SimLlm& operator=(const SimLlm&) = delete;
+
+  const ModelConfig& config() const { return config_; }
+  const text::Tokenizer& tokenizer() const { return tokenizer_; }
+
+  // ---- Inference ----
+
+  // P(match) for a fully rendered prompt string. Deterministic.
+  double PredictMatchProbability(const std::string& prompt_text) const;
+
+  // Natural-language response ("Yes." / "No."), the interface the paper's
+  // evaluation parses with Narayan et al.'s method.
+  std::string Respond(const std::string& prompt_text) const;
+
+  // ---- Training ----
+
+  // Encodes a prompt/label pair into a TrainExample (no explanation
+  // supervision; the explain module fills those fields).
+  TrainExample EncodeExample(const std::string& prompt_text,
+                             bool label) const;
+
+  // Builds the scalar loss for one example: verbalizer cross-entropy plus
+  // any auxiliary explanation losses carried by the example.
+  nn::Tensor ForwardLoss(const TrainExample& example, bool training,
+                         Rng& rng) const;
+
+  // Tensors the optimizer should update in the current mode.
+  std::vector<nn::Tensor> TrainableParameters() const;
+  // Every weight tensor (for snapshots and checkpoints).
+  std::vector<nn::Tensor> StateTensors() const;
+
+  // Switches to LoRA fine-tuning mode: freezes backbone + embeddings; the
+  // adapters, layer norms, and task heads remain trainable.
+  void EnableLora(const nn::LoraConfig& config);
+  bool lora_enabled() const { return lora_enabled_; }
+  // Folds adapters into the backbone and leaves LoRA mode.
+  void MergeLora();
+
+  // ---- Snapshots & checkpoints ----
+
+  // In-memory value snapshot/restore (per-epoch checkpoint selection).
+  std::vector<std::vector<float>> SnapshotState() const;
+  void RestoreState(const std::vector<std::vector<float>>& state);
+
+  // Disk checkpoints (adapters must be merged or disabled first).
+  Status SaveCheckpoint(const std::string& path) const;
+  static Result<std::unique_ptr<SimLlm>> LoadCheckpoint(
+      const std::string& path);
+
+  // Deep copy (used to fine-tune many variants off one zero-shot model).
+  std::unique_ptr<SimLlm> Clone() const;
+
+ private:
+  // Runs the encoder and returns the CLS-position hidden state (1 x dim).
+  nn::Tensor EncodeHidden(const std::vector<int>& ids,
+                          const nn::ForwardContext& ctx) const;
+  nn::Tensor ClsLogits(const std::vector<int>& ids,
+                       const nn::ForwardContext& ctx) const;
+
+  ModelConfig config_;
+  text::Tokenizer tokenizer_;
+  bool lora_enabled_ = false;
+
+  std::unique_ptr<nn::Embedding> token_embedding_;
+  std::unique_ptr<nn::Embedding> position_embedding_;
+  // Two-row table indexed by "does this token occur elsewhere in the
+  // prompt": the explicit duplicate-token feature that internet-scale
+  // pretraining gives real LLMs (see DESIGN.md substitution table).
+  std::unique_ptr<nn::Embedding> duplicate_flag_embedding_;
+  // Three-row table for instruction / entity-1 / entity-2 segments,
+  // detected from the "Entity 1:" / "Entity 2:" markers in the prompt.
+  std::unique_ptr<nn::Embedding> segment_embedding_;
+  std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;
+  std::unique_ptr<nn::LayerNorm> final_norm_;
+  std::unique_ptr<nn::LoraLinear> cls_head_;   // dim -> 2 ("No", "Yes")
+  std::unique_ptr<nn::LoraLinear> attr_head_;  // dim -> num_attr_slots
+  std::unique_ptr<nn::LoraLinear> text_head_;  // dim -> num_text_buckets
+};
+
+// Hashes an explanation word into a text-head bucket.
+int TextBucketForWord(const std::string& word, int num_buckets);
+
+}  // namespace tailormatch::llm
+
+#endif  // TAILORMATCH_LLM_SIM_LLM_H_

@@ -1,0 +1,324 @@
+#include "llm/teacher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace tailormatch::llm {
+
+namespace {
+
+// Deterministic hash-based uniform in [0,1) for a pair of strings + seed.
+double PairNoise(const std::string& a, const std::string& b, uint64_t seed) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (char c : a) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= 0x9e3779b97f4a7c15ULL;
+  for (char c : b) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<double>(h >> 11) / 9007199254740992.0;  // 2^53
+}
+
+bool IsDigitToken(const std::string& token) {
+  return std::isdigit(static_cast<unsigned char>(token[0])) != 0;
+}
+
+bool IsUnitWord(const std::string& token) {
+  static const char* kUnits[] = {"gb", "tb", "mb",  "hz", "w",  "in",
+                                 "mm", "mah", "sp", "t",  "v"};
+  for (const char* unit : kUnits) {
+    if (token == unit) return true;
+  }
+  return false;
+}
+
+// Marketing filler that shops append freely; an LLM reading a title
+// ignores it when comparing entities.
+bool IsMarketingWord(const std::string& token) {
+  static const char* kMarketing[] = {"new",    "oem",     "original",
+                                     "genuine", "sealed", "retail",
+                                     "bulk",   "edition", "official",
+                                     "promo",  "eu",      "us"};
+  for (const char* word : kMarketing) {
+    if (token == word) return true;
+  }
+  return false;
+}
+
+bool IsYear(const std::string& token) {
+  if (token.size() != 4 || !IsDigitToken(token)) return false;
+  const int value = std::atoi(token.c_str());
+  return value >= 1900 && value <= 2035;
+}
+
+// Attribute-aware reading of a rendered surface, mimicking how an LLM
+// parses a product title: identifier digits, unit-tagged specification
+// values, parenthesized SKU groups, and plain words.
+struct SurfaceProfile {
+  std::vector<std::string> identifier_digits;  // model numbers, years
+  std::vector<std::string> spec_values;        // "500gb", "7sp", ...
+  std::vector<std::string> sku_digits;         // inside parentheses
+  std::vector<std::string> words;
+};
+
+SurfaceProfile ParseSurface(const std::string& surface) {
+  SurfaceProfile profile;
+  std::vector<std::string> tokens = text::PreTokenize(surface);
+  int paren_depth = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token == "(") {
+      ++paren_depth;
+      continue;
+    }
+    if (token == ")") {
+      paren_depth = std::max(0, paren_depth - 1);
+      continue;
+    }
+    if (token.size() == 1 && !std::isalnum(static_cast<unsigned char>(token[0]))) {
+      continue;  // separators
+    }
+    if (IsDigitToken(token)) {
+      if (paren_depth > 0) {
+        profile.sku_digits.push_back(token);
+      } else if (i + 1 < tokens.size() && IsUnitWord(tokens[i + 1])) {
+        profile.spec_values.push_back(token + tokens[i + 1]);
+        ++i;  // consume the unit
+      } else if (i + 3 < tokens.size() && tokens[i + 1] == "-" &&
+                 IsDigitToken(tokens[i + 2]) && IsUnitWord(tokens[i + 3])) {
+        // Range spec like "12-32t": the whole range is one spec value.
+        profile.spec_values.push_back(token + "-" + tokens[i + 2] +
+                                      tokens[i + 3]);
+        i += 3;
+      } else {
+        profile.identifier_digits.push_back(token);
+      }
+    } else if (!IsUnitWord(token) && !IsMarketingWord(token) &&
+               token.size() >= 2) {
+      profile.words.push_back(token);
+    }
+  }
+  return profile;
+}
+
+// Fuzzy containment of a's words in b's (typos/abbreviations tolerated).
+double WordContainment(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty()) return 1.0;
+  int matched = 0;
+  for (const std::string& token : a) {
+    for (const std::string& candidate : b) {
+      if (token == candidate ||
+          text::JaroWinkler(token, candidate) >= 0.85) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(a.size());
+}
+
+enum class CategoryVerdict { kAgree, kDisagree, kNotComparable };
+
+// Compares one attribute category across the two profiles. Values are only
+// comparable when both sides expose the category; a category dropped from
+// one rendering is not evidence either way.
+CategoryVerdict CompareCategory(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b,
+                                bool tolerate_year_offset) {
+  if (a.empty() || b.empty()) return CategoryVerdict::kNotComparable;
+  int shared = 0;
+  for (const std::string& value : a) {
+    for (const std::string& candidate : b) {
+      if (value == candidate) {
+        ++shared;
+        break;
+      }
+      if (tolerate_year_offset && IsYear(value) && IsYear(candidate) &&
+          std::abs(std::atoi(value.c_str()) - std::atoi(candidate.c_str())) <=
+              1) {
+        ++shared;
+        break;
+      }
+    }
+  }
+  // Agreement requires the side exposing fewer values to be fully covered:
+  // extra values on the richer side are fine (the other rendering dropped
+  // them), but any mutually-visible mismatch is disagreement.
+  const size_t smaller = std::min(a.size(), b.size());
+  return static_cast<size_t>(shared) >= smaller ? CategoryVerdict::kAgree
+                                                : CategoryVerdict::kDisagree;
+}
+
+// Scholar citations are semicolon-delimited "authors; title; [venue];
+// [year]" (Section 2). Field-aware comparison: the title is the identity
+// carrier, the year is a soft check (noisy indexes are off by one), and
+// venue renderings (full name vs abbreviation) are not comparable.
+struct CitationProfile {
+  std::vector<std::string> author_words;
+  std::vector<std::string> title_words;
+  std::string year;
+};
+
+CitationProfile ParseCitation(const std::string& surface) {
+  CitationProfile profile;
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : surface) {
+    if (c == ';') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    std::vector<std::string> tokens = text::PreTokenize(fields[i]);
+    if (i == 0) {
+      for (std::string& token : tokens) {
+        if (token.size() >= 2) profile.author_words.push_back(token);
+      }
+    } else if (i == 1) {
+      for (std::string& token : tokens) {
+        if (token.size() >= 2 && !IsDigitToken(token)) {
+          profile.title_words.push_back(token);
+        }
+      }
+    } else {
+      for (std::string& token : tokens) {
+        if (IsYear(token)) profile.year = token;
+      }
+    }
+  }
+  return profile;
+}
+
+// True when `a` has a content word with no fuzzy counterpart in `b`.
+bool HasUnmatchedWord(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  for (const std::string& token : a) {
+    bool found = false;
+    for (const std::string& candidate : b) {
+      if (token == candidate ||
+          text::JaroWinkler(token, candidate) >= 0.85) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return true;
+  }
+  return false;
+}
+
+double ScholarMatchScore(const data::EntityPair& pair) {
+  const CitationProfile left = ParseCitation(pair.left.surface);
+  const CitationProfile right = ParseCitation(pair.right.surface);
+  const double title = std::max(
+      WordContainment(left.title_words, right.title_words),
+      WordContainment(right.title_words, left.title_words));
+  const double authors = std::max(
+      WordContainment(left.author_words, right.author_words),
+      WordContainment(right.author_words, left.author_words));
+  double score = 0.15 + 0.6 * title + 0.25 * authors;
+  // A content word replaced (visible as unmatched on *both* sides) means a
+  // different paper even when everything else lines up.
+  if (!left.title_words.empty() && !right.title_words.empty() &&
+      HasUnmatchedWord(left.title_words, right.title_words) &&
+      HasUnmatchedWord(right.title_words, left.title_words)) {
+    score *= 0.45;
+  }
+  if (!left.year.empty() && !right.year.empty()) {
+    const int delta =
+        std::abs(std::atoi(left.year.c_str()) - std::atoi(right.year.c_str()));
+    if (delta > 1) {
+      score *= 0.5;  // conference-vs-journal-version trap
+    } else {
+      score += 0.05 * (1.0 - score);
+    }
+  }
+  return std::clamp(score, 0.0, 1.0);
+}
+
+}  // namespace
+
+double TeacherLlm::MatchScore(const data::EntityPair& pair) const {
+  if (pair.left.domain == data::Domain::kScholar ||
+      pair.left.surface.find(';') != std::string::npos) {
+    return ScholarMatchScore(pair);
+  }
+  const SurfaceProfile left = ParseSurface(pair.left.surface);
+  const SurfaceProfile right = ParseSurface(pair.right.surface);
+
+  // Word evidence: a match survives attribute drops, so the sparser
+  // rendering should be (almost) fully contained in the richer one.
+  const double words = std::max(WordContainment(left.words, right.words),
+                                WordContainment(right.words, left.words));
+
+  // Identifier evidence: a disagreement on any category that is visible on
+  // both sides is strong "different entity" evidence.
+  double score = 0.25 + 0.75 * words;
+  const bool scholar = pair.left.domain == data::Domain::kScholar;
+  const CategoryVerdict verdicts[] = {
+      CompareCategory(left.identifier_digits, right.identifier_digits,
+                      scholar),
+      CompareCategory(left.spec_values, right.spec_values, false),
+      CompareCategory(left.sku_digits, right.sku_digits, false),
+  };
+  bool first = true;
+  for (CategoryVerdict verdict : verdicts) {
+    if (verdict == CategoryVerdict::kDisagree) {
+      score *= 0.4;
+    } else if (verdict == CategoryVerdict::kAgree) {
+      // An agreeing model number / SKU is strong identity evidence.
+      score = score + (first ? 0.35 : 0.15) * (1.0 - score);
+    }
+    first = false;
+  }
+  return std::clamp(score, 0.0, 1.0);
+}
+
+bool TeacherLlm::PredictMatch(const data::EntityPair& pair) const {
+  const double score = MatchScore(pair);
+  bool verdict = score >= config_.threshold;
+  const double distance = std::abs(score - config_.threshold);
+  if (distance < config_.noise_band) {
+    const double flip_probability =
+        config_.noise_rate * (1.0 - distance / config_.noise_band);
+    if (PairNoise(pair.left.surface, pair.right.surface, config_.seed) <
+        flip_probability) {
+      verdict = !verdict;
+    }
+  }
+  return verdict;
+}
+
+bool TeacherLlm::IsInteresting(const data::EntityPair& pair) const {
+  // Section 5.1 leaves "interesting" deliberately undefined; the model
+  // "appears to define it as pairs that share many attributes" - i.e. the
+  // corner-case region. Trivially-dissimilar pairs ("a hard drive and a
+  // TV") are dropped regardless of their label.
+  double shared;
+  if (pair.left.domain == data::Domain::kScholar ||
+      pair.left.surface.find(';') != std::string::npos) {
+    const CitationProfile left = ParseCitation(pair.left.surface);
+    const CitationProfile right = ParseCitation(pair.right.surface);
+    shared = std::max(WordContainment(left.title_words, right.title_words),
+                      WordContainment(right.title_words, left.title_words));
+  } else {
+    const SurfaceProfile left = ParseSurface(pair.left.surface);
+    const SurfaceProfile right = ParseSurface(pair.right.surface);
+    shared = std::max(WordContainment(left.words, right.words),
+                      WordContainment(right.words, left.words));
+  }
+  return shared >= 0.8;
+}
+
+}  // namespace tailormatch::llm

@@ -1,0 +1,52 @@
+#ifndef TAILORMATCH_LLM_TEACHER_H_
+#define TAILORMATCH_LLM_TEACHER_H_
+
+#include <string>
+
+#include "data/entity.h"
+
+namespace tailormatch::llm {
+
+// Simulates the hosted teacher LLM (GPT-4o / GPT-4o-mini) that the paper
+// uses for error-based filtering, relevancy filtering, and judging
+// generated examples. Implemented as a calibrated heuristic matcher over
+// the surface forms: stronger than the fine-tuned students but imperfect,
+// with deterministic pseudo-random mistakes on borderline pairs.
+class TeacherLlm {
+ public:
+  struct Config {
+    // Decision threshold on the blended similarity score.
+    double threshold = 0.68;
+    // Width of the borderline band in which the teacher can err.
+    double noise_band = 0.12;
+    // Error probability at the centre of the band.
+    double noise_rate = 0.25;
+    uint64_t seed = 4242;
+  };
+
+  TeacherLlm() : TeacherLlm(Config()) {}
+  explicit TeacherLlm(Config config) : config_(config) {}
+
+  // Blended surface similarity in [0, 1]; the teacher's belief that the
+  // pair matches.
+  double MatchScore(const data::EntityPair& pair) const;
+
+  // The teacher's Yes/No verdict (deterministic for a given pair + seed).
+  bool PredictMatch(const data::EntityPair& pair) const;
+
+  // Relevancy judgment for Section 5.1's "interesting examples" filter:
+  // true when the pair is a potential corner case (neither trivially equal
+  // nor trivially different). The paper leaves "interesting" purposely
+  // vague; the observed model behaviour is "pairs that share many
+  // attributes", which this reproduces.
+  bool IsInteresting(const data::EntityPair& pair) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace tailormatch::llm
+
+#endif  // TAILORMATCH_LLM_TEACHER_H_

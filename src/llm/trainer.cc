@@ -1,0 +1,100 @@
+#include "llm/trainer.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "nn/optimizer.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace tailormatch::llm {
+
+namespace {
+
+// Learning rate at optimizer step `step` of `total_steps`.
+float ScheduledLr(const TrainOptions& options, int64_t step,
+                  int64_t total_steps) {
+  if (options.schedule == LrSchedule::kConstant || total_steps <= 1) {
+    return options.learning_rate;
+  }
+  const float progress =
+      static_cast<float>(step) / static_cast<float>(total_steps - 1);
+  const float floor = options.learning_rate * options.lr_floor_fraction;
+  if (options.schedule == LrSchedule::kLinear) {
+    return floor + (options.learning_rate - floor) * (1.0f - progress);
+  }
+  // Cosine decay.
+  const float cosine = 0.5f * (1.0f + std::cos(3.14159265f * progress));
+  return floor + (options.learning_rate - floor) * cosine;
+}
+
+}  // namespace
+
+TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
+                      const TrainOptions& options,
+                      const ValidationFn& validation) {
+  TM_CHECK(!examples.empty()) << "empty training set";
+  TM_CHECK_GT(options.epochs, 0);
+  TM_CHECK_GT(options.batch_size, 0);
+
+  TrainStats stats;
+  Rng rng(options.seed);
+  nn::AdamW optimizer(model.TrainableParameters(), options.learning_rate,
+                      options.weight_decay);
+
+  std::vector<size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const int64_t steps_per_epoch =
+      (static_cast<int64_t>(examples.size()) + options.batch_size - 1) /
+      options.batch_size;
+  const int64_t total_steps = steps_per_epoch * options.epochs;
+  int64_t step = 0;
+
+  std::vector<std::vector<float>> best_state;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    optimizer.ZeroGrad();
+    for (size_t idx : order) {
+      nn::Tensor loss = model.ForwardLoss(examples[idx], /*training=*/true,
+                                          rng);
+      epoch_loss += loss.item();
+      // Mean-reduce over the batch by scaling each example's loss.
+      nn::Scale(loss, 1.0f / static_cast<float>(options.batch_size))
+          .Backward();
+      if (++in_batch == options.batch_size) {
+        nn::ClipGradNorm(optimizer.params(), options.clip_norm);
+        optimizer.set_learning_rate(ScheduledLr(options, step++, total_steps));
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      nn::ClipGradNorm(optimizer.params(), options.clip_norm);
+      optimizer.set_learning_rate(ScheduledLr(options, step++, total_steps));
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    stats.epoch_train_loss.push_back(epoch_loss /
+                                     static_cast<double>(examples.size()));
+    if (validation) {
+      const double score = validation(model);
+      stats.epoch_valid_score.push_back(score);
+      if (options.select_best_checkpoint &&
+          (stats.best_epoch < 0 || score > stats.best_score)) {
+        stats.best_epoch = epoch;
+        stats.best_score = score;
+        best_state = model.SnapshotState();
+      }
+    }
+  }
+  if (!best_state.empty()) {
+    model.RestoreState(best_state);
+  }
+  return stats;
+}
+
+}  // namespace tailormatch::llm

@@ -1,0 +1,55 @@
+#ifndef TAILORMATCH_LLM_TRAINER_H_
+#define TAILORMATCH_LLM_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "llm/sim_llm.h"
+
+namespace tailormatch::llm {
+
+// Learning-rate schedule across optimizer steps.
+enum class LrSchedule {
+  kConstant,  // the paper's default setup
+  kCosine,    // cosine decay to lr_floor
+  kLinear,    // linear decay to lr_floor
+};
+
+// Gradient-training options. Defaults mirror the paper's fine-tuning setup
+// (batch 16, 10 epochs, per-epoch checkpoints validated via callbacks).
+struct TrainOptions {
+  int epochs = 10;
+  int batch_size = 16;
+  float learning_rate = 2e-3f;
+  float weight_decay = 0.0f;
+  float clip_norm = 5.0f;
+  uint64_t seed = 42;
+  LrSchedule schedule = LrSchedule::kConstant;
+  // Final learning rate as a fraction of the peak (cosine/linear only).
+  float lr_floor_fraction = 0.1f;
+  // When a validation callback is supplied, the checkpoint with the best
+  // validation score is restored at the end (the paper selects the best of
+  // the per-epoch checkpoints).
+  bool select_best_checkpoint = true;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_train_loss;
+  std::vector<double> epoch_valid_score;
+  int best_epoch = -1;  // 0-based index into epoch_valid_score
+  double best_score = 0.0;
+};
+
+// Scores a model (higher = better); typically validation-set F1.
+using ValidationFn = std::function<double(const SimLlm&)>;
+
+// Trains `model` in place on `examples` (pretraining when the backbone is
+// trainable, LoRA fine-tuning when adapters are enabled) and returns
+// per-epoch statistics. Deterministic for a fixed seed.
+TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
+                      const TrainOptions& options,
+                      const ValidationFn& validation = nullptr);
+
+}  // namespace tailormatch::llm
+
+#endif  // TAILORMATCH_LLM_TRAINER_H_

@@ -1,0 +1,290 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace tailormatch::nn {
+
+// ---- LoraLinear ----
+
+LoraLinear::LoraLinear(int in_dim, int out_dim, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(Tensor::Randn(in_dim, out_dim,
+                            1.0f / std::sqrt(static_cast<float>(in_dim)), rng,
+                            /*requires_grad=*/true)),
+      bias_(Tensor::Zeros(1, out_dim, /*requires_grad=*/true)) {}
+
+void LoraLinear::EnableLora(const LoraConfig& config, Rng& rng) {
+  TM_CHECK_GT(config.rank, 0);
+  lora_config_ = config;
+  lora_enabled_ = true;
+  weight_.set_requires_grad(false);
+  bias_.set_requires_grad(false);
+  // Standard LoRA init: A gaussian, B zero, so the adapter starts as a
+  // no-op and fine-tuning departs smoothly from the base model.
+  lora_a_ = Tensor::Randn(in_dim_, config.rank,
+                          1.0f / std::sqrt(static_cast<float>(in_dim_)), rng,
+                          /*requires_grad=*/true);
+  lora_b_ = Tensor::Zeros(config.rank, out_dim_, /*requires_grad=*/true);
+}
+
+void LoraLinear::DisableLora() {
+  lora_enabled_ = false;
+  lora_a_ = Tensor();
+  lora_b_ = Tensor();
+  weight_.set_requires_grad(true);
+  bias_.set_requires_grad(true);
+}
+
+void LoraLinear::MergeLora() {
+  if (!lora_enabled_) return;
+  const int r = lora_config_.rank;
+  const float scaling = lora_config_.alpha / static_cast<float>(r);
+  for (int i = 0; i < in_dim_; ++i) {
+    for (int j = 0; j < out_dim_; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < r; ++k) {
+        acc += lora_a_.at(i, k) * lora_b_.at(k, j);
+      }
+      weight_.set(i, j, weight_.at(i, j) + scaling * acc);
+    }
+  }
+  DisableLora();
+}
+
+Tensor LoraLinear::Forward(const Tensor& x, const ForwardContext& ctx) const {
+  Tensor base = AddRowBroadcast(MatMul(x, weight_), bias_);
+  if (!lora_enabled_) return base;
+  Tensor dropped = x;
+  if (ctx.rng != nullptr) {
+    dropped = DropoutOp(x, lora_config_.dropout, ctx.training, *ctx.rng);
+  }
+  Tensor delta = MatMul(MatMul(dropped, lora_a_), lora_b_);
+  const float scaling =
+      lora_config_.alpha / static_cast<float>(lora_config_.rank);
+  return Add(base, Scale(delta, scaling));
+}
+
+void LoraLinear::CollectParameters(std::vector<Tensor>* out) const {
+  if (lora_enabled_) {
+    out->push_back(lora_a_);
+    out->push_back(lora_b_);
+  } else {
+    out->push_back(weight_);
+    out->push_back(bias_);
+  }
+}
+
+void LoraLinear::CollectStateTensors(std::vector<Tensor>* out) const {
+  out->push_back(weight_);
+  out->push_back(bias_);
+  if (lora_enabled_) {
+    out->push_back(lora_a_);
+    out->push_back(lora_b_);
+  }
+}
+
+// ---- Embedding ----
+
+Embedding::Embedding(int vocab_size, int dim, Rng& rng)
+    : table_(Tensor::Randn(vocab_size, dim, 0.25f, rng,
+                           /*requires_grad=*/true)) {}
+
+Tensor Embedding::Forward(const std::vector<int>& ids) const {
+  return EmbeddingLookup(table_, ids);
+}
+
+void Embedding::CollectParameters(std::vector<Tensor>* out) const {
+  if (table_.requires_grad()) out->push_back(table_);
+}
+
+void Embedding::CollectStateTensors(std::vector<Tensor>* out) const {
+  out->push_back(table_);
+}
+
+void Embedding::SetTrainable(bool trainable) {
+  table_.set_requires_grad(trainable);
+}
+
+// ---- LayerNorm ----
+
+LayerNorm::LayerNorm(int dim)
+    : gain_(Tensor::Full(1, dim, 1.0f, /*requires_grad=*/true)),
+      bias_(Tensor::Zeros(1, dim, /*requires_grad=*/true)) {}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return LayerNormOp(x, gain_, bias_);
+}
+
+void LayerNorm::CollectParameters(std::vector<Tensor>* out) const {
+  if (gain_.requires_grad()) out->push_back(gain_);
+  if (bias_.requires_grad()) out->push_back(bias_);
+}
+
+void LayerNorm::CollectStateTensors(std::vector<Tensor>* out) const {
+  out->push_back(gain_);
+  out->push_back(bias_);
+}
+
+void LayerNorm::SetTrainable(bool trainable) {
+  gain_.set_requires_grad(trainable);
+  bias_.set_requires_grad(trainable);
+}
+
+// ---- MultiHeadAttention ----
+
+MultiHeadAttention::MultiHeadAttention(int dim, int num_heads, Rng& rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  TM_CHECK_EQ(head_dim_ * num_heads_, dim_)
+      << "dim must be divisible by num_heads";
+  query_ = std::make_unique<LoraLinear>(dim, dim, rng);
+  key_ = std::make_unique<LoraLinear>(dim, dim, rng);
+  value_ = std::make_unique<LoraLinear>(dim, dim, rng);
+  output_ = std::make_unique<LoraLinear>(dim, dim, rng);
+  // Small positive init: identical tokens attract a little attention from
+  // the start, and training adjusts per-head how much identity matters.
+  match_gain_ = Tensor::Full(1, num_heads, 0.5f, /*requires_grad=*/true);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x, const ForwardContext& ctx,
+                                   const Tensor* match_bias) const {
+  Tensor q = query_->Forward(x, ctx);
+  Tensor k = key_->Forward(x, ctx);
+  Tensor v = value_->Forward(x, ctx);
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    const int begin = h * head_dim_;
+    const int end = begin + head_dim_;
+    Tensor qh = SliceCols(q, begin, end);
+    Tensor kh = SliceCols(k, begin, end);
+    Tensor vh = SliceCols(v, begin, end);
+    Tensor scores = Scale(MatMul(qh, Transpose(kh)), inv_sqrt);
+    if (match_bias != nullptr) {
+      scores = Add(scores,
+                   ScalarScale(*match_bias, SliceCols(match_gain_, h, h + 1)));
+    }
+    Tensor probs = Softmax(scores);
+    head_outputs.push_back(MatMul(probs, vh));
+  }
+  Tensor merged = num_heads_ == 1 ? head_outputs[0] : ConcatCols(head_outputs);
+  return output_->Forward(merged, ctx);
+}
+
+void MultiHeadAttention::CollectParameters(std::vector<Tensor>* out) const {
+  query_->CollectParameters(out);
+  key_->CollectParameters(out);
+  value_->CollectParameters(out);
+  output_->CollectParameters(out);
+  out->push_back(match_gain_);
+}
+
+void MultiHeadAttention::CollectStateTensors(std::vector<Tensor>* out) const {
+  query_->CollectStateTensors(out);
+  key_->CollectStateTensors(out);
+  value_->CollectStateTensors(out);
+  output_->CollectStateTensors(out);
+  out->push_back(match_gain_);
+}
+
+void MultiHeadAttention::EnableLora(const LoraConfig& config, Rng& rng) {
+  query_->EnableLora(config, rng);
+  key_->EnableLora(config, rng);
+  value_->EnableLora(config, rng);
+  output_->EnableLora(config, rng);
+}
+
+void MultiHeadAttention::MergeLora() {
+  query_->MergeLora();
+  key_->MergeLora();
+  value_->MergeLora();
+  output_->MergeLora();
+}
+
+// ---- FeedForward ----
+
+FeedForward::FeedForward(int dim, Rng& rng) {
+  up_ = std::make_unique<LoraLinear>(dim, 4 * dim, rng);
+  down_ = std::make_unique<LoraLinear>(4 * dim, dim, rng);
+}
+
+Tensor FeedForward::Forward(const Tensor& x, const ForwardContext& ctx) const {
+  return down_->Forward(Gelu(up_->Forward(x, ctx)), ctx);
+}
+
+void FeedForward::CollectParameters(std::vector<Tensor>* out) const {
+  up_->CollectParameters(out);
+  down_->CollectParameters(out);
+}
+
+void FeedForward::CollectStateTensors(std::vector<Tensor>* out) const {
+  up_->CollectStateTensors(out);
+  down_->CollectStateTensors(out);
+}
+
+void FeedForward::EnableLora(const LoraConfig& config, Rng& rng) {
+  up_->EnableLora(config, rng);
+  down_->EnableLora(config, rng);
+}
+
+void FeedForward::MergeLora() {
+  up_->MergeLora();
+  down_->MergeLora();
+}
+
+// ---- TransformerBlock ----
+
+TransformerBlock::TransformerBlock(int dim, int num_heads, float dropout,
+                                   Rng& rng)
+    : dropout_(dropout) {
+  norm1_ = std::make_unique<LayerNorm>(dim);
+  norm2_ = std::make_unique<LayerNorm>(dim);
+  attention_ = std::make_unique<MultiHeadAttention>(dim, num_heads, rng);
+  feed_forward_ = std::make_unique<FeedForward>(dim, rng);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x, const ForwardContext& ctx,
+                                 const Tensor* match_bias) const {
+  Tensor attn = attention_->Forward(norm1_->Forward(x), ctx, match_bias);
+  if (ctx.rng != nullptr) {
+    attn = DropoutOp(attn, dropout_, ctx.training, *ctx.rng);
+  }
+  Tensor h = Add(x, attn);
+  Tensor ff = feed_forward_->Forward(norm2_->Forward(h), ctx);
+  if (ctx.rng != nullptr) {
+    ff = DropoutOp(ff, dropout_, ctx.training, *ctx.rng);
+  }
+  return Add(h, ff);
+}
+
+void TransformerBlock::CollectParameters(std::vector<Tensor>* out) const {
+  norm1_->CollectParameters(out);
+  norm2_->CollectParameters(out);
+  attention_->CollectParameters(out);
+  feed_forward_->CollectParameters(out);
+}
+
+void TransformerBlock::CollectStateTensors(std::vector<Tensor>* out) const {
+  norm1_->CollectStateTensors(out);
+  norm2_->CollectStateTensors(out);
+  attention_->CollectStateTensors(out);
+  feed_forward_->CollectStateTensors(out);
+}
+
+void TransformerBlock::EnableLora(const LoraConfig& config, Rng& rng) {
+  attention_->EnableLora(config, rng);
+  feed_forward_->EnableLora(config, rng);
+}
+
+void TransformerBlock::MergeLora() {
+  attention_->MergeLora();
+  feed_forward_->MergeLora();
+}
+
+void TransformerBlock::SetNormsTrainable(bool trainable) {
+  norm1_->SetTrainable(trainable);
+  norm2_->SetTrainable(trainable);
+}
+
+}  // namespace tailormatch::nn

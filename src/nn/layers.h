@@ -1,0 +1,211 @@
+#ifndef TAILORMATCH_NN_LAYERS_H_
+#define TAILORMATCH_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace tailormatch::nn {
+
+// Per-forward-pass state: training mode toggles dropout; the Rng drives
+// dropout masks deterministically.
+struct ForwardContext {
+  bool training = false;
+  Rng* rng = nullptr;
+};
+
+// LoRA adapter hyperparameters (paper Section 2: r=64, alpha=16,
+// dropout=0.1 for the open-source models).
+struct LoraConfig {
+  int rank = 64;
+  float alpha = 16.0f;
+  float dropout = 0.1f;
+};
+
+// Base class for layers. Parameters() returns the *trainable* tensors (what
+// the optimizer updates); StateTensors() returns every weight including
+// frozen ones (what checkpoints persist).
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual void CollectParameters(std::vector<Tensor>* out) const = 0;
+  virtual void CollectStateTensors(std::vector<Tensor>* out) const = 0;
+
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> out;
+    CollectParameters(&out);
+    return out;
+  }
+  std::vector<Tensor> StateTensors() const {
+    std::vector<Tensor> out;
+    CollectStateTensors(&out);
+    return out;
+  }
+};
+
+// Fully connected layer with optional LoRA adapter. When LoRA is enabled the
+// base weight/bias are frozen and only the low-rank A/B factors train:
+//   y = x W + b + (alpha / r) * Dropout(x) A B
+class LoraLinear : public Module {
+ public:
+  LoraLinear(int in_dim, int out_dim, Rng& rng);
+
+  // Switches into LoRA fine-tuning mode: freezes W/b, creates A (gaussian)
+  // and B (zero) so the initial adapted function equals the base function.
+  void EnableLora(const LoraConfig& config, Rng& rng);
+  // Drops the adapter without merging (reverts to the base function).
+  void DisableLora();
+  // Folds the adapter into the base weight and drops it.
+  void MergeLora();
+
+  bool lora_enabled() const { return lora_enabled_; }
+
+  Tensor Forward(const Tensor& x, const ForwardContext& ctx) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+  void CollectStateTensors(std::vector<Tensor>* out) const override;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  Tensor weight_;  // (in x out)
+  Tensor bias_;    // (1 x out)
+  bool lora_enabled_ = false;
+  LoraConfig lora_config_;
+  Tensor lora_a_;  // (in x r)
+  Tensor lora_b_;  // (r x out)
+};
+
+// Token/position embedding table.
+class Embedding : public Module {
+ public:
+  Embedding(int vocab_size, int dim, Rng& rng);
+
+  Tensor Forward(const std::vector<int>& ids) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+  void CollectStateTensors(std::vector<Tensor>* out) const override;
+
+  // Freezing the embedding table is how LoRA fine-tuning keeps the
+  // "backbone" fixed while adapters train.
+  void SetTrainable(bool trainable);
+
+  int vocab_size() const { return table_.rows(); }
+  int dim() const { return table_.cols(); }
+  Tensor& table() { return table_; }
+  const Tensor& table() const { return table_; }
+
+ private:
+  Tensor table_;
+};
+
+// Learned layer normalization.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim);
+
+  Tensor Forward(const Tensor& x) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+  void CollectStateTensors(std::vector<Tensor>* out) const override;
+
+  void SetTrainable(bool trainable);
+
+ private:
+  Tensor gain_;
+  Tensor bias_;
+};
+
+// Bidirectional multi-head self-attention (encoder-style; the classifier
+// reads the whole prompt at once, so no causal mask is needed).
+//
+// Supports an optional token-match attention bias: a constant (seq x seq)
+// 0/1 matrix M (M[i][j] = 1 iff tokens i and j are identical) whose
+// per-head learned gain is added to the attention scores. Internet-scale
+// pretraining teaches real LLMs token-identity matching; at simulation
+// scale this inductive bias stands in for that capability (see DESIGN.md).
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int dim, int num_heads, Rng& rng);
+
+  Tensor Forward(const Tensor& x, const ForwardContext& ctx,
+                 const Tensor* match_bias = nullptr) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+  void CollectStateTensors(std::vector<Tensor>* out) const override;
+
+  void EnableLora(const LoraConfig& config, Rng& rng);
+  void MergeLora();
+
+  LoraLinear& query() { return *query_; }
+  LoraLinear& key() { return *key_; }
+  LoraLinear& value() { return *value_; }
+  LoraLinear& output() { return *output_; }
+
+ private:
+  int dim_;
+  int num_heads_;
+  int head_dim_;
+  std::unique_ptr<LoraLinear> query_;
+  std::unique_ptr<LoraLinear> key_;
+  std::unique_ptr<LoraLinear> value_;
+  std::unique_ptr<LoraLinear> output_;
+  Tensor match_gain_;  // (1 x num_heads) learned token-match bias gains
+};
+
+// Two-layer MLP with GELU, hidden size = 4 * dim.
+class FeedForward : public Module {
+ public:
+  FeedForward(int dim, Rng& rng);
+
+  Tensor Forward(const Tensor& x, const ForwardContext& ctx) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+  void CollectStateTensors(std::vector<Tensor>* out) const override;
+
+  void EnableLora(const LoraConfig& config, Rng& rng);
+  void MergeLora();
+
+ private:
+  std::unique_ptr<LoraLinear> up_;
+  std::unique_ptr<LoraLinear> down_;
+};
+
+// Pre-LN transformer block: x += Attn(LN(x)); x += FF(LN(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int dim, int num_heads, float dropout, Rng& rng);
+
+  Tensor Forward(const Tensor& x, const ForwardContext& ctx,
+                 const Tensor* match_bias = nullptr) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+  void CollectStateTensors(std::vector<Tensor>* out) const override;
+
+  void EnableLora(const LoraConfig& config, Rng& rng);
+  void MergeLora();
+  // Freezes/unfreezes the layer norms alongside the backbone.
+  void SetNormsTrainable(bool trainable);
+
+  MultiHeadAttention& attention() { return *attention_; }
+  FeedForward& feed_forward() { return *feed_forward_; }
+
+ private:
+  float dropout_;
+  std::unique_ptr<LayerNorm> norm1_;
+  std::unique_ptr<LayerNorm> norm2_;
+  std::unique_ptr<MultiHeadAttention> attention_;
+  std::unique_ptr<FeedForward> feed_forward_;
+};
+
+}  // namespace tailormatch::nn
+
+#endif  // TAILORMATCH_NN_LAYERS_H_

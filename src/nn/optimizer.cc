@@ -1,0 +1,92 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace tailormatch::nn {
+
+float ClipGradNorm(std::vector<Tensor>& params, float max_norm) {
+  double total = 0.0;
+  for (Tensor& p : params) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params) {
+      for (float& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+void ZeroGrads(std::vector<Tensor>& params) {
+  for (Tensor& p : params) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float learning_rate, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  learning_rate_ = learning_rate;
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Tensor& p : params_) velocity_.emplace_back(p.size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    std::vector<float>& value = p.data();
+    const std::vector<float>& grad = p.grad();
+    if (momentum_ == 0.0f) {
+      for (size_t j = 0; j < value.size(); ++j) {
+        value[j] -= learning_rate_ * grad[j];
+      }
+    } else {
+      std::vector<float>& vel = velocity_[i];
+      for (size_t j = 0; j < value.size(); ++j) {
+        vel[j] = momentum_ * vel[j] + grad[j];
+        value[j] -= learning_rate_ * vel[j];
+      }
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<Tensor> params, float learning_rate,
+             float weight_decay, float beta1, float beta2, float epsilon)
+    : Optimizer(std::move(params)),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  learning_rate_ = learning_rate;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Tensor& p : params_) {
+    m_.emplace_back(p.size(), 0.0f);
+    v_.emplace_back(p.size(), 0.0f);
+  }
+}
+
+void AdamW::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    std::vector<float>& value = p.data();
+    const std::vector<float>& grad = p.grad();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (size_t j = 0; j < value.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      value[j] -= learning_rate_ *
+                  (m_hat / (std::sqrt(v_hat) + epsilon_) +
+                   weight_decay_ * value[j]);
+    }
+  }
+}
+
+}  // namespace tailormatch::nn

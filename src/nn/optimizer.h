@@ -1,0 +1,75 @@
+#ifndef TAILORMATCH_NN_OPTIMIZER_H_
+#define TAILORMATCH_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace tailormatch::nn {
+
+// Clips gradients to a maximum global L2 norm; returns the pre-clip norm.
+float ClipGradNorm(std::vector<Tensor>& params, float max_norm);
+
+// Zeroes the gradients of all parameters.
+void ZeroGrads(std::vector<Tensor>& params);
+
+// Abstract first-order optimizer over a fixed parameter list. Construct
+// after the trainable set is final (e.g. after EnableLora), since state is
+// indexed by parameter position.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad() { ZeroGrads(params_); }
+  std::vector<Tensor>& params() { return params_; }
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float learning_rate_ = 1e-3f;
+};
+
+// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float learning_rate, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+// AdamW (decoupled weight decay). Adam is AdamW with weight_decay = 0,
+// matching the paper's fine-tuning default (lr 2e-4).
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<Tensor> params, float learning_rate,
+        float weight_decay = 0.0f, float beta1 = 0.9f, float beta2 = 0.999f,
+        float epsilon = 1e-8f);
+  void Step() override;
+
+  int64_t step_count() const { return step_; }
+
+ private:
+  float weight_decay_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace tailormatch::nn
+
+#endif  // TAILORMATCH_NN_OPTIMIZER_H_

@@ -1,0 +1,790 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace tailormatch::nn {
+
+using internal::TensorImpl;
+
+Tensor::Tensor(int rows, int cols, bool requires_grad)
+    : impl_(std::make_shared<TensorImpl>()) {
+  TM_CHECK(rows >= 0 && cols >= 0);
+  impl_->rows = rows;
+  impl_->cols = cols;
+  impl_->value.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  impl_->requires_grad = requires_grad;
+}
+
+Tensor Tensor::FromData(int rows, int cols, std::vector<float> data,
+                        bool requires_grad) {
+  TM_CHECK_EQ(static_cast<size_t>(rows) * cols, data.size());
+  Tensor t(rows, cols, requires_grad);
+  t.impl_->value = std::move(data);
+  return t;
+}
+
+Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
+  return Tensor(rows, cols, requires_grad);
+}
+
+Tensor Tensor::Full(int rows, int cols, float fill, bool requires_grad) {
+  Tensor t(rows, cols, requires_grad);
+  for (float& v : t.impl_->value) v = fill;
+  return t;
+}
+
+Tensor Tensor::Randn(int rows, int cols, float stddev, Rng& rng,
+                     bool requires_grad) {
+  Tensor t(rows, cols, requires_grad);
+  for (float& v : t.impl_->value) {
+    v = static_cast<float>(rng.NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::Detach() const {
+  Tensor t(rows(), cols(), /*requires_grad=*/false);
+  t.impl_->value = impl_->value;
+  return t;
+}
+
+void Tensor::Backward() {
+  impl_->EnsureGrad();
+  for (float& g : impl_->grad) g = 1.0f;
+
+  // Topological order via iterative DFS.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      TensorImpl* child = node->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) stack.emplace_back(child, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // `order` is children-before-parents; walk from the root backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+namespace {
+
+// Creates the result tensor of an op, wiring parents and requires_grad.
+Tensor MakeResult(int rows, int cols,
+                  std::initializer_list<Tensor> parents) {
+  bool needs_grad = false;
+  for (const Tensor& p : parents) needs_grad = needs_grad || p.requires_grad();
+  Tensor out(rows, cols, needs_grad);
+  if (needs_grad) {
+    for (const Tensor& p : parents) out.impl()->parents.push_back(p.impl());
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TM_CHECK_EQ(a.cols(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out = MakeResult(m, n, {a, b});
+  const float* av = a.data().data();
+  const float* bv = b.data().data();
+  float* ov = out.data().data();
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = av[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = bv + kk * n;
+      float* orow = ov + i * n;
+      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, bi, oi, m, k, n]() {
+      const float* og = oi->grad.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        // dA = dOut * B^T
+        const float* bv = bi->value.data();
+        float* ag = ai->grad.data();
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < n; ++j) {
+            const float g = og[i * n + j];
+            if (g == 0.0f) continue;
+            const float* brow = bv;  // b[kk * n + j]
+            for (int kk = 0; kk < k; ++kk) {
+              ag[i * k + kk] += g * brow[kk * n + j];
+            }
+          }
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        // dB = A^T * dOut
+        const float* av = ai->value.data();
+        float* bg = bi->grad.data();
+        for (int i = 0; i < m; ++i) {
+          for (int kk = 0; kk < k; ++kk) {
+            const float aik = av[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* orow = og + i * n;
+            float* brow = bg + kk * n;
+            for (int j = 0; j < n; ++j) brow[j] += aik * orow[j];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  TM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Tensor out = MakeResult(a.rows(), a.cols(), {a, b});
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = a.data()[i] + b.data()[i];
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, bi, oi]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) ai->grad[i] += oi->grad[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) bi->grad[i] += oi->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
+  TM_CHECK_EQ(row.rows(), 1);
+  TM_CHECK_EQ(a.cols(), row.cols());
+  Tensor out = MakeResult(a.rows(), a.cols(), {a, row});
+  const int n = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < n; ++j) {
+      out.data()[i * n + j] = a.data()[i * n + j] + row.data()[j];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto ri = row.impl();
+    auto oi = out.impl().get();
+    const int rows = a.rows();
+    out.impl()->backward_fn = [ai, ri, oi, rows, n]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) ai->grad[i] += oi->grad[i];
+      }
+      if (ri->requires_grad) {
+        ri->EnsureGrad();
+        for (int i = 0; i < rows; ++i) {
+          for (int j = 0; j < n; ++j) ri->grad[j] += oi->grad[i * n + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  TM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Tensor out = MakeResult(a.rows(), a.cols(), {a, b});
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, bi, oi]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) {
+          ai->grad[i] += oi->grad[i] * bi->value[i];
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) {
+          bi->grad[i] += oi->grad[i] * ai->value[i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) { return Add(a, Scale(b, -1.0f)); }
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = MakeResult(a.rows(), a.cols(), {a});
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = a.data()[i] * s;
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi, s]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < oi->grad.size(); ++i) {
+        ai->grad[i] += oi->grad[i] * s;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  Tensor out = MakeResult(a.rows(), a.cols(), {a});
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < oi->grad.size(); ++i) {
+        if (ai->value[i] > 0.0f) ai->grad[i] += oi->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+Tensor Gelu(const Tensor& a) {
+  Tensor out = MakeResult(a.rows(), a.cols(), {a});
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float x = a.data()[i];
+    const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+    out.data()[i] = 0.5f * x * (1.0f + t);
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < oi->grad.size(); ++i) {
+        const float x = ai->value[i];
+        const float u = kGeluC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+        const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+        ai->grad[i] += oi->grad[i] * d;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Tanh(const Tensor& a) {
+  Tensor out = MakeResult(a.rows(), a.cols(), {a});
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(a.data()[i]);
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < oi->grad.size(); ++i) {
+        const float y = oi->value[i];
+        ai->grad[i] += oi->grad[i] * (1.0f - y * y);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a) {
+  Tensor out = MakeResult(a.rows(), a.cols(), {a});
+  const int n = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* in = a.data().data() + i * n;
+    float* o = out.data().data() + i * n;
+    float max_v = in[0];
+    for (int j = 1; j < n; ++j) max_v = std::max(max_v, in[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      o[j] = std::exp(in[j] - max_v);
+      sum += o[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < n; ++j) o[j] *= inv;
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    const int rows = a.rows();
+    out.impl()->backward_fn = [ai, oi, rows, n]() {
+      ai->EnsureGrad();
+      for (int i = 0; i < rows; ++i) {
+        const float* y = oi->value.data() + i * n;
+        const float* gy = oi->grad.data() + i * n;
+        float dot = 0.0f;
+        for (int j = 0; j < n; ++j) dot += y[j] * gy[j];
+        float* ga = ai->grad.data() + i * n;
+        for (int j = 0; j < n; ++j) ga[j] += y[j] * (gy[j] - dot);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor LayerNormOp(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                   float epsilon) {
+  TM_CHECK_EQ(gain.rows(), 1);
+  TM_CHECK_EQ(bias.rows(), 1);
+  TM_CHECK_EQ(gain.cols(), a.cols());
+  TM_CHECK_EQ(bias.cols(), a.cols());
+  const int n = a.cols();
+  Tensor out = MakeResult(a.rows(), n, {a, gain, bias});
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto stats = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(a.rows()) * 2);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* in = a.data().data() + i * n;
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) mean += in[j];
+    mean /= n;
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) var += (in[j] - mean) * (in[j] - mean);
+    var /= n;
+    const float inv_std = 1.0f / std::sqrt(var + epsilon);
+    (*stats)[i * 2] = mean;
+    (*stats)[i * 2 + 1] = inv_std;
+    float* o = out.data().data() + i * n;
+    for (int j = 0; j < n; ++j) {
+      o[j] = (in[j] - mean) * inv_std * gain.data()[j] + bias.data()[j];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto gi = gain.impl();
+    auto bi = bias.impl();
+    auto oi = out.impl().get();
+    const int rows = a.rows();
+    out.impl()->backward_fn = [ai, gi, bi, oi, stats, rows, n]() {
+      for (int i = 0; i < rows; ++i) {
+        const float mean = (*stats)[i * 2];
+        const float inv_std = (*stats)[i * 2 + 1];
+        const float* x = ai->value.data() + i * n;
+        const float* gy = oi->grad.data() + i * n;
+        if (gi->requires_grad) {
+          gi->EnsureGrad();
+          for (int j = 0; j < n; ++j) {
+            gi->grad[j] += gy[j] * (x[j] - mean) * inv_std;
+          }
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (int j = 0; j < n; ++j) bi->grad[j] += gy[j];
+        }
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          // d xhat_j = gy_j * gain_j ; standard layer-norm backward.
+          float sum_dxhat = 0.0f;
+          float sum_dxhat_xhat = 0.0f;
+          for (int j = 0; j < n; ++j) {
+            const float xhat = (x[j] - mean) * inv_std;
+            const float dxhat = gy[j] * gi->value[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat;
+          }
+          float* ga = ai->grad.data() + i * n;
+          for (int j = 0; j < n; ++j) {
+            const float xhat = (x[j] - mean) * inv_std;
+            const float dxhat = gy[j] * gi->value[j];
+            ga[j] += inv_std *
+                     (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n);
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out = MakeResult(a.cols(), a.rows(), {a});
+  const int m = a.rows(), n = a.cols();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out.data()[j * m + i] = a.data()[i * n + j];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi, m, n]() {
+      ai->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          ai->grad[i * n + j] += oi->grad[j * m + i];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int begin, int end) {
+  TM_CHECK(begin >= 0 && begin < end && end <= a.cols());
+  const int m = a.rows(), n = a.cols(), w = end - begin;
+  Tensor out = MakeResult(m, w, {a});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < w; ++j) {
+      out.data()[i * w + j] = a.data()[i * n + begin + j];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi, m, n, w, begin]() {
+      ai->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < w; ++j) {
+          ai->grad[i * n + begin + j] += oi->grad[i * w + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int begin, int end) {
+  TM_CHECK(begin >= 0 && begin < end && end <= a.rows());
+  const int n = a.cols(), h = end - begin;
+  Tensor out = MakeResult(h, n, {a});
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out.data()[i * n + j] = a.data()[(begin + i) * n + j];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi, h, n, begin]() {
+      ai->EnsureGrad();
+      for (int i = 0; i < h; ++i) {
+        for (int j = 0; j < n; ++j) {
+          ai->grad[(begin + i) * n + j] += oi->grad[i * n + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  TM_CHECK(!parts.empty());
+  const int m = parts[0].rows();
+  int total = 0;
+  bool needs_grad = false;
+  for (const Tensor& p : parts) {
+    TM_CHECK_EQ(p.rows(), m);
+    total += p.cols();
+    needs_grad = needs_grad || p.requires_grad();
+  }
+  Tensor out(m, total, needs_grad);
+  if (needs_grad) {
+    for (const Tensor& p : parts) out.impl()->parents.push_back(p.impl());
+  }
+  int offset = 0;
+  for (const Tensor& p : parts) {
+    const int w = p.cols();
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < w; ++j) {
+        out.data()[i * total + offset + j] = p.data()[i * w + j];
+      }
+    }
+    offset += w;
+  }
+  if (needs_grad) {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    impls.reserve(parts.size());
+    for (const Tensor& p : parts) impls.push_back(p.impl());
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [impls, oi, m, total]() {
+      int offset = 0;
+      for (auto& pi : impls) {
+        const int w = pi->cols;
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < w; ++j) {
+              pi->grad[i * w + j] += oi->grad[i * total + offset + j];
+            }
+          }
+        }
+        offset += w;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  TM_CHECK_GT(m, 0);
+  Tensor out = MakeResult(1, n, {a});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out.data()[j] += a.data()[i * n + j];
+  }
+  for (int j = 0; j < n; ++j) out.data()[j] /= static_cast<float>(m);
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi, m, n]() {
+      ai->EnsureGrad();
+      const float inv = 1.0f / static_cast<float>(m);
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) ai->grad[i * n + j] += oi->grad[j] * inv;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MaxRows(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  TM_CHECK_GT(m, 0);
+  Tensor out = MakeResult(1, n, {a});
+  auto argmax = std::make_shared<std::vector<int>>(n, 0);
+  for (int j = 0; j < n; ++j) {
+    float best = a.data()[j];
+    int best_row = 0;
+    for (int i = 1; i < m; ++i) {
+      const float v = a.data()[i * n + j];
+      if (v > best) {
+        best = v;
+        best_row = i;
+      }
+    }
+    out.data()[j] = best;
+    (*argmax)[j] = best_row;
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi, argmax, n]() {
+      ai->EnsureGrad();
+      for (int j = 0; j < n; ++j) {
+        ai->grad[(*argmax)[j] * n + j] += oi->grad[j];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
+  const int dim = table.cols();
+  Tensor out = MakeResult(static_cast<int>(ids.size()), dim, {table});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    TM_CHECK(ids[i] >= 0 && ids[i] < table.rows())
+        << "token id " << ids[i] << " out of range " << table.rows();
+    for (int j = 0; j < dim; ++j) {
+      out.data()[i * dim + j] = table.data()[ids[i] * dim + j];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ti = table.impl();
+    auto oi = out.impl().get();
+    auto ids_copy = std::make_shared<std::vector<int>>(ids);
+    out.impl()->backward_fn = [ti, oi, ids_copy, dim]() {
+      ti->EnsureGrad();
+      for (size_t i = 0; i < ids_copy->size(); ++i) {
+        for (int j = 0; j < dim; ++j) {
+          ti->grad[(*ids_copy)[i] * dim + j] += oi->grad[i * dim + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ScalarScale(const Tensor& a, const Tensor& scalar) {
+  TM_CHECK_EQ(scalar.size(), 1u);
+  Tensor out = MakeResult(a.rows(), a.cols(), {a, scalar});
+  const float s = scalar.data()[0];
+  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * s;
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto si = scalar.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, si, oi]() {
+      if (si->requires_grad) {
+        si->EnsureGrad();
+        double acc = 0.0;
+        for (size_t i = 0; i < oi->grad.size(); ++i) {
+          acc += static_cast<double>(oi->grad[i]) * ai->value[i];
+        }
+        si->grad[0] += static_cast<float>(acc);
+      }
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        const float s = si->value[0];
+        for (size_t i = 0; i < oi->grad.size(); ++i) {
+          ai->grad[i] += oi->grad[i] * s;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor DropoutOp(const Tensor& a, float p, bool training, Rng& rng) {
+  if (!training || p <= 0.0f) return a;
+  TM_CHECK_LT(p, 1.0f);
+  Tensor out = MakeResult(a.rows(), a.cols(), {a});
+  auto mask = std::make_shared<std::vector<float>>(a.size());
+  const float scale = 1.0f / (1.0f - p);
+  for (size_t i = 0; i < a.size(); ++i) {
+    (*mask)[i] = rng.NextDouble() < p ? 0.0f : scale;
+    out.data()[i] = a.data()[i] * (*mask)[i];
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi, mask]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < oi->grad.size(); ++i) {
+        ai->grad[i] += oi->grad[i] * (*mask)[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits, int target) {
+  TM_CHECK_EQ(logits.rows(), 1);
+  TM_CHECK(target >= 0 && target < logits.cols());
+  const int n = logits.cols();
+  // Stable log-sum-exp.
+  float max_v = logits.data()[0];
+  for (int j = 1; j < n; ++j) max_v = std::max(max_v, logits.data()[j]);
+  float sum = 0.0f;
+  for (int j = 0; j < n; ++j) sum += std::exp(logits.data()[j] - max_v);
+  const float log_z = max_v + std::log(sum);
+  Tensor out = MakeResult(1, 1, {logits});
+  out.data()[0] = log_z - logits.data()[target];
+  if (out.requires_grad()) {
+    auto li = logits.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [li, oi, target, n, max_v, sum]() {
+      li->EnsureGrad();
+      const float g = oi->grad[0];
+      for (int j = 0; j < n; ++j) {
+        const float p = std::exp(li->value[j] - max_v) / sum;
+        li->grad[j] += g * (p - (j == target ? 1.0f : 0.0f));
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SigmoidBceLoss(const Tensor& logits,
+                      const std::vector<float>& targets) {
+  TM_CHECK_EQ(logits.rows(), 1);
+  TM_CHECK_EQ(static_cast<size_t>(logits.cols()), targets.size());
+  const int n = logits.cols();
+  Tensor out = MakeResult(1, 1, {logits});
+  double total = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const float x = logits.data()[j];
+    const float t = targets[j];
+    // Numerically stable: max(x,0) - x*t + log(1 + exp(-|x|)).
+    total += std::max(x, 0.0f) - x * t + std::log1p(std::exp(-std::abs(x)));
+  }
+  out.data()[0] = static_cast<float>(total / n);
+  if (out.requires_grad()) {
+    auto li = logits.impl();
+    auto oi = out.impl().get();
+    auto t_copy = std::make_shared<std::vector<float>>(targets);
+    out.impl()->backward_fn = [li, oi, t_copy, n]() {
+      li->EnsureGrad();
+      const float g = oi->grad[0] / static_cast<float>(n);
+      for (int j = 0; j < n; ++j) {
+        const float x = li->value[j];
+        const float sigmoid = 1.0f / (1.0f + std::exp(-x));
+        li->grad[j] += g * (sigmoid - (*t_copy)[j]);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor WeightedMseLoss(const Tensor& pred, const std::vector<float>& targets,
+                       const std::vector<float>& weights,
+                       const std::vector<float>& mask) {
+  TM_CHECK_EQ(pred.rows(), 1);
+  const size_t n = static_cast<size_t>(pred.cols());
+  TM_CHECK_EQ(n, targets.size());
+  TM_CHECK_EQ(n, weights.size());
+  TM_CHECK_EQ(n, mask.size());
+  Tensor out = MakeResult(1, 1, {pred});
+  double total = 0.0;
+  double active = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    if (mask[j] == 0.0f) continue;
+    const float diff = pred.data()[j] - targets[j];
+    total += static_cast<double>(weights[j]) * diff * diff;
+    active += 1.0;
+  }
+  const float denom = active > 0.0 ? static_cast<float>(active) : 1.0f;
+  out.data()[0] = static_cast<float>(total) / denom;
+  if (out.requires_grad()) {
+    auto pi = pred.impl();
+    auto oi = out.impl().get();
+    auto t_copy = std::make_shared<std::vector<float>>(targets);
+    auto w_copy = std::make_shared<std::vector<float>>(weights);
+    auto m_copy = std::make_shared<std::vector<float>>(mask);
+    out.impl()->backward_fn = [pi, oi, t_copy, w_copy, m_copy, n, denom]() {
+      pi->EnsureGrad();
+      const float g = oi->grad[0] / denom;
+      for (size_t j = 0; j < n; ++j) {
+        if ((*m_copy)[j] == 0.0f) continue;
+        pi->grad[j] +=
+            g * 2.0f * (*w_copy)[j] * (pi->value[j] - (*t_copy)[j]);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Sum(const Tensor& a) {
+  Tensor out = MakeResult(1, 1, {a});
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  out.data()[0] = total;
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, oi]() {
+      ai->EnsureGrad();
+      for (float& g : ai->grad) g += oi->grad[0];
+    };
+  }
+  return out;
+}
+
+}  // namespace tailormatch::nn

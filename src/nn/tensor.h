@@ -1,0 +1,169 @@
+#ifndef TAILORMATCH_NN_TENSOR_H_
+#define TAILORMATCH_NN_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tailormatch::nn {
+
+class Tensor;
+
+namespace internal {
+
+// Shared storage + autograd bookkeeping behind a Tensor handle. Tensors form
+// a DAG: each op result keeps handles to its parents plus a closure that
+// propagates gradients to them.
+struct TensorImpl {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> value;
+  std::vector<float> grad;  // allocated lazily when requires_grad
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;
+
+  size_t size() const { return value.size(); }
+  void EnsureGrad() {
+    if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+// A dense row-major 2D float tensor with reverse-mode autodiff. Value
+// semantics on the handle (copying a Tensor aliases the same storage), which
+// matches how parameters are shared between the graph and the optimizer.
+//
+// All shapes in the library are 2D: a token sequence activation is
+// (seq_len x dim), a weight is (in x out), a scalar loss is (1 x 1).
+class Tensor {
+ public:
+  Tensor() : impl_(std::make_shared<internal::TensorImpl>()) {}
+
+  // Uninitialized (zero) tensor of the given shape.
+  Tensor(int rows, int cols, bool requires_grad = false);
+
+  // Builds a tensor from explicit row-major data.
+  static Tensor FromData(int rows, int cols, std::vector<float> data,
+                         bool requires_grad = false);
+  // All-zero / all-constant tensors.
+  static Tensor Zeros(int rows, int cols, bool requires_grad = false);
+  static Tensor Full(int rows, int cols, float fill,
+                     bool requires_grad = false);
+  // Gaussian init with the given stddev (used for weight matrices).
+  static Tensor Randn(int rows, int cols, float stddev, Rng& rng,
+                      bool requires_grad = true);
+
+  int rows() const { return impl_->rows; }
+  int cols() const { return impl_->cols; }
+  size_t size() const { return impl_->size(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+  // Toggling requires_grad is how layers freeze/unfreeze weights: ops check
+  // the flag at graph-construction time.
+  void set_requires_grad(bool v) { impl_->requires_grad = v; }
+
+  float at(int r, int c) const {
+    TM_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+    return impl_->value[static_cast<size_t>(r) * cols() + c];
+  }
+  void set(int r, int c, float v) {
+    TM_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+    impl_->value[static_cast<size_t>(r) * cols() + c] = v;
+  }
+  float item() const {
+    TM_CHECK_EQ(size(), 1u);
+    return impl_->value[0];
+  }
+
+  std::vector<float>& data() { return impl_->value; }
+  const std::vector<float>& data() const { return impl_->value; }
+  std::vector<float>& grad() {
+    impl_->EnsureGrad();
+    return impl_->grad;
+  }
+  const std::vector<float>& grad() const {
+    impl_->EnsureGrad();
+    return impl_->grad;
+  }
+
+  void ZeroGrad() { impl_->grad.assign(impl_->value.size(), 0.0f); }
+
+  // Runs reverse-mode autodiff from this (scalar) tensor. Seeds d(this)=1
+  // and accumulates gradients into every reachable tensor that requires
+  // grad. May be called on non-scalars with an explicit seed of ones.
+  void Backward();
+
+  // Detaches from the graph: returns a tensor with the same data and no
+  // parents (used when feeding cached activations).
+  Tensor Detach() const;
+
+  std::shared_ptr<internal::TensorImpl> impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+// ---- Ops (all differentiable) ----
+
+// Matrix product: (m x k) * (k x n) -> (m x n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// Elementwise sum of same-shape tensors.
+Tensor Add(const Tensor& a, const Tensor& b);
+// Adds a (1 x n) row vector to every row of a (m x n) tensor.
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
+// Elementwise product.
+Tensor Mul(const Tensor& a, const Tensor& b);
+// Elementwise difference.
+Tensor Sub(const Tensor& a, const Tensor& b);
+// Multiplies by a scalar constant.
+Tensor Scale(const Tensor& a, float s);
+// ReLU / GELU (tanh approximation) / tanh nonlinearities.
+Tensor Relu(const Tensor& a);
+Tensor Gelu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+// Row-wise softmax.
+Tensor Softmax(const Tensor& a);
+// Row-wise layer normalization with learned gain/bias (1 x n each).
+Tensor LayerNormOp(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                   float epsilon = 1e-5f);
+// Transpose (m x n) -> (n x m).
+Tensor Transpose(const Tensor& a);
+// Column slice [begin, end).
+Tensor SliceCols(const Tensor& a, int begin, int end);
+// Concatenates tensors with equal row counts along columns.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+// Row slice [begin, end).
+Tensor SliceRows(const Tensor& a, int begin, int end);
+// Mean over rows -> (1 x n).
+Tensor MeanRows(const Tensor& a);
+// Column-wise max over rows -> (1 x n); gradient flows to the argmax row.
+Tensor MaxRows(const Tensor& a);
+// Gathers embedding rows: table is (vocab x dim), ids select rows.
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids);
+// Multiplies a (grad-free) matrix by a learned (1 x 1) scalar tensor:
+// out = a * scalar. Used for the token-match attention bias.
+Tensor ScalarScale(const Tensor& a, const Tensor& scalar);
+// Inverted dropout; no-op when !training. Scales kept units by 1/(1-p).
+Tensor DropoutOp(const Tensor& a, float p, bool training, Rng& rng);
+// Softmax cross-entropy against an integer target, logits is (1 x n).
+// Returns a scalar loss tensor.
+Tensor SoftmaxCrossEntropy(const Tensor& logits, int target);
+// Sum of all elements -> scalar.
+Tensor Sum(const Tensor& a);
+// Mean-reduced sigmoid binary cross-entropy of (1 x n) logits against 0/1
+// targets (the bag-of-explanation-words auxiliary loss).
+Tensor SigmoidBceLoss(const Tensor& logits, const std::vector<float>& targets);
+// Mean-reduced weighted MSE of (1 x n) predictions against targets, with a
+// 0/1 mask selecting the active slots (the structured-explanation
+// attribute-similarity auxiliary loss).
+Tensor WeightedMseLoss(const Tensor& pred, const std::vector<float>& targets,
+                       const std::vector<float>& weights,
+                       const std::vector<float>& mask);
+
+}  // namespace tailormatch::nn
+
+#endif  // TAILORMATCH_NN_TENSOR_H_

@@ -1,0 +1,82 @@
+#include "prompt/prompt.h"
+
+#include <cctype>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace tailormatch::prompt {
+
+const char* PromptTemplateName(PromptTemplate tmpl) {
+  switch (tmpl) {
+    case PromptTemplate::kDefault:
+      return "default";
+    case PromptTemplate::kSimpleFree:
+      return "simple-free";
+    case PromptTemplate::kComplexForce:
+      return "complex-force";
+    case PromptTemplate::kSimpleForce:
+      return "simple-force";
+  }
+  return "?";
+}
+
+std::vector<PromptTemplate> AllPromptTemplates() {
+  return {PromptTemplate::kDefault, PromptTemplate::kSimpleFree,
+          PromptTemplate::kComplexForce, PromptTemplate::kSimpleForce};
+}
+
+std::string InstructionText(PromptTemplate tmpl, data::Domain domain) {
+  const std::string noun =
+      domain == data::Domain::kProduct ? "product" : "entity";
+  const std::string force =
+      " Answer with 'Yes' if they do and 'No' if they do not.";
+  switch (tmpl) {
+    case PromptTemplate::kDefault:
+      return "Do the two entity descriptions refer to the same real-world " +
+             noun + "?";
+    case PromptTemplate::kSimpleFree:
+      return "Do the two " + noun + " descriptions match?";
+    case PromptTemplate::kComplexForce:
+      return "Do the two " + noun +
+             " descriptions refer to the same real-world " + noun + "?" +
+             force;
+    case PromptTemplate::kSimpleForce:
+      return "Do the two " + noun + " descriptions match?" + force;
+  }
+  TM_FATAL() << "unknown prompt template";
+}
+
+std::string RenderPrompt(PromptTemplate tmpl, const data::EntityPair& pair) {
+  return InstructionText(tmpl, pair.left.domain) +
+         " Entity 1: " + pair.left.surface +
+         " Entity 2: " + pair.right.surface;
+}
+
+std::string RenderCompletion(bool label) { return label ? "Yes." : "No."; }
+
+bool ParseYesNo(const std::string& response, bool* label) {
+  // Narayan et al.: look for an affirmative/negative token in the response.
+  // "Yes" is checked first so "yes, they do not differ" parses as a match.
+  const std::string lower = ToLower(response);
+  // Tokenize crudely on non-letters to avoid matching inside words.
+  std::string padded;
+  padded.reserve(lower.size() + 2);
+  padded.push_back(' ');
+  for (char c : lower) {
+    padded.push_back(
+        std::isalpha(static_cast<unsigned char>(c)) ? c : ' ');
+  }
+  padded.push_back(' ');
+  if (Contains(padded, " yes ")) {
+    *label = true;
+    return true;
+  }
+  if (Contains(padded, " no ")) {
+    *label = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tailormatch::prompt

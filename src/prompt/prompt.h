@@ -1,0 +1,43 @@
+#ifndef TAILORMATCH_PROMPT_PROMPT_H_
+#define TAILORMATCH_PROMPT_PROMPT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/entity.h"
+
+namespace tailormatch::prompt {
+
+// The paper's prompt variants (Section 3.3). kDefault is the prompt used
+// for fine-tuning (Figure 2); the other three probe prompt sensitivity.
+enum class PromptTemplate {
+  kDefault,       // "Do the two entity descriptions refer to the same
+                  //  real-world product?"
+  kSimpleFree,    // "Do the two product descriptions match?"
+  kComplexForce,  // kDefault + "Answer with 'Yes' ... 'No' ..."
+  kSimpleForce,   // kSimpleFree + "Answer with 'Yes' ... 'No' ..."
+};
+
+const char* PromptTemplateName(PromptTemplate tmpl);
+std::vector<PromptTemplate> AllPromptTemplates();
+
+// Returns the instruction text of a template. The noun adapts to the
+// domain ("product" vs "entity/publication") the way the paper's prompts do.
+std::string InstructionText(PromptTemplate tmpl, data::Domain domain);
+
+// Serializes a pair into the full model input:
+//   <instruction> Entity 1: <left surface> Entity 2: <right surface>
+std::string RenderPrompt(PromptTemplate tmpl, const data::EntityPair& pair);
+
+// The training completion for the standard representation ("Yes."/"No.").
+std::string RenderCompletion(bool label);
+
+// Narayan et al.'s answer parser: scans a free-form model response for a
+// yes/no verdict. Returns true/false via *label; false return value means
+// the response contained neither (callers count it as a non-match, the
+// conservative default used in the paper's evaluation).
+bool ParseYesNo(const std::string& response, bool* label);
+
+}  // namespace tailormatch::prompt
+
+#endif  // TAILORMATCH_PROMPT_PROMPT_H_

@@ -1,0 +1,42 @@
+#include "select/active.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tailormatch::select {
+
+std::vector<int> RankPoolByUncertainty(
+    const llm::SimLlm& model, const std::vector<data::EntityPair>& pool,
+    const UncertaintySelectionOptions& options) {
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const double p = model.PredictMatchProbability(
+        prompt::RenderPrompt(options.prompt_template, pool[i]));
+    scored.emplace_back(std::abs(p - 0.5), static_cast<int>(i));
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;  // most uncertain first
+    return a.second < b.second;
+  });
+  std::vector<int> order;
+  order.reserve(scored.size());
+  for (auto& [uncertainty, index] : scored) order.push_back(index);
+  return order;
+}
+
+std::vector<data::EntityPair> SelectUncertainExamples(
+    const llm::SimLlm& model, const std::vector<data::EntityPair>& pool,
+    const UncertaintySelectionOptions& options) {
+  std::vector<int> order = RankPoolByUncertainty(model, pool, options);
+  std::vector<data::EntityPair> selected;
+  const size_t take =
+      std::min(pool.size(), static_cast<size_t>(std::max(0, options.budget)));
+  selected.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    selected.push_back(pool[static_cast<size_t>(order[i])]);
+  }
+  return selected;
+}
+
+}  // namespace tailormatch::select

@@ -1,0 +1,38 @@
+#ifndef TAILORMATCH_SELECT_ACTIVE_H_
+#define TAILORMATCH_SELECT_ACTIVE_H_
+
+#include <vector>
+
+#include "data/entity.h"
+#include "llm/sim_llm.h"
+#include "prompt/prompt.h"
+
+namespace tailormatch::select {
+
+// Uncertainty-based example selection: a companion to Section 5.3's
+// error-based selection and an instance of the paper's future work of
+// refining selection methods. Instead of querying the pool with validation
+// *errors*, the model itself ranks pool pairs by decision uncertainty
+// |P(match) - 0.5| and the most uncertain ones are added to the training
+// set (classic uncertainty-sampling active learning, applied to the LLM
+// fine-tuning loop).
+
+struct UncertaintySelectionOptions {
+  // How many pool pairs to select.
+  int budget = 500;
+  prompt::PromptTemplate prompt_template = prompt::PromptTemplate::kDefault;
+};
+
+// Returns indices into `pool`, most uncertain first.
+std::vector<int> RankPoolByUncertainty(
+    const llm::SimLlm& model, const std::vector<data::EntityPair>& pool,
+    const UncertaintySelectionOptions& options);
+
+// Convenience: the selected pairs themselves (budget-capped).
+std::vector<data::EntityPair> SelectUncertainExamples(
+    const llm::SimLlm& model, const std::vector<data::EntityPair>& pool,
+    const UncertaintySelectionOptions& options);
+
+}  // namespace tailormatch::select
+
+#endif  // TAILORMATCH_SELECT_ACTIVE_H_

@@ -1,0 +1,133 @@
+#include "select/error_selection.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/evaluator.h"
+#include "text/tfidf.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace tailormatch::select {
+
+namespace {
+
+std::string PairDocument(const data::EntityPair& pair) {
+  return pair.left.surface + " " + pair.right.surface;
+}
+
+// Builds the per-round training examples with the standard representation.
+std::vector<llm::TrainExample> EncodeAll(
+    const llm::SimLlm& model, const std::vector<data::EntityPair>& pairs,
+    prompt::PromptTemplate tmpl) {
+  std::vector<llm::TrainExample> examples;
+  examples.reserve(pairs.size());
+  for (const data::EntityPair& pair : pairs) {
+    examples.push_back(
+        model.EncodeExample(prompt::RenderPrompt(tmpl, pair), pair.label));
+  }
+  return examples;
+}
+
+}  // namespace
+
+ErrorSelectionResult RunErrorBasedSelection(
+    const llm::SimLlm& zero_shot, const data::Dataset& base_train,
+    const data::Dataset& pool, const data::Dataset& valid,
+    const ErrorSelectionOptions& options) {
+  TM_CHECK(!base_train.pairs.empty());
+  TM_CHECK(!pool.pairs.empty());
+
+  ErrorSelectionResult result;
+
+  // Embedding space over the labelled pool (substitute for the paper's
+  // OpenAI embeddings; see DESIGN.md).
+  text::TfidfEmbedder embedder;
+  {
+    std::vector<std::string> corpus;
+    corpus.reserve(pool.pairs.size());
+    for (const data::EntityPair& pair : pool.pairs) {
+      corpus.push_back(PairDocument(pair));
+    }
+    embedder.Fit(corpus);
+  }
+  text::NearestNeighborIndex index(&embedder);
+  for (const data::EntityPair& pair : pool.pairs) {
+    index.Add(PairDocument(pair));
+  }
+
+  std::vector<data::EntityPair> selected;  // accumulated across rounds
+  double best_f1 = -1.0;
+  std::vector<std::vector<float>> best_state;
+
+  for (int round = 0; round < options.rounds; ++round) {
+    // Each round trains a fresh copy of the zero-shot model on base + the
+    // current selection (the paper restarts from 2,500 + selected each
+    // round to keep set sizes consistent).
+    std::unique_ptr<llm::SimLlm> model = zero_shot.Clone();
+    model->EnableLora(options.lora);
+    std::vector<data::EntityPair> train_pairs = base_train.pairs;
+    train_pairs.insert(train_pairs.end(), selected.begin(), selected.end());
+    result.train_sizes.push_back(static_cast<int>(train_pairs.size()));
+
+    llm::TrainOptions train_options = options.train;
+    train_options.epochs = options.epochs_per_round;
+    train_options.seed = options.seed + static_cast<uint64_t>(round) * 97;
+    llm::TrainModel(*model,
+                    EncodeAll(*model, train_pairs, options.prompt_template),
+                    train_options);
+
+    // Validate and harvest errors.
+    eval::EvalOptions eval_options;
+    eval_options.prompt_template = options.prompt_template;
+    eval_options.max_pairs = options.valid_max_pairs;
+    const double f1 = eval::EvaluateF1(*model, valid, eval_options);
+    result.round_valid_f1.push_back(f1);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      result.best_round = round;
+      model->MergeLora();
+      best_state = model->SnapshotState();
+      // Re-enable for error harvesting below is unnecessary; inference only.
+    }
+    if (round + 1 == options.rounds) break;
+
+    std::vector<const data::EntityPair*> errors;
+    for (const data::EntityPair& pair : valid.pairs) {
+      const std::string prompt_text =
+          prompt::RenderPrompt(options.prompt_template, pair);
+      const bool predicted = model->PredictMatchProbability(prompt_text) > 0.5;
+      if (predicted != pair.label) errors.push_back(&pair);
+    }
+    if (errors.empty()) break;
+
+    // Select the pool pairs nearest to the errors, spreading the budget
+    // evenly across errors, skipping pairs selected in earlier rounds.
+    std::unordered_set<int> already;
+    selected.clear();
+    const int per_error = std::max<int>(
+        1, options.added_per_round / static_cast<int>(errors.size()));
+    for (const data::EntityPair* error : errors) {
+      if (static_cast<int>(selected.size()) >= options.added_per_round) break;
+      for (int pool_idx :
+           index.Query(PairDocument(*error), per_error + 2)) {
+        if (static_cast<int>(selected.size()) >= options.added_per_round) {
+          break;
+        }
+        if (already.insert(pool_idx).second) {
+          selected.push_back(pool.pairs[static_cast<size_t>(pool_idx)]);
+        }
+      }
+    }
+    TM_LOG(Debug) << "error-selection round " << round << ": F1=" << f1
+                  << ", errors=" << errors.size() << ", selected "
+                  << selected.size() << " pool pairs";
+  }
+
+  // Materialize the best round's model.
+  result.model = zero_shot.Clone();
+  if (!best_state.empty()) result.model->RestoreState(best_state);
+  return result;
+}
+
+}  // namespace tailormatch::select

@@ -1,0 +1,48 @@
+#ifndef TAILORMATCH_SELECT_ERROR_SELECTION_H_
+#define TAILORMATCH_SELECT_ERROR_SELECTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/entity.h"
+#include "llm/sim_llm.h"
+#include "llm/trainer.h"
+#include "prompt/prompt.h"
+
+namespace tailormatch::select {
+
+// Section 5.3: error-based example selection. The student is trained on the
+// base training set, validated, and the pairs it gets wrong are used as
+// queries into a large labelled pool (simulating additional labelling
+// capacity); the pool pairs most similar to the errors (in embedding space)
+// are added and the student is retrained. Repeated for `rounds` rounds; the
+// round with the best validation F1 wins.
+struct ErrorSelectionOptions {
+  int rounds = 5;
+  // Number of pool pairs added per round (the paper adds 2,500, matching
+  // the base training-set size; scaled runs pass the scaled size).
+  int added_per_round = 2500;
+  int epochs_per_round = 5;
+  llm::TrainOptions train;  // lr/batch; epochs overridden per round
+  nn::LoraConfig lora;
+  prompt::PromptTemplate prompt_template = prompt::PromptTemplate::kDefault;
+  // Validation subsample cap (0 = full validation set).
+  int valid_max_pairs = 0;
+  uint64_t seed = 31337;
+};
+
+struct ErrorSelectionResult {
+  std::unique_ptr<llm::SimLlm> model;  // best-round model
+  std::vector<double> round_valid_f1;
+  int best_round = -1;
+  std::vector<int> train_sizes;  // per-round training-set size
+};
+
+ErrorSelectionResult RunErrorBasedSelection(
+    const llm::SimLlm& zero_shot, const data::Dataset& base_train,
+    const data::Dataset& pool, const data::Dataset& valid,
+    const ErrorSelectionOptions& options);
+
+}  // namespace tailormatch::select
+
+#endif  // TAILORMATCH_SELECT_ERROR_SELECTION_H_

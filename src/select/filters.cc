@@ -1,0 +1,31 @@
+#include "select/filters.h"
+
+namespace tailormatch::select {
+
+data::Dataset ErrorBasedFilter(const data::Dataset& dataset,
+                               const llm::TeacherLlm& teacher) {
+  data::Dataset filtered;
+  filtered.name = dataset.name + "-filtered";
+  filtered.domain = dataset.domain;
+  for (const data::EntityPair& pair : dataset.pairs) {
+    if (teacher.PredictMatch(pair) == pair.label) {
+      filtered.pairs.push_back(pair);
+    }
+  }
+  return filtered;
+}
+
+data::Dataset RelevancyFilter(const data::Dataset& dataset,
+                              const llm::TeacherLlm& teacher) {
+  data::Dataset filtered;
+  filtered.name = dataset.name + "-rel";
+  filtered.domain = dataset.domain;
+  for (const data::EntityPair& pair : dataset.pairs) {
+    if (teacher.IsInteresting(pair)) {
+      filtered.pairs.push_back(pair);
+    }
+  }
+  return filtered;
+}
+
+}  // namespace tailormatch::select

@@ -1,0 +1,25 @@
+#ifndef TAILORMATCH_SELECT_FILTERS_H_
+#define TAILORMATCH_SELECT_FILTERS_H_
+
+#include "data/entity.h"
+#include "llm/teacher.h"
+
+namespace tailormatch::select {
+
+// Section 5.1, error-based filtering: the teacher LLM labels every training
+// pair (the paper uses GPT-4o-mini with the complex-force prompt); pairs
+// whose teacher label disagrees with the ground-truth label are discarded.
+// Removes most mislabeled pairs at the cost of some correct ones.
+data::Dataset ErrorBasedFilter(const data::Dataset& dataset,
+                               const llm::TeacherLlm& teacher);
+
+// Section 5.1, relevancy-based filtering: the teacher keeps only
+// "interesting" pairs (it interprets the term as corner-case-like pairs
+// that share many attributes). Applied on top of error-based filtering in
+// the paper's WDC-filtered-rel variant.
+data::Dataset RelevancyFilter(const data::Dataset& dataset,
+                              const llm::TeacherLlm& teacher);
+
+}  // namespace tailormatch::select
+
+#endif  // TAILORMATCH_SELECT_FILTERS_H_

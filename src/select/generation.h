@@ -1,0 +1,48 @@
+#ifndef TAILORMATCH_SELECT_GENERATION_H_
+#define TAILORMATCH_SELECT_GENERATION_H_
+
+#include <vector>
+
+#include "data/benchmark_factory.h"
+#include "data/entity.h"
+
+namespace tailormatch::select {
+
+// The three example-generation prompts of Section 5.2. They differ in how
+// well the (simulated) teacher LLM executes the task:
+//  * kBrief: short task description. Produces low-variance examples and
+//    often mislabels matches (easy non-matches labelled "match").
+//  * kDetailed: long task description with corner-case background. More
+//    variation, mixed correctness.
+//  * kDemonstration: detailed prompt + 6 nearest-neighbour demonstration
+//    pairs. Highest variance, still imperfect.
+enum class GenerationMethod { kBrief, kDetailed, kDemonstration };
+
+const char* GenerationMethodName(GenerationMethod method);
+
+struct GenerationOptions {
+  GenerationMethod method = GenerationMethod::kDetailed;
+  // Per seed pair, the prompt asks for one match and three non-matches.
+  int matches_per_seed = 1;
+  int non_matches_per_seed = 3;
+  uint64_t seed = 2025;
+};
+
+// Generates artificial training pairs from seed pairs, mimicking an LLM
+// asked to invent similar examples. The generated entities come from the
+// same category/vocabulary distribution as the seeds (spec), with
+// method-dependent label error and hardness.
+std::vector<data::EntityPair> GenerateExamples(
+    const std::vector<data::EntityPair>& seeds,
+    const data::BenchmarkSpec& spec, const GenerationOptions& options);
+
+// The paper's "Syn" training set: the seed set combined with generated
+// examples from all three methods (Table 4 sizes the combination at
+// roughly 8x the seed set).
+data::Dataset BuildSyntheticSet(const data::Dataset& seed_set,
+                                const data::BenchmarkSpec& spec,
+                                uint64_t seed = 2025);
+
+}  // namespace tailormatch::select
+
+#endif  // TAILORMATCH_SELECT_GENERATION_H_

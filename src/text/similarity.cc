@@ -1,0 +1,161 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace tailormatch::text {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t m = a.size(), n = b.size();
+  if (m == 0) return static_cast<int>(n);
+  if (n == 0) return static_cast<int>(m);
+  std::vector<int> prev(n + 1), curr(n + 1);
+  for (size_t j = 0; j <= n; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    curr[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      const int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const double max_len = static_cast<double>(std::max(a.size(), b.size()));
+  return 1.0 - LevenshteinDistance(a, b) / max_len;
+}
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  const size_t m = a.size(), n = b.size();
+  if (m == 0 && n == 0) return 1.0;
+  if (m == 0 || n == 0) return 0.0;
+  const size_t window = std::max<size_t>(1, std::max(m, n) / 2) - 1;
+  std::vector<bool> a_matched(m, false), b_matched(n, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(n, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  const double mm = static_cast<double>(matches);
+  const double jaro = (mm / m + mm / n + (mm - transpositions / 2.0) / mm) / 3.0;
+  // Winkler prefix boost (up to 4 chars, p = 0.1).
+  size_t prefix = 0;
+  for (size_t i = 0; i < std::min({m, n, size_t{4}}); ++i) {
+    if (a[i] == b[i]) {
+      ++prefix;
+    } else {
+      break;
+    }
+  }
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = PreTokenize(a);
+  std::vector<std::string> tb = PreTokenize(b);
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const std::string& t : sa) {
+    if (sb.count(t) > 0) ++intersection;
+  }
+  const size_t uni = sa.size() + sb.size() - intersection;
+  return uni == 0 ? 1.0 : static_cast<double>(intersection) / uni;
+}
+
+double TrigramDice(std::string_view a, std::string_view b) {
+  auto trigrams = [](std::string_view s) {
+    std::unordered_map<std::string, int> grams;
+    std::string padded = "  " + std::string(s) + "  ";
+    for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+      ++grams[padded.substr(i, 3)];
+    }
+    return grams;
+  };
+  auto ga = trigrams(a);
+  auto gb = trigrams(b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  int64_t total_a = 0, total_b = 0, shared = 0;
+  for (auto& [g, c] : ga) total_a += c;
+  for (auto& [g, c] : gb) total_b += c;
+  for (auto& [g, c] : ga) {
+    auto it = gb.find(g);
+    if (it != gb.end()) shared += std::min(c, it->second);
+  }
+  const int64_t denom = total_a + total_b;
+  return denom == 0 ? 1.0 : 2.0 * shared / static_cast<double>(denom);
+}
+
+namespace {
+
+bool ParseNumber(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::string copy(s);
+  double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+double NumericSimilarity(std::string_view a, std::string_view b) {
+  double va, vb;
+  if (!ParseNumber(a, &va) || !ParseNumber(b, &vb)) return 0.0;
+  if (va == vb) return 1.0;
+  const double denom = std::max(std::abs(va), std::abs(vb));
+  if (denom == 0.0) return 1.0;
+  const double rel = std::abs(va - vb) / denom;
+  return std::max(0.0, 1.0 - rel);
+}
+
+double HybridSimilarity(std::string_view a, std::string_view b) {
+  double num = NumericSimilarity(a, b);
+  if (num > 0.0) return num;
+  const double jac = TokenJaccard(a, b);
+  const double dice = TrigramDice(a, b);
+  const double lev = NormalizedLevenshtein(a, b);
+  return std::max({jac, 0.5 * (dice + lev)});
+}
+
+std::vector<std::string> SharedTokens(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = PreTokenize(a);
+  std::vector<std::string> tb = PreTokenize(b);
+  std::set<std::string> sb(tb.begin(), tb.end());
+  std::set<std::string> seen;
+  std::vector<std::string> shared;
+  for (const std::string& t : ta) {
+    if (sb.count(t) > 0 && seen.insert(t).second) shared.push_back(t);
+  }
+  return shared;
+}
+
+}  // namespace tailormatch::text

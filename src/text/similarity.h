@@ -1,0 +1,42 @@
+#ifndef TAILORMATCH_TEXT_SIMILARITY_H_
+#define TAILORMATCH_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tailormatch::text {
+
+// Classic string-similarity metrics used by the simulated teacher LLM, the
+// structured-explanation generator, and the relevancy filter. All return a
+// similarity in [0, 1] unless noted.
+
+// Raw Levenshtein edit distance.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+// 1 - distance / max(len); 1.0 for two empty strings.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+// Jaro-Winkler similarity (prefix-boosted Jaro).
+double JaroWinkler(std::string_view a, std::string_view b);
+
+// Jaccard overlap of the pre-tokenized token sets.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+// Dice coefficient over character trigram multisets.
+double TrigramDice(std::string_view a, std::string_view b);
+
+// Similarity of two numeric strings: 1 when equal as numbers, decaying with
+// relative difference; 0 when either is non-numeric.
+double NumericSimilarity(std::string_view a, std::string_view b);
+
+// Blended similarity used wherever the paper's teacher "judges" closeness:
+// max of token-level and character-level views, with numeric awareness.
+double HybridSimilarity(std::string_view a, std::string_view b);
+
+// Token overlap helpers.
+std::vector<std::string> SharedTokens(std::string_view a, std::string_view b);
+
+}  // namespace tailormatch::text
+
+#endif  // TAILORMATCH_TEXT_SIMILARITY_H_

@@ -1,0 +1,110 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace tailormatch::text {
+
+void TfidfEmbedder::Fit(const std::vector<std::string>& corpus) {
+  term_ids_.clear();
+  std::vector<int64_t> doc_freq;
+  for (const std::string& doc : corpus) {
+    std::vector<std::string> tokens = PreTokenize(doc);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (const std::string& token : tokens) {
+      auto [it, inserted] =
+          term_ids_.try_emplace(token, static_cast<int>(doc_freq.size()));
+      if (inserted) {
+        doc_freq.push_back(1);
+      } else {
+        ++doc_freq[static_cast<size_t>(it->second)];
+      }
+    }
+  }
+  const double n = static_cast<double>(std::max<size_t>(1, corpus.size()));
+  idf_.resize(doc_freq.size());
+  for (size_t i = 0; i < doc_freq.size(); ++i) {
+    idf_[i] = static_cast<float>(std::log((n + 1.0) / (doc_freq[i] + 1.0)) + 1.0);
+  }
+}
+
+SparseVector TfidfEmbedder::Embed(std::string_view text) const {
+  TM_CHECK(fitted()) << "TfidfEmbedder::Fit must be called first";
+  std::unordered_map<int, float> counts;
+  for (const std::string& token : PreTokenize(text)) {
+    auto it = term_ids_.find(token);
+    if (it != term_ids_.end()) counts[it->second] += 1.0f;
+  }
+  SparseVector vec(counts.begin(), counts.end());
+  double norm_sq = 0.0;
+  for (auto& [term, weight] : vec) {
+    weight *= idf_[static_cast<size_t>(term)];
+    norm_sq += static_cast<double>(weight) * weight;
+  }
+  if (norm_sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (auto& [term, weight] : vec) weight *= inv;
+  }
+  std::sort(vec.begin(), vec.end());
+  return vec;
+}
+
+double TfidfEmbedder::Cosine(const SparseVector& a, const SparseVector& b) {
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first == b[j].first) {
+      dot += static_cast<double>(a[i].second) * b[j].second;
+      ++i;
+      ++j;
+    } else if (a[i].first < b[j].first) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+NearestNeighborIndex::NearestNeighborIndex(const TfidfEmbedder* embedder)
+    : embedder_(embedder) {
+  TM_CHECK(embedder != nullptr);
+}
+
+int NearestNeighborIndex::Add(const std::string& document) {
+  vectors_.push_back(embedder_->Embed(document));
+  return static_cast<int>(vectors_.size()) - 1;
+}
+
+void NearestNeighborIndex::AddAll(const std::vector<std::string>& documents) {
+  vectors_.reserve(vectors_.size() + documents.size());
+  for (const std::string& doc : documents) Add(doc);
+}
+
+std::vector<int> NearestNeighborIndex::Query(std::string_view query, int k,
+                                             int exclude) const {
+  SparseVector qv = embedder_->Embed(query);
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(vectors_.size());
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    if (static_cast<int>(i) == exclude) continue;
+    scored.emplace_back(TfidfEmbedder::Cosine(qv, vectors_[i]),
+                        static_cast<int>(i));
+  }
+  const size_t take = std::min(scored.size(), static_cast<size_t>(k));
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<int> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace tailormatch::text

@@ -1,0 +1,62 @@
+#ifndef TAILORMATCH_TEXT_TFIDF_H_
+#define TAILORMATCH_TEXT_TFIDF_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tailormatch::text {
+
+// Sparse L2-normalized vector, dimension index -> weight.
+using SparseVector = std::vector<std::pair<int, float>>;
+
+// TF-IDF text embedder. Substitutes for the paper's use of the OpenAI
+// embedding space in demonstration selection (Section 5.2) and error-based
+// example selection (Section 5.3): all the pipeline needs is an embedding
+// with meaningful nearest neighbourhoods over entity descriptions.
+class TfidfEmbedder {
+ public:
+  // Learns the vocabulary and document frequencies.
+  void Fit(const std::vector<std::string>& corpus);
+
+  // Embeds a string; terms unseen during Fit are ignored.
+  SparseVector Embed(std::string_view text) const;
+
+  // Cosine similarity of two sparse vectors (entries must be sorted by
+  // index, which Embed guarantees).
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+  bool fitted() const { return !idf_.empty(); }
+  int vocab_size() const { return static_cast<int>(idf_.size()); }
+
+ private:
+  std::unordered_map<std::string, int> term_ids_;
+  std::vector<float> idf_;
+};
+
+// Brute-force cosine nearest-neighbour index over embedded documents.
+class NearestNeighborIndex {
+ public:
+  explicit NearestNeighborIndex(const TfidfEmbedder* embedder);
+
+  // Adds a document; returns its position.
+  int Add(const std::string& document);
+  void AddAll(const std::vector<std::string>& documents);
+
+  // Returns the indices of the k most similar documents to `query`,
+  // most-similar first. `exclude` (optional, -1 = none) skips one index,
+  // used when the query itself is in the index.
+  std::vector<int> Query(std::string_view query, int k,
+                         int exclude = -1) const;
+
+  size_t size() const { return vectors_.size(); }
+
+ private:
+  const TfidfEmbedder* embedder_;
+  std::vector<SparseVector> vectors_;
+};
+
+}  // namespace tailormatch::text
+
+#endif  // TAILORMATCH_TEXT_TFIDF_H_

@@ -1,0 +1,257 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace tailormatch::text {
+
+namespace {
+
+enum class CharClass { kLetter, kDigit, kPunct, kSpace };
+
+CharClass Classify(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  if (std::isalpha(u)) return CharClass::kLetter;
+  if (std::isdigit(u)) return CharClass::kDigit;
+  if (std::isspace(u)) return CharClass::kSpace;
+  return CharClass::kPunct;
+}
+
+}  // namespace
+
+std::vector<std::string> PreTokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  CharClass current_class = CharClass::kSpace;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    CharClass cls = Classify(c);
+    switch (cls) {
+      case CharClass::kSpace:
+        flush();
+        break;
+      case CharClass::kPunct:
+        flush();
+        tokens.push_back(std::string(1, c));
+        break;
+      case CharClass::kLetter:
+      case CharClass::kDigit:
+        if (cls != current_class) flush();
+        current.push_back(c);
+        break;
+    }
+    current_class = cls;
+  }
+  flush();
+  return tokens;
+}
+
+namespace {
+
+bool IsAllDigits(const std::string& word) {
+  if (word.empty()) return false;
+  for (char c : word) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+int DigitBucket(const std::string& word) {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : word) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int>(h %
+                          static_cast<uint64_t>(Tokenizer::kNumDigitBuckets));
+}
+
+}  // namespace
+
+void Tokenizer::Train(const std::vector<std::string>& corpus, int max_vocab,
+                      int min_count) {
+  TM_CHECK_GT(max_vocab, Vocab::kNumSpecialTokens + 128 + kNumDigitBuckets);
+  vocab_ = Vocab();
+
+  // Reserved digit-bucket ids (stable across corpora).
+  for (int b = 0; b < kNumDigitBuckets; ++b) {
+    vocab_.AddToken(StrFormat("[NUM%d]", b));
+  }
+  // Always include single-character pieces (word-initial and continuation)
+  // so every ASCII string is encodable.
+  for (int c = 33; c < 127; ++c) {
+    std::string ch(1, static_cast<char>(std::tolower(c)));
+    vocab_.AddToken(ch);
+    vocab_.AddToken("##" + ch);
+  }
+
+  std::unordered_map<std::string, int64_t> word_counts;
+  std::unordered_map<std::string, int64_t> piece_counts;
+  for (const std::string& doc : corpus) {
+    for (const std::string& word : PreTokenize(doc)) {
+      if (IsAllDigits(word)) continue;  // digits always bucket
+      ++word_counts[word];
+      // Count character bigrams/trigrams as candidate subword pieces.
+      for (size_t len = 2; len <= 3; ++len) {
+        for (size_t i = 0; i + len <= word.size(); ++i) {
+          std::string piece = word.substr(i, len);
+          ++piece_counts[i == 0 ? piece : "##" + piece];
+        }
+      }
+    }
+  }
+
+  // Frequency-sorted whole words first (they carry the most signal), then
+  // frequent subword pieces fill the remaining budget.
+  std::vector<std::pair<int64_t, std::string>> words;
+  words.reserve(word_counts.size());
+  for (auto& [word, count] : word_counts) {
+    if (count >= min_count) words.emplace_back(count, word);
+  }
+  std::sort(words.begin(), words.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const int word_budget = max_vocab - vocab_.size() - max_vocab / 8;
+  int added_words = 0;
+  for (const auto& [count, word] : words) {
+    if (added_words >= word_budget) break;
+    if (!vocab_.HasToken(word)) {
+      vocab_.AddToken(word);
+      ++added_words;
+    }
+  }
+
+  std::vector<std::pair<int64_t, std::string>> pieces;
+  pieces.reserve(piece_counts.size());
+  for (auto& [piece, count] : piece_counts) {
+    if (count >= min_count) pieces.emplace_back(count, piece);
+  }
+  std::sort(pieces.begin(), pieces.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (const auto& [count, piece] : pieces) {
+    if (vocab_.size() >= max_vocab) break;
+    vocab_.AddToken(piece);
+  }
+
+  max_piece_len_ = 1;
+  for (const std::string& token : vocab_.tokens()) {
+    size_t len = StartsWith(token, "##") ? token.size() - 2 : token.size();
+    max_piece_len_ = std::max(max_piece_len_, static_cast<int>(len));
+  }
+  trained_ = true;
+}
+
+Tokenizer Tokenizer::FromVocabTokens(
+    const std::vector<std::string>& tokens) {
+  TM_CHECK_GE(tokens.size(), static_cast<size_t>(Vocab::kNumSpecialTokens));
+  Tokenizer tokenizer;
+  // The Vocab constructor already added the specials; verify the serialized
+  // list agrees, then append the rest in order so ids are preserved.
+  for (int i = 0; i < Vocab::kNumSpecialTokens; ++i) {
+    TM_CHECK_EQ(tokens[static_cast<size_t>(i)], tokenizer.vocab_.GetToken(i))
+        << "corrupt vocabulary: special tokens out of order";
+  }
+  for (size_t i = Vocab::kNumSpecialTokens; i < tokens.size(); ++i) {
+    tokenizer.vocab_.AddToken(tokens[i]);
+  }
+  tokenizer.max_piece_len_ = 1;
+  for (const std::string& token : tokenizer.vocab_.tokens()) {
+    size_t len = StartsWith(token, "##") ? token.size() - 2 : token.size();
+    tokenizer.max_piece_len_ =
+        std::max(tokenizer.max_piece_len_, static_cast<int>(len));
+  }
+  tokenizer.trained_ = true;
+  return tokenizer;
+}
+
+void Tokenizer::EncodeWord(const std::string& word,
+                           std::vector<int>* out) const {
+  if (IsAllDigits(word)) {
+    out->push_back(
+        vocab_.GetId(StrFormat("[NUM%d]", DigitBucket(word))));
+    return;
+  }
+  if (vocab_.HasToken(word)) {
+    out->push_back(vocab_.GetId(word));
+    return;
+  }
+  size_t pos = 0;
+  while (pos < word.size()) {
+    size_t longest =
+        std::min(static_cast<size_t>(max_piece_len_), word.size() - pos);
+    bool matched = false;
+    for (size_t len = longest; len >= 1; --len) {
+      std::string piece = word.substr(pos, len);
+      if (pos > 0) piece = "##" + piece;
+      if (vocab_.HasToken(piece)) {
+        out->push_back(vocab_.GetId(piece));
+        pos += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      // Non-ASCII byte with no piece: emit [UNK] and skip it.
+      out->push_back(Vocab::kUnkId);
+      ++pos;
+    }
+  }
+}
+
+std::vector<int> Tokenizer::Encode(std::string_view text) const {
+  TM_CHECK(trained_) << "Tokenizer::Train must be called first";
+  std::vector<int> ids;
+  for (const std::string& word : PreTokenize(text)) {
+    EncodeWord(word, &ids);
+  }
+  return ids;
+}
+
+std::vector<int> Tokenizer::EncodeForModel(std::string_view text,
+                                           int max_len) const {
+  TM_CHECK_GE(max_len, 2);
+  std::vector<int> ids = Encode(text);
+  if (static_cast<int>(ids.size()) > max_len - 2) {
+    // Keep the *tail*: entity-matching prompts end with the two entity
+    // descriptions, and dropping instruction words is recoverable while
+    // dropping the second entity is not.
+    ids.erase(ids.begin(),
+              ids.end() - static_cast<std::ptrdiff_t>(max_len - 2));
+  }
+  std::vector<int> out;
+  out.reserve(ids.size() + 2);
+  out.push_back(Vocab::kClsId);
+  out.insert(out.end(), ids.begin(), ids.end());
+  out.push_back(Vocab::kSepId);
+  return out;
+}
+
+std::string Tokenizer::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    const std::string& token = vocab_.GetToken(id);
+    if (StartsWith(token, "##")) {
+      out += token.substr(2);
+    } else {
+      if (!out.empty()) out += ' ';
+      out += token;
+    }
+  }
+  return out;
+}
+
+}  // namespace tailormatch::text

@@ -1,0 +1,73 @@
+#ifndef TAILORMATCH_TEXT_TOKENIZER_H_
+#define TAILORMATCH_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace tailormatch::text {
+
+// Lower-cases and splits text into primitive tokens: letter runs, digit
+// runs, and single punctuation characters. "Jabra EVOLVE-80 (7899)" becomes
+// ["jabra", "evolve", "-", "80", "(", "7899", ")"].
+std::vector<std::string> PreTokenize(std::string_view text);
+
+// WordPiece-style tokenizer: whole words above a frequency threshold get
+// their own id; everything else decomposes greedily into subword pieces
+// (continuations marked "##"). Single characters are always present as
+// pieces, so any ASCII word can be encoded without [UNK].
+//
+// Digit runs are special: every all-digit word maps to one of
+// kNumDigitBuckets reserved ids via a stable hash. Numbers are the
+// discriminative core of entity descriptions (model codes, years, SKUs);
+// treating them atomically means "730" and "731" get unrelated ids instead
+// of overlapping subword pieces.
+class Tokenizer {
+ public:
+  static constexpr int kNumDigitBuckets = 512;
+
+  // Digit buckets occupy a fixed id range right after the special tokens.
+  static bool IsDigitBucketId(int id) {
+    return id >= Vocab::kNumSpecialTokens &&
+           id < Vocab::kNumSpecialTokens + kNumDigitBuckets;
+  }
+
+  Tokenizer() = default;
+
+  // Builds the vocabulary from a corpus of strings.
+  //   max_vocab:  hard cap on vocabulary size (including specials/pieces)
+  //   min_count:  minimum corpus frequency for a whole-word entry
+  void Train(const std::vector<std::string>& corpus, int max_vocab = 8000,
+             int min_count = 2);
+
+  // Reconstructs a trained tokenizer from a serialized vocabulary (the full
+  // ordered token list, specials first), as stored in model checkpoints.
+  static Tokenizer FromVocabTokens(const std::vector<std::string>& tokens);
+
+  // Encodes text to token ids (no specials added).
+  std::vector<int> Encode(std::string_view text) const;
+
+  // Encodes and wraps as [CLS] ids... [SEP], truncating to max_len.
+  std::vector<int> EncodeForModel(std::string_view text, int max_len) const;
+
+  // Decodes ids back to a readable string (pieces re-joined).
+  std::string Decode(const std::vector<int>& ids) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  int vocab_size() const { return vocab_.size(); }
+  bool trained() const { return trained_; }
+
+ private:
+  // Greedy longest-match decomposition of a single pre-token.
+  void EncodeWord(const std::string& word, std::vector<int>* out) const;
+
+  Vocab vocab_;
+  bool trained_ = false;
+  int max_piece_len_ = 1;
+};
+
+}  // namespace tailormatch::text
+
+#endif  // TAILORMATCH_TEXT_TOKENIZER_H_

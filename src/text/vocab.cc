@@ -1,0 +1,34 @@
+#include "text/vocab.h"
+
+#include "util/check.h"
+
+namespace tailormatch::text {
+
+Vocab::Vocab() {
+  AddToken("[PAD]");
+  AddToken("[UNK]");
+  AddToken("[CLS]");
+  AddToken("[SEP]");
+}
+
+int Vocab::AddToken(const std::string& token) {
+  auto [it, inserted] = ids_.try_emplace(token, static_cast<int>(tokens_.size()));
+  if (inserted) tokens_.push_back(token);
+  return it->second;
+}
+
+int Vocab::GetId(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kUnkId : it->second;
+}
+
+bool Vocab::HasToken(const std::string& token) const {
+  return ids_.find(token) != ids_.end();
+}
+
+const std::string& Vocab::GetToken(int id) const {
+  TM_CHECK(id >= 0 && id < size()) << "token id out of range: " << id;
+  return tokens_[static_cast<size_t>(id)];
+}
+
+}  // namespace tailormatch::text

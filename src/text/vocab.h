@@ -1,0 +1,47 @@
+#ifndef TAILORMATCH_TEXT_VOCAB_H_
+#define TAILORMATCH_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tailormatch::text {
+
+// Token vocabulary with reserved special ids. Ids are dense and stable for
+// a built vocabulary; [UNK] absorbs everything unseen (subword fallback is
+// handled by the Tokenizer).
+class Vocab {
+ public:
+  // Reserved token ids.
+  static constexpr int kPadId = 0;
+  static constexpr int kUnkId = 1;
+  static constexpr int kClsId = 2;
+  static constexpr int kSepId = 3;
+  static constexpr int kNumSpecialTokens = 4;
+
+  Vocab();
+
+  // Adds a token if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  // Returns the token id or kUnkId when unknown.
+  int GetId(const std::string& token) const;
+  bool HasToken(const std::string& token) const;
+
+  // Inverse lookup; aborts on out-of-range ids.
+  const std::string& GetToken(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace tailormatch::text
+
+#endif  // TAILORMATCH_TEXT_VOCAB_H_

@@ -1,0 +1,76 @@
+#ifndef TAILORMATCH_UTIL_CHECK_H_
+#define TAILORMATCH_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Assertion macros for programmer errors. These abort the process with a
+// message; they are enabled in all build types because the library is a
+// research reproduction where silent corruption is worse than a crash.
+//
+// Usage:
+//   TM_CHECK(cond) << "optional extra context " << value;
+//   TM_CHECK_EQ(a, b);
+//   TM_FATAL() << "unreachable";
+
+namespace tailormatch::internal {
+
+// Accumulates a failure message and aborts in the destructor.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << file << ":" << line << " " << kind << " failed: " << condition
+            << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lets the ternary in TM_CHECK produce void while still allowing `<<`
+// chaining on the failure stream (glog's Voidify idiom: `&` binds looser
+// than `<<`).
+struct Voidify {
+  template <typename T>
+  void operator&(T&&) {}
+};
+
+}  // namespace tailormatch::internal
+
+#define TM_CHECK(condition)                                           \
+  (condition) ? (void)0                                               \
+              : ::tailormatch::internal::Voidify() &                  \
+                    ::tailormatch::internal::CheckFailureStream(      \
+                        "TM_CHECK", __FILE__, __LINE__, #condition)
+
+#define TM_CHECK_OP(op, a, b) TM_CHECK((a)op(b))
+#define TM_CHECK_EQ(a, b) TM_CHECK_OP(==, a, b)
+#define TM_CHECK_NE(a, b) TM_CHECK_OP(!=, a, b)
+#define TM_CHECK_LT(a, b) TM_CHECK_OP(<, a, b)
+#define TM_CHECK_LE(a, b) TM_CHECK_OP(<=, a, b)
+#define TM_CHECK_GT(a, b) TM_CHECK_OP(>, a, b)
+#define TM_CHECK_GE(a, b) TM_CHECK_OP(>=, a, b)
+
+#define TM_FATAL()                                            \
+  ::tailormatch::internal::CheckFailureStream("TM_FATAL", __FILE__, \
+                                              __LINE__, "fatal error")
+
+#endif  // TAILORMATCH_UTIL_CHECK_H_

@@ -1,0 +1,46 @@
+#ifndef TAILORMATCH_UTIL_LOGGING_H_
+#define TAILORMATCH_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tailormatch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped. Not thread-safe to
+// mutate while logging (set it once at startup).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+// One log statement; flushes the accumulated line in the destructor.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tailormatch
+
+#define TM_LOG(level)                                                   \
+  ::tailormatch::internal::LogMessage(::tailormatch::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+#endif  // TAILORMATCH_UTIL_LOGGING_H_

@@ -1,0 +1,127 @@
+#ifndef TAILORMATCH_UTIL_RNG_H_
+#define TAILORMATCH_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tailormatch {
+
+// Deterministic PCG32 random generator. Every stochastic component in the
+// library takes an explicit Rng so experiments are reproducible bit-for-bit
+// (the paper's "constant random seed across all libraries" setup).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Reseed(seed); }
+
+  // Re-initializes the stream from a seed.
+  void Reseed(uint64_t seed) {
+    state_ = 0;
+    inc_ = (seed << 1u) | 1u;
+    NextU32();
+    state_ += 0x853c49e6748fea9bULL + seed;
+    NextU32();
+  }
+
+  // Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  // Uniform 64-bit value.
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return NextU32() * (1.0 / 4294967296.0); }
+
+  // Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  // Uniform integer in [0, bound) using Lemire's rejection-free mapping.
+  uint32_t NextBounded(uint32_t bound) {
+    TM_CHECK_GT(bound, 0u);
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(NextU32()) * bound) >> 32);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    TM_CHECK_LE(lo, hi);
+    return lo + static_cast<int>(
+                    NextBounded(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli draw with success probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = NextDouble();
+    double u2 = NextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 6.283185307179586 * u2;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  // Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    TM_CHECK(!items.empty());
+    return items[NextBounded(static_cast<uint32_t>(items.size()))];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBounded(static_cast<uint32_t>(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    TM_CHECK_LE(k, n);
+    std::vector<size_t> indices(n);
+    for (size_t i = 0; i < n; ++i) indices[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + NextBounded(static_cast<uint32_t>(n - i));
+      std::swap(indices[i], indices[j]);
+    }
+    indices.resize(k);
+    return indices;
+  }
+
+  // Derives an independent child stream; used to give each experiment in a
+  // grid its own deterministic stream regardless of evaluation order.
+  Rng Fork(uint64_t salt) {
+    return Rng(NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x1234567));
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace tailormatch
+
+#endif  // TAILORMATCH_UTIL_RNG_H_

@@ -1,0 +1,124 @@
+#include "util/serialize.h"
+
+#include <fstream>
+
+namespace tailormatch {
+
+void BinaryWriter::WriteU32(uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  buffer_.append(bytes, 4);
+}
+
+void BinaryWriter::WriteU64(uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  buffer_.append(bytes, 8);
+}
+
+void BinaryWriter::WriteFloat(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU32(bits);
+}
+
+void BinaryWriter::WriteDouble(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU32(static_cast<uint32_t>(value.size()));
+  buffer_.append(value);
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
+  WriteU32(static_cast<uint32_t>(values.size()));
+  for (float v : values) WriteFloat(v);
+}
+
+Status BinaryWriter::Flush(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  return BinaryReader(std::move(buffer));
+}
+
+Status BinaryReader::ReadBytes(void* out, size_t n) {
+  if (pos_ + n > buffer_.size()) {
+    return Status::IoError("unexpected end of buffer");
+  }
+  std::memcpy(out, buffer_.data() + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadU32(uint32_t* value) {
+  unsigned char bytes[4];
+  TM_RETURN_IF_ERROR(ReadBytes(bytes, 4));
+  *value = 0;
+  for (int i = 0; i < 4; ++i) *value |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadU64(uint64_t* value) {
+  unsigned char bytes[8];
+  TM_RETURN_IF_ERROR(ReadBytes(bytes, 8));
+  *value = 0;
+  for (int i = 0; i < 8; ++i) *value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadI32(int32_t* value) {
+  uint32_t bits;
+  TM_RETURN_IF_ERROR(ReadU32(&bits));
+  *value = static_cast<int32_t>(bits);
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadFloat(float* value) {
+  uint32_t bits;
+  TM_RETURN_IF_ERROR(ReadU32(&bits));
+  std::memcpy(value, &bits, sizeof(bits));
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadDouble(double* value) {
+  uint64_t bits;
+  TM_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(value, &bits, sizeof(bits));
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadString(std::string* value) {
+  uint32_t size;
+  TM_RETURN_IF_ERROR(ReadU32(&size));
+  if (pos_ + size > buffer_.size()) {
+    return Status::IoError("string extends past end of buffer");
+  }
+  value->assign(buffer_.data() + pos_, size);
+  pos_ += size;
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadFloatVector(std::vector<float>* values) {
+  uint32_t size;
+  TM_RETURN_IF_ERROR(ReadU32(&size));
+  values->resize(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    TM_RETURN_IF_ERROR(ReadFloat(&(*values)[i]));
+  }
+  return Status::Ok();
+}
+
+}  // namespace tailormatch

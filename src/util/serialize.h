@@ -1,0 +1,62 @@
+#ifndef TAILORMATCH_UTIL_SERIALIZE_H_
+#define TAILORMATCH_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tailormatch {
+
+// Append-only binary buffer used for model checkpoints and dataset caches.
+// All integers are written little-endian fixed-width; the format is
+// versioned by the caller (see SimLlm::SaveCheckpoint).
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI32(int32_t value) { WriteU32(static_cast<uint32_t>(value)); }
+  void WriteFloat(float value);
+  void WriteDouble(double value);
+  void WriteString(const std::string& value);
+  void WriteFloatVector(const std::vector<float>& values);
+
+  const std::string& buffer() const { return buffer_; }
+
+  // Writes the accumulated buffer to a file.
+  Status Flush(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+};
+
+// Sequential reader over a buffer produced by BinaryWriter.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  // Loads a whole file into a reader.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Status ReadU32(uint32_t* value);
+  Status ReadU64(uint64_t* value);
+  Status ReadI32(int32_t* value);
+  Status ReadFloat(float* value);
+  Status ReadDouble(double* value);
+  Status ReadString(std::string* value);
+  Status ReadFloatVector(std::vector<float>* values);
+
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+
+ private:
+  Status ReadBytes(void* out, size_t n);
+
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tailormatch
+
+#endif  // TAILORMATCH_UTIL_SERIALIZE_H_

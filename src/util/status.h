@@ -1,0 +1,104 @@
+#ifndef TAILORMATCH_UTIL_STATUS_H_
+#define TAILORMATCH_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace tailormatch {
+
+// Error codes for fallible operations. Modeled after the RocksDB / absl
+// Status idiom: return values instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// A lightweight status object: either OK or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "IoError: cannot open file".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-status holder, the return type of fallible factories.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : value_(std::move(status)) {
+    TM_CHECK(!std::get<Status>(value_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  // Value accessors; aborting on a non-OK result is a programmer error.
+  const T& value() const& {
+    TM_CHECK(ok()) << status().ToString();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    TM_CHECK(ok()) << status().ToString();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    TM_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace tailormatch
+
+// Propagates a non-OK status to the caller.
+#define TM_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::tailormatch::Status _tm_st = (expr);  \
+    if (!_tm_st.ok()) return _tm_st;        \
+  } while (false)
+
+#endif  // TAILORMATCH_UTIL_STATUS_H_

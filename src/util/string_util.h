@@ -1,0 +1,41 @@
+#ifndef TAILORMATCH_UTIL_STRING_UTIL_H_
+#define TAILORMATCH_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tailormatch {
+
+// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// Splits `text` on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+// Joins `parts` with `delimiter`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delimiter);
+
+// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Returns true if `haystack` contains `needle` (case-sensitive).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+// Case-insensitive containment test, used by the Narayan-style answer parser.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace tailormatch
+
+#endif  // TAILORMATCH_UTIL_STRING_UTIL_H_

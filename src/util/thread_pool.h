@@ -1,0 +1,50 @@
+#ifndef TAILORMATCH_UTIL_THREAD_POOL_H_
+#define TAILORMATCH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tailormatch {
+
+// Fixed-size worker pool used to parallelise independent experiments in the
+// benchmark grids. Tasks must not throw.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  static void ParallelFor(size_t n, size_t num_threads,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace tailormatch
+
+#endif  // TAILORMATCH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,134 @@
+#include "block/blocker.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace tailormatch::block {
+namespace {
+
+// A catalog where each product appears twice with different surfaces.
+std::vector<data::Entity> DuplicatedCatalog(int num_products, uint64_t seed) {
+  data::ProductGenerator generator((data::ProductGeneratorConfig()));
+  Rng rng(seed);
+  std::vector<data::Entity> records;
+  for (int i = 0; i < num_products; ++i) {
+    data::Entity base = generator.SampleBase(rng);
+    records.push_back(generator.RenderVariant(base, 0.15, rng));
+    records.push_back(generator.RenderVariant(base, 0.45, rng));
+  }
+  rng.Shuffle(records);
+  return records;
+}
+
+class BlockerImplTest
+    : public ::testing::TestWithParam<std::shared_ptr<Blocker>> {};
+
+TEST_P(BlockerImplTest, WithinFindsMostTruePairsAndReduces) {
+  std::vector<data::Entity> records = DuplicatedCatalog(60, 5);
+  std::vector<CandidatePair> candidates =
+      GetParam()->CandidatesWithin(records);
+  BlockingQuality quality = EvaluateBlockingWithin(records, candidates);
+  EXPECT_GT(quality.pair_completeness, 0.7);
+  EXPECT_GT(quality.reduction_ratio, 0.5);
+  for (const CandidatePair& pair : candidates) {
+    EXPECT_LT(pair.left, pair.right);  // canonical within-pairs
+    EXPECT_GE(pair.left, 0);
+    EXPECT_LT(pair.right, static_cast<int>(records.size()));
+  }
+}
+
+TEST_P(BlockerImplTest, AcrossFindsLinkedRecords) {
+  data::ProductGenerator generator((data::ProductGeneratorConfig()));
+  Rng rng(6);
+  std::vector<data::Entity> left, right;
+  for (int i = 0; i < 50; ++i) {
+    data::Entity base = generator.SampleBase(rng);
+    left.push_back(generator.RenderVariant(base, 0.15, rng));
+    right.push_back(generator.RenderVariant(base, 0.4, rng));
+  }
+  rng.Shuffle(right);
+  std::vector<CandidatePair> candidates =
+      GetParam()->CandidatesAcross(left, right);
+  BlockingQuality quality = EvaluateBlockingAcross(left, right, candidates);
+  EXPECT_EQ(quality.true_pairs, 50u);
+  EXPECT_GT(quality.pair_completeness, 0.7);
+  EXPECT_GT(quality.reduction_ratio, 0.5);
+}
+
+TEST_P(BlockerImplTest, NoDuplicateCandidates) {
+  std::vector<data::Entity> records = DuplicatedCatalog(30, 7);
+  std::vector<CandidatePair> candidates =
+      GetParam()->CandidatesWithin(records);
+  std::set<std::pair<int, int>> unique;
+  for (const CandidatePair& pair : candidates) {
+    EXPECT_TRUE(unique.emplace(pair.left, pair.right).second)
+        << pair.left << "," << pair.right;
+  }
+}
+
+TEST_P(BlockerImplTest, EmptyInputs) {
+  std::vector<data::Entity> empty;
+  EXPECT_TRUE(GetParam()->CandidatesWithin(empty).empty());
+  EXPECT_TRUE(GetParam()->CandidatesAcross(empty, empty).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blockers, BlockerImplTest,
+    ::testing::Values(std::make_shared<TokenBlocker>(),
+                      std::make_shared<SortedNeighborhoodBlocker>(8),
+                      std::make_shared<TfidfKnnBlocker>(6)),
+    [](const ::testing::TestParamInfo<std::shared_ptr<Blocker>>& info) {
+      switch (info.index) {
+        case 0:
+          return std::string("Token");
+        case 1:
+          return std::string("SortedNeighborhood");
+        default:
+          return std::string("TfidfKnn");
+      }
+    });
+
+TEST(TokenBlockerTest, FrequentTokensIgnored) {
+  // All records share the token "common"; it must not pair everything.
+  std::vector<data::Entity> records;
+  for (int i = 0; i < 30; ++i) {
+    data::Entity entity;
+    entity.entity_id = static_cast<uint64_t>(i);
+    entity.surface = "common brandless item " + std::to_string(10000 + i * 7);
+    records.push_back(entity);
+  }
+  TokenBlocker::Config config;
+  config.max_token_frequency = 10;
+  config.min_shared_tokens = 1;
+  TokenBlocker blocker(config);
+  std::vector<CandidatePair> candidates = blocker.CandidatesWithin(records);
+  // "common"/"brandless"/"item" all exceed the frequency cap; the numbers
+  // are unique -> no candidates at all.
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(SortedNeighborhoodTest, SortKeyIsOrderInvariant) {
+  data::Entity a, b;
+  a.surface = "jabra evolve 80 stereo";
+  b.surface = "stereo 80 evolve jabra";
+  EXPECT_EQ(SortedNeighborhoodBlocker::SortKey(a),
+            SortedNeighborhoodBlocker::SortKey(b));
+}
+
+TEST(BlockingQualityTest, PerfectBlockerScoresOne) {
+  std::vector<data::Entity> records = DuplicatedCatalog(10, 8);
+  // All pairs as candidates: completeness 1, reduction 0.
+  std::vector<CandidatePair> all;
+  for (int i = 0; i < static_cast<int>(records.size()); ++i) {
+    for (int j = i + 1; j < static_cast<int>(records.size()); ++j) {
+      all.push_back({i, j});
+    }
+  }
+  BlockingQuality quality = EvaluateBlockingWithin(records, all);
+  EXPECT_DOUBLE_EQ(quality.pair_completeness, 1.0);
+  EXPECT_NEAR(quality.reduction_ratio, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tailormatch::block

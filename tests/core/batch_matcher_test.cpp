@@ -1,0 +1,60 @@
+#include "core/batch_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+
+namespace tailormatch::core {
+namespace {
+
+std::shared_ptr<llm::SimLlm> TinyModel() {
+  std::vector<std::string> corpus = {
+      "do the two entity descriptions refer to the same real-world product",
+      "entity 1: alpha 12 entity 2: beta 34",
+  };
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  return std::make_shared<llm::SimLlm>(config, std::move(tokenizer));
+}
+
+TEST(BatchMatcherTest, MatchesAllPairsInOrder) {
+  auto model = TinyModel();
+  data::Dataset dataset =
+      data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.03).test;
+  BatchMatcher batch(model, prompt::PromptTemplate::kDefault, 4);
+  std::vector<MatchDecision> decisions = batch.MatchAll(dataset.pairs);
+  ASSERT_EQ(decisions.size(), dataset.pairs.size());
+
+  // Results must agree with sequential single-pair matching.
+  Matcher matcher(model);
+  for (size_t i = 0; i < dataset.pairs.size(); i += 7) {
+    MatchDecision sequential = matcher.Match(dataset.pairs[i]);
+    EXPECT_DOUBLE_EQ(decisions[i].probability, sequential.probability);
+    EXPECT_EQ(decisions[i].is_match, sequential.is_match);
+  }
+}
+
+TEST(BatchMatcherTest, SingleThreadFallback) {
+  auto model = TinyModel();
+  data::Dataset dataset =
+      data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.02).test;
+  BatchMatcher batch(model, prompt::PromptTemplate::kDefault, 1);
+  EXPECT_EQ(batch.MatchAll(dataset.pairs).size(), dataset.pairs.size());
+}
+
+TEST(BatchMatcherTest, EmptyInput) {
+  BatchMatcher batch(TinyModel());
+  EXPECT_TRUE(batch.MatchAll({}).empty());
+}
+
+TEST(BatchMatcherTest, DefaultsToHardwareConcurrency) {
+  BatchMatcher batch(TinyModel());
+  EXPECT_GE(batch.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace tailormatch::core

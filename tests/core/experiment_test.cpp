@@ -1,0 +1,97 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::core {
+namespace {
+
+TEST(ExperimentContextTest, EnvOverrides) {
+  setenv("TM_SCALE", "0.5", 1);
+  setenv("TM_EVAL_MAX", "123", 1);
+  setenv("TM_EPOCHS", "3", 1);
+  ExperimentContext context = ExperimentContext::FromEnv();
+  EXPECT_DOUBLE_EQ(context.data_scale, 0.5);
+  EXPECT_EQ(context.eval_max_pairs, 123);
+  EXPECT_EQ(context.epochs_override, 3);
+  unsetenv("TM_SCALE");
+  unsetenv("TM_EVAL_MAX");
+  unsetenv("TM_EPOCHS");
+}
+
+TEST(ExperimentContextTest, Defaults) {
+  unsetenv("TM_SCALE");
+  unsetenv("TM_EVAL_MAX");
+  ExperimentContext context = ExperimentContext::FromEnv();
+  EXPECT_GT(context.data_scale, 0.0);
+  EXPECT_GT(context.eval_max_pairs, 0);
+}
+
+TEST(BenchmarkCacheTest, ReturnsSameObject) {
+  BenchmarkCache cache(0.05);
+  const data::Benchmark& a = cache.Get(data::BenchmarkId::kAbtBuy);
+  const data::Benchmark& b = cache.Get(data::BenchmarkId::kAbtBuy);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(TransferGainTest, MatchesPaperExample) {
+  // Table 2, Llama 8B / WDC row: model gains (A-B +25.21, A-G +3.13,
+  // W-A +11.70) over zero-shot; specialized gains (+30.77, +0.84, +23.61);
+  // transfer gain = 13.35 / 18.41 = 72%.
+  using data::BenchmarkId;
+  std::map<BenchmarkId, double> zero = {{BenchmarkId::kAbtBuy, 56.57},
+                                        {BenchmarkId::kAmazonGoogle, 49.16},
+                                        {BenchmarkId::kWalmartAmazon, 42.04}};
+  std::map<BenchmarkId, double> model = {{BenchmarkId::kAbtBuy, 81.78},
+                                         {BenchmarkId::kAmazonGoogle, 52.29},
+                                         {BenchmarkId::kWalmartAmazon, 53.74}};
+  std::map<BenchmarkId, double> specialized = {
+      {BenchmarkId::kAbtBuy, 87.34},
+      {BenchmarkId::kAmazonGoogle, 50.00},
+      {BenchmarkId::kWalmartAmazon, 65.65}};
+  const double gain = ComputeTransferGain(
+      {BenchmarkId::kAbtBuy, BenchmarkId::kAmazonGoogle,
+       BenchmarkId::kWalmartAmazon},
+      model, zero, specialized);
+  EXPECT_NEAR(gain, 72.0, 1.0);
+}
+
+TEST(TransferGainTest, NegativeWhenModelRegresses) {
+  using data::BenchmarkId;
+  std::map<BenchmarkId, double> zero = {{BenchmarkId::kDblpAcm, 85.52},
+                                        {BenchmarkId::kDblpScholar, 67.69}};
+  std::map<BenchmarkId, double> model = {{BenchmarkId::kDblpAcm, 79.60},
+                                         {BenchmarkId::kDblpScholar, 42.89}};
+  std::map<BenchmarkId, double> specialized = {
+      {BenchmarkId::kDblpAcm, 97.42}, {BenchmarkId::kDblpScholar, 92.95}};
+  const double gain =
+      ComputeTransferGain({BenchmarkId::kDblpAcm, BenchmarkId::kDblpScholar},
+                          model, zero, specialized);
+  EXPECT_NEAR(gain, -83.0, 2.0);  // the paper's -83% row
+}
+
+TEST(TargetsTest, InDomainExcludesSource) {
+  std::vector<data::BenchmarkId> targets =
+      InDomainTargets(data::BenchmarkId::kWdcSmall);
+  EXPECT_EQ(targets.size(), 3u);
+  for (data::BenchmarkId id : targets) {
+    EXPECT_NE(id, data::BenchmarkId::kWdcSmall);
+    EXPECT_EQ(data::BenchmarkDomain(id), data::Domain::kProduct);
+  }
+}
+
+TEST(TargetsTest, CrossDomainIsOtherDomain) {
+  std::vector<data::BenchmarkId> targets =
+      CrossDomainTargets(data::BenchmarkId::kWdcSmall);
+  EXPECT_EQ(targets.size(), 2u);
+  for (data::BenchmarkId id : targets) {
+    EXPECT_EQ(data::BenchmarkDomain(id), data::Domain::kScholar);
+  }
+  std::vector<data::BenchmarkId> product_targets =
+      CrossDomainTargets(data::BenchmarkId::kDblpAcm);
+  EXPECT_EQ(product_targets.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tailormatch::core

@@ -1,0 +1,122 @@
+#include "core/fine_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+#include "eval/evaluator.h"
+
+namespace tailormatch::core {
+namespace {
+
+llm::FamilyProfile TinyProfile() {
+  llm::FamilyProfile profile = llm::GetFamilyProfile(llm::ModelFamily::kLlama8B);
+  profile.config.dim = 16;
+  profile.config.num_heads = 2;
+  profile.config.num_layers = 1;
+  profile.lora_rank = 4;
+  profile.finetune_lr = 5e-3f;
+  profile.finetune_epochs = 3;
+  return profile;
+}
+
+std::unique_ptr<llm::SimLlm> TinyZeroShot(const llm::FamilyProfile& profile,
+                                          const data::Benchmark& benchmark) {
+  std::vector<std::string> corpus;
+  for (const data::EntityPair& pair : benchmark.train.pairs) {
+    corpus.push_back(prompt::RenderPrompt(prompt::PromptTemplate::kDefault,
+                                          pair));
+  }
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 3000, 1);
+  return std::make_unique<llm::SimLlm>(profile.config, std::move(tokenizer));
+}
+
+TEST(FineTunerTest, ImprovesOverRandomInit) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.08);
+  llm::FamilyProfile profile = TinyProfile();
+  auto zero_shot = TinyZeroShot(profile, benchmark);
+  FineTuner tuner(profile);
+  FineTuneOptions options;
+  options.valid_max_pairs = 150;
+  FineTuneResult result = tuner.Run(*zero_shot, benchmark.train,
+                                    benchmark.valid, options);
+  eval::EvalOptions eval_options;
+  eval_options.max_pairs = 300;
+  const double before = eval::EvaluateF1(*zero_shot, benchmark.test,
+                                         eval_options);
+  const double after = eval::EvaluateF1(*result.model, benchmark.test,
+                                        eval_options);
+  EXPECT_GT(after, before);
+  EXPECT_FALSE(result.model->lora_enabled());  // adapters merged
+}
+
+TEST(FineTunerTest, StatsTrackEpochs) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.03);
+  llm::FamilyProfile profile = TinyProfile();
+  auto zero_shot = TinyZeroShot(profile, benchmark);
+  FineTuner tuner(profile);
+  FineTuneOptions options;
+  options.epochs = 2;
+  options.valid_max_pairs = 80;
+  FineTuneResult result = tuner.Run(*zero_shot, benchmark.train,
+                                    benchmark.valid, options);
+  EXPECT_EQ(result.stats.epoch_train_loss.size(), 2u);
+  EXPECT_EQ(result.stats.epoch_valid_score.size(), 2u);
+  EXPECT_GE(result.stats.best_epoch, 0);
+}
+
+TEST(FineTunerTest, ZeroShotModelUntouched) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.03);
+  llm::FamilyProfile profile = TinyProfile();
+  auto zero_shot = TinyZeroShot(profile, benchmark);
+  auto before = zero_shot->SnapshotState();
+  FineTuner tuner(profile);
+  FineTuneOptions options;
+  options.epochs = 1;
+  tuner.Run(*zero_shot, benchmark.train, benchmark.valid, options);
+  auto after = zero_shot->SnapshotState();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) EXPECT_EQ(before[i], after[i]);
+}
+
+TEST(FineTunerTest, BuildExamplesAppliesExplanations) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.03);
+  llm::FamilyProfile profile = TinyProfile();
+  auto model = TinyZeroShot(profile, benchmark);
+  auto plain = FineTuner::BuildExamples(*model, benchmark.train.pairs,
+                                        prompt::PromptTemplate::kDefault,
+                                        explain::ExplanationStyle::kNone);
+  auto structured = FineTuner::BuildExamples(
+      *model, benchmark.train.pairs, prompt::PromptTemplate::kDefault,
+      explain::ExplanationStyle::kStructured);
+  auto textual = FineTuner::BuildExamples(
+      *model, benchmark.train.pairs, prompt::PromptTemplate::kDefault,
+      explain::ExplanationStyle::kWadhwa);
+  ASSERT_EQ(plain.size(), structured.size());
+  EXPECT_FALSE(plain[0].has_attr_targets);
+  EXPECT_TRUE(structured[0].has_attr_targets);
+  EXPECT_TRUE(textual[0].has_text_targets);
+  // Token sequences are identical across styles; the supervision differs.
+  EXPECT_EQ(plain[0].tokens, structured[0].tokens);
+}
+
+TEST(FineTunerTest, PromptTemplateChangesTokens) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.03);
+  llm::FamilyProfile profile = TinyProfile();
+  auto model = TinyZeroShot(profile, benchmark);
+  auto default_examples = FineTuner::BuildExamples(
+      *model, benchmark.train.pairs, prompt::PromptTemplate::kDefault,
+      explain::ExplanationStyle::kNone);
+  auto simple_examples = FineTuner::BuildExamples(
+      *model, benchmark.train.pairs, prompt::PromptTemplate::kSimpleFree,
+      explain::ExplanationStyle::kNone);
+  EXPECT_NE(default_examples[0].tokens, simple_examples[0].tokens);
+}
+
+}  // namespace
+}  // namespace tailormatch::core

@@ -1,0 +1,74 @@
+#include "core/matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::core {
+namespace {
+
+std::shared_ptr<llm::SimLlm> TinyModel() {
+  std::vector<std::string> corpus = {
+      "do the two entity descriptions refer to the same real-world product",
+      "entity 1: jabra evolve 80 entity 2: sram pg 730",
+  };
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  return std::make_shared<llm::SimLlm>(config, std::move(tokenizer));
+}
+
+TEST(MatcherTest, DecisionConsistentWithProbability) {
+  Matcher matcher(TinyModel());
+  MatchDecision decision =
+      matcher.Match("jabra evolve 80", "jabra evolve 80 stereo");
+  EXPECT_TRUE(decision.parseable);
+  EXPECT_EQ(decision.is_match, decision.probability > 0.5);
+}
+
+TEST(MatcherTest, ResponseIsNaturalLanguage) {
+  Matcher matcher(TinyModel());
+  MatchDecision decision = matcher.Match("a", "b");
+  EXPECT_FALSE(decision.response.empty());
+  EXPECT_TRUE(decision.response.find("Yes") != std::string::npos ||
+              decision.response.find("No") != std::string::npos);
+}
+
+TEST(MatcherTest, EntityOverloadUsesSurfaces) {
+  Matcher matcher(TinyModel());
+  data::Entity left;
+  left.surface = "jabra evolve 80";
+  left.domain = data::Domain::kProduct;
+  data::Entity right = left;
+  MatchDecision by_entity = matcher.Match(left, right);
+  MatchDecision by_string = matcher.Match("jabra evolve 80", "jabra evolve 80");
+  EXPECT_DOUBLE_EQ(by_entity.probability, by_string.probability);
+}
+
+TEST(MatcherTest, PromptTemplateAffectsInput) {
+  auto model = TinyModel();
+  Matcher default_matcher(model, prompt::PromptTemplate::kDefault);
+  Matcher simple_matcher(model, prompt::PromptTemplate::kSimpleFree);
+  EXPECT_EQ(default_matcher.prompt_template(),
+            prompt::PromptTemplate::kDefault);
+  EXPECT_EQ(simple_matcher.prompt_template(),
+            prompt::PromptTemplate::kSimpleFree);
+  // Different templates feed different token sequences; for an untrained
+  // model the probabilities typically differ.
+  MatchDecision a = default_matcher.Match("jabra evolve 80", "sram pg 730");
+  MatchDecision b = simple_matcher.Match("jabra evolve 80", "sram pg 730");
+  EXPECT_GE(a.probability, 0.0);
+  EXPECT_GE(b.probability, 0.0);
+}
+
+TEST(MatcherTest, Deterministic) {
+  Matcher matcher(TinyModel());
+  MatchDecision a = matcher.Match("x 12", "y 34");
+  MatchDecision b = matcher.Match("x 12", "y 34");
+  EXPECT_DOUBLE_EQ(a.probability, b.probability);
+  EXPECT_EQ(a.is_match, b.is_match);
+}
+
+}  // namespace
+}  // namespace tailormatch::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/fine_tuner.h"
+#include "data/benchmark_factory.h"
+
+namespace tailormatch::core {
+namespace {
+
+llm::FamilyProfile TinyProfile() {
+  llm::FamilyProfile profile =
+      llm::GetFamilyProfile(llm::ModelFamily::kLlama8B);
+  profile.config.dim = 16;
+  profile.config.num_heads = 2;
+  profile.config.num_layers = 1;
+  profile.lora_rank = 4;
+  profile.finetune_lr = 5e-3f;
+  profile.finetune_epochs = 2;
+  return profile;
+}
+
+std::unique_ptr<llm::SimLlm> TinyZeroShot(const llm::FamilyProfile& profile,
+                                          const data::Benchmark& benchmark) {
+  std::vector<std::string> corpus;
+  for (const data::EntityPair& pair : benchmark.train.pairs) {
+    corpus.push_back(
+        prompt::RenderPrompt(prompt::PromptTemplate::kDefault, pair));
+  }
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 3000, 1);
+  return std::make_unique<llm::SimLlm>(profile.config, std::move(tokenizer));
+}
+
+TEST(ReplayTest, ReplayRunsAndProducesModel) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.04);
+  llm::FamilyProfile profile = TinyProfile();
+  auto zero_shot = TinyZeroShot(profile, benchmark);
+  FineTuner tuner(profile);
+  FineTuneOptions options;
+  options.replay_fraction = 0.3;
+  options.valid_max_pairs = 80;
+  FineTuneResult result =
+      tuner.Run(*zero_shot, benchmark.train, benchmark.valid, options);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_FALSE(result.model->lora_enabled());
+}
+
+TEST(ReplayTest, ReplayChangesTrainingOutcome) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.04);
+  llm::FamilyProfile profile = TinyProfile();
+  auto zero_shot = TinyZeroShot(profile, benchmark);
+  FineTuner tuner(profile);
+
+  FineTuneOptions plain;
+  plain.valid_max_pairs = 0;
+  FineTuneOptions replay = plain;
+  replay.replay_fraction = 0.5;
+
+  auto plain_model =
+      tuner.Run(*zero_shot, benchmark.train, data::Dataset{}, plain).model;
+  auto replay_model =
+      tuner.Run(*zero_shot, benchmark.train, data::Dataset{}, replay).model;
+  const std::string probe = prompt::RenderPrompt(
+      prompt::PromptTemplate::kDefault, benchmark.test.pairs.front());
+  EXPECT_NE(plain_model->PredictMatchProbability(probe),
+            replay_model->PredictMatchProbability(probe));
+}
+
+TEST(FullFineTuningTest, TrainsAllParameters) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.02);
+  llm::FamilyProfile profile = TinyProfile();
+  auto zero_shot = TinyZeroShot(profile, benchmark);
+  auto backbone_before = zero_shot->SnapshotState();
+  FineTuner tuner(profile);
+  FineTuneOptions options;
+  options.full_fine_tuning = true;
+  options.epochs = 1;
+  options.valid_max_pairs = 0;
+  FineTuneResult result =
+      tuner.Run(*zero_shot, benchmark.train, data::Dataset{}, options);
+  // The fine-tuned copy's backbone weights must differ from the zero-shot
+  // model's (full fine-tuning updates everything).
+  auto tuned_state = result.model->SnapshotState();
+  ASSERT_EQ(tuned_state.size(), backbone_before.size());
+  bool any_changed = false;
+  for (size_t i = 0; i < tuned_state.size(); ++i) {
+    if (tuned_state[i] != backbone_before[i]) any_changed = true;
+  }
+  EXPECT_TRUE(any_changed);
+  // Token embedding (first tensor) must have moved - LoRA would freeze it.
+  EXPECT_NE(tuned_state[0], backbone_before[0]);
+}
+
+}  // namespace
+}  // namespace tailormatch::core

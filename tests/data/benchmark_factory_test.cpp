@@ -1,0 +1,145 @@
+#include "data/benchmark_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::data {
+namespace {
+
+TEST(BenchmarkFactoryTest, Table1CountsExactAtFullScale) {
+  // Dataset statistics must reproduce Table 1 exactly at scale 1.
+  struct Expected {
+    BenchmarkId id;
+    int train_pos, train_neg, valid_pos, valid_neg, test_pos, test_neg;
+  };
+  const Expected expected[] = {
+      {BenchmarkId::kWdcSmall, 500, 2000, 500, 2000, 500, 4000},
+      {BenchmarkId::kWdcMedium, 1500, 4500, 500, 3000, 500, 4000},
+      {BenchmarkId::kWdcLarge, 8471, 11364, 500, 4000, 500, 4000},
+      {BenchmarkId::kAbtBuy, 822, 6837, 206, 1710, 206, 1710},
+      {BenchmarkId::kAmazonGoogle, 933, 8234, 234, 2059, 234, 2059},
+      {BenchmarkId::kWalmartAmazon, 769, 7424, 193, 1856, 193, 1856},
+      {BenchmarkId::kDblpScholar, 4277, 18688, 1070, 4672, 1070, 4672},
+      {BenchmarkId::kDblpAcm, 1776, 8114, 444, 2029, 444, 2029},
+  };
+  for (const Expected& e : expected) {
+    const BenchmarkSpec spec = GetBenchmarkSpec(e.id);
+    EXPECT_EQ(spec.train_pos, e.train_pos) << spec.name;
+    EXPECT_EQ(spec.train_neg, e.train_neg) << spec.name;
+    EXPECT_EQ(spec.valid_pos, e.valid_pos) << spec.name;
+    EXPECT_EQ(spec.valid_neg, e.valid_neg) << spec.name;
+    EXPECT_EQ(spec.test_pos, e.test_pos) << spec.name;
+    EXPECT_EQ(spec.test_neg, e.test_neg) << spec.name;
+  }
+}
+
+TEST(BenchmarkFactoryTest, BuildMatchesSpecCounts) {
+  // Note: label noise flips some train/valid labels, so compare totals and
+  // the clean test split's class counts.
+  Benchmark benchmark = BuildBenchmark(BenchmarkId::kAbtBuy, 0.1);
+  const BenchmarkSpec spec = GetBenchmarkSpec(BenchmarkId::kAbtBuy);
+  EXPECT_GT(benchmark.train.size(), 0);
+  EXPECT_EQ(benchmark.test.CountPositives(),
+            std::max(16, static_cast<int>(std::lround(spec.test_pos * 0.1))));
+}
+
+TEST(BenchmarkFactoryTest, TestSplitIsClean) {
+  // The test split has no label noise: every pair's label equals the
+  // generator ground truth (equal entity ids).
+  Benchmark benchmark = BuildBenchmark(BenchmarkId::kWdcSmall, 0.1);
+  for (const EntityPair& pair : benchmark.test.pairs) {
+    EXPECT_EQ(pair.label, pair.left.entity_id == pair.right.entity_id);
+  }
+}
+
+TEST(BenchmarkFactoryTest, TrainSplitHasLabelNoise) {
+  Benchmark benchmark = BuildBenchmark(BenchmarkId::kWdcSmall, 0.5);
+  int noisy = 0;
+  for (const EntityPair& pair : benchmark.train.pairs) {
+    if (pair.label != (pair.left.entity_id == pair.right.entity_id)) ++noisy;
+  }
+  const double rate = static_cast<double>(noisy) / benchmark.train.size();
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.10);
+}
+
+TEST(BenchmarkFactoryTest, WdcIsCornerCaseHeavy) {
+  Benchmark benchmark = BuildBenchmark(BenchmarkId::kWdcSmall, 0.25);
+  const double corner_rate =
+      static_cast<double>(benchmark.test.CountCornerCases()) /
+      benchmark.test.size();
+  EXPECT_GT(corner_rate, 0.7);  // the 80%-corner-case WDC variant
+  EXPECT_LT(corner_rate, 0.9);
+}
+
+TEST(BenchmarkFactoryTest, WdcSizesShareTestSplit) {
+  Benchmark small = BuildBenchmark(BenchmarkId::kWdcSmall, 0.1);
+  Benchmark medium = BuildBenchmark(BenchmarkId::kWdcMedium, 0.1);
+  ASSERT_EQ(small.test.size(), medium.test.size());
+  for (int i = 0; i < small.test.size(); ++i) {
+    EXPECT_EQ(small.test.pairs[static_cast<size_t>(i)].left.surface,
+              medium.test.pairs[static_cast<size_t>(i)].left.surface);
+  }
+}
+
+TEST(BenchmarkFactoryTest, TrainSplitsDifferAcrossWdcSizes) {
+  Benchmark small = BuildBenchmark(BenchmarkId::kWdcSmall, 0.1);
+  Benchmark medium = BuildBenchmark(BenchmarkId::kWdcMedium, 0.1);
+  EXPECT_NE(small.train.size(), medium.train.size());
+}
+
+TEST(BenchmarkFactoryTest, DeterministicBuilds) {
+  Benchmark a = BuildBenchmark(BenchmarkId::kDblpAcm, 0.1);
+  Benchmark b = BuildBenchmark(BenchmarkId::kDblpAcm, 0.1);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (int i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.pairs[static_cast<size_t>(i)].left.surface,
+              b.train.pairs[static_cast<size_t>(i)].left.surface);
+    EXPECT_EQ(a.train.pairs[static_cast<size_t>(i)].label,
+              b.train.pairs[static_cast<size_t>(i)].label);
+  }
+}
+
+TEST(BenchmarkFactoryTest, DomainsAssignedCorrectly) {
+  EXPECT_EQ(BenchmarkDomain(BenchmarkId::kWdcSmall), Domain::kProduct);
+  EXPECT_EQ(BenchmarkDomain(BenchmarkId::kAmazonGoogle), Domain::kProduct);
+  EXPECT_EQ(BenchmarkDomain(BenchmarkId::kDblpAcm), Domain::kScholar);
+  EXPECT_EQ(BenchmarkDomain(BenchmarkId::kDblpScholar), Domain::kScholar);
+}
+
+TEST(BenchmarkFactoryTest, AmazonGoogleIsSoftwareOnly) {
+  Benchmark benchmark = BuildBenchmark(BenchmarkId::kAmazonGoogle, 0.1);
+  for (const EntityPair& pair : benchmark.train.pairs) {
+    EXPECT_EQ(pair.left.category, "software");
+  }
+}
+
+TEST(BenchmarkFactoryTest, ScalingShrinksProportionally) {
+  Benchmark full = BuildBenchmark(BenchmarkId::kAbtBuy, 1.0);
+  Benchmark half = BuildBenchmark(BenchmarkId::kAbtBuy, 0.5);
+  EXPECT_NEAR(static_cast<double>(half.train.size()) / full.train.size(),
+              0.5, 0.05);
+}
+
+TEST(BenchmarkFactoryTest, MinimumSplitSizeEnforced) {
+  Benchmark tiny = BuildBenchmark(BenchmarkId::kAbtBuy, 0.001);
+  EXPECT_GE(tiny.test.CountPositives(), 16);
+  EXPECT_GE(tiny.test.CountNegatives(), 16);
+}
+
+TEST(BenchmarkFactoryTest, NamesAndShortNames) {
+  EXPECT_STREQ(BenchmarkName(BenchmarkId::kWdcSmall),
+               "WDC Products (small)");
+  EXPECT_STREQ(BenchmarkShortName(BenchmarkId::kWdcSmall), "WDC");
+  EXPECT_STREQ(BenchmarkShortName(BenchmarkId::kDblpScholar), "D-S");
+  EXPECT_EQ(AllBenchmarkIds().size(), 8u);
+  EXPECT_EQ(Table2BenchmarkIds().size(), 6u);
+}
+
+TEST(DatasetTest, CountsConsistent) {
+  Benchmark benchmark = BuildBenchmark(BenchmarkId::kWalmartAmazon, 0.05);
+  EXPECT_EQ(benchmark.valid.CountPositives() + benchmark.valid.CountNegatives(),
+            benchmark.valid.size());
+}
+
+}  // namespace
+}  // namespace tailormatch::data

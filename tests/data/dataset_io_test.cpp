@@ -1,0 +1,117 @@
+#include "data/dataset_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+
+namespace tailormatch::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DatasetIoTest, CsvRoundTrip) {
+  Dataset dataset = BuildBenchmark(BenchmarkId::kAbtBuy, 0.03).train;
+  const std::string path = TempPath("tm_io_roundtrip.csv");
+  ASSERT_TRUE(WritePairsCsv(dataset, path).ok());
+  Result<Dataset> loaded = ReadPairsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), dataset.size());
+  for (int i = 0; i < dataset.size(); ++i) {
+    const EntityPair& a = dataset.pairs[static_cast<size_t>(i)];
+    const EntityPair& b = loaded.value().pairs[static_cast<size_t>(i)];
+    EXPECT_EQ(a.left.surface, b.left.surface);
+    EXPECT_EQ(a.right.surface, b.right.surface);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.corner_case, b.corner_case);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvEscaping) {
+  Dataset dataset;
+  EntityPair pair;
+  pair.left.surface = "has, comma and \"quotes\"";
+  pair.right.surface = "plain";
+  pair.label = true;
+  dataset.pairs.push_back(pair);
+  const std::string path = TempPath("tm_io_escape.csv");
+  ASSERT_TRUE(WritePairsCsv(dataset, path).ok());
+  Result<Dataset> loaded = ReadPairsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().pairs[0].left.surface,
+            "has, comma and \"quotes\"");
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, ReadRejectsBadHeader) {
+  const std::string path = TempPath("tm_io_badheader.csv");
+  {
+    std::ofstream out(path);
+    out << "wrong,header\n";
+  }
+  Result<Dataset> loaded = ReadPairsCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, ReadRejectsMalformedRecord) {
+  const std::string path = TempPath("tm_io_malformed.csv");
+  {
+    std::ofstream out(path);
+    out << "left,right,label,corner_case\n";
+    out << "only,three,fields\n";
+  }
+  Result<Dataset> loaded = ReadPairsCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, ReadMissingFileFails) {
+  Result<Dataset> loaded = ReadPairsCsv("/definitely/not/here.csv");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(DatasetIoTest, JsonlFormat) {
+  Dataset dataset;
+  EntityPair pair;
+  pair.left.surface = "jabra \"evolve\" 80";
+  pair.right.surface = "jabra evolve 80";
+  pair.label = true;
+  dataset.pairs.push_back(pair);
+  pair.label = false;
+  dataset.pairs.push_back(pair);
+  const std::string path = TempPath("tm_io_ft.jsonl");
+  ASSERT_TRUE(WriteFineTuningJsonl(dataset, "Match these?", path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"role\":\"user\""), std::string::npos);
+  EXPECT_NE(line.find("\\\"evolve\\\""), std::string::npos);  // escaped
+  EXPECT_NE(line.find("\"content\":\"Yes.\""), std::string::npos);
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"content\":\"No.\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, JsonEscapeControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(DatasetIoTest, CsvEscapeOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+}  // namespace
+}  // namespace tailormatch::data

@@ -1,0 +1,179 @@
+#include "data/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace tailormatch::data {
+namespace {
+
+TEST(ProductGeneratorTest, BaseEntityHasAllAttributes) {
+  ProductGenerator generator(ProductGeneratorConfig{});
+  Rng rng(1);
+  Entity entity = generator.SampleBase(rng);
+  EXPECT_EQ(entity.domain, Domain::kProduct);
+  for (const char* name :
+       {"brand", "line", "model", "type", "spec", "variant", "sku"}) {
+    EXPECT_TRUE(entity.HasAttribute(name)) << name;
+    EXPECT_FALSE(entity.GetAttribute(name).empty()) << name;
+  }
+  EXPECT_FALSE(entity.surface.empty());
+}
+
+TEST(ProductGeneratorTest, EntityIdsAreUnique) {
+  ProductGenerator generator(ProductGeneratorConfig{});
+  Rng rng(2);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.insert(generator.SampleBase(rng).entity_id);
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(ProductGeneratorTest, SaltSeparatesPopulations) {
+  ProductGeneratorConfig a_config;
+  a_config.id_salt = 1;
+  ProductGeneratorConfig b_config;
+  b_config.id_salt = 2;
+  ProductGenerator a(a_config), b(b_config);
+  Rng rng(3);
+  EXPECT_NE(a.SampleBase(rng).entity_id, b.SampleBase(rng).entity_id);
+}
+
+TEST(ProductGeneratorTest, VariantKeepsIdentity) {
+  ProductGenerator generator(ProductGeneratorConfig{});
+  Rng rng(4);
+  Entity base = generator.SampleBase(rng);
+  Entity variant = generator.RenderVariant(base, 0.5, rng);
+  EXPECT_EQ(variant.entity_id, base.entity_id);
+  EXPECT_EQ(variant.GetAttribute("model"), base.GetAttribute("model"));
+}
+
+TEST(ProductGeneratorTest, SiblingIsDifferentEntity) {
+  ProductGenerator generator(ProductGeneratorConfig{});
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Entity base = generator.SampleBase(rng);
+    Entity sibling = generator.MutateToSibling(base, rng);
+    EXPECT_NE(sibling.entity_id, base.entity_id);
+    EXPECT_EQ(sibling.GetAttribute("brand"), base.GetAttribute("brand"));
+    // At least one discriminative attribute must differ.
+    const bool differs =
+        sibling.GetAttribute("model") != base.GetAttribute("model") ||
+        sibling.GetAttribute("spec") != base.GetAttribute("spec") ||
+        sibling.GetAttribute("variant") != base.GetAttribute("variant");
+    EXPECT_TRUE(differs);
+    // SKUs never collide across distinct products.
+    EXPECT_NE(sibling.GetAttribute("sku"), base.GetAttribute("sku"));
+  }
+}
+
+TEST(ProductGeneratorTest, ClothingSiblingsMutateModel) {
+  ProductGeneratorConfig config;
+  config.categories = {{"clothing", 1.0}};
+  ProductGenerator generator(config);
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    Entity base = generator.SampleBase(rng);
+    Entity sibling = generator.MutateToSibling(base, rng);
+    EXPECT_NE(sibling.GetAttribute("model"), base.GetAttribute("model"));
+  }
+}
+
+TEST(ProductGeneratorTest, CategoryMixRespected) {
+  ProductGeneratorConfig config;
+  config.categories = {{"software", 1.0}};
+  ProductGenerator generator(config);
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(generator.SampleBase(rng).category, "software");
+  }
+}
+
+TEST(ProductGeneratorTest, HigherDivergenceShortensSurfaces) {
+  ProductGenerator generator(ProductGeneratorConfig{});
+  Rng rng(8);
+  double low_len = 0, high_len = 0;
+  for (int i = 0; i < 200; ++i) {
+    Entity base = generator.SampleBase(rng);
+    low_len += generator.RenderVariant(base, 0.05, rng).surface.size();
+    high_len += generator.RenderVariant(base, 0.9, rng).surface.size();
+  }
+  EXPECT_LT(high_len, low_len);
+}
+
+TEST(ScholarGeneratorTest, BaseEntityShape) {
+  ScholarGenerator generator(ScholarGeneratorConfig{});
+  Rng rng(9);
+  Entity entity = generator.SampleBase(rng);
+  EXPECT_EQ(entity.domain, Domain::kScholar);
+  for (const char* name : {"author", "title", "venue", "year"}) {
+    EXPECT_TRUE(entity.HasAttribute(name)) << name;
+  }
+  // Serialization rule: semicolon-delimited fields (Section 2).
+  EXPECT_NE(entity.surface.find(';'), std::string::npos);
+}
+
+TEST(ScholarGeneratorTest, YearInRange) {
+  ScholarGenerator generator(ScholarGeneratorConfig{});
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const int year =
+        std::stoi(generator.SampleBase(rng).GetAttribute("year"));
+    EXPECT_GE(year, 1995);
+    EXPECT_LE(year, 2015);
+  }
+}
+
+TEST(ScholarGeneratorTest, SiblingDiffers) {
+  ScholarGenerator generator(ScholarGeneratorConfig{});
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    Entity base = generator.SampleBase(rng);
+    Entity sibling = generator.MutateToSibling(base, rng);
+    EXPECT_NE(sibling.entity_id, base.entity_id);
+    const bool differs =
+        sibling.GetAttribute("title") != base.GetAttribute("title") ||
+        sibling.GetAttribute("year") != base.GetAttribute("year") ||
+        sibling.GetAttribute("venue") != base.GetAttribute("venue");
+    EXPECT_TRUE(differs);
+  }
+}
+
+TEST(ScholarGeneratorTest, VenueAbbreviationStaysConsistent) {
+  ScholarGenerator generator(ScholarGeneratorConfig{});
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    Entity base = generator.SampleBase(rng);
+    Entity sibling = generator.MutateToSibling(base, rng);
+    // If the venue changed, the abbreviation must match the new venue's
+    // index (both are updated together).
+    if (sibling.GetAttribute("venue") != base.GetAttribute("venue")) {
+      EXPECT_NE(sibling.GetAttribute("venue_abbrev"),
+                base.GetAttribute("venue_abbrev"));
+    }
+  }
+}
+
+TEST(ScholarGeneratorTest, SharedPoolSaltSharedAcrossGenerators) {
+  ScholarGeneratorConfig config;
+  config.shared_pool_salt = 42;
+  ScholarGenerator a(config), b(config);
+  Rng rng_a(13), rng_b(13);
+  // Same salt + same stream position => the DBLP-style shared population.
+  EXPECT_EQ(a.SampleBase(rng_a).entity_id, b.SampleBase(rng_b).entity_id);
+}
+
+TEST(RenderProductSurfaceTest, Deterministic) {
+  ProductGenerator generator(ProductGeneratorConfig{});
+  Rng rng(14);
+  Entity base = generator.SampleBase(rng);
+  Rng r1(99), r2(99);
+  EXPECT_EQ(RenderProductSurface(base, 0.4, 0.03, 0.2, r1),
+            RenderProductSurface(base, 0.4, 0.03, 0.2, r2));
+}
+
+}  // namespace
+}  // namespace tailormatch::data

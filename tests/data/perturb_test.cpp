@@ -1,0 +1,113 @@
+#include "data/perturb.h"
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::data {
+namespace {
+
+TEST(PerturbTest, TypoChangesWord) {
+  Rng rng(1);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::string out = ApplyTypo("cassette", rng);
+    if (out != "cassette") ++changed;
+    EXPECT_GE(out.size(), 7u);
+    EXPECT_LE(out.size(), 9u);
+  }
+  EXPECT_GT(changed, 40);  // swap may occasionally no-op on repeats
+}
+
+TEST(PerturbTest, TypoLeavesShortWordsAlone) {
+  Rng rng(2);
+  EXPECT_EQ(ApplyTypo("ab", rng), "ab");
+  EXPECT_EQ(ApplyTypo("", rng), "");
+}
+
+TEST(PerturbTest, Abbreviate) {
+  EXPECT_EQ(Abbreviate("professional", 4), "prof");
+  EXPECT_EQ(Abbreviate("pro", 4), "pro");     // too short
+  EXPECT_EQ(Abbreviate("prost", 4), "prost");  // keep+2 rule
+}
+
+TEST(PerturbTest, Initial) {
+  EXPECT_EQ(Initial("marcus"), "m");
+  EXPECT_EQ(Initial(""), "");
+}
+
+TEST(PerturbTest, ReformatCodePreservesGroups) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    std::string out = ReformatCode("pg-730", rng);
+    EXPECT_TRUE(out == "pg-730" || out == "pg 730" || out == "pg730") << out;
+  }
+}
+
+TEST(PerturbTest, ReformatCodeHandlesNoSeparator) {
+  Rng rng(4);
+  std::string out = ReformatCode("abc123", rng);
+  EXPECT_TRUE(out == "abc-123" || out == "abc 123" || out == "abc123") << out;
+}
+
+TEST(PerturbTest, DropTokensNeverEmpty) {
+  Rng rng(5);
+  std::vector<std::string> tokens = {"a", "b", "c"};
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::string> out = DropTokens(tokens, 0.95, rng);
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+TEST(PerturbTest, DropTokensZeroProbabilityKeepsAll) {
+  Rng rng(6);
+  std::vector<std::string> tokens = {"a", "b", "c"};
+  EXPECT_EQ(DropTokens(tokens, 0.0, rng), tokens);
+}
+
+TEST(PerturbTest, SwapAdjacentPreservesMultiset) {
+  Rng rng(7);
+  std::vector<std::string> tokens = {"a", "b", "c", "d"};
+  std::vector<std::string> out = SwapAdjacentTokens(tokens, rng);
+  EXPECT_EQ(out.size(), tokens.size());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, tokens);
+}
+
+TEST(PerturbTest, SwapAdjacentSingleToken) {
+  Rng rng(8);
+  std::vector<std::string> tokens = {"solo"};
+  EXPECT_EQ(SwapAdjacentTokens(tokens, rng), tokens);
+}
+
+TEST(PerturbTest, MutateDigitsAlwaysChanges) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    std::string out = MutateDigits("730", rng);
+    EXPECT_NE(out, "730");
+    EXPECT_EQ(out.size(), 3u);
+    for (char c : out) {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)));
+    }
+  }
+}
+
+TEST(PerturbTest, MutateDigitsNoDigitsAppends) {
+  Rng rng(10);
+  std::string out = MutateDigits("abc", rng);
+  EXPECT_NE(out, "abc");
+}
+
+TEST(PerturbTest, NoiseTokenNonEmptyAndNonNumeric) {
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    std::string token = RandomNoiseToken(rng);
+    EXPECT_FALSE(token.empty());
+    // Noise must never look like an identifier (that would fabricate
+    // spurious non-match evidence).
+    EXPECT_FALSE(std::isdigit(static_cast<unsigned char>(token[0])));
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::data

@@ -1,0 +1,104 @@
+// Property-based tests over every benchmark in Table 1: structural
+// invariants that must hold for any benchmark id and scale.
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+#include "prompt/prompt.h"
+
+namespace tailormatch::data {
+namespace {
+
+class BenchmarkPropertyTest : public ::testing::TestWithParam<BenchmarkId> {
+ protected:
+  static constexpr double kScale = 0.06;
+};
+
+TEST_P(BenchmarkPropertyTest, SplitsNonEmptyAndLabelled) {
+  Benchmark benchmark = BuildBenchmark(GetParam(), kScale);
+  for (const Dataset* split :
+       {&benchmark.train, &benchmark.valid, &benchmark.test}) {
+    EXPECT_GT(split->size(), 0);
+    EXPECT_GT(split->CountPositives(), 0);
+    EXPECT_GT(split->CountNegatives(), 0);
+  }
+}
+
+TEST_P(BenchmarkPropertyTest, SurfacesNonEmpty) {
+  Benchmark benchmark = BuildBenchmark(GetParam(), kScale);
+  for (const EntityPair& pair : benchmark.train.pairs) {
+    EXPECT_FALSE(pair.left.surface.empty());
+    EXPECT_FALSE(pair.right.surface.empty());
+  }
+}
+
+TEST_P(BenchmarkPropertyTest, DomainConsistentAcrossPairs) {
+  Benchmark benchmark = BuildBenchmark(GetParam(), kScale);
+  const Domain domain = BenchmarkDomain(GetParam());
+  EXPECT_EQ(benchmark.domain, domain);
+  for (const EntityPair& pair : benchmark.test.pairs) {
+    EXPECT_EQ(pair.left.domain, domain);
+    EXPECT_EQ(pair.right.domain, domain);
+  }
+}
+
+TEST_P(BenchmarkPropertyTest, TestLabelsAgreeWithEntityIds) {
+  Benchmark benchmark = BuildBenchmark(GetParam(), kScale);
+  for (const EntityPair& pair : benchmark.test.pairs) {
+    EXPECT_EQ(pair.label, pair.left.entity_id == pair.right.entity_id);
+  }
+}
+
+TEST_P(BenchmarkPropertyTest, ClassRatioRoughlyMatchesSpec) {
+  Benchmark benchmark = BuildBenchmark(GetParam(), kScale);
+  const BenchmarkSpec spec = GetBenchmarkSpec(GetParam());
+  const double spec_ratio =
+      static_cast<double>(spec.test_pos) / (spec.test_pos + spec.test_neg);
+  const double built_ratio =
+      static_cast<double>(benchmark.test.CountPositives()) /
+      benchmark.test.size();
+  EXPECT_NEAR(built_ratio, spec_ratio, 0.05);
+}
+
+TEST_P(BenchmarkPropertyTest, DeterministicAcrossBuilds) {
+  Benchmark a = BuildBenchmark(GetParam(), kScale);
+  Benchmark b = BuildBenchmark(GetParam(), kScale);
+  ASSERT_EQ(a.test.size(), b.test.size());
+  for (int i = 0; i < a.test.size(); ++i) {
+    EXPECT_EQ(a.test.pairs[static_cast<size_t>(i)].right.surface,
+              b.test.pairs[static_cast<size_t>(i)].right.surface);
+  }
+}
+
+TEST_P(BenchmarkPropertyTest, PromptsRenderForEveryPair) {
+  Benchmark benchmark = BuildBenchmark(GetParam(), kScale);
+  for (const EntityPair& pair : benchmark.valid.pairs) {
+    const std::string text =
+        prompt::RenderPrompt(prompt::PromptTemplate::kDefault, pair);
+    EXPECT_NE(text.find("Entity 1:"), std::string::npos);
+    EXPECT_NE(text.find("Entity 2:"), std::string::npos);
+  }
+}
+
+TEST_P(BenchmarkPropertyTest, CornerFractionNearSpec) {
+  Benchmark benchmark = BuildBenchmark(GetParam(), 0.15);
+  const BenchmarkSpec spec = GetBenchmarkSpec(GetParam());
+  const double fraction =
+      static_cast<double>(benchmark.test.CountCornerCases()) /
+      benchmark.test.size();
+  EXPECT_NEAR(fraction, spec.corner_fraction, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkPropertyTest,
+    ::testing::ValuesIn(AllBenchmarkIds()),
+    [](const ::testing::TestParamInfo<BenchmarkId>& info) {
+      std::string name = BenchmarkShortName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tailormatch::data

@@ -1,0 +1,81 @@
+#include "data/word_pools.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::data {
+namespace {
+
+std::set<std::string> ToSet(std::span<const std::string_view> pool) {
+  std::set<std::string> out;
+  for (std::string_view word : pool) out.emplace(word);
+  return out;
+}
+
+TEST(WordPoolsTest, AllPoolsNonEmpty) {
+  EXPECT_FALSE(ElectronicsBrands().empty());
+  EXPECT_FALSE(AudioBrands().empty());
+  EXPECT_FALSE(StorageBrands().empty());
+  EXPECT_FALSE(ClothingBrands().empty());
+  EXPECT_FALSE(BikeBrands().empty());
+  EXPECT_FALSE(SoftwareBrands().empty());
+  EXPECT_FALSE(ProductLines().empty());
+  EXPECT_FALSE(FirstNames().empty());
+  EXPECT_FALSE(LastNames().empty());
+  EXPECT_FALSE(TitleNouns().empty());
+  EXPECT_FALSE(VenueNames().empty());
+}
+
+TEST(WordPoolsTest, VenueAbbreviationsAlignWithNames) {
+  EXPECT_EQ(VenueNames().size(), VenueAbbreviations().size());
+}
+
+TEST(WordPoolsTest, BrandPoolsPairwiseDisjoint) {
+  // Distinct brand pools keep product categories identifiable.
+  const std::set<std::string> electronics = ToSet(ElectronicsBrands());
+  const std::set<std::string> software = ToSet(SoftwareBrands());
+  const std::set<std::string> clothing = ToSet(ClothingBrands());
+  for (const std::string& brand : software) {
+    EXPECT_EQ(electronics.count(brand), 0u) << brand;
+    EXPECT_EQ(clothing.count(brand), 0u) << brand;
+  }
+}
+
+TEST(WordPoolsTest, DomainsShareNoVocabulary) {
+  // The cross-domain transfer results depend on the product and scholar
+  // domains having (nearly) disjoint vocabularies.
+  std::set<std::string> product;
+  for (auto pool : {ElectronicsBrands(), AudioBrands(), StorageBrands(),
+                    ClothingBrands(), BikeBrands(), SoftwareBrands(),
+                    ProductLines(), ElectronicsTypes(), AudioTypes(),
+                    StorageTypes(), ClothingTypes(), BikeTypes(),
+                    SoftwareTypes(), VariantWords(), SoftwareEditions(),
+                    Colors()}) {
+    for (std::string_view word : pool) product.emplace(word);
+  }
+  std::set<std::string> scholar;
+  for (auto pool : {FirstNames(), LastNames(), TitleNouns(),
+                    TitleAdjectives(), TitleTasks(), VenueAbbreviations()}) {
+    for (std::string_view word : pool) scholar.emplace(word);
+  }
+  for (const std::string& word : scholar) {
+    EXPECT_EQ(product.count(word), 0u) << word;
+  }
+}
+
+TEST(WordPoolsTest, WordsAreLowercaseSingleTokens) {
+  for (auto pool : {ElectronicsBrands(), ProductLines(), TitleNouns(),
+                    FirstNames(), LastNames()}) {
+    for (std::string_view word : pool) {
+      for (char c : word) {
+        EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)))
+            << word << ": pools must be lowercase single tokens";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::data

@@ -1,0 +1,116 @@
+#include "eval/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+
+namespace tailormatch::eval {
+namespace {
+
+std::vector<ScoredPair> PerfectlyCalibrated() {
+  // Probability p assigned to a fraction p of positives in each bucket.
+  std::vector<ScoredPair> scored;
+  for (int bucket = 0; bucket < 10; ++bucket) {
+    const double p = bucket / 10.0 + 0.05;
+    for (int i = 0; i < 100; ++i) {
+      scored.push_back({p, i < static_cast<int>(p * 100)});
+    }
+  }
+  return scored;
+}
+
+TEST(CalibrationTest, PerfectCalibrationHasTinyEce) {
+  CalibrationReport report = ComputeCalibration(PerfectlyCalibrated());
+  EXPECT_LT(report.expected_calibration_error, 0.02);
+}
+
+TEST(CalibrationTest, OverconfidentModelHasLargeEce) {
+  std::vector<ScoredPair> scored;
+  for (int i = 0; i < 200; ++i) {
+    scored.push_back({0.99, i % 2 == 0});  // claims 99%, is right 50%
+  }
+  CalibrationReport report = ComputeCalibration(scored);
+  EXPECT_GT(report.expected_calibration_error, 0.4);
+  EXPECT_GT(report.brier_score, 0.2);
+}
+
+TEST(CalibrationTest, BrierScoreKnownValues) {
+  // Always predicting 0.5 on balanced data: Brier = 0.25.
+  std::vector<ScoredPair> scored;
+  for (int i = 0; i < 100; ++i) scored.push_back({0.5, i % 2 == 0});
+  CalibrationReport report = ComputeCalibration(scored);
+  EXPECT_NEAR(report.brier_score, 0.25, 1e-9);
+}
+
+TEST(CalibrationTest, BinsPartitionSamples) {
+  CalibrationReport report = ComputeCalibration(PerfectlyCalibrated(), 10);
+  int total = 0;
+  for (int count : report.bin_counts) total += count;
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(ThresholdSweepTest, CoversUnitInterval) {
+  std::vector<ScoredPair> scored = PerfectlyCalibrated();
+  std::vector<ThresholdPoint> sweep = SweepThresholds(scored, 0.1);
+  ASSERT_FALSE(sweep.empty());
+  EXPECT_GT(sweep.front().threshold, 0.0);
+  EXPECT_LT(sweep.back().threshold, 1.0);
+}
+
+TEST(ThresholdSweepTest, RecallFallsAsThresholdRises) {
+  std::vector<ScoredPair> scored = PerfectlyCalibrated();
+  std::vector<ThresholdPoint> sweep = SweepThresholds(scored, 0.1);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i - 1].metrics.recall, sweep[i].metrics.recall);
+  }
+  // Precision rises with the threshold while any positives remain.
+  EXPECT_LT(sweep.front().metrics.precision,
+            sweep[sweep.size() / 2].metrics.precision);
+}
+
+TEST(ThresholdSweepTest, BestThresholdBeatsEndpoints) {
+  std::vector<ScoredPair> scored = PerfectlyCalibrated();
+  ThresholdPoint best = BestThreshold(scored, 0.05);
+  std::vector<ThresholdPoint> sweep = SweepThresholds(scored, 0.05);
+  for (const ThresholdPoint& point : sweep) {
+    EXPECT_GE(best.metrics.f1, point.metrics.f1);
+  }
+}
+
+TEST(ScoreDatasetTest, ScoresEveryPairDeterministically) {
+  std::vector<std::string> corpus = {"entity 1: a 12 entity 2: b 34"};
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  llm::SimLlm model(config, std::move(tokenizer));
+  data::Dataset dataset =
+      data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.02).test;
+  std::vector<ScoredPair> a = ScoreDataset(model, dataset);
+  std::vector<ScoredPair> b = ScoreDataset(model, dataset);
+  ASSERT_EQ(a.size(), static_cast<size_t>(dataset.size()));
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].probability, b[i].probability);
+  }
+}
+
+TEST(ScoreDatasetTest, MaxPairsCaps) {
+  std::vector<std::string> corpus = {"entity 1: a entity 2: b"};
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  llm::SimLlm model(config, std::move(tokenizer));
+  data::Dataset dataset =
+      data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.02).test;
+  EXPECT_EQ(ScoreDataset(model, dataset, prompt::PromptTemplate::kDefault, 7)
+                .size(),
+            7u);
+}
+
+}  // namespace
+}  // namespace tailormatch::eval

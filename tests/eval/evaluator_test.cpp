@@ -1,0 +1,96 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+
+namespace tailormatch::eval {
+namespace {
+
+llm::SimLlm TinyModel() {
+  std::vector<std::string> corpus = {
+      "do the two entity descriptions refer to the same real-world product",
+      "entity 1: alpha beta 12 entity 2: gamma delta 34",
+  };
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 48;
+  return llm::SimLlm(config, std::move(tokenizer));
+}
+
+data::Dataset SmallTestSet() {
+  return data::BuildBenchmark(data::BenchmarkId::kAbtBuy, 0.05).test;
+}
+
+TEST(EvaluatorTest, CountsCoverWholeDataset) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset dataset = SmallTestSet();
+  EvalResult result = EvaluateModel(model, dataset);
+  EXPECT_EQ(result.counts.total(), dataset.size());
+}
+
+TEST(EvaluatorTest, SubsampleCapsSize) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset dataset = SmallTestSet();
+  EvalOptions options;
+  options.max_pairs = 40;
+  EvalResult result = EvaluateModel(model, dataset, options);
+  EXPECT_LE(result.counts.total(), 40);
+  EXPECT_GT(result.counts.total(), 30);
+}
+
+TEST(EvaluatorTest, SubsampleIsStratified) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset dataset = SmallTestSet();
+  const double full_ratio =
+      static_cast<double>(dataset.CountPositives()) / dataset.size();
+  EvalOptions options;
+  options.max_pairs = 50;
+  EvalResult result = EvaluateModel(model, dataset, options);
+  const double sample_ratio =
+      static_cast<double>(result.counts.true_positive +
+                          result.counts.false_negative) /
+      result.counts.total();
+  EXPECT_NEAR(sample_ratio, full_ratio, 0.06);
+}
+
+TEST(EvaluatorTest, DeterministicAcrossCalls) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset dataset = SmallTestSet();
+  EvalOptions options;
+  options.max_pairs = 60;
+  EXPECT_DOUBLE_EQ(EvaluateF1(model, dataset, options),
+                   EvaluateF1(model, dataset, options));
+}
+
+TEST(EvaluatorTest, MetricsWithinBounds) {
+  llm::SimLlm model = TinyModel();
+  EvalResult result = EvaluateModel(model, SmallTestSet());
+  EXPECT_GE(result.metrics.f1, 0.0);
+  EXPECT_LE(result.metrics.f1, 100.0);
+  EXPECT_GE(result.metrics.precision, 0.0);
+  EXPECT_LE(result.metrics.precision, 100.0);
+}
+
+TEST(EvaluatorTest, PromptTemplateChangesInputs) {
+  // Different prompt templates generally produce (slightly) different
+  // scores for an untrained model; at minimum the call must succeed for
+  // every template.
+  llm::SimLlm model = TinyModel();
+  data::Dataset dataset = SmallTestSet();
+  for (prompt::PromptTemplate tmpl : prompt::AllPromptTemplates()) {
+    EvalOptions options;
+    options.prompt_template = tmpl;
+    options.max_pairs = 30;
+    const double f1 = EvaluateF1(model, dataset, options);
+    EXPECT_GE(f1, 0.0);
+    EXPECT_LE(f1, 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::eval

@@ -1,0 +1,76 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::eval {
+namespace {
+
+TEST(MetricsTest, PerfectClassifier) {
+  ConfusionCounts counts;
+  for (int i = 0; i < 10; ++i) counts.Add(true, true);
+  for (int i = 0; i < 90; ++i) counts.Add(false, false);
+  PrecisionRecallF1 metrics = ComputeMetrics(counts);
+  EXPECT_DOUBLE_EQ(metrics.precision, 100.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 100.0);
+  EXPECT_DOUBLE_EQ(metrics.f1, 100.0);
+}
+
+TEST(MetricsTest, AllNegativePredictionsGiveZeroF1) {
+  ConfusionCounts counts;
+  for (int i = 0; i < 10; ++i) counts.Add(false, true);
+  for (int i = 0; i < 90; ++i) counts.Add(false, false);
+  PrecisionRecallF1 metrics = ComputeMetrics(counts);
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.f1, 0.0);
+}
+
+TEST(MetricsTest, KnownMixedCase) {
+  ConfusionCounts counts;
+  counts.true_positive = 8;
+  counts.false_positive = 2;
+  counts.false_negative = 2;
+  counts.true_negative = 88;
+  PrecisionRecallF1 metrics = ComputeMetrics(counts);
+  EXPECT_DOUBLE_EQ(metrics.precision, 80.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 80.0);
+  EXPECT_DOUBLE_EQ(metrics.f1, 80.0);
+}
+
+TEST(MetricsTest, PrecisionRecallAsymmetry) {
+  ConfusionCounts counts;
+  counts.true_positive = 9;
+  counts.false_positive = 1;
+  counts.false_negative = 9;
+  PrecisionRecallF1 metrics = ComputeMetrics(counts);
+  EXPECT_DOUBLE_EQ(metrics.precision, 90.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 50.0);
+  EXPECT_NEAR(metrics.f1, 2 * 90.0 * 50.0 / 140.0, 1e-9);
+}
+
+TEST(MetricsTest, EmptyCountsAreZero) {
+  PrecisionRecallF1 metrics = ComputeMetrics(ConfusionCounts{});
+  EXPECT_DOUBLE_EQ(metrics.f1, 0.0);
+}
+
+TEST(MetricsTest, ConfusionCountsTotal) {
+  ConfusionCounts counts;
+  counts.Add(true, true);
+  counts.Add(true, false);
+  counts.Add(false, true);
+  counts.Add(false, false);
+  EXPECT_EQ(counts.total(), 4);
+  EXPECT_EQ(counts.true_positive, 1);
+  EXPECT_EQ(counts.false_positive, 1);
+  EXPECT_EQ(counts.false_negative, 1);
+  EXPECT_EQ(counts.true_negative, 1);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+}  // namespace
+}  // namespace tailormatch::eval

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+#include "eval/evaluator.h"
+
+namespace tailormatch::eval {
+namespace {
+
+llm::SimLlm TinyModel() {
+  std::vector<std::string> corpus = {
+      "do the two entity descriptions refer to the same real-world product",
+      "entity 1: alpha beta 12 entity 2: gamma delta 34",
+  };
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  return llm::SimLlm(config, std::move(tokenizer));
+}
+
+TEST(StratifiedEvalTest, BucketsPartitionTheOverallCounts) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset dataset =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.04).test;
+  StratifiedEvalResult result = EvaluateByCornerCase(model, dataset);
+  EXPECT_EQ(result.overall.counts.total(), dataset.size());
+  EXPECT_EQ(result.corner.counts.total() + result.ordinary.counts.total(),
+            result.overall.counts.total());
+  EXPECT_EQ(result.corner.counts.true_positive +
+                result.ordinary.counts.true_positive,
+            result.overall.counts.true_positive);
+}
+
+TEST(StratifiedEvalTest, CornerBucketMatchesCornerCount) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset dataset =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.04).test;
+  StratifiedEvalResult result = EvaluateByCornerCase(model, dataset);
+  EXPECT_EQ(result.corner.counts.total(), dataset.CountCornerCases());
+}
+
+TEST(StratifiedEvalTest, RespectsSubsample) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset dataset =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.08).test;
+  EvalOptions options;
+  options.max_pairs = 50;
+  StratifiedEvalResult result = EvaluateByCornerCase(model, dataset, options);
+  EXPECT_LE(result.overall.counts.total(), 50);
+}
+
+}  // namespace
+}  // namespace tailormatch::eval

@@ -1,0 +1,63 @@
+#include "eval/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::eval {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"Model", "F1"});
+  table.AddRow({"llama", "53.36"});
+  table.AddRow({"gpt", "81.61"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("Model"), std::string::npos);
+  EXPECT_NE(rendered.find("llama"), std::string::npos);
+  EXPECT_NE(rendered.find("81.61"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter table({"A", "B"});
+  table.AddRow({"longvalue", "x"});
+  std::ostringstream out;
+  table.Print(out);
+  std::istringstream lines(out.str());
+  std::string first, second;
+  std::getline(lines, first);
+  std::getline(lines, second);
+  EXPECT_EQ(first.size(), second.size());  // separator matches header width
+}
+
+TEST(TablePrinterTest, SeparatorRows) {
+  TablePrinter table({"X"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::ostringstream out;
+  table.Print(out);
+  // Header separator + explicit separator = at least two dashed lines.
+  int dashes = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("---") != std::string::npos) ++dashes;
+  }
+  EXPECT_GE(dashes, 2);
+}
+
+TEST(TablePrinterTest, ScoreCellFormats) {
+  EXPECT_EQ(TablePrinter::ScoreCell(56.57, 0.0, false), "56.57");
+  EXPECT_EQ(TablePrinter::ScoreCell(87.34, 30.77, true), "87.34 (+30.77)");
+  EXPECT_EQ(TablePrinter::ScoreCell(39.53, -13.83, true), "39.53 (-13.83)");
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "TM_CHECK");
+}
+
+}  // namespace
+}  // namespace tailormatch::eval

@@ -1,0 +1,185 @@
+#include "explain/explanation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "util/string_util.h"
+
+namespace tailormatch::explain {
+namespace {
+
+data::EntityPair MakeProductPair(bool label) {
+  data::ProductGenerator generator(data::ProductGeneratorConfig{});
+  Rng rng(42);
+  data::EntityPair pair;
+  data::Entity base = generator.SampleBase(rng);
+  pair.left = generator.RenderVariant(base, 0.15, rng);
+  if (label) {
+    pair.right = generator.RenderVariant(base, 0.5, rng);
+  } else {
+    pair.right =
+        generator.RenderVariant(generator.MutateToSibling(base, rng), 0.2, rng);
+  }
+  pair.label = label;
+  return pair;
+}
+
+TEST(ExplanationTest, StructuredTextMatchesFigure4Format) {
+  ExplanationGenerator generator(ExplanationStyle::kStructured);
+  Explanation explanation = generator.Generate(MakeProductPair(true));
+  EXPECT_TRUE(StartsWith(explanation.text, "Yes."));
+  EXPECT_NE(explanation.text.find("attribute="), std::string::npos);
+  EXPECT_NE(explanation.text.find("importance="), std::string::npos);
+  EXPECT_NE(explanation.text.find("values="), std::string::npos);
+  EXPECT_NE(explanation.text.find("###"), std::string::npos);
+  EXPECT_NE(explanation.text.find("similarity="), std::string::npos);
+}
+
+TEST(ExplanationTest, NoImportanceAblationOmitsImportance) {
+  ExplanationGenerator generator(ExplanationStyle::kStructuredNoImportance);
+  Explanation explanation = generator.Generate(MakeProductPair(true));
+  EXPECT_EQ(explanation.text.find("importance="), std::string::npos);
+  EXPECT_NE(explanation.text.find("similarity="), std::string::npos);
+}
+
+TEST(ExplanationTest, NoImpSimAblationOmitsBoth) {
+  ExplanationGenerator generator(
+      ExplanationStyle::kStructuredNoImportanceNoSimilarity);
+  Explanation explanation = generator.Generate(MakeProductPair(false));
+  EXPECT_EQ(explanation.text.find("importance="), std::string::npos);
+  EXPECT_EQ(explanation.text.find("similarity="), std::string::npos);
+  EXPECT_NE(explanation.text.find("attribute="), std::string::npos);
+}
+
+TEST(ExplanationTest, TextualStartsWithVerdict) {
+  for (ExplanationStyle style :
+       {ExplanationStyle::kLongTextual, ExplanationStyle::kWadhwa}) {
+    ExplanationGenerator generator(style);
+    Explanation yes = generator.Generate(MakeProductPair(true));
+    Explanation no = generator.Generate(MakeProductPair(false));
+    EXPECT_TRUE(StartsWith(yes.text, "Yes.")) << yes.text;
+    EXPECT_TRUE(StartsWith(no.text, "No.")) << no.text;
+  }
+}
+
+TEST(ExplanationTest, LongTextualIsLonger) {
+  // The paper reports ~293 tokens for open-ended vs ~90 for Wadhwa-style.
+  data::EntityPair pair = MakeProductPair(true);
+  ExplanationGenerator long_gen(ExplanationStyle::kLongTextual);
+  ExplanationGenerator short_gen(ExplanationStyle::kWadhwa);
+  EXPECT_GT(long_gen.Generate(pair).text.size(),
+            2 * short_gen.Generate(pair).text.size());
+}
+
+TEST(ExplanationTest, MatchingAttributesScoreHighSimilarity) {
+  ExplanationGenerator generator(ExplanationStyle::kStructured);
+  Explanation explanation = generator.Generate(MakeProductPair(true));
+  double brand_similarity = -1.0;
+  for (const AttributeExplanation& attr : explanation.attributes) {
+    if (attr.attribute == "brand" && attr.right_value != "missing") {
+      brand_similarity = attr.similarity;
+    }
+  }
+  if (brand_similarity >= 0.0) {
+    EXPECT_GT(brand_similarity, 0.6);
+  }
+}
+
+TEST(ExplanationTest, MissingAttributeGetsZeroSimilarity) {
+  data::EntityPair pair;
+  pair.left.attributes = {{"brand", "jabra"}, {"model", "kx-80"}};
+  pair.left.surface = "jabra kx-80";
+  pair.right.attributes = {{"brand", "jabra"}};
+  pair.right.surface = "jabra";
+  pair.label = true;
+  ExplanationGenerator generator(ExplanationStyle::kStructured);
+  Explanation explanation = generator.Generate(pair);
+  for (const AttributeExplanation& attr : explanation.attributes) {
+    if (attr.attribute == "model") {
+      EXPECT_EQ(attr.right_value, "missing");
+      EXPECT_DOUBLE_EQ(attr.similarity, 0.0);
+    }
+  }
+}
+
+TEST(ExplanationTest, AttributeSlotsStable) {
+  EXPECT_EQ(ExplanationGenerator::AttributeSlot("brand"), 0);
+  EXPECT_EQ(ExplanationGenerator::AttributeSlot("model"), 2);
+  EXPECT_EQ(ExplanationGenerator::AttributeSlot("sku"), 6);
+  EXPECT_EQ(ExplanationGenerator::AttributeSlot("title"), 1);
+  EXPECT_EQ(ExplanationGenerator::AttributeSlot("unknown-attr"), -1);
+}
+
+TEST(ExplanationTest, ModelImportanceDominatesBrand) {
+  // Figure 4: model importance 0.95 vs brand 0.05-ish.
+  EXPECT_GT(ExplanationGenerator::AttributeImportance("model"),
+            ExplanationGenerator::AttributeImportance("brand"));
+  EXPECT_GT(ExplanationGenerator::AttributeImportance("title"),
+            ExplanationGenerator::AttributeImportance("venue"));
+}
+
+TEST(ExplanationTest, AugmentFillsStructuredTargets) {
+  ExplanationGenerator generator(ExplanationStyle::kStructured);
+  data::EntityPair pair = MakeProductPair(true);
+  llm::TrainExample example;
+  generator.Augment(pair, &example, 8, 32);
+  EXPECT_TRUE(example.has_attr_targets);
+  EXPECT_FALSE(example.has_text_targets);
+  EXPECT_EQ(example.attr_targets.size(), 8u);
+  // At least the core product attributes are masked in.
+  int active = 0;
+  for (float m : example.attr_mask) active += m > 0.0f ? 1 : 0;
+  EXPECT_GE(active, 5);
+}
+
+TEST(ExplanationTest, AugmentFillsTextTargets) {
+  ExplanationGenerator generator(ExplanationStyle::kWadhwa);
+  data::EntityPair pair = MakeProductPair(false);
+  llm::TrainExample example;
+  generator.Augment(pair, &example, 8, 32);
+  EXPECT_TRUE(example.has_text_targets);
+  EXPECT_FALSE(example.has_attr_targets);
+  int hot = 0;
+  for (float t : example.text_targets) hot += t > 0.0f ? 1 : 0;
+  EXPECT_GT(hot, 3);
+}
+
+TEST(ExplanationTest, NoneStyleLeavesExampleUntouched) {
+  ExplanationGenerator generator(ExplanationStyle::kNone);
+  llm::TrainExample example;
+  generator.Augment(MakeProductPair(true), &example, 8, 32);
+  EXPECT_FALSE(example.has_attr_targets);
+  EXPECT_FALSE(example.has_text_targets);
+}
+
+TEST(ExplanationTest, NoImportanceUsesUniformWeights) {
+  ExplanationGenerator generator(ExplanationStyle::kStructuredNoImportance);
+  llm::TrainExample example;
+  generator.Augment(MakeProductPair(true), &example, 8, 32);
+  for (size_t i = 0; i < example.attr_weights.size(); ++i) {
+    if (example.attr_mask[i] > 0.0f) {
+      EXPECT_FLOAT_EQ(example.attr_weights[i], 1.0f);
+    }
+  }
+}
+
+TEST(ExplanationTest, DeterministicForSamePair) {
+  ExplanationGenerator generator(ExplanationStyle::kStructured);
+  data::EntityPair pair = MakeProductPair(true);
+  EXPECT_EQ(generator.Generate(pair).text, generator.Generate(pair).text);
+}
+
+TEST(ExplanationTest, StyleNamesRoundTrip) {
+  std::set<std::string> names;
+  for (ExplanationStyle style : AllExplanationStyles()) {
+    names.insert(ExplanationStyleName(style));
+  }
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_STREQ(ExplanationStyleTableName(ExplanationStyle::kWadhwa),
+               "Wadhwa et al.");
+}
+
+}  // namespace
+}  // namespace tailormatch::explain

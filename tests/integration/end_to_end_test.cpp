@@ -1,0 +1,101 @@
+// End-to-end integration tests: the full Figure 1 pipeline (pretrained
+// zero-shot model -> optional selection/generation -> LoRA fine-tuning ->
+// evaluation through the natural-language response parser), exercised at a
+// small scale.
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "select/error_selection.h"
+
+namespace tailormatch {
+namespace {
+
+core::PipelineConfig SmallConfig() {
+  core::PipelineConfig config;
+  config.family = llm::ModelFamily::kLlama8B;  // fastest family
+  config.benchmark = data::BenchmarkId::kWdcSmall;
+  config.context.data_scale = 0.08;
+  config.context.eval_max_pairs = 300;
+  config.context.valid_max_pairs = 150;
+  config.context.epochs_override = 4;
+  config.context.cache_dir =
+      (std::filesystem::temp_directory_path() / "tm_e2e_cache").string();
+  return config;
+}
+
+TEST(EndToEndTest, StandardFineTuningImprovesWdc) {
+  core::PipelineConfig config = SmallConfig();
+  core::PipelineReport report = core::RunPipeline(config);
+  // The paper's headline: fine-tuning significantly improves the small
+  // model in a non-transfer setting.
+  EXPECT_GT(report.fine_tuned_f1, report.zero_shot_f1 + 5.0);
+  EXPECT_EQ(report.final_train_size, report.original_train_size);
+  ASSERT_NE(report.model, nullptr);
+
+  // The fine-tuned model answers through the Matcher API.
+  core::Matcher matcher(report.model);
+  core::MatchDecision decision =
+      matcher.Match("sonara pulse zmw-304 printer pro",
+                    "sonara pulse zmw 304 printer");
+  EXPECT_TRUE(decision.parseable);
+}
+
+TEST(EndToEndTest, FilteringShrinksTrainingSet) {
+  core::PipelineConfig config = SmallConfig();
+  config.error_based_filtering = true;
+  config.relevancy_filtering = true;
+  core::PipelineReport report = core::RunPipeline(config);
+  EXPECT_LT(report.final_train_size, report.original_train_size);
+  EXPECT_GT(report.fine_tuned_f1, report.zero_shot_f1);
+}
+
+TEST(EndToEndTest, GenerationGrowsTrainingSet) {
+  core::PipelineConfig config = SmallConfig();
+  config.generate_examples = true;  // generation implies teacher filtering
+  config.context.epochs_override = 2;
+  core::PipelineReport report = core::RunPipeline(config);
+  EXPECT_GT(report.final_train_size, report.original_train_size);
+}
+
+TEST(EndToEndTest, ZeroShotCheckpointCacheRoundTrips) {
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "tm_e2e_cache").string();
+  auto first = llm::GetZeroShotModel(llm::ModelFamily::kLlama8B, cache_dir);
+  auto second = llm::GetZeroShotModel(llm::ModelFamily::kLlama8B, cache_dir);
+  const std::string probe =
+      "Do the two entity descriptions refer to the same real-world product? "
+      "Entity 1: jabra evolve 80 Entity 2: jabra evolve 80";
+  EXPECT_DOUBLE_EQ(first->PredictMatchProbability(probe),
+                   second->PredictMatchProbability(probe));
+}
+
+TEST(EndToEndTest, ErrorBasedSelectionRuns) {
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "tm_e2e_cache").string();
+  auto zero_shot = llm::GetZeroShotModel(llm::ModelFamily::kLlama8B, cache_dir);
+  data::Benchmark small = data::BuildBenchmark(data::BenchmarkId::kWdcSmall,
+                                               0.05);
+  data::Benchmark large = data::BuildBenchmark(data::BenchmarkId::kWdcLarge,
+                                               0.02);
+  select::ErrorSelectionOptions options;
+  options.rounds = 2;
+  options.added_per_round = 60;
+  options.epochs_per_round = 2;
+  options.valid_max_pairs = 120;
+  options.train.learning_rate = 2e-3f;
+  options.lora.rank = 4;
+  select::ErrorSelectionResult result = select::RunErrorBasedSelection(
+      *zero_shot, small.train, large.train, small.valid, options);
+  ASSERT_NE(result.model, nullptr);
+  EXPECT_EQ(result.round_valid_f1.size(), 2u);
+  EXPECT_GE(result.best_round, 0);
+  ASSERT_EQ(result.train_sizes.size(), 2u);
+  EXPECT_GT(result.train_sizes[1], result.train_sizes[0]);
+}
+
+}  // namespace
+}  // namespace tailormatch

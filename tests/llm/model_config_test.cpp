@@ -1,0 +1,66 @@
+#include "llm/model_config.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::llm {
+namespace {
+
+TEST(ModelConfigTest, FamilyNamesDistinct) {
+  std::set<std::string> names, table_names;
+  for (ModelFamily family : AllModelFamilies()) {
+    names.insert(ModelFamilyName(family));
+    table_names.insert(ModelFamilyTableName(family));
+  }
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_EQ(table_names.size(), 4u);
+}
+
+TEST(ModelConfigTest, CapacityOrdering) {
+  // Zero-shot strength is driven by capacity x pretraining budget; the
+  // intended ordering is llama8b < llama70b <= gpt4o-mini < gpt4o in
+  // pretraining exposure and llama8b smallest in width.
+  const FamilyProfile llama8b = GetFamilyProfile(ModelFamily::kLlama8B);
+  const FamilyProfile llama70b = GetFamilyProfile(ModelFamily::kLlama70B);
+  const FamilyProfile mini = GetFamilyProfile(ModelFamily::kGpt4oMini);
+  const FamilyProfile gpt4o = GetFamilyProfile(ModelFamily::kGpt4o);
+  EXPECT_LT(llama8b.config.dim, llama70b.config.dim);
+  EXPECT_LT(llama8b.pretrain_pairs, llama70b.pretrain_pairs);
+  EXPECT_LT(llama70b.pretrain_pairs, mini.pretrain_pairs);
+  EXPECT_LE(mini.pretrain_pairs, gpt4o.pretrain_pairs);
+  EXPECT_LE(llama70b.config.dim, gpt4o.config.dim);
+}
+
+TEST(ModelConfigTest, PaperFineTuningDefaults) {
+  for (ModelFamily family : AllModelFamilies()) {
+    const FamilyProfile profile = GetFamilyProfile(family);
+    EXPECT_EQ(profile.finetune_epochs, 10);  // Section 2: 10 epochs
+    EXPECT_EQ(profile.batch_size, 16);       // Section 2: batch size 16
+    EXPECT_FLOAT_EQ(profile.lora_alpha, 16.0f);
+    EXPECT_FLOAT_EQ(profile.lora_dropout, 0.1f);
+    EXPECT_GT(profile.lora_rank, 0);
+  }
+}
+
+TEST(ModelConfigTest, ArchitectureConsistent) {
+  for (ModelFamily family : AllModelFamilies()) {
+    const ModelConfig& config = GetFamilyProfile(family).config;
+    EXPECT_EQ(config.dim % config.num_heads, 0)
+        << ModelFamilyName(family);
+    EXPECT_GE(config.max_seq, 48);
+    EXPECT_GT(config.max_vocab, 1000);
+    EXPECT_EQ(config.family, ModelFamilyName(family));
+  }
+}
+
+TEST(ModelConfigTest, InitSeedsDiffer) {
+  std::set<uint64_t> seeds;
+  for (ModelFamily family : AllModelFamilies()) {
+    seeds.insert(GetFamilyProfile(family).config.init_seed);
+  }
+  EXPECT_EQ(seeds.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tailormatch::llm

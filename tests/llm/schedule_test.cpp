@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "llm/trainer.h"
+
+namespace tailormatch::llm {
+namespace {
+
+SimLlm TinyModel() {
+  std::vector<std::string> corpus = {"entity 1: same alpha entity 2: beta"};
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1400, 1);
+  ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.init_seed = 21;
+  return SimLlm(config, std::move(tokenizer));
+}
+
+std::vector<TrainExample> Examples(const SimLlm& model) {
+  std::vector<TrainExample> examples;
+  for (int i = 0; i < 40; ++i) {
+    const bool label = i % 2 == 0;
+    examples.push_back(model.EncodeExample(
+        label ? "entity 1: same alpha entity 2: same alpha"
+              : "entity 1: alpha entity 2: beta",
+        label));
+  }
+  return examples;
+}
+
+class ScheduleTest : public ::testing::TestWithParam<LrSchedule> {};
+
+TEST_P(ScheduleTest, TrainingConvergesUnderEverySchedule) {
+  SimLlm model = TinyModel();
+  TrainOptions options;
+  options.epochs = 6;
+  options.batch_size = 8;
+  options.learning_rate = 5e-3f;
+  options.schedule = GetParam();
+  TrainStats stats = TrainModel(model, Examples(model), options);
+  EXPECT_LT(stats.epoch_train_loss.back(), stats.epoch_train_loss.front());
+}
+
+TEST_P(ScheduleTest, SchedulesProduceDistinctButDeterministicRuns) {
+  auto run = [&](LrSchedule schedule) {
+    SimLlm model = TinyModel();
+    TrainOptions options;
+    options.epochs = 2;
+    options.learning_rate = 2e-3f;
+    options.schedule = schedule;
+    TrainModel(model, Examples(model), options);
+    return model.PredictMatchProbability(
+        "entity 1: same alpha entity 2: same alpha");
+  };
+  EXPECT_DOUBLE_EQ(run(GetParam()), run(GetParam()));  // deterministic
+  if (GetParam() != LrSchedule::kConstant) {
+    EXPECT_NE(run(GetParam()), run(LrSchedule::kConstant));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ScheduleTest,
+                         ::testing::Values(LrSchedule::kConstant,
+                                           LrSchedule::kCosine,
+                                           LrSchedule::kLinear),
+                         [](const ::testing::TestParamInfo<LrSchedule>& info) {
+                           switch (info.param) {
+                             case LrSchedule::kConstant:
+                               return "Constant";
+                             case LrSchedule::kCosine:
+                               return "Cosine";
+                             default:
+                               return "Linear";
+                           }
+                         });
+
+}  // namespace
+}  // namespace tailormatch::llm

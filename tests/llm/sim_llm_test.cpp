@@ -1,0 +1,190 @@
+#include "llm/sim_llm.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "llm/trainer.h"
+#include "prompt/prompt.h"
+
+namespace tailormatch::llm {
+namespace {
+
+text::Tokenizer TinyTokenizer() {
+  std::vector<std::string> corpus = {
+      "do the two entity descriptions refer to the same real-world product",
+      "entity 1: jabra evolve 80 stereo headset",
+      "entity 2: sram pg 730 cassette 7sp",
+      "entity 1: sonara pulse monitor entity 2: vextech aspire keyboard",
+  };
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  return tokenizer;
+}
+
+ModelConfig TinyConfig() {
+  ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 32;
+  config.init_seed = 5;
+  return config;
+}
+
+TEST(SimLlmTest, PredictIsDeterministicAndBounded) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  const std::string prompt =
+      "Do the two entity descriptions refer to the same real-world product? "
+      "Entity 1: jabra evolve 80 Entity 2: jabra evolve 80";
+  const double p1 = model.PredictMatchProbability(prompt);
+  const double p2 = model.PredictMatchProbability(prompt);
+  EXPECT_DOUBLE_EQ(p1, p2);
+  EXPECT_GE(p1, 0.0);
+  EXPECT_LE(p1, 1.0);
+}
+
+TEST(SimLlmTest, RespondIsParseable) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  const std::string response = model.Respond("Entity 1: a Entity 2: b");
+  bool label = false;
+  EXPECT_TRUE(prompt::ParseYesNo(response, &label));
+}
+
+TEST(SimLlmTest, EncodeExampleTruncatesToMaxSeq) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  std::string lengthy;
+  for (int i = 0; i < 200; ++i) lengthy += "jabra ";
+  TrainExample example = model.EncodeExample(lengthy, true);
+  EXPECT_LE(example.tokens.size(), 32u);
+  EXPECT_TRUE(example.label);
+}
+
+TEST(SimLlmTest, ForwardLossIsFiniteAndPositive) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  TrainExample example = model.EncodeExample("Entity 1: a Entity 2: b", true);
+  Rng rng(1);
+  nn::Tensor loss = model.ForwardLoss(example, /*training=*/false, rng);
+  EXPECT_GT(loss.item(), 0.0f);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+}
+
+TEST(SimLlmTest, AuxLossesIncreaseTotalLoss) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  TrainExample example = model.EncodeExample("Entity 1: a Entity 2: b", true);
+  Rng rng(2);
+  const float base = model.ForwardLoss(example, false, rng).item();
+  example.has_attr_targets = true;
+  example.attr_targets.assign(8, 0.9f);
+  example.attr_weights.assign(8, 1.0f);
+  example.attr_mask.assign(8, 1.0f);
+  example.aux_weight = 1.0f;
+  const float with_aux = model.ForwardLoss(example, false, rng).item();
+  EXPECT_GT(with_aux, base);
+}
+
+TEST(SimLlmTest, LoraShrinksTrainableSet) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  size_t full = 0;
+  for (const nn::Tensor& t : model.TrainableParameters()) full += t.size();
+  nn::LoraConfig lora;
+  lora.rank = 2;
+  model.EnableLora(lora);
+  size_t adapted = 0;
+  for (const nn::Tensor& t : model.TrainableParameters()) adapted += t.size();
+  EXPECT_LT(adapted, full / 2);
+  EXPECT_TRUE(model.lora_enabled());
+}
+
+TEST(SimLlmTest, MergeLoraPreservesPredictions) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  nn::LoraConfig lora;
+  lora.rank = 2;
+  lora.dropout = 0.0f;
+  model.EnableLora(lora);
+  // Perturb adapters so the merge is non-trivial.
+  for (nn::Tensor& t : model.TrainableParameters()) {
+    for (float& v : t.data()) v += 0.05f;
+  }
+  const std::string prompt = "Entity 1: jabra evolve Entity 2: jabra evolve";
+  const double before = model.PredictMatchProbability(prompt);
+  model.MergeLora();
+  EXPECT_FALSE(model.lora_enabled());
+  EXPECT_NEAR(model.PredictMatchProbability(prompt), before, 1e-4);
+}
+
+TEST(SimLlmTest, SnapshotRestoreRoundTrips) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  const std::string prompt = "Entity 1: a Entity 2: b";
+  const double original = model.PredictMatchProbability(prompt);
+  auto snapshot = model.SnapshotState();
+  for (nn::Tensor& t : model.TrainableParameters()) {
+    for (float& v : t.data()) v += 0.3f;
+  }
+  EXPECT_NE(model.PredictMatchProbability(prompt), original);
+  model.RestoreState(snapshot);
+  EXPECT_DOUBLE_EQ(model.PredictMatchProbability(prompt), original);
+}
+
+TEST(SimLlmTest, CloneIsIndependent) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  auto clone = model.Clone();
+  const std::string prompt = "Entity 1: a Entity 2: b";
+  EXPECT_DOUBLE_EQ(clone->PredictMatchProbability(prompt),
+                   model.PredictMatchProbability(prompt));
+  for (nn::Tensor& t : clone->TrainableParameters()) {
+    for (float& v : t.data()) v += 0.5f;
+  }
+  EXPECT_NE(clone->PredictMatchProbability(prompt),
+            model.PredictMatchProbability(prompt));
+}
+
+TEST(SimLlmTest, CheckpointRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_sim_llm_test.ckpt")
+          .string();
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+  Result<std::unique_ptr<SimLlm>> loaded = SimLlm::LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::string prompt =
+      "Entity 1: jabra evolve 80 Entity 2: sram pg 730";
+  EXPECT_DOUBLE_EQ(loaded.value()->PredictMatchProbability(prompt),
+                   model.PredictMatchProbability(prompt));
+  std::remove(path.c_str());
+}
+
+TEST(SimLlmTest, CheckpointRefusedWithActiveAdapters) {
+  SimLlm model(TinyConfig(), TinyTokenizer());
+  nn::LoraConfig lora;
+  lora.rank = 2;
+  model.EnableLora(lora);
+  Status status = model.SaveCheckpoint("/tmp/should_not_exist.ckpt");
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimLlmTest, LoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_garbage.ckpt").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  Result<std::unique_ptr<SimLlm>> loaded = SimLlm::LoadCheckpoint(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TextBucketTest, StableAndInRange) {
+  EXPECT_EQ(TextBucketForWord("match", 32), TextBucketForWord("match", 32));
+  for (const char* word : {"a", "match", "different", "entity"}) {
+    const int bucket = TextBucketForWord(word, 32);
+    EXPECT_GE(bucket, 0);
+    EXPECT_LT(bucket, 32);
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::llm

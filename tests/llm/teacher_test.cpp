@@ -1,0 +1,129 @@
+#include "llm/teacher.h"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+
+namespace tailormatch::llm {
+namespace {
+
+data::EntityPair MakePair(const std::string& left, const std::string& right,
+                          data::Domain domain = data::Domain::kProduct) {
+  data::EntityPair pair;
+  pair.left.surface = left;
+  pair.left.domain = domain;
+  pair.right.surface = right;
+  pair.right.domain = domain;
+  return pair;
+}
+
+TEST(TeacherTest, IdenticalSurfacesScoreHigh) {
+  TeacherLlm teacher;
+  EXPECT_GT(teacher.MatchScore(MakePair("jabra evolve kx-80 headset",
+                                        "jabra evolve kx-80 headset")),
+            0.9);
+}
+
+TEST(TeacherTest, DisjointSurfacesScoreLow) {
+  TeacherLlm teacher;
+  EXPECT_LT(teacher.MatchScore(MakePair("jabra evolve kx-80 headset",
+                                        "weavely cotton xl hoodie")),
+            0.4);
+}
+
+TEST(TeacherTest, ModelNumberMismatchVetoes) {
+  TeacherLlm teacher;
+  // The PG-730 vs PG-1130 example from the paper's Figure 2: nearly
+  // identical surfaces, different model revision.
+  const double sibling = teacher.MatchScore(
+      MakePair("sram vertex pg-730 cassette 7sp 12-32t",
+               "sram vertex pg-1130 cassette 7sp 12-32t"));
+  const double same = teacher.MatchScore(
+      MakePair("sram vertex pg-730 cassette 7sp 12-32t",
+               "sram vertex pg 730 cassette"));
+  EXPECT_LT(sibling, teacher.config().threshold);
+  EXPECT_GT(same, teacher.config().threshold);
+}
+
+TEST(TeacherTest, DroppedAttributesDoNotVeto) {
+  TeacherLlm teacher;
+  // The sparse rendering omits spec/SKU: still the same product.
+  EXPECT_TRUE(teacher.PredictMatch(
+      MakePair("storix raptor ud-41 hdd 2000 gb (3386-443-830)",
+               "storix raptor ud 41")));
+}
+
+TEST(TeacherTest, SpecMismatchVetoesWhenVisible) {
+  TeacherLlm teacher;
+  EXPECT_FALSE(teacher.PredictMatch(
+      MakePair("storix raptor ud-41 hdd 2000 gb",
+               "storix raptor ud-41 hdd 500 gb")));
+}
+
+TEST(TeacherTest, TyposAreTolerated) {
+  TeacherLlm teacher;
+  EXPECT_TRUE(teacher.PredictMatch(
+      MakePair("velodyne zwx-867 chainring 8sp",
+               "veloodyne zwx-867 chainrng 8sp")));
+}
+
+TEST(TeacherTest, ScholarYearOffsetTolerated) {
+  TeacherLlm teacher;
+  EXPECT_TRUE(teacher.PredictMatch(MakePair(
+      "w zhang, e muller; scalable matching of distributed graphs; icdes; "
+      "2004",
+      "w zhang, e muller; scalable matching of distributed graphs; icdes; "
+      "2005",
+      data::Domain::kScholar)));
+}
+
+TEST(TeacherTest, DeterministicVerdicts) {
+  TeacherLlm teacher;
+  data::EntityPair pair = MakePair("sonara pulse zmw-304 printer",
+                                   "sonara pulse zmw 304");
+  EXPECT_EQ(teacher.PredictMatch(pair), teacher.PredictMatch(pair));
+}
+
+TEST(TeacherTest, AccuracyOnCleanBenchmark) {
+  // The teacher stands in for GPT-4o: it must be clearly stronger than an
+  // untrained student on every benchmark.
+  TeacherLlm teacher;
+  for (data::BenchmarkId id :
+       {data::BenchmarkId::kWdcSmall, data::BenchmarkId::kDblpAcm}) {
+    data::Benchmark benchmark = data::BuildBenchmark(id, 0.05);
+    int correct = 0;
+    for (const data::EntityPair& pair : benchmark.test.pairs) {
+      correct += teacher.PredictMatch(pair) == pair.label ? 1 : 0;
+    }
+    const double accuracy =
+        static_cast<double>(correct) / benchmark.test.size();
+    EXPECT_GT(accuracy, 0.85) << data::BenchmarkName(id);
+  }
+}
+
+TEST(TeacherTest, InterestingFiltersTrivialPairs) {
+  TeacherLlm teacher;
+  // Trivially different items are not interesting (Section 5.1: "comparing
+  // a hard drive and a TV ... offers limited value").
+  EXPECT_FALSE(teacher.IsInteresting(
+      MakePair("datavault ssd 500 gb", "weavely hoodie xl cotton")));
+  // Corner-case-like pairs are.
+  EXPECT_TRUE(teacher.IsInteresting(
+      MakePair("sram vertex pg-730 cassette", "sram vertex pg-1130 cassette")));
+}
+
+TEST(TeacherTest, NoiseFlipsOnlyBorderlineVerdicts) {
+  TeacherLlm::Config noisy_config;
+  noisy_config.noise_rate = 1.0;  // always flip inside the band
+  TeacherLlm noisy(noisy_config);
+  TeacherLlm::Config clean_config;
+  clean_config.noise_rate = 0.0;
+  TeacherLlm clean(clean_config);
+  // A decisive pair (score far from threshold) is unaffected by noise.
+  data::EntityPair decisive =
+      MakePair("jabra evolve kx-80 headset", "jabra evolve kx-80 headset");
+  EXPECT_EQ(noisy.PredictMatch(decisive), clean.PredictMatch(decisive));
+}
+
+}  // namespace
+}  // namespace tailormatch::llm

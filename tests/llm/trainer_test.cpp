@@ -1,0 +1,166 @@
+#include "llm/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "llm/pretrainer.h"
+
+namespace tailormatch::llm {
+namespace {
+
+// A trivially learnable task: label = whether the word "same" appears.
+std::vector<std::pair<std::string, bool>> KeywordTask() {
+  std::vector<std::pair<std::string, bool>> data;
+  const char* positives[] = {
+      "entity 1: alpha same entity 2: beta", "same entity 1: x entity 2: y",
+      "entity 1: gamma entity 2: same delta"};
+  const char* negatives[] = {
+      "entity 1: alpha entity 2: beta", "entity 1: x entity 2: y other",
+      "entity 1: gamma entity 2: delta"};
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    for (const char* text : positives) data.emplace_back(text, true);
+    for (const char* text : negatives) data.emplace_back(text, false);
+  }
+  return data;
+}
+
+SimLlm MakeTinyModel() {
+  std::vector<std::string> corpus;
+  for (auto& [text, label] : KeywordTask()) corpus.push_back(text);
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1200, 1);
+  ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 24;
+  config.init_seed = 11;
+  return SimLlm(config, std::move(tokenizer));
+}
+
+TEST(TrainerTest, LearnsKeywordTask) {
+  SimLlm model = MakeTinyModel();
+  std::vector<TrainExample> examples;
+  for (auto& [text, label] : KeywordTask()) {
+    examples.push_back(model.EncodeExample(text, label));
+  }
+  TrainOptions options;
+  options.epochs = 12;
+  options.batch_size = 8;
+  options.learning_rate = 5e-3f;
+  options.seed = 3;
+  TrainStats stats = TrainModel(model, examples, options);
+  ASSERT_EQ(stats.epoch_train_loss.size(), 12u);
+  EXPECT_LT(stats.epoch_train_loss.back(), stats.epoch_train_loss.front());
+  // Perfect separation on the training distribution.
+  int correct = 0;
+  for (auto& [text, label] : KeywordTask()) {
+    const bool predicted = model.PredictMatchProbability(text) > 0.5;
+    correct += predicted == label ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / KeywordTask().size(), 0.95);
+}
+
+TEST(TrainerTest, DeterministicTraining) {
+  auto run = []() {
+    SimLlm model = MakeTinyModel();
+    std::vector<TrainExample> examples;
+    for (auto& [text, label] : KeywordTask()) {
+      examples.push_back(model.EncodeExample(text, label));
+    }
+    TrainOptions options;
+    options.epochs = 3;
+    options.learning_rate = 1e-3f;
+    options.seed = 7;
+    TrainModel(model, examples, options);
+    return model.PredictMatchProbability("entity 1: alpha same entity 2: b");
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(TrainerTest, ValidationCallbackRunsPerEpoch) {
+  SimLlm model = MakeTinyModel();
+  std::vector<TrainExample> examples;
+  for (auto& [text, label] : KeywordTask()) {
+    examples.push_back(model.EncodeExample(text, label));
+  }
+  TrainOptions options;
+  options.epochs = 4;
+  options.learning_rate = 1e-3f;
+  int calls = 0;
+  TrainStats stats =
+      TrainModel(model, examples, options, [&calls](const SimLlm&) {
+        ++calls;
+        return static_cast<double>(calls);  // strictly improving
+      });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(stats.best_epoch, 3);
+  EXPECT_DOUBLE_EQ(stats.best_score, 4.0);
+}
+
+TEST(TrainerTest, BestCheckpointRestored) {
+  SimLlm model = MakeTinyModel();
+  std::vector<TrainExample> examples;
+  for (auto& [text, label] : KeywordTask()) {
+    examples.push_back(model.EncodeExample(text, label));
+  }
+  std::vector<std::vector<float>> epoch1_state;
+  int epoch = 0;
+  TrainOptions options;
+  options.epochs = 3;
+  options.learning_rate = 5e-3f;
+  TrainModel(model, examples, options,
+             [&](const SimLlm& m) {
+               ++epoch;
+               if (epoch == 1) {
+                 epoch1_state = m.SnapshotState();
+                 return 10.0;  // epoch 1 "wins"
+               }
+               return 1.0;
+             });
+  // Final weights must equal the epoch-1 snapshot.
+  auto final_state = model.SnapshotState();
+  ASSERT_EQ(final_state.size(), epoch1_state.size());
+  for (size_t i = 0; i < final_state.size(); ++i) {
+    EXPECT_EQ(final_state[i], epoch1_state[i]) << "tensor " << i;
+  }
+}
+
+TEST(TrainerDeathTest, EmptyTrainingSetRejected) {
+  SimLlm model = MakeTinyModel();
+  TrainOptions options;
+  EXPECT_DEATH(TrainModel(model, {}, options), "empty training set");
+}
+
+TEST(PretrainerTest, CorpusBalancedAndMixed) {
+  std::vector<data::EntityPair> pairs = BuildPretrainPairs(400, 9);
+  ASSERT_EQ(pairs.size(), 400u);
+  int positives = 0, scholar = 0;
+  for (const data::EntityPair& pair : pairs) {
+    positives += pair.label ? 1 : 0;
+    scholar += pair.left.domain == data::Domain::kScholar ? 1 : 0;
+  }
+  EXPECT_NEAR(positives / 400.0, 0.5, 0.1);
+  EXPECT_GT(scholar, 60);   // both domains present
+  EXPECT_LT(scholar, 200);  // products dominate
+}
+
+TEST(PretrainerTest, PromptVarietyOrdering) {
+  // Instruction-tuned families saw more phrasings (=> less prompt
+  // sensitivity, Section 3.3).
+  EXPECT_LT(PretrainPromptVariety(ModelFamily::kLlama8B),
+            PretrainPromptVariety(ModelFamily::kGpt4oMini));
+}
+
+TEST(PretrainerTest, PromptPhrasingsDistinct) {
+  data::EntityPair pair;
+  pair.left.surface = "a";
+  pair.right.surface = "b";
+  std::set<std::string> prompts;
+  for (int phrasing = 0; phrasing < 6; ++phrasing) {
+    prompts.insert(PretrainPrompt(pair, phrasing));
+  }
+  EXPECT_EQ(prompts.size(), 6u);
+}
+
+}  // namespace
+}  // namespace tailormatch::llm

@@ -1,0 +1,221 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+
+namespace tailormatch::nn {
+namespace {
+
+ForwardContext EvalCtx() { return ForwardContext{}; }
+
+TEST(LoraLinearTest, ForwardMatchesManual) {
+  Rng rng(1);
+  LoraLinear layer(2, 2, rng);
+  layer.weight() = Tensor::FromData(2, 2, {1, 2, 3, 4}, true);
+  layer.bias() = Tensor::FromData(1, 2, {0.5f, -0.5f}, true);
+  Tensor x = Tensor::FromData(1, 2, {1, 1});
+  Tensor y = layer.Forward(x, EvalCtx());
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 5.5f);
+}
+
+TEST(LoraLinearTest, EnableLoraIsInitiallyNoOp) {
+  Rng rng(2);
+  LoraLinear layer(4, 3, rng);
+  Tensor x = Tensor::Randn(2, 4, 1.0f, rng, false);
+  Tensor before = layer.Forward(x, EvalCtx());
+  LoraConfig config;
+  config.rank = 2;
+  layer.EnableLora(config, rng);
+  Tensor after = layer.Forward(x, EvalCtx());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before.data()[i], after.data()[i], 1e-5f);
+  }
+}
+
+TEST(LoraLinearTest, LoraFreezesBaseParameters) {
+  Rng rng(3);
+  LoraLinear layer(4, 3, rng);
+  EXPECT_EQ(layer.Parameters().size(), 2u);  // W, b
+  LoraConfig config;
+  config.rank = 2;
+  layer.EnableLora(config, rng);
+  std::vector<Tensor> params = layer.Parameters();
+  EXPECT_EQ(params.size(), 2u);  // A, B
+  EXPECT_FALSE(layer.weight().requires_grad());
+  EXPECT_EQ(params[0].rows(), 4);
+  EXPECT_EQ(params[0].cols(), 2);
+  EXPECT_EQ(params[1].rows(), 2);
+  EXPECT_EQ(params[1].cols(), 3);
+}
+
+TEST(LoraLinearTest, MergePreservesFunction) {
+  Rng rng(4);
+  LoraLinear layer(4, 4, rng);
+  LoraConfig config;
+  config.rank = 2;
+  config.dropout = 0.0f;
+  layer.EnableLora(config, rng);
+  // Perturb the adapters so the merge is non-trivial.
+  std::vector<Tensor> params = layer.Parameters();
+  for (Tensor& p : params) {
+    for (float& v : p.data()) v += 0.1f;
+  }
+  Tensor x = Tensor::Randn(3, 4, 1.0f, rng, false);
+  Tensor with_adapter = layer.Forward(x, EvalCtx());
+  layer.MergeLora();
+  EXPECT_FALSE(layer.lora_enabled());
+  Tensor merged = layer.Forward(x, EvalCtx());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_NEAR(with_adapter.data()[i], merged.data()[i], 1e-4f);
+  }
+}
+
+TEST(LoraLinearTest, TrainingAdaptsOnlyAdapters) {
+  Rng rng(5);
+  LoraLinear layer(3, 2, rng);
+  LoraConfig config;
+  config.rank = 2;
+  config.dropout = 0.0f;
+  layer.EnableLora(config, rng);
+  std::vector<float> base_before = layer.weight().data();
+  AdamW optimizer(layer.Parameters(), 1e-2f);
+  Rng drop_rng(6);
+  for (int step = 0; step < 20; ++step) {
+    ForwardContext ctx;
+    ctx.training = true;
+    ctx.rng = &drop_rng;
+    Tensor x = Tensor::FromData(1, 3, {1.0f, -1.0f, 0.5f});
+    Tensor y = layer.Forward(x, ctx);
+    Tensor loss = SoftmaxCrossEntropy(y, 1);
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_EQ(layer.weight().data(), base_before);  // frozen base untouched
+  ForwardContext ctx;
+  Tensor x = Tensor::FromData(1, 3, {1.0f, -1.0f, 0.5f});
+  Tensor y = layer.Forward(x, ctx);
+  EXPECT_GT(y.at(0, 1), y.at(0, 0));  // adapters learned the target
+}
+
+TEST(EmbeddingTest, ForwardAndFreeze) {
+  Rng rng(7);
+  Embedding embedding(10, 4, rng);
+  Tensor out = embedding.Forward({3, 7});
+  EXPECT_EQ(out.rows(), 2);
+  EXPECT_EQ(out.cols(), 4);
+  EXPECT_EQ(embedding.Parameters().size(), 1u);
+  embedding.SetTrainable(false);
+  EXPECT_TRUE(embedding.Parameters().empty());
+}
+
+TEST(LayerNormTest, OutputIsNormalized) {
+  LayerNorm norm(6);
+  Rng rng(8);
+  Tensor x = Tensor::Randn(3, 6, 4.0f, rng, false);
+  Tensor out = norm.Forward(x);
+  for (int i = 0; i < 3; ++i) {
+    float mean = 0.0f, var = 0.0f;
+    for (int j = 0; j < 6; ++j) mean += out.at(i, j);
+    mean /= 6.0f;
+    for (int j = 0; j < 6; ++j) {
+      var += (out.at(i, j) - mean) * (out.at(i, j) - mean);
+    }
+    var /= 6.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(MultiHeadAttentionTest, ShapePreserved) {
+  Rng rng(9);
+  MultiHeadAttention attention(8, 2, rng);
+  Tensor x = Tensor::Randn(5, 8, 1.0f, rng, false);
+  Tensor out = attention.Forward(x, EvalCtx());
+  EXPECT_EQ(out.rows(), 5);
+  EXPECT_EQ(out.cols(), 8);
+}
+
+TEST(MultiHeadAttentionTest, RequiresDivisibleHeads) {
+  Rng rng(10);
+  EXPECT_DEATH(MultiHeadAttention(10, 3, rng), "divisible");
+}
+
+TEST(TransformerBlockTest, ForwardShapeAndDeterminism) {
+  Rng rng(11);
+  TransformerBlock block(8, 2, 0.1f, rng);
+  Tensor x = Tensor::Randn(4, 8, 1.0f, rng, false);
+  Tensor a = block.Forward(x, EvalCtx());
+  Tensor b = block.Forward(x, EvalCtx());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);  // eval mode: no dropout
+  }
+}
+
+TEST(TransformerBlockTest, LoraReducesTrainableCount) {
+  Rng rng(12);
+  TransformerBlock block(8, 2, 0.1f, rng);
+  const size_t full = block.Parameters().size();
+  LoraConfig config;
+  config.rank = 2;
+  Rng lrng(13);
+  block.EnableLora(config, lrng);
+  size_t trainable_elements = 0;
+  for (const Tensor& p : block.Parameters()) trainable_elements += p.size();
+  size_t state_elements = 0;
+  for (const Tensor& p : block.StateTensors()) state_elements += p.size();
+  EXPECT_LT(trainable_elements, state_elements / 2);
+  EXPECT_GE(block.Parameters().size(), full);  // adapters + norms
+}
+
+TEST(OptimizerTest, SgdDescendsQuadratic) {
+  Tensor w = Tensor::FromData(1, 1, {5.0f}, true);
+  Sgd sgd({w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    Tensor loss = Mul(w, w);
+    sgd.ZeroGrad();
+    loss.Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.data()[0], 0.0f, 1e-3f);
+}
+
+TEST(OptimizerTest, AdamWDescendsQuadratic) {
+  Tensor w = Tensor::FromData(1, 2, {4.0f, -3.0f}, true);
+  AdamW adam({w}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    Tensor loss = Sum(Mul(w, w));
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(w.data()[0], 0.0f, 1e-2f);
+  EXPECT_NEAR(w.data()[1], 0.0f, 1e-2f);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::FromData(1, 1, {2.0f}, true);
+  AdamW adam({w}, 0.05f, /*weight_decay=*/0.5f);
+  for (int i = 0; i < 50; ++i) {
+    // Zero gradient: only decay acts.
+    adam.ZeroGrad();
+    adam.Step();
+  }
+  EXPECT_LT(std::abs(w.data()[0]), 2.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormBoundsGlobalNorm) {
+  Tensor a = Tensor::FromData(1, 2, {0, 0}, true);
+  a.grad() = {3.0f, 4.0f};  // norm 5
+  std::vector<Tensor> params = {a};
+  const float before = ClipGradNorm(params, 1.0f);
+  EXPECT_NEAR(before, 5.0f, 1e-5f);
+  EXPECT_NEAR(a.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(a.grad()[1], 0.8f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace tailormatch::nn

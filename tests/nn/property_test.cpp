@@ -1,0 +1,152 @@
+// Parameterized property tests for the neural substrate: gradient checks
+// across shapes, LoRA invariants across ranks, and optimizer convergence
+// across learning rates.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+
+namespace tailormatch::nn {
+namespace {
+
+void CheckScalarGradients(const std::vector<Tensor>& inputs,
+                          const std::function<Tensor()>& fn,
+                          float tolerance = 3e-2f) {
+  Tensor loss = fn();
+  ASSERT_EQ(loss.size(), 1u);
+  for (const Tensor& input : inputs) const_cast<Tensor&>(input).ZeroGrad();
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  for (const Tensor& input : inputs) analytic.push_back(input.grad());
+  const float epsilon = 1e-3f;
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Tensor input = inputs[t];
+    for (size_t i = 0; i < input.size(); ++i) {
+      const float original = input.data()[i];
+      input.data()[i] = original + epsilon;
+      const float plus = fn().item();
+      input.data()[i] = original - epsilon;
+      const float minus = fn().item();
+      input.data()[i] = original;
+      const float numeric = (plus - minus) / (2.0f * epsilon);
+      EXPECT_NEAR(analytic[t][i], numeric,
+                  tolerance * std::max(1.0f, std::abs(numeric)));
+    }
+  }
+}
+
+// ---- Gradient checks across shapes ----
+
+struct Shape {
+  int rows;
+  int cols;
+};
+
+class ShapeGradTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ShapeGradTest, MatMulChain) {
+  Rng rng(GetParam().rows * 100 + GetParam().cols);
+  Tensor a = Tensor::Randn(GetParam().rows, GetParam().cols, 0.6f, rng, true);
+  Tensor b = Tensor::Randn(GetParam().cols, 3, 0.6f, rng, true);
+  CheckScalarGradients({a, b}, [&]() { return Sum(Gelu(MatMul(a, b))); });
+}
+
+TEST_P(ShapeGradTest, NormalizeThenProject) {
+  Rng rng(GetParam().rows * 7 + GetParam().cols);
+  Tensor x = Tensor::Randn(GetParam().rows, GetParam().cols, 1.0f, rng, true);
+  Tensor gain = Tensor::Full(1, GetParam().cols, 1.0f, true);
+  Tensor bias = Tensor::Zeros(1, GetParam().cols, true);
+  CheckScalarGradients({x, gain, bias}, [&]() {
+    Tensor normed = LayerNormOp(x, gain, bias);
+    return Sum(Mul(normed, normed));
+  });
+}
+
+TEST_P(ShapeGradTest, PoolingPath) {
+  Rng rng(GetParam().rows * 13 + GetParam().cols);
+  Tensor x = Tensor::Randn(GetParam().rows, GetParam().cols, 0.8f, rng, true);
+  CheckScalarGradients({x}, [&]() {
+    Tensor pooled = ConcatCols({MeanRows(x), MaxRows(x)});
+    return Sum(Mul(pooled, pooled));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeGradTest,
+                         ::testing::Values(Shape{1, 4}, Shape{3, 5},
+                                           Shape{6, 2}, Shape{4, 8}),
+                         [](const ::testing::TestParamInfo<Shape>& info) {
+                           return std::to_string(info.param.rows) + "x" +
+                                  std::to_string(info.param.cols);
+                         });
+
+// ---- LoRA invariants across ranks ----
+
+class LoraRankTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoraRankTest, EnableIsNoOpAndMergeIsExact) {
+  Rng rng(5 + GetParam());
+  LoraLinear layer(6, 5, rng);
+  Tensor x = Tensor::Randn(2, 6, 1.0f, rng, false);
+  ForwardContext ctx;
+  Tensor base = layer.Forward(x, ctx);
+
+  LoraConfig config;
+  config.rank = GetParam();
+  config.dropout = 0.0f;
+  layer.EnableLora(config, rng);
+  Tensor enabled = layer.Forward(x, ctx);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(base.data()[i], enabled.data()[i], 1e-5f);
+  }
+
+  for (Tensor& p : layer.Parameters()) {
+    for (float& v : p.data()) v += 0.07f;
+  }
+  Tensor adapted = layer.Forward(x, ctx);
+  layer.MergeLora();
+  Tensor merged = layer.Forward(x, ctx);
+  for (size_t i = 0; i < adapted.size(); ++i) {
+    EXPECT_NEAR(adapted.data()[i], merged.data()[i], 1e-4f);
+  }
+}
+
+TEST_P(LoraRankTest, TrainableParameterCountScalesWithRank) {
+  Rng rng(11);
+  LoraLinear layer(16, 16, rng);
+  LoraConfig config;
+  config.rank = GetParam();
+  layer.EnableLora(config, rng);
+  size_t total = 0;
+  for (const Tensor& p : layer.Parameters()) total += p.size();
+  EXPECT_EQ(total, static_cast<size_t>(2 * 16 * GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, LoraRankTest, ::testing::Values(1, 2, 4, 8));
+
+// ---- Optimizer convergence across learning rates ----
+
+class AdamLrTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(AdamLrTest, ConvergesOnQuadraticBowl) {
+  Rng rng(3);
+  Tensor w = Tensor::Randn(1, 4, 2.0f, rng, true);
+  AdamW adam({w}, GetParam());
+  for (int step = 0; step < 1500; ++step) {
+    Tensor loss = Sum(Mul(w, w));
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+  }
+  for (float v : w.data()) EXPECT_NEAR(v, 0.0f, 0.05f);
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, AdamLrTest,
+                         ::testing::Values(0.01f, 0.05f, 0.2f));
+
+}  // namespace
+}  // namespace tailormatch::nn

@@ -1,0 +1,363 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::nn {
+namespace {
+
+// Numerical gradient check: compares autograd gradients of a scalar-valued
+// function against central finite differences.
+void CheckGradients(const std::vector<Tensor>& inputs,
+                    const std::function<Tensor()>& fn, float tolerance = 2e-2f,
+                    float epsilon = 1e-3f) {
+  Tensor loss = fn();
+  ASSERT_EQ(loss.size(), 1u) << "gradcheck needs a scalar output";
+  for (const Tensor& input : inputs) {
+    const_cast<Tensor&>(input).ZeroGrad();
+  }
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  for (const Tensor& input : inputs) analytic.push_back(input.grad());
+
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Tensor input = inputs[t];
+    for (size_t i = 0; i < input.size(); ++i) {
+      const float original = input.data()[i];
+      input.data()[i] = original + epsilon;
+      const float plus = fn().item();
+      input.data()[i] = original - epsilon;
+      const float minus = fn().item();
+      input.data()[i] = original;
+      const float numeric = (plus - minus) / (2.0f * epsilon);
+      EXPECT_NEAR(analytic[t][i], numeric,
+                  tolerance * std::max(1.0f, std::abs(numeric)))
+          << "tensor " << t << " element " << i;
+    }
+  }
+}
+
+Tensor RandTensor(int rows, int cols, Rng& rng, float scale = 1.0f) {
+  return Tensor::Randn(rows, cols, scale, rng, /*requires_grad=*/true);
+}
+
+TEST(TensorTest, ConstructionAndAccessors) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FALSE(t.requires_grad());
+  t.set(1, 2, 5.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(TensorTest, FromDataRoundTrips) {
+  Tensor t = Tensor::FromData(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full(2, 2, 3.5f);
+  for (float v : t.data()) EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+TEST(TensorTest, DetachSharesValuesNotGraph) {
+  Rng rng(1);
+  Tensor a = RandTensor(2, 2, rng);
+  Tensor d = a.Detach();
+  EXPECT_EQ(d.data(), a.data());
+  EXPECT_FALSE(d.requires_grad());
+}
+
+TEST(TensorTest, MatMulValues) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData(2, 2, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(TensorTest, MatMulGradients) {
+  Rng rng(7);
+  Tensor a = RandTensor(3, 4, rng);
+  Tensor b = RandTensor(4, 2, rng);
+  CheckGradients({a, b}, [&]() { return Sum(MatMul(a, b)); });
+}
+
+TEST(TensorTest, AddGradients) {
+  Rng rng(8);
+  Tensor a = RandTensor(2, 3, rng);
+  Tensor b = RandTensor(2, 3, rng);
+  CheckGradients({a, b}, [&]() { return Sum(Mul(Add(a, b), Add(a, b))); });
+}
+
+TEST(TensorTest, AddRowBroadcastGradients) {
+  Rng rng(9);
+  Tensor a = RandTensor(3, 4, rng);
+  Tensor row = RandTensor(1, 4, rng);
+  CheckGradients({a, row}, [&]() {
+    Tensor out = AddRowBroadcast(a, row);
+    return Sum(Mul(out, out));
+  });
+}
+
+TEST(TensorTest, MulGradients) {
+  Rng rng(10);
+  Tensor a = RandTensor(2, 2, rng);
+  Tensor b = RandTensor(2, 2, rng);
+  CheckGradients({a, b}, [&]() { return Sum(Mul(a, b)); });
+}
+
+TEST(TensorTest, SubMatchesManual) {
+  Tensor a = Tensor::FromData(1, 2, {5, 7});
+  Tensor b = Tensor::FromData(1, 2, {2, 3});
+  Tensor c = Sub(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 4.0f);
+}
+
+TEST(TensorTest, ScaleGradients) {
+  Rng rng(11);
+  Tensor a = RandTensor(2, 3, rng);
+  CheckGradients({a}, [&]() { return Sum(Scale(a, -2.5f)); });
+}
+
+TEST(TensorTest, ReluForwardAndGradient) {
+  Tensor a = Tensor::FromData(1, 4, {-1.0f, 0.5f, 2.0f, -3.0f}, true);
+  Tensor out = Relu(a);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 0.5f);
+  CheckGradients({a}, [&]() { return Sum(Mul(Relu(a), Relu(a))); });
+}
+
+TEST(TensorTest, GeluGradients) {
+  Rng rng(12);
+  Tensor a = RandTensor(2, 3, rng);
+  CheckGradients({a}, [&]() { return Sum(Gelu(a)); });
+}
+
+TEST(TensorTest, TanhGradients) {
+  Rng rng(13);
+  Tensor a = RandTensor(2, 3, rng, 0.5f);
+  CheckGradients({a}, [&]() { return Sum(Mul(Tanh(a), Tanh(a))); });
+}
+
+TEST(TensorTest, SoftmaxRowsSumToOne) {
+  Rng rng(14);
+  Tensor a = RandTensor(3, 5, rng, 2.0f);
+  Tensor s = Softmax(a);
+  for (int i = 0; i < 3; ++i) {
+    float total = 0.0f;
+    for (int j = 0; j < 5; ++j) total += s.at(i, j);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TensorTest, SoftmaxGradients) {
+  Rng rng(15);
+  Tensor a = RandTensor(2, 4, rng);
+  Tensor weights = RandTensor(2, 4, rng);
+  weights.set_requires_grad(false);
+  CheckGradients({a}, [&]() { return Sum(Mul(Softmax(a), weights)); });
+}
+
+TEST(TensorTest, LayerNormNormalizesRows) {
+  Rng rng(16);
+  Tensor a = RandTensor(2, 8, rng, 3.0f);
+  Tensor gain = Tensor::Full(1, 8, 1.0f);
+  Tensor bias = Tensor::Zeros(1, 8);
+  Tensor out = LayerNormOp(a, gain, bias);
+  for (int i = 0; i < 2; ++i) {
+    float mean = 0.0f;
+    for (int j = 0; j < 8; ++j) mean += out.at(i, j);
+    mean /= 8.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-5f);
+  }
+}
+
+TEST(TensorTest, LayerNormGradients) {
+  Rng rng(17);
+  Tensor a = RandTensor(2, 6, rng);
+  Tensor gain = RandTensor(1, 6, rng, 0.5f);
+  Tensor bias = RandTensor(1, 6, rng, 0.5f);
+  CheckGradients({a, gain, bias}, [&]() {
+    Tensor out = LayerNormOp(a, gain, bias);
+    return Sum(Mul(out, out));
+  });
+}
+
+TEST(TensorTest, TransposeGradients) {
+  Rng rng(18);
+  Tensor a = RandTensor(2, 3, rng);
+  CheckGradients({a}, [&]() {
+    Tensor t = Transpose(a);
+    return Sum(Mul(t, t));
+  });
+}
+
+TEST(TensorTest, SliceColsValuesAndGradients) {
+  Rng rng(19);
+  Tensor a = RandTensor(2, 6, rng);
+  Tensor sliced = SliceCols(a, 2, 4);
+  EXPECT_EQ(sliced.cols(), 2);
+  EXPECT_FLOAT_EQ(sliced.at(1, 0), a.at(1, 2));
+  CheckGradients({a}, [&]() {
+    Tensor s = SliceCols(a, 2, 4);
+    return Sum(Mul(s, s));
+  });
+}
+
+TEST(TensorTest, SliceRowsValuesAndGradients) {
+  Rng rng(20);
+  Tensor a = RandTensor(4, 3, rng);
+  Tensor sliced = SliceRows(a, 1, 3);
+  EXPECT_EQ(sliced.rows(), 2);
+  EXPECT_FLOAT_EQ(sliced.at(0, 1), a.at(1, 1));
+  CheckGradients({a}, [&]() {
+    Tensor s = SliceRows(a, 0, 2);
+    return Sum(Mul(s, s));
+  });
+}
+
+TEST(TensorTest, ConcatColsValuesAndGradients) {
+  Rng rng(21);
+  Tensor a = RandTensor(2, 2, rng);
+  Tensor b = RandTensor(2, 3, rng);
+  Tensor c = ConcatCols({a, b});
+  EXPECT_EQ(c.cols(), 5);
+  EXPECT_FLOAT_EQ(c.at(1, 4), b.at(1, 2));
+  CheckGradients({a, b}, [&]() {
+    Tensor cc = ConcatCols({a, b});
+    return Sum(Mul(cc, cc));
+  });
+}
+
+TEST(TensorTest, MeanRowsGradients) {
+  Rng rng(22);
+  Tensor a = RandTensor(4, 3, rng);
+  CheckGradients({a}, [&]() {
+    Tensor m = MeanRows(a);
+    return Sum(Mul(m, m));
+  });
+}
+
+TEST(TensorTest, EmbeddingLookupSelectsRows) {
+  Rng rng(23);
+  Tensor table = RandTensor(5, 4, rng);
+  Tensor out = EmbeddingLookup(table, {2, 0, 2});
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_FLOAT_EQ(out.at(0, 1), table.at(2, 1));
+  EXPECT_FLOAT_EQ(out.at(1, 3), table.at(0, 3));
+}
+
+TEST(TensorTest, EmbeddingLookupAccumulatesRepeatedIdGradients) {
+  Rng rng(24);
+  Tensor table = RandTensor(4, 2, rng);
+  CheckGradients({table}, [&]() {
+    Tensor out = EmbeddingLookup(table, {1, 1, 3});
+    return Sum(Mul(out, out));
+  });
+}
+
+TEST(TensorTest, DropoutEvalIsIdentity) {
+  Rng rng(25);
+  Tensor a = RandTensor(2, 4, rng);
+  Tensor out = DropoutOp(a, 0.5f, /*training=*/false, rng);
+  EXPECT_EQ(out.data(), a.data());
+}
+
+TEST(TensorTest, DropoutTrainScalesKeptUnits) {
+  Rng rng(26);
+  Tensor a = Tensor::Full(1, 1000, 1.0f);
+  Tensor out = DropoutOp(a, 0.25f, /*training=*/true, rng);
+  int kept = 0;
+  for (float v : out.data()) {
+    if (v != 0.0f) {
+      EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5f);
+      ++kept;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / 1000.0, 0.75, 0.05);
+}
+
+TEST(TensorTest, SoftmaxCrossEntropyMatchesManual) {
+  Tensor logits = Tensor::FromData(1, 2, {0.0f, 0.0f}, true);
+  Tensor loss = SoftmaxCrossEntropy(logits, 1);
+  EXPECT_NEAR(loss.item(), std::log(2.0f), 1e-5f);
+}
+
+TEST(TensorTest, SoftmaxCrossEntropyGradients) {
+  Rng rng(27);
+  Tensor logits = RandTensor(1, 4, rng);
+  CheckGradients({logits}, [&]() { return SoftmaxCrossEntropy(logits, 2); });
+}
+
+TEST(TensorTest, SigmoidBceGradients) {
+  Rng rng(28);
+  Tensor logits = RandTensor(1, 5, rng);
+  std::vector<float> targets = {1, 0, 1, 1, 0};
+  CheckGradients({logits}, [&]() { return SigmoidBceLoss(logits, targets); });
+}
+
+TEST(TensorTest, WeightedMseRespectsMask) {
+  Tensor pred = Tensor::FromData(1, 3, {1.0f, 5.0f, 2.0f}, true);
+  std::vector<float> targets = {0.0f, 0.0f, 1.0f};
+  std::vector<float> weights = {1.0f, 1.0f, 2.0f};
+  std::vector<float> mask = {1.0f, 0.0f, 1.0f};  // middle slot ignored
+  Tensor loss = WeightedMseLoss(pred, targets, weights, mask);
+  EXPECT_NEAR(loss.item(), (1.0f * 1.0f + 2.0f * 1.0f) / 2.0f, 1e-5f);
+}
+
+TEST(TensorTest, WeightedMseGradients) {
+  Rng rng(29);
+  Tensor pred = RandTensor(1, 4, rng);
+  std::vector<float> targets = {0.2f, 0.8f, 0.5f, 0.0f};
+  std::vector<float> weights = {0.9f, 0.1f, 0.5f, 1.0f};
+  std::vector<float> mask = {1.0f, 1.0f, 0.0f, 1.0f};
+  CheckGradients(
+      {pred}, [&]() { return WeightedMseLoss(pred, targets, weights, mask); });
+}
+
+TEST(TensorTest, BackwardAccumulatesThroughSharedSubgraph) {
+  // y = a*a used twice: gradients must accumulate, not overwrite.
+  Tensor a = Tensor::FromData(1, 1, {3.0f}, true);
+  Tensor sq = Mul(a, a);
+  Tensor total = Add(sq, sq);
+  total.Backward();
+  EXPECT_NEAR(a.grad()[0], 12.0f, 1e-4f);  // d(2a^2)/da = 4a
+}
+
+TEST(TensorTest, FrozenTensorGetsNoGradient) {
+  Tensor a = Tensor::FromData(1, 2, {1, 2}, true);
+  a.set_requires_grad(false);
+  Tensor b = Tensor::FromData(1, 2, {3, 4}, true);
+  Tensor loss = Sum(Mul(a, b));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 1.0f);
+}
+
+TEST(TensorTest, AttentionShapedCompositeGradients) {
+  // A miniature attention computation exercising several ops together.
+  Rng rng(30);
+  Tensor x = RandTensor(4, 6, rng, 0.5f);
+  Tensor wq = RandTensor(6, 6, rng, 0.4f);
+  Tensor wk = RandTensor(6, 6, rng, 0.4f);
+  Tensor wv = RandTensor(6, 6, rng, 0.4f);
+  CheckGradients({x, wq, wk, wv}, [&]() {
+    Tensor q = MatMul(x, wq);
+    Tensor k = MatMul(x, wk);
+    Tensor v = MatMul(x, wv);
+    Tensor scores = Scale(MatMul(q, Transpose(k)), 1.0f / 2.449f);
+    Tensor out = MatMul(Softmax(scores), v);
+    return Sum(Mul(out, out));
+  }, /*tolerance=*/5e-2f);
+}
+
+}  // namespace
+}  // namespace tailormatch::nn

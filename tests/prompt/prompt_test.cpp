@@ -1,0 +1,124 @@
+#include "prompt/prompt.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::prompt {
+namespace {
+
+data::EntityPair MakePair() {
+  data::EntityPair pair;
+  pair.left.surface = "jabra evolve 80 ms stereo";
+  pair.left.domain = data::Domain::kProduct;
+  pair.right.surface = "jabra evolve 80 uc";
+  pair.right.domain = data::Domain::kProduct;
+  pair.label = true;
+  return pair;
+}
+
+TEST(PromptTest, DefaultTemplateMatchesFigure2) {
+  data::EntityPair pair = MakePair();
+  const std::string text = RenderPrompt(PromptTemplate::kDefault, pair);
+  EXPECT_NE(text.find("Do the two entity descriptions refer to the same "
+                      "real-world product?"),
+            std::string::npos);
+  EXPECT_NE(text.find("Entity 1: jabra evolve 80 ms stereo"),
+            std::string::npos);
+  EXPECT_NE(text.find("Entity 2: jabra evolve 80 uc"), std::string::npos);
+}
+
+TEST(PromptTest, ScholarDomainUsesEntityNoun) {
+  const std::string text =
+      InstructionText(PromptTemplate::kDefault, data::Domain::kScholar);
+  EXPECT_EQ(text.find("product"), std::string::npos);
+  EXPECT_NE(text.find("entity"), std::string::npos);
+}
+
+TEST(PromptTest, ForceVariantsAppendAnswerInstruction) {
+  for (PromptTemplate tmpl :
+       {PromptTemplate::kComplexForce, PromptTemplate::kSimpleForce}) {
+    const std::string text = InstructionText(tmpl, data::Domain::kProduct);
+    EXPECT_NE(text.find("Answer with 'Yes'"), std::string::npos)
+        << PromptTemplateName(tmpl);
+  }
+}
+
+TEST(PromptTest, SimpleVariantsAreShorter) {
+  const std::string simple =
+      InstructionText(PromptTemplate::kSimpleFree, data::Domain::kProduct);
+  const std::string complex_prompt =
+      InstructionText(PromptTemplate::kComplexForce, data::Domain::kProduct);
+  EXPECT_LT(simple.size(), complex_prompt.size());
+}
+
+TEST(PromptTest, AllTemplatesDistinct) {
+  data::EntityPair pair = MakePair();
+  std::set<std::string> rendered;
+  for (PromptTemplate tmpl : AllPromptTemplates()) {
+    rendered.insert(RenderPrompt(tmpl, pair));
+  }
+  EXPECT_EQ(rendered.size(), 4u);
+}
+
+TEST(PromptTest, CompletionRendering) {
+  EXPECT_EQ(RenderCompletion(true), "Yes.");
+  EXPECT_EQ(RenderCompletion(false), "No.");
+}
+
+TEST(ParseYesNoTest, PlainAnswers) {
+  bool label = false;
+  EXPECT_TRUE(ParseYesNo("Yes.", &label));
+  EXPECT_TRUE(label);
+  EXPECT_TRUE(ParseYesNo("No.", &label));
+  EXPECT_FALSE(label);
+}
+
+TEST(ParseYesNoTest, CaseInsensitive) {
+  bool label = false;
+  EXPECT_TRUE(ParseYesNo("YES", &label));
+  EXPECT_TRUE(label);
+  EXPECT_TRUE(ParseYesNo("no", &label));
+  EXPECT_FALSE(label);
+}
+
+TEST(ParseYesNoTest, EmbeddedInSentence) {
+  bool label = false;
+  EXPECT_TRUE(ParseYesNo(
+      "Yes, the two descriptions refer to the same product.", &label));
+  EXPECT_TRUE(label);
+  EXPECT_TRUE(ParseYesNo("I believe the answer is no here.", &label));
+  EXPECT_FALSE(label);
+}
+
+TEST(ParseYesNoTest, YesTakesPrecedence) {
+  // Narayan-style parsing scans for "yes" first.
+  bool label = false;
+  EXPECT_TRUE(ParseYesNo("Yes. There is no doubt about it.", &label));
+  EXPECT_TRUE(label);
+}
+
+TEST(ParseYesNoTest, NoVerdictDetected) {
+  bool label = true;
+  EXPECT_FALSE(ParseYesNo("The descriptions are ambiguous.", &label));
+  EXPECT_FALSE(ParseYesNo("", &label));
+}
+
+TEST(ParseYesNoTest, DoesNotMatchInsideWords) {
+  bool label = false;
+  // "nominal" contains "no" but not as a word; "eyes" contains "yes".
+  EXPECT_FALSE(ParseYesNo("nominal eyes", &label));
+}
+
+TEST(PromptTest, TemplateNames) {
+  EXPECT_STREQ(PromptTemplateName(PromptTemplate::kDefault), "default");
+  EXPECT_STREQ(PromptTemplateName(PromptTemplate::kSimpleFree),
+               "simple-free");
+  EXPECT_STREQ(PromptTemplateName(PromptTemplate::kComplexForce),
+               "complex-force");
+  EXPECT_STREQ(PromptTemplateName(PromptTemplate::kSimpleForce),
+               "simple-force");
+}
+
+}  // namespace
+}  // namespace tailormatch::prompt

@@ -1,0 +1,75 @@
+#include "select/active.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+
+namespace tailormatch::select {
+namespace {
+
+llm::SimLlm TinyModel() {
+  std::vector<std::string> corpus = {
+      "do the two entity descriptions refer to the same real-world product",
+      "entity 1: alpha beta 12 entity 2: gamma delta 34",
+  };
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  return llm::SimLlm(config, std::move(tokenizer));
+}
+
+TEST(ActiveSelectionTest, RankingIsByUncertainty) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset pool =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.04).train;
+  UncertaintySelectionOptions options;
+  std::vector<int> order = RankPoolByUncertainty(model, pool.pairs, options);
+  ASSERT_EQ(order.size(), pool.pairs.size());
+  auto uncertainty = [&](int index) {
+    const double p = model.PredictMatchProbability(prompt::RenderPrompt(
+        options.prompt_template, pool.pairs[static_cast<size_t>(index)]));
+    return std::abs(p - 0.5);
+  };
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(uncertainty(order[i - 1]), uncertainty(order[i]) + 1e-12);
+  }
+}
+
+TEST(ActiveSelectionTest, RankingIsAPermutation) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset pool =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.04).train;
+  std::vector<int> order =
+      RankPoolByUncertainty(model, pool.pairs, UncertaintySelectionOptions{});
+  std::set<int> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), pool.pairs.size());
+}
+
+TEST(ActiveSelectionTest, BudgetRespected) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset pool =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.04).train;
+  UncertaintySelectionOptions options;
+  options.budget = 10;
+  std::vector<data::EntityPair> selected =
+      SelectUncertainExamples(model, pool.pairs, options);
+  EXPECT_EQ(selected.size(), 10u);
+}
+
+TEST(ActiveSelectionTest, BudgetLargerThanPool) {
+  llm::SimLlm model = TinyModel();
+  data::Dataset pool =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.02).train;
+  UncertaintySelectionOptions options;
+  options.budget = 1000000;
+  EXPECT_EQ(SelectUncertainExamples(model, pool.pairs, options).size(),
+            pool.pairs.size());
+}
+
+}  // namespace
+}  // namespace tailormatch::select

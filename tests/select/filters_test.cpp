@@ -1,0 +1,75 @@
+#include "select/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_factory.h"
+
+namespace tailormatch::select {
+namespace {
+
+TEST(FiltersTest, ErrorBasedFilterRemovesMislabeledPairs) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.2);
+  llm::TeacherLlm teacher;
+  data::Dataset filtered = ErrorBasedFilter(benchmark.train, teacher);
+  EXPECT_LT(filtered.size(), benchmark.train.size());
+  EXPECT_GT(filtered.size(), benchmark.train.size() / 2);
+
+  // The fraction of noise-flipped labels must drop after filtering.
+  auto noise_rate = [](const data::Dataset& dataset) {
+    int noisy = 0;
+    for (const data::EntityPair& pair : dataset.pairs) {
+      if (pair.label != (pair.left.entity_id == pair.right.entity_id)) {
+        ++noisy;
+      }
+    }
+    return static_cast<double>(noisy) / dataset.size();
+  };
+  EXPECT_LT(noise_rate(filtered), noise_rate(benchmark.train));
+}
+
+TEST(FiltersTest, RelevancyFilterKeepsCornerCases) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.2);
+  llm::TeacherLlm teacher;
+  data::Dataset filtered = RelevancyFilter(benchmark.train, teacher);
+  EXPECT_LT(filtered.size(), benchmark.train.size());
+  // "Interesting" pairs are predominantly corner-case-like; the easy
+  // negatives (random product vs random product) are what gets dropped.
+  const double corner_before =
+      static_cast<double>(benchmark.train.CountCornerCases()) /
+      benchmark.train.size();
+  const double corner_after =
+      static_cast<double>(filtered.CountCornerCases()) / filtered.size();
+  EXPECT_GT(corner_after, corner_before);
+}
+
+TEST(FiltersTest, RelevancyAfterErrorFilterShrinksFurther) {
+  // The paper's WDC-filtered-rel: 2500 -> 2006 -> 608.
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.2);
+  llm::TeacherLlm teacher;
+  data::Dataset filtered = ErrorBasedFilter(benchmark.train, teacher);
+  data::Dataset relevant = RelevancyFilter(filtered, teacher);
+  EXPECT_LT(relevant.size(), filtered.size());
+  EXPECT_GT(relevant.size(), 0);
+}
+
+TEST(FiltersTest, FilterPreservesDomainAndNames) {
+  data::Benchmark benchmark =
+      data::BuildBenchmark(data::BenchmarkId::kDblpAcm, 0.05);
+  llm::TeacherLlm teacher;
+  data::Dataset filtered = ErrorBasedFilter(benchmark.train, teacher);
+  EXPECT_EQ(filtered.domain, data::Domain::kScholar);
+  EXPECT_NE(filtered.name.find("filtered"), std::string::npos);
+}
+
+TEST(FiltersTest, EmptyInputYieldsEmptyOutput) {
+  data::Dataset empty;
+  llm::TeacherLlm teacher;
+  EXPECT_EQ(ErrorBasedFilter(empty, teacher).size(), 0);
+  EXPECT_EQ(RelevancyFilter(empty, teacher).size(), 0);
+}
+
+}  // namespace
+}  // namespace tailormatch::select

@@ -1,0 +1,135 @@
+#include "select/generation.h"
+
+#include <gtest/gtest.h>
+
+#include "select/filters.h"
+
+namespace tailormatch::select {
+namespace {
+
+data::Dataset SeedSet() {
+  return data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.1).train;
+}
+
+TEST(GenerationTest, ProducesFourPerSeed) {
+  data::Dataset seeds = SeedSet();
+  GenerationOptions options;
+  options.method = GenerationMethod::kDetailed;
+  std::vector<data::EntityPair> generated =
+      GenerateExamples(seeds.pairs, data::GetBenchmarkSpec(
+                                        data::BenchmarkId::kWdcSmall),
+                       options);
+  EXPECT_EQ(generated.size(), seeds.pairs.size() * 4);
+}
+
+TEST(GenerationTest, LabelRatioRoughlyOneToThree) {
+  data::Dataset seeds = SeedSet();
+  GenerationOptions options;
+  std::vector<data::EntityPair> generated =
+      GenerateExamples(seeds.pairs, data::GetBenchmarkSpec(
+                                        data::BenchmarkId::kWdcSmall),
+                       options);
+  int positives = 0;
+  for (const data::EntityPair& pair : generated) {
+    positives += pair.label ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(positives) / generated.size(), 0.25, 0.02);
+}
+
+TEST(GenerationTest, BriefMethodHasMoreLabelErrors) {
+  // Section 5.2's inspection: the brief prompt "often produces matching
+  // examples that are easy non-matches".
+  data::Dataset seeds = SeedSet();
+  const data::BenchmarkSpec spec =
+      data::GetBenchmarkSpec(data::BenchmarkId::kWdcSmall);
+  auto mislabel_rate = [&](GenerationMethod method) {
+    GenerationOptions options;
+    options.method = method;
+    std::vector<data::EntityPair> generated =
+        GenerateExamples(seeds.pairs, spec, options);
+    int wrong = 0, positives = 0;
+    for (const data::EntityPair& pair : generated) {
+      if (!pair.label) continue;
+      ++positives;
+      if (pair.left.entity_id != pair.right.entity_id) ++wrong;
+    }
+    return static_cast<double>(wrong) / positives;
+  };
+  EXPECT_GT(mislabel_rate(GenerationMethod::kBrief),
+            mislabel_rate(GenerationMethod::kDemonstration));
+}
+
+TEST(GenerationTest, GeneratedEntitiesAreFresh) {
+  // Generated pairs must not collide with real benchmark entity ids.
+  data::Dataset seeds = SeedSet();
+  GenerationOptions options;
+  std::vector<data::EntityPair> generated =
+      GenerateExamples(seeds.pairs, data::GetBenchmarkSpec(
+                                        data::BenchmarkId::kWdcSmall),
+                       options);
+  std::set<uint64_t> seed_ids;
+  for (const data::EntityPair& pair : seeds.pairs) {
+    seed_ids.insert(pair.left.entity_id);
+    seed_ids.insert(pair.right.entity_id);
+  }
+  for (const data::EntityPair& pair : generated) {
+    EXPECT_EQ(seed_ids.count(pair.left.entity_id), 0u);
+  }
+}
+
+TEST(GenerationTest, SyntheticSetIncludesSeedsAndScalesUp) {
+  data::Dataset seeds = SeedSet();
+  data::Dataset synthetic = BuildSyntheticSet(
+      seeds, data::GetBenchmarkSpec(data::BenchmarkId::kWdcSmall));
+  // Table 4: Syn is ~8x the seed set (20,140 vs 2,500).
+  const double ratio =
+      static_cast<double>(synthetic.size()) / seeds.size();
+  EXPECT_GT(ratio, 6.5);
+  EXPECT_LT(ratio, 9.5);
+}
+
+TEST(GenerationTest, SynFilteredShrinksLikeTable4) {
+  // Table 4: Syn 20,140 -> Syn-filtered 13,824 (~69%) -> Syn-filtered-rel
+  // 8,900 (~64% of that).
+  data::Dataset seeds = SeedSet();
+  data::Dataset synthetic = BuildSyntheticSet(
+      seeds, data::GetBenchmarkSpec(data::BenchmarkId::kWdcSmall));
+  llm::TeacherLlm teacher;
+  data::Dataset filtered = ErrorBasedFilter(synthetic, teacher);
+  data::Dataset relevant = RelevancyFilter(filtered, teacher);
+  const double keep1 = static_cast<double>(filtered.size()) / synthetic.size();
+  const double keep2 = static_cast<double>(relevant.size()) / filtered.size();
+  EXPECT_GT(keep1, 0.5);
+  EXPECT_LT(keep1, 0.95);
+  EXPECT_GT(keep2, 0.3);
+  EXPECT_LT(keep2, 0.95);
+}
+
+TEST(GenerationTest, DeterministicForSeed) {
+  data::Dataset seeds = SeedSet();
+  GenerationOptions options;
+  options.seed = 77;
+  auto a = GenerateExamples(seeds.pairs,
+                            data::GetBenchmarkSpec(
+                                data::BenchmarkId::kWdcSmall),
+                            options);
+  auto b = GenerateExamples(seeds.pairs,
+                            data::GetBenchmarkSpec(
+                                data::BenchmarkId::kWdcSmall),
+                            options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].left.surface, b[i].left.surface);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+TEST(GenerationTest, MethodNames) {
+  EXPECT_STREQ(GenerationMethodName(GenerationMethod::kBrief), "brief");
+  EXPECT_STREQ(GenerationMethodName(GenerationMethod::kDetailed), "detailed");
+  EXPECT_STREQ(GenerationMethodName(GenerationMethod::kDemonstration),
+               "demonstration");
+}
+
+}  // namespace
+}  // namespace tailormatch::select

@@ -1,0 +1,86 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::text {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+}
+
+TEST(NormalizedLevenshteinTest, Bounds) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
+  EXPECT_NEAR(NormalizedLevenshtein("abcd", "wxyz"), 0.0, 1e-9);
+  const double partial = NormalizedLevenshtein("jabra", "jbara");
+  EXPECT_GT(partial, 0.4);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(JaroWinklerTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  // Shared prefix should score higher than the same edits elsewhere.
+  EXPECT_GT(JaroWinkler("prefixed", "prefixes"),
+            JaroWinkler("xprefied", "sprefixe"));
+}
+
+TEST(JaroWinklerTest, TypoStillHigh) {
+  EXPECT_GT(JaroWinkler("cassette", "cassete"), 0.9);
+  EXPECT_GT(JaroWinkler("velodyne", "veloodyne"), 0.9);
+}
+
+TEST(TokenJaccardTest, OverlapFractions) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "c d"), 0.0);
+  EXPECT_NEAR(TokenJaccard("a b c", "b c d"), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+}
+
+TEST(TrigramDiceTest, Basics) {
+  EXPECT_DOUBLE_EQ(TrigramDice("", ""), 1.0);
+  EXPECT_GT(TrigramDice("stereo", "stereo"), 0.99);
+  EXPECT_LT(TrigramDice("stereo", "wireless"), 0.4);
+}
+
+TEST(NumericSimilarityTest, Values) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("80", "80"), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("abc", "80"), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("", "80"), 0.0);
+  EXPECT_NEAR(NumericSimilarity("100", "90"), 0.9, 1e-9);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("0", "0"), 1.0);
+}
+
+TEST(HybridSimilarityTest, OrderingSane) {
+  const double identical = HybridSimilarity("jabra evolve 80", "jabra evolve 80");
+  const double variant =
+      HybridSimilarity("jabra evolve 80 ms stereo", "jabra evolve 80 uc");
+  const double different =
+      HybridSimilarity("jabra evolve 80", "sram pg 730 cassette");
+  EXPECT_GT(identical, variant);
+  EXPECT_GT(variant, different);
+}
+
+TEST(SharedTokensTest, ReturnsIntersectionInOrder) {
+  std::vector<std::string> shared =
+      SharedTokens("jabra evolve 80 stereo", "evolve 80 jabra uc");
+  EXPECT_EQ(shared, (std::vector<std::string>{"jabra", "evolve", "80"}));
+}
+
+TEST(SharedTokensTest, NoDuplicates) {
+  std::vector<std::string> shared = SharedTokens("a a a b", "a b");
+  EXPECT_EQ(shared, (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace tailormatch::text

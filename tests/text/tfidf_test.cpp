@@ -1,0 +1,94 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::text {
+namespace {
+
+std::vector<std::string> Corpus() {
+  return {
+      "jabra evolve headset stereo",
+      "jabra elite earbuds wireless",
+      "sram cassette bike part",
+      "sram chainring bike part",
+      "logitech mouse wireless",
+  };
+}
+
+TEST(TfidfTest, EmbedIsUnitNorm) {
+  TfidfEmbedder embedder;
+  embedder.Fit(Corpus());
+  SparseVector v = embedder.Embed("jabra evolve headset");
+  double norm = 0.0;
+  for (auto& [term, weight] : v) norm += weight * weight;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(TfidfTest, CosineSelfIsOne) {
+  TfidfEmbedder embedder;
+  embedder.Fit(Corpus());
+  SparseVector v = embedder.Embed("sram cassette bike");
+  EXPECT_NEAR(TfidfEmbedder::Cosine(v, v), 1.0, 1e-5);
+}
+
+TEST(TfidfTest, UnseenTermsIgnored) {
+  TfidfEmbedder embedder;
+  embedder.Fit(Corpus());
+  SparseVector v = embedder.Embed("zzz qqq www");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(TfidfTest, RareTermsWeighMore) {
+  TfidfEmbedder embedder;
+  embedder.Fit(Corpus());
+  // "headset" appears once, "bike" twice; similarity driven by rare terms.
+  const double rare = TfidfEmbedder::Cosine(embedder.Embed("headset"),
+                                            embedder.Embed("headset bike"));
+  const double common = TfidfEmbedder::Cosine(embedder.Embed("bike"),
+                                              embedder.Embed("headset bike"));
+  EXPECT_GT(rare, common);
+}
+
+TEST(NearestNeighborTest, FindsExactMatchFirst) {
+  TfidfEmbedder embedder;
+  embedder.Fit(Corpus());
+  NearestNeighborIndex index(&embedder);
+  index.AddAll(Corpus());
+  std::vector<int> hits = index.Query("jabra evolve headset stereo", 2);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0], 0);
+}
+
+TEST(NearestNeighborTest, ExcludeSkipsIndex) {
+  TfidfEmbedder embedder;
+  embedder.Fit(Corpus());
+  NearestNeighborIndex index(&embedder);
+  index.AddAll(Corpus());
+  std::vector<int> hits = index.Query("jabra evolve headset stereo", 2,
+                                      /*exclude=*/0);
+  for (int hit : hits) EXPECT_NE(hit, 0);
+}
+
+TEST(NearestNeighborTest, KLargerThanIndex) {
+  TfidfEmbedder embedder;
+  embedder.Fit(Corpus());
+  NearestNeighborIndex index(&embedder);
+  index.Add("jabra evolve");
+  std::vector<int> hits = index.Query("jabra", 10);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(NearestNeighborTest, SemanticNeighborsRankAboveUnrelated) {
+  TfidfEmbedder embedder;
+  embedder.Fit(Corpus());
+  NearestNeighborIndex index(&embedder);
+  index.AddAll(Corpus());
+  std::vector<int> hits = index.Query("sram bike cassette", 5);
+  ASSERT_GE(hits.size(), 2u);
+  // The two sram/bike documents (2, 3) should come first in some order.
+  EXPECT_TRUE((hits[0] == 2 && hits[1] == 3) ||
+              (hits[0] == 3 && hits[1] == 2));
+}
+
+}  // namespace
+}  // namespace tailormatch::text

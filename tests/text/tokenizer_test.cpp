@@ -1,0 +1,142 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::text {
+namespace {
+
+std::vector<std::string> Corpus() {
+  return {
+      "jabra evolve 80 ms stereo headset",
+      "jabra evolve 80 uc stereo skype",
+      "sram pg-730 cassette 7sp 12-32t",
+      "sram pg-1130 cassette 11sp 11-36t",
+      "logitech mx master 3 wireless mouse",
+      "jabra elite 75t earbuds",
+      "sram red axs groupset",
+      "evolve 65 headset jabra",
+  };
+}
+
+Tokenizer Trained() {
+  Tokenizer tokenizer;
+  tokenizer.Train(Corpus(), /*max_vocab=*/2000, /*min_count=*/2);
+  return tokenizer;
+}
+
+TEST(PreTokenizeTest, SplitsLettersDigitsPunct) {
+  EXPECT_EQ(PreTokenize("Jabra EVOLVE-80 (7899)"),
+            (std::vector<std::string>{"jabra", "evolve", "-", "80", "(",
+                                      "7899", ")"}));
+}
+
+TEST(PreTokenizeTest, SplitsLetterDigitBoundary) {
+  EXPECT_EQ(PreTokenize("pg730"), (std::vector<std::string>{"pg", "730"}));
+  EXPECT_EQ(PreTokenize("7sp"), (std::vector<std::string>{"7", "sp"}));
+}
+
+TEST(PreTokenizeTest, EmptyAndWhitespace) {
+  EXPECT_TRUE(PreTokenize("").empty());
+  EXPECT_TRUE(PreTokenize("   \t\n").empty());
+}
+
+TEST(TokenizerTest, FrequentWordsGetWholeTokens) {
+  Tokenizer tokenizer = Trained();
+  EXPECT_TRUE(tokenizer.vocab().HasToken("jabra"));
+  EXPECT_TRUE(tokenizer.vocab().HasToken("evolve"));
+  EXPECT_TRUE(tokenizer.vocab().HasToken("cassette"));
+}
+
+TEST(TokenizerTest, DigitsAlwaysMapToBuckets) {
+  Tokenizer tokenizer = Trained();
+  std::vector<int> a = tokenizer.Encode("80");
+  std::vector<int> b = tokenizer.Encode("80");
+  std::vector<int> c = tokenizer.Encode("81");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a, b);                       // stable
+  EXPECT_TRUE(Tokenizer::IsDigitBucketId(a[0]));
+  EXPECT_NE(a[0], c[0]);                 // different numbers, different ids
+}
+
+TEST(TokenizerTest, UnseenNumberStillBuckets) {
+  Tokenizer tokenizer = Trained();
+  std::vector<int> ids = tokenizer.Encode("987654");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_TRUE(Tokenizer::IsDigitBucketId(ids[0]));
+}
+
+TEST(TokenizerTest, UnknownWordDecomposesToPieces) {
+  Tokenizer tokenizer = Trained();
+  std::vector<int> ids = tokenizer.Encode("zzqxv");
+  EXPECT_GE(ids.size(), 1u);
+  for (int id : ids) {
+    EXPECT_NE(id, Vocab::kUnkId);  // char pieces always available
+  }
+}
+
+TEST(TokenizerTest, EncodeForModelAddsSpecials) {
+  Tokenizer tokenizer = Trained();
+  std::vector<int> ids = tokenizer.EncodeForModel("jabra evolve", 16);
+  ASSERT_GE(ids.size(), 3u);
+  EXPECT_EQ(ids.front(), Vocab::kClsId);
+  EXPECT_EQ(ids.back(), Vocab::kSepId);
+}
+
+TEST(TokenizerTest, EncodeForModelTruncates) {
+  Tokenizer tokenizer = Trained();
+  std::string lengthy;
+  for (int i = 0; i < 100; ++i) lengthy += "jabra evolve ";
+  std::vector<int> ids = tokenizer.EncodeForModel(lengthy, 10);
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_EQ(ids.back(), Vocab::kSepId);
+}
+
+TEST(TokenizerTest, DecodeRoundTripsKnownWords) {
+  Tokenizer tokenizer = Trained();
+  std::vector<int> ids = tokenizer.Encode("jabra evolve cassette");
+  EXPECT_EQ(tokenizer.Decode(ids), "jabra evolve cassette");
+}
+
+TEST(TokenizerTest, FromVocabTokensPreservesIds) {
+  Tokenizer original = Trained();
+  Tokenizer restored = Tokenizer::FromVocabTokens(original.vocab().tokens());
+  EXPECT_EQ(restored.vocab_size(), original.vocab_size());
+  const std::string text = "jabra evolve 80 pg-730 zzqxv";
+  EXPECT_EQ(restored.Encode(text), original.Encode(text));
+}
+
+TEST(TokenizerTest, VocabSizeRespectsCap) {
+  std::vector<std::string> big_corpus;
+  for (int i = 0; i < 500; ++i) {
+    big_corpus.push_back("word" + std::to_string(i) + "x unique" +
+                         std::to_string(i) + "y");
+  }
+  big_corpus.insert(big_corpus.end(), big_corpus.begin(), big_corpus.end());
+  Tokenizer tokenizer;
+  tokenizer.Train(big_corpus, /*max_vocab=*/900, /*min_count=*/2);
+  EXPECT_LE(tokenizer.vocab_size(), 900);
+}
+
+TEST(VocabTest, SpecialTokensFirst) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.GetToken(Vocab::kPadId), "[PAD]");
+  EXPECT_EQ(vocab.GetToken(Vocab::kUnkId), "[UNK]");
+  EXPECT_EQ(vocab.GetToken(Vocab::kClsId), "[CLS]");
+  EXPECT_EQ(vocab.GetToken(Vocab::kSepId), "[SEP]");
+}
+
+TEST(VocabTest, AddTokenIdempotent) {
+  Vocab vocab;
+  const int first = vocab.AddToken("hello");
+  const int second = vocab.AddToken("hello");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(vocab.GetId("hello"), first);
+}
+
+TEST(VocabTest, UnknownReturnsUnk) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.GetId("nonexistent"), Vocab::kUnkId);
+}
+
+}  // namespace
+}  // namespace tailormatch::text

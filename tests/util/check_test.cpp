@@ -1,0 +1,28 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace tailormatch {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  TM_CHECK(true) << "never shown";
+  TM_CHECK_EQ(1, 1);
+  TM_CHECK_LT(1, 2);
+  TM_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(TM_CHECK(false) << "boom", "TM_CHECK failed.*boom");
+}
+
+TEST(CheckDeathTest, FailingComparisonAborts) {
+  EXPECT_DEATH(TM_CHECK_EQ(1, 2), "TM_CHECK failed");
+}
+
+TEST(CheckDeathTest, FatalAborts) {
+  EXPECT_DEATH(TM_FATAL() << "unreachable", "unreachable");
+}
+
+}  // namespace
+}  // namespace tailormatch

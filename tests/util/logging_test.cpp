@@ -1,0 +1,34 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tailormatch {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  TM_LOG(Debug) << "below threshold " << 42 << " " << 3.14;
+  TM_LOG(Info) << "also below threshold";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamsArbitraryTypes) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // keep test output clean
+  TM_LOG(Warning) << "string " << std::string("value") << " int " << 7
+                  << " double " << 2.5 << " bool " << true;
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace tailormatch

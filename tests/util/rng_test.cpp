@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int value = rng.NextInt(-2, 3);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 3);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(6);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(9);
+  std::vector<size_t> sample = rng.SampleIndices(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t index : sample) EXPECT_LT(index, 100u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(10);
+  Rng child = parent.Fork(1);
+  Rng parent2(10);
+  Rng child2 = parent2.Fork(1);
+  EXPECT_EQ(child.NextU64(), child2.NextU64());  // deterministic fork
+  Rng other = parent.Fork(2);
+  EXPECT_NE(child.NextU64(), other.NextU64());
+}
+
+TEST(RngTest, ChoiceReturnsElementFromVector) {
+  Rng rng(11);
+  std::vector<int> items = {5, 6, 7};
+  for (int i = 0; i < 50; ++i) {
+    const int value = rng.Choice(items);
+    EXPECT_TRUE(value == 5 || value == 6 || value == 7);
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch

@@ -1,0 +1,90 @@
+#include "util/serialize.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch {
+namespace {
+
+TEST(SerializeTest, RoundTripScalars) {
+  BinaryWriter writer;
+  writer.WriteU32(123u);
+  writer.WriteU64(0xdeadbeefcafef00dULL);
+  writer.WriteI32(-42);
+  writer.WriteFloat(3.5f);
+  writer.WriteDouble(-2.25);
+  writer.WriteString("hello world");
+
+  BinaryReader reader(writer.buffer());
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  float f;
+  double d;
+  std::string s;
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI32(&i32).ok());
+  ASSERT_TRUE(reader.ReadFloat(&f).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  EXPECT_EQ(u32, 123u);
+  EXPECT_EQ(u64, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(i32, -42);
+  EXPECT_FLOAT_EQ(f, 3.5f);
+  EXPECT_DOUBLE_EQ(d, -2.25);
+  EXPECT_EQ(s, "hello world");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, RoundTripFloatVector) {
+  BinaryWriter writer;
+  writer.WriteFloatVector({1.0f, -2.0f, 0.5f});
+  BinaryReader reader(writer.buffer());
+  std::vector<float> values;
+  ASSERT_TRUE(reader.ReadFloatVector(&values).ok());
+  EXPECT_EQ(values, (std::vector<float>{1.0f, -2.0f, 0.5f}));
+}
+
+TEST(SerializeTest, TruncatedBufferFails) {
+  BinaryWriter writer;
+  writer.WriteU64(7);
+  BinaryReader reader(writer.buffer().substr(0, 3));
+  uint64_t value;
+  EXPECT_FALSE(reader.ReadU64(&value).ok());
+}
+
+TEST(SerializeTest, OversizedStringLengthFails) {
+  BinaryWriter writer;
+  writer.WriteU32(1000);  // claims 1000 bytes, provides none
+  BinaryReader reader(writer.buffer());
+  std::string value;
+  EXPECT_FALSE(reader.ReadString(&value).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_serialize_test.bin")
+          .string();
+  BinaryWriter writer;
+  writer.WriteString("persisted");
+  ASSERT_TRUE(writer.Flush(path).ok());
+  Result<BinaryReader> reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  std::string value;
+  ASSERT_TRUE(reader.value().ReadString(&value).ok());
+  EXPECT_EQ(value, "persisted");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  Result<BinaryReader> reader =
+      BinaryReader::FromFile("/nonexistent/definitely/missing.bin");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace tailormatch

@@ -1,0 +1,63 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace tailormatch {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("Jabra EVOLVE 80"), "jabra evolve 80");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("##piece", "##"));
+  EXPECT_FALSE(StartsWith("#piece", "##"));
+  EXPECT_TRUE(EndsWith("model.ckpt", ".ckpt"));
+  EXPECT_FALSE(EndsWith("ckpt", ".ckpt"));
+}
+
+TEST(StringUtilTest, Contains) {
+  EXPECT_TRUE(Contains("the answer is yes", "yes"));
+  EXPECT_FALSE(Contains("nope", "yes"));
+}
+
+TEST(StringUtilTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("The Answer Is YES.", "yes"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("ye", "yes"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "up"), "7-up");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%+.2f", -1.5), "-1.50");
+}
+
+}  // namespace
+}  // namespace tailormatch

@@ -1,0 +1,302 @@
+// tailormatch — command-line interface to the library.
+//
+//   tailormatch pretrain   --family llama8b [--out model.ckpt]
+//   tailormatch finetune   --family llama8b --benchmark wdc-small
+//                          [--style structured] [--filter] [--generate]
+//                          [--out model.ckpt]
+//   tailormatch evaluate   --model model.ckpt --benchmark wdc-small
+//                          [--prompt simple-force] [--by-corner]
+//   tailormatch match      --model model.ckpt --left "..." --right "..."
+//   tailormatch export     --benchmark wdc-small --split train
+//                          --format csv|jsonl --out pairs.csv
+//   tailormatch benchmarks | families
+//
+// Honors TM_SCALE / TM_EVAL_MAX / TM_EPOCHS / TM_CACHE_DIR.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/dataset_io.h"
+#include "eval/evaluator.h"
+#include "util/string_util.h"
+
+using namespace tailormatch;
+
+namespace {
+
+// Minimal --flag / --flag value parser.
+class ArgMap {
+ public:
+  ArgMap(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        ok_ = false;
+        continue;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+std::optional<llm::ModelFamily> ParseFamily(const std::string& name) {
+  for (llm::ModelFamily family : llm::AllModelFamilies()) {
+    std::string full = llm::ModelFamilyName(family);  // e.g. llama8b-sim
+    if (name == full || full.rfind(name + "-", 0) == 0) return family;
+  }
+  return std::nullopt;
+}
+
+std::optional<data::BenchmarkId> ParseBenchmark(const std::string& name) {
+  static const std::map<std::string, data::BenchmarkId> kNames = {
+      {"wdc-small", data::BenchmarkId::kWdcSmall},
+      {"wdc-medium", data::BenchmarkId::kWdcMedium},
+      {"wdc-large", data::BenchmarkId::kWdcLarge},
+      {"abt-buy", data::BenchmarkId::kAbtBuy},
+      {"amazon-google", data::BenchmarkId::kAmazonGoogle},
+      {"walmart-amazon", data::BenchmarkId::kWalmartAmazon},
+      {"dblp-acm", data::BenchmarkId::kDblpAcm},
+      {"dblp-scholar", data::BenchmarkId::kDblpScholar},
+  };
+  auto it = kNames.find(name);
+  if (it == kNames.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<prompt::PromptTemplate> ParsePrompt(const std::string& name) {
+  for (prompt::PromptTemplate tmpl : prompt::AllPromptTemplates()) {
+    if (name == prompt::PromptTemplateName(tmpl)) return tmpl;
+  }
+  return std::nullopt;
+}
+
+std::optional<explain::ExplanationStyle> ParseStyle(const std::string& name) {
+  for (explain::ExplanationStyle style : explain::AllExplanationStyles()) {
+    if (name == explain::ExplanationStyleName(style)) return style;
+  }
+  return std::nullopt;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tailormatch <command> [options]\n"
+      "commands:\n"
+      "  pretrain   --family F [--out PATH]\n"
+      "  finetune   --family F --benchmark B [--style S] [--filter]\n"
+      "             [--relevancy] [--generate] [--replay FRAC] [--out PATH]\n"
+      "  evaluate   --model PATH --benchmark B [--prompt P] [--by-corner]\n"
+      "  match      --model PATH --left TEXT --right TEXT [--scholar]\n"
+      "  export     --benchmark B [--split train|valid|test]\n"
+      "             [--format csv|jsonl] --out PATH\n"
+      "  benchmarks | families\n");
+  return 2;
+}
+
+int CmdPretrain(const ArgMap& args) {
+  auto family = ParseFamily(args.Get("family", "llama8b"));
+  if (!family) return Usage();
+  auto model = llm::GetZeroShotModel(*family, llm::DefaultCacheDir());
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    Status status = model->SaveCheckpoint(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("zero-shot model ready (%s, vocab %d)%s%s\n",
+              model->config().family.c_str(),
+              model->tokenizer().vocab_size(), out.empty() ? "" : " -> ",
+              out.c_str());
+  return 0;
+}
+
+int CmdFinetune(const ArgMap& args) {
+  auto family = ParseFamily(args.Get("family", "llama8b"));
+  auto benchmark = ParseBenchmark(args.Get("benchmark", "wdc-small"));
+  if (!family || !benchmark) return Usage();
+  core::PipelineConfig config;
+  config.family = *family;
+  config.benchmark = *benchmark;
+  if (args.Has("style")) {
+    auto style = ParseStyle(args.Get("style", "structured"));
+    if (!style) return Usage();
+    config.explanation_style = *style;
+  }
+  config.error_based_filtering = args.Has("filter");
+  config.relevancy_filtering = args.Has("relevancy");
+  config.generate_examples = args.Has("generate");
+  core::PipelineReport report = core::RunPipeline(config);
+  std::printf("zero-shot F1 %.2f -> fine-tuned F1 %.2f (train %d -> %d "
+              "pairs, best epoch %d)\n",
+              report.zero_shot_f1, report.fine_tuned_f1,
+              report.original_train_size, report.final_train_size,
+              report.train_stats.best_epoch + 1);
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    Status status = report.model->SaveCheckpoint(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const ArgMap& args) {
+  auto benchmark_id = ParseBenchmark(args.Get("benchmark", "wdc-small"));
+  const std::string model_path = args.Get("model", "");
+  if (!benchmark_id || model_path.empty()) return Usage();
+  Result<std::unique_ptr<llm::SimLlm>> model =
+      llm::SimLlm::LoadCheckpoint(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  core::ExperimentContext context = core::ExperimentContext::FromEnv();
+  data::Benchmark benchmark =
+      data::BuildBenchmark(*benchmark_id, context.data_scale);
+  eval::EvalOptions options;
+  options.max_pairs = context.eval_max_pairs;
+  if (args.Has("prompt")) {
+    auto tmpl = ParsePrompt(args.Get("prompt", "default"));
+    if (!tmpl) return Usage();
+    options.prompt_template = *tmpl;
+  }
+  if (args.Has("by-corner")) {
+    eval::StratifiedEvalResult result =
+        eval::EvaluateByCornerCase(*model.value(), benchmark.test, options);
+    std::printf("overall  P %.2f R %.2f F1 %.2f (%d pairs)\n",
+                result.overall.metrics.precision,
+                result.overall.metrics.recall, result.overall.metrics.f1,
+                result.overall.counts.total());
+    std::printf("corner   P %.2f R %.2f F1 %.2f (%d pairs)\n",
+                result.corner.metrics.precision, result.corner.metrics.recall,
+                result.corner.metrics.f1, result.corner.counts.total());
+    std::printf("ordinary P %.2f R %.2f F1 %.2f (%d pairs)\n",
+                result.ordinary.metrics.precision,
+                result.ordinary.metrics.recall, result.ordinary.metrics.f1,
+                result.ordinary.counts.total());
+  } else {
+    eval::EvalResult result =
+        eval::EvaluateModel(*model.value(), benchmark.test, options);
+    std::printf("P %.2f R %.2f F1 %.2f (%d pairs, %d unparseable)\n",
+                result.metrics.precision, result.metrics.recall,
+                result.metrics.f1, result.counts.total(), result.unparseable);
+  }
+  return 0;
+}
+
+int CmdMatch(const ArgMap& args) {
+  const std::string model_path = args.Get("model", "");
+  const std::string left = args.Get("left", "");
+  const std::string right = args.Get("right", "");
+  if (model_path.empty() || left.empty() || right.empty()) return Usage();
+  Result<std::unique_ptr<llm::SimLlm>> model =
+      llm::SimLlm::LoadCheckpoint(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  core::Matcher matcher(std::shared_ptr<llm::SimLlm>(std::move(model).value()));
+  core::MatchDecision decision = matcher.Match(
+      left, right,
+      args.Has("scholar") ? data::Domain::kScholar : data::Domain::kProduct);
+  std::printf("%s\nverdict: %s (p=%.3f)\n", decision.response.c_str(),
+              decision.is_match ? "MATCH" : "NON-MATCH",
+              decision.probability);
+  return 0;
+}
+
+int CmdExport(const ArgMap& args) {
+  auto benchmark_id = ParseBenchmark(args.Get("benchmark", "wdc-small"));
+  const std::string out = args.Get("out", "");
+  if (!benchmark_id || out.empty()) return Usage();
+  core::ExperimentContext context = core::ExperimentContext::FromEnv();
+  data::Benchmark benchmark =
+      data::BuildBenchmark(*benchmark_id, context.data_scale);
+  const std::string split = args.Get("split", "train");
+  const data::Dataset* dataset = &benchmark.train;
+  if (split == "valid") dataset = &benchmark.valid;
+  if (split == "test") dataset = &benchmark.test;
+  Status status;
+  if (args.Get("format", "csv") == "jsonl") {
+    status = data::WriteFineTuningJsonl(
+        *dataset,
+        prompt::InstructionText(prompt::PromptTemplate::kDefault,
+                                dataset->domain),
+        out);
+  } else {
+    status = data::WritePairsCsv(*dataset, out);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("exported %d pairs -> %s\n", dataset->size(), out.c_str());
+  return 0;
+}
+
+int CmdBenchmarks() {
+  for (data::BenchmarkId id : data::AllBenchmarkIds()) {
+    const data::BenchmarkSpec spec = data::GetBenchmarkSpec(id);
+    std::printf("%-16s %-24s %s domain, %d/%d train pairs\n",
+                data::BenchmarkShortName(id), spec.name.c_str(),
+                data::DomainName(spec.domain), spec.train_pos,
+                spec.train_neg);
+  }
+  return 0;
+}
+
+int CmdFamilies() {
+  for (llm::ModelFamily family : llm::AllModelFamilies()) {
+    const llm::FamilyProfile profile = llm::GetFamilyProfile(family);
+    std::printf("%-16s dim %d, %d layers, LoRA r=%d, lr %g\n",
+                llm::ModelFamilyName(family), profile.config.dim,
+                profile.config.num_layers, profile.lora_rank,
+                profile.finetune_lr);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  ArgMap args(argc, argv, 2);
+  if (!args.ok()) return Usage();
+  if (command == "pretrain") return CmdPretrain(args);
+  if (command == "finetune") return CmdFinetune(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "match") return CmdMatch(args);
+  if (command == "export") return CmdExport(args);
+  if (command == "benchmarks") return CmdBenchmarks();
+  if (command == "families") return CmdFamilies();
+  return Usage();
+}
