@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_corner_cases.cc" "bench/CMakeFiles/bench_ablation_corner_cases.dir/ablation_corner_cases.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_corner_cases.dir/ablation_corner_cases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/tm_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/tm_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/tm_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/prompt/CMakeFiles/tm_prompt.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/tm_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

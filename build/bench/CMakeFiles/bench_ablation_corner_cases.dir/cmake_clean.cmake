@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_corner_cases.dir/ablation_corner_cases.cc.o"
+  "CMakeFiles/bench_ablation_corner_cases.dir/ablation_corner_cases.cc.o.d"
+  "bench_ablation_corner_cases"
+  "bench_ablation_corner_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_corner_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_full_vs_lora.dir/ablation_full_vs_lora.cc.o"
+  "CMakeFiles/bench_ablation_full_vs_lora.dir/ablation_full_vs_lora.cc.o.d"
+  "bench_ablation_full_vs_lora"
+  "bench_ablation_full_vs_lora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_full_vs_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

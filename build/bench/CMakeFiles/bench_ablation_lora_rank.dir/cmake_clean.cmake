@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lora_rank.dir/ablation_lora_rank.cc.o"
+  "CMakeFiles/bench_ablation_lora_rank.dir/ablation_lora_rank.cc.o.d"
+  "bench_ablation_lora_rank"
+  "bench_ablation_lora_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lora_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

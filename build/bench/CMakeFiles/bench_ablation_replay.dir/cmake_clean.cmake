@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_replay.dir/ablation_replay.cc.o"
+  "CMakeFiles/bench_ablation_replay.dir/ablation_replay.cc.o.d"
+  "bench_ablation_replay"
+  "bench_ablation_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_teacher_noise.dir/ablation_teacher_noise.cc.o"
+  "CMakeFiles/bench_ablation_teacher_noise.dir/ablation_teacher_noise.cc.o.d"
+  "bench_ablation_teacher_noise"
+  "bench_ablation_teacher_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_teacher_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

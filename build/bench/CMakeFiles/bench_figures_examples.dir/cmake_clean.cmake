@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figures_examples.dir/figures_examples.cc.o"
+  "CMakeFiles/bench_figures_examples.dir/figures_examples.cc.o.d"
+  "bench_figures_examples"
+  "bench_figures_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figures_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

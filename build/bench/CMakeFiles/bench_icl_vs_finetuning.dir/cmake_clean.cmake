@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_icl_vs_finetuning.dir/icl_vs_finetuning.cc.o"
+  "CMakeFiles/bench_icl_vs_finetuning.dir/icl_vs_finetuning.cc.o.d"
+  "bench_icl_vs_finetuning"
+  "bench_icl_vs_finetuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_icl_vs_finetuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_icl_vs_finetuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prompt_sensitivity.dir/prompt_sensitivity.cc.o"
+  "CMakeFiles/bench_prompt_sensitivity.dir/prompt_sensitivity.cc.o.d"
+  "bench_prompt_sensitivity"
+  "bench_prompt_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prompt_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

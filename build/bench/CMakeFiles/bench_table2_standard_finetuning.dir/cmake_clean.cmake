@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_standard_finetuning.dir/table2_standard_finetuning.cc.o"
+  "CMakeFiles/bench_table2_standard_finetuning.dir/table2_standard_finetuning.cc.o.d"
+  "bench_table2_standard_finetuning"
+  "bench_table2_standard_finetuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_standard_finetuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_explanations.dir/table3_explanations.cc.o"
+  "CMakeFiles/bench_table3_explanations.dir/table3_explanations.cc.o.d"
+  "bench_table3_explanations"
+  "bench_table3_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

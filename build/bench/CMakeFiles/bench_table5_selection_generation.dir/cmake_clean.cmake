@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_selection_generation.dir/table5_selection_generation.cc.o"
+  "CMakeFiles/bench_table5_selection_generation.dir/table5_selection_generation.cc.o.d"
+  "bench_table5_selection_generation"
+  "bench_table5_selection_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_selection_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_overview.dir/pipeline_overview.cpp.o"
+  "CMakeFiles/pipeline_overview.dir/pipeline_overview.cpp.o.d"
+  "pipeline_overview"
+  "pipeline_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scholar_citation_linkage.dir/scholar_citation_linkage.cpp.o"
+  "CMakeFiles/scholar_citation_linkage.dir/scholar_citation_linkage.cpp.o.d"
+  "scholar_citation_linkage"
+  "scholar_citation_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scholar_citation_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_block.dir/blocker.cc.o"
+  "CMakeFiles/tm_block.dir/blocker.cc.o.d"
+  "libtm_block.a"
+  "libtm_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_core.dir/batch_matcher.cc.o"
+  "CMakeFiles/tm_core.dir/batch_matcher.cc.o.d"
+  "CMakeFiles/tm_core.dir/experiment.cc.o"
+  "CMakeFiles/tm_core.dir/experiment.cc.o.d"
+  "CMakeFiles/tm_core.dir/fine_tuner.cc.o"
+  "CMakeFiles/tm_core.dir/fine_tuner.cc.o.d"
+  "CMakeFiles/tm_core.dir/matcher.cc.o"
+  "CMakeFiles/tm_core.dir/matcher.cc.o.d"
+  "CMakeFiles/tm_core.dir/pipeline.cc.o"
+  "CMakeFiles/tm_core.dir/pipeline.cc.o.d"
+  "libtm_core.a"
+  "libtm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

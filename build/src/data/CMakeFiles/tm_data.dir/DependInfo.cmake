@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/benchmark_factory.cc" "src/data/CMakeFiles/tm_data.dir/benchmark_factory.cc.o" "gcc" "src/data/CMakeFiles/tm_data.dir/benchmark_factory.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/tm_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/tm_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/entity.cc" "src/data/CMakeFiles/tm_data.dir/entity.cc.o" "gcc" "src/data/CMakeFiles/tm_data.dir/entity.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/tm_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/tm_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/perturb.cc" "src/data/CMakeFiles/tm_data.dir/perturb.cc.o" "gcc" "src/data/CMakeFiles/tm_data.dir/perturb.cc.o.d"
+  "/root/repo/src/data/word_pools.cc" "src/data/CMakeFiles/tm_data.dir/word_pools.cc.o" "gcc" "src/data/CMakeFiles/tm_data.dir/word_pools.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

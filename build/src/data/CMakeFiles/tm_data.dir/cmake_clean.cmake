@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_data.dir/benchmark_factory.cc.o"
+  "CMakeFiles/tm_data.dir/benchmark_factory.cc.o.d"
+  "CMakeFiles/tm_data.dir/dataset_io.cc.o"
+  "CMakeFiles/tm_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/tm_data.dir/entity.cc.o"
+  "CMakeFiles/tm_data.dir/entity.cc.o.d"
+  "CMakeFiles/tm_data.dir/generator.cc.o"
+  "CMakeFiles/tm_data.dir/generator.cc.o.d"
+  "CMakeFiles/tm_data.dir/perturb.cc.o"
+  "CMakeFiles/tm_data.dir/perturb.cc.o.d"
+  "CMakeFiles/tm_data.dir/word_pools.cc.o"
+  "CMakeFiles/tm_data.dir/word_pools.cc.o.d"
+  "libtm_data.a"
+  "libtm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

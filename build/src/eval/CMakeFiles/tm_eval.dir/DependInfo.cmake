@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/calibration.cc" "src/eval/CMakeFiles/tm_eval.dir/calibration.cc.o" "gcc" "src/eval/CMakeFiles/tm_eval.dir/calibration.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/eval/CMakeFiles/tm_eval.dir/evaluator.cc.o" "gcc" "src/eval/CMakeFiles/tm_eval.dir/evaluator.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/tm_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/tm_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/eval/CMakeFiles/tm_eval.dir/table_printer.cc.o" "gcc" "src/eval/CMakeFiles/tm_eval.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm/CMakeFiles/tm_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/prompt/CMakeFiles/tm_prompt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tm_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_eval.dir/calibration.cc.o"
+  "CMakeFiles/tm_eval.dir/calibration.cc.o.d"
+  "CMakeFiles/tm_eval.dir/evaluator.cc.o"
+  "CMakeFiles/tm_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/tm_eval.dir/metrics.cc.o"
+  "CMakeFiles/tm_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/tm_eval.dir/table_printer.cc.o"
+  "CMakeFiles/tm_eval.dir/table_printer.cc.o.d"
+  "libtm_eval.a"
+  "libtm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

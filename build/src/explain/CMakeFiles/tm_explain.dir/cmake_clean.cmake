@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_explain.dir/explanation.cc.o"
+  "CMakeFiles/tm_explain.dir/explanation.cc.o.d"
+  "libtm_explain.a"
+  "libtm_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

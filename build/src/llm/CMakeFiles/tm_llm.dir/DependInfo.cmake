@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/icl.cc" "src/llm/CMakeFiles/tm_llm.dir/icl.cc.o" "gcc" "src/llm/CMakeFiles/tm_llm.dir/icl.cc.o.d"
+  "/root/repo/src/llm/model_config.cc" "src/llm/CMakeFiles/tm_llm.dir/model_config.cc.o" "gcc" "src/llm/CMakeFiles/tm_llm.dir/model_config.cc.o.d"
+  "/root/repo/src/llm/pretrainer.cc" "src/llm/CMakeFiles/tm_llm.dir/pretrainer.cc.o" "gcc" "src/llm/CMakeFiles/tm_llm.dir/pretrainer.cc.o.d"
+  "/root/repo/src/llm/sim_llm.cc" "src/llm/CMakeFiles/tm_llm.dir/sim_llm.cc.o" "gcc" "src/llm/CMakeFiles/tm_llm.dir/sim_llm.cc.o.d"
+  "/root/repo/src/llm/teacher.cc" "src/llm/CMakeFiles/tm_llm.dir/teacher.cc.o" "gcc" "src/llm/CMakeFiles/tm_llm.dir/teacher.cc.o.d"
+  "/root/repo/src/llm/trainer.cc" "src/llm/CMakeFiles/tm_llm.dir/trainer.cc.o" "gcc" "src/llm/CMakeFiles/tm_llm.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/prompt/CMakeFiles/tm_prompt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

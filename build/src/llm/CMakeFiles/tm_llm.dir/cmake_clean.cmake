@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_llm.dir/icl.cc.o"
+  "CMakeFiles/tm_llm.dir/icl.cc.o.d"
+  "CMakeFiles/tm_llm.dir/model_config.cc.o"
+  "CMakeFiles/tm_llm.dir/model_config.cc.o.d"
+  "CMakeFiles/tm_llm.dir/pretrainer.cc.o"
+  "CMakeFiles/tm_llm.dir/pretrainer.cc.o.d"
+  "CMakeFiles/tm_llm.dir/sim_llm.cc.o"
+  "CMakeFiles/tm_llm.dir/sim_llm.cc.o.d"
+  "CMakeFiles/tm_llm.dir/teacher.cc.o"
+  "CMakeFiles/tm_llm.dir/teacher.cc.o.d"
+  "CMakeFiles/tm_llm.dir/trainer.cc.o"
+  "CMakeFiles/tm_llm.dir/trainer.cc.o.d"
+  "libtm_llm.a"
+  "libtm_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

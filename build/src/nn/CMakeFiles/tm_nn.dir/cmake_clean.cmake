@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_nn.dir/layers.cc.o"
+  "CMakeFiles/tm_nn.dir/layers.cc.o.d"
+  "CMakeFiles/tm_nn.dir/optimizer.cc.o"
+  "CMakeFiles/tm_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/tm_nn.dir/tensor.cc.o"
+  "CMakeFiles/tm_nn.dir/tensor.cc.o.d"
+  "libtm_nn.a"
+  "libtm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

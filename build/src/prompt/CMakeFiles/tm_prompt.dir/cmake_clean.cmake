@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_prompt.dir/prompt.cc.o"
+  "CMakeFiles/tm_prompt.dir/prompt.cc.o.d"
+  "libtm_prompt.a"
+  "libtm_prompt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_prompt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

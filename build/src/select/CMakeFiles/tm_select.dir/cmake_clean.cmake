@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_select.dir/active.cc.o"
+  "CMakeFiles/tm_select.dir/active.cc.o.d"
+  "CMakeFiles/tm_select.dir/error_selection.cc.o"
+  "CMakeFiles/tm_select.dir/error_selection.cc.o.d"
+  "CMakeFiles/tm_select.dir/filters.cc.o"
+  "CMakeFiles/tm_select.dir/filters.cc.o.d"
+  "CMakeFiles/tm_select.dir/generation.cc.o"
+  "CMakeFiles/tm_select.dir/generation.cc.o.d"
+  "libtm_select.a"
+  "libtm_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

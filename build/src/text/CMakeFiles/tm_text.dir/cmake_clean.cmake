@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_text.dir/similarity.cc.o"
+  "CMakeFiles/tm_text.dir/similarity.cc.o.d"
+  "CMakeFiles/tm_text.dir/tfidf.cc.o"
+  "CMakeFiles/tm_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/tm_text.dir/tokenizer.cc.o"
+  "CMakeFiles/tm_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/tm_text.dir/vocab.cc.o"
+  "CMakeFiles/tm_text.dir/vocab.cc.o.d"
+  "libtm_text.a"
+  "libtm_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_util.dir/logging.cc.o"
+  "CMakeFiles/tm_util.dir/logging.cc.o.d"
+  "CMakeFiles/tm_util.dir/serialize.cc.o"
+  "CMakeFiles/tm_util.dir/serialize.cc.o.d"
+  "CMakeFiles/tm_util.dir/status.cc.o"
+  "CMakeFiles/tm_util.dir/status.cc.o.d"
+  "CMakeFiles/tm_util.dir/string_util.cc.o"
+  "CMakeFiles/tm_util.dir/string_util.cc.o.d"
+  "CMakeFiles/tm_util.dir/thread_pool.cc.o"
+  "CMakeFiles/tm_util.dir/thread_pool.cc.o.d"
+  "libtm_util.a"
+  "libtm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_tests.dir/block/blocker_test.cpp.o"
+  "CMakeFiles/block_tests.dir/block/blocker_test.cpp.o.d"
+  "block_tests"
+  "block_tests.pdb"
+  "block_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tests.dir/data/benchmark_factory_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/benchmark_factory_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/dataset_io_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/dataset_io_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/generator_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/generator_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/perturb_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/perturb_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/property_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/property_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/word_pools_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/word_pools_test.cpp.o.d"
+  "data_tests"
+  "data_tests.pdb"
+  "data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_tests.dir/eval/calibration_test.cpp.o"
+  "CMakeFiles/eval_tests.dir/eval/calibration_test.cpp.o.d"
+  "CMakeFiles/eval_tests.dir/eval/evaluator_test.cpp.o"
+  "CMakeFiles/eval_tests.dir/eval/evaluator_test.cpp.o.d"
+  "CMakeFiles/eval_tests.dir/eval/metrics_test.cpp.o"
+  "CMakeFiles/eval_tests.dir/eval/metrics_test.cpp.o.d"
+  "CMakeFiles/eval_tests.dir/eval/stratified_test.cpp.o"
+  "CMakeFiles/eval_tests.dir/eval/stratified_test.cpp.o.d"
+  "CMakeFiles/eval_tests.dir/eval/table_printer_test.cpp.o"
+  "CMakeFiles/eval_tests.dir/eval/table_printer_test.cpp.o.d"
+  "eval_tests"
+  "eval_tests.pdb"
+  "eval_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

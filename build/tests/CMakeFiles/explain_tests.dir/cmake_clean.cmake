@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_tests.dir/explain/explanation_test.cpp.o"
+  "CMakeFiles/explain_tests.dir/explain/explanation_test.cpp.o.d"
+  "explain_tests"
+  "explain_tests.pdb"
+  "explain_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_tests.dir/llm/icl_test.cpp.o"
+  "CMakeFiles/llm_tests.dir/llm/icl_test.cpp.o.d"
+  "CMakeFiles/llm_tests.dir/llm/model_config_test.cpp.o"
+  "CMakeFiles/llm_tests.dir/llm/model_config_test.cpp.o.d"
+  "CMakeFiles/llm_tests.dir/llm/schedule_test.cpp.o"
+  "CMakeFiles/llm_tests.dir/llm/schedule_test.cpp.o.d"
+  "CMakeFiles/llm_tests.dir/llm/sim_llm_test.cpp.o"
+  "CMakeFiles/llm_tests.dir/llm/sim_llm_test.cpp.o.d"
+  "CMakeFiles/llm_tests.dir/llm/teacher_test.cpp.o"
+  "CMakeFiles/llm_tests.dir/llm/teacher_test.cpp.o.d"
+  "CMakeFiles/llm_tests.dir/llm/trainer_test.cpp.o"
+  "CMakeFiles/llm_tests.dir/llm/trainer_test.cpp.o.d"
+  "llm_tests"
+  "llm_tests.pdb"
+  "llm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prompt_tests.dir/prompt/prompt_test.cpp.o"
+  "CMakeFiles/prompt_tests.dir/prompt/prompt_test.cpp.o.d"
+  "prompt_tests"
+  "prompt_tests.pdb"
+  "prompt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prompt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_tests.dir/select/active_test.cpp.o"
+  "CMakeFiles/select_tests.dir/select/active_test.cpp.o.d"
+  "CMakeFiles/select_tests.dir/select/filters_test.cpp.o"
+  "CMakeFiles/select_tests.dir/select/filters_test.cpp.o.d"
+  "CMakeFiles/select_tests.dir/select/generation_test.cpp.o"
+  "CMakeFiles/select_tests.dir/select/generation_test.cpp.o.d"
+  "select_tests"
+  "select_tests.pdb"
+  "select_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

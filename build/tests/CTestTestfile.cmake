@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/text_tests[1]_include.cmake")
+include("/root/repo/build/tests/nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/block_tests[1]_include.cmake")
+include("/root/repo/build/tests/data_tests[1]_include.cmake")
+include("/root/repo/build/tests/prompt_tests[1]_include.cmake")
+include("/root/repo/build/tests/llm_tests[1]_include.cmake")
+include("/root/repo/build/tests/explain_tests[1]_include.cmake")
+include("/root/repo/build/tests/select_tests[1]_include.cmake")
+include("/root/repo/build/tests/eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tailormatch_cli.dir/tailormatch_cli.cpp.o"
+  "CMakeFiles/tailormatch_cli.dir/tailormatch_cli.cpp.o.d"
+  "tailormatch"
+  "tailormatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tailormatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
