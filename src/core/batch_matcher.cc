@@ -1,7 +1,11 @@
 #include "core/batch_matcher.h"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -20,12 +24,72 @@ BatchMatcher::BatchMatcher(std::shared_ptr<llm::SimLlm> model,
 
 std::vector<MatchDecision> BatchMatcher::MatchAll(
     const std::vector<data::EntityPair>& pairs) const {
+  std::vector<const data::EntityPair*> pointers;
+  pointers.reserve(pairs.size());
+  for (const data::EntityPair& pair : pairs) pointers.push_back(&pair);
+  return MatchAllRefs(pointers);
+}
+
+std::vector<MatchDecision> BatchMatcher::MatchAllRefs(
+    const std::vector<const data::EntityPair*>& pairs) const {
   std::vector<MatchDecision> decisions(pairs.size());
+  if (pairs.empty()) return decisions;
   Matcher matcher(model_, prompt_template_);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram& pair_latency =
+      registry.GetHistogram("batch_matcher.pair_latency");
+  obs::Histogram& queue_wait =
+      registry.GetHistogram("batch_matcher.queue_wait");
+
+  TM_SPAN("batch_matcher.match_all");
+  // Every task is enqueued up-front, so time-to-first-execution measures
+  // how long a pair waited behind the backlog.
+  const auto batch_start = std::chrono::steady_clock::now();
   ThreadPool::ParallelFor(
-      pairs.size(), static_cast<size_t>(num_threads_),
-      [&](size_t i) { decisions[i] = matcher.Match(pairs[i]); });
+      pairs.size(), static_cast<size_t>(num_threads_), [&](size_t i) {
+        queue_wait.Record(obs::MillisSince(batch_start));
+        const auto pair_start = std::chrono::steady_clock::now();
+        decisions[i] = matcher.Match(*pairs[i]);
+        pair_latency.Record(obs::MillisSince(pair_start));
+      });
+
+  const double elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    batch_start)
+          .count();
+  const double pairs_per_sec =
+      static_cast<double>(pairs.size()) / std::max(elapsed_sec, 1e-9);
+  registry.GetCounter("batch_matcher.pairs_total")
+      .Increment(static_cast<int64_t>(pairs.size()));
+  registry.GetGauge("batch_matcher.pairs_per_sec").Set(pairs_per_sec);
+  registry.GetGauge("batch_matcher.per_worker_pairs_per_sec")
+      .Set(pairs_per_sec / static_cast<double>(num_threads_));
+  registry.GetGauge("batch_matcher.num_workers")
+      .Set(static_cast<double>(num_threads_));
   return decisions;
+}
+
+eval::EvalResult BatchEvaluate(const llm::SimLlm& model,
+                               const data::Dataset& dataset,
+                               const eval::EvalOptions& options,
+                               int num_threads) {
+  const std::vector<const data::EntityPair*> selected =
+      eval::SelectEvalPairs(dataset, options);
+  // Non-owning alias: BatchMatcher only calls const methods and the model
+  // outlives this call.
+  std::shared_ptr<llm::SimLlm> alias(std::shared_ptr<llm::SimLlm>(),
+                                     const_cast<llm::SimLlm*>(&model));
+  BatchMatcher matcher(std::move(alias), options.prompt_template, num_threads);
+  const std::vector<MatchDecision> decisions = matcher.MatchAllRefs(selected);
+
+  eval::EvalResult result;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    if (!decisions[i].parseable) ++result.unparseable;
+    result.counts.Add(decisions[i].is_match, selected[i]->label);
+  }
+  result.metrics = eval::ComputeMetrics(result.counts);
+  return result;
 }
 
 }  // namespace tailormatch::core

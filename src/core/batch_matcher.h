@@ -6,6 +6,7 @@
 
 #include "core/matcher.h"
 #include "data/entity.h"
+#include "eval/evaluator.h"
 
 namespace tailormatch::core {
 
@@ -25,6 +26,11 @@ class BatchMatcher {
   std::vector<MatchDecision> MatchAll(
       const std::vector<data::EntityPair>& pairs) const;
 
+  // Non-owning variant for callers that already hold the pairs elsewhere
+  // (the evaluation subsample). Pointers must stay valid for the call.
+  std::vector<MatchDecision> MatchAllRefs(
+      const std::vector<const data::EntityPair*>& pairs) const;
+
   int num_threads() const { return num_threads_; }
 
  private:
@@ -32,6 +38,16 @@ class BatchMatcher {
   prompt::PromptTemplate prompt_template_;
   int num_threads_;
 };
+
+// Batch-parallel equivalent of eval::EvaluateModel: scores the same
+// deterministic evaluation subsample through a BatchMatcher worker pool and
+// aggregates identical counts/metrics (per-pair decisions are independent
+// and deterministic). This is the pipeline's evaluation path; it also feeds
+// the "batch_matcher.*" metrics. `num_threads` 0 = hardware concurrency.
+eval::EvalResult BatchEvaluate(const llm::SimLlm& model,
+                               const data::Dataset& dataset,
+                               const eval::EvalOptions& options = {},
+                               int num_threads = 0);
 
 }  // namespace tailormatch::core
 

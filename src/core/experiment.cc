@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "core/batch_matcher.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -59,7 +60,9 @@ double TestF1(const llm::SimLlm& model, const data::Benchmark& benchmark,
   eval::EvalOptions options;
   options.prompt_template = prompt_template;
   options.max_pairs = context.eval_max_pairs;
-  return eval::EvaluateF1(model, benchmark.test, options);
+  // Batch-parallel path: same subsample and per-pair decisions as
+  // eval::EvaluateF1, partitioned across a worker pool.
+  return BatchEvaluate(model, benchmark.test, options).metrics.f1;
 }
 
 std::unique_ptr<llm::SimLlm> CachedFineTune(

@@ -7,7 +7,7 @@ MatchDecision Matcher::Match(const data::EntityPair& pair) const {
   const std::string prompt_text =
       prompt::RenderPrompt(prompt_template_, pair);
   decision.probability = model_->PredictMatchProbability(prompt_text);
-  decision.response = model_->Respond(prompt_text);
+  decision.response = llm::SimLlm::ResponseForProbability(decision.probability);
   bool parsed = false;
   decision.parseable = prompt::ParseYesNo(decision.response, &parsed);
   decision.is_match = decision.parseable ? parsed : false;

@@ -1,34 +1,49 @@
 #include "core/pipeline.h"
 
 #include "llm/teacher.h"
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace tailormatch::core {
 
 PipelineReport RunPipeline(const PipelineConfig& config) {
+  TM_SPAN("pipeline");
   PipelineReport report;
   const llm::FamilyProfile profile = llm::GetFamilyProfile(config.family);
   const data::BenchmarkSpec spec = data::GetBenchmarkSpec(config.benchmark);
-  data::Benchmark benchmark =
-      data::BuildBenchmark(spec, config.context.data_scale);
 
-  std::unique_ptr<llm::SimLlm> zero_shot =
-      llm::GetZeroShotModel(config.family, config.context.cache_dir);
-  report.zero_shot_f1 =
-      TestF1(*zero_shot, benchmark, config.context, config.prompt_template);
+  data::Benchmark benchmark;
+  {
+    TM_SPAN("data_load");
+    benchmark = data::BuildBenchmark(spec, config.context.data_scale);
+  }
+
+  std::unique_ptr<llm::SimLlm> zero_shot;
+  {
+    TM_SPAN("pretrain_load");
+    zero_shot = llm::GetZeroShotModel(config.family, config.context.cache_dir);
+  }
+  {
+    TM_SPAN("zero_shot_eval");
+    report.zero_shot_f1 =
+        TestF1(*zero_shot, benchmark, config.context, config.prompt_template);
+  }
 
   data::Dataset train = benchmark.train;
   report.original_train_size = train.size();
 
-  if (config.generate_examples) {
-    train = select::BuildSyntheticSet(train, spec);
-  }
-  llm::TeacherLlm teacher;
-  if (config.error_based_filtering || config.generate_examples) {
-    train = select::ErrorBasedFilter(train, teacher);
-  }
-  if (config.relevancy_filtering) {
-    train = select::RelevancyFilter(train, teacher);
+  {
+    TM_SPAN("selection");
+    if (config.generate_examples) {
+      train = select::BuildSyntheticSet(train, spec);
+    }
+    llm::TeacherLlm teacher;
+    if (config.error_based_filtering || config.generate_examples) {
+      train = select::ErrorBasedFilter(train, teacher);
+    }
+    if (config.relevancy_filtering) {
+      train = select::RelevancyFilter(train, teacher);
+    }
   }
   report.final_train_size = train.size();
 
@@ -40,13 +55,19 @@ PipelineReport RunPipeline(const PipelineConfig& config) {
   if (config.context.epochs_override > 0) {
     options.epochs = config.context.epochs_override;
   }
-  FineTuneResult result = tuner.Run(*zero_shot, train, benchmark.valid,
-                                    options);
+  FineTuneResult result;
+  {
+    TM_SPAN("fine_tune");
+    result = tuner.Run(*zero_shot, train, benchmark.valid, options);
+  }
   report.train_stats = result.stats;
   report.model = std::move(result.model);
-  report.fine_tuned_f1 =
-      TestF1(*report.model, benchmark, config.context,
-             config.prompt_template);
+  {
+    TM_SPAN("eval");
+    report.fine_tuned_f1 =
+        TestF1(*report.model, benchmark, config.context,
+               config.prompt_template);
+  }
   return report;
 }
 

@@ -6,12 +6,10 @@
 
 namespace tailormatch::eval {
 
-namespace {
-
 // Stratified deterministic subsample preserving the positive:negative
 // ratio.
-std::vector<const data::EntityPair*> SelectPairs(const data::Dataset& dataset,
-                                                 const EvalOptions& options) {
+std::vector<const data::EntityPair*> SelectEvalPairs(
+    const data::Dataset& dataset, const EvalOptions& options) {
   std::vector<const data::EntityPair*> selected;
   if (options.max_pairs <= 0 ||
       dataset.size() <= options.max_pairs) {
@@ -45,13 +43,11 @@ std::vector<const data::EntityPair*> SelectPairs(const data::Dataset& dataset,
   return selected;
 }
 
-}  // namespace
-
 EvalResult EvaluateModel(const llm::SimLlm& model,
                          const data::Dataset& dataset,
                          const EvalOptions& options) {
   EvalResult result;
-  for (const data::EntityPair* pair : SelectPairs(dataset, options)) {
+  for (const data::EntityPair* pair : SelectEvalPairs(dataset, options)) {
     const std::string prompt_text =
         prompt::RenderPrompt(options.prompt_template, *pair);
     const std::string response = model.Respond(prompt_text);
@@ -75,7 +71,7 @@ StratifiedEvalResult EvaluateByCornerCase(const llm::SimLlm& model,
                                           const data::Dataset& dataset,
                                           const EvalOptions& options) {
   StratifiedEvalResult result;
-  for (const data::EntityPair* pair : SelectPairs(dataset, options)) {
+  for (const data::EntityPair* pair : SelectEvalPairs(dataset, options)) {
     const std::string prompt_text =
         prompt::RenderPrompt(options.prompt_template, *pair);
     const std::string response = model.Respond(prompt_text);

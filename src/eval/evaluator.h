@@ -48,6 +48,12 @@ StratifiedEvalResult EvaluateByCornerCase(const llm::SimLlm& model,
                                           const data::Dataset& dataset,
                                           const EvalOptions& options = {});
 
+// The deterministic stratified subsample the evaluators run on (class ratio
+// preserved). Exposed so the batch-parallel evaluation path in core scores
+// exactly the same pairs. Pointers reference `dataset.pairs`.
+std::vector<const data::EntityPair*> SelectEvalPairs(
+    const data::Dataset& dataset, const EvalOptions& options);
+
 }  // namespace tailormatch::eval
 
 #endif  // TAILORMATCH_EVAL_EVALUATOR_H_

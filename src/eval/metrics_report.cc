@@ -1,0 +1,68 @@
+#include "eval/metrics_report.h"
+
+#include <string>
+
+#include "eval/table_printer.h"
+#include "util/string_util.h"
+
+namespace tailormatch::eval {
+
+namespace {
+
+void AddSpanRows(const obs::SpanNode& node, int depth, TablePrinter* table) {
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  if (node.count > 0) {
+    table->AddRow({indent + node.name, StrFormat("%lld", static_cast<long long>(node.count)),
+                   StrFormat("%.2f", node.total_seconds * 1e3),
+                   StrFormat("%.2f", node.total_seconds * 1e3 /
+                                         static_cast<double>(node.count))});
+  } else {
+    // Prefix-only node (no samples at this exact path).
+    table->AddRow({indent + node.name, "-", "-", "-"});
+  }
+  for (const obs::SpanNode& child : node.children) {
+    AddSpanRows(child, depth + 1, table);
+  }
+}
+
+}  // namespace
+
+void PrintMetricsReport(const obs::MetricsSnapshot& snapshot,
+                        std::ostream& out) {
+  if (!snapshot.spans.empty()) {
+    out << "spans (wall time):\n";
+    TablePrinter table({"span", "count", "total ms", "mean ms"});
+    for (const obs::SpanNode& root : snapshot.spans) {
+      AddSpanRows(root, 0, &table);
+    }
+    table.Print(out);
+  }
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    TablePrinter table({"counter", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.AddRow({name, StrFormat("%lld", static_cast<long long>(value))});
+    }
+    table.Print(out);
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    TablePrinter table({"gauge", "value"});
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.AddRow({name, StrFormat("%.4g", value)});
+    }
+    table.Print(out);
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms (latencies in ms):\n";
+    TablePrinter table({"histogram", "count", "p50", "p95", "p99", "max"});
+    for (const obs::HistogramStats& h : snapshot.histograms) {
+      table.AddRow({h.name, StrFormat("%lld", static_cast<long long>(h.count)),
+                    StrFormat("%.3f", h.p50), StrFormat("%.3f", h.p95),
+                    StrFormat("%.3f", h.p99), StrFormat("%.3f", h.max)});
+    }
+    table.Print(out);
+  }
+}
+
+}  // namespace tailormatch::eval

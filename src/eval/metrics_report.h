@@ -1,0 +1,18 @@
+#ifndef TAILORMATCH_EVAL_METRICS_REPORT_H_
+#define TAILORMATCH_EVAL_METRICS_REPORT_H_
+
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace tailormatch::eval {
+
+// Renders the human-readable half of the structured run report: the span
+// tree (indented by nesting depth), counters, gauges, and histogram
+// percentiles, as fixed-width tables. Empty sections are omitted.
+void PrintMetricsReport(const obs::MetricsSnapshot& snapshot,
+                        std::ostream& out);
+
+}  // namespace tailormatch::eval
+
+#endif  // TAILORMATCH_EVAL_METRICS_REPORT_H_

@@ -1,8 +1,10 @@
 #include "llm/sim_llm.h"
 
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/serialize.h"
 
@@ -39,6 +41,13 @@ SimLlm::SimLlm(ModelConfig config, text::Tokenizer tokenizer)
 
 nn::Tensor SimLlm::EncodeHidden(const std::vector<int>& ids,
                                 const nn::ForwardContext& ctx) const {
+  // Cached references keep the per-forward cost to two clock reads and a
+  // few relaxed atomic updates.
+  static obs::Counter& forward_count =
+      obs::MetricsRegistry::Global().GetCounter("sim_llm.forward");
+  static obs::Histogram& forward_latency =
+      obs::MetricsRegistry::Global().GetHistogram("sim_llm.forward");
+  const auto forward_start = std::chrono::steady_clock::now();
   std::vector<int> clipped = ids;
   if (static_cast<int>(clipped.size()) > config_.max_seq) {
     clipped.resize(static_cast<size_t>(config_.max_seq));
@@ -123,7 +132,10 @@ nn::Tensor SimLlm::EncodeHidden(const std::vector<int>& ids,
   // Mean pooling captures aggregate overlap; max pooling lets a single
   // decisive token (an unmatched model number) dominate. Their concat
   // feeds the verbalizer and auxiliary heads.
-  return nn::ConcatCols({nn::MeanRows(h), nn::MaxRows(h)});
+  nn::Tensor pooled = nn::ConcatCols({nn::MeanRows(h), nn::MaxRows(h)});
+  forward_count.Increment();
+  forward_latency.Record(obs::MillisSince(forward_start));
+  return pooled;
 }
 
 nn::Tensor SimLlm::ClsLogits(const std::vector<int>& ids,
@@ -144,8 +156,11 @@ double SimLlm::PredictMatchProbability(const std::string& prompt_text) const {
 }
 
 std::string SimLlm::Respond(const std::string& prompt_text) const {
-  const double p = PredictMatchProbability(prompt_text);
-  if (p > 0.5) {
+  return ResponseForProbability(PredictMatchProbability(prompt_text));
+}
+
+std::string SimLlm::ResponseForProbability(double probability) {
+  if (probability > 0.5) {
     return "Yes. The two descriptions appear to refer to the same entity.";
   }
   return "No. The two descriptions appear to refer to different entities.";

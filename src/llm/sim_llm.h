@@ -63,6 +63,10 @@ class SimLlm {
   // evaluation parses with Narayan et al.'s method.
   std::string Respond(const std::string& prompt_text) const;
 
+  // The response text for an already-computed P(match); lets callers that
+  // need both the probability and the response run a single forward pass.
+  static std::string ResponseForProbability(double probability);
+
   // ---- Training ----
 
   // Encodes a prompt/label pair into a TrainExample (no explanation

@@ -1,9 +1,11 @@
 #include "llm/trainer.h"
 
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -42,6 +44,15 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
   nn::AdamW optimizer(model.TrainableParameters(), options.learning_rate,
                       options.weight_decay);
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram& step_latency = registry.GetHistogram("trainer.step_latency");
+  obs::Counter& clip_events = registry.GetCounter("trainer.clip_events");
+  obs::Gauge& epoch_gauge = registry.GetGauge("trainer.epoch");
+  obs::Gauge& loss_gauge = registry.GetGauge("trainer.epoch_loss");
+  obs::Gauge& lr_gauge = registry.GetGauge("trainer.lr");
+  obs::Gauge& epoch_clip_gauge = registry.GetGauge("trainer.epoch_clip_events");
+  obs::Gauge& valid_gauge = registry.GetGauge("trainer.valid_score");
+
   std::vector<size_t> order(examples.size());
   std::iota(order.begin(), order.end(), 0);
 
@@ -56,7 +67,26 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
     rng.Shuffle(order);
     double epoch_loss = 0.0;
     int in_batch = 0;
+    int64_t epoch_clips = 0;
     optimizer.ZeroGrad();
+    // One "step" spans the forward/backward work of a whole batch plus the
+    // clipped optimizer update that closes it.
+    auto step_start = std::chrono::steady_clock::now();
+    const auto take_step = [&] {
+      const float norm = nn::ClipGradNorm(optimizer.params(),
+                                          options.clip_norm);
+      if (norm > options.clip_norm) {
+        clip_events.Increment();
+        ++epoch_clips;
+      }
+      const float lr = ScheduledLr(options, step++, total_steps);
+      lr_gauge.Set(lr);
+      optimizer.set_learning_rate(lr);
+      optimizer.Step();
+      optimizer.ZeroGrad();
+      step_latency.Record(obs::MillisSince(step_start));
+      step_start = std::chrono::steady_clock::now();
+    };
     for (size_t idx : order) {
       nn::Tensor loss = model.ForwardLoss(examples[idx], /*training=*/true,
                                           rng);
@@ -65,24 +95,22 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
       nn::Scale(loss, 1.0f / static_cast<float>(options.batch_size))
           .Backward();
       if (++in_batch == options.batch_size) {
-        nn::ClipGradNorm(optimizer.params(), options.clip_norm);
-        optimizer.set_learning_rate(ScheduledLr(options, step++, total_steps));
-        optimizer.Step();
-        optimizer.ZeroGrad();
+        take_step();
         in_batch = 0;
       }
     }
     if (in_batch > 0) {
-      nn::ClipGradNorm(optimizer.params(), options.clip_norm);
-      optimizer.set_learning_rate(ScheduledLr(options, step++, total_steps));
-      optimizer.Step();
-      optimizer.ZeroGrad();
+      take_step();
     }
     stats.epoch_train_loss.push_back(epoch_loss /
                                      static_cast<double>(examples.size()));
+    epoch_gauge.Set(static_cast<double>(epoch + 1));
+    loss_gauge.Set(stats.epoch_train_loss.back());
+    epoch_clip_gauge.Set(static_cast<double>(epoch_clips));
     if (validation) {
       const double score = validation(model);
       stats.epoch_valid_score.push_back(score);
+      valid_gauge.Set(score);
       if (options.select_best_checkpoint &&
           (stats.best_epoch < 0 || score > stats.best_score)) {
         stats.best_epoch = epoch;

@@ -1,0 +1,340 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace tailormatch::obs {
+
+namespace {
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendJsonString(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  return StrFormat("%.9g", value);
+}
+
+void AppendSpanJson(const SpanNode& node, std::string* out) {
+  out->append("{\"name\":");
+  AppendJsonString(node.name, out);
+  out->append(",\"path\":");
+  AppendJsonString(node.path, out);
+  out->append(StrFormat(",\"count\":%lld",
+                        static_cast<long long>(node.count)));
+  out->append(",\"total_ms\":" + JsonNumber(node.total_seconds * 1e3));
+  out->append(",\"min_ms\":" + JsonNumber(node.min_seconds * 1e3));
+  out->append(",\"max_ms\":" + JsonNumber(node.max_seconds * 1e3));
+  out->append(",\"children\":[");
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendSpanJson(node.children[i], out);
+  }
+  out->append("]}");
+}
+
+const SpanNode* FindSpanIn(const std::vector<SpanNode>& nodes,
+                           const std::string& path) {
+  for (const SpanNode& node : nodes) {
+    if (node.path == path) return &node;
+    // Children paths extend the parent's, so prune mismatched subtrees.
+    if (path.compare(0, node.path.size(), node.path) == 0 &&
+        path.size() > node.path.size() && path[node.path.size()] == '.') {
+      if (const SpanNode* found = FindSpanIn(node.children, path)) {
+        return found;
+      }
+    }
+  }
+  return nullptr;
+}
+
+// Inserts `stat` at dotted `path`, creating intermediate nodes as needed.
+void InsertSpan(std::vector<SpanNode>* roots, const std::string& path,
+                int64_t count, double total, double min, double max) {
+  std::vector<SpanNode>* level = roots;
+  SpanNode* node = nullptr;
+  size_t begin = 0;
+  while (begin <= path.size()) {
+    size_t end = path.find('.', begin);
+    if (end == std::string::npos) end = path.size();
+    const std::string prefix = path.substr(0, end);
+    node = nullptr;
+    for (SpanNode& candidate : *level) {
+      if (candidate.path == prefix) {
+        node = &candidate;
+        break;
+      }
+    }
+    if (node == nullptr) {
+      SpanNode fresh;
+      fresh.name = path.substr(begin, end - begin);
+      fresh.path = prefix;
+      level->push_back(std::move(fresh));
+      node = &level->back();
+    }
+    level = &node->children;
+    begin = end + 1;
+  }
+  node->count = count;
+  node->total_seconds = total;
+  node->min_seconds = min;
+  node->max_seconds = max;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicAdd(value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), bucket_counts_(bounds_.size() + 1) {
+  TM_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    TM_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+}
+
+void Histogram::Record(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  bucket_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double pct) const {
+  const int64_t total = count();
+  if (total <= 0) return 0.0;
+  const double rank = std::clamp(pct, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(total);
+  int64_t cumulative = 0;
+  const size_t num_buckets = bounds_.size() + 1;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    const int64_t in_bucket =
+        bucket_counts_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lo = i == 0 ? min() : bounds_[i - 1];
+      const double hi = i == bounds_.size() ? max() : bounds_[i];
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return std::clamp(lo + (hi - lo) * frac, min(), max());
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int n) {
+  TM_CHECK_GT(start, 0.0);
+  TM_CHECK_GT(factor, 1.0);
+  TM_CHECK_GT(n, 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(n));
+  double bound = start;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBounds() {
+  static const std::vector<double>* bounds =
+      new std::vector<double>(ExponentialBounds(1e-3, 1.5, 50));
+  return *bounds;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : bucket_counts_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter);
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, Histogram::DefaultLatencyBounds());
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::RecordSpan(const std::string& path, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanStat& stat = spans_[path];
+  if (stat.count == 0 || seconds < stat.min) stat.min = seconds;
+  if (stat.count == 0 || seconds > stat.max) stat.max = seconds;
+  ++stat.count;
+  stat.total += seconds;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramStats stats;
+    stats.name = name;
+    stats.count = histogram->count();
+    stats.sum = histogram->sum();
+    stats.min = histogram->min();
+    stats.max = histogram->max();
+    stats.p50 = histogram->Percentile(50.0);
+    stats.p95 = histogram->Percentile(95.0);
+    stats.p99 = histogram->Percentile(99.0);
+    snapshot.histograms.push_back(std::move(stats));
+  }
+  // Map iteration is sorted, so parents are inserted before their children.
+  for (const auto& [path, stat] : spans_) {
+    InsertSpan(&snapshot.spans, path, stat.count, stat.total, stat.min,
+               stat.max);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  spans_.clear();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(counters[i].first, &out);
+    out.append(StrFormat(":%lld", static_cast<long long>(counters[i].second)));
+  }
+  out.append("},\"gauges\":{");
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(gauges[i].first, &out);
+    out.push_back(':');
+    out.append(JsonNumber(gauges[i].second));
+  }
+  out.append("},\"histograms\":{");
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramStats& h = histograms[i];
+    if (i > 0) out.push_back(',');
+    AppendJsonString(h.name, &out);
+    out.append(StrFormat(":{\"count\":%lld", static_cast<long long>(h.count)));
+    out.append(",\"sum\":" + JsonNumber(h.sum));
+    out.append(",\"min\":" + JsonNumber(h.min));
+    out.append(",\"max\":" + JsonNumber(h.max));
+    out.append(",\"p50\":" + JsonNumber(h.p50));
+    out.append(",\"p95\":" + JsonNumber(h.p95));
+    out.append(",\"p99\":" + JsonNumber(h.p99));
+    out.push_back('}');
+  }
+  out.append("},\"spans\":[");
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendSpanJson(spans[i], &out);
+  }
+  out.append("]}");
+  return out;
+}
+
+const SpanNode* MetricsSnapshot::FindSpan(const std::string& path) const& {
+  return FindSpanIn(spans, path);
+}
+
+}  // namespace tailormatch::obs

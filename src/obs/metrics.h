@@ -1,0 +1,169 @@
+#ifndef TAILORMATCH_OBS_METRICS_H_
+#define TAILORMATCH_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tailormatch::obs {
+
+// Process-wide metrics: named counters, gauges, and fixed-bucket latency
+// histograms, plus aggregated tracing spans (see obs/span.h). All update
+// paths are safe to call from any thread; counter/gauge/histogram updates
+// are lock-free after the first lookup. Names are dotted lowercase
+// "subsystem.metric" (e.g. "sim_llm.forward"); by convention latency
+// histograms record milliseconds.
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (epoch loss, pairs/sec, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. Bucket i holds values in (bounds[i-1], bounds[i]]
+// (the first bucket is unbounded below, a final overflow bucket is unbounded
+// above). Percentiles interpolate linearly inside the containing bucket and
+// are clamped to the observed [min, max]. Recording is lock-free; reads
+// taken during concurrent writes may be slightly inconsistent across fields.
+class Histogram {
+ public:
+  void Record(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  // `pct` in [0, 100].
+  double Percentile(double pct) const;
+
+  // `n` bounds {start, start*factor, start*factor^2, ...}.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int n);
+  // Default latency bounds in milliseconds: 1us .. ~16min, factor 1.5.
+  static const std::vector<double>& DefaultLatencyBounds();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> bucket_counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+struct HistogramStats {
+  std::string name;
+  int64_t count = 0;
+  double sum = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+// One node of the aggregated span tree. `path` is the full dotted path
+// ("pipeline.fine_tune"), `name` its last segment. A node that only exists
+// as a prefix of deeper spans has count 0.
+struct SpanNode {
+  std::string name;
+  std::string path;
+  int64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0, max_seconds = 0.0;
+  std::vector<SpanNode> children;
+};
+
+// Point-in-time copy of every metric, exportable as JSON ("structured run
+// report") or rendered as a table via eval::PrintMetricsReport.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramStats> histograms;
+  std::vector<SpanNode> spans;  // roots of the span tree
+
+  std::string ToJson() const;
+  // Depth-first lookup by full dotted path; nullptr when absent. Lvalue-only:
+  // the pointer aims into this snapshot, so calling it on a temporary
+  // (Registry().Snapshot().FindSpan(...)) would dangle immediately.
+  const SpanNode* FindSpan(const std::string& path) const&;
+  const SpanNode* FindSpan(const std::string& path) const&& = delete;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every TM_SPAN and instrumented module uses.
+  static MetricsRegistry& Global();
+
+  // Create-on-first-use; returned references stay valid for the registry's
+  // lifetime (Reset zeroes values but never invalidates them).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+  // Custom bucket bounds (strictly increasing); ignored if `name` exists.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  // Folds one completed span into the aggregate tree (called by ScopedSpan).
+  void RecordSpan(const std::string& path, double seconds);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Test hook: zeroes all metrics and clears span aggregates.
+  void Reset();
+
+ private:
+  struct SpanStat {
+    int64_t count = 0;
+    double total = 0.0, min = 0.0, max = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, SpanStat> spans_;
+};
+
+// Milliseconds elapsed since `start` — the unit latency histograms record.
+inline double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace tailormatch::obs
+
+#endif  // TAILORMATCH_OBS_METRICS_H_

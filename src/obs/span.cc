@@ -1,0 +1,35 @@
+#include "obs/span.h"
+
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tailormatch::obs {
+
+namespace {
+
+std::vector<std::string>& SpanStack() {
+  thread_local std::vector<std::string> stack;
+  return stack;
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name) {
+  std::vector<std::string>& stack = SpanStack();
+  path_ = stack.empty() ? std::string(name) : stack.back() + "." + name;
+  stack.push_back(path_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  // Scopes unwind LIFO per thread, so the top of the stack is this span.
+  std::vector<std::string>& stack = SpanStack();
+  if (!stack.empty()) stack.pop_back();
+  MetricsRegistry::Global().RecordSpan(path_, seconds);
+}
+
+}  // namespace tailormatch::obs

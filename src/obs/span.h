@@ -1,0 +1,45 @@
+#ifndef TAILORMATCH_OBS_SPAN_H_
+#define TAILORMATCH_OBS_SPAN_H_
+
+#include <chrono>
+#include <string>
+
+namespace tailormatch::obs {
+
+// RAII wall-time tracing span. Spans nest through a thread-local stack: a
+// span opened while another is live on the same thread becomes its child,
+// and the aggregated tree (count/total/min/max per dotted path) is part of
+// every MetricsSnapshot. Dots inside a name create intermediate tree nodes,
+// so both styles work:
+//
+//   TM_SPAN("pipeline");            // parent scope
+//   { TM_SPAN("fine_tune"); ... }   // recorded as "pipeline.fine_tune"
+//
+// Spans are for coarse stages (pipeline phases, batch runs); per-call hot
+// paths should record into a Histogram directly.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tailormatch::obs
+
+#define TM_OBS_CONCAT_INNER(a, b) a##b
+#define TM_OBS_CONCAT(a, b) TM_OBS_CONCAT_INNER(a, b)
+
+// Times the enclosing scope as a span named `name` (nested under the
+// innermost live span of this thread, if any).
+#define TM_SPAN(name) \
+  ::tailormatch::obs::ScopedSpan TM_OBS_CONCAT(tm_span_, __COUNTER__)(name)
+
+#endif  // TAILORMATCH_OBS_SPAN_H_

@@ -1,13 +1,15 @@
 #include "util/logging.h"
 
-#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace tailormatch {
 
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
 std::mutex& LogMutex() {
   static std::mutex* mutex = new std::mutex;
@@ -30,25 +32,42 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+LogLevel GetLogLevel() {
+  return g_log_level.load(std::memory_order_relaxed);
+}
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level));
+  g_log_level.store(level, std::memory_order_relaxed);
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+    : enabled_(level >= GetLogLevel()) {
+  if (!enabled_) return;
   const char* base = file;
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  std::tm local{};
+  localtime_r(&seconds, &local);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  char stamp[40];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                local.tm_year + 1900, local.tm_mon + 1, local.tm_mday,
+                local.tm_hour, local.tm_min, local.tm_sec, millis);
+  stream_ << "[" << stamp << " " << LevelName(level) << " " << base << ":"
+          << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (level_ < GetLogLevel()) return;
+  if (!enabled_) return;
   std::lock_guard<std::mutex> lock(LogMutex());
   std::cerr << stream_.str() << "\n";
 }

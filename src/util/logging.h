@@ -1,6 +1,8 @@
 #ifndef TAILORMATCH_UTIL_LOGGING_H_
 #define TAILORMATCH_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -9,14 +11,17 @@ namespace tailormatch {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-// Global minimum level; messages below it are dropped. Not thread-safe to
-// mutate while logging (set it once at startup).
+// Global minimum level; messages below it are dropped. Backed by an atomic,
+// so mutating it while other threads log (e.g. BatchMatcher workers) is
+// safe.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 namespace internal {
 
-// One log statement; flushes the accumulated line in the destructor.
+// One log statement; flushes the accumulated line (prefixed with a
+// millisecond wall-clock timestamp, level, and call site) in the
+// destructor. Suppressed messages skip prefix formatting entirely.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -27,13 +32,19 @@ class LogMessage {
 
   template <typename T>
   LogMessage& operator<<(const T& value) {
-    stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
-  LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
+};
+
+// Swallows the stream in the disabled arm of TM_LOG_EVERY_N while keeping
+// the macro a single expression (no dangling-else hazard).
+struct LogMessageVoidify {
+  void operator&(const LogMessage&) {}
 };
 
 }  // namespace internal
@@ -42,5 +53,19 @@ class LogMessage {
 #define TM_LOG(level)                                                   \
   ::tailormatch::internal::LogMessage(::tailormatch::LogLevel::k##level, \
                                       __FILE__, __LINE__)
+
+// Rate-limited logging: emits on the 1st, (n+1)th, (2n+1)th... hit of this
+// call site (thread-safe occurrence counting). Keeps per-pair logging from
+// flooding batch runs:
+//   TM_LOG_EVERY_N(Info, 1000) << "matched pair " << i;
+#define TM_LOG_EVERY_N(level, n)                                            \
+  !([](std::uint64_t tm_log_every_n) {                                      \
+    static ::std::atomic<::std::uint64_t> tm_log_site_hits{0};              \
+    return tm_log_site_hits.fetch_add(1, ::std::memory_order_relaxed) %     \
+               tm_log_every_n ==                                            \
+           0;                                                               \
+  }(static_cast<::std::uint64_t>(n)))                                       \
+      ? (void)0                                                             \
+      : ::tailormatch::internal::LogMessageVoidify() & TM_LOG(level)
 
 #endif  // TAILORMATCH_UTIL_LOGGING_H_

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "select/error_selection.h"
 
 namespace tailormatch {
@@ -42,6 +43,42 @@ TEST(EndToEndTest, StandardFineTuningImprovesWdc) {
       matcher.Match("sonara pulse zmw-304 printer pro",
                     "sonara pulse zmw 304 printer");
   EXPECT_TRUE(decision.parseable);
+
+  // The run left a structured trace in the global metrics registry: every
+  // pipeline stage appears as a named span with at least one observation.
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  for (const char* path :
+       {"pipeline", "pipeline.data_load", "pipeline.pretrain_load",
+        "pipeline.zero_shot_eval", "pipeline.selection", "pipeline.fine_tune",
+        "pipeline.eval"}) {
+    const obs::SpanNode* span = snapshot.FindSpan(path);
+    ASSERT_NE(span, nullptr) << "missing span " << path;
+    EXPECT_GE(span->count, 1) << path;
+    EXPECT_GE(span->total_seconds, 0.0) << path;
+  }
+
+  // Forward passes were counted and timed.
+  bool forward_hist_found = false;
+  for (const obs::HistogramStats& h : snapshot.histograms) {
+    if (h.name == "sim_llm.forward") {
+      forward_hist_found = true;
+      EXPECT_GT(h.count, 0);
+      EXPECT_GE(h.p95, h.p50);
+    }
+  }
+  EXPECT_TRUE(forward_hist_found);
+
+  // The trainer exported per-epoch gauges.
+  bool epoch_found = false, loss_found = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "trainer.epoch") {
+      epoch_found = true;
+      EXPECT_GE(value, 1.0);
+    }
+    if (name == "trainer.epoch_loss") loss_found = true;
+  }
+  EXPECT_TRUE(epoch_found);
+  EXPECT_TRUE(loss_found);
 }
 
 TEST(EndToEndTest, FilteringShrinksTrainingSet) {

@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::obs {
+namespace {
+
+TEST(CounterTest, IncrementsMonotonically) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  Counter& counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 1);
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+  // Same name resolves to the same counter.
+  registry.GetCounter("test.counter").Increment();
+  EXPECT_EQ(counter.value(), 43);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  Gauge& gauge = registry.GetGauge("test.gauge");
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.Set(0.25);  // last write wins
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.25);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  Histogram& hist = registry.GetHistogram("test.hist");
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+  hist.Record(2.0);
+  hist.Record(8.0);
+  hist.Record(5.0);
+  EXPECT_EQ(hist.count(), 3);
+  EXPECT_DOUBLE_EQ(hist.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 8.0);
+}
+
+TEST(HistogramTest, PercentilesOnKnownUniformDistribution) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  // Unit-width buckets (0,1], (1,2], ..., (99,100]: percentile
+  // interpolation is exact for integer samples 1..100.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  Histogram& hist = registry.GetHistogram("test.uniform", bounds);
+  for (int v = 1; v <= 100; ++v) hist.Record(static_cast<double>(v));
+  EXPECT_NEAR(hist.Percentile(50.0), 50.0, 1e-9);
+  EXPECT_NEAR(hist.Percentile(95.0), 95.0, 1e-9);
+  EXPECT_NEAR(hist.Percentile(99.0), 99.0, 1e-9);
+  EXPECT_NEAR(hist.Percentile(100.0), 100.0, 1e-9);
+  // p0 clamps to the observed minimum.
+  EXPECT_GE(hist.Percentile(0.0), 1.0);
+}
+
+TEST(HistogramTest, PercentilesWithDefaultLatencyBoundsStayNearSamples) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  Histogram& hist = registry.GetHistogram("test.latency");
+  for (int i = 0; i < 1000; ++i) hist.Record(1.0);
+  // All mass in one bucket; interpolation is clamped to [min, max].
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(99.0), 1.0);
+}
+
+TEST(HistogramTest, OverflowBucketUsesObservedMax) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  Histogram& hist = registry.GetHistogram("test.overflow", {1.0, 2.0});
+  hist.Record(1e9);  // beyond the last bound
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 1e9);
+  EXPECT_DOUBLE_EQ(hist.max(), 1e9);
+}
+
+TEST(HistogramTest, ExponentialBoundsAreGeometric) {
+  const std::vector<double> bounds = Histogram::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(SnapshotTest, ContainsAllMetricKinds) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetCounter("snap.counter").Increment(7);
+  registry.GetGauge("snap.gauge").Set(1.25);
+  registry.GetHistogram("snap.hist").Record(3.0);
+  registry.RecordSpan("snap.span", 0.5);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  bool counter_found = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "snap.counter") {
+      counter_found = true;
+      EXPECT_EQ(value, 7);
+    }
+  }
+  EXPECT_TRUE(counter_found);
+  bool hist_found = false;
+  for (const HistogramStats& h : snapshot.histograms) {
+    if (h.name == "snap.hist") {
+      hist_found = true;
+      EXPECT_EQ(h.count, 1);
+      EXPECT_DOUBLE_EQ(h.min, 3.0);
+    }
+  }
+  EXPECT_TRUE(hist_found);
+  const SpanNode* span = snapshot.FindSpan("snap.span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 1);
+  EXPECT_DOUBLE_EQ(span->total_seconds, 0.5);
+}
+
+TEST(SnapshotTest, ToJsonIsWellFormed) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetCounter("json.counter").Increment(3);
+  registry.GetGauge("json.gauge").Set(0.5);
+  registry.GetHistogram("json.hist").Record(1.0);
+  registry.RecordSpan("json.outer", 1.0);
+  registry.RecordSpan("json.outer.inner", 0.25);
+
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"json.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"json.outer.inner\""), std::string::npos);
+  // Balanced braces and brackets (no string values contain them here).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsReferencesValid) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  Counter& counter = registry.GetCounter("reset.counter");
+  Histogram& hist = registry.GetHistogram("reset.hist");
+  counter.Increment(5);
+  hist.Record(1.0);
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(hist.count(), 0);
+  counter.Increment();  // reference still usable after Reset
+  EXPECT_EQ(counter.value(), 1);
+  hist.Record(2.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 2.0);
+}
+
+}  // namespace
+}  // namespace tailormatch::obs

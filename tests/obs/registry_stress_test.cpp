@@ -1,0 +1,105 @@
+// Multi-threaded stress test for the metrics registry. Runs in the tier-1
+// suite and is the primary target of -DTM_SANITIZE=thread builds.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/string_util.h"
+
+namespace tailormatch::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 2000;
+
+TEST(RegistryStressTest, ConcurrentMixedAccessIsConsistent) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ready, &go] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      Counter& shared = reg.GetCounter("stress.shared");
+      Counter& mine = reg.GetCounter(StrFormat("stress.thread.%d", t));
+      Gauge& gauge = reg.GetGauge("stress.gauge");
+      Histogram& hist = reg.GetHistogram("stress.hist");
+      for (int i = 0; i < kIterations; ++i) {
+        shared.Increment();
+        mine.Increment();
+        gauge.Set(static_cast<double>(i));
+        hist.Record(static_cast<double>(i % 100) + 0.5);
+        TM_SPAN("stress_span");
+        if (i % 500 == 0) {
+          // Concurrent snapshots while other threads mutate.
+          const MetricsSnapshot snap = reg.Snapshot();
+          EXPECT_GE(snap.counters.size(), 1u);
+        }
+      }
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true);
+  for (std::thread& th : threads) th.join();
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const int64_t expected_total =
+      static_cast<int64_t>(kThreads) * kIterations;
+
+  EXPECT_EQ(registry.GetCounter("stress.shared").value(), expected_total);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.GetCounter(StrFormat("stress.thread.%d", t)).value(),
+              kIterations);
+  }
+  Histogram& hist = registry.GetHistogram("stress.hist");
+  EXPECT_EQ(hist.count(), expected_total);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.max(), 99.5);
+
+  const SpanNode* span = snapshot.FindSpan("stress_span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, expected_total);
+
+  // The gauge holds whichever thread wrote last; any value in range is fine.
+  const double gauge_value = registry.GetGauge("stress.gauge").value();
+  EXPECT_GE(gauge_value, 0.0);
+  EXPECT_LT(gauge_value, kIterations);
+}
+
+TEST(RegistryStressTest, ConcurrentCreationOfManyMetrics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      // All threads race to create the same 64 names; each name must
+      // resolve to exactly one counter.
+      for (int i = 0; i < 64; ++i) {
+        reg.GetCounter(StrFormat("create.%d", i)).Increment();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(registry.GetCounter(StrFormat("create.%d", i)).value(),
+              kThreads);
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::obs

@@ -1,0 +1,110 @@
+#include "obs/span.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tailormatch::obs {
+namespace {
+
+TEST(SpanTest, SingleSpanRecordsUnderItsName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  { TM_SPAN("solo"); }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const SpanNode* node = snapshot.FindSpan("solo");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->count, 1);
+  EXPECT_GE(node->total_seconds, 0.0);
+}
+
+TEST(SpanTest, NestedSpansBuildDottedPaths) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  {
+    TM_SPAN("outer");
+    {
+      TM_SPAN("inner");
+      { TM_SPAN("leaf"); }
+    }
+  }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const SpanNode* outer = snapshot.FindSpan("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1);
+  ASSERT_EQ(outer->children.size(), 1u);
+  EXPECT_EQ(outer->children[0].path, "outer.inner");
+  const SpanNode* leaf = snapshot.FindSpan("outer.inner.leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->count, 1);
+  // Children finish before parents, so the parent total covers them.
+  const SpanNode* inner = snapshot.FindSpan("outer.inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(outer->total_seconds, inner->total_seconds);
+  EXPECT_GE(inner->total_seconds, leaf->total_seconds);
+}
+
+TEST(SpanTest, RepeatedSpansAccumulate) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  for (int i = 0; i < 5; ++i) {
+    TM_SPAN("repeat");
+  }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const SpanNode* node = snapshot.FindSpan("repeat");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->count, 5);
+  EXPECT_LE(node->min_seconds, node->max_seconds);
+  EXPECT_GE(node->total_seconds, node->max_seconds);
+}
+
+TEST(SpanTest, DottedNameCreatesIntermediateNode) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  { TM_SPAN("batch_matcher.match_all"); }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const SpanNode* parent = snapshot.FindSpan("batch_matcher");
+  ASSERT_NE(parent, nullptr);
+  EXPECT_EQ(parent->count, 0);  // prefix-only node, never timed itself
+  const SpanNode* leaf = snapshot.FindSpan("batch_matcher.match_all");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->count, 1);
+}
+
+TEST(SpanTest, ThreadsHaveIndependentStacks) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  TM_SPAN("main_thread");
+  std::thread worker([] {
+    // A fresh thread starts with an empty span stack, so this is a root
+    // span, not a child of "main_thread".
+    TM_SPAN("worker_thread");
+  });
+  worker.join();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_NE(snapshot.FindSpan("worker_thread"), nullptr);
+  EXPECT_EQ(snapshot.FindSpan("main_thread.worker_thread"), nullptr);
+}
+
+TEST(SpanTest, ScopedSpanExposesPath) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  ScopedSpan outer("a");
+  ScopedSpan inner("b");
+  EXPECT_EQ(outer.path(), "a");
+  EXPECT_EQ(inner.path(), "a.b");
+}
+
+TEST(SpanTest, FindSpanReturnsNullForUnknownPath) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  { TM_SPAN("known"); }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.FindSpan("unknown"), nullptr);
+  EXPECT_EQ(snapshot.FindSpan("known.child"), nullptr);
+}
+
+}  // namespace
+}  // namespace tailormatch::obs

@@ -1,5 +1,8 @@
 #include "util/logging.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace tailormatch {
@@ -27,6 +30,48 @@ TEST(LoggingTest, StreamsArbitraryTypes) {
   SetLogLevel(LogLevel::kError);  // keep test output clean
   TM_LOG(Warning) << "string " << std::string("value") << " int " << 7
                   << " double " << 2.5 << " bool " << true;
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogEveryNCompilesAsSingleStatement) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // keep test output clean
+  // The macro must be usable as the sole statement of an unbraced if —
+  // the dangling-else shape that breaks naive macro expansions.
+  for (int i = 0; i < 10; ++i)
+    if (i % 2 == 0)
+      TM_LOG_EVERY_N(Info, 3) << "hit " << i;
+    else
+      TM_LOG_EVERY_N(Warning, 3) << "odd " << i;
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogEveryNSideEffectsFollowSamplingPattern) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // suppress output; sampling still runs
+  // Streamed expressions evaluate only on sampled hits (1st, (n+1)th, ...),
+  // so a side-effecting argument counts which iterations were selected.
+  int evaluations = 0;
+  for (int i = 0; i < 10; ++i) {
+    TM_LOG_EVERY_N(Info, 4) << ++evaluations;
+  }
+  // Hits 1, 5, and 9 are sampled -> 3 evaluations.
+  EXPECT_EQ(evaluations, 3);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogEveryNIsThreadSafe) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) {
+        TM_LOG_EVERY_N(Info, 100) << "worker message " << i;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
   SetLogLevel(original);
 }
 

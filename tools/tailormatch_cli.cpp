@@ -11,10 +11,17 @@
 //                          --format csv|jsonl --out pairs.csv
 //   tailormatch benchmarks | families
 //
+// Global options (any command):
+//   --metrics-out PATH   dump a JSON metrics snapshot (counters, gauges,
+//                        latency histograms, span tree) at exit
+//   --metrics-report     print the human-readable metrics tables to stderr
+//
 // Honors TM_SCALE / TM_EVAL_MAX / TM_EPOCHS / TM_CACHE_DIR.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <string>
@@ -22,13 +29,15 @@
 #include "core/pipeline.h"
 #include "data/dataset_io.h"
 #include "eval/evaluator.h"
+#include "eval/metrics_report.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 using namespace tailormatch;
 
 namespace {
 
-// Minimal --flag / --flag value parser.
+// Minimal --flag / --flag value / --flag=value parser.
 class ArgMap {
  public:
   ArgMap(int argc, char** argv, int first) {
@@ -40,6 +49,11 @@ class ArgMap {
         continue;
       }
       key = key.substr(2);
+      const size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_[key] = argv[++i];
       } else {
@@ -110,8 +124,34 @@ int Usage() {
       "  match      --model PATH --left TEXT --right TEXT [--scholar]\n"
       "  export     --benchmark B [--split train|valid|test]\n"
       "             [--format csv|jsonl] --out PATH\n"
-      "  benchmarks | families\n");
+      "  benchmarks | families\n"
+      "global options:\n"
+      "  --metrics-out PATH   dump a JSON metrics snapshot at exit\n"
+      "  --metrics-report     print metrics tables to stderr at exit\n");
   return 2;
+}
+
+// Exports the run's metrics after the command finishes (--metrics-out /
+// --metrics-report). Returns false if the JSON file cannot be written.
+bool EmitMetrics(const ArgMap& args) {
+  const std::string metrics_out = args.Get("metrics-out", "");
+  const bool want_report = args.Has("metrics-report");
+  if (metrics_out.empty() && !want_report) return true;
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  if (want_report) {
+    eval::PrintMetricsReport(snapshot, std::cerr);
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary | std::ios::trunc);
+    out << snapshot.ToJson() << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write metrics snapshot to %s\n",
+                   metrics_out.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 int CmdPretrain(const ArgMap& args) {
@@ -291,12 +331,24 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   ArgMap args(argc, argv, 2);
   if (!args.ok()) return Usage();
-  if (command == "pretrain") return CmdPretrain(args);
-  if (command == "finetune") return CmdFinetune(args);
-  if (command == "evaluate") return CmdEvaluate(args);
-  if (command == "match") return CmdMatch(args);
-  if (command == "export") return CmdExport(args);
-  if (command == "benchmarks") return CmdBenchmarks();
-  if (command == "families") return CmdFamilies();
-  return Usage();
+  int rc;
+  if (command == "pretrain") {
+    rc = CmdPretrain(args);
+  } else if (command == "finetune") {
+    rc = CmdFinetune(args);
+  } else if (command == "evaluate") {
+    rc = CmdEvaluate(args);
+  } else if (command == "match") {
+    rc = CmdMatch(args);
+  } else if (command == "export") {
+    rc = CmdExport(args);
+  } else if (command == "benchmarks") {
+    rc = CmdBenchmarks();
+  } else if (command == "families") {
+    rc = CmdFamilies();
+  } else {
+    return Usage();
+  }
+  if (!EmitMetrics(args) && rc == 0) rc = 1;
+  return rc;
 }
