@@ -4,11 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "data/generator.h"
 #include "llm/model_config.h"
 #include "llm/pretrainer.h"
 #include "llm/sim_llm.h"
 #include "llm/teacher.h"
+#include "nn/kernels.h"
 #include "nn/tensor.h"
 #include "text/similarity.h"
 #include "text/tokenizer.h"
@@ -28,6 +35,34 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(16)->Arg(32)->Arg(64);
+
+// Raw kernel-layer GEMM at a given size under a given backend, bypassing the
+// autograd graph. range(0) = size, range(1) = backend (0 reference,
+// 1 blocked), range(2) = thread count.
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto backend = state.range(1) == 0 ? nn::kernels::Backend::kReference
+                                           : nn::kernels::Backend::kBlocked;
+  nn::kernels::KernelScope scope(backend, static_cast<int>(state.range(2)));
+  Rng rng(5);
+  std::vector<float> a(static_cast<size_t>(n) * n);
+  std::vector<float> b(static_cast<size_t>(n) * n);
+  std::vector<float> c(static_cast<size_t>(n) * n, 0.0f);
+  for (float& x : a) x = static_cast<float>(rng.NextGaussian());
+  for (float& x : b) x = static_cast<float>(rng.NextGaussian());
+  for (auto _ : state) {
+    nn::kernels::GemmNN(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * int64_t{n} * n * n);
+}
+BENCHMARK(BM_Gemm)
+    ->Args({64, 0, 1})
+    ->Args({64, 1, 1})
+    ->Args({256, 0, 1})
+    ->Args({256, 1, 1})
+    ->Args({512, 1, 1})
+    ->Args({512, 1, 4});
 
 void BM_MatMulBackward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -140,6 +175,86 @@ void BM_SimLlmTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SimLlmTrainStep);
 
+// ---- BENCH_kernels.json ----
+//
+// Standalone GEMM sweep (64/256/512, reference vs blocked, 1 vs N threads)
+// written as JSON so CI and the roadmap table can diff kernel throughput
+// across commits without parsing google-benchmark's console output.
+
+double MeasureGemmGflops(int n, nn::kernels::Backend backend, int threads) {
+  nn::kernels::KernelScope scope(backend, threads);
+  Rng rng(6);
+  std::vector<float> a(static_cast<size_t>(n) * n);
+  std::vector<float> b(static_cast<size_t>(n) * n);
+  std::vector<float> c(static_cast<size_t>(n) * n, 0.0f);
+  for (float& x : a) x = static_cast<float>(rng.NextGaussian());
+  for (float& x : b) x = static_cast<float>(rng.NextGaussian());
+  const double flops = 2.0 * n * n * n;
+  nn::kernels::GemmNN(n, n, n, a.data(), b.data(), c.data());  // warm-up
+  double best_seconds = 1e30;
+  // Best-of-reps is robust to scheduler noise on a shared machine; repeat
+  // small sizes more so each rep is long enough to time.
+  const int reps = n >= 512 ? 3 : (n >= 256 ? 5 : 20);
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    nn::kernels::GemmNN(n, n, n, a.data(), b.data(), c.data());
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (seconds < best_seconds) best_seconds = seconds;
+  }
+  benchmark::DoNotOptimize(c.data());
+  return flops / best_seconds / 1e9;
+}
+
+void WriteKernelBenchJson(const char* path) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int many_threads = hw > 1 ? static_cast<int>(hw) : 4;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"gemm_kernels\",\n");
+  std::fprintf(f, "  \"flops_per_gemm\": \"2*n^3\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"results\": [\n");
+  bool first = true;
+  for (int n : {64, 256, 512}) {
+    const double ref = MeasureGemmGflops(n, nn::kernels::Backend::kReference, 1);
+    struct Row {
+      const char* backend;
+      int threads;
+      double gflops;
+    };
+    const Row rows[] = {
+        {"reference", 1, ref},
+        {"blocked", 1,
+         MeasureGemmGflops(n, nn::kernels::Backend::kBlocked, 1)},
+        {"blocked", many_threads,
+         MeasureGemmGflops(n, nn::kernels::Backend::kBlocked, many_threads)},
+    };
+    for (const Row& row : rows) {
+      std::fprintf(f,
+                   "%s    {\"size\": %d, \"backend\": \"%s\", \"threads\": "
+                   "%d, \"gflops\": %.2f, \"speedup_vs_reference\": %.2f}",
+                   first ? "" : ",\n", n, row.backend, row.threads, row.gflops,
+                   row.gflops / ref);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  WriteKernelBenchJson("BENCH_kernels.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,577 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace tailormatch::nn::kernels {
+
+namespace {
+
+// ---- Backend / thread configuration ----
+
+std::atomic<Backend> g_backend{Backend::kBlocked};
+std::atomic<int> g_threads{0};  // 0 = not yet resolved
+std::once_flag g_env_once;
+
+void InitFromEnv() {
+  if (const char* env = std::getenv("TM_KERNEL_BACKEND")) {
+    if (std::string(env) == "reference") {
+      g_backend.store(Backend::kReference, std::memory_order_relaxed);
+    }
+  }
+  int threads = 0;
+  if (const char* env = std::getenv("TM_KERNEL_THREADS")) {
+    threads = std::atoi(env);
+  }
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  // Only publish the default if SetThreads has not already run.
+  int expected = 0;
+  g_threads.compare_exchange_strong(expected, threads,
+                                    std::memory_order_relaxed);
+}
+
+// ---- Shared worker pool ----
+//
+// One persistent pool serves every kernel invocation; rebuilding a
+// ThreadPool per GEMM would dominate small shapes. The mutex is held for
+// the whole parallel region, which also serializes concurrent kernel
+// users — harmless, since the pool is saturated by one GEMM anyway and
+// small shapes never take this path.
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+size_t g_pool_size = 0;
+
+// Runs fn(begin, end) over [0, total) split into fixed `grain`-sized
+// chunks. Chunk boundaries depend only on `grain`, never on the thread
+// count, and every chunk owns a disjoint output range: this is what makes
+// results bitwise identical for any thread count.
+void ParallelChunks(int total, int grain,
+                    const std::function<void(int, int)>& fn) {
+  if (total <= 0) return;
+  const int num_chunks = (total + grain - 1) / grain;
+  const int num_threads = threads();
+  if (num_threads <= 1 || num_chunks <= 1) {
+    fn(0, total);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const size_t pool_size =
+      std::min(static_cast<size_t>(num_threads),
+               static_cast<size_t>(num_chunks));
+  if (!g_pool || g_pool_size != pool_size) {
+    g_pool.reset();
+    g_pool = std::make_unique<ThreadPool>(pool_size);
+    g_pool_size = pool_size;
+  }
+  for (int c = 0; c < num_chunks; ++c) {
+    const int begin = c * grain;
+    const int end = std::min(total, begin + grain);
+    g_pool->Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  g_pool->Wait();
+}
+
+// Work below this many FLOPs is not worth shipping to the pool.
+constexpr int64_t kParallelFlopThreshold = int64_t{1} << 21;  // ~2 MFLOP
+// Rows per parallel chunk for GEMM (fixed => deterministic partitioning).
+constexpr int kGemmRowGrain = 32;
+// Rows per parallel chunk for row-wise elementwise kernels.
+constexpr int kRowGrain = 64;
+
+// ---- Reference GEMM (the naive oracle loops, moved from tensor.cc) ----
+
+void GemmNNRef(int m, int n, int k, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void GemmNTRef(int m, int n, int k, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int j = 0; j < n; ++j) crow[j] += aip * b[j * k + p];
+    }
+  }
+}
+
+void GemmTNRef(int m, int n, int k, const float* a, const float* b, float* c) {
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < m; ++i) {
+      const float api = a[p * m + i];
+      if (api == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (int j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+}
+
+// ---- Blocked GEMM ----
+//
+// Register-tiled micro-kernel: a 4x32 tile of C lives in eight 16-wide
+// vector accumulators across a whole k panel, under an L1-sized k
+// blocking. GCC/Clang vector extensions (not intrinsics) keep this
+// portable — on AVX-512 each v16sf is one zmm register, elsewhere the
+// compiler splits it into narrower vectors. The k loop is manually
+// unrolled by 2 and accumulation over k stays in ascending order, so each
+// C element sees the same addition order as the reference loop within a
+// panel.
+
+constexpr int kMr = 4;    // rows per register tile
+constexpr int kNr = 32;   // cols per register tile (two v16sf)
+constexpr int kKc = 256;  // k panel: kKc x kNr of B = 32 KiB, L1/L2-resident
+
+typedef float v16sf __attribute__((vector_size(64), aligned(4)));
+
+inline void MicroKernel4x32(int kl, const float* a, int lda, const float* b,
+                            int ldb, float* c, int ldc) {
+  const float* a0 = a;
+  const float* a1 = a + lda;
+  const float* a2 = a + 2 * lda;
+  const float* a3 = a + 3 * lda;
+  v16sf c00 = *reinterpret_cast<const v16sf*>(c);
+  v16sf c01 = *reinterpret_cast<const v16sf*>(c + 16);
+  v16sf c10 = *reinterpret_cast<const v16sf*>(c + ldc);
+  v16sf c11 = *reinterpret_cast<const v16sf*>(c + ldc + 16);
+  v16sf c20 = *reinterpret_cast<const v16sf*>(c + 2 * ldc);
+  v16sf c21 = *reinterpret_cast<const v16sf*>(c + 2 * ldc + 16);
+  v16sf c30 = *reinterpret_cast<const v16sf*>(c + 3 * ldc);
+  v16sf c31 = *reinterpret_cast<const v16sf*>(c + 3 * ldc + 16);
+  int p = 0;
+  for (; p + 2 <= kl; p += 2) {
+    {
+      const float* brow = b + p * ldb;
+      const v16sf b0 = *reinterpret_cast<const v16sf*>(brow);
+      const v16sf b1 = *reinterpret_cast<const v16sf*>(brow + 16);
+      c00 += b0 * a0[p]; c01 += b1 * a0[p];
+      c10 += b0 * a1[p]; c11 += b1 * a1[p];
+      c20 += b0 * a2[p]; c21 += b1 * a2[p];
+      c30 += b0 * a3[p]; c31 += b1 * a3[p];
+    }
+    {
+      const float* brow = b + (p + 1) * ldb;
+      const v16sf b0 = *reinterpret_cast<const v16sf*>(brow);
+      const v16sf b1 = *reinterpret_cast<const v16sf*>(brow + 16);
+      c00 += b0 * a0[p + 1]; c01 += b1 * a0[p + 1];
+      c10 += b0 * a1[p + 1]; c11 += b1 * a1[p + 1];
+      c20 += b0 * a2[p + 1]; c21 += b1 * a2[p + 1];
+      c30 += b0 * a3[p + 1]; c31 += b1 * a3[p + 1];
+    }
+  }
+  for (; p < kl; ++p) {
+    const float* brow = b + p * ldb;
+    const v16sf b0 = *reinterpret_cast<const v16sf*>(brow);
+    const v16sf b1 = *reinterpret_cast<const v16sf*>(brow + 16);
+    c00 += b0 * a0[p]; c01 += b1 * a0[p];
+    c10 += b0 * a1[p]; c11 += b1 * a1[p];
+    c20 += b0 * a2[p]; c21 += b1 * a2[p];
+    c30 += b0 * a3[p]; c31 += b1 * a3[p];
+  }
+  *reinterpret_cast<v16sf*>(c) = c00;
+  *reinterpret_cast<v16sf*>(c + 16) = c01;
+  *reinterpret_cast<v16sf*>(c + ldc) = c10;
+  *reinterpret_cast<v16sf*>(c + ldc + 16) = c11;
+  *reinterpret_cast<v16sf*>(c + 2 * ldc) = c20;
+  *reinterpret_cast<v16sf*>(c + 2 * ldc + 16) = c21;
+  *reinterpret_cast<v16sf*>(c + 3 * ldc) = c30;
+  *reinterpret_cast<v16sf*>(c + 3 * ldc + 16) = c31;
+}
+
+// Generic edge kernel for tile remainders; same ascending-k accumulation.
+inline void EdgeKernel(int rows, int j0, int j1, int kl, const float* a,
+                       int lda, const float* b, int ldb, float* c, int ldc) {
+  for (int r = 0; r < rows; ++r) {
+    for (int p = 0; p < kl; ++p) {
+      const float av = a[r * lda + p];
+      const float* brow = b + p * ldb;
+      float* crow = c + r * ldc;
+      for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmNNBlockedRange(int i0, int i1, int n, int k, const float* a,
+                        const float* b, float* c) {
+  const int jn_full = (n / kNr) * kNr;
+  for (int kc = 0; kc < k; kc += kKc) {
+    const int kl = std::min(kKc, k - kc);
+    const float* bpanel = b + kc * n;
+    for (int i = i0; i < i1; i += kMr) {
+      const int rows = std::min(kMr, i1 - i);
+      const float* apanel = a + i * k + kc;
+      float* crow = c + i * n;
+      if (rows == kMr) {
+        for (int j = 0; j < jn_full; j += kNr) {
+          MicroKernel4x32(kl, apanel, k, bpanel + j, n, crow + j, n);
+        }
+      } else if (jn_full > 0) {
+        EdgeKernel(rows, 0, jn_full, kl, apanel, k, bpanel, n, crow, n);
+      }
+      if (jn_full < n) {
+        EdgeKernel(rows, jn_full, n, kl, apanel, k, bpanel, n, crow, n);
+      }
+    }
+  }
+}
+
+void GemmNNBlocked(int m, int n, int k, const float* a, const float* b,
+                   float* c) {
+  const int64_t flops = 2 * int64_t{m} * n * k;
+  if (flops >= kParallelFlopThreshold) {
+    ParallelChunks(m, kGemmRowGrain, [&](int i0, int i1) {
+      GemmNNBlockedRange(i0, i1, n, k, a, b, c);
+    });
+  } else {
+    GemmNNBlockedRange(0, m, n, k, a, b, c);
+  }
+}
+
+// Scratch for the transposed operand of the NT/TN variants. thread_local:
+// the transpose runs on the calling thread before any parallel fan-out.
+thread_local std::vector<float> g_scratch;
+
+void GemmNTBlocked(int m, int n, int k, const float* a, const float* b,
+                   float* c) {
+  // B is (n x k); transpose once (O(nk)) and reuse the NN kernel (O(mnk)).
+  g_scratch.resize(static_cast<size_t>(k) * n);
+  float* bt = g_scratch.data();
+  for (int j = 0; j < n; ++j) {
+    const float* brow = b + static_cast<size_t>(j) * k;
+    for (int p = 0; p < k; ++p) bt[static_cast<size_t>(p) * n + j] = brow[p];
+  }
+  GemmNNBlocked(m, n, k, a, bt, c);
+  if (g_scratch.size() > (size_t{1} << 22)) {
+    g_scratch.clear();
+    g_scratch.shrink_to_fit();
+  }
+}
+
+void GemmTNBlocked(int m, int n, int k, const float* a, const float* b,
+                   float* c) {
+  // A is (k x m); transpose once and reuse the NN kernel.
+  g_scratch.resize(static_cast<size_t>(m) * k);
+  float* at = g_scratch.data();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a + static_cast<size_t>(p) * m;
+    for (int i = 0; i < m; ++i) at[static_cast<size_t>(i) * k + p] = arow[i];
+  }
+  GemmNNBlocked(m, n, k, at, b, c);
+  if (g_scratch.size() > (size_t{1} << 22)) {
+    g_scratch.clear();
+    g_scratch.shrink_to_fit();
+  }
+}
+
+// ---- Softmax ----
+
+void SoftmaxRowsRange(int r0, int r1, int n, const float* in, float* out) {
+  for (int i = r0; i < r1; ++i) {
+    const float* x = in + static_cast<size_t>(i) * n;
+    float* o = out + static_cast<size_t>(i) * n;
+    float max_v = x[0];
+    for (int j = 1; j < n; ++j) max_v = std::max(max_v, x[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      o[j] = std::exp(x[j] - max_v);
+      sum += o[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < n; ++j) o[j] *= inv;
+  }
+}
+
+void SoftmaxBackwardRowsRange(int r0, int r1, int n, const float* y,
+                              const float* dy, float* dx) {
+  for (int i = r0; i < r1; ++i) {
+    const float* yi = y + static_cast<size_t>(i) * n;
+    const float* gi = dy + static_cast<size_t>(i) * n;
+    float* di = dx + static_cast<size_t>(i) * n;
+    float dot = 0.0f;
+    for (int j = 0; j < n; ++j) dot += yi[j] * gi[j];
+    for (int j = 0; j < n; ++j) di[j] += yi[j] * (gi[j] - dot);
+  }
+}
+
+// ---- LayerNorm ----
+
+void LayerNormRowsRef(int rows, int n, const float* x, const float* gain,
+                      const float* bias, float epsilon, float* out,
+                      float* stats) {
+  for (int i = 0; i < rows; ++i) {
+    const float* in = x + static_cast<size_t>(i) * n;
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) mean += in[j];
+    mean /= n;
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) var += (in[j] - mean) * (in[j] - mean);
+    var /= n;
+    const float inv_std = 1.0f / std::sqrt(var + epsilon);
+    stats[i * 2] = mean;
+    stats[i * 2 + 1] = inv_std;
+    float* o = out + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      o[j] = (in[j] - mean) * inv_std * gain[j] + bias[j];
+    }
+  }
+}
+
+// Fused variant: one kernel produces out + saved stats for the whole row
+// range (parallelizable over rows). The mean/var arithmetic deliberately
+// matches LayerNormRowsRef bit for bit — the dx backward formula amplifies
+// even float-level stat differences through cancellation, and identical
+// stats make the two backends bitwise interchangeable.
+void LayerNormRowsFusedRange(int r0, int r1, int n, const float* x,
+                             const float* gain, const float* bias,
+                             float epsilon, float* out, float* stats) {
+  for (int i = r0; i < r1; ++i) {
+    const float* in = x + static_cast<size_t>(i) * n;
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) mean += in[j];
+    mean /= n;
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) var += (in[j] - mean) * (in[j] - mean);
+    var /= n;
+    const float inv_std = 1.0f / std::sqrt(var + epsilon);
+    stats[i * 2] = mean;
+    stats[i * 2 + 1] = inv_std;
+    float* o = out + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      o[j] = (in[j] - mean) * inv_std * gain[j] + bias[j];
+    }
+  }
+}
+
+void LayerNormBackwardRowsImpl(int rows, int n, const float* x,
+                               const float* gain, const float* stats,
+                               const float* dy, float* dx, float* dgain,
+                               float* dbias) {
+  // dgain/dbias are cross-row reductions: kept serial and in row order so
+  // results never depend on the thread count (ordered-reduction contract).
+  for (int i = 0; i < rows; ++i) {
+    const float mean = stats[i * 2];
+    const float inv_std = stats[i * 2 + 1];
+    const float* xi = x + static_cast<size_t>(i) * n;
+    const float* gy = dy + static_cast<size_t>(i) * n;
+    if (dgain != nullptr) {
+      for (int j = 0; j < n; ++j) {
+        dgain[j] += gy[j] * (xi[j] - mean) * inv_std;
+      }
+    }
+    if (dbias != nullptr) {
+      for (int j = 0; j < n; ++j) dbias[j] += gy[j];
+    }
+    if (dx != nullptr) {
+      float sum_dxhat = 0.0f;
+      float sum_dxhat_xhat = 0.0f;
+      for (int j = 0; j < n; ++j) {
+        const float xhat = (xi[j] - mean) * inv_std;
+        const float dxhat = gy[j] * gain[j];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xhat;
+      }
+      float* di = dx + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float xhat = (xi[j] - mean) * inv_std;
+        const float dxhat = gy[j] * gain[j];
+        di[j] += inv_std *
+                 (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n);
+      }
+    }
+  }
+}
+
+// ---- Bias + GELU ----
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+inline float GeluForward(float z) {
+  const float t = std::tanh(kGeluC * (z + 0.044715f * z * z * z));
+  return 0.5f * z * (1.0f + t);
+}
+
+inline float GeluDerivative(float z) {
+  const float u = kGeluC * (z + 0.044715f * z * z * z);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * 0.044715f * z * z);
+  return 0.5f * (1.0f + t) + 0.5f * z * (1.0f - t * t) * du;
+}
+
+void BiasGeluRowsRange(int r0, int r1, int n, const float* x,
+                       const float* bias, float* out) {
+  for (int i = r0; i < r1; ++i) {
+    const float* xi = x + static_cast<size_t>(i) * n;
+    float* o = out + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) o[j] = GeluForward(xi[j] + bias[j]);
+  }
+}
+
+}  // namespace
+
+// ---- Public configuration ----
+
+Backend backend() {
+  std::call_once(g_env_once, InitFromEnv);
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+void SetBackend(Backend b) {
+  std::call_once(g_env_once, InitFromEnv);
+  g_backend.store(b, std::memory_order_relaxed);
+}
+
+int threads() {
+  std::call_once(g_env_once, InitFromEnv);
+  return g_threads.load(std::memory_order_relaxed);
+}
+
+void SetThreads(int n) {
+  TM_CHECK_GT(n, 0);
+  std::call_once(g_env_once, InitFromEnv);
+  g_threads.store(n, std::memory_order_relaxed);
+}
+
+KernelScope::KernelScope(Backend b)
+    : prev_backend_(backend()), prev_threads_(threads()) {
+  SetBackend(b);
+}
+
+KernelScope::KernelScope(Backend b, int num_threads)
+    : prev_backend_(backend()), prev_threads_(threads()) {
+  SetBackend(b);
+  SetThreads(num_threads);
+}
+
+KernelScope::~KernelScope() {
+  SetBackend(prev_backend_);
+  SetThreads(prev_threads_);
+}
+
+// ---- Public kernels ----
+
+void GemmNN(int m, int n, int k, const float* a, const float* b, float* c) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (backend() == Backend::kReference) {
+    GemmNNRef(m, n, k, a, b, c);
+  } else {
+    GemmNNBlocked(m, n, k, a, b, c);
+  }
+}
+
+void GemmNT(int m, int n, int k, const float* a, const float* b, float* c) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (backend() == Backend::kReference) {
+    GemmNTRef(m, n, k, a, b, c);
+  } else {
+    GemmNTBlocked(m, n, k, a, b, c);
+  }
+}
+
+void GemmTN(int m, int n, int k, const float* a, const float* b, float* c) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (backend() == Backend::kReference) {
+    GemmTNRef(m, n, k, a, b, c);
+  } else {
+    GemmTNBlocked(m, n, k, a, b, c);
+  }
+}
+
+void SoftmaxRows(int rows, int n, const float* in, float* out) {
+  if (rows <= 0 || n <= 0) return;
+  if (backend() == Backend::kReference || rows < 2 * kRowGrain) {
+    SoftmaxRowsRange(0, rows, n, in, out);
+  } else {
+    ParallelChunks(rows, kRowGrain, [&](int r0, int r1) {
+      SoftmaxRowsRange(r0, r1, n, in, out);
+    });
+  }
+}
+
+void SoftmaxBackwardRows(int rows, int n, const float* y, const float* dy,
+                         float* dx) {
+  if (rows <= 0 || n <= 0) return;
+  if (backend() == Backend::kReference || rows < 2 * kRowGrain) {
+    SoftmaxBackwardRowsRange(0, rows, n, y, dy, dx);
+  } else {
+    ParallelChunks(rows, kRowGrain, [&](int r0, int r1) {
+      SoftmaxBackwardRowsRange(r0, r1, n, y, dy, dx);
+    });
+  }
+}
+
+void LayerNormRows(int rows, int n, const float* x, const float* gain,
+                   const float* bias, float epsilon, float* out,
+                   float* stats) {
+  if (rows <= 0 || n <= 0) return;
+  if (backend() == Backend::kReference) {
+    LayerNormRowsRef(rows, n, x, gain, bias, epsilon, out, stats);
+  } else if (rows < 2 * kRowGrain) {
+    LayerNormRowsFusedRange(0, rows, n, x, gain, bias, epsilon, out, stats);
+  } else {
+    ParallelChunks(rows, kRowGrain, [&](int r0, int r1) {
+      LayerNormRowsFusedRange(r0, r1, n, x, gain, bias, epsilon, out, stats);
+    });
+  }
+}
+
+void LayerNormBackwardRows(int rows, int n, const float* x, const float* gain,
+                           const float* stats, const float* dy, float* dx,
+                           float* dgain, float* dbias) {
+  if (rows <= 0 || n <= 0) return;
+  LayerNormBackwardRowsImpl(rows, n, x, gain, stats, dy, dx, dgain, dbias);
+}
+
+void BiasGeluRows(int rows, int n, const float* x, const float* bias,
+                  float* out) {
+  if (rows <= 0 || n <= 0) return;
+  if (backend() == Backend::kReference || rows < 2 * kRowGrain) {
+    BiasGeluRowsRange(0, rows, n, x, bias, out);
+  } else {
+    ParallelChunks(rows, kRowGrain, [&](int r0, int r1) {
+      BiasGeluRowsRange(r0, r1, n, x, bias, out);
+    });
+  }
+}
+
+void BiasGeluBackwardRows(int rows, int n, const float* x, const float* bias,
+                          const float* dy, float* dx, float* dbias) {
+  if (rows <= 0 || n <= 0) return;
+  // The gelu'(x+b) term feeds both dx and dbias, so one fused pass serves
+  // both. The dbias reduction runs in row order regardless of threads.
+  for (int i = 0; i < rows; ++i) {
+    const float* xi = x + static_cast<size_t>(i) * n;
+    const float* gi = dy + static_cast<size_t>(i) * n;
+    float* di = dx != nullptr ? dx + static_cast<size_t>(i) * n : nullptr;
+    for (int j = 0; j < n; ++j) {
+      const float t = gi[j] * GeluDerivative(xi[j] + bias[j]);
+      if (di != nullptr) di[j] += t;
+      if (dbias != nullptr) dbias[j] += t;
+    }
+  }
+}
+
+}  // namespace tailormatch::nn::kernels

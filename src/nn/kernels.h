@@ -1,0 +1,94 @@
+#ifndef TAILORMATCH_NN_KERNELS_H_
+#define TAILORMATCH_NN_KERNELS_H_
+
+// Compute kernels behind the tensor ops. Every kernel exists in two
+// implementations selected through a process-wide dispatch seam:
+//
+//  * kReference — the original naive loops. Kept verbatim as the numeric
+//    oracle; the differential tests in tests/nn/kernel_oracle_test.cpp pin
+//    the optimized backend to these within a relative tolerance.
+//  * kBlocked — cache-blocked, manually unrolled and (for large shapes)
+//    thread-pool-parallel kernels.
+//
+// Determinism contract: for a fixed backend, every kernel produces
+// *bitwise identical* results regardless of the configured thread count.
+// Work is partitioned into fixed-size row chunks (independent of the
+// thread count) and each output element is owned by exactly one chunk, so
+// there are no cross-thread reductions and no order ambiguity.
+//
+// GEMM naming follows BLAS: all variants compute C += op(A) * op(B) with
+// C of shape (M x N) and an inner dimension K. Buffers are dense row-major
+// and must not alias.
+
+#include <cstddef>
+
+namespace tailormatch::nn::kernels {
+
+enum class Backend {
+  kReference,  // naive oracle loops
+  kBlocked,    // cache-blocked + threaded
+};
+
+// Process-wide backend selection. Defaults to kBlocked unless the
+// TM_KERNEL_BACKEND environment variable says "reference".
+Backend backend();
+void SetBackend(Backend b);
+
+// Worker threads the blocked backend may use (the reference backend is
+// always serial). Defaults to TM_KERNEL_THREADS or hardware_concurrency().
+// Thread count never changes results, only wall-clock.
+int threads();
+void SetThreads(int n);
+
+// RAII override for tests: pins backend (and optionally thread count) for
+// the current scope, restoring the previous configuration on destruction.
+class KernelScope {
+ public:
+  explicit KernelScope(Backend b);
+  KernelScope(Backend b, int num_threads);
+  ~KernelScope();
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  Backend prev_backend_;
+  int prev_threads_;
+};
+
+// ---- GEMM family ----
+
+// C(MxN) += A(MxK) * B(KxN).
+void GemmNN(int m, int n, int k, const float* a, const float* b, float* c);
+// C(MxN) += A(MxK) * B(NxK)^T  (dA = dOut * B^T uses this).
+void GemmNT(int m, int n, int k, const float* a, const float* b, float* c);
+// C(MxN) += A(KxM)^T * B(KxN)  (dB = A^T * dOut uses this).
+void GemmTN(int m, int n, int k, const float* a, const float* b, float* c);
+
+// ---- Fused row-wise kernels ----
+
+// Row-wise softmax: out[r] = softmax(in[r]). in/out may not alias.
+void SoftmaxRows(int rows, int n, const float* in, float* out);
+// Accumulates d(in) into dx given softmax output y and upstream dy.
+void SoftmaxBackwardRows(int rows, int n, const float* y, const float* dy,
+                         float* dx);
+
+// Row-wise layer norm with learned gain/bias (n each). Writes per-row
+// {mean, inv_std} pairs into stats (2 * rows floats) for the backward.
+void LayerNormRows(int rows, int n, const float* x, const float* gain,
+                   const float* bias, float epsilon, float* out, float* stats);
+// Accumulates gradients; any of dx/dgain/dbias may be null to skip.
+void LayerNormBackwardRows(int rows, int n, const float* x, const float* gain,
+                           const float* stats, const float* dy, float* dx,
+                           float* dgain, float* dbias);
+
+// Fused bias-add + tanh-approximation GELU: out[r][j] = gelu(x[r][j] + b[j]).
+void BiasGeluRows(int rows, int n, const float* x, const float* bias,
+                  float* out);
+// Accumulates gradients; dx/dbias may be null to skip.
+void BiasGeluBackwardRows(int rows, int n, const float* x, const float* bias,
+                          const float* dy, float* dx, float* dbias);
+
+}  // namespace tailormatch::nn::kernels
+
+#endif  // TAILORMATCH_NN_KERNELS_H_

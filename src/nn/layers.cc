@@ -65,6 +65,20 @@ Tensor LoraLinear::Forward(const Tensor& x, const ForwardContext& ctx) const {
   return Add(base, Scale(delta, scaling));
 }
 
+Tensor LoraLinear::ForwardNoBias(const Tensor& x,
+                                 const ForwardContext& ctx) const {
+  Tensor base = MatMul(x, weight_);
+  if (!lora_enabled_) return base;
+  Tensor dropped = x;
+  if (ctx.rng != nullptr) {
+    dropped = DropoutOp(x, lora_config_.dropout, ctx.training, *ctx.rng);
+  }
+  Tensor delta = MatMul(MatMul(dropped, lora_a_), lora_b_);
+  const float scaling =
+      lora_config_.alpha / static_cast<float>(lora_config_.rank);
+  return Add(base, Scale(delta, scaling));
+}
+
 void LoraLinear::CollectParameters(std::vector<Tensor>* out) const {
   if (lora_enabled_) {
     out->push_back(lora_a_);
@@ -210,7 +224,10 @@ FeedForward::FeedForward(int dim, Rng& rng) {
 }
 
 Tensor FeedForward::Forward(const Tensor& x, const ForwardContext& ctx) const {
-  return down_->Forward(Gelu(up_->Forward(x, ctx)), ctx);
+  // Bias-GELU fusion: the up-projection's bias add and the GELU run as one
+  // kernel / graph node instead of two.
+  return down_->Forward(BiasGelu(up_->ForwardNoBias(x, ctx), up_->bias()),
+                        ctx);
 }
 
 void FeedForward::CollectParameters(std::vector<Tensor>* out) const {

@@ -65,6 +65,11 @@ class LoraLinear : public Module {
 
   Tensor Forward(const Tensor& x, const ForwardContext& ctx) const;
 
+  // Pre-bias linear output: x W (+ the scaled LoRA delta). Lets callers
+  // fuse the bias add into a following activation kernel (see
+  // FeedForward's bias-GELU fusion).
+  Tensor ForwardNoBias(const Tensor& x, const ForwardContext& ctx) const;
+
   void CollectParameters(std::vector<Tensor>* out) const override;
   void CollectStateTensors(std::vector<Tensor>* out) const override;
 
@@ -72,6 +77,7 @@ class LoraLinear : public Module {
   int out_dim() const { return out_dim_; }
   Tensor& weight() { return weight_; }
   Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
 
  private:
   int in_dim_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/kernels.h"
+
 namespace tailormatch::nn {
 
 using internal::TensorImpl;
@@ -96,18 +98,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   TM_CHECK_EQ(a.cols(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out = MakeResult(m, n, {a, b});
-  const float* av = a.data().data();
-  const float* bv = b.data().data();
-  float* ov = out.data().data();
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = av[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = bv + kk * n;
-      float* orow = ov + i * n;
-      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  kernels::GemmNN(m, n, k, a.data().data(), b.data().data(),
+                  out.data().data());
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto bi = b.impl();
@@ -116,34 +108,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       const float* og = oi->grad.data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        // dA = dOut * B^T
-        const float* bv = bi->value.data();
-        float* ag = ai->grad.data();
-        for (int i = 0; i < m; ++i) {
-          for (int j = 0; j < n; ++j) {
-            const float g = og[i * n + j];
-            if (g == 0.0f) continue;
-            const float* brow = bv;  // b[kk * n + j]
-            for (int kk = 0; kk < k; ++kk) {
-              ag[i * k + kk] += g * brow[kk * n + j];
-            }
-          }
-        }
+        // dA(m x k) += dOut(m x n) * B(k x n)^T
+        kernels::GemmNT(m, k, n, og, bi->value.data(), ai->grad.data());
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        // dB = A^T * dOut
-        const float* av = ai->value.data();
-        float* bg = bi->grad.data();
-        for (int i = 0; i < m; ++i) {
-          for (int kk = 0; kk < k; ++kk) {
-            const float aik = av[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* orow = og + i * n;
-            float* brow = bg + kk * n;
-            for (int j = 0; j < n; ++j) brow[j] += aik * orow[j];
-          }
-        }
+        // dB(k x n) += A(m x k)^T * dOut(m x n)
+        kernels::GemmTN(k, n, m, ai->value.data(), og, bi->grad.data());
       }
     };
   }
@@ -318,33 +289,15 @@ Tensor Tanh(const Tensor& a) {
 Tensor Softmax(const Tensor& a) {
   Tensor out = MakeResult(a.rows(), a.cols(), {a});
   const int n = a.cols();
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* in = a.data().data() + i * n;
-    float* o = out.data().data() + i * n;
-    float max_v = in[0];
-    for (int j = 1; j < n; ++j) max_v = std::max(max_v, in[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      o[j] = std::exp(in[j] - max_v);
-      sum += o[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int j = 0; j < n; ++j) o[j] *= inv;
-  }
+  kernels::SoftmaxRows(a.rows(), n, a.data().data(), out.data().data());
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     const int rows = a.rows();
     out.impl()->backward_fn = [ai, oi, rows, n]() {
       ai->EnsureGrad();
-      for (int i = 0; i < rows; ++i) {
-        const float* y = oi->value.data() + i * n;
-        const float* gy = oi->grad.data() + i * n;
-        float dot = 0.0f;
-        for (int j = 0; j < n; ++j) dot += y[j] * gy[j];
-        float* ga = ai->grad.data() + i * n;
-        for (int j = 0; j < n; ++j) ga[j] += y[j] * (gy[j] - dot);
-      }
+      kernels::SoftmaxBackwardRows(rows, n, oi->value.data(), oi->grad.data(),
+                                   ai->grad.data());
     };
   }
   return out;
@@ -361,22 +314,9 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gain, const Tensor& bias,
   // Cache per-row mean and inverse stddev for the backward pass.
   auto stats = std::make_shared<std::vector<float>>(
       static_cast<size_t>(a.rows()) * 2);
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* in = a.data().data() + i * n;
-    float mean = 0.0f;
-    for (int j = 0; j < n; ++j) mean += in[j];
-    mean /= n;
-    float var = 0.0f;
-    for (int j = 0; j < n; ++j) var += (in[j] - mean) * (in[j] - mean);
-    var /= n;
-    const float inv_std = 1.0f / std::sqrt(var + epsilon);
-    (*stats)[i * 2] = mean;
-    (*stats)[i * 2 + 1] = inv_std;
-    float* o = out.data().data() + i * n;
-    for (int j = 0; j < n; ++j) {
-      o[j] = (in[j] - mean) * inv_std * gain.data()[j] + bias.data()[j];
-    }
-  }
+  kernels::LayerNormRows(a.rows(), n, a.data().data(), gain.data().data(),
+                         bias.data().data(), epsilon, out.data().data(),
+                         stats->data());
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto gi = gain.impl();
@@ -384,41 +324,54 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gain, const Tensor& bias,
     auto oi = out.impl().get();
     const int rows = a.rows();
     out.impl()->backward_fn = [ai, gi, bi, oi, stats, rows, n]() {
-      for (int i = 0; i < rows; ++i) {
-        const float mean = (*stats)[i * 2];
-        const float inv_std = (*stats)[i * 2 + 1];
-        const float* x = ai->value.data() + i * n;
-        const float* gy = oi->grad.data() + i * n;
-        if (gi->requires_grad) {
-          gi->EnsureGrad();
-          for (int j = 0; j < n; ++j) {
-            gi->grad[j] += gy[j] * (x[j] - mean) * inv_std;
-          }
-        }
-        if (bi->requires_grad) {
-          bi->EnsureGrad();
-          for (int j = 0; j < n; ++j) bi->grad[j] += gy[j];
-        }
-        if (ai->requires_grad) {
-          ai->EnsureGrad();
-          // d xhat_j = gy_j * gain_j ; standard layer-norm backward.
-          float sum_dxhat = 0.0f;
-          float sum_dxhat_xhat = 0.0f;
-          for (int j = 0; j < n; ++j) {
-            const float xhat = (x[j] - mean) * inv_std;
-            const float dxhat = gy[j] * gi->value[j];
-            sum_dxhat += dxhat;
-            sum_dxhat_xhat += dxhat * xhat;
-          }
-          float* ga = ai->grad.data() + i * n;
-          for (int j = 0; j < n; ++j) {
-            const float xhat = (x[j] - mean) * inv_std;
-            const float dxhat = gy[j] * gi->value[j];
-            ga[j] += inv_std *
-                     (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n);
-          }
-        }
+      float* dgain = nullptr;
+      float* dbias = nullptr;
+      float* dx = nullptr;
+      if (gi->requires_grad) {
+        gi->EnsureGrad();
+        dgain = gi->grad.data();
       }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        dbias = bi->grad.data();
+      }
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        dx = ai->grad.data();
+      }
+      kernels::LayerNormBackwardRows(rows, n, ai->value.data(),
+                                     gi->value.data(), stats->data(),
+                                     oi->grad.data(), dx, dgain, dbias);
+    };
+  }
+  return out;
+}
+
+Tensor BiasGelu(const Tensor& a, const Tensor& bias) {
+  TM_CHECK_EQ(bias.rows(), 1);
+  TM_CHECK_EQ(a.cols(), bias.cols());
+  const int rows = a.rows(), n = a.cols();
+  Tensor out = MakeResult(rows, n, {a, bias});
+  kernels::BiasGeluRows(rows, n, a.data().data(), bias.data().data(),
+                        out.data().data());
+  if (out.requires_grad()) {
+    auto ai = a.impl();
+    auto bi = bias.impl();
+    auto oi = out.impl().get();
+    out.impl()->backward_fn = [ai, bi, oi, rows, n]() {
+      float* dx = nullptr;
+      float* dbias = nullptr;
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        dx = ai->grad.data();
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        dbias = bi->grad.data();
+      }
+      kernels::BiasGeluBackwardRows(rows, n, ai->value.data(),
+                                    bi->value.data(), oi->grad.data(), dx,
+                                    dbias);
     };
   }
   return out;

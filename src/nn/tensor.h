@@ -125,6 +125,9 @@ Tensor Scale(const Tensor& a, float s);
 Tensor Relu(const Tensor& a);
 Tensor Gelu(const Tensor& a);
 Tensor Tanh(const Tensor& a);
+// Fused AddRowBroadcast + Gelu: gelu(a + row-broadcast bias) in a single
+// kernel and graph node. bias is (1 x n).
+Tensor BiasGelu(const Tensor& a, const Tensor& bias);
 // Row-wise softmax.
 Tensor Softmax(const Tensor& a);
 // Row-wise layer normalization with learned gain/bias (1 x n each).

@@ -1,0 +1,104 @@
+// Finite-difference gradient checks for the fused softmax / layernorm /
+// bias-GELU backward kernels, run under the blocked backend (the reference
+// backward paths are covered by tensor_test.cpp's gradcheck).
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/kernels.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace tailormatch::nn {
+namespace {
+
+using kernels::Backend;
+using kernels::KernelScope;
+
+// Central-difference gradient check of a scalar-valued graph against the
+// analytic backward pass.
+void CheckGradients(const std::vector<Tensor>& inputs,
+                    const std::function<Tensor()>& fn, float tolerance = 2e-2f,
+                    float epsilon = 1e-3f) {
+  Tensor loss = fn();
+  ASSERT_EQ(loss.size(), 1u) << "gradcheck needs a scalar output";
+  for (const Tensor& input : inputs) {
+    const_cast<Tensor&>(input).ZeroGrad();
+  }
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  for (const Tensor& input : inputs) analytic.push_back(input.grad());
+
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Tensor input = inputs[t];
+    for (size_t i = 0; i < input.size(); ++i) {
+      const float original = input.data()[i];
+      input.data()[i] = original + epsilon;
+      const float plus = fn().item();
+      input.data()[i] = original - epsilon;
+      const float minus = fn().item();
+      input.data()[i] = original;
+      const float numeric = (plus - minus) / (2.0f * epsilon);
+      EXPECT_NEAR(analytic[t][i], numeric,
+                  tolerance * std::max(1.0f, std::abs(numeric)))
+          << "tensor " << t << " element " << i;
+    }
+  }
+}
+
+Tensor RandTensor(int rows, int cols, Rng& rng, float scale = 1.0f) {
+  return Tensor::Randn(rows, cols, scale, rng, /*requires_grad=*/true);
+}
+
+TEST(FusedGradcheckTest, SoftmaxBackward) {
+  KernelScope scope(Backend::kBlocked);
+  Rng rng(31);
+  Tensor x = RandTensor(5, 7, rng);
+  Tensor w = Tensor::Randn(5, 7, 1.0f, rng, /*requires_grad=*/false);
+  CheckGradients({x}, [&] { return Sum(Mul(Softmax(x), w)); });
+}
+
+TEST(FusedGradcheckTest, LayerNormBackward) {
+  KernelScope scope(Backend::kBlocked);
+  Rng rng(32);
+  Tensor x = RandTensor(4, 9, rng);
+  Tensor gain = RandTensor(1, 9, rng, 0.5f);
+  Tensor bias = RandTensor(1, 9, rng, 0.5f);
+  Tensor w = Tensor::Randn(4, 9, 1.0f, rng, /*requires_grad=*/false);
+  CheckGradients({x, gain, bias},
+                 [&] { return Sum(Mul(LayerNormOp(x, gain, bias), w)); });
+}
+
+TEST(FusedGradcheckTest, BiasGeluBackward) {
+  KernelScope scope(Backend::kBlocked);
+  Rng rng(33);
+  Tensor x = RandTensor(6, 8, rng);
+  Tensor bias = RandTensor(1, 8, rng, 0.5f);
+  Tensor w = Tensor::Randn(6, 8, 1.0f, rng, /*requires_grad=*/false);
+  CheckGradients({x, bias}, [&] { return Sum(Mul(BiasGelu(x, bias), w)); });
+}
+
+TEST(FusedGradcheckTest, BiasGeluOnlyBiasRequiresGrad) {
+  KernelScope scope(Backend::kBlocked);
+  Rng rng(34);
+  Tensor x = Tensor::Randn(3, 5, 1.0f, rng, /*requires_grad=*/false);
+  Tensor bias = RandTensor(1, 5, rng, 0.5f);
+  Tensor w = Tensor::Randn(3, 5, 1.0f, rng, /*requires_grad=*/false);
+  CheckGradients({bias}, [&] { return Sum(Mul(BiasGelu(x, bias), w)); });
+}
+
+TEST(FusedGradcheckTest, GemmBackwardUnderBlockedBackend) {
+  KernelScope scope(Backend::kBlocked);
+  Rng rng(35);
+  // 33 rows straddles the 32-row parallel chunk; 40 cols straddles kNr=32.
+  Tensor a = RandTensor(33, 6, rng, 0.3f);
+  Tensor b = RandTensor(6, 40, rng, 0.3f);
+  Tensor w = Tensor::Randn(33, 40, 1.0f, rng, /*requires_grad=*/false);
+  CheckGradients({a, b}, [&] { return Sum(Mul(MatMul(a, b), w)); });
+}
+
+}  // namespace
+}  // namespace tailormatch::nn

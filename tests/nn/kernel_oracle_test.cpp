@@ -1,0 +1,250 @@
+// Differential "kernel oracle" tests: every optimized kernel must agree
+// with the reference backend within a 1e-5 relative tolerance, over a
+// randomized sweep of shapes that includes degenerate sizes (m/n/k = 1)
+// and sizes straddling the register-tile and chunk boundaries. Also pins
+// the thread-count invariance contract: for the blocked backend, results
+// are bitwise identical for any thread count.
+
+#include "nn/kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace tailormatch::nn {
+namespace {
+
+using kernels::Backend;
+using kernels::KernelScope;
+
+// Mixed absolute/relative tolerance: 1e-5 relative with a 1e-5 floor so
+// near-zero elements don't demand impossible precision.
+void ExpectClose(const std::vector<float>& ref, const std::vector<float>& opt,
+                 const char* what) {
+  ASSERT_EQ(ref.size(), opt.size()) << what;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const float tol = 1e-5f * (1.0f + std::abs(ref[i]));
+    ASSERT_NEAR(ref[i], opt[i], tol) << what << " element " << i;
+  }
+}
+
+std::vector<float> RandVec(size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+// Runs one MatMul forward + backward (which exercises GemmNN, GemmNT and
+// GemmTN) and returns {out, dA, dB}.
+struct GemmResult {
+  std::vector<float> out, da, db;
+};
+
+GemmResult RunMatMul(int m, int k, int n, const std::vector<float>& av,
+                     const std::vector<float>& bv,
+                     const std::vector<float>& seed) {
+  Tensor a = Tensor::FromData(m, k, av, /*requires_grad=*/true);
+  Tensor b = Tensor::FromData(k, n, bv, /*requires_grad=*/true);
+  Tensor out = MatMul(a, b);
+  // Weight the output with a fixed random tensor so upstream gradients are
+  // non-trivial before reducing to a scalar.
+  Tensor w = Tensor::FromData(m, n, seed);
+  Sum(Mul(out, w)).Backward();
+  return {out.data(), a.grad(), b.grad()};
+}
+
+TEST(KernelOracleTest, GemmMatchesReferenceOverRandomShapes) {
+  Rng rng(1234);
+  // Deliberate shapes: degenerate dims, register-tile edges (kMr=4,
+  // kNr=32), k-panel edge (kKc=256) and parallel-chunk edge (grain=32).
+  const int special[][3] = {
+      {1, 1, 1},   {1, 5, 1},   {7, 1, 9},    {1, 300, 1}, {4, 4, 32},
+      {5, 3, 33},  {3, 31, 65}, {32, 32, 32}, {33, 17, 31}, {8, 257, 8},
+      {65, 9, 40}, {2, 2, 95},  {31, 255, 33}, {12, 258, 64},
+  };
+  int cases = 0;
+  for (const auto& s : special) {
+    const int m = s[0], k = s[1], n = s[2];
+    std::vector<float> av = RandVec(static_cast<size_t>(m) * k, rng);
+    std::vector<float> bv = RandVec(static_cast<size_t>(k) * n, rng);
+    std::vector<float> seed = RandVec(static_cast<size_t>(m) * n, rng);
+    GemmResult ref, opt;
+    {
+      KernelScope scope(Backend::kReference);
+      ref = RunMatMul(m, k, n, av, bv, seed);
+    }
+    {
+      KernelScope scope(Backend::kBlocked);
+      opt = RunMatMul(m, k, n, av, bv, seed);
+    }
+    ExpectClose(ref.out, opt.out, "gemm out");
+    ExpectClose(ref.da, opt.da, "gemm dA");
+    ExpectClose(ref.db, opt.db, "gemm dB");
+    ++cases;
+  }
+  // Randomized sweep: biased toward small shapes with occasional larger
+  // ones so the suite stays fast but covers all code paths.
+  while (cases < 200) {
+    const int m = 1 + static_cast<int>(rng.NextU64() % 48);
+    const int k = 1 + static_cast<int>(rng.NextU64() % 72);
+    const int n = 1 + static_cast<int>(rng.NextU64() % 48);
+    std::vector<float> av = RandVec(static_cast<size_t>(m) * k, rng);
+    std::vector<float> bv = RandVec(static_cast<size_t>(k) * n, rng);
+    std::vector<float> seed = RandVec(static_cast<size_t>(m) * n, rng);
+    GemmResult ref, opt;
+    {
+      KernelScope scope(Backend::kReference);
+      ref = RunMatMul(m, k, n, av, bv, seed);
+    }
+    {
+      KernelScope scope(Backend::kBlocked);
+      opt = RunMatMul(m, k, n, av, bv, seed);
+    }
+    ExpectClose(ref.out, opt.out, "gemm out");
+    ExpectClose(ref.da, opt.da, "gemm dA");
+    ExpectClose(ref.db, opt.db, "gemm dB");
+    ++cases;
+  }
+}
+
+TEST(KernelOracleTest, GemmBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(99);
+  // Big enough to cross the parallel-dispatch FLOP threshold, with a row
+  // count that does not divide evenly into chunks.
+  const int m = 130, k = 96, n = 120;
+  std::vector<float> av = RandVec(static_cast<size_t>(m) * k, rng);
+  std::vector<float> bv = RandVec(static_cast<size_t>(k) * n, rng);
+  std::vector<float> seed = RandVec(static_cast<size_t>(m) * n, rng);
+  GemmResult base;
+  {
+    KernelScope scope(Backend::kBlocked, 1);
+    base = RunMatMul(m, k, n, av, bv, seed);
+  }
+  for (int threads : {2, 8}) {
+    KernelScope scope(Backend::kBlocked, threads);
+    GemmResult got = RunMatMul(m, k, n, av, bv, seed);
+    EXPECT_EQ(base.out, got.out) << "threads=" << threads;
+    EXPECT_EQ(base.da, got.da) << "threads=" << threads;
+    EXPECT_EQ(base.db, got.db) << "threads=" << threads;
+  }
+}
+
+// Runs forward + backward of a row-wise op under the given backend.
+struct RowOpResult {
+  std::vector<float> out, dx, dgain, dbias;
+};
+
+TEST(KernelOracleTest, SoftmaxMatchesReference) {
+  Rng rng(7);
+  for (int c = 0; c < 60; ++c) {
+    const int rows = 1 + static_cast<int>(rng.NextU64() % 150);
+    const int n = 1 + static_cast<int>(rng.NextU64() % 40);
+    std::vector<float> xv = RandVec(static_cast<size_t>(rows) * n, rng);
+    std::vector<float> seed = RandVec(static_cast<size_t>(rows) * n, rng);
+    RowOpResult ref, opt;
+    auto run = [&](Backend b) {
+      KernelScope scope(b);
+      Tensor x = Tensor::FromData(rows, n, xv, /*requires_grad=*/true);
+      Tensor out = Softmax(x);
+      Sum(Mul(out, Tensor::FromData(rows, n, seed))).Backward();
+      return RowOpResult{out.data(), x.grad(), {}, {}};
+    };
+    ref = run(Backend::kReference);
+    opt = run(Backend::kBlocked);
+    ExpectClose(ref.out, opt.out, "softmax out");
+    ExpectClose(ref.dx, opt.dx, "softmax dx");
+  }
+}
+
+TEST(KernelOracleTest, LayerNormMatchesReference) {
+  Rng rng(8);
+  for (int c = 0; c < 60; ++c) {
+    const int rows = 1 + static_cast<int>(rng.NextU64() % 150);
+    const int n = 1 + static_cast<int>(rng.NextU64() % 40);
+    std::vector<float> xv = RandVec(static_cast<size_t>(rows) * n, rng);
+    std::vector<float> gv = RandVec(n, rng);
+    std::vector<float> bv = RandVec(n, rng);
+    std::vector<float> seed = RandVec(static_cast<size_t>(rows) * n, rng);
+    auto run = [&](Backend b) {
+      KernelScope scope(b);
+      Tensor x = Tensor::FromData(rows, n, xv, /*requires_grad=*/true);
+      Tensor gain = Tensor::FromData(1, n, gv, /*requires_grad=*/true);
+      Tensor bias = Tensor::FromData(1, n, bv, /*requires_grad=*/true);
+      Tensor out = LayerNormOp(x, gain, bias);
+      Sum(Mul(out, Tensor::FromData(rows, n, seed))).Backward();
+      return RowOpResult{out.data(), x.grad(), gain.grad(), bias.grad()};
+    };
+    RowOpResult ref = run(Backend::kReference);
+    RowOpResult opt = run(Backend::kBlocked);
+    ExpectClose(ref.out, opt.out, "layernorm out");
+    ExpectClose(ref.dx, opt.dx, "layernorm dx");
+    ExpectClose(ref.dgain, opt.dgain, "layernorm dgain");
+    ExpectClose(ref.dbias, opt.dbias, "layernorm dbias");
+  }
+}
+
+TEST(KernelOracleTest, BiasGeluMatchesUnfusedOps) {
+  Rng rng(9);
+  for (int c = 0; c < 60; ++c) {
+    const int rows = 1 + static_cast<int>(rng.NextU64() % 150);
+    const int n = 1 + static_cast<int>(rng.NextU64() % 40);
+    std::vector<float> xv = RandVec(static_cast<size_t>(rows) * n, rng);
+    std::vector<float> bv = RandVec(n, rng);
+    std::vector<float> seed = RandVec(static_cast<size_t>(rows) * n, rng);
+    // Oracle: the pre-existing two-op composition under the reference
+    // backend.
+    RowOpResult ref;
+    {
+      KernelScope scope(Backend::kReference);
+      Tensor x = Tensor::FromData(rows, n, xv, /*requires_grad=*/true);
+      Tensor bias = Tensor::FromData(1, n, bv, /*requires_grad=*/true);
+      Tensor out = Gelu(AddRowBroadcast(x, bias));
+      Sum(Mul(out, Tensor::FromData(rows, n, seed))).Backward();
+      ref = {out.data(), x.grad(), {}, bias.grad()};
+    }
+    RowOpResult opt;
+    {
+      KernelScope scope(Backend::kBlocked);
+      Tensor x = Tensor::FromData(rows, n, xv, /*requires_grad=*/true);
+      Tensor bias = Tensor::FromData(1, n, bv, /*requires_grad=*/true);
+      Tensor out = BiasGelu(x, bias);
+      Sum(Mul(out, Tensor::FromData(rows, n, seed))).Backward();
+      opt = {out.data(), x.grad(), {}, bias.grad()};
+    }
+    ExpectClose(ref.out, opt.out, "biasgelu out");
+    ExpectClose(ref.dx, opt.dx, "biasgelu dx");
+    ExpectClose(ref.dbias, opt.dbias, "biasgelu dbias");
+  }
+}
+
+TEST(KernelOracleTest, RowKernelsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(10);
+  const int rows = 300, n = 24;  // crosses the row-parallel threshold
+  std::vector<float> xv = RandVec(static_cast<size_t>(rows) * n, rng);
+  std::vector<float> gv = RandVec(n, rng);
+  std::vector<float> bv = RandVec(n, rng);
+  auto run = [&](int threads) {
+    KernelScope scope(Backend::kBlocked, threads);
+    std::vector<float> softmax_out(xv.size());
+    kernels::SoftmaxRows(rows, n, xv.data(), softmax_out.data());
+    std::vector<float> ln_out(xv.size());
+    std::vector<float> stats(static_cast<size_t>(rows) * 2);
+    kernels::LayerNormRows(rows, n, xv.data(), gv.data(), bv.data(), 1e-5f,
+                           ln_out.data(), stats.data());
+    std::vector<float> gelu_out(xv.size());
+    kernels::BiasGeluRows(rows, n, xv.data(), bv.data(), gelu_out.data());
+    softmax_out.insert(softmax_out.end(), ln_out.begin(), ln_out.end());
+    softmax_out.insert(softmax_out.end(), gelu_out.begin(), gelu_out.end());
+    return softmax_out;
+  };
+  const std::vector<float> base = run(1);
+  EXPECT_EQ(base, run(2));
+  EXPECT_EQ(base, run(8));
+}
+
+}  // namespace
+}  // namespace tailormatch::nn

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Rebuilds the library and the nn + obs test suites under a sanitizer
+# (default: thread) in a dedicated build tree, then runs both suites.
+# The kernel layer's parallel dispatch is what TSan is here to watch:
+# src/nn/kernels.cc fans GEMM and row-kernel chunks out to a shared
+# thread pool, and the kernel tests pin thread counts of 1/2/8.
+#
+# Usage: tools/check_sanitize.sh [thread|address|undefined]
+# (Also exposed as the `check-sanitize` CMake target.)
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-${SANITIZER}san"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTM_SANITIZE="${SANITIZER}"
+cmake --build "${BUILD_DIR}" --target nn_tests obs_tests -j"$(nproc)"
+
+"${BUILD_DIR}/tests/nn_tests"
+"${BUILD_DIR}/tests/obs_tests"
+
+echo "check-sanitize (${SANITIZER}): nn_tests + obs_tests clean"
