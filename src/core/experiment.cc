@@ -4,8 +4,10 @@
 #include <filesystem>
 
 #include "core/batch_matcher.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/serialize.h"
 #include "util/string_util.h"
 
 namespace tailormatch::core {
@@ -69,7 +71,7 @@ std::unique_ptr<llm::SimLlm> CachedFineTune(
     const ExperimentContext& context, const llm::FamilyProfile& profile,
     const llm::SimLlm& zero_shot, const data::Dataset& train,
     const data::Dataset& valid, const FineTuneOptions& options,
-    const std::string& cache_key) {
+    const std::string& cache_key, llm::TrainStats* stats) {
   std::string path;
   if (!context.cache_dir.empty() && !cache_key.empty()) {
     const std::string full_key = StrFormat(
@@ -86,7 +88,16 @@ std::unique_ptr<llm::SimLlm> CachedFineTune(
       Result<std::unique_ptr<llm::SimLlm>> loaded =
           llm::SimLlm::LoadCheckpoint(path);
       if (loaded.ok()) return std::move(loaded).value();
-      TM_LOG(Warning) << "ignoring unreadable fine-tune cache " << path;
+      // Move the bad file aside so it is not re-parsed on every run and a
+      // fresh fine-tune can commit a clean replacement.
+      TM_LOG(Warning) << "quarantining unreadable fine-tune cache " << path
+                      << ": " << loaded.status().ToString();
+      obs::MetricsRegistry::Global().GetCounter("cache.quarantined")
+          .Increment();
+      Status quarantine = QuarantineFile(path);
+      if (!quarantine.ok()) {
+        TM_LOG(Warning) << quarantine.ToString();
+      }
     }
   }
   FineTuner tuner(profile);
@@ -98,6 +109,7 @@ std::unique_ptr<llm::SimLlm> CachedFineTune(
     resolved.valid_max_pairs = context.valid_max_pairs;
   }
   FineTuneResult result = tuner.Run(zero_shot, train, valid, resolved);
+  if (stats != nullptr) *stats = result.stats;
   if (!path.empty()) {
     Status status = result.model->SaveCheckpoint(path);
     if (!status.ok()) {

@@ -53,12 +53,15 @@ double TestF1(const llm::SimLlm& model, const data::Benchmark& benchmark,
 // Fine-tunes with on-disk memoization: results are stored in the context's
 // cache directory keyed by a caller-provided unique key (plus scale/epoch
 // settings), so re-running a bench reuses earlier work. Returns the
-// fine-tuned model.
+// fine-tuned model. A cache file that fails its integrity checks is
+// quarantined to "<path>.corrupt" (counter "cache.quarantined") and the
+// fine-tune reruns. When `stats` is non-null it receives the training
+// statistics of a fresh run and is left untouched on a cache hit.
 std::unique_ptr<llm::SimLlm> CachedFineTune(
     const ExperimentContext& context, const llm::FamilyProfile& profile,
     const llm::SimLlm& zero_shot, const data::Dataset& train,
     const data::Dataset& valid, const FineTuneOptions& options,
-    const std::string& cache_key);
+    const std::string& cache_key, llm::TrainStats* stats = nullptr);
 
 // Transfer gain (Sections 3.2/4.2/5): the average F1 gain of one model over
 // zero-shot on the target benchmarks, divided by the average gain of

@@ -1,16 +1,62 @@
 #include "core/pipeline.h"
 
+#include <cstdio>
+
+#include "core/run_journal.h"
 #include "llm/teacher.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace tailormatch::core {
+
+namespace {
+
+// Compact fine-tune stage record: checkpoint-selection outcome plus the
+// divergence-recovery summary, so a resumed run can report them without the
+// (cached) training having re-run.
+std::string EncodeTrainStats(const llm::TrainStats& stats) {
+  return StrFormat("%d %.17g %d %.17g", stats.best_epoch, stats.best_score,
+                   stats.rollbacks,
+                   static_cast<double>(stats.final_learning_rate));
+}
+
+bool DecodeTrainStats(const std::string& payload, llm::TrainStats* stats) {
+  int best_epoch = 0, rollbacks = 0;
+  double best_score = 0.0, final_lr = 0.0;
+  if (std::sscanf(payload.c_str(), "%d %lg %d %lg", &best_epoch, &best_score,
+                  &rollbacks, &final_lr) != 4) {
+    return false;
+  }
+  stats->best_epoch = best_epoch;
+  stats->best_score = best_score;
+  stats->rollbacks = rollbacks;
+  stats->final_learning_rate = static_cast<float>(final_lr);
+  return true;
+}
+
+}  // namespace
 
 PipelineReport RunPipeline(const PipelineConfig& config) {
   TM_SPAN("pipeline");
   PipelineReport report;
   const llm::FamilyProfile profile = llm::GetFamilyProfile(config.family);
   const data::BenchmarkSpec spec = data::GetBenchmarkSpec(config.benchmark);
+
+  RunJournal journal;
+  if (!config.resume_key.empty() && !config.context.cache_dir.empty()) {
+    journal = RunJournal(config.context.cache_dir, config.resume_key);
+  }
+  obs::Counter& stages_skipped =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.stages_skipped");
+  const auto record = [&journal](const std::string& stage, double value) {
+    Status status = journal.RecordDouble(stage, value);
+    if (!status.ok()) {
+      TM_LOG(Warning) << "cannot journal stage " << stage << ": "
+                      << status.ToString();
+    }
+  };
 
   data::Benchmark benchmark;
   {
@@ -23,10 +69,13 @@ PipelineReport RunPipeline(const PipelineConfig& config) {
     TM_SPAN("pretrain_load");
     zero_shot = llm::GetZeroShotModel(config.family, config.context.cache_dir);
   }
-  {
+  if (journal.PayloadDouble("zero_shot_eval", &report.zero_shot_f1)) {
+    stages_skipped.Increment();
+  } else {
     TM_SPAN("zero_shot_eval");
     report.zero_shot_f1 =
         TestF1(*zero_shot, benchmark, config.context, config.prompt_template);
+    record("zero_shot_eval", report.zero_shot_f1);
   }
 
   data::Dataset train = benchmark.train;
@@ -47,7 +96,6 @@ PipelineReport RunPipeline(const PipelineConfig& config) {
   }
   report.final_train_size = train.size();
 
-  FineTuner tuner(profile);
   FineTuneOptions options;
   options.explanation_style = config.explanation_style;
   options.prompt_template = config.prompt_template;
@@ -55,18 +103,48 @@ PipelineReport RunPipeline(const PipelineConfig& config) {
   if (config.context.epochs_override > 0) {
     options.epochs = config.context.epochs_override;
   }
-  FineTuneResult result;
   {
     TM_SPAN("fine_tune");
-    result = tuner.Run(*zero_shot, train, benchmark.valid, options);
+    if (journal.enabled()) {
+      // Memoized path: a restart reloads the committed checkpoint instead of
+      // re-training, and the journal restores the stats of the original run.
+      llm::TrainStats fresh_stats;
+      bool trained_now = false;
+      std::unique_ptr<llm::SimLlm> model = CachedFineTune(
+          config.context, profile, *zero_shot, train, benchmark.valid, options,
+          config.resume_key, &fresh_stats);
+      trained_now = !fresh_stats.epoch_train_loss.empty();
+      if (trained_now) {
+        report.train_stats = fresh_stats;
+        record("fine_tune", 1.0);
+        Status status =
+            journal.Record("fine_tune_stats", EncodeTrainStats(fresh_stats));
+        if (!status.ok()) {
+          TM_LOG(Warning) << "cannot journal fine-tune stats: "
+                          << status.ToString();
+        }
+      } else {
+        stages_skipped.Increment();
+        DecodeTrainStats(journal.Payload("fine_tune_stats"),
+                         &report.train_stats);
+      }
+      report.model = std::move(model);
+    } else {
+      FineTuner tuner(profile);
+      FineTuneResult result = tuner.Run(*zero_shot, train, benchmark.valid,
+                                        options);
+      report.train_stats = result.stats;
+      report.model = std::move(result.model);
+    }
   }
-  report.train_stats = result.stats;
-  report.model = std::move(result.model);
-  {
+  if (journal.PayloadDouble("final_eval", &report.fine_tuned_f1)) {
+    stages_skipped.Increment();
+  } else {
     TM_SPAN("eval");
     report.fine_tuned_f1 =
         TestF1(*report.model, benchmark, config.context,
                config.prompt_template);
+    record("final_eval", report.fine_tuned_f1);
   }
   return report;
 }

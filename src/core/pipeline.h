@@ -25,6 +25,12 @@ struct PipelineConfig {
   bool generate_examples = false;
   prompt::PromptTemplate prompt_template = prompt::PromptTemplate::kDefault;
   ExperimentContext context = ExperimentContext::FromEnv();
+  // Non-empty: crash-safe resume. Completed stages (zero-shot eval,
+  // fine-tune, final eval) are journaled under this key in the cache dir and
+  // skipped when the same pipeline is re-run after an interruption; the
+  // fine-tuned model itself is memoized through the CachedFineTune
+  // checkpoint cache. The key must uniquely identify this configuration.
+  std::string resume_key;
 };
 
 struct PipelineReport {

@@ -1,0 +1,130 @@
+#include "core/run_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace tailormatch::core {
+
+namespace {
+
+std::string SanitizeRunKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    const bool keep = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '-' || c == '_' || c == '.';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+uint32_t RecordCrc(const std::string& stage, const std::string& payload) {
+  uint32_t crc = Crc32(stage.data(), stage.size());
+  crc = Crc32("\t", 1, crc);
+  return Crc32(payload.data(), payload.size(), crc);
+}
+
+}  // namespace
+
+RunJournal::RunJournal(const std::string& dir, const std::string& run_key) {
+  TM_CHECK(!dir.empty() && !run_key.empty());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  path_ = dir + "/" + SanitizeRunKey(run_key) + ".journal";
+  std::ifstream in(path_);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    bool valid = false;
+    const size_t tab1 = line.find('\t');
+    const size_t tab2 =
+        tab1 == std::string::npos ? std::string::npos : line.find('\t', tab1 + 1);
+    if (tab2 != std::string::npos) {
+      const std::string stage = line.substr(tab1 + 1, tab2 - tab1 - 1);
+      const std::string payload = line.substr(tab2 + 1);
+      unsigned long stored = 0;
+      if (std::sscanf(line.c_str(), "%8lx", &stored) == 1 &&
+          static_cast<uint32_t>(stored) == RecordCrc(stage, payload)) {
+        stages_[stage] = payload;
+        valid = true;
+      }
+    }
+    if (!valid) ++corrupt_lines_;
+  }
+  if (corrupt_lines_ > 0) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("journal.corrupt_lines")
+        .Increment(corrupt_lines_);
+    TM_LOG(Warning) << "journal " << path_ << ": dropped " << corrupt_lines_
+                    << " corrupt record(s) (torn write from a crash?)";
+  }
+}
+
+std::string RunJournal::Payload(const std::string& stage) const {
+  auto it = stages_.find(stage);
+  return it == stages_.end() ? "" : it->second;
+}
+
+bool RunJournal::PayloadDouble(const std::string& stage, double* value) const {
+  auto it = stages_.find(stage);
+  if (it == stages_.end()) return false;
+  std::istringstream in(it->second);
+  double parsed = 0.0;
+  if (!(in >> parsed)) return false;
+  *value = parsed;
+  return true;
+}
+
+Status RunJournal::Record(const std::string& stage, const std::string& payload) {
+  if (!enabled()) return Status::Ok();
+  TM_CHECK(stage.find_first_of("\t\n") == std::string::npos &&
+           payload.find_first_of("\t\n") == std::string::npos)
+      << "journal records must not contain tabs or newlines";
+  std::string line = StrFormat("%08x", RecordCrc(stage, payload)) + "\t" +
+                     stage + "\t" + payload + "\n";
+  // The fault hook may tear or corrupt the line (or crash) — exactly what a
+  // power cut mid-append does; the CRC guards the reload either way.
+  TM_RETURN_IF_ERROR(
+      fault::FaultInjector::Global().OnWrite("journal.append", &line));
+  const int fd =
+      ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::IoError("cannot open journal: " + path_);
+  size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t rc = ::write(fd, line.data() + written,
+                               line.size() - written);
+    if (rc <= 0) {
+      ::close(fd);
+      return Status::IoError("short journal append: " + path_);
+    }
+    written += static_cast<size_t>(rc);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("journal fsync failed: " + path_);
+  }
+  ::close(fd);
+  stages_[stage] = payload;
+  obs::MetricsRegistry::Global().GetCounter("journal.records").Increment();
+  return Status::Ok();
+}
+
+Status RunJournal::RecordDouble(const std::string& stage, double value) {
+  return Record(stage, StrFormat("%.17g", value));
+}
+
+}  // namespace tailormatch::core

@@ -1,0 +1,55 @@
+#ifndef TAILORMATCH_CORE_RUN_JOURNAL_H_
+#define TAILORMATCH_CORE_RUN_JOURNAL_H_
+
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace tailormatch::core {
+
+// Crash-tolerant resume journal for experiment runs. Completed stages are
+// appended as CRC-guarded records to a file in the cache directory; on
+// restart, drivers skip stages whose records are present (RunPipeline pairs
+// this with the CachedFineTune checkpoint cache so an interrupted grid
+// resumes instead of recomputing). A record torn by a crash mid-append fails
+// its checksum and is dropped at load time, so a journal written through any
+// interruption always loads.
+//
+// File format, one record per line:
+//   <8-hex CRC-32 of "stage\tpayload">\t<stage>\t<payload>\n
+class RunJournal {
+ public:
+  // Disabled journal: Has() is false, Record() a no-op.
+  RunJournal() = default;
+  // Opens (creating or loading) "<dir>/<run_key>.journal".
+  RunJournal(const std::string& dir, const std::string& run_key);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  bool Has(const std::string& stage) const { return stages_.count(stage) > 0; }
+  // Payload of a completed stage; "" when absent.
+  std::string Payload(const std::string& stage) const;
+  // Convenience for scalar results; false (and *value untouched) when the
+  // stage is absent or its payload does not parse.
+  bool PayloadDouble(const std::string& stage, double* value) const;
+
+  // Appends a completed-stage record and flushes it to disk. Stage and
+  // payload must not contain tabs or newlines. Ok on a disabled journal.
+  Status Record(const std::string& stage, const std::string& payload);
+  Status RecordDouble(const std::string& stage, double value);
+
+  // Records dropped at load time because their checksum failed (the torn
+  // tail of a crashed writer).
+  int corrupt_lines() const { return corrupt_lines_; }
+
+ private:
+  std::string path_;
+  std::map<std::string, std::string> stages_;
+  int corrupt_lines_ = 0;
+};
+
+}  // namespace tailormatch::core
+
+#endif  // TAILORMATCH_CORE_RUN_JOURNAL_H_

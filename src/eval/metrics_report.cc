@@ -53,6 +53,27 @@ void PrintMetricsReport(const obs::MetricsSnapshot& snapshot,
     }
     table.Print(out);
   }
+  // Divergence-recovery summary: present whenever a trainer ran (the
+  // trainer always registers its rollback counter), so long grid runs show
+  // rollback activity and the surviving learning rate at a glance.
+  {
+    const int64_t* rollbacks = nullptr;
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name == "trainer.divergence_rollbacks") rollbacks = &value;
+    }
+    if (rollbacks != nullptr) {
+      double effective_lr = 0.0;
+      for (const auto& [name, value] : snapshot.gauges) {
+        if (name == "trainer.effective_lr") effective_lr = value;
+      }
+      out << "training robustness:\n";
+      TablePrinter table({"metric", "value"});
+      table.AddRow({"divergence rollbacks",
+                    StrFormat("%lld", static_cast<long long>(*rollbacks))});
+      table.AddRow({"final effective lr", StrFormat("%.4g", effective_lr)});
+      table.Print(out);
+    }
+  }
   if (!snapshot.histograms.empty()) {
     out << "histograms (latencies in ms):\n";
     TablePrinter table({"histogram", "count", "p50", "p95", "p99", "max"});

@@ -5,9 +5,11 @@
 
 #include "data/generator.h"
 #include "llm/trainer.h"
+#include "obs/metrics.h"
 #include "prompt/prompt.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/serialize.h"
 
 namespace tailormatch::llm {
 
@@ -154,8 +156,14 @@ std::unique_ptr<SimLlm> GetZeroShotModel(ModelFamily family,
       if (loaded.ok()) {
         return std::move(loaded).value();
       }
-      TM_LOG(Warning) << "ignoring unreadable checkpoint " << path << ": "
+      TM_LOG(Warning) << "quarantining unreadable checkpoint " << path << ": "
                       << loaded.status().ToString();
+      obs::MetricsRegistry::Global().GetCounter("cache.quarantined")
+          .Increment();
+      Status quarantine = QuarantineFile(path);
+      if (!quarantine.ok()) {
+        TM_LOG(Warning) << quarantine.ToString();
+      }
     }
   }
   std::unique_ptr<SimLlm> model = Pretrain(profile);

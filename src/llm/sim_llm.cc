@@ -296,12 +296,14 @@ Status SimLlm::SaveCheckpoint(const std::string& path) const {
     writer.WriteI32(t.cols());
     writer.WriteFloatVector(t.data());
   }
-  return writer.Flush(path);
+  // Framed flush = atomic rename + CRC trailer: a crash or bit flip can
+  // never surface later as a silently-loaded garbage model.
+  return writer.FlushFramed(path);
 }
 
 Result<std::unique_ptr<SimLlm>> SimLlm::LoadCheckpoint(
     const std::string& path) {
-  Result<BinaryReader> reader_or = BinaryReader::FromFile(path);
+  Result<BinaryReader> reader_or = BinaryReader::FromFramedFile(path);
   if (!reader_or.ok()) return reader_or.status();
   BinaryReader reader = std::move(reader_or).value();
 

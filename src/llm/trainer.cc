@@ -2,11 +2,14 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <memory>
 #include <numeric>
 
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace tailormatch::llm {
@@ -30,6 +33,18 @@ float ScheduledLr(const TrainOptions& options, int64_t step,
   return floor + (options.learning_rate - floor) * cosine;
 }
 
+int ResolveMaxRollbacks(const TrainOptions& options) {
+  if (options.max_rollbacks >= 0) return options.max_rollbacks;
+  const char* env = std::getenv("TM_MAX_ROLLBACKS");
+  return env != nullptr ? std::atoi(env) : 3;
+}
+
+float ResolveLrBackoff(const TrainOptions& options) {
+  if (options.lr_backoff >= 0.0f) return options.lr_backoff;
+  const char* env = std::getenv("TM_LR_BACKOFF");
+  return env != nullptr ? static_cast<float>(std::atof(env)) : 0.5f;
+}
+
 }  // namespace
 
 TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
@@ -38,20 +53,27 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
   TM_CHECK(!examples.empty()) << "empty training set";
   TM_CHECK_GT(options.epochs, 0);
   TM_CHECK_GT(options.batch_size, 0);
+  const int max_rollbacks = ResolveMaxRollbacks(options);
+  const float lr_backoff = ResolveLrBackoff(options);
 
   TrainStats stats;
   Rng rng(options.seed);
-  nn::AdamW optimizer(model.TrainableParameters(), options.learning_rate,
-                      options.weight_decay);
+  auto optimizer = std::make_unique<nn::AdamW>(
+      model.TrainableParameters(), options.learning_rate,
+      options.weight_decay);
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::Histogram& step_latency = registry.GetHistogram("trainer.step_latency");
   obs::Counter& clip_events = registry.GetCounter("trainer.clip_events");
+  obs::Counter& rollback_count =
+      registry.GetCounter("trainer.divergence_rollbacks");
   obs::Gauge& epoch_gauge = registry.GetGauge("trainer.epoch");
   obs::Gauge& loss_gauge = registry.GetGauge("trainer.epoch_loss");
   obs::Gauge& lr_gauge = registry.GetGauge("trainer.lr");
   obs::Gauge& epoch_clip_gauge = registry.GetGauge("trainer.epoch_clip_events");
   obs::Gauge& valid_gauge = registry.GetGauge("trainer.valid_score");
+  obs::Gauge& effective_lr_gauge = registry.GetGauge("trainer.effective_lr");
+  fault::FaultInjector& faults = fault::FaultInjector::Global();
 
   std::vector<size_t> order(examples.size());
   std::iota(order.begin(), order.end(), 0);
@@ -60,47 +82,91 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
       (static_cast<int64_t>(examples.size()) + options.batch_size - 1) /
       options.batch_size;
   const int64_t total_steps = steps_per_epoch * options.epochs;
-  int64_t step = 0;
+
+  // Divergence recovery state: the snapshot taken after the last completed
+  // epoch (initially the untrained weights) and the LR backoff in effect.
+  std::vector<std::vector<float>> last_good_state = model.SnapshotState();
+  float lr_scale = 1.0f;
 
   std::vector<std::vector<float>> best_state;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  int epoch = 0;
+  while (epoch < options.epochs) {
+    // Retried epochs restart the schedule position so a rollback does not
+    // skip ahead in the decay.
+    int64_t step = static_cast<int64_t>(epoch) * steps_per_epoch;
     rng.Shuffle(order);
     double epoch_loss = 0.0;
     int in_batch = 0;
     int64_t epoch_clips = 0;
-    optimizer.ZeroGrad();
+    bool diverged = false;
+    optimizer->ZeroGrad();
     // One "step" spans the forward/backward work of a whole batch plus the
     // clipped optimizer update that closes it.
     auto step_start = std::chrono::steady_clock::now();
     const auto take_step = [&] {
-      const float norm = nn::ClipGradNorm(optimizer.params(),
+      const float norm = nn::ClipGradNorm(optimizer->params(),
                                           options.clip_norm);
+      if (!std::isfinite(norm)) {
+        // Non-finite gradients would poison the weights; skip the update and
+        // let the epoch-level recovery roll back.
+        diverged = true;
+        return;
+      }
       if (norm > options.clip_norm) {
         clip_events.Increment();
         ++epoch_clips;
       }
-      const float lr = ScheduledLr(options, step++, total_steps);
+      const float lr = ScheduledLr(options, step++, total_steps) * lr_scale;
       lr_gauge.Set(lr);
-      optimizer.set_learning_rate(lr);
-      optimizer.Step();
-      optimizer.ZeroGrad();
+      optimizer->set_learning_rate(lr);
+      optimizer->Step();
+      optimizer->ZeroGrad();
       step_latency.Record(obs::MillisSince(step_start));
       step_start = std::chrono::steady_clock::now();
     };
     for (size_t idx : order) {
       nn::Tensor loss = model.ForwardLoss(examples[idx], /*training=*/true,
                                           rng);
-      epoch_loss += loss.item();
+      double loss_value = loss.item();
+      faults.OnValue("trainer.loss", &loss_value);
+      if (!std::isfinite(loss_value)) {
+        diverged = true;
+        break;
+      }
+      epoch_loss += loss_value;
       // Mean-reduce over the batch by scaling each example's loss.
       nn::Scale(loss, 1.0f / static_cast<float>(options.batch_size))
           .Backward();
       if (++in_batch == options.batch_size) {
         take_step();
         in_batch = 0;
+        if (diverged) break;
       }
     }
-    if (in_batch > 0) {
+    if (!diverged && in_batch > 0) {
       take_step();
+    }
+    if (diverged) {
+      model.RestoreState(last_good_state);
+      if (stats.rollbacks >= max_rollbacks) {
+        TM_LOG(Error) << "training diverged in epoch " << epoch + 1
+                      << " and the rollback budget (" << max_rollbacks
+                      << ") is exhausted; keeping the last good state";
+        break;
+      }
+      ++stats.rollbacks;
+      rollback_count.Increment();
+      lr_scale *= lr_backoff;
+      // A fresh optimizer: the Adam moments belong to the diverged
+      // trajectory and would re-poison the retry.
+      optimizer = std::make_unique<nn::AdamW>(model.TrainableParameters(),
+                                              options.learning_rate * lr_scale,
+                                              options.weight_decay);
+      TM_LOG(Warning) << "non-finite loss/gradient in epoch " << epoch + 1
+                      << "; rolled back and retrying at lr "
+                      << options.learning_rate * lr_scale << " (rollback "
+                      << stats.rollbacks << "/" << max_rollbacks << ")";
+      continue;  // retry the same epoch
     }
     stats.epoch_train_loss.push_back(epoch_loss /
                                      static_cast<double>(examples.size()));
@@ -118,7 +184,11 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
         best_state = model.SnapshotState();
       }
     }
+    last_good_state = model.SnapshotState();
+    ++epoch;
   }
+  stats.final_learning_rate = options.learning_rate * lr_scale;
+  effective_lr_gauge.Set(stats.final_learning_rate);
   if (!best_state.empty()) {
     model.RestoreState(best_state);
   }

@@ -31,6 +31,13 @@ struct TrainOptions {
   // validation score is restored at the end (the paper selects the best of
   // the per-epoch checkpoints).
   bool select_best_checkpoint = true;
+  // Divergence recovery: a non-finite loss or gradient norm rolls the model
+  // (and a fresh optimizer) back to the end of the last completed epoch,
+  // scales the learning rate by lr_backoff, and retries the epoch. Negative
+  // values resolve from the environment: TM_MAX_ROLLBACKS (default 3) and
+  // TM_LR_BACKOFF (default 0.5).
+  int max_rollbacks = -1;
+  float lr_backoff = -1.0f;
 };
 
 struct TrainStats {
@@ -38,6 +45,11 @@ struct TrainStats {
   std::vector<double> epoch_valid_score;
   int best_epoch = -1;  // 0-based index into epoch_valid_score
   double best_score = 0.0;
+  // Divergence recovery: rollbacks taken and the peak learning rate still in
+  // effect when training finished (== options.learning_rate when no rollback
+  // occurred).
+  int rollbacks = 0;
+  float final_learning_rate = 0.0f;
 };
 
 // Scores a model (higher = better); typically validation-set F1.

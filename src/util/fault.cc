@@ -1,0 +1,185 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tailormatch::fault {
+
+const char* FaultModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kNone:
+      return "none";
+    case FaultMode::kIoError:
+      return "io_error";
+    case FaultMode::kShortWrite:
+      return "short_write";
+    case FaultMode::kBitFlip:
+      return "bit_flip";
+    case FaultMode::kCrash:
+      return "crash";
+    case FaultMode::kNan:
+      return "nan";
+  }
+  return "none";
+}
+
+bool ParseFaultMode(const std::string& name, FaultMode* mode) {
+  for (FaultMode candidate :
+       {FaultMode::kNone, FaultMode::kIoError, FaultMode::kShortWrite,
+        FaultMode::kBitFlip, FaultMode::kCrash, FaultMode::kNan}) {
+    if (name == FaultModeName(candidate)) {
+      *mode = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+struct FaultInjector::Armed {
+  FaultSpec spec;
+  int64_t hits = 0;
+  bool fired = false;
+};
+
+struct FaultInjector::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Armed> armed;
+  std::atomic<int> armed_count{0};
+};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() : impl_(new Impl()) { ArmFromEnv(); }
+
+void FaultInjector::ArmFromEnv() {
+  const char* point = std::getenv("TM_FAULT_POINT");
+  if (point == nullptr || point[0] == '\0') return;
+  FaultSpec spec;
+  spec.point = point;
+  const char* mode = std::getenv("TM_FAULT_MODE");
+  if (mode == nullptr || !ParseFaultMode(mode, &spec.mode) ||
+      spec.mode == FaultMode::kNone) {
+    TM_LOG(Warning) << "TM_FAULT_POINT set but TM_FAULT_MODE missing or "
+                       "unknown ('" << (mode ? mode : "") << "'); not arming";
+    return;
+  }
+  if (const char* nth = std::getenv("TM_FAULT_NTH")) spec.nth = std::atoi(nth);
+  if (const char* keep = std::getenv("TM_FAULT_KEEP")) {
+    spec.keep_fraction = std::atof(keep);
+  }
+  if (const char* seed = std::getenv("TM_FAULT_SEED")) {
+    spec.seed = static_cast<uint64_t>(std::atoll(seed));
+  }
+  Arm(spec);
+}
+
+void FaultInjector::Arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Armed& armed = impl_->armed[spec.point];
+  armed.spec = spec;
+  armed.hits = 0;
+  armed.fired = false;
+  impl_->armed_count.store(static_cast<int>(impl_->armed.size()),
+                           std::memory_order_release);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->armed.erase(point);
+  impl_->armed_count.store(static_cast<int>(impl_->armed.size()),
+                           std::memory_order_release);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->armed.clear();
+  impl_->armed_count.store(0, std::memory_order_release);
+}
+
+bool FaultInjector::AnyArmed() const {
+  return impl_->armed_count.load(std::memory_order_acquire) > 0;
+}
+
+int64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->armed.find(point);
+  return it == impl_->armed.end() ? 0 : it->second.hits;
+}
+
+FaultMode FaultInjector::Fire(const std::string& point, FaultSpec* spec) {
+  if (!AnyArmed()) return FaultMode::kNone;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->armed.find(point);
+  if (it == impl_->armed.end()) return FaultMode::kNone;
+  Armed& armed = it->second;
+  ++armed.hits;
+  const bool due = armed.spec.nth == 0
+                       ? true
+                       : (!armed.fired && armed.hits == armed.spec.nth);
+  if (!due) return FaultMode::kNone;
+  armed.fired = true;
+  *spec = armed.spec;
+  return armed.spec.mode;
+}
+
+Status FaultInjector::OnPoint(const std::string& point) {
+  FaultSpec spec;
+  switch (Fire(point, &spec)) {
+    case FaultMode::kCrash:
+      TM_LOG(Warning) << "fault injection: simulated crash at " << point;
+      std::_Exit(kCrashExitCode);
+    case FaultMode::kIoError:
+      return Status::IoError("injected fault at " + point);
+    default:
+      return Status::Ok();
+  }
+}
+
+Status FaultInjector::OnWrite(const std::string& point, std::string* data) {
+  FaultSpec spec;
+  switch (Fire(point, &spec)) {
+    case FaultMode::kCrash:
+      TM_LOG(Warning) << "fault injection: simulated crash at " << point;
+      std::_Exit(kCrashExitCode);
+    case FaultMode::kIoError:
+      return Status::IoError("injected fault at " + point);
+    case FaultMode::kShortWrite: {
+      const auto keep = static_cast<size_t>(
+          static_cast<double>(data->size()) * spec.keep_fraction);
+      data->resize(keep < data->size() ? keep : data->size());
+      return Status::Ok();
+    }
+    case FaultMode::kBitFlip: {
+      if (!data->empty()) {
+        Rng rng(spec.seed);
+        const size_t byte = rng.NextBounded(
+            static_cast<uint32_t>(data->size()));
+        (*data)[byte] = static_cast<char>(
+            static_cast<unsigned char>((*data)[byte]) ^
+            (1u << rng.NextBounded(8)));
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::Ok();
+  }
+}
+
+void FaultInjector::OnValue(const std::string& point, double* value) {
+  FaultSpec spec;
+  if (Fire(point, &spec) == FaultMode::kNan) {
+    *value = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+}  // namespace tailormatch::fault

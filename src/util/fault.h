@@ -1,0 +1,115 @@
+#ifndef TAILORMATCH_UTIL_FAULT_H_
+#define TAILORMATCH_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tailormatch::fault {
+
+// Fault-injection framework for crash-safety testing. Production code marks
+// named instrumentation points ("serialize.flush.write", "journal.append",
+// "trainer.loss") with the FaultInjector hooks below; every hook is a no-op
+// until a fault is armed at its point, so the instrumentation stays in
+// release builds. Faults are armed either programmatically (ScopedFault, for
+// in-process tests) or from the environment (TM_FAULT_* variables, how the
+// subprocess crash-recovery harness drives a child into a crash at a precise
+// phase of a checkpoint write).
+//
+// Environment configuration, read once at first use:
+//   TM_FAULT_POINT  instrumentation-point name (unset = nothing armed)
+//   TM_FAULT_MODE   io_error | short_write | bit_flip | crash | nan
+//   TM_FAULT_NTH    fire on the nth arrival, 1-based (0 = every; default 1)
+//   TM_FAULT_KEEP   short_write: fraction of the payload kept (default 0.5)
+//   TM_FAULT_SEED   bit_flip: seed choosing the flipped bit
+
+// What happens when an armed fault fires.
+enum class FaultMode {
+  kNone = 0,
+  kIoError,     // the point reports Status::IoError
+  kShortWrite,  // the write payload is truncated (torn file)
+  kBitFlip,     // one bit of the write payload is flipped
+  kCrash,       // the process exits immediately (simulated crash)
+  kNan,         // a numeric value is poisoned to quiet NaN
+};
+
+const char* FaultModeName(FaultMode mode);
+// Parses the TM_FAULT_MODE spellings above; false on unknown names.
+bool ParseFaultMode(const std::string& name, FaultMode* mode);
+
+struct FaultSpec {
+  std::string point;
+  FaultMode mode = FaultMode::kNone;
+  // Fires once, on the nth arrival at the point (1-based); 0 = every arrival.
+  int nth = 1;
+  // kShortWrite: fraction of the payload kept.
+  double keep_fraction = 0.5;
+  // kBitFlip: chooses the flipped bit.
+  uint64_t seed = 0x5eed;
+};
+
+// Exit code used by FaultMode::kCrash so harnesses can tell an injected
+// crash from a genuine abort.
+inline constexpr int kCrashExitCode = 86;
+
+// Process-wide registry of armed faults. Arming and hooks are thread-safe;
+// the unarmed fast path is one relaxed atomic load.
+class FaultInjector {
+ public:
+  // First call loads any TM_FAULT_* environment configuration.
+  static FaultInjector& Global();
+
+  void Arm(const FaultSpec& spec);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+  // Re-reads TM_FAULT_* and arms the described fault (test hook; the
+  // constructor already does this once).
+  void ArmFromEnv();
+
+  bool AnyArmed() const;
+  // Arrivals observed at an armed point since it was armed.
+  int64_t hits(const std::string& point) const;
+
+  // --- instrumentation hooks ---
+  // Control point: kIoError -> IoError status, kCrash -> immediate exit.
+  // Other modes pass through as OK.
+  Status OnPoint(const std::string& point);
+  // Write-path point: may truncate or bit-flip *data in place (the caller
+  // then persists the damaged payload, simulating a torn or corrupted
+  // write), report an IoError, or crash.
+  Status OnWrite(const std::string& point, std::string* data);
+  // Numeric point: kNan poisons *value; other modes are ignored.
+  void OnValue(const std::string& point, double* value);
+
+ private:
+  FaultInjector();
+
+  // Returns the mode to apply for this arrival (kNone when not due) and
+  // advances the point's hit count.
+  FaultMode Fire(const std::string& point, FaultSpec* spec);
+
+  struct Armed;
+  struct Impl;
+  Impl* impl_;
+};
+
+// RAII arming for in-process tests: arms on construction, disarms the point
+// on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const FaultSpec& spec) : point_(spec.point) {
+    FaultInjector::Global().Arm(spec);
+  }
+  ~ScopedFault() { FaultInjector::Global().Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace tailormatch::fault
+
+#endif  // TAILORMATCH_UTIL_FAULT_H_

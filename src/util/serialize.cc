@@ -1,8 +1,177 @@
 #include "util/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
 #include <fstream>
 
+#include "util/fault.h"
+
 namespace tailormatch {
+
+namespace {
+
+// Frame layout: | magic u32 | version u32 | payload length u64 | payload |
+// CRC-32 of payload u32 |. All fields little-endian.
+constexpr uint32_t kFrameMagic = 0x31464d54u;  // "TMF1"
+constexpr uint32_t kFrameVersion = 1;
+constexpr size_t kFrameHeaderBytes = 16;
+constexpr size_t kFrameTrailerBytes = 4;
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(value >> (8 * i)));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(value >> (8 * i)));
+  }
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t rc = ::write(fd, data + written, n - written);
+    if (rc <= 0) return false;
+    written += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+// Best-effort: persists the directory entry of a freshly renamed file.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+// The crash-safe write sequence shared by Flush and FlushFramed, with one
+// fault point per phase so the crash-recovery harness can kill it anywhere:
+//   serialize.flush.open       before the temp file exists
+//   serialize.flush.write      payload mutation (short write / bit flip)
+//   serialize.flush.mid_write  between the two halves of the payload
+//   serialize.flush.fsync      after the payload, before fsync
+//   serialize.flush.rename     temp complete, final path untouched
+//   serialize.flush.committed  after the atomic rename
+Status WriteFileAtomic(const std::string& path, const std::string& payload) {
+  fault::FaultInjector& faults = fault::FaultInjector::Global();
+  TM_RETURN_IF_ERROR(faults.OnPoint("serialize.flush.open"));
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError("cannot open for writing: " + tmp);
+  const auto fail = [&](std::string message) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError(std::move(message));
+  };
+  // Payload is only copied when a fault wants to damage it.
+  const std::string* data = &payload;
+  std::string damaged;
+  if (faults.AnyArmed()) {
+    damaged = payload;
+    Status status = faults.OnWrite("serialize.flush.write", &damaged);
+    if (!status.ok()) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    data = &damaged;
+  }
+  const size_t half = data->size() / 2;
+  if (!WriteAll(fd, data->data(), half)) return fail("short write: " + tmp);
+  {
+    Status status = faults.OnPoint("serialize.flush.mid_write");
+    if (!status.ok()) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+  }
+  if (!WriteAll(fd, data->data() + half, data->size() - half)) {
+    return fail("short write: " + tmp);
+  }
+  {
+    Status status = faults.OnPoint("serialize.flush.fsync");
+    if (!status.ok()) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+  }
+  if (::fsync(fd) != 0) return fail("fsync failed: " + tmp);
+  ::close(fd);
+  {
+    Status status = faults.OnPoint("serialize.flush.rename");
+    if (!status.ok()) {
+      ::unlink(tmp.c_str());
+      return status;
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  // Post-commit point: only kCrash is meaningful here (the file is already
+  // durable in content; the rename itself may still be unflushed).
+  (void)faults.OnPoint("serialize.flush.committed");
+  FsyncParentDir(path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+Status QuarantineFile(const std::string& path) {
+  const std::string quarantined = path + ".corrupt";
+  ::unlink(quarantined.c_str());
+  if (::rename(path.c_str(), quarantined.c_str()) != 0) {
+    return Status::IoError("cannot quarantine " + path);
+  }
+  return Status::Ok();
+}
 
 void BinaryWriter::WriteU32(uint32_t value) {
   char bytes[4];
@@ -39,11 +208,18 @@ void BinaryWriter::WriteFloatVector(const std::vector<float>& values) {
 }
 
 Status BinaryWriter::Flush(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-  if (!out) return Status::IoError("short write: " + path);
-  return Status::Ok();
+  return WriteFileAtomic(path, buffer_);
+}
+
+Status BinaryWriter::FlushFramed(const std::string& path) const {
+  std::string framed;
+  framed.reserve(kFrameHeaderBytes + buffer_.size() + kFrameTrailerBytes);
+  AppendU32(&framed, kFrameMagic);
+  AppendU32(&framed, kFrameVersion);
+  AppendU64(&framed, static_cast<uint64_t>(buffer_.size()));
+  framed.append(buffer_);
+  AppendU32(&framed, Crc32(buffer_.data(), buffer_.size()));
+  return WriteFileAtomic(path, framed);
 }
 
 Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
@@ -54,8 +230,40 @@ Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
   return BinaryReader(std::move(buffer));
 }
 
+Result<BinaryReader> BinaryReader::FromFramedFile(const std::string& path) {
+  Result<BinaryReader> raw = BinaryReader::FromFile(path);
+  if (!raw.ok()) return raw.status();
+  const std::string& buffer = raw.value().buffer_;
+  if (buffer.size() < kFrameHeaderBytes + kFrameTrailerBytes) {
+    return Status::IoError("framed file too short (torn write?): " + path);
+  }
+  if (LoadU32(buffer.data()) != kFrameMagic) {
+    return Status::InvalidArgument(
+        "missing TMF1 frame header — legacy pre-crash-safety or foreign "
+        "file, regenerate it: " + path);
+  }
+  const uint32_t version = LoadU32(buffer.data() + 4);
+  if (version != kFrameVersion) {
+    return Status::InvalidArgument(
+        "unsupported frame version " + std::to_string(version) + ": " + path);
+  }
+  const uint64_t length = LoadU64(buffer.data() + 8);
+  if (length != buffer.size() - kFrameHeaderBytes - kFrameTrailerBytes) {
+    return Status::IoError("frame length mismatch (torn write?): " + path);
+  }
+  const uint32_t stored =
+      LoadU32(buffer.data() + kFrameHeaderBytes + length);
+  const uint32_t computed =
+      Crc32(buffer.data() + kFrameHeaderBytes, static_cast<size_t>(length));
+  if (stored != computed) {
+    return Status::IoError("frame CRC mismatch (corrupted payload): " + path);
+  }
+  return BinaryReader(
+      buffer.substr(kFrameHeaderBytes, static_cast<size_t>(length)));
+}
+
 Status BinaryReader::ReadBytes(void* out, size_t n) {
-  if (pos_ + n > buffer_.size()) {
+  if (n > buffer_.size() - pos_) {
     return Status::IoError("unexpected end of buffer");
   }
   std::memcpy(out, buffer_.data() + pos_, n);
@@ -103,8 +311,8 @@ Status BinaryReader::ReadDouble(double* value) {
 Status BinaryReader::ReadString(std::string* value) {
   uint32_t size;
   TM_RETURN_IF_ERROR(ReadU32(&size));
-  if (pos_ + size > buffer_.size()) {
-    return Status::IoError("string extends past end of buffer");
+  if (size > buffer_.size() - pos_) {
+    return Status::IoError("string length prefix exceeds remaining buffer");
   }
   value->assign(buffer_.data() + pos_, size);
   pos_ += size;
@@ -114,6 +322,11 @@ Status BinaryReader::ReadString(std::string* value) {
 Status BinaryReader::ReadFloatVector(std::vector<float>* values) {
   uint32_t size;
   TM_RETURN_IF_ERROR(ReadU32(&size));
+  // Validate the prefix before resizing: a corrupted count must surface as
+  // an IoError, not a multi-GB allocation.
+  if (static_cast<uint64_t>(size) * sizeof(float) > buffer_.size() - pos_) {
+    return Status::IoError("vector length prefix exceeds remaining buffer");
+  }
   values->resize(size);
   for (uint32_t i = 0; i < size; ++i) {
     TM_RETURN_IF_ERROR(ReadFloat(&(*values)[i]));

@@ -10,6 +10,14 @@
 
 namespace tailormatch {
 
+// IEEE CRC-32 of `data`, optionally chaining a previous `crc`.
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+// Moves an unreadable artifact aside to "<path>.corrupt" so it is not
+// re-parsed (and re-rejected) on every run; replaces any previous
+// quarantine of the same path.
+Status QuarantineFile(const std::string& path);
+
 // Append-only binary buffer used for model checkpoints and dataset caches.
 // All integers are written little-endian fixed-width; the format is
 // versioned by the caller (see SimLlm::SaveCheckpoint).
@@ -25,20 +33,36 @@ class BinaryWriter {
 
   const std::string& buffer() const { return buffer_; }
 
-  // Writes the accumulated buffer to a file.
+  // Writes the accumulated buffer to a file crash-safely: bytes go to a
+  // temporary sibling first, are fsync'd, and are renamed over `path` in one
+  // atomic step, so a crash at any instant leaves either the old file or the
+  // complete new one — never a torn mix. Single writer per path assumed.
   Status Flush(const std::string& path) const;
+
+  // Flush plus an integrity frame: magic / format-version / payload-length
+  // header and a CRC-32 trailer, verified by BinaryReader::FromFramedFile.
+  // This is what catches a short write or bit flip that the atomic rename
+  // alone cannot (damage introduced before the bytes reached the kernel).
+  Status FlushFramed(const std::string& path) const;
 
  private:
   std::string buffer_;
 };
 
-// Sequential reader over a buffer produced by BinaryWriter.
+// Sequential reader over a buffer produced by BinaryWriter. Length-prefixed
+// reads validate the prefix against the remaining bytes before allocating,
+// so corrupted prefixes surface as IoError instead of huge allocations.
 class BinaryReader {
  public:
   explicit BinaryReader(std::string buffer) : buffer_(std::move(buffer)) {}
 
   // Loads a whole file into a reader.
   static Result<BinaryReader> FromFile(const std::string& path);
+
+  // Loads a file written by FlushFramed, verifying magic, version, payload
+  // length, and CRC; the returned reader holds only the payload. Legacy
+  // (unframed) files fail the magic check with a version-mismatch error.
+  static Result<BinaryReader> FromFramedFile(const std::string& path);
 
   Status ReadU32(uint32_t* value);
   Status ReadU64(uint64_t* value);
@@ -49,6 +73,9 @@ class BinaryReader {
   Status ReadFloatVector(std::vector<float>* values);
 
   bool AtEnd() const { return pos_ == buffer_.size(); }
+  // Current read offset into the payload (section-boundary bookkeeping for
+  // corruption tests and format tooling).
+  size_t position() const { return pos_; }
 
  private:
   Status ReadBytes(void* out, size_t n);

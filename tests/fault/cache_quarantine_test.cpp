@@ -1,0 +1,88 @@
+// CachedFineTune must never let one corrupted cache file wedge a run: the
+// unreadable file is moved aside to "<path>.corrupt", the fine-tune reruns,
+// and a clean checkpoint replaces the bad one.
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "obs/metrics.h"
+#include "tiny_model.h"
+
+namespace tailormatch::core {
+namespace {
+
+int64_t CounterValue(const std::string& name) {
+  for (const auto& [counter, value] :
+       obs::MetricsRegistry::Global().Snapshot().counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+TEST(CacheQuarantineTest, CorruptedCacheIsQuarantinedAndRebuilt) {
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "tm_quarantine_test")
+          .string();
+  std::filesystem::remove_all(cache_dir);
+
+  ExperimentContext context;
+  context.cache_dir = cache_dir;
+  context.data_scale = 0.05;
+  context.valid_max_pairs = 40;
+  const llm::FamilyProfile profile =
+      llm::GetFamilyProfile(llm::ModelFamily::kLlama8B);
+  llm::SimLlm zero_shot = fault_test::MakeTinyModel();
+  data::Benchmark bench =
+      data::BuildBenchmark(data::BenchmarkId::kWdcSmall, 0.05);
+  FineTuneOptions options;
+  options.epochs = 1;
+  options.valid_max_pairs = 40;
+
+  // Fresh run populates the cache and reports stats.
+  llm::TrainStats stats;
+  auto first = CachedFineTune(context, profile, zero_shot, bench.train,
+                              bench.valid, options, "quarantine-test", &stats);
+  ASSERT_NE(first, nullptr);
+  ASSERT_EQ(stats.epoch_train_loss.size(), 1u);
+
+  // Find the committed cache file and stomp it.
+  std::string ckpt;
+  for (const auto& entry : std::filesystem::directory_iterator(cache_dir)) {
+    if (entry.path().extension() == ".ckpt") ckpt = entry.path().string();
+  }
+  ASSERT_FALSE(ckpt.empty());
+  {
+    std::ofstream out(ckpt, std::ios::binary | std::ios::trunc);
+    out << "garbage that is definitely not a checkpoint";
+  }
+
+  // Second call: quarantine + retrain.
+  const int64_t quarantined_before = CounterValue("cache.quarantined");
+  llm::TrainStats retrained;
+  auto second =
+      CachedFineTune(context, profile, zero_shot, bench.train, bench.valid,
+                     options, "quarantine-test", &retrained);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(retrained.epoch_train_loss.size(), 1u);  // a fresh run happened
+  EXPECT_EQ(CounterValue("cache.quarantined"), quarantined_before + 1);
+  EXPECT_TRUE(std::filesystem::exists(ckpt + ".corrupt"));
+  EXPECT_TRUE(std::filesystem::exists(ckpt));  // clean replacement committed
+
+  // Third call: plain cache hit — stats stay untouched.
+  llm::TrainStats sentinel;
+  sentinel.rollbacks = -99;
+  auto third =
+      CachedFineTune(context, profile, zero_shot, bench.train, bench.valid,
+                     options, "quarantine-test", &sentinel);
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(sentinel.rollbacks, -99);
+  EXPECT_TRUE(sentinel.epoch_train_loss.empty());
+
+  std::filesystem::remove_all(cache_dir);
+}
+
+}  // namespace
+}  // namespace tailormatch::core

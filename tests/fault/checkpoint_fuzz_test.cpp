@@ -1,0 +1,175 @@
+// Checkpoint corruption fuzzing: a damaged checkpoint file must always be
+// rejected with a non-ok Status — never crash the process, never load
+// silently. Covers truncation at every early offset (all header and section
+// boundaries live there) plus strided points through the weights, single-bit
+// flips at sampled offsets, and forged frames whose payload is damaged but
+// whose CRC has been recomputed (exercising the inner parser's own
+// length-prefix validation).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "llm/sim_llm.h"
+#include "tiny_model.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace tailormatch {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+class CheckpointFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "tm_ckpt_fuzz").string();
+    std::filesystem::create_directories(dir_);
+    good_path_ = dir_ + "/good.ckpt";
+    llm::SimLlm model = fault_test::MakeTinyModel();
+    ASSERT_TRUE(model.SaveCheckpoint(good_path_).ok());
+    good_bytes_ = ReadFileBytes(good_path_);
+    ASSERT_GT(good_bytes_.size(), 64u);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+  std::string good_path_;
+  std::string good_bytes_;
+};
+
+TEST_F(CheckpointFuzzTest, IntactCheckpointLoads) {
+  Result<std::unique_ptr<llm::SimLlm>> loaded =
+      llm::SimLlm::LoadCheckpoint(good_path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+TEST_F(CheckpointFuzzTest, TruncationAtEveryBoundaryRejected) {
+  const std::string path = dir_ + "/truncated.ckpt";
+  std::vector<size_t> cut_points;
+  // Every offset through the frame header and the first sections (magic,
+  // version, config scalars, vocab strings all start here)...
+  for (size_t n = 0; n < 96 && n < good_bytes_.size(); ++n) {
+    cut_points.push_back(n);
+  }
+  // ...then strided points through the weight tensors and the tail.
+  for (size_t n = 96; n < good_bytes_.size(); n += 997) cut_points.push_back(n);
+  for (size_t back = 1; back <= 8; ++back) {
+    cut_points.push_back(good_bytes_.size() - back);
+  }
+  for (size_t n : cut_points) {
+    WriteFileBytes(path, good_bytes_.substr(0, n));
+    Result<std::unique_ptr<llm::SimLlm>> loaded =
+        llm::SimLlm::LoadCheckpoint(path);
+    EXPECT_FALSE(loaded.ok()) << "silent load of " << n << "-byte truncation";
+  }
+}
+
+TEST_F(CheckpointFuzzTest, SampledBitFlipsAlwaysRejected) {
+  const std::string path = dir_ + "/flipped.ckpt";
+  Rng rng(0xf1ea5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t byte =
+        rng.NextBounded(static_cast<uint32_t>(good_bytes_.size()));
+    const int bit = static_cast<int>(rng.NextBounded(8));
+    std::string damaged = good_bytes_;
+    damaged[byte] = static_cast<char>(
+        static_cast<unsigned char>(damaged[byte]) ^ (1u << bit));
+    WriteFileBytes(path, damaged);
+    Result<std::unique_ptr<llm::SimLlm>> loaded =
+        llm::SimLlm::LoadCheckpoint(path);
+    // CRC-32 detects every single-bit error; header flips fail the
+    // magic/version/length checks first.
+    EXPECT_FALSE(loaded.ok())
+        << "silent load with bit " << bit << " of byte " << byte << " flipped";
+  }
+}
+
+// Forges a valid frame around `payload` (correct magic/version/length/CRC),
+// so the inner checkpoint parser — not the frame check — sees the damage.
+std::string ForgeFrame(const std::string& payload) {
+  std::string framed;
+  const uint32_t magic = 0x31464d54u;  // "TMF1"
+  const uint32_t version = 1;
+  const uint64_t length = payload.size();
+  for (int i = 0; i < 4; ++i) framed.push_back(static_cast<char>(magic >> (8 * i)));
+  for (int i = 0; i < 4; ++i) framed.push_back(static_cast<char>(version >> (8 * i)));
+  for (int i = 0; i < 8; ++i) framed.push_back(static_cast<char>(length >> (8 * i)));
+  framed.append(payload);
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) framed.push_back(static_cast<char>(crc >> (8 * i)));
+  return framed;
+}
+
+TEST_F(CheckpointFuzzTest, TruncatedPayloadBehindValidFrameRejected) {
+  // A structurally damaged payload wrapped in a *valid* frame must still be
+  // rejected by the inner parser (length-prefix validation, satellite of the
+  // crash-safety work) — and must never crash or over-allocate.
+  const std::string payload =
+      good_bytes_.substr(16, good_bytes_.size() - 16 - 4);
+  const std::string path = dir_ + "/forged.ckpt";
+  std::vector<size_t> cut_points;
+  for (size_t n = 0; n < 64 && n < payload.size(); ++n) cut_points.push_back(n);
+  for (size_t n = 64; n < payload.size(); n += 1291) cut_points.push_back(n);
+  for (size_t n : cut_points) {
+    WriteFileBytes(path, ForgeFrame(payload.substr(0, n)));
+    Result<std::unique_ptr<llm::SimLlm>> loaded =
+        llm::SimLlm::LoadCheckpoint(path);
+    EXPECT_FALSE(loaded.ok())
+        << "silent load of " << n << "-byte payload behind a valid frame";
+  }
+}
+
+TEST_F(CheckpointFuzzTest, LegacyUnframedCheckpointRejectedWithClearError) {
+  // A pre-crash-safety checkpoint is the bare payload with no TMF1 frame;
+  // its first bytes are the inner "TMCK" magic. The loader must name the
+  // frame header in its error so the fix (regenerate) is obvious.
+  const std::string path = dir_ + "/legacy.ckpt";
+  WriteFileBytes(path, good_bytes_.substr(16, good_bytes_.size() - 16 - 4));
+  Result<std::unique_ptr<llm::SimLlm>> loaded =
+      llm::SimLlm::LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("frame header"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(CheckpointFuzzTest, UnsupportedFrameVersionRejected) {
+  std::string damaged = good_bytes_;
+  damaged[4] = 9;  // version field (little-endian u32 at offset 4)
+  const std::string path = dir_ + "/future.ckpt";
+  WriteFileBytes(path, damaged);
+  Result<std::unique_ptr<llm::SimLlm>> loaded =
+      llm::SimLlm::LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(CheckpointFuzzTest, EmptyAndGarbageFilesRejected) {
+  const std::string path = dir_ + "/garbage.ckpt";
+  WriteFileBytes(path, "");
+  EXPECT_FALSE(llm::SimLlm::LoadCheckpoint(path).ok());
+  WriteFileBytes(path, "this is not a checkpoint at all");
+  EXPECT_FALSE(llm::SimLlm::LoadCheckpoint(path).ok());
+}
+
+}  // namespace
+}  // namespace tailormatch

@@ -1,0 +1,195 @@
+// Subprocess crash-recovery harness: re-executes this binary as a helper
+// that writes a checkpoint while a TM_FAULT_* environment fault is armed,
+// killing or corrupting the write at a precise phase. After every scenario
+// the committed path must either load cleanly or be rejected with a typed
+// Status — a crash at any instant never yields a torn-but-accepted file, and
+// never destroys a previously committed checkpoint.
+//
+// The helper is a fresh exec (not a fork of the test): by the time tests
+// run, the process may own threads and sanitizer state that make
+// fork-without-exec hazardous.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "llm/sim_llm.h"
+#include "tiny_model.h"
+#include "util/fault.h"
+
+namespace tailormatch {
+namespace {
+
+// Helper exit codes (distinct from fault::kCrashExitCode = 86).
+constexpr int kHelperOk = 0;
+constexpr int kHelperSaveFailed = 7;
+
+std::string SelfExe() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return "";
+  buffer[n] = '\0';
+  return buffer;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+struct HelperResult {
+  bool exited = false;
+  int exit_code = -1;
+};
+
+// Runs `<self> --helper-save <path>` with the given fault armed via the
+// environment. nth=1 and the helper performs exactly one Flush, so the
+// fault hits the checkpoint write.
+HelperResult RunSaveHelper(const std::string& path, const std::string& point,
+                           const std::string& mode,
+                           const std::string& extra_env = "") {
+  const std::string command = "TM_FAULT_POINT='" + point + "' TM_FAULT_MODE='" +
+                              mode + "' " + extra_env + " '" + SelfExe() +
+                              "' --helper-save '" + path + "'";
+  const int status = std::system(command.c_str());
+  HelperResult result;
+  result.exited = WIFEXITED(status);
+  if (result.exited) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(SelfExe().empty());
+    dir_ = (std::filesystem::temp_directory_path() / "tm_crash_recovery")
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/model.ckpt";
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(CrashRecoveryTest, HelperWritesLoadableCheckpointWithoutFaults) {
+  HelperResult result = RunSaveHelper(path_, "", "");
+  ASSERT_TRUE(result.exited);
+  ASSERT_EQ(result.exit_code, kHelperOk);
+  EXPECT_TRUE(llm::SimLlm::LoadCheckpoint(path_).ok());
+}
+
+TEST_F(CrashRecoveryTest, CrashAtEveryPhaseNeverLeavesTornCommittedFile) {
+  for (const char* point :
+       {"serialize.flush.open", "serialize.flush.write",
+        "serialize.flush.mid_write", "serialize.flush.fsync",
+        "serialize.flush.rename", "serialize.flush.committed"}) {
+    std::filesystem::remove(path_);
+    HelperResult result = RunSaveHelper(path_, point, "crash");
+    ASSERT_TRUE(result.exited) << point;
+    ASSERT_EQ(result.exit_code, fault::kCrashExitCode) << point;
+    if (std::string(point) == "serialize.flush.committed") {
+      // The rename happened before the crash: the checkpoint is complete.
+      EXPECT_TRUE(llm::SimLlm::LoadCheckpoint(path_).ok()) << point;
+    } else {
+      // The crash predates the atomic rename: the committed path was never
+      // created — load-or-reject, never a torn file.
+      EXPECT_FALSE(std::filesystem::exists(path_)) << point;
+      EXPECT_FALSE(llm::SimLlm::LoadCheckpoint(path_).ok()) << point;
+    }
+  }
+}
+
+TEST_F(CrashRecoveryTest, CrashDuringOverwritePreservesOldCheckpoint) {
+  ASSERT_EQ(RunSaveHelper(path_, "", "").exit_code, kHelperOk);
+  const std::string before = ReadFileBytes(path_);
+  ASSERT_FALSE(before.empty());
+  for (const char* point :
+       {"serialize.flush.open", "serialize.flush.write",
+        "serialize.flush.mid_write", "serialize.flush.fsync",
+        "serialize.flush.rename"}) {
+    HelperResult result = RunSaveHelper(path_, point, "crash");
+    ASSERT_TRUE(result.exited) << point;
+    ASSERT_EQ(result.exit_code, fault::kCrashExitCode) << point;
+    // Old checkpoint bytes are untouched and still load.
+    EXPECT_EQ(ReadFileBytes(path_), before) << point;
+    EXPECT_TRUE(llm::SimLlm::LoadCheckpoint(path_).ok()) << point;
+  }
+}
+
+TEST_F(CrashRecoveryTest, SilentCorruptionIsCommittedButRejectedOnLoad) {
+  // short_write / bit_flip model damage *below* the atomic-rename layer
+  // (bad disk, bad RAM): the write succeeds, the frame check must refuse
+  // the file on load.
+  for (const char* mode : {"short_write", "bit_flip"}) {
+    std::filesystem::remove(path_);
+    HelperResult result =
+        RunSaveHelper(path_, "serialize.flush.write", mode,
+                      "TM_FAULT_KEEP=0.5 TM_FAULT_SEED=12345");
+    ASSERT_TRUE(result.exited) << mode;
+    ASSERT_EQ(result.exit_code, kHelperOk) << mode;  // damage was silent
+    ASSERT_TRUE(std::filesystem::exists(path_)) << mode;
+    EXPECT_FALSE(llm::SimLlm::LoadCheckpoint(path_).ok()) << mode;
+  }
+}
+
+TEST_F(CrashRecoveryTest, IoErrorSurfacesInHelperAndPreservesOldFile) {
+  ASSERT_EQ(RunSaveHelper(path_, "", "").exit_code, kHelperOk);
+  const std::string before = ReadFileBytes(path_);
+  HelperResult result =
+      RunSaveHelper(path_, "serialize.flush.rename", "io_error");
+  ASSERT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, kHelperSaveFailed);
+  EXPECT_EQ(ReadFileBytes(path_), before);
+  EXPECT_TRUE(llm::SimLlm::LoadCheckpoint(path_).ok());
+}
+
+TEST_F(CrashRecoveryTest, RecoveryAfterCrashCommitsCleanCheckpoint) {
+  // The full story: a run crashes mid-checkpoint, the retry then succeeds
+  // and the result is loadable.
+  HelperResult crashed =
+      RunSaveHelper(path_, "serialize.flush.mid_write", "crash");
+  ASSERT_EQ(crashed.exit_code, fault::kCrashExitCode);
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  HelperResult retried = RunSaveHelper(path_, "", "");
+  ASSERT_EQ(retried.exit_code, kHelperOk);
+  EXPECT_TRUE(llm::SimLlm::LoadCheckpoint(path_).ok());
+}
+
+}  // namespace
+
+// Exit status of the save helper (see RunSaveHelper).
+int RunHelperSave(const std::string& path) {
+  llm::SimLlm model = fault_test::MakeTinyModel();
+  Status status = model.SaveCheckpoint(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "helper save failed: %s\n",
+                 status.ToString().c_str());
+    return kHelperSaveFailed;
+  }
+  return kHelperOk;
+}
+
+}  // namespace tailormatch
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--helper-save") {
+    return tailormatch::RunHelperSave(argv[2]);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,127 @@
+// Divergence recovery: an injected non-finite loss mid-training must trigger
+// a rollback to the last completed epoch, a learning-rate backoff, and a
+// retry — and the recovered run must end as accurate as a fault-free one.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "llm/trainer.h"
+#include "tiny_model.h"
+#include "util/fault.h"
+
+namespace tailormatch::llm {
+namespace {
+
+class DivergenceRecoveryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Global().DisarmAll(); }
+
+  static TrainOptions Options() {
+    TrainOptions options;
+    options.epochs = 12;
+    options.batch_size = 8;
+    options.learning_rate = 5e-3f;
+    options.seed = 3;
+    options.max_rollbacks = 3;
+    options.lr_backoff = 0.5f;
+    return options;
+  }
+
+  static TrainStats Train(SimLlm& model) {
+    const auto examples = fault_test::KeywordExamples(model);
+    return TrainModel(model, examples, Options());
+  }
+};
+
+TEST_F(DivergenceRecoveryTest, FaultFreeRunTakesNoRollbacks) {
+  SimLlm model = fault_test::MakeTinyModel();
+  TrainStats stats = Train(model);
+  EXPECT_EQ(stats.rollbacks, 0);
+  EXPECT_FLOAT_EQ(stats.final_learning_rate, 5e-3f);
+  EXPECT_EQ(stats.epoch_train_loss.size(), 12u);
+}
+
+TEST_F(DivergenceRecoveryTest, NanLossRollsBackHalvesLrAndStillConverges) {
+  // Baseline for the accuracy comparison.
+  SimLlm baseline = fault_test::MakeTinyModel();
+  Train(baseline);
+  const double baseline_accuracy = fault_test::KeywordAccuracy(baseline);
+
+  // Poison one loss partway through training (the 25th example of ~60 per
+  // epoch) — the spike a real fp blow-up produces.
+  fault::FaultSpec spec;
+  spec.point = "trainer.loss";
+  spec.mode = fault::FaultMode::kNan;
+  spec.nth = 25;
+  fault::ScopedFault fault(spec);
+  SimLlm model = fault_test::MakeTinyModel();
+  TrainStats stats = Train(model);
+
+  EXPECT_EQ(stats.rollbacks, 1);
+  EXPECT_FLOAT_EQ(stats.final_learning_rate, 2.5e-3f);  // one halving
+  // All epochs completed despite the retry.
+  EXPECT_EQ(stats.epoch_train_loss.size(), 12u);
+  for (double loss : stats.epoch_train_loss) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+  // Acceptance bar: the recovered run lands within one point of fault-free.
+  const double recovered_accuracy = fault_test::KeywordAccuracy(model);
+  EXPECT_GE(recovered_accuracy, baseline_accuracy - 0.01);
+}
+
+TEST_F(DivergenceRecoveryTest, PersistentDivergenceExhaustsBudgetAndStops) {
+  // Every loss evaluation diverges: the trainer must retry max_rollbacks
+  // times, then keep the last good state and stop instead of looping.
+  fault::FaultSpec spec;
+  spec.point = "trainer.loss";
+  spec.mode = fault::FaultMode::kNan;
+  spec.nth = 0;  // every arrival
+  fault::ScopedFault fault(spec);
+
+  SimLlm model = fault_test::MakeTinyModel();
+  const auto before = model.SnapshotState();
+  const auto examples = fault_test::KeywordExamples(model);
+  TrainOptions options = Options();
+  options.max_rollbacks = 2;
+  TrainStats stats = TrainModel(model, examples, options);
+
+  EXPECT_EQ(stats.rollbacks, 2);
+  EXPECT_TRUE(stats.epoch_train_loss.empty());  // no epoch ever completed
+  // Two halvings were attempted before giving up.
+  EXPECT_FLOAT_EQ(stats.final_learning_rate, 5e-3f * 0.25f);
+  // The model was left at the last good state — here the initial weights.
+  const auto after = model.SnapshotState();
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i], before[i]) << "tensor " << i;
+  }
+}
+
+TEST_F(DivergenceRecoveryTest, RecoveryIsDeterministic) {
+  // The same fault at the same point must yield bit-identical weights on
+  // every run — recovery is part of the deterministic training contract.
+  const auto run = [] {
+    fault::FaultSpec spec;
+    spec.point = "trainer.loss";
+    spec.mode = fault::FaultMode::kNan;
+    spec.nth = 25;
+    fault::ScopedFault fault(spec);
+    SimLlm model = fault_test::MakeTinyModel();
+    const auto examples = fault_test::KeywordExamples(model);
+    TrainOptions options = Options();
+    options.epochs = 3;
+    TrainStats stats = TrainModel(model, examples, options);
+    EXPECT_EQ(stats.rollbacks, 1);
+    return model.SnapshotState();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "tensor " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::llm

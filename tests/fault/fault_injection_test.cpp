@@ -1,0 +1,227 @@
+#include "util/fault.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/serialize.h"
+
+namespace tailormatch::fault {
+namespace {
+
+// Every test leaves the global injector clean; faults are process-wide.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST_F(FaultInjectionTest, ModeNamesRoundTrip) {
+  for (FaultMode mode : {FaultMode::kIoError, FaultMode::kShortWrite,
+                         FaultMode::kBitFlip, FaultMode::kCrash,
+                         FaultMode::kNan}) {
+    FaultMode parsed = FaultMode::kNone;
+    ASSERT_TRUE(ParseFaultMode(FaultModeName(mode), &parsed))
+        << FaultModeName(mode);
+    EXPECT_EQ(parsed, mode);
+  }
+  FaultMode parsed = FaultMode::kNone;
+  EXPECT_FALSE(ParseFaultMode("definitely_not_a_mode", &parsed));
+}
+
+TEST_F(FaultInjectionTest, UnarmedPointsAreNoOps) {
+  EXPECT_FALSE(FaultInjector::Global().AnyArmed());
+  EXPECT_TRUE(FaultInjector::Global().OnPoint("nowhere").ok());
+  std::string data = "payload";
+  EXPECT_TRUE(FaultInjector::Global().OnWrite("nowhere", &data).ok());
+  EXPECT_EQ(data, "payload");
+  double value = 1.0;
+  FaultInjector::Global().OnValue("nowhere", &value);
+  EXPECT_DOUBLE_EQ(value, 1.0);
+}
+
+TEST_F(FaultInjectionTest, FiresOnceOnNthArrival) {
+  FaultSpec spec;
+  spec.point = "test.nth";
+  spec.mode = FaultMode::kIoError;
+  spec.nth = 2;
+  ScopedFault fault(spec);
+  EXPECT_TRUE(FaultInjector::Global().OnPoint("test.nth").ok());
+  Status second = FaultInjector::Global().OnPoint("test.nth");
+  EXPECT_EQ(second.code(), StatusCode::kIoError);
+  // Fired; later arrivals pass.
+  EXPECT_TRUE(FaultInjector::Global().OnPoint("test.nth").ok());
+  EXPECT_EQ(FaultInjector::Global().hits("test.nth"), 3);
+}
+
+TEST_F(FaultInjectionTest, NthZeroFiresEveryArrival) {
+  FaultSpec spec;
+  spec.point = "test.every";
+  spec.mode = FaultMode::kIoError;
+  spec.nth = 0;
+  ScopedFault fault(spec);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(FaultInjector::Global().OnPoint("test.every").ok());
+  }
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  {
+    FaultSpec spec;
+    spec.point = "test.scope";
+    spec.mode = FaultMode::kIoError;
+    ScopedFault fault(spec);
+    EXPECT_TRUE(FaultInjector::Global().AnyArmed());
+  }
+  EXPECT_FALSE(FaultInjector::Global().AnyArmed());
+  EXPECT_TRUE(FaultInjector::Global().OnPoint("test.scope").ok());
+}
+
+TEST_F(FaultInjectionTest, ShortWriteTruncatesPayload) {
+  FaultSpec spec;
+  spec.point = "test.write";
+  spec.mode = FaultMode::kShortWrite;
+  spec.keep_fraction = 0.25;
+  ScopedFault fault(spec);
+  std::string data(100, 'x');
+  EXPECT_TRUE(FaultInjector::Global().OnWrite("test.write", &data).ok());
+  EXPECT_EQ(data.size(), 25u);
+}
+
+TEST_F(FaultInjectionTest, BitFlipChangesExactlyOneBit) {
+  FaultSpec spec;
+  spec.point = "test.write";
+  spec.mode = FaultMode::kBitFlip;
+  spec.seed = 99;
+  ScopedFault fault(spec);
+  const std::string original(64, '\0');
+  std::string data = original;
+  EXPECT_TRUE(FaultInjector::Global().OnWrite("test.write", &data).ok());
+  ASSERT_EQ(data.size(), original.size());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    unsigned char diff = static_cast<unsigned char>(data[i] ^ original[i]);
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST_F(FaultInjectionTest, NanPoisonsValue) {
+  FaultSpec spec;
+  spec.point = "test.value";
+  spec.mode = FaultMode::kNan;
+  ScopedFault fault(spec);
+  double value = 0.125;
+  FaultInjector::Global().OnValue("test.value", &value);
+  EXPECT_TRUE(std::isnan(value));
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvironment) {
+  ::setenv("TM_FAULT_POINT", "test.env", 1);
+  ::setenv("TM_FAULT_MODE", "io_error", 1);
+  ::setenv("TM_FAULT_NTH", "1", 1);
+  FaultInjector::Global().ArmFromEnv();
+  ::unsetenv("TM_FAULT_POINT");
+  ::unsetenv("TM_FAULT_MODE");
+  ::unsetenv("TM_FAULT_NTH");
+  EXPECT_EQ(FaultInjector::Global().OnPoint("test.env").code(),
+            StatusCode::kIoError);
+}
+
+// --- Flush-level behavior: the fault points inside WriteFileAtomic ---
+
+TEST_F(FaultInjectionTest, IoErrorBeforeRenamePreservesOldFile) {
+  const std::string path = TempPath("tm_fault_atomic.bin");
+  BinaryWriter old_writer;
+  old_writer.WriteString("old content");
+  ASSERT_TRUE(old_writer.Flush(path).ok());
+
+  for (const char* point :
+       {"serialize.flush.open", "serialize.flush.write",
+        "serialize.flush.mid_write", "serialize.flush.fsync",
+        "serialize.flush.rename"}) {
+    FaultSpec spec;
+    spec.point = point;
+    spec.mode = FaultMode::kIoError;
+    ScopedFault fault(spec);
+    BinaryWriter new_writer;
+    new_writer.WriteString("new content");
+    Status status = new_writer.Flush(path);
+    EXPECT_EQ(status.code(), StatusCode::kIoError) << point;
+    // The failed write never touches the committed file and leaves no temp
+    // file behind.
+    Result<BinaryReader> reader = BinaryReader::FromFile(path);
+    ASSERT_TRUE(reader.ok()) << point;
+    std::string value;
+    ASSERT_TRUE(reader.value().ReadString(&value).ok()) << point;
+    EXPECT_EQ(value, "old content") << point;
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp")) << point;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, ShortWriteCommitsTornFrameThatFailsToLoad) {
+  const std::string path = TempPath("tm_fault_torn.bin");
+  FaultSpec spec;
+  spec.point = "serialize.flush.write";
+  spec.mode = FaultMode::kShortWrite;
+  spec.keep_fraction = 0.5;
+  ScopedFault fault(spec);
+  BinaryWriter writer;
+  writer.WriteString("payload that will be torn in half");
+  // The damaged write itself succeeds (the fault models silent data loss)...
+  ASSERT_TRUE(writer.FlushFramed(path).ok());
+  // ...and the frame check is what refuses the torn file.
+  Result<BinaryReader> reader = BinaryReader::FromFramedFile(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, BitFlipCommitsFrameThatFailsCrc) {
+  const std::string path = TempPath("tm_fault_flip.bin");
+  // Flip within the payload region (header is 16 bytes; write enough data
+  // that most seeds land in the payload). Whatever field is hit, the load
+  // must fail — try a few seeds to cover header and payload flips.
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    FaultSpec spec;
+    spec.point = "serialize.flush.write";
+    spec.mode = FaultMode::kBitFlip;
+    spec.seed = seed;
+    ScopedFault fault(spec);
+    BinaryWriter writer;
+    for (int i = 0; i < 64; ++i) writer.WriteU32(static_cast<uint32_t>(i));
+    ASSERT_TRUE(writer.FlushFramed(path).ok());
+    EXPECT_FALSE(BinaryReader::FromFramedFile(path).ok()) << "seed " << seed;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, FramedRoundTripSurvivesWithoutFaults) {
+  const std::string path = TempPath("tm_fault_clean.bin");
+  BinaryWriter writer;
+  writer.WriteString("clean");
+  writer.WriteFloatVector({1.0f, 2.0f});
+  ASSERT_TRUE(writer.FlushFramed(path).ok());
+  Result<BinaryReader> reader = BinaryReader::FromFramedFile(path);
+  ASSERT_TRUE(reader.ok());
+  std::string value;
+  std::vector<float> values;
+  ASSERT_TRUE(reader.value().ReadString(&value).ok());
+  ASSERT_TRUE(reader.value().ReadFloatVector(&values).ok());
+  EXPECT_EQ(value, "clean");
+  EXPECT_EQ(values, (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_TRUE(reader.value().AtEnd());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tailormatch::fault

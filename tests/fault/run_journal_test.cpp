@@ -1,0 +1,144 @@
+#include "core/run_journal.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/fault.h"
+
+namespace tailormatch::core {
+namespace {
+
+class RunJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "tm_journal_test")
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    fault::FaultInjector::Global().DisarmAll();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RunJournalTest, DisabledJournalIsInert) {
+  RunJournal journal;
+  EXPECT_FALSE(journal.enabled());
+  EXPECT_FALSE(journal.Has("anything"));
+  EXPECT_TRUE(journal.Record("stage", "payload").ok());
+  EXPECT_FALSE(journal.Has("stage"));
+}
+
+TEST_F(RunJournalTest, RecordsSurviveReload) {
+  {
+    RunJournal journal(dir_, "run-a");
+    ASSERT_TRUE(journal.enabled());
+    ASSERT_TRUE(journal.Record("zero_shot_eval", "61.25").ok());
+    ASSERT_TRUE(journal.RecordDouble("final_eval", 82.5).ok());
+    EXPECT_TRUE(journal.Has("zero_shot_eval"));
+  }
+  RunJournal reloaded(dir_, "run-a");
+  EXPECT_TRUE(reloaded.Has("zero_shot_eval"));
+  EXPECT_EQ(reloaded.Payload("zero_shot_eval"), "61.25");
+  double value = 0.0;
+  ASSERT_TRUE(reloaded.PayloadDouble("final_eval", &value));
+  EXPECT_DOUBLE_EQ(value, 82.5);
+  EXPECT_EQ(reloaded.corrupt_lines(), 0);
+  EXPECT_FALSE(reloaded.Has("fine_tune"));
+}
+
+TEST_F(RunJournalTest, SeparateKeysSeparateJournals) {
+  RunJournal a(dir_, "run-a");
+  RunJournal b(dir_, "run-b");
+  ASSERT_TRUE(a.Record("stage", "1").ok());
+  EXPECT_NE(a.path(), b.path());
+  EXPECT_FALSE(RunJournal(dir_, "run-b").Has("stage"));
+}
+
+TEST_F(RunJournalTest, RunKeySanitizedIntoSingleFile) {
+  RunJournal journal(dir_, "llama8b/wdc small");
+  ASSERT_TRUE(journal.Record("stage", "1").ok());
+  // The separator and space cannot leak into the path.
+  EXPECT_NE(journal.path().find("llama8b_wdc_small.journal"),
+            std::string::npos)
+      << journal.path();
+  EXPECT_TRUE(std::filesystem::exists(journal.path()));
+}
+
+TEST_F(RunJournalTest, TornTailDroppedOnReload) {
+  {
+    RunJournal journal(dir_, "torn");
+    ASSERT_TRUE(journal.Record("done", "1").ok());
+  }
+  // Simulate a crash mid-append: a record whose tail never hit the disk.
+  {
+    RunJournal journal(dir_, "torn");
+    std::ofstream out(journal.path(), std::ios::app | std::ios::binary);
+    out << "deadbeef\tpartial_sta";  // no payload, no newline
+  }
+  RunJournal reloaded(dir_, "torn");
+  EXPECT_TRUE(reloaded.Has("done"));
+  EXPECT_FALSE(reloaded.Has("partial_sta"));
+  EXPECT_EQ(reloaded.corrupt_lines(), 1);
+}
+
+TEST_F(RunJournalTest, BadChecksumLineDropped) {
+  {
+    RunJournal journal(dir_, "crc");
+    ASSERT_TRUE(journal.Record("good", "1").ok());
+    std::ofstream out(journal.path(), std::ios::app | std::ios::binary);
+    out << "00000000\tforged\t1\n";  // wrong CRC for this stage/payload
+  }
+  RunJournal reloaded(dir_, "crc");
+  EXPECT_TRUE(reloaded.Has("good"));
+  EXPECT_FALSE(reloaded.Has("forged"));
+  EXPECT_EQ(reloaded.corrupt_lines(), 1);
+}
+
+TEST_F(RunJournalTest, ShortWriteFaultTearsOnlyTheLastRecord) {
+  {
+    RunJournal journal(dir_, "fault");
+    ASSERT_TRUE(journal.Record("first", "1").ok());
+    fault::FaultSpec spec;
+    spec.point = "journal.append";
+    spec.mode = fault::FaultMode::kShortWrite;
+    spec.keep_fraction = 0.5;
+    fault::ScopedFault fault(spec);
+    // The damaged append itself reports success (silent data loss)...
+    ASSERT_TRUE(journal.Record("second", "2").ok());
+  }
+  // ...and the reload drops exactly the torn record.
+  RunJournal reloaded(dir_, "fault");
+  EXPECT_TRUE(reloaded.Has("first"));
+  EXPECT_FALSE(reloaded.Has("second"));
+  EXPECT_EQ(reloaded.corrupt_lines(), 1);
+}
+
+TEST_F(RunJournalTest, IoErrorFaultSurfacesAsStatus) {
+  RunJournal journal(dir_, "io");
+  fault::FaultSpec spec;
+  spec.point = "journal.append";
+  spec.mode = fault::FaultMode::kIoError;
+  fault::ScopedFault fault(spec);
+  Status status = journal.Record("stage", "1");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(RunJournal(dir_, "io").Has("stage"));
+}
+
+TEST(RunJournalDeathTest, TabsInRecordsRejected) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tm_journal_death").string();
+  std::filesystem::create_directories(dir);
+  RunJournal journal(dir, "death");
+  EXPECT_DEATH(journal.Record("bad\tstage", "1"), "tabs or newlines");
+}
+
+}  // namespace
+}  // namespace tailormatch::core

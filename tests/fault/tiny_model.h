@@ -1,0 +1,66 @@
+#ifndef TAILORMATCH_TESTS_FAULT_TINY_MODEL_H_
+#define TAILORMATCH_TESTS_FAULT_TINY_MODEL_H_
+
+// Shared fixture for the fault suites: the trivially learnable keyword task
+// from tests/llm/trainer_test.cpp (label = whether "same" appears) and a
+// tiny SimLlm that trains on it in milliseconds.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "llm/sim_llm.h"
+
+namespace tailormatch::fault_test {
+
+inline std::vector<std::pair<std::string, bool>> KeywordTask() {
+  std::vector<std::pair<std::string, bool>> data;
+  const char* positives[] = {
+      "entity 1: alpha same entity 2: beta", "same entity 1: x entity 2: y",
+      "entity 1: gamma entity 2: same delta"};
+  const char* negatives[] = {
+      "entity 1: alpha entity 2: beta", "entity 1: x entity 2: y other",
+      "entity 1: gamma entity 2: delta"};
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    for (const char* text : positives) data.emplace_back(text, true);
+    for (const char* text : negatives) data.emplace_back(text, false);
+  }
+  return data;
+}
+
+inline llm::SimLlm MakeTinyModel() {
+  std::vector<std::string> corpus;
+  for (auto& [text, label] : KeywordTask()) corpus.push_back(text);
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1200, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 24;
+  config.init_seed = 11;
+  return llm::SimLlm(config, std::move(tokenizer));
+}
+
+inline std::vector<llm::TrainExample> KeywordExamples(const llm::SimLlm& model) {
+  std::vector<llm::TrainExample> examples;
+  for (auto& [text, label] : KeywordTask()) {
+    examples.push_back(model.EncodeExample(text, label));
+  }
+  return examples;
+}
+
+// Fraction of the keyword task the model labels correctly.
+inline double KeywordAccuracy(const llm::SimLlm& model) {
+  int correct = 0;
+  const auto task = KeywordTask();
+  for (auto& [text, label] : task) {
+    const bool predicted = model.PredictMatchProbability(text) > 0.5;
+    correct += predicted == label ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(task.size());
+}
+
+}  // namespace tailormatch::fault_test
+
+#endif  // TAILORMATCH_TESTS_FAULT_TINY_MODEL_H_

@@ -110,6 +110,42 @@ TEST(EndToEndTest, ZeroShotCheckpointCacheRoundTrips) {
                    second->PredictMatchProbability(probe));
 }
 
+TEST(EndToEndTest, PipelineResumesFromJournal) {
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "tm_e2e_resume").string();
+  std::filesystem::remove_all(cache_dir);
+  core::PipelineConfig config = SmallConfig();
+  config.context.cache_dir = cache_dir;
+  config.context.epochs_override = 2;
+  config.resume_key = "resume-test";
+
+  core::PipelineReport first = core::RunPipeline(config);
+
+  const auto skipped = [] {
+    for (const auto& [name, value] :
+         obs::MetricsRegistry::Global().Snapshot().counters) {
+      if (name == "pipeline.stages_skipped") return value;
+    }
+    return static_cast<int64_t>(0);
+  };
+  const int64_t skipped_before = skipped();
+
+  // A "restarted" run with the same key: every journaled stage is skipped
+  // and the reported numbers are identical to the first run's.
+  core::PipelineReport second = core::RunPipeline(config);
+  EXPECT_EQ(skipped(), skipped_before + 3);  // zero-shot eval, fine-tune, eval
+  EXPECT_DOUBLE_EQ(second.zero_shot_f1, first.zero_shot_f1);
+  EXPECT_DOUBLE_EQ(second.fine_tuned_f1, first.fine_tuned_f1);
+  EXPECT_EQ(second.train_stats.best_epoch, first.train_stats.best_epoch);
+  EXPECT_DOUBLE_EQ(second.train_stats.best_score, first.train_stats.best_score);
+  EXPECT_EQ(second.train_stats.rollbacks, first.train_stats.rollbacks);
+  EXPECT_FLOAT_EQ(second.train_stats.final_learning_rate,
+                  first.train_stats.final_learning_rate);
+  ASSERT_NE(second.model, nullptr);  // reloaded from the checkpoint cache
+
+  std::filesystem::remove_all(cache_dir);
+}
+
 TEST(EndToEndTest, ErrorBasedSelectionRuns) {
   const std::string cache_dir =
       (std::filesystem::temp_directory_path() / "tm_e2e_cache").string();

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -84,6 +85,104 @@ TEST(SerializeTest, MissingFileFails) {
       BinaryReader::FromFile("/nonexistent/definitely/missing.bin");
   EXPECT_FALSE(reader.ok());
   EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, OversizedVectorLengthFailsWithoutAllocating) {
+  BinaryWriter writer;
+  writer.WriteU32(0x40000000u);  // claims 1G floats, provides none
+  BinaryReader reader(writer.buffer());
+  std::vector<float> values;
+  EXPECT_FALSE(reader.ReadFloatVector(&values).ok());
+  EXPECT_TRUE(values.empty());  // rejected before the resize
+}
+
+TEST(SerializeTest, FramedFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_serialize_framed.bin")
+          .string();
+  BinaryWriter writer;
+  writer.WriteString("framed payload");
+  writer.WriteU32(7);
+  ASSERT_TRUE(writer.FlushFramed(path).ok());
+  Result<BinaryReader> reader = BinaryReader::FromFramedFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  std::string value;
+  uint32_t number;
+  ASSERT_TRUE(reader.value().ReadString(&value).ok());
+  ASSERT_TRUE(reader.value().ReadU32(&number).ok());
+  EXPECT_EQ(value, "framed payload");
+  EXPECT_EQ(number, 7u);
+  EXPECT_TRUE(reader.value().AtEnd());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FramedFileRejectsFlippedBit) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_serialize_flip.bin")
+          .string();
+  BinaryWriter writer;
+  writer.WriteString("payload under test");
+  ASSERT_TRUE(writer.FlushFramed(path).ok());
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(20);  // inside the payload, past the 16-byte header
+    char byte;
+    file.seekg(20);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(20);
+    file.write(&byte, 1);
+  }
+  Result<BinaryReader> reader = BinaryReader::FromFramedFile(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FramedFileRejectsTruncation) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_serialize_trunc.bin")
+          .string();
+  BinaryWriter writer;
+  writer.WriteString("payload under test");
+  ASSERT_TRUE(writer.FlushFramed(path).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 5);
+  EXPECT_FALSE(BinaryReader::FromFramedFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LegacyUnframedFileRejectedWithClearError) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_serialize_legacy.bin")
+          .string();
+  BinaryWriter writer;
+  writer.WriteString("written before the frame format existed, and long "
+                     "enough to pass the minimum-size check");
+  ASSERT_TRUE(writer.Flush(path).ok());  // unframed
+  Result<BinaryReader> reader = BinaryReader::FromFramedFile(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reader.status().message().find("frame header"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, QuarantineFileMovesTargetAside) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_serialize_bad.bin")
+          .string();
+  BinaryWriter writer;
+  writer.WriteString("unreadable");
+  ASSERT_TRUE(writer.Flush(path).ok());
+  ASSERT_TRUE(QuarantineFile(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  // A second quarantine of a regenerated file replaces the first.
+  ASSERT_TRUE(writer.Flush(path).ok());
+  ASSERT_TRUE(QuarantineFile(path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_FALSE(QuarantineFile(path).ok());  // nothing left to move
+  std::remove((path + ".corrupt").c_str());
 }
 
 }  // namespace

@@ -1,24 +1,34 @@
 #!/usr/bin/env bash
-# Rebuilds the library and the nn + obs test suites under a sanitizer
-# (default: thread) in a dedicated build tree, then runs both suites.
-# The kernel layer's parallel dispatch is what TSan is here to watch:
-# src/nn/kernels.cc fans GEMM and row-kernel chunks out to a shared
-# thread pool, and the kernel tests pin thread counts of 1/2/8.
+# Rebuilds the library and a set of test suites under a sanitizer in a
+# dedicated build tree, then runs them.
 #
-# Usage: tools/check_sanitize.sh [thread|address|undefined]
-# (Also exposed as the `check-sanitize` CMake target.)
+# Default: the nn + obs suites under TSan — the kernel layer's parallel
+# dispatch is what TSan is here to watch: src/nn/kernels.cc fans GEMM and
+# row-kernel chunks out to a shared thread pool, and the kernel tests pin
+# thread counts of 1/2/8.
+#
+# Usage: tools/check_sanitize.sh [thread|address|undefined] [test_target...]
+# (Also exposed as the `check-sanitize` and `check-fault` CMake targets; the
+# latter runs the fault suites under ASan and UBSan.)
 set -euo pipefail
 
 SANITIZER="${1:-thread}"
+shift || true
+TARGETS=("$@")
+if [ "${#TARGETS[@]}" -eq 0 ]; then
+  TARGETS=(nn_tests obs_tests)
+fi
+
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${REPO_ROOT}/build-${SANITIZER}san"
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTM_SANITIZE="${SANITIZER}"
-cmake --build "${BUILD_DIR}" --target nn_tests obs_tests -j"$(nproc)"
+cmake --build "${BUILD_DIR}" --target "${TARGETS[@]}" -j"$(nproc)"
 
-"${BUILD_DIR}/tests/nn_tests"
-"${BUILD_DIR}/tests/obs_tests"
+for target in "${TARGETS[@]}"; do
+  "${BUILD_DIR}/tests/${target}"
+done
 
-echo "check-sanitize (${SANITIZER}): nn_tests + obs_tests clean"
+echo "check-sanitize (${SANITIZER}): ${TARGETS[*]} clean"

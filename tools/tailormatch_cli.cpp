@@ -120,6 +120,8 @@ int Usage() {
       "  pretrain   --family F [--out PATH]\n"
       "  finetune   --family F --benchmark B [--style S] [--filter]\n"
       "             [--relevancy] [--generate] [--replay FRAC] [--out PATH]\n"
+      "             [--resume KEY]  journal stages under KEY in the cache\n"
+      "                             dir and skip them when re-run\n"
       "  evaluate   --model PATH --benchmark B [--prompt P] [--by-corner]\n"
       "  match      --model PATH --left TEXT --right TEXT [--scholar]\n"
       "  export     --benchmark B [--split train|valid|test]\n"
@@ -188,6 +190,7 @@ int CmdFinetune(const ArgMap& args) {
   config.error_based_filtering = args.Has("filter");
   config.relevancy_filtering = args.Has("relevancy");
   config.generate_examples = args.Has("generate");
+  config.resume_key = args.Get("resume", "");
   core::PipelineReport report = core::RunPipeline(config);
   std::printf("zero-shot F1 %.2f -> fine-tuned F1 %.2f (train %d -> %d "
               "pairs, best epoch %d)\n",
