@@ -1,0 +1,375 @@
+// Load generator for the online serving subsystem (src/serve/).
+//
+//   bench_serve_load                       run the sweeps, write BENCH_serve.json
+//   bench_serve_load --write-tiny-ckpt P   write a tiny framed checkpoint to P
+//   bench_serve_load --connect PORT        JSONL smoke test against a running
+//                                          `tailormatch serve --port PORT`
+//                                          (add --shutdown to stop the server)
+//
+// Two experiment shapes, both sweeping max_batch:
+//   closed loop: 8 client threads, one outstanding request each — the
+//     arrival rate adapts to service rate, the way interactive callers do.
+//   open loop: one thread bursts N requests without waiting — the
+//     queue-pressure shape of an offline backfill pushed through the
+//     online path.
+//
+// Each shape runs under two dispatch-cost profiles: 0 (the raw in-process
+// forward, microseconds — batching is roughly neutral there) and 200us per
+// dispatch (models a backend that charges per dispatch: accelerator kernel
+// launch or hosted-API round trip — the cost the paper's batch API
+// amortizes; see MicroBatcherConfig::dispatch_cost_us). The headline
+// claim — max_batch >= 8 at >= 2x the throughput of max_batch == 1 with 8
+// concurrent clients — is evaluated under the 200us profile.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "llm/sim_llm.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_registry.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+using namespace tailormatch;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A tiny but real SimLlm: big enough to tokenize product-style prompts,
+// small enough that a sweep finishes in seconds on one core.
+llm::SimLlm MakeServeModel() {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back("do the two entity descriptions refer to the same "
+                     "real-world product entity 1 widget pro model " +
+                     std::to_string(i) + " entity 2 widget pro model " +
+                     std::to_string(i + 1));
+  }
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1200, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 32;
+  config.init_seed = 11;
+  return llm::SimLlm(config, std::move(tokenizer));
+}
+
+// Distinct pairs so the result cache (off in these runs anyway) could never
+// flatter the numbers.
+data::EntityPair MakePair(int i) {
+  return core::MakeSurfacePair(
+      "widget pro model " + std::to_string(i),
+      "widget pro model " + std::to_string(i % 7 == 0 ? i : i + 1),
+      data::Domain::kProduct);
+}
+
+struct RunResult {
+  std::string shape;
+  int dispatch_cost_us = 0;
+  int max_batch = 0;
+  int clients = 0;
+  int requests = 0;
+  double elapsed_s = 0.0;
+  double throughput = 0.0;  // pairs/sec
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      pct / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+void FinishRun(std::vector<double>& latencies, RunResult* run) {
+  std::sort(latencies.begin(), latencies.end());
+  run->requests = static_cast<int>(latencies.size());
+  run->throughput = run->elapsed_s > 0
+                        ? static_cast<double>(run->requests) / run->elapsed_s
+                        : 0.0;
+  run->p50_ms = Percentile(latencies, 50);
+  run->p95_ms = Percentile(latencies, 95);
+  run->p99_ms = Percentile(latencies, 99);
+}
+
+// 8 interactive clients, one outstanding request each.
+RunResult RunClosedLoop(const std::shared_ptr<const serve::ServedModel>& model,
+                        int max_batch, int dispatch_cost_us, int clients,
+                        int requests_per_client) {
+  serve::MicroBatcherConfig config;
+  config.max_batch = max_batch;
+  config.max_wait_us = 200;
+  config.dispatch_cost_us = dispatch_cost_us;
+  config.batch_parallelism = 1;  // isolate the batching policy itself
+  serve::MicroBatcher batcher(config);
+
+  RunResult run;
+  run.shape = "closed_loop";
+  run.dispatch_cost_us = dispatch_cost_us;
+  run.max_batch = max_batch;
+  run.clients = clients;
+
+  std::vector<std::vector<double>> latencies(clients);
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(requests_per_client);
+      for (int i = 0; i < requests_per_client; ++i) {
+        const auto sent = Clock::now();
+        serve::ServeResult result = batcher.SubmitAndWait(
+            model, prompt::PromptTemplate::kDefault,
+            MakePair(c * requests_per_client + i));
+        if (result.outcome != serve::RequestOutcome::kOk) continue;
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - sent)
+                .count());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  run.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  batcher.Shutdown();
+
+  std::vector<double> all;
+  for (auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  FinishRun(all, &run);
+  return run;
+}
+
+// One thread bursts `total` requests, then waits for everything.
+RunResult RunOpenLoop(const std::shared_ptr<const serve::ServedModel>& model,
+                      int max_batch, int dispatch_cost_us, int total) {
+  serve::MicroBatcherConfig config;
+  config.max_batch = max_batch;
+  config.max_wait_us = 200;
+  config.queue_capacity = total + 1;  // backfill shape: admit the whole burst
+  config.dispatch_cost_us = dispatch_cost_us;
+  config.batch_parallelism = 1;
+  serve::MicroBatcher batcher(config);
+
+  RunResult run;
+  run.shape = "open_loop";
+  run.dispatch_cost_us = dispatch_cost_us;
+  run.max_batch = max_batch;
+  run.clients = 1;
+
+  std::vector<std::future<serve::ServeResult>> futures;
+  futures.reserve(total);
+  std::vector<Clock::time_point> sent(total);
+  const auto start = Clock::now();
+  for (int i = 0; i < total; ++i) {
+    sent[i] = Clock::now();
+    futures.push_back(batcher.Submit(model, prompt::PromptTemplate::kDefault,
+                                     MakePair(i)));
+  }
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    serve::ServeResult result = futures[i].get();
+    if (result.outcome != serve::RequestOutcome::kOk) continue;
+    latencies.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - sent[i])
+            .count());
+  }
+  run.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  batcher.Shutdown();
+  FinishRun(latencies, &run);
+  return run;
+}
+
+void AppendRunJson(const RunResult& run, std::string* out) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "    {\"shape\":\"%s\",\"dispatch_cost_us\":%d,\"max_batch\":%d,"
+      "\"clients\":%d,\"requests\":%d,\"elapsed_s\":%.4f,"
+      "\"throughput_pairs_per_s\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,"
+      "\"p99_ms\":%.3f}",
+      run.shape.c_str(), run.dispatch_cost_us, run.max_batch, run.clients,
+      run.requests, run.elapsed_s, run.throughput, run.p50_ms, run.p95_ms,
+      run.p99_ms);
+  *out += buffer;
+}
+
+int RunSweeps() {
+  llm::SimLlm model_value = MakeServeModel();
+  auto served = std::make_shared<const serve::ServedModel>(serve::ServedModel{
+      "bench", 1, "<memory>",
+      std::shared_ptr<const llm::SimLlm>(&model_value,
+                                         [](const llm::SimLlm*) {})});
+
+  const int kClients = 8;
+  const int kPerClient = 250;
+  const int kBurst = 2000;
+  const std::vector<int> batch_sizes = {1, 2, 4, 8, 16};
+  const std::vector<int> dispatch_profiles = {0, 200};
+
+  std::vector<RunResult> runs;
+  std::printf("%-12s %9s %9s %8s %12s %8s %8s %8s\n", "shape", "dispatch",
+              "max_batch", "clients", "pairs/s", "p50ms", "p95ms", "p99ms");
+  for (int dispatch : dispatch_profiles) {
+    for (int max_batch : batch_sizes) {
+      RunResult closed =
+          RunClosedLoop(served, max_batch, dispatch, kClients, kPerClient);
+      runs.push_back(closed);
+      std::printf("%-12s %7dus %9d %8d %12.1f %8.3f %8.3f %8.3f\n",
+                  closed.shape.c_str(), dispatch, max_batch, kClients,
+                  closed.throughput, closed.p50_ms, closed.p95_ms,
+                  closed.p99_ms);
+      RunResult open = RunOpenLoop(served, max_batch, dispatch, kBurst);
+      runs.push_back(open);
+      std::printf("%-12s %7dus %9d %8d %12.1f %8.3f %8.3f %8.3f\n",
+                  open.shape.c_str(), dispatch, max_batch, 1, open.throughput,
+                  open.p50_ms, open.p95_ms, open.p99_ms);
+    }
+  }
+
+  // Headline: batched vs unbatched closed-loop throughput under the
+  // dispatch-cost profile (the regime batching exists for).
+  double batch1 = 0.0, batch8 = 0.0, batch8_p99 = 0.0;
+  for (const RunResult& run : runs) {
+    if (run.shape != "closed_loop" || run.dispatch_cost_us != 200) continue;
+    if (run.max_batch == 1) batch1 = run.throughput;
+    if (run.max_batch == 8) {
+      batch8 = run.throughput;
+      batch8_p99 = run.p99_ms;
+    }
+  }
+  const double speedup = batch1 > 0 ? batch8 / batch1 : 0.0;
+  std::printf("\nheadline: closed-loop @200us dispatch, %d clients: "
+              "batch8 %.1f vs batch1 %.1f pairs/s -> %.2fx (p99 %.3fms)\n",
+              kClients, batch8, batch1, speedup, batch8_p99);
+
+  std::string json = "{\n  \"bench\": \"serve_load\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    AppendRunJson(runs[i], &json);
+    json += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  char headline[256];
+  std::snprintf(headline, sizeof(headline),
+                "  ],\n  \"headline\": {\"shape\":\"closed_loop\","
+                "\"dispatch_cost_us\":200,\"clients\":%d,"
+                "\"batch1_throughput\":%.1f,\"batch8_throughput\":%.1f,"
+                "\"speedup\":%.2f,\"batch8_p99_ms\":%.3f}\n}\n",
+                kClients, batch1, batch8, speedup, batch8_p99);
+  json += headline;
+
+  FILE* out = std::fopen("BENCH_serve.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_serve.json (%zu runs)\n", runs.size());
+  return speedup >= 2.0 ? 0 : 1;
+}
+
+// --connect PORT: drive a running JSONL server over TCP, verify responses.
+int RunSmoke(int port, bool shutdown_server) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("connect");
+    ::close(fd);
+    return 1;
+  }
+
+  std::string request;
+  for (int i = 0; i < 16; ++i) {
+    request += "{\"id\":\"" + std::to_string(i) +
+               "\",\"left\":\"widget pro model " + std::to_string(i) +
+               "\",\"right\":\"widget pro model " + std::to_string(i + 1) +
+               "\"}\n";
+  }
+  request += "{\"op\":\"stats\"}\n";
+  request += shutdown_server ? "{\"op\":\"shutdown\"}\n" : "{\"op\":\"quit\"}\n";
+  const char* p = request.data();
+  size_t remaining = request.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, p, remaining);
+    if (n <= 0) {
+      std::perror("write");
+      ::close(fd);
+      return 1;
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  int ok_lines = 0;
+  for (const std::string& line : Split(response, '\n')) {
+    if (line.find("\"outcome\":\"ok\"") != std::string::npos) ++ok_lines;
+  }
+  const bool saw_stats = response.find("\"op\":\"stats\"") != std::string::npos;
+  // 16 match responses + the quit/shutdown ack.
+  if (ok_lines < 17 || !saw_stats) {
+    std::fprintf(stderr, "smoke failed: %d ok lines, stats=%d\nresponse:\n%s",
+                 ok_lines, saw_stats ? 1 : 0, response.c_str());
+    return 1;
+  }
+  std::printf("smoke ok: %d ok responses, stats present\n", ok_lines);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--write-tiny-ckpt" && i + 1 < argc) {
+      llm::SimLlm model = MakeServeModel();
+      Status status = model.SaveCheckpoint(argv[i + 1]);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", argv[i + 1]);
+      return 0;
+    }
+    if (arg == "--connect" && i + 1 < argc) {
+      bool shutdown_server = false;
+      for (int j = 1; j < argc; ++j) {
+        if (std::string(argv[j]) == "--shutdown") shutdown_server = true;
+      }
+      return RunSmoke(std::atoi(argv[i + 1]), shutdown_server);
+    }
+  }
+  return RunSweeps();
+}

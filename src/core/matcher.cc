@@ -2,16 +2,35 @@
 
 namespace tailormatch::core {
 
-MatchDecision Matcher::Match(const data::EntityPair& pair) const {
+data::EntityPair MakeSurfacePair(const std::string& left,
+                                 const std::string& right,
+                                 data::Domain domain) {
+  data::EntityPair pair;
+  pair.left.surface = left;
+  pair.left.domain = domain;
+  pair.right.surface = right;
+  pair.right.domain = domain;
+  return pair;
+}
+
+std::string RenderPairPrompt(prompt::PromptTemplate tmpl,
+                             const data::EntityPair& pair) {
+  return prompt::RenderPrompt(tmpl, pair);
+}
+
+MatchDecision DecisionForProbability(double probability) {
   MatchDecision decision;
-  const std::string prompt_text =
-      prompt::RenderPrompt(prompt_template_, pair);
-  decision.probability = model_->PredictMatchProbability(prompt_text);
-  decision.response = llm::SimLlm::ResponseForProbability(decision.probability);
+  decision.probability = probability;
+  decision.response = llm::SimLlm::ResponseForProbability(probability);
   bool parsed = false;
   decision.parseable = prompt::ParseYesNo(decision.response, &parsed);
   decision.is_match = decision.parseable ? parsed : false;
   return decision;
+}
+
+MatchDecision Matcher::Match(const data::EntityPair& pair) const {
+  const std::string prompt_text = RenderPairPrompt(prompt_template_, pair);
+  return DecisionForProbability(model_->PredictMatchProbability(prompt_text));
 }
 
 MatchDecision Matcher::Match(const data::Entity& left,
@@ -25,13 +44,7 @@ MatchDecision Matcher::Match(const data::Entity& left,
 MatchDecision Matcher::Match(const std::string& left,
                              const std::string& right,
                              data::Domain domain) const {
-  data::Entity a;
-  a.surface = left;
-  a.domain = domain;
-  data::Entity b;
-  b.surface = right;
-  b.domain = domain;
-  return Match(a, b);
+  return Match(MakeSurfacePair(left, right, domain));
 }
 
 }  // namespace tailormatch::core

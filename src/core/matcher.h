@@ -19,6 +19,25 @@ struct MatchDecision {
   bool parseable = true;     // Narayan et al. parser found a verdict
 };
 
+// The single pair -> prompt -> decision seam shared by every inference path
+// (Matcher, BatchMatcher, and the online serving stack in src/serve/). All
+// paths MUST go through these helpers: a pair rendered here and scored with
+// SimLlm::PredictMatchProbability yields bitwise-identical decisions whether
+// it is matched alone, in an offline batch, or inside a serving micro-batch.
+
+// Builds an EntityPair from two free-text surfaces.
+data::EntityPair MakeSurfacePair(const std::string& left,
+                                 const std::string& right,
+                                 data::Domain domain);
+
+// Serializes a pair into the exact model input string.
+std::string RenderPairPrompt(prompt::PromptTemplate tmpl,
+                             const data::EntityPair& pair);
+
+// Maps P(match) onto the full decision: natural-language response plus the
+// Narayan et al. parse of that response.
+MatchDecision DecisionForProbability(double probability);
+
 // User-facing inference API: wraps a (zero-shot or fine-tuned) model and a
 // prompt template, and answers "do these two descriptions refer to the same
 // entity?".

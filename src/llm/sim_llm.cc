@@ -1,5 +1,6 @@
 #include "llm/sim_llm.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <numeric>
@@ -7,6 +8,7 @@
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace tailormatch::llm {
 
@@ -153,6 +155,20 @@ double SimLlm::PredictMatchProbability(const std::string& prompt_text) const {
   const double e_no = std::exp(no_logit - m);
   const double e_yes = std::exp(yes_logit - m);
   return e_yes / (e_no + e_yes);
+}
+
+std::vector<double> SimLlm::PredictMatchProbabilities(
+    const std::vector<std::string>& prompts, int num_threads) const {
+  static obs::Histogram& batch_size =
+      obs::MetricsRegistry::Global().GetHistogram("sim_llm.batch_size");
+  batch_size.Record(static_cast<double>(prompts.size()));
+  std::vector<double> probabilities(prompts.size());
+  ThreadPool::ParallelFor(
+      prompts.size(),
+      static_cast<size_t>(std::max(1, num_threads)), [&](size_t i) {
+        probabilities[i] = PredictMatchProbability(prompts[i]);
+      });
+  return probabilities;
 }
 
 std::string SimLlm::Respond(const std::string& prompt_text) const {

@@ -59,6 +59,16 @@ class SimLlm {
   // P(match) for a fully rendered prompt string. Deterministic.
   double PredictMatchProbability(const std::string& prompt_text) const;
 
+  // Batched inference: P(match) for each prompt, result i <-> prompts[i].
+  // One model-level dispatch amortizes per-call overhead across the batch
+  // (this is what the serving micro-batcher coalesces requests into).
+  // `num_threads` > 1 fans examples across a worker pool; every example is
+  // an independent full forward, so results are bitwise identical to
+  // per-prompt PredictMatchProbability calls for any batch size, batch
+  // composition, or thread count.
+  std::vector<double> PredictMatchProbabilities(
+      const std::vector<std::string>& prompts, int num_threads = 1) const;
+
   // Natural-language response ("Yes." / "No."), the interface the paper's
   // evaluation parses with Narayan et al.'s method.
   std::string Respond(const std::string& prompt_text) const;

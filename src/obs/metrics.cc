@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace tailormatch::obs {
@@ -32,37 +33,11 @@ void AtomicMax(std::atomic<double>& target, double value) {
   }
 }
 
-void AppendJsonString(const std::string& value, std::string* out) {
-  out->push_back('"');
-  for (char c : value) {
-    switch (c) {
-      case '"':
-        out->append("\\\"");
-        break;
-      case '\\':
-        out->append("\\\\");
-        break;
-      case '\n':
-        out->append("\\n");
-        break;
-      case '\t':
-        out->append("\\t");
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out->append(StrFormat("\\u%04x", c));
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-std::string JsonNumber(double value) {
-  if (!std::isfinite(value)) return "0";
-  return StrFormat("%.9g", value);
-}
+// Shared with every other JSON emitter in the tree (util/json.h), so the
+// snapshot export and the JSONL serving protocol escape identically.
+using json::AppendString;
+constexpr auto AppendJsonString = AppendString;
+constexpr auto JsonNumber = json::Number;
 
 void AppendSpanJson(const SpanNode& node, std::string* out) {
   out->append("{\"name\":");
@@ -331,6 +306,28 @@ std::string MetricsSnapshot::ToJson() const {
   }
   out.append("]}");
   return out;
+}
+
+const int64_t* MetricsSnapshot::FindCounter(const std::string& name) const& {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return &value;
+  }
+  return nullptr;
+}
+
+const double* MetricsSnapshot::FindGauge(const std::string& name) const& {
+  for (const auto& [gauge_name, value] : gauges) {
+    if (gauge_name == name) return &value;
+  }
+  return nullptr;
+}
+
+const HistogramStats* MetricsSnapshot::FindHistogram(
+    const std::string& name) const& {
+  for (const HistogramStats& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
 }
 
 const SpanNode* MetricsSnapshot::FindSpan(const std::string& path) const& {

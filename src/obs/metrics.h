@@ -115,6 +115,15 @@ struct MetricsSnapshot {
   std::vector<SpanNode> spans;  // roots of the span tree
 
   std::string ToJson() const;
+  // Lookups by exact metric name; the value (or nullptr when absent). Used by
+  // tests and the serving stats endpoint to read individual metrics without
+  // re-parsing the JSON export.
+  const int64_t* FindCounter(const std::string& name) const&;
+  const int64_t* FindCounter(const std::string& name) const&& = delete;
+  const double* FindGauge(const std::string& name) const&;
+  const double* FindGauge(const std::string& name) const&& = delete;
+  const HistogramStats* FindHistogram(const std::string& name) const&;
+  const HistogramStats* FindHistogram(const std::string& name) const&& = delete;
   // Depth-first lookup by full dotted path; nullptr when absent. Lvalue-only:
   // the pointer aims into this snapshot, so calling it on a temporary
   // (Registry().Snapshot().FindSpan(...)) would dangle immediately.

@@ -1,0 +1,445 @@
+#include "serve/jsonl_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <streambuf>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace tailormatch::serve {
+
+namespace {
+
+using Clock = MicroBatcher::Clock;
+
+// Minimal read/write streambuf over a connected socket so ServeStream works
+// unchanged for TCP connections.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::read(fd_, in_, sizeof(in_));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (Flush() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return Flush(); }
+
+ private:
+  int Flush() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      ssize_t n = ::write(fd_, p, static_cast<size_t>(pptr() - p));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      p += n;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+bool ParseDomain(const std::string& text, data::Domain* domain) {
+  if (text == "product") {
+    *domain = data::Domain::kProduct;
+    return true;
+  }
+  if (text == "scholar") {
+    *domain = data::Domain::kScholar;
+    return true;
+  }
+  return false;
+}
+
+bool ParseTemplate(const std::string& text, prompt::PromptTemplate* tmpl) {
+  for (prompt::PromptTemplate candidate : prompt::AllPromptTemplates()) {
+    if (text == prompt::PromptTemplateName(candidate)) {
+      *tmpl = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Field(const std::map<std::string, std::string>& fields,
+                  const std::string& key, const std::string& fallback = "") {
+  auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+std::string ErrorResponse(const std::string& id, const std::string& outcome,
+                          const std::string& detail) {
+  std::string out = "{\"id\":" + json::Quote(id) +
+                    ",\"outcome\":" + json::Quote(outcome) +
+                    ",\"error\":" + json::Quote(detail) + "}";
+  return out;
+}
+
+// One pipelined in-flight match request.
+struct Pending {
+  std::string id;
+  std::string model_name;
+  std::future<ServeResult> future;
+  Clock::time_point start;
+};
+
+std::string RenderMatchResponse(const Pending& pending, ServeResult result) {
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - pending.start)
+          .count();
+  obs::MetricsRegistry::Global().RecordSpan("serve.request",
+                                            latency_ms / 1000.0);
+  if (result.outcome != RequestOutcome::kOk) {
+    return ErrorResponse(pending.id, RequestOutcomeName(result.outcome),
+                         result.error.empty()
+                             ? std::string(RequestOutcomeName(result.outcome))
+                             : result.error);
+  }
+  std::string out = "{\"id\":" + json::Quote(pending.id) +
+                    ",\"outcome\":\"ok\",\"match\":" +
+                    (result.decision.is_match ? "true" : "false") +
+                    ",\"probability\":" + json::Number(result.decision.probability) +
+                    ",\"response\":" + json::Quote(result.decision.response) +
+                    ",\"model\":" + json::Quote(pending.model_name) +
+                    ",\"version\":" + json::Number(static_cast<double>(result.model_version)) +
+                    ",\"cache_hit\":" + (result.cache_hit ? "true" : "false") +
+                    ",\"latency_ms\":" + json::Number(latency_ms) + "}";
+  return out;
+}
+
+void AppendHistogramStats(const obs::MetricsSnapshot& snapshot,
+                          const std::string& metric, const std::string& label,
+                          std::string* out) {
+  const obs::HistogramStats* stats = snapshot.FindHistogram(metric);
+  if (stats == nullptr || stats->count == 0) return;
+  *out += "," + json::Quote(label + "_p50") + ":" + json::Number(stats->p50);
+  *out += "," + json::Quote(label + "_p95") + ":" + json::Number(stats->p95);
+  *out += "," + json::Quote(label + "_p99") + ":" + json::Number(stats->p99);
+}
+
+}  // namespace
+
+JsonlServer::JsonlServer(ModelRegistry* registry, MicroBatcher* batcher,
+                         JsonlServerConfig config)
+    : registry_(registry), batcher_(batcher), config_(std::move(config)) {}
+
+std::string JsonlServer::HandleControl(
+    const std::map<std::string, std::string>& fields) {
+  TM_SPAN("serve.control");
+  const std::string op = Field(fields, "op");
+  const std::string id = Field(fields, "id");
+  if (op == "ping") {
+    return "{\"op\":\"pong\"}";
+  }
+  if (op == "models") {
+    std::string out = "{\"op\":\"models\",\"models\":[";
+    bool first = true;
+    for (const std::string& name : registry_->Names()) {
+      std::shared_ptr<const ServedModel> served = registry_->Get(name);
+      if (served == nullptr) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"model\":" + json::Quote(name) + ",\"version\":" +
+             json::Number(static_cast<double>(served->version)) + "}";
+    }
+    out += "]}";
+    return out;
+  }
+  if (op == "reload") {
+    if (!config_.allow_reload) {
+      return ErrorResponse(id, "error", "reload disabled on this endpoint");
+    }
+    const std::string model = Field(fields, "model", config_.default_model);
+    const std::string path = Field(fields, "path");
+    Status status =
+        path.empty() ? registry_->Reload(model) : registry_->Reload(model, path);
+    if (!status.ok()) {
+      return ErrorResponse(id, "error", status.ToString());
+    }
+    std::shared_ptr<const ServedModel> served = registry_->Get(model);
+    return "{\"op\":\"reload\",\"outcome\":\"ok\",\"model\":" +
+           json::Quote(model) + ",\"version\":" +
+           json::Number(served == nullptr
+                            ? 0.0
+                            : static_cast<double>(served->version)) +
+           "}";
+  }
+  if (op == "stats") {
+    obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+    std::string out = "{\"op\":\"stats\"";
+    for (const char* name :
+         {"serve.requests", "serve.batches", "serve.timeouts",
+          "serve.overloaded", "serve.errors", "serve.cache.hits",
+          "serve.cache.misses", "serve.cache.evictions"}) {
+      const int64_t* value = snapshot.FindCounter(name);
+      if (value == nullptr) continue;
+      std::string label = name;
+      for (char& c : label) {
+        if (c == '.') c = '_';
+      }
+      out += "," + json::Quote(label) + ":" +
+             json::Number(static_cast<double>(*value));
+    }
+    AppendHistogramStats(snapshot, "serve.latency", "latency_ms", &out);
+    AppendHistogramStats(snapshot, "serve.batch_size", "batch_size", &out);
+    out += "}";
+    return out;
+  }
+  return ErrorResponse(id, "error", "unknown op: " + op);
+}
+
+std::string JsonlServer::HandleLine(const std::string& line) {
+  std::map<std::string, std::string> fields;
+  Status parsed = json::ParseFlatObject(line, &fields);
+  if (!parsed.ok()) {
+    return ErrorResponse("", "error", parsed.ToString());
+  }
+  if (fields.count("op") != 0) {
+    return HandleControl(fields);
+  }
+
+  Pending pending;
+  pending.id = Field(fields, "id");
+  pending.start = Clock::now();
+  if (fields.count("left") == 0 || fields.count("right") == 0) {
+    return ErrorResponse(pending.id, "error",
+                         "match request needs \"left\" and \"right\"");
+  }
+  pending.model_name = Field(fields, "model", config_.default_model);
+  std::shared_ptr<const ServedModel> served = registry_->Get(pending.model_name);
+  if (served == nullptr) {
+    return ErrorResponse(pending.id, "error",
+                         "unknown model: " + pending.model_name);
+  }
+  prompt::PromptTemplate tmpl = config_.default_template;
+  const std::string tmpl_text = Field(fields, "prompt");
+  if (!tmpl_text.empty() && !ParseTemplate(tmpl_text, &tmpl)) {
+    return ErrorResponse(pending.id, "error",
+                         "unknown prompt template: " + tmpl_text);
+  }
+  data::Domain domain = config_.default_domain;
+  const std::string domain_text = Field(fields, "domain");
+  if (!domain_text.empty() && !ParseDomain(domain_text, &domain)) {
+    return ErrorResponse(pending.id, "error",
+                         "unknown domain: " + domain_text);
+  }
+
+  Clock::time_point deadline = Clock::time_point::max();
+  if (config_.request_timeout_ms > 0) {
+    deadline = pending.start +
+               std::chrono::milliseconds(config_.request_timeout_ms);
+  }
+  pending.future = batcher_->Submit(
+      std::move(served), tmpl,
+      core::MakeSurfacePair(fields.at("left"), fields.at("right"), domain),
+      deadline);
+  return RenderMatchResponse(pending, pending.future.get());
+}
+
+void JsonlServer::ServeStream(std::istream& in, std::ostream& out) {
+  // Match requests are submitted as they arrive and answered strictly in
+  // request order; only control ops and malformed lines barrier the
+  // pipeline. That pipelining is what gives one stream's requests a chance
+  // to coalesce into micro-batches.
+  std::deque<Pending> pending;
+  const auto drain_one = [&] {
+    Pending front = std::move(pending.front());
+    pending.pop_front();
+    out << RenderMatchResponse(front, front.future.get()) << "\n";
+  };
+  const auto drain_all = [&] {
+    while (!pending.empty()) drain_one();
+    out.flush();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::map<std::string, std::string> fields;
+    Status parsed = json::ParseFlatObject(line, &fields);
+    if (!parsed.ok()) {
+      drain_all();
+      out << ErrorResponse("", "error", parsed.ToString()) << "\n";
+      out.flush();
+      continue;
+    }
+    if (fields.count("op") != 0) {
+      drain_all();
+      const std::string op = Field(fields, "op");
+      if (op == "quit" || op == "shutdown") {
+        out << "{\"op\":" << json::Quote(op) << ",\"outcome\":\"ok\"}\n";
+        out.flush();
+        if (op == "shutdown") Stop();
+        return;
+      }
+      out << HandleControl(fields) << "\n";
+      out.flush();
+      continue;
+    }
+
+    Pending request;
+    request.id = Field(fields, "id");
+    request.start = Clock::now();
+    if (fields.count("left") == 0 || fields.count("right") == 0) {
+      drain_all();
+      out << ErrorResponse(request.id, "error",
+                           "match request needs \"left\" and \"right\"")
+          << "\n";
+      out.flush();
+      continue;
+    }
+    request.model_name = Field(fields, "model", config_.default_model);
+    std::shared_ptr<const ServedModel> served =
+        registry_->Get(request.model_name);
+    prompt::PromptTemplate tmpl = config_.default_template;
+    data::Domain domain = config_.default_domain;
+    const std::string tmpl_text = Field(fields, "prompt");
+    const std::string domain_text = Field(fields, "domain");
+    std::string problem;
+    if (served == nullptr) {
+      problem = "unknown model: " + request.model_name;
+    } else if (!tmpl_text.empty() && !ParseTemplate(tmpl_text, &tmpl)) {
+      problem = "unknown prompt template: " + tmpl_text;
+    } else if (!domain_text.empty() && !ParseDomain(domain_text, &domain)) {
+      problem = "unknown domain: " + domain_text;
+    }
+    if (!problem.empty()) {
+      drain_all();
+      out << ErrorResponse(request.id, "error", problem) << "\n";
+      out.flush();
+      continue;
+    }
+
+    Clock::time_point deadline = Clock::time_point::max();
+    if (config_.request_timeout_ms > 0) {
+      deadline = request.start +
+                 std::chrono::milliseconds(config_.request_timeout_ms);
+    }
+    request.future = batcher_->Submit(
+        std::move(served), tmpl,
+        core::MakeSurfacePair(fields.at("left"), fields.at("right"), domain),
+        deadline);
+    pending.push_back(std::move(request));
+    while (static_cast<int>(pending.size()) >= config_.max_pipeline) {
+      drain_one();
+    }
+    // A pipelined client keeps sending; a lock-step client waits for the
+    // response before its next request, so when no more input is already
+    // buffered, answer everything in flight instead of blocking the reader.
+    if (in.rdbuf()->in_avail() <= 0) drain_all();
+  }
+  drain_all();
+}
+
+Status JsonlServer::ServeTcp(int port, std::atomic<int>* bound_port) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int enable = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0 &&
+      bound_port != nullptr) {
+    bound_port->store(ntohs(addr.sin_port));
+  }
+  stop_.store(false);
+  listen_fd_.store(listen_fd);
+  TM_LOG(Info) << "serving JSONL on 127.0.0.1:" << ntohs(addr.sin_port);
+
+  std::vector<std::thread> connections;
+  while (!stop_.load()) {
+    int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    connections.emplace_back([this, conn_fd] {
+      FdStreamBuf buf(conn_fd);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      ServeStream(in, out);
+      out.flush();
+      ::close(conn_fd);
+    });
+  }
+  for (std::thread& conn : connections) {
+    if (conn.joinable()) conn.join();
+  }
+  int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+  return Status::Ok();
+}
+
+void JsonlServer::Stop() {
+  stop_.store(true);
+  int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // Unblocks the accept loop; the fd itself is closed here, the loop just
+    // sees the failure and exits.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace tailormatch::serve

@@ -1,0 +1,85 @@
+#ifndef TAILORMATCH_SERVE_JSONL_SERVER_H_
+#define TAILORMATCH_SERVE_JSONL_SERVER_H_
+
+#include <atomic>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "serve/micro_batcher.h"
+#include "serve/model_registry.h"
+#include "util/status.h"
+
+namespace tailormatch::serve {
+
+struct JsonlServerConfig {
+  // Model used when a request does not name one.
+  std::string default_model = "default";
+  prompt::PromptTemplate default_template = prompt::PromptTemplate::kDefault;
+  data::Domain default_domain = data::Domain::kProduct;
+  // Per-request deadline; 0 = requests wait as long as it takes.
+  int request_timeout_ms = 0;
+  // Outstanding match requests per stream before the reader blocks on the
+  // oldest response. Pipelining is what lets a single client's requests
+  // coalesce into micro-batches.
+  int max_pipeline = 64;
+  // Whether {"op":"reload"} is honored (a public endpoint would say no).
+  bool allow_reload = true;
+};
+
+// Line-delimited JSON request/response front end over any byte stream:
+// stdin/stdout for CLI piping, or a loopback TCP socket (thread per
+// connection). One request per line, one response line per request, in
+// request order per stream.
+//
+// Match request:
+//   {"id":"1","left":"...","right":"...","model":"default",
+//    "prompt":"default","domain":"product"}
+//   -> {"id":"1","outcome":"ok","match":true,"probability":0.93,
+//       "response":"Yes. ...","model":"default","version":1,
+//       "cache_hit":false,"latency_ms":0.8}
+// Non-ok outcomes ("timeout", "overloaded", "shutdown", "error") echo the
+// id and carry an "error" detail instead of a verdict.
+//
+// Control requests (field "op"):
+//   {"op":"reload","model":"default","path":"new.ckpt"}  hot-swap
+//   {"op":"stats"}    serve.* counters + latency percentiles
+//   {"op":"models"}   registered models and versions
+//   {"op":"ping"}     liveness
+//   {"op":"quit"}     ends this stream/connection
+//   {"op":"shutdown"} stops the whole TCP server
+class JsonlServer {
+ public:
+  // `registry` and `batcher` must outlive the server.
+  JsonlServer(ModelRegistry* registry, MicroBatcher* batcher,
+              JsonlServerConfig config = {});
+
+  // Serves one stream until EOF or {"op":"quit"}. Responses for pipelined
+  // match requests are written in request order.
+  void ServeStream(std::istream& in, std::ostream& out);
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral; the bound port is stored in
+  // *bound_port before accepting) and serves connections, one thread each,
+  // until Stop() or {"op":"shutdown"}. Blocks.
+  Status ServeTcp(int port, std::atomic<int>* bound_port = nullptr);
+
+  // Stops a running ServeTcp accept loop. Safe from any thread.
+  void Stop();
+
+  // Handles exactly one request line synchronously and returns the response
+  // line (no trailing newline). The single-request path used by tests.
+  std::string HandleLine(const std::string& line);
+
+ private:
+  std::string HandleControl(const std::map<std::string, std::string>& fields);
+
+  ModelRegistry* registry_;
+  MicroBatcher* batcher_;
+  JsonlServerConfig config_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> listen_fd_{-1};
+};
+
+}  // namespace tailormatch::serve
+
+#endif  // TAILORMATCH_SERVE_JSONL_SERVER_H_

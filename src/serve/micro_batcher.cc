@@ -1,0 +1,298 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace tailormatch::serve {
+
+namespace {
+
+// Cached metric handles: the serving hot path records a handful of values
+// per request/batch and must not re-hash metric names each time.
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& batches;
+  obs::Counter& timeouts;
+  obs::Counter& overloaded;
+  obs::Counter& shutdown_rejects;
+  obs::Counter& errors;
+  obs::Histogram& batch_size;
+  obs::Histogram& queue_wait_ms;
+  obs::Histogram& forward_ms;
+  obs::Histogram& latency_ms;
+  obs::Gauge& queue_depth;
+
+  static ServeMetrics& Get() {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    static ServeMetrics metrics{r.GetCounter("serve.requests"),
+                                r.GetCounter("serve.batches"),
+                                r.GetCounter("serve.timeouts"),
+                                r.GetCounter("serve.overloaded"),
+                                r.GetCounter("serve.shutdown_rejects"),
+                                r.GetCounter("serve.errors"),
+                                r.GetHistogram("serve.batch_size"),
+                                r.GetHistogram("serve.queue_wait"),
+                                r.GetHistogram("serve.forward"),
+                                r.GetHistogram("serve.latency"),
+                                r.GetGauge("serve.queue_depth")};
+    return metrics;
+  }
+};
+
+std::future<ServeResult> ReadyResult(ServeResult result) {
+  std::promise<ServeResult> promise;
+  std::future<ServeResult> future = promise.get_future();
+  promise.set_value(std::move(result));
+  return future;
+}
+
+}  // namespace
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk: return "ok";
+    case RequestOutcome::kTimeout: return "timeout";
+    case RequestOutcome::kOverloaded: return "overloaded";
+    case RequestOutcome::kShutdown: return "shutdown";
+    case RequestOutcome::kError: return "error";
+  }
+  return "unknown";
+}
+
+MicroBatcher::MicroBatcher(MicroBatcherConfig config)
+    : config_(std::move(config)) {
+  TM_CHECK_GT(config_.max_batch, 0);
+  TM_CHECK_GT(config_.queue_capacity, 0);
+  TM_CHECK_GT(config_.num_workers, 0);
+  batch_threads_ =
+      config_.batch_parallelism > 0
+          ? config_.batch_parallelism
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+size_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::future<ServeResult> MicroBatcher::Submit(
+    std::shared_ptr<const ServedModel> model, prompt::PromptTemplate tmpl,
+    data::EntityPair pair, Clock::time_point deadline) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.requests.Increment();
+
+  if (model == nullptr || model->model == nullptr) {
+    metrics.errors.Increment();
+    ServeResult result;
+    result.outcome = RequestOutcome::kError;
+    result.error = "null model";
+    return ReadyResult(std::move(result));
+  }
+
+  Status fault = fault::FaultInjector::Global().OnPoint("serve.enqueue");
+  if (!fault.ok()) {
+    metrics.errors.Increment();
+    ServeResult result;
+    result.outcome = RequestOutcome::kError;
+    result.error = fault.ToString();
+    return ReadyResult(std::move(result));
+  }
+
+  if (config_.cache != nullptr) {
+    CacheKey key{model->version, tmpl, HashPair(pair)};
+    core::MatchDecision cached;
+    if (config_.cache->Lookup(key, &cached)) {
+      ServeResult result;
+      result.outcome = RequestOutcome::kOk;
+      result.decision = std::move(cached);
+      result.cache_hit = true;
+      result.model_version = model->version;
+      return ReadyResult(std::move(result));
+    }
+  }
+
+  Request request;
+  request.model = std::move(model);
+  request.tmpl = tmpl;
+  request.pair = std::move(pair);
+  request.deadline = deadline;
+  request.enqueued_at = Clock::now();
+  std::future<ServeResult> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      metrics.shutdown_rejects.Increment();
+      ServeResult result;
+      result.outcome = RequestOutcome::kShutdown;
+      request.promise.set_value(std::move(result));
+      return future;
+    }
+    if (queue_.size() >= static_cast<size_t>(config_.queue_capacity)) {
+      metrics.overloaded.Increment();
+      ServeResult result;
+      result.outcome = RequestOutcome::kOverloaded;
+      request.promise.set_value(std::move(result));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+    metrics.queue_depth.Set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServeResult MicroBatcher::SubmitAndWait(
+    std::shared_ptr<const ServedModel> model, prompt::PromptTemplate tmpl,
+    data::EntityPair pair, Clock::time_point deadline) {
+  return Submit(std::move(model), tmpl, std::move(pair), deadline).get();
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void MicroBatcher::WorkerLoop() {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  while (true) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutting_down_ and drained: exit.
+        return;
+      }
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Coalescing window: hold the batch open up to max_wait_us for more
+      // arrivals. Skipped entirely for max_batch == 1 and during drain.
+      if (config_.max_batch > 1) {
+        const auto window_end =
+            Clock::now() + std::chrono::microseconds(config_.max_wait_us);
+        while (static_cast<int>(batch.size()) < config_.max_batch) {
+          if (!queue_.empty()) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            continue;
+          }
+          if (shutting_down_ || config_.max_wait_us <= 0) break;
+          if (!queue_cv_.wait_until(lock, window_end, [this] {
+                return shutting_down_ || !queue_.empty();
+              })) {
+            break;  // window expired with nothing new
+          }
+        }
+      }
+      metrics.queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+    RunBatch(std::move(batch));
+  }
+}
+
+void MicroBatcher::RunBatch(std::vector<Request> batch) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  const auto batch_start = Clock::now();
+
+  // Expired deadlines resolve as kTimeout without consuming a forward.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& request : batch) {
+    if (batch_start > request.deadline) {
+      metrics.timeouts.Increment();
+      ServeResult result;
+      result.outcome = RequestOutcome::kTimeout;
+      result.queue_ms = obs::MillisSince(request.enqueued_at);
+      request.promise.set_value(std::move(result));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
+  metrics.batches.Increment();
+  metrics.batch_size.Record(static_cast<double>(live.size()));
+
+  Status fault = fault::FaultInjector::Global().OnPoint("serve.forward");
+  if (!fault.ok()) {
+    for (Request& request : live) {
+      metrics.errors.Increment();
+      ServeResult result;
+      result.outcome = RequestOutcome::kError;
+      result.error = fault.ToString();
+      result.queue_ms = obs::MillisSince(request.enqueued_at);
+      request.promise.set_value(std::move(result));
+    }
+    return;
+  }
+
+  // Simulated backend dispatch latency: one charge per dispatch, which is
+  // exactly what coalescing amortizes (see MicroBatcherConfig).
+  if (config_.dispatch_cost_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.dispatch_cost_us));
+  }
+
+  // One batched model dispatch per (model snapshot, template) group — a
+  // mixed batch (mid-reload, or multi-model serving) splits into one
+  // dispatch per group.
+  std::map<std::pair<const ServedModel*, prompt::PromptTemplate>,
+           std::vector<size_t>>
+      groups;
+  for (size_t i = 0; i < live.size(); ++i) {
+    groups[{live[i].model.get(), live[i].tmpl}].push_back(i);
+  }
+  for (const auto& [group_key, indices] : groups) {
+    const ServedModel& served = *group_key.first;
+    std::vector<std::string> prompts;
+    prompts.reserve(indices.size());
+    for (size_t i : indices) {
+      prompts.push_back(core::RenderPairPrompt(live[i].tmpl, live[i].pair));
+    }
+    const std::vector<double> probabilities =
+        served.model->PredictMatchProbabilities(prompts, batch_threads_);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      Request& request = live[indices[j]];
+      ServeResult result;
+      result.outcome = RequestOutcome::kOk;
+      result.decision = core::DecisionForProbability(probabilities[j]);
+      result.model_version = served.version;
+      result.queue_ms =
+          std::chrono::duration<double, std::milli>(batch_start -
+                                                    request.enqueued_at)
+              .count();
+      if (config_.cache != nullptr) {
+        CacheKey key{served.version, request.tmpl, HashPair(request.pair)};
+        config_.cache->Insert(key, result.decision);
+      }
+      metrics.queue_wait_ms.Record(result.queue_ms);
+      metrics.latency_ms.Record(obs::MillisSince(request.enqueued_at));
+      request.promise.set_value(std::move(result));
+    }
+  }
+  metrics.forward_ms.Record(obs::MillisSince(batch_start));
+}
+
+}  // namespace tailormatch::serve

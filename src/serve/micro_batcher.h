@@ -1,0 +1,150 @@
+#ifndef TAILORMATCH_SERVE_MICRO_BATCHER_H_
+#define TAILORMATCH_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "data/entity.h"
+#include "prompt/prompt.h"
+#include "serve/model_registry.h"
+#include "serve/result_cache.h"
+
+namespace tailormatch::serve {
+
+// Typed completion state of one online match request.
+enum class RequestOutcome {
+  kOk = 0,
+  kTimeout,     // deadline expired before the forward ran
+  kOverloaded,  // admission control: queue was full at submit time
+  kShutdown,    // submitted after Shutdown() began
+  kError,       // injected fault or internal failure
+};
+
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+// What a client gets back for one submitted pair.
+struct ServeResult {
+  RequestOutcome outcome = RequestOutcome::kOk;
+  core::MatchDecision decision;  // meaningful only when outcome == kOk
+  bool cache_hit = false;
+  uint64_t model_version = 0;
+  double queue_ms = 0.0;  // submit -> batch start (0 for cache hits/rejects)
+  std::string error;      // detail for kError
+};
+
+struct MicroBatcherConfig {
+  // Requests coalesced into one model dispatch. 1 disables coalescing (the
+  // request-per-dispatch baseline the load generator compares against).
+  int max_batch = 8;
+  // How long a worker holds an underfull batch open waiting for more
+  // arrivals before dispatching what it has. 0 = dispatch whatever is
+  // immediately available.
+  int max_wait_us = 200;
+  // Bounded MPSC queue; a full queue rejects new work (kOverloaded) instead
+  // of growing without bound.
+  int queue_capacity = 1024;
+  // Worker threads consuming the queue. Each builds and dispatches its own
+  // micro-batches.
+  int num_workers = 1;
+  // Threads used *inside* one batch dispatch (SimLlm batched forward).
+  // 0 = hardware concurrency. Results are bitwise identical for any value.
+  int batch_parallelism = 0;
+  // Simulated per-dispatch backend latency, the serving-side analog of the
+  // simulated substrate everywhere else in this repo: real backends charge
+  // a fixed cost per dispatch (accelerator kernel launch, hosted-API HTTP
+  // round trip — the overhead the paper's OpenAI *batch* API exists to
+  // amortize), while this repo's in-process forward is microseconds. Modeled
+  // as a sleep (the CPU is free while a real device/network works) so
+  // batching policy can be studied faithfully. 0 = off; leave it off unless
+  // you are benchmarking batching policy.
+  int dispatch_cost_us = 0;
+  // Optional decision cache consulted at submit time; hits bypass the queue
+  // entirely. Keyed by (model version, template, pair), so hot-swapped
+  // models never serve stale decisions.
+  std::shared_ptr<ResultCache> cache;
+};
+
+// Dynamic micro-batching executor for online matching: a bounded MPSC
+// request queue feeds worker threads that coalesce pending single-pair
+// requests into micro-batches and run one SimLlm batched forward per batch.
+// Per-request futures deliver typed ServeResults; per-request deadlines
+// yield kTimeout instead of blocking forever; a full queue yields
+// kOverloaded at submit time; Shutdown() drains every queued request before
+// the workers exit.
+//
+// Determinism contract (extends DESIGN.md §5b): a pair's decision is
+// bitwise identical whether it is matched alone via core::Matcher, in an
+// offline BatchMatcher run, or inside a serving micro-batch of any size or
+// composition — every path renders with core::RenderPairPrompt and scores
+// with SimLlm's per-example forward.
+//
+// Fault points: "serve.enqueue" (submit path; io_error -> kError reject)
+// and "serve.forward" (batch dispatch; io_error -> kError for the whole
+// batch), so the tests/fault/ patterns extend to the serving path.
+class MicroBatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit MicroBatcher(MicroBatcherConfig config);
+  ~MicroBatcher();  // implies Shutdown()
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  // Enqueues one pair for matching against a pinned model snapshot (grab it
+  // from a ModelRegistry, or wrap a model in ServedModel directly). The
+  // future always becomes ready: with a decision, or with a typed non-kOk
+  // outcome. `deadline` bounds how long the request may wait in the queue.
+  std::future<ServeResult> Submit(
+      std::shared_ptr<const ServedModel> model, prompt::PromptTemplate tmpl,
+      data::EntityPair pair, Clock::time_point deadline = Clock::time_point::max());
+
+  // Submit + future.get() for synchronous callers.
+  ServeResult SubmitAndWait(
+      std::shared_ptr<const ServedModel> model, prompt::PromptTemplate tmpl,
+      data::EntityPair pair, Clock::time_point deadline = Clock::time_point::max());
+
+  // Stops accepting new work, drains every queued request (honoring
+  // deadlines), and joins the workers. Idempotent.
+  void Shutdown();
+
+  const MicroBatcherConfig& config() const { return config_; }
+  size_t queue_depth() const;
+
+ private:
+  struct Request {
+    std::promise<ServeResult> promise;
+    std::shared_ptr<const ServedModel> model;
+    prompt::PromptTemplate tmpl = prompt::PromptTemplate::kDefault;
+    data::EntityPair pair;
+    Clock::time_point deadline;
+    Clock::time_point enqueued_at;
+  };
+
+  void WorkerLoop();
+  // Runs one coalesced batch outside the queue lock.
+  void RunBatch(std::vector<Request> batch);
+
+  MicroBatcherConfig config_;
+  int batch_threads_;  // resolved batch_parallelism
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool shutting_down_ = false;
+  std::mutex join_mutex_;  // serializes concurrent Shutdown() calls
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tailormatch::serve
+
+#endif  // TAILORMATCH_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,133 @@
+#include "serve/model_registry.h"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/fault.h"
+#include "util/logging.h"
+
+namespace tailormatch::serve {
+
+namespace {
+
+obs::Counter& ReloadCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.registry.reloads");
+  return counter;
+}
+
+obs::Counter& ReloadFailureCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "serve.registry.reload_failures");
+  return counter;
+}
+
+}  // namespace
+
+ModelRegistry::Slot* ModelRegistry::FindSlot(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  return it == slots_.end() ? nullptr : it->second.get();
+}
+
+Status ModelRegistry::Register(const std::string& name,
+                               const std::string& checkpoint_path) {
+  Result<std::unique_ptr<llm::SimLlm>> loaded =
+      llm::SimLlm::LoadCheckpoint(checkpoint_path);
+  if (!loaded.ok()) return loaded.status();
+  return RegisterModel(
+      name, std::shared_ptr<const llm::SimLlm>(std::move(loaded).value()),
+      checkpoint_path);
+}
+
+Status ModelRegistry::RegisterModel(const std::string& name,
+                                    std::shared_ptr<const llm::SimLlm> model,
+                                    const std::string& source) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must not be empty");
+  }
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  auto served = std::make_shared<const ServedModel>(
+      ServedModel{name, /*version=*/1, source, std::move(model)});
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto [it, inserted] = slots_.emplace(name, nullptr);
+  if (!inserted) {
+    return Status::FailedPrecondition("model already registered: " + name);
+  }
+  it->second = std::make_unique<Slot>();
+  std::atomic_store_explicit(&it->second->current, std::move(served),
+                             std::memory_order_release);
+  return Status::Ok();
+}
+
+Status ModelRegistry::Reload(const std::string& name,
+                             const std::string& checkpoint_path) {
+  Slot* slot = FindSlot(name);
+  if (slot == nullptr) {
+    return Status::NotFound("model not registered: " + name);
+  }
+  std::lock_guard<std::mutex> reload_lock(slot->reload_mutex);
+  std::shared_ptr<const ServedModel> previous =
+      std::atomic_load_explicit(&slot->current, std::memory_order_acquire);
+  // Load + CRC-validate the candidate entirely off to the side: until the
+  // swap below, every concurrent Get() keeps resolving `previous`.
+  Result<std::unique_ptr<llm::SimLlm>> loaded =
+      llm::SimLlm::LoadCheckpoint(checkpoint_path);
+  if (!loaded.ok()) {
+    ReloadFailureCounter().Increment();
+    TM_LOG(Warning) << "reload of model '" << name << "' from "
+                    << checkpoint_path
+                    << " rejected, previous version stays live: "
+                    << loaded.status().ToString();
+    return loaded.status();
+  }
+  // Crash/fault point between validation and publication: a crash here must
+  // leave no torn state — the old version was never unpublished and the
+  // candidate is still private to this call.
+  Status fault = fault::FaultInjector::Global().OnPoint("serve.reload");
+  if (!fault.ok()) {
+    ReloadFailureCounter().Increment();
+    return fault;
+  }
+  auto served = std::make_shared<const ServedModel>(ServedModel{
+      name, previous->version + 1, checkpoint_path,
+      std::shared_ptr<const llm::SimLlm>(std::move(loaded).value())});
+  std::atomic_store_explicit(&slot->current, std::move(served),
+                             std::memory_order_release);
+  ReloadCounter().Increment();
+  return Status::Ok();
+}
+
+Status ModelRegistry::Reload(const std::string& name) {
+  Slot* slot = FindSlot(name);
+  if (slot == nullptr) {
+    return Status::NotFound("model not registered: " + name);
+  }
+  std::shared_ptr<const ServedModel> current =
+      std::atomic_load_explicit(&slot->current, std::memory_order_acquire);
+  if (current->source == "<memory>") {
+    return Status::FailedPrecondition(
+        "model '" + name + "' was registered in-memory; pass a path");
+  }
+  return Reload(name, current->source);
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::Get(
+    const std::string& name) const {
+  Slot* slot = FindSlot(name);
+  if (slot == nullptr) return nullptr;
+  return std::atomic_load_explicit(&slot->current, std::memory_order_acquire);
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tailormatch::serve

@@ -1,0 +1,87 @@
+#ifndef TAILORMATCH_SERVE_MODEL_REGISTRY_H_
+#define TAILORMATCH_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "llm/sim_llm.h"
+#include "util/status.h"
+
+namespace tailormatch::serve {
+
+// One published version of a named model. Immutable after publication:
+// in-flight batches hold a shared_ptr to the whole struct, so a Reload can
+// never mutate weights under a running forward — readers keep the version
+// they grabbed until they drop it.
+struct ServedModel {
+  std::string name;
+  uint64_t version = 0;
+  std::string source;  // checkpoint path, or "<memory>" for injected models
+  std::shared_ptr<const llm::SimLlm> model;
+};
+
+// Named, versioned model store for the online serving path.
+//
+// Concurrency contract: Get() is lock-free after the (read-locked) name
+// lookup — each name owns a slot whose current ServedModel is swapped with
+// std::atomic shared_ptr operations. Reload() loads and validates the new
+// checkpoint (framed CRC + full weight deserialization) entirely off to the
+// side, then publishes it with one atomic pointer swap; a corrupt or
+// truncated checkpoint is rejected and the previous version stays live. The
+// fault point "serve.reload" sits between validation and publication so the
+// fault suites can crash a reload at its most delicate instant.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // Loads a framed checkpoint and publishes it as version 1 of `name`.
+  // Fails if the name is already registered.
+  Status Register(const std::string& name, const std::string& checkpoint_path);
+
+  // Publishes an in-memory model (tests, benches). The registry takes shared
+  // ownership; the model must not be mutated afterwards.
+  Status RegisterModel(const std::string& name,
+                       std::shared_ptr<const llm::SimLlm> model,
+                       const std::string& source = "<memory>");
+
+  // Atomically replaces `name` with a freshly loaded checkpoint, bumping the
+  // version. On any load failure the previous version keeps serving and the
+  // error is returned. With no `checkpoint_path`, reloads from the last
+  // registered source path.
+  Status Reload(const std::string& name, const std::string& checkpoint_path);
+  Status Reload(const std::string& name);
+
+  // Current published version of `name`; nullptr when unknown. The returned
+  // snapshot stays valid (and its weights immutable) for as long as the
+  // caller holds it, across any number of concurrent reloads.
+  std::shared_ptr<const ServedModel> Get(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<const ServedModel> current;  // std::atomic_* access only
+    // Serializes writers: without it two racing Reloads could both publish
+    // "previous version + 1" and duplicate a version number, which would let
+    // the result cache conflate decisions from two different checkpoints.
+    std::mutex reload_mutex;
+  };
+
+  // Returns the slot for `name`, or nullptr. Slots are never erased, so the
+  // pointer stays valid for the registry's lifetime.
+  Slot* FindSlot(const std::string& name) const;
+
+  mutable std::shared_mutex mutex_;  // guards the name -> slot map only
+  std::map<std::string, std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace tailormatch::serve
+
+#endif  // TAILORMATCH_SERVE_MODEL_REGISTRY_H_

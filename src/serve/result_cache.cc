@@ -1,0 +1,159 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace tailormatch::serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+struct CacheCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Gauge& bytes;
+
+  static CacheCounters& Get() {
+    static CacheCounters counters{
+        obs::MetricsRegistry::Global().GetCounter("serve.cache.hits"),
+        obs::MetricsRegistry::Global().GetCounter("serve.cache.misses"),
+        obs::MetricsRegistry::Global().GetCounter("serve.cache.evictions"),
+        obs::MetricsRegistry::Global().GetGauge("serve.cache.bytes")};
+    return counters;
+  }
+};
+
+// Approximate footprint of one cache entry: list/map node overhead plus the
+// response text the decision carries.
+size_t EntryBytes(const core::MatchDecision& decision) {
+  return sizeof(CacheKey) + sizeof(core::MatchDecision) +
+         decision.response.size() + 64;
+}
+
+}  // namespace
+
+uint64_t HashPair(const data::EntityPair& pair) {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, pair.left.surface.data(), pair.left.surface.size());
+  h = FnvMix(h, "\x1f", 1);
+  h = FnvMix(h, pair.right.surface.data(), pair.right.surface.size());
+  h = FnvMix(h, "\x1f", 1);
+  const int domain = static_cast<int>(pair.left.domain);
+  h = FnvMix(h, &domain, sizeof(domain));
+  return h;
+}
+
+size_t ResultCache::KeyHash::operator()(const CacheKey& key) const {
+  uint64_t h = key.pair_hash;
+  h = FnvMix(h, &key.model_version, sizeof(key.model_version));
+  const int tmpl = static_cast<int>(key.prompt_template);
+  h = FnvMix(h, &tmpl, sizeof(tmpl));
+  return static_cast<size_t>(h);
+}
+
+ResultCache::ResultCache(size_t byte_budget, int num_shards)
+    : byte_budget_(byte_budget) {
+  TM_CHECK_GT(num_shards, 0);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_budget_ = std::max<size_t>(1, byte_budget_ / shards_.size());
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
+  // pair_hash alone spreads shards; version/template go into the in-shard
+  // index hash. Mix the high bits so shard count being a power of two does
+  // not alias with low-entropy hashes.
+  const uint64_t spread = key.pair_hash ^ (key.pair_hash >> 32);
+  return *shards_[spread % shards_.size()];
+}
+
+bool ResultCache::Lookup(const CacheKey& key, core::MatchDecision* out) {
+  CacheCounters& counters = CacheCounters::Get();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    counters.misses.Increment();
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->decision;
+  counters.hits.Increment();
+  return true;
+}
+
+void ResultCache::Insert(const CacheKey& key,
+                         const core::MatchDecision& decision) {
+  CacheCounters& counters = CacheCounters::Get();
+  const size_t entry_bytes = EntryBytes(decision);
+  if (entry_bytes > shard_budget_) return;
+  Shard& shard = ShardFor(key);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.bytes -= it->second->bytes;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    while (!shard.lru.empty() && shard.bytes + entry_bytes > shard_budget_) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+    shard.lru.push_front(Entry{key, decision, entry_bytes});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += entry_bytes;
+  }
+  if (evicted > 0) counters.evictions.Increment(evicted);
+  counters.bytes.Set(static_cast<double>(bytes()));
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+  CacheCounters::Get().bytes.Set(0.0);
+}
+
+size_t ResultCache::entries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->index.size();
+  }
+  return total;
+}
+
+size_t ResultCache::bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+}  // namespace tailormatch::serve

@@ -1,0 +1,83 @@
+#ifndef TAILORMATCH_SERVE_RESULT_CACHE_H_
+#define TAILORMATCH_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/matcher.h"
+#include "data/entity.h"
+#include "prompt/prompt.h"
+
+namespace tailormatch::serve {
+
+// Cache identity of one match request. Model version and prompt template are
+// part of the key so a registry hot-swap or a template change can never
+// serve a stale decision; the pair hash canonicalizes the two surfaces plus
+// the domain (order-sensitive — the prompt itself is order-sensitive).
+struct CacheKey {
+  uint64_t model_version = 0;
+  prompt::PromptTemplate prompt_template = prompt::PromptTemplate::kDefault;
+  uint64_t pair_hash = 0;
+
+  bool operator==(const CacheKey& other) const = default;
+};
+
+// FNV-1a over (left surface, right surface, domain) with field separators so
+// ("ab","c") and ("a","bc") hash differently.
+uint64_t HashPair(const data::EntityPair& pair);
+
+// Sharded LRU decision cache with a global byte budget. Each shard owns
+// 1/num_shards of the budget, its own mutex, and its own LRU list, so
+// concurrent lookups from serving workers only contend when they land on
+// the same shard. Hit/miss/eviction counts flow into the obs registry
+// ("serve.cache.hits" / ".misses" / ".evictions", gauge "serve.cache.bytes").
+class ResultCache {
+ public:
+  // `byte_budget` bounds the total approximate footprint (keys + decisions +
+  // bookkeeping). `num_shards` > available cores buys nothing; 8 is plenty.
+  explicit ResultCache(size_t byte_budget, int num_shards = 8);
+
+  // Copies the cached decision into *out and promotes the entry to MRU.
+  bool Lookup(const CacheKey& key, core::MatchDecision* out);
+
+  // Inserts or refreshes a decision, evicting LRU entries of the shard until
+  // it is back under its slice of the byte budget. An entry larger than the
+  // whole shard budget is not admitted.
+  void Insert(const CacheKey& key, const core::MatchDecision& decision);
+
+  void Clear();
+
+  size_t entries() const;
+  size_t bytes() const;
+  size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    core::MatchDecision decision;
+    size_t bytes = 0;
+  };
+  struct KeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  size_t byte_budget_;
+  size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tailormatch::serve
+
+#endif  // TAILORMATCH_SERVE_RESULT_CACHE_H_

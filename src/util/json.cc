@@ -1,0 +1,209 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace tailormatch::json {
+
+void AppendString(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string Quote(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  AppendString(value, &out);
+  return out;
+}
+
+std::string Number(double value) {
+  if (!std::isfinite(value)) return "0";
+  return StrFormat("%.9g", value);
+}
+
+namespace {
+
+// Cursor over the input; every parse helper advances `pos` past what it
+// consumed and reports failures as InvalidArgument with the offset.
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("json: %s at offset %zu", what.c_str(), pos));
+  }
+};
+
+Status ParseString(Cursor* c, std::string* out) {
+  const std::string& text = c->text;
+  if (text[c->pos] != '"') return c->Fail("expected string");
+  ++c->pos;
+  out->clear();
+  while (c->pos < text.size()) {
+    char ch = text[c->pos++];
+    if (ch == '"') return Status::Ok();
+    if (ch != '\\') {
+      out->push_back(ch);
+      continue;
+    }
+    if (c->pos >= text.size()) break;
+    char esc = text[c->pos++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 't': out->push_back('\t'); break;
+      case 'r': out->push_back('\r'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'u': {
+        if (c->pos + 4 > text.size()) return c->Fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = text[c->pos++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return c->Fail("bad \\u escape");
+        }
+        // The protocol is ASCII-first; encode BMP code points as UTF-8.
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return c->Fail("unknown escape");
+    }
+  }
+  return c->Fail("unterminated string");
+}
+
+// Number / true / false / null, captured as literal text (numbers) or a
+// canonical spelling (true/false) or "" (null).
+Status ParseScalar(Cursor* c, std::string* out) {
+  const std::string& text = c->text;
+  const size_t start = c->pos;
+  while (c->pos < text.size()) {
+    char ch = text[c->pos];
+    if (ch == ',' || ch == '}' || ch == ']' ||
+        std::isspace(static_cast<unsigned char>(ch))) {
+      break;
+    }
+    ++c->pos;
+  }
+  std::string token = text.substr(start, c->pos - start);
+  if (token == "null") {
+    out->clear();
+    return Status::Ok();
+  }
+  if (token == "true" || token == "false") {
+    *out = token;
+    return Status::Ok();
+  }
+  // Validate as a JSON number: optional sign, digits, dot, exponent.
+  if (token.empty()) return c->Fail("expected value");
+  char* end = nullptr;
+  (void)std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0') return c->Fail("bad literal");
+  *out = token;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ParseFlatObject(const std::string& text,
+                       std::map<std::string, std::string>* out) {
+  out->clear();
+  Cursor c{text};
+  if (c.AtEnd() || text[c.pos] != '{') return c.Fail("expected '{'");
+  ++c.pos;
+  c.SkipSpace();
+  if (c.pos < text.size() && text[c.pos] == '}') {
+    ++c.pos;
+  } else {
+    while (true) {
+      c.SkipSpace();
+      if (c.pos >= text.size()) return c.Fail("unterminated object");
+      std::string key;
+      TM_RETURN_IF_ERROR(ParseString(&c, &key));
+      c.SkipSpace();
+      if (c.pos >= text.size() || text[c.pos] != ':') {
+        return c.Fail("expected ':'");
+      }
+      ++c.pos;
+      c.SkipSpace();
+      if (c.pos >= text.size()) return c.Fail("expected value");
+      std::string value;
+      if (text[c.pos] == '"') {
+        TM_RETURN_IF_ERROR(ParseString(&c, &value));
+      } else if (text[c.pos] == '{' || text[c.pos] == '[') {
+        return c.Fail("nested values not supported");
+      } else {
+        TM_RETURN_IF_ERROR(ParseScalar(&c, &value));
+      }
+      (*out)[key] = std::move(value);
+      c.SkipSpace();
+      if (c.pos >= text.size()) return c.Fail("unterminated object");
+      if (text[c.pos] == ',') {
+        ++c.pos;
+        continue;
+      }
+      if (text[c.pos] == '}') {
+        ++c.pos;
+        break;
+      }
+      return c.Fail("expected ',' or '}'");
+    }
+  }
+  if (!c.AtEnd()) return c.Fail("trailing characters");
+  return Status::Ok();
+}
+
+}  // namespace tailormatch::json

@@ -1,0 +1,36 @@
+#ifndef TAILORMATCH_UTIL_JSON_H_
+#define TAILORMATCH_UTIL_JSON_H_
+
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace tailormatch::json {
+
+// Appends `value` as a quoted JSON string, escaping quotes, backslashes, and
+// control characters. Shared by the metrics exporter and the JSONL serving
+// protocol so every JSON emitter in the tree escapes identically.
+void AppendString(const std::string& value, std::string* out);
+
+// AppendString into a fresh string ("\"...\"").
+std::string Quote(const std::string& value);
+
+// Renders a double the way the metrics snapshot does: shortest round-trip-ish
+// %.9g, with non-finite values flattened to 0 (JSON has no NaN/Inf).
+std::string Number(double value);
+
+// Parses one *flat* JSON object — string, number, true/false/null values
+// only, no nested objects or arrays — into `out` (insertion order lost;
+// duplicate keys keep the last value). String values are unescaped; numbers
+// and booleans are returned as their literal text; null becomes "".
+//
+// This is the entire grammar of the JSONL serving protocol; rejecting
+// nesting keeps the parser small enough to audit and makes malformed input
+// a typed InvalidArgument instead of undefined behavior.
+Status ParseFlatObject(const std::string& text,
+                       std::map<std::string, std::string>* out);
+
+}  // namespace tailormatch::json
+
+#endif  // TAILORMATCH_UTIL_JSON_H_

@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "llm/sim_llm.h"
+#include "serve/model_registry.h"
 #include "tiny_model.h"
 #include "util/fault.h"
 
@@ -30,6 +31,7 @@ namespace {
 // Helper exit codes (distinct from fault::kCrashExitCode = 86).
 constexpr int kHelperOk = 0;
 constexpr int kHelperSaveFailed = 7;
+constexpr int kHelperReloadFailed = 8;
 
 std::string SelfExe() {
   char buffer[4096];
@@ -66,11 +68,34 @@ HelperResult RunSaveHelper(const std::string& path, const std::string& point,
   return result;
 }
 
+// Runs `<self> --helper-reload <from> <to>`: register a model from `from`,
+// then hot-swap it to `to` with the given fault armed at "serve.reload" —
+// the instant between checkpoint validation and publication.
+HelperResult RunReloadHelper(const std::string& from, const std::string& to,
+                             const std::string& point,
+                             const std::string& mode) {
+  const std::string command = "TM_FAULT_POINT='" + point + "' TM_FAULT_MODE='" +
+                              mode + "' '" + SelfExe() + "' --helper-reload '" +
+                              from + "' '" + to + "'";
+  const int status = std::system(command.c_str());
+  HelperResult result;
+  result.exited = WIFEXITED(status);
+  if (result.exited) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
 class CrashRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
     ASSERT_FALSE(SelfExe().empty());
-    dir_ = (std::filesystem::temp_directory_path() / "tm_crash_recovery")
+    // Unique per test AND per process: ctest -j runs sibling tests of this
+    // fixture concurrently, so a shared directory would collide.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tm_crash_recovery_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()) +
+             "_" + std::to_string(::getpid())))
                .string();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
@@ -170,6 +195,46 @@ TEST_F(CrashRecoveryTest, RecoveryAfterCrashCommitsCleanCheckpoint) {
   EXPECT_TRUE(llm::SimLlm::LoadCheckpoint(path_).ok());
 }
 
+TEST_F(CrashRecoveryTest, CrashMidReloadLeavesNoTornServingState) {
+  const std::string from = dir_ + "/serving.ckpt";
+  const std::string to = dir_ + "/candidate.ckpt";
+  ASSERT_EQ(RunSaveHelper(from, "", "").exit_code, kHelperOk);
+  ASSERT_EQ(RunSaveHelper(to, "", "").exit_code, kHelperOk);
+  const std::string from_bytes = ReadFileBytes(from);
+  const std::string to_bytes = ReadFileBytes(to);
+
+  // Crash exactly between checkpoint validation and publication.
+  HelperResult crashed = RunReloadHelper(from, to, "serve.reload", "crash");
+  ASSERT_TRUE(crashed.exited);
+  ASSERT_EQ(crashed.exit_code, fault::kCrashExitCode);
+
+  // Neither checkpoint file was damaged by the half-done swap...
+  EXPECT_EQ(ReadFileBytes(from), from_bytes);
+  EXPECT_EQ(ReadFileBytes(to), to_bytes);
+  EXPECT_TRUE(llm::SimLlm::LoadCheckpoint(from).ok());
+  EXPECT_TRUE(llm::SimLlm::LoadCheckpoint(to).ok());
+
+  // ...and a fresh process can bring serving back up from the old version,
+  // then complete the interrupted swap.
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("m", from).ok());
+  EXPECT_EQ(registry.Get("m")->version, 1u);
+  ASSERT_TRUE(registry.Reload("m", to).ok());
+  EXPECT_EQ(registry.Get("m")->version, 2u);
+}
+
+TEST_F(CrashRecoveryTest, FaultedReloadHelperKeepsOldVersionServing) {
+  const std::string from = dir_ + "/serving.ckpt";
+  const std::string to = dir_ + "/candidate.ckpt";
+  ASSERT_EQ(RunSaveHelper(from, "", "").exit_code, kHelperOk);
+  ASSERT_EQ(RunSaveHelper(to, "", "").exit_code, kHelperOk);
+  HelperResult result = RunReloadHelper(from, to, "serve.reload", "io_error");
+  ASSERT_TRUE(result.exited);
+  // The helper verifies in-process that the failed swap left version 1
+  // serving; kHelperReloadFailed would mean that invariant broke.
+  EXPECT_EQ(result.exit_code, kHelperOk);
+}
+
 }  // namespace
 
 // Exit status of the save helper (see RunSaveHelper).
@@ -184,11 +249,33 @@ int RunHelperSave(const std::string& path) {
   return kHelperOk;
 }
 
+// Exit status of the reload helper (see RunReloadHelper): registers `from`,
+// attempts the hot-swap to `to` (crashing here if a crash fault is armed at
+// "serve.reload"), then verifies in-process that serving is consistent —
+// version 2 after a clean swap, version 1 still live after a failed one.
+int RunHelperReload(const std::string& from, const std::string& to) {
+  serve::ModelRegistry registry;
+  if (!registry.Register("m", from).ok()) return kHelperReloadFailed;
+  const Status reload = registry.Reload("m", to);
+  std::shared_ptr<const serve::ServedModel> served = registry.Get("m");
+  if (served == nullptr || served->model == nullptr) {
+    return kHelperReloadFailed;
+  }
+  if (served->version != (reload.ok() ? 2u : 1u)) return kHelperReloadFailed;
+  const double probability =
+      served->model->PredictMatchProbability("entity 1: a entity 2: b");
+  if (!(probability >= 0.0 && probability <= 1.0)) return kHelperReloadFailed;
+  return kHelperOk;
+}
+
 }  // namespace tailormatch
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--helper-save") {
     return tailormatch::RunHelperSave(argv[2]);
+  }
+  if (argc == 4 && std::string(argv[1]) == "--helper-reload") {
+    return tailormatch::RunHelperReload(argv[2], argv[3]);
   }
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

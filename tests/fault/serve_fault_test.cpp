@@ -1,0 +1,130 @@
+// Fault-injection coverage for the online serving path: armed faults at the
+// serve.* points must surface as typed per-request outcomes (never hangs,
+// never torn registry state), and serving must heal as soon as the fault
+// clears.
+
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_registry.h"
+#include "tiny_model.h"
+#include "util/fault.h"
+
+namespace tailormatch::serve {
+namespace {
+
+class ServeFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Global().DisarmAll(); }
+
+  static std::shared_ptr<const ServedModel> TinyServed() {
+    return std::make_shared<const ServedModel>(
+        ServedModel{"tiny", 1, "<memory>", fault_test::MakeTinyModelPtr()});
+  }
+
+  static data::EntityPair Pair(const std::string& left,
+                               const std::string& right) {
+    return core::MakeSurfacePair(left, right, data::Domain::kProduct);
+  }
+};
+
+TEST_F(ServeFaultTest, EnqueueFaultRejectsOneRequestThenHeals) {
+  MicroBatcher batcher(MicroBatcherConfig{});
+  std::shared_ptr<const ServedModel> served = TinyServed();
+
+  fault::FaultSpec spec;
+  spec.point = "serve.enqueue";
+  spec.mode = fault::FaultMode::kIoError;
+  spec.nth = 1;
+  fault::ScopedFault armed(spec);
+
+  ServeResult faulted = batcher.SubmitAndWait(
+      served, prompt::PromptTemplate::kDefault, Pair("a", "b"));
+  EXPECT_EQ(faulted.outcome, RequestOutcome::kError);
+  EXPECT_FALSE(faulted.error.empty());
+
+  // nth=1: the fault fired once; the very next request serves normally.
+  ServeResult healed = batcher.SubmitAndWait(
+      served, prompt::PromptTemplate::kDefault, Pair("a", "b"));
+  EXPECT_EQ(healed.outcome, RequestOutcome::kOk);
+}
+
+TEST_F(ServeFaultTest, ForwardFaultFailsTheBatchWithTypedErrors) {
+  MicroBatcherConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 50000;
+  MicroBatcher batcher(config);
+  std::shared_ptr<const ServedModel> served = TinyServed();
+
+  fault::FaultSpec spec;
+  spec.point = "serve.forward";
+  spec.mode = fault::FaultMode::kIoError;
+  spec.nth = 1;
+  fault::ScopedFault armed(spec);
+
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(batcher.Submit(served, prompt::PromptTemplate::kDefault,
+                                     Pair("p" + std::to_string(i), "q")));
+  }
+  int errors = 0;
+  for (auto& future : futures) {
+    ServeResult result = future.get();
+    if (result.outcome == RequestOutcome::kError) {
+      ++errors;
+      EXPECT_NE(result.error.find("injected fault"), std::string::npos)
+          << result.error;
+    } else {
+      // Requests dispatched after the one-shot fault cleared serve fine.
+      EXPECT_EQ(result.outcome, RequestOutcome::kOk);
+    }
+  }
+  EXPECT_GE(errors, 1) << "the faulted dispatch must fail its whole batch";
+
+  ServeResult healed = batcher.SubmitAndWait(
+      served, prompt::PromptTemplate::kDefault, Pair("x", "y"));
+  EXPECT_EQ(healed.outcome, RequestOutcome::kOk);
+}
+
+TEST_F(ServeFaultTest, ReloadFaultKeepsPreviousVersionServing) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tm_serve_fault.ckpt")
+          .string();
+  llm::SimLlm model = fault_test::MakeTinyModel();
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("m", path).ok());
+  const double before = registry.Get("m")->model->PredictMatchProbability(
+      "entity 1: alpha same entity 2: beta");
+
+  fault::FaultSpec spec;
+  spec.point = "serve.reload";
+  spec.mode = fault::FaultMode::kIoError;
+  spec.nth = 1;
+  fault::ScopedFault armed(spec);
+
+  // The checkpoint itself is valid; the fault hits between validation and
+  // publication. The swap must be rejected as a unit.
+  EXPECT_FALSE(registry.Reload("m", path).ok());
+  std::shared_ptr<const ServedModel> served = registry.Get("m");
+  EXPECT_EQ(served->version, 1u);
+  EXPECT_DOUBLE_EQ(served->model->PredictMatchProbability(
+                       "entity 1: alpha same entity 2: beta"),
+                   before);
+
+  // Fault cleared: the identical swap goes through.
+  EXPECT_TRUE(registry.Reload("m", path).ok());
+  EXPECT_EQ(registry.Get("m")->version, 2u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

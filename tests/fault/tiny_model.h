@@ -5,6 +5,7 @@
 // from tests/llm/trainer_test.cpp (label = whether "same" appears) and a
 // tiny SimLlm that trains on it in milliseconds.
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +41,22 @@ inline llm::SimLlm MakeTinyModel() {
   config.max_seq = 24;
   config.init_seed = 11;
   return llm::SimLlm(config, std::move(tokenizer));
+}
+
+// Heap-allocated variant for callers that need shared ownership (SimLlm is
+// neither copyable nor movable).
+inline std::shared_ptr<llm::SimLlm> MakeTinyModelPtr() {
+  std::vector<std::string> corpus;
+  for (auto& [text, label] : KeywordTask()) corpus.push_back(text);
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1200, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 24;
+  config.init_seed = 11;
+  return std::make_shared<llm::SimLlm>(config, std::move(tokenizer));
 }
 
 inline std::vector<llm::TrainExample> KeywordExamples(const llm::SimLlm& model) {

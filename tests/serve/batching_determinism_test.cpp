@@ -1,0 +1,136 @@
+// Satellite of DESIGN.md §5b determinism: serving must not change answers.
+// The same pairs are scored one-at-a-time (core::Matcher), through the
+// offline BatchMatcher, and through serving micro-batches of several sizes
+// and compositions — every path must produce bitwise-identical decisions.
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/batch_matcher.h"
+#include "core/matcher.h"
+#include "serve/micro_batcher.h"
+#include "serve_test_util.h"
+
+namespace tailormatch::serve {
+namespace {
+
+std::vector<data::EntityPair> TestPairs() {
+  std::vector<data::EntityPair> pairs;
+  const char* surfaces[] = {
+      "jabra evolve 80",  "jabra evolve 80 stereo", "sram pg 730",
+      "widget pro model", "widget pro model x",     "acme anvil 3",
+      "acme anvil iii",   "nothing like the rest",
+  };
+  for (const char* left : surfaces) {
+    for (const char* right : {surfaces[1], surfaces[4]}) {
+      pairs.push_back(
+          core::MakeSurfacePair(left, right, data::Domain::kProduct));
+    }
+  }
+  return pairs;  // 16 pairs
+}
+
+std::vector<core::MatchDecision> ViaMicroBatcher(
+    const std::shared_ptr<const ServedModel>& served,
+    const std::vector<data::EntityPair>& pairs, int max_batch,
+    int batch_parallelism) {
+  MicroBatcherConfig config;
+  config.max_batch = max_batch;
+  config.max_wait_us = 1000;
+  config.batch_parallelism = batch_parallelism;
+  MicroBatcher batcher(config);
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(pairs.size());
+  for (const data::EntityPair& pair : pairs) {
+    futures.push_back(
+        batcher.Submit(served, prompt::PromptTemplate::kDefault, pair));
+  }
+  std::vector<core::MatchDecision> decisions;
+  decisions.reserve(pairs.size());
+  for (auto& future : futures) {
+    ServeResult result = future.get();
+    EXPECT_EQ(result.outcome, RequestOutcome::kOk);
+    decisions.push_back(std::move(result.decision));
+  }
+  return decisions;
+}
+
+void ExpectBitwiseEqual(const std::vector<core::MatchDecision>& expected,
+                        const std::vector<core::MatchDecision>& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    // EXPECT_EQ on doubles is exact on purpose: the contract is bitwise
+    // identity, not approximate agreement.
+    EXPECT_EQ(expected[i].probability, actual[i].probability)
+        << label << " pair " << i;
+    EXPECT_EQ(expected[i].is_match, actual[i].is_match) << label << " " << i;
+    EXPECT_EQ(expected[i].response, actual[i].response) << label << " " << i;
+    EXPECT_EQ(expected[i].parseable, actual[i].parseable) << label << " " << i;
+  }
+}
+
+TEST(BatchingDeterminismTest, AllInferencePathsAgreeBitwise) {
+  std::shared_ptr<llm::SimLlm> model = serve_test::TinyServeModel();
+  const std::vector<data::EntityPair> pairs = TestPairs();
+
+  core::Matcher matcher(model);
+  std::vector<core::MatchDecision> alone;
+  alone.reserve(pairs.size());
+  for (const data::EntityPair& pair : pairs) {
+    alone.push_back(matcher.Match(pair));
+  }
+
+  for (int threads : {1, 3}) {
+    core::BatchMatcher batch_matcher(model, prompt::PromptTemplate::kDefault,
+                                     threads);
+    ExpectBitwiseEqual(alone, batch_matcher.MatchAll(pairs),
+                       "BatchMatcher threads=" + std::to_string(threads));
+  }
+
+  std::shared_ptr<const ServedModel> served = serve_test::WrapServed(model);
+  for (int max_batch : {1, 3, 8}) {
+    for (int parallelism : {1, 2}) {
+      ExpectBitwiseEqual(
+          alone, ViaMicroBatcher(served, pairs, max_batch, parallelism),
+          "MicroBatcher max_batch=" + std::to_string(max_batch) +
+              " parallelism=" + std::to_string(parallelism));
+    }
+  }
+}
+
+TEST(BatchingDeterminismTest, BatchCompositionDoesNotLeakAcrossRequests) {
+  std::shared_ptr<llm::SimLlm> model = serve_test::TinyServeModel();
+  std::shared_ptr<const ServedModel> served = serve_test::WrapServed(model);
+  core::Matcher matcher(model);
+
+  const data::EntityPair probe = core::MakeSurfacePair(
+      "jabra evolve 80", "jabra evolve 80 stereo", data::Domain::kProduct);
+  const core::MatchDecision direct = matcher.Match(probe);
+
+  // Score the probe surrounded by different neighbor sets: its decision must
+  // not depend on what else happened to share the micro-batch.
+  for (int neighbors : {0, 2, 7}) {
+    std::vector<data::EntityPair> pairs;
+    for (int i = 0; i < neighbors; ++i) {
+      pairs.push_back(core::MakeSurfacePair("filler " + std::to_string(i),
+                                            "filler " + std::to_string(i + 1),
+                                            data::Domain::kProduct));
+    }
+    pairs.push_back(probe);
+    std::vector<core::MatchDecision> decisions =
+        ViaMicroBatcher(served, pairs, /*max_batch=*/8,
+                        /*batch_parallelism=*/2);
+    const core::MatchDecision& probed = decisions.back();
+    EXPECT_EQ(probed.probability, direct.probability)
+        << "with " << neighbors << " neighbors";
+    EXPECT_EQ(probed.response, direct.response);
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

@@ -1,0 +1,177 @@
+#include "serve/jsonl_server.h"
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve_test_util.h"
+#include "util/string_util.h"
+
+namespace tailormatch::serve {
+namespace {
+
+class JsonlServerTest : public ::testing::Test {
+ protected:
+  JsonlServerTest() : batcher_(BatcherConfig()) {
+    EXPECT_TRUE(
+        registry_.RegisterModel("default", serve_test::TinyServeModel()).ok());
+  }
+
+  static MicroBatcherConfig BatcherConfig() {
+    MicroBatcherConfig config;
+    config.max_batch = 4;
+    config.max_wait_us = 100;
+    config.batch_parallelism = 1;
+    return config;
+  }
+
+  JsonlServer MakeServer(JsonlServerConfig config = {}) {
+    return JsonlServer(&registry_, &batcher_, config);
+  }
+
+  ModelRegistry registry_;
+  MicroBatcher batcher_;
+};
+
+TEST_F(JsonlServerTest, MatchLineProducesOkResponse) {
+  JsonlServer server = MakeServer();
+  const std::string response = server.HandleLine(
+      R"({"id":"42","left":"jabra evolve 80","right":"jabra evolve 80 stereo"})");
+  EXPECT_NE(response.find("\"id\":\"42\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"outcome\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.find("\"probability\":"), std::string::npos);
+  EXPECT_NE(response.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"model\":\"default\""), std::string::npos);
+}
+
+TEST_F(JsonlServerTest, MalformedAndIncompleteLinesReportErrors) {
+  JsonlServer server = MakeServer();
+  EXPECT_NE(server.HandleLine("not json").find("\"outcome\":\"error\""),
+            std::string::npos);
+  EXPECT_NE(server.HandleLine(R"({"id":"1","left":"only one side"})")
+                .find("\"outcome\":\"error\""),
+            std::string::npos);
+  EXPECT_NE(server.HandleLine(R"({"left":"a","right":"b","model":"ghost"})")
+                .find("unknown model"),
+            std::string::npos);
+  EXPECT_NE(
+      server.HandleLine(R"({"left":"a","right":"b","prompt":"bogus"})")
+          .find("unknown prompt"),
+      std::string::npos);
+  EXPECT_NE(
+      server.HandleLine(R"({"left":"a","right":"b","domain":"bogus"})")
+          .find("unknown domain"),
+      std::string::npos);
+}
+
+TEST_F(JsonlServerTest, ControlOpsPingModelsStats) {
+  JsonlServer server = MakeServer();
+  EXPECT_EQ(server.HandleLine(R"({"op":"ping"})"), "{\"op\":\"pong\"}");
+
+  const std::string models = server.HandleLine(R"({"op":"models"})");
+  EXPECT_NE(models.find("\"model\":\"default\""), std::string::npos);
+  EXPECT_NE(models.find("\"version\":1"), std::string::npos);
+
+  // Serve one request so the stats counters exist.
+  server.HandleLine(R"({"left":"a","right":"b"})");
+  const std::string stats = server.HandleLine(R"({"op":"stats"})");
+  EXPECT_NE(stats.find("\"op\":\"stats\""), std::string::npos);
+  EXPECT_NE(stats.find("\"serve_requests\":"), std::string::npos);
+
+  EXPECT_NE(server.HandleLine(R"({"op":"frobnicate"})").find("unknown op"),
+            std::string::npos);
+}
+
+TEST_F(JsonlServerTest, ReloadSwapsVersionAndCorruptReloadKeepsServing) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tm_jsonl_reload").string();
+  std::filesystem::create_directories(dir);
+  const std::string ckpt = dir + "/v2.ckpt";
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(ckpt, 77).ok());
+
+  JsonlServer server = MakeServer();
+  const std::string reloaded = server.HandleLine(
+      R"({"op":"reload","model":"default","path":")" + ckpt + "\"}");
+  EXPECT_NE(reloaded.find("\"outcome\":\"ok\""), std::string::npos) << reloaded;
+  EXPECT_NE(reloaded.find("\"version\":2"), std::string::npos);
+
+  const std::string bad = server.HandleLine(
+      R"({"op":"reload","model":"default","path":"/nonexistent.ckpt"})");
+  EXPECT_NE(bad.find("\"outcome\":\"error\""), std::string::npos);
+  // Still serving version 2 after the failed reload.
+  const std::string response =
+      server.HandleLine(R"({"left":"a","right":"b"})");
+  EXPECT_NE(response.find("\"version\":2"), std::string::npos);
+
+  JsonlServerConfig frozen;
+  frozen.allow_reload = false;
+  JsonlServer no_reload = MakeServer(frozen);
+  EXPECT_NE(no_reload
+                .HandleLine(R"({"op":"reload","model":"default","path":")" +
+                            ckpt + "\"}")
+                .find("reload disabled"),
+            std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(JsonlServerTest, ServeStreamAnswersEveryLineInOrder) {
+  JsonlServer server = MakeServer();
+  std::istringstream in(
+      R"({"id":"a","left":"jabra evolve 80","right":"jabra evolve 80 stereo"})"
+      "\n"
+      R"({"id":"b","left":"widget pro","right":"widget pro x"})"
+      "\nnot json\n"
+      R"({"op":"ping"})"
+      "\n"
+      R"({"id":"c","left":"acme anvil","right":"acme anvil iii"})"
+      "\n");
+  std::ostringstream out;
+  server.ServeStream(in, out);
+
+  const std::vector<std::string> lines = Split(out.str(), '\n');
+  ASSERT_GE(lines.size(), 5u) << out.str();
+  EXPECT_NE(lines[0].find("\"id\":\"a\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"id\":\"b\""), std::string::npos) << lines[1];
+  EXPECT_NE(lines[2].find("\"outcome\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[3].find("pong"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"id\":\"c\""), std::string::npos);
+}
+
+TEST_F(JsonlServerTest, ServeStreamQuitStopsEarly) {
+  JsonlServer server = MakeServer();
+  std::istringstream in(R"({"op":"quit"})"
+                        "\n"
+                        R"({"id":"never","left":"a","right":"b"})"
+                        "\n");
+  std::ostringstream out;
+  server.ServeStream(in, out);
+  EXPECT_NE(out.str().find("\"op\":\"quit\""), std::string::npos);
+  EXPECT_EQ(out.str().find("never"), std::string::npos)
+      << "lines after quit must not be served";
+}
+
+TEST_F(JsonlServerTest, PipelinedRequestsKeepRequestOrder) {
+  JsonlServer server = MakeServer();
+  std::string input;
+  for (int i = 0; i < 20; ++i) {
+    input += "{\"id\":\"" + std::to_string(i) + "\",\"left\":\"widget " +
+             std::to_string(i) + "\",\"right\":\"widget " +
+             std::to_string(i + 1) + "\"}\n";
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  server.ServeStream(in, out);
+  const std::vector<std::string> lines = Split(out.str(), '\n');
+  ASSERT_GE(lines.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(lines[i].find("\"id\":\"" + std::to_string(i) + "\""),
+              std::string::npos)
+        << "line " << i << ": " << lines[i];
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

@@ -1,0 +1,177 @@
+#include "serve/micro_batcher.h"
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "obs/metrics.h"
+#include "serve/result_cache.h"
+#include "serve_test_util.h"
+
+namespace tailormatch::serve {
+namespace {
+
+using serve_test::TinyServeModel;
+using serve_test::WrapServed;
+
+data::EntityPair Pair(const std::string& left, const std::string& right) {
+  return core::MakeSurfacePair(left, right, data::Domain::kProduct);
+}
+
+int64_t CounterValue(const char* name) {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  const int64_t* value = snapshot.FindCounter(name);
+  return value == nullptr ? 0 : *value;
+}
+
+TEST(MicroBatcherTest, DecisionMatchesDirectMatcher) {
+  std::shared_ptr<llm::SimLlm> model = TinyServeModel();
+  core::Matcher matcher(model);
+  core::MatchDecision direct = matcher.Match("jabra evolve 80", "sram pg 730");
+
+  MicroBatcherConfig config;
+  config.batch_parallelism = 2;
+  MicroBatcher batcher(config);
+  ServeResult result = batcher.SubmitAndWait(
+      WrapServed(model), prompt::PromptTemplate::kDefault,
+      Pair("jabra evolve 80", "sram pg 730"));
+  ASSERT_EQ(result.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(result.decision.probability, direct.probability);
+  EXPECT_EQ(result.decision.is_match, direct.is_match);
+  EXPECT_EQ(result.decision.response, direct.response);
+  EXPECT_EQ(result.model_version, 1u);
+  EXPECT_FALSE(result.cache_hit);
+}
+
+TEST(MicroBatcherTest, NullModelRejectedAsError) {
+  MicroBatcher batcher(MicroBatcherConfig{});
+  ServeResult result = batcher.SubmitAndWait(
+      nullptr, prompt::PromptTemplate::kDefault, Pair("a", "b"));
+  EXPECT_EQ(result.outcome, RequestOutcome::kError);
+}
+
+TEST(MicroBatcherTest, ConcurrentSubmissionsCoalesceIntoOneBatch) {
+  MicroBatcherConfig config;
+  config.max_batch = 8;
+  config.max_wait_us = 200000;  // plenty to collect a burst on a slow box
+  config.batch_parallelism = 1;
+  MicroBatcher batcher(config);
+  std::shared_ptr<const ServedModel> served = WrapServed(TinyServeModel());
+
+  const int64_t batches_before = CounterValue("serve.batches");
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(batcher.Submit(served, prompt::PromptTemplate::kDefault,
+                                     Pair("widget " + std::to_string(i),
+                                          "widget " + std::to_string(i))));
+  }
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().outcome, RequestOutcome::kOk);
+  }
+  // The first request opens the batch window; the remaining seven arrive
+  // well inside the 200ms window, so one dispatch covers all eight.
+  EXPECT_EQ(CounterValue("serve.batches"), batches_before + 1);
+}
+
+TEST(MicroBatcherTest, ExpiredDeadlineTimesOutWithoutForward) {
+  MicroBatcherConfig config;
+  config.max_batch = 1;
+  MicroBatcher batcher(config);
+  const int64_t timeouts_before = CounterValue("serve.timeouts");
+  ServeResult result = batcher.SubmitAndWait(
+      WrapServed(TinyServeModel()), prompt::PromptTemplate::kDefault,
+      Pair("a", "b"),
+      MicroBatcher::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_EQ(result.outcome, RequestOutcome::kTimeout);
+  EXPECT_EQ(CounterValue("serve.timeouts"), timeouts_before + 1);
+}
+
+TEST(MicroBatcherTest, FullQueueRejectsAsOverloaded) {
+  MicroBatcherConfig config;
+  config.max_batch = 1;
+  config.queue_capacity = 1;
+  config.dispatch_cost_us = 100000;  // pin the worker inside a dispatch
+  MicroBatcher batcher(config);
+  std::shared_ptr<const ServedModel> served = WrapServed(TinyServeModel());
+
+  std::future<ServeResult> first =
+      batcher.Submit(served, prompt::PromptTemplate::kDefault, Pair("a", "b"));
+  // Wait until the worker has picked up the first request and is busy.
+  while (batcher.queue_depth() != 0) {
+    std::this_thread::yield();
+  }
+  std::future<ServeResult> second =
+      batcher.Submit(served, prompt::PromptTemplate::kDefault, Pair("c", "d"));
+  std::future<ServeResult> third =
+      batcher.Submit(served, prompt::PromptTemplate::kDefault, Pair("e", "f"));
+
+  EXPECT_EQ(third.get().outcome, RequestOutcome::kOverloaded);
+  EXPECT_EQ(first.get().outcome, RequestOutcome::kOk);
+  EXPECT_EQ(second.get().outcome, RequestOutcome::kOk);
+}
+
+TEST(MicroBatcherTest, ShutdownDrainsQueuedRequests) {
+  MicroBatcherConfig config;
+  config.max_batch = 4;
+  config.dispatch_cost_us = 20000;  // keep requests queued at Shutdown time
+  auto batcher = std::make_unique<MicroBatcher>(config);
+  std::shared_ptr<const ServedModel> served = WrapServed(TinyServeModel());
+
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(batcher->Submit(served, prompt::PromptTemplate::kDefault,
+                                      Pair("p" + std::to_string(i), "q")));
+  }
+  batcher->Shutdown();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().outcome, RequestOutcome::kOk);
+  }
+
+  // Post-shutdown submissions are rejected with the typed outcome.
+  ServeResult late = batcher->SubmitAndWait(
+      served, prompt::PromptTemplate::kDefault, Pair("late", "late"));
+  EXPECT_EQ(late.outcome, RequestOutcome::kShutdown);
+}
+
+TEST(MicroBatcherTest, CacheHitBypassesQueueAndMatchesOriginal) {
+  MicroBatcherConfig config;
+  config.cache = std::make_shared<ResultCache>(1 << 20);
+  MicroBatcher batcher(config);
+  std::shared_ptr<const ServedModel> served = WrapServed(TinyServeModel());
+
+  ServeResult first = batcher.SubmitAndWait(
+      served, prompt::PromptTemplate::kDefault, Pair("widget", "widget x"));
+  ASSERT_EQ(first.outcome, RequestOutcome::kOk);
+  ASSERT_FALSE(first.cache_hit);
+
+  ServeResult second = batcher.SubmitAndWait(
+      served, prompt::PromptTemplate::kDefault, Pair("widget", "widget x"));
+  ASSERT_EQ(second.outcome, RequestOutcome::kOk);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.decision.probability, first.decision.probability);
+  EXPECT_EQ(second.decision.response, first.decision.response);
+
+  // A different model version must miss: versions are part of the key.
+  ServeResult other_version = batcher.SubmitAndWait(
+      WrapServed(served->model, /*version=*/2),
+      prompt::PromptTemplate::kDefault, Pair("widget", "widget x"));
+  ASSERT_EQ(other_version.outcome, RequestOutcome::kOk);
+  EXPECT_FALSE(other_version.cache_hit);
+}
+
+TEST(MicroBatcherTest, RequestOutcomeNamesAreStable) {
+  EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kOk), "ok");
+  EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kTimeout), "timeout");
+  EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kOverloaded), "overloaded");
+  EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kShutdown), "shutdown");
+  EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kError), "error");
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

@@ -1,0 +1,169 @@
+#include "serve/model_registry.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve_test_util.h"
+
+namespace tailormatch::serve {
+namespace {
+
+class ModelRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tm_registry_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ModelRegistryTest, RegisterFromCheckpointServesVersionOne) {
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(Path("m.ckpt"), 11).ok());
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("prod", Path("m.ckpt")).ok());
+  std::shared_ptr<const ServedModel> served = registry.Get("prod");
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->name, "prod");
+  EXPECT_EQ(served->version, 1u);
+  EXPECT_EQ(served->source, Path("m.ckpt"));
+  EXPECT_GT(served->model->PredictMatchProbability("entity 1: a entity 2: b"),
+            0.0);
+  EXPECT_EQ(registry.Get("nope"), nullptr);
+}
+
+TEST_F(ModelRegistryTest, DuplicateNameRejected) {
+  ModelRegistry registry;
+  ASSERT_TRUE(
+      registry.RegisterModel("m", serve_test::TinyServeModel()).ok());
+  Status duplicate = registry.RegisterModel("m", serve_test::TinyServeModel());
+  EXPECT_FALSE(duplicate.ok());
+  EXPECT_EQ(registry.Names().size(), 1u);
+}
+
+TEST_F(ModelRegistryTest, InMemoryModelCannotPathlessReload) {
+  ModelRegistry registry;
+  ASSERT_TRUE(
+      registry.RegisterModel("m", serve_test::TinyServeModel()).ok());
+  EXPECT_FALSE(registry.Reload("m").ok());
+  EXPECT_EQ(registry.Get("m")->version, 1u);
+}
+
+TEST_F(ModelRegistryTest, ReloadBumpsVersionAndOldSnapshotStaysUsable) {
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(Path("v1.ckpt"), 11).ok());
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(Path("v2.ckpt"), 77).ok());
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("m", Path("v1.ckpt")).ok());
+  std::shared_ptr<const ServedModel> old_snapshot = registry.Get("m");
+  const std::string probe = "entity 1: widget pro entity 2: widget pro x";
+  const double old_probability =
+      old_snapshot->model->PredictMatchProbability(probe);
+
+  ASSERT_TRUE(registry.Reload("m", Path("v2.ckpt")).ok());
+  std::shared_ptr<const ServedModel> fresh = registry.Get("m");
+  EXPECT_EQ(fresh->version, 2u);
+  EXPECT_EQ(fresh->source, Path("v2.ckpt"));
+  // Different init seed -> different weights -> different prediction.
+  EXPECT_NE(fresh->model->PredictMatchProbability(probe), old_probability);
+  // The pinned pre-reload snapshot keeps working, bit-for-bit.
+  EXPECT_EQ(old_snapshot->version, 1u);
+  EXPECT_DOUBLE_EQ(old_snapshot->model->PredictMatchProbability(probe),
+                   old_probability);
+}
+
+TEST_F(ModelRegistryTest, PathlessReloadUsesRecordedSource) {
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(Path("m.ckpt"), 11).ok());
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("m", Path("m.ckpt")).ok());
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(Path("m.ckpt"), 77).ok());
+  ASSERT_TRUE(registry.Reload("m").ok());
+  EXPECT_EQ(registry.Get("m")->version, 2u);
+}
+
+TEST_F(ModelRegistryTest, CorruptReloadKeepsPreviousVersionLive) {
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(Path("good.ckpt"), 11).ok());
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("m", Path("good.ckpt")).ok());
+  const double before = registry.Get("m")->model->PredictMatchProbability(
+      "entity 1: a entity 2: b");
+
+  {
+    std::ofstream garbage(Path("garbage.ckpt"), std::ios::binary);
+    garbage << "this is not a framed checkpoint";
+  }
+  EXPECT_FALSE(registry.Reload("m", Path("garbage.ckpt")).ok());
+
+  // Truncation: flip a valid checkpoint into a torn one.
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(Path("torn.ckpt"), 77).ok());
+  const auto full_size = std::filesystem::file_size(Path("torn.ckpt"));
+  std::filesystem::resize_file(Path("torn.ckpt"), full_size / 2);
+  EXPECT_FALSE(registry.Reload("m", Path("torn.ckpt")).ok());
+
+  EXPECT_FALSE(registry.Reload("m", Path("missing.ckpt")).ok());
+
+  std::shared_ptr<const ServedModel> served = registry.Get("m");
+  EXPECT_EQ(served->version, 1u);
+  EXPECT_DOUBLE_EQ(
+      served->model->PredictMatchProbability("entity 1: a entity 2: b"),
+      before);
+}
+
+// Run under TSan via check-sanitize: hot-swaps under concurrent traffic must
+// never hand a reader a torn or deleted model.
+TEST_F(ModelRegistryTest, ConcurrentGetAndReloadIsSafe) {
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(Path("a.ckpt"), 11).ok());
+  ASSERT_TRUE(serve_test::WriteTinyCheckpoint(Path("b.ckpt"), 77).ok());
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("m", Path("a.ckpt")).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> served_requests{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        std::shared_ptr<const ServedModel> served = registry.Get("m");
+        ASSERT_NE(served, nullptr);
+        ASSERT_NE(served->model, nullptr);
+        const double probability = served->model->PredictMatchProbability(
+            "entity 1: widget entity 2: widget");
+        ASSERT_GE(probability, 0.0);
+        ASSERT_LE(probability, 1.0);
+        served_requests.fetch_add(1);
+      }
+    });
+  }
+  uint64_t last_version = 1;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        registry.Reload("m", Path(i % 2 == 0 ? "b.ckpt" : "a.ckpt")).ok());
+    const uint64_t version = registry.Get("m")->version;
+    EXPECT_EQ(version, last_version + 1);
+    last_version = version;
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_GT(served_requests.load(), 0);
+  EXPECT_EQ(registry.Get("m")->version, 7u);
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

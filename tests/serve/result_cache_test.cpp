@@ -1,0 +1,156 @@
+#include "serve/result_cache.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "obs/metrics.h"
+
+namespace tailormatch::serve {
+namespace {
+
+core::MatchDecision Decision(double probability, const std::string& response) {
+  core::MatchDecision decision;
+  decision.is_match = probability > 0.5;
+  decision.probability = probability;
+  decision.response = response;
+  return decision;
+}
+
+int64_t CounterValue(const char* name) {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  const int64_t* value = snapshot.FindCounter(name);
+  return value == nullptr ? 0 : *value;
+}
+
+// Approximate footprint of one small entry, measured rather than assumed.
+size_t OneEntryBytes() {
+  ResultCache probe(/*byte_budget=*/1 << 20, /*num_shards=*/1);
+  probe.Insert(CacheKey{1, prompt::PromptTemplate::kDefault, 1},
+               Decision(0.9, "r"));
+  return probe.bytes();
+}
+
+TEST(ResultCacheTest, MissThenHitRoundTrips) {
+  ResultCache cache(1 << 20);
+  const CacheKey key{3, prompt::PromptTemplate::kSimpleForce, 42};
+  core::MatchDecision out;
+  const int64_t misses_before = CounterValue("serve.cache.misses");
+  const int64_t hits_before = CounterValue("serve.cache.hits");
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  cache.Insert(key, Decision(0.75, "Yes. Same widget."));
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_TRUE(out.is_match);
+  EXPECT_DOUBLE_EQ(out.probability, 0.75);
+  EXPECT_EQ(out.response, "Yes. Same widget.");
+  EXPECT_EQ(CounterValue("serve.cache.misses"), misses_before + 1);
+  EXPECT_EQ(CounterValue("serve.cache.hits"), hits_before + 1);
+}
+
+TEST(ResultCacheTest, VersionAndTemplateArePartOfTheKey) {
+  ResultCache cache(1 << 20);
+  const uint64_t pair_hash = 7;
+  cache.Insert(CacheKey{1, prompt::PromptTemplate::kDefault, pair_hash},
+               Decision(0.9, "v1"));
+  core::MatchDecision out;
+  // Same pair under a new model version or another template is a miss: a
+  // hot-swap must never serve decisions from the previous checkpoint.
+  EXPECT_FALSE(cache.Lookup(
+      CacheKey{2, prompt::PromptTemplate::kDefault, pair_hash}, &out));
+  EXPECT_FALSE(cache.Lookup(
+      CacheKey{1, prompt::PromptTemplate::kSimpleFree, pair_hash}, &out));
+  EXPECT_TRUE(cache.Lookup(
+      CacheKey{1, prompt::PromptTemplate::kDefault, pair_hash}, &out));
+}
+
+TEST(ResultCacheTest, HashPairSeparatesFieldsAndOrder) {
+  const auto pair_of = [](const std::string& left, const std::string& right,
+                          data::Domain domain = data::Domain::kProduct) {
+    return core::MakeSurfacePair(left, right, domain);
+  };
+  EXPECT_NE(HashPair(pair_of("ab", "c")), HashPair(pair_of("a", "bc")));
+  EXPECT_NE(HashPair(pair_of("x", "y")), HashPair(pair_of("y", "x")));
+  EXPECT_NE(HashPair(pair_of("x", "y", data::Domain::kProduct)),
+            HashPair(pair_of("x", "y", data::Domain::kScholar)));
+  EXPECT_EQ(HashPair(pair_of("x", "y")), HashPair(pair_of("x", "y")));
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  const size_t per_entry = OneEntryBytes();
+  ASSERT_GT(per_entry, 0u);
+  // Room for exactly three single-character entries in one shard.
+  ResultCache cache(per_entry * 3, /*num_shards=*/1);
+  const CacheKey a{1, prompt::PromptTemplate::kDefault, 1};
+  const CacheKey b{1, prompt::PromptTemplate::kDefault, 2};
+  const CacheKey c{1, prompt::PromptTemplate::kDefault, 3};
+  const CacheKey d{1, prompt::PromptTemplate::kDefault, 4};
+  cache.Insert(a, Decision(0.1, "a"));
+  cache.Insert(b, Decision(0.2, "b"));
+  cache.Insert(c, Decision(0.3, "c"));
+  EXPECT_EQ(cache.entries(), 3u);
+
+  core::MatchDecision out;
+  ASSERT_TRUE(cache.Lookup(a, &out));  // promote a over b
+  const int64_t evictions_before = CounterValue("serve.cache.evictions");
+  cache.Insert(d, Decision(0.4, "d"));
+
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_FALSE(cache.Lookup(b, &out)) << "LRU entry should have been evicted";
+  EXPECT_TRUE(cache.Lookup(a, &out));
+  EXPECT_TRUE(cache.Lookup(c, &out));
+  EXPECT_TRUE(cache.Lookup(d, &out));
+  EXPECT_EQ(CounterValue("serve.cache.evictions"), evictions_before + 1);
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+}
+
+TEST(ResultCacheTest, OversizedEntryIsNotAdmitted) {
+  ResultCache cache(/*byte_budget=*/8, /*num_shards=*/1);
+  cache.Insert(CacheKey{1, prompt::PromptTemplate::kDefault, 1},
+               Decision(0.9, std::string(1024, 'x')));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, ClearEmptiesEveryShard) {
+  ResultCache cache(1 << 20, /*num_shards=*/4);
+  for (uint64_t i = 0; i < 64; ++i) {
+    cache.Insert(CacheKey{1, prompt::PromptTemplate::kDefault, i},
+                 Decision(0.5, "x"));
+  }
+  EXPECT_EQ(cache.entries(), 64u);
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+// Run under TSan via check-sanitize: concurrent lookups/inserts/promotions
+// across shards must be race-free.
+TEST(ResultCacheTest, ConcurrentMixedAccessIsSafe) {
+  ResultCache cache(1 << 14, /*num_shards=*/4);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      core::MatchDecision out;
+      for (int i = 0; i < kOps; ++i) {
+        const CacheKey key{1, prompt::PromptTemplate::kDefault,
+                           static_cast<uint64_t>((t * 31 + i) % 97)};
+        if (i % 3 == 0) {
+          cache.Insert(key, Decision(0.5, "concurrent"));
+        } else if (cache.Lookup(key, &out)) {
+          EXPECT_EQ(out.response, "concurrent");
+        }
+        if (i == kOps / 2 && t == 0) cache.Clear();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

@@ -1,0 +1,50 @@
+#ifndef TAILORMATCH_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define TAILORMATCH_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+// Shared fixtures for the serving suites: a tiny SimLlm that tokenizes
+// product-style prompts, plus helpers to wrap it for the registry/batcher
+// and to persist it as a framed checkpoint.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "llm/sim_llm.h"
+#include "serve/model_registry.h"
+#include "text/tokenizer.h"
+
+namespace tailormatch::serve_test {
+
+// `seed` varies the initial weights so two checkpoints are distinguishable
+// by their predictions (reload tests tell versions apart that way).
+inline std::shared_ptr<llm::SimLlm> TinyServeModel(uint64_t seed = 11) {
+  std::vector<std::string> corpus = {
+      "do the two entity descriptions refer to the same real-world product",
+      "entity 1: jabra evolve 80 entity 2: sram pg 730",
+      "entity 1: widget pro model entity 2: widget pro model x",
+  };
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 32;
+  config.init_seed = seed;
+  return std::make_shared<llm::SimLlm>(config, std::move(tokenizer));
+}
+
+inline std::shared_ptr<const serve::ServedModel> WrapServed(
+    std::shared_ptr<const llm::SimLlm> model, uint64_t version = 1) {
+  return std::make_shared<const serve::ServedModel>(
+      serve::ServedModel{"test", version, "<memory>", std::move(model)});
+}
+
+inline Status WriteTinyCheckpoint(const std::string& path, uint64_t seed) {
+  return TinyServeModel(seed)->SaveCheckpoint(path);
+}
+
+}  // namespace tailormatch::serve_test
+
+#endif  // TAILORMATCH_TESTS_SERVE_SERVE_TEST_UTIL_H_

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# End-to-end check of the online serving subsystem:
+#   1. builds the serve test suite, the CLI, and the load generator;
+#   2. runs the serve unit/integration suites;
+#   3. writes a tiny framed checkpoint, boots `tailormatch serve` on an
+#      ephemeral loopback TCP port, and drives it over the wire with the
+#      load generator's JSONL smoke mode (which also shuts the server down).
+#
+# Usage: tools/check_serve.sh [build_dir]
+# (Also exposed as the `check-serve` CMake target.)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+cmake --build "${BUILD_DIR}" --target serve_tests tailormatch_cli \
+  bench_serve_load -j"$(nproc)"
+
+"${BUILD_DIR}/tests/serve_tests"
+
+WORK_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "${SERVER_PID}" ] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill "${SERVER_PID}" 2>/dev/null || true
+    wait "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+CKPT="${WORK_DIR}/tiny.ckpt"
+"${BUILD_DIR}/bench/bench_serve_load" --write-tiny-ckpt "${CKPT}"
+
+# Ephemeral port: the server logs "serving JSONL on 127.0.0.1:<port>" to
+# stderr once the listener is bound.
+SERVER_LOG="${WORK_DIR}/server.log"
+"${BUILD_DIR}/tools/tailormatch" serve --model "${CKPT}" --port 0 \
+  --max-batch 8 --max-wait-us 200 2>"${SERVER_LOG}" &
+SERVER_PID="$!"
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*serving JSONL on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${SERVER_LOG}" | head -n1)"
+  [ -n "${PORT}" ] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server exited before binding; log:" >&2
+    cat "${SERVER_LOG}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "${PORT}" ]; then
+  echo "server never reported its port; log:" >&2
+  cat "${SERVER_LOG}" >&2
+  exit 1
+fi
+
+# --shutdown makes the smoke client's last request stop the server, so a
+# clean exit of both processes is part of the check.
+"${BUILD_DIR}/bench/bench_serve_load" --connect "${PORT}" --shutdown
+wait "${SERVER_PID}"
+SERVER_PID=""
+
+echo "check-serve: suites + TCP smoke on port ${PORT} clean"

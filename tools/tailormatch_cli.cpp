@@ -7,6 +7,10 @@
 //   tailormatch evaluate   --model model.ckpt --benchmark wdc-small
 //                          [--prompt simple-force] [--by-corner]
 //   tailormatch match      --model model.ckpt --left "..." --right "..."
+//   tailormatch serve      --model model.ckpt [--port N] [--max-batch K]
+//                          [--max-wait-us U] [--workers W] [--queue-cap Q]
+//                          [--cache-mb M] [--timeout-ms T]
+//                          [--dispatch-cost-us D]
 //   tailormatch export     --benchmark wdc-small --split train
 //                          --format csv|jsonl --out pairs.csv
 //   tailormatch benchmarks | families
@@ -19,6 +23,7 @@
 // Honors TM_SCALE / TM_EVAL_MAX / TM_EPOCHS / TM_CACHE_DIR.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,6 +36,10 @@
 #include "eval/evaluator.h"
 #include "eval/metrics_report.h"
 #include "obs/metrics.h"
+#include "serve/jsonl_server.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_registry.h"
+#include "serve/result_cache.h"
 #include "util/string_util.h"
 
 using namespace tailormatch;
@@ -124,6 +133,11 @@ int Usage() {
       "                             dir and skip them when re-run\n"
       "  evaluate   --model PATH --benchmark B [--prompt P] [--by-corner]\n"
       "  match      --model PATH --left TEXT --right TEXT [--scholar]\n"
+      "  serve      --model PATH  JSONL server on stdin/stdout, or with\n"
+      "             [--port N] on 127.0.0.1:N (0 = pick a free port)\n"
+      "             [--max-batch K] [--max-wait-us U] [--workers W]\n"
+      "             [--queue-cap Q] [--cache-mb M] [--timeout-ms T]\n"
+      "             [--dispatch-cost-us D] [--scholar]\n"
       "  export     --benchmark B [--split train|valid|test]\n"
       "             [--format csv|jsonl] --out PATH\n"
       "  benchmarks | families\n"
@@ -276,6 +290,55 @@ int CmdMatch(const ArgMap& args) {
   return 0;
 }
 
+int CmdServe(const ArgMap& args) {
+  const std::string model_path = args.Get("model", "");
+  if (model_path.empty()) return Usage();
+  const auto int_arg = [&args](const char* key, int fallback) {
+    const std::string text = args.Get(key, "");
+    return text.empty() ? fallback : std::atoi(text.c_str());
+  };
+
+  serve::ModelRegistry registry;
+  Status registered = registry.Register("default", model_path);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n",
+                 registered.ToString().c_str());
+    return 1;
+  }
+
+  serve::MicroBatcherConfig batcher_config;
+  batcher_config.max_batch = int_arg("max-batch", 8);
+  batcher_config.max_wait_us = int_arg("max-wait-us", 200);
+  batcher_config.queue_capacity = int_arg("queue-cap", 1024);
+  batcher_config.num_workers = int_arg("workers", 1);
+  batcher_config.dispatch_cost_us = int_arg("dispatch-cost-us", 0);
+  const int cache_mb = int_arg("cache-mb", 16);
+  if (cache_mb > 0) {
+    batcher_config.cache = std::make_shared<serve::ResultCache>(
+        static_cast<size_t>(cache_mb) << 20);
+  }
+  serve::MicroBatcher batcher(batcher_config);
+
+  serve::JsonlServerConfig server_config;
+  server_config.request_timeout_ms = int_arg("timeout-ms", 0);
+  if (args.Has("scholar")) {
+    server_config.default_domain = data::Domain::kScholar;
+  }
+  serve::JsonlServer server(&registry, &batcher, server_config);
+
+  if (args.Has("port")) {
+    Status status = server.ServeTcp(int_arg("port", 0));
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  } else {
+    server.ServeStream(std::cin, std::cout);
+  }
+  batcher.Shutdown();
+  return 0;
+}
+
 int CmdExport(const ArgMap& args) {
   auto benchmark_id = ParseBenchmark(args.Get("benchmark", "wdc-small"));
   const std::string out = args.Get("out", "");
@@ -343,6 +406,8 @@ int main(int argc, char** argv) {
     rc = CmdEvaluate(args);
   } else if (command == "match") {
     rc = CmdMatch(args);
+  } else if (command == "serve") {
+    rc = CmdServe(args);
   } else if (command == "export") {
     rc = CmdExport(args);
   } else if (command == "benchmarks") {
