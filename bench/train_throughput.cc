@@ -1,0 +1,207 @@
+// Data-parallel training throughput: examples/sec and epoch wall-time at
+// TM_TRAIN_THREADS {1, 2, 4, 8}, plus the determinism hash that proves every
+// worker count trained to the same bits.
+//
+//   bench_train_throughput       run both sweeps, write BENCH_train.json
+//
+// Two cost profiles:
+//   - compute-only: the raw simulated model, which is CPU-bound — on a
+//     single-core host extra workers cannot beat the serial path, so this
+//     row is the honesty check, not the headline;
+//   - accelerator-bound: each example additionally holds its worker for
+//     sim_example_cost_us (the trainer's analog of the micro-batcher's
+//     dispatch_cost_us), modelling a backend where per-example latency, not
+//     host arithmetic, dominates. Overlapping that latency is exactly what
+//     the data-parallel trainer buys, and it is the headline regime.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "llm/trainer.h"
+#include "text/tokenizer.h"
+
+namespace tailormatch {
+namespace {
+
+std::vector<std::pair<std::string, bool>> KeywordTask() {
+  std::vector<std::pair<std::string, bool>> data;
+  const char* positives[] = {
+      "entity 1: alpha same entity 2: beta", "same entity 1: x entity 2: y",
+      "entity 1: gamma entity 2: same delta"};
+  const char* negatives[] = {
+      "entity 1: alpha entity 2: beta", "entity 1: x entity 2: y other",
+      "entity 1: gamma entity 2: delta"};
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    for (const char* text : positives) data.emplace_back(text, true);
+    for (const char* text : negatives) data.emplace_back(text, false);
+  }
+  return data;
+}
+
+llm::SimLlm MakeBenchModel() {
+  std::vector<std::string> corpus;
+  for (auto& [text, label] : KeywordTask()) corpus.push_back(text);
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1200, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 24;
+  config.init_seed = 11;
+  return llm::SimLlm(config, std::move(tokenizer));
+}
+
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t hash) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+struct RunResult {
+  std::string profile;
+  int threads = 0;
+  double examples_per_sec = 0.0;
+  double epoch_ms = 0.0;
+  uint64_t hash = 0;
+};
+
+RunResult RunOnce(const std::string& profile, int threads, int sim_cost_us) {
+  llm::SimLlm model = MakeBenchModel();
+  const auto task = KeywordTask();
+  std::vector<llm::TrainExample> examples;
+  for (auto& [text, label] : task) {
+    examples.push_back(model.EncodeExample(text, label));
+  }
+  llm::TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 32;
+  options.learning_rate = 5e-3f;
+  options.seed = 3;
+  options.num_threads = threads;
+  options.sim_example_cost_us = sim_cost_us;
+
+  const auto start = std::chrono::steady_clock::now();
+  llm::TrainStats stats = llm::TrainModel(model, examples, options);
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const auto& tensor : model.SnapshotState()) {
+    hash = Fnv1a(tensor.data(), tensor.size() * sizeof(float), hash);
+  }
+  for (double loss : stats.epoch_train_loss) {
+    hash = Fnv1a(&loss, sizeof(loss), hash);
+  }
+
+  RunResult result;
+  result.profile = profile;
+  result.threads = threads;
+  result.epoch_ms = total_ms / options.epochs;
+  result.examples_per_sec =
+      static_cast<double>(examples.size()) * options.epochs /
+      (total_ms / 1000.0);
+  result.hash = hash;
+  return result;
+}
+
+int Run() {
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  // Accelerator-bound profile: 1500us of simulated backend latency per
+  // example, large enough that overlap — not host arithmetic — decides the
+  // epoch wall-time.
+  const int kSimCostUs = 1500;
+
+  std::vector<RunResult> runs;
+  std::printf("%-18s %8s %14s %10s %18s\n", "profile", "threads",
+              "examples/s", "epoch_ms", "hash");
+  for (const std::string& profile : {std::string("compute_only"),
+                                     std::string("accelerator_bound")}) {
+    const int cost = profile == "compute_only" ? 0 : kSimCostUs;
+    for (int threads : thread_counts) {
+      RunResult run = RunOnce(profile, threads, cost);
+      runs.push_back(run);
+      std::printf("%-18s %8d %14.1f %10.2f   %016llx\n", run.profile.c_str(),
+                  run.threads, run.examples_per_sec, run.epoch_ms,
+                  static_cast<unsigned long long>(run.hash));
+    }
+  }
+
+  // Each profile must train to the same bits at every worker count.
+  bool determinism_ok = true;
+  for (const RunResult& run : runs) {
+    for (const RunResult& other : runs) {
+      if (run.profile == other.profile && run.hash != other.hash) {
+        determinism_ok = false;
+      }
+    }
+  }
+
+  double accel_1 = 0.0, accel_8 = 0.0, accel_8_epoch_ms = 0.0;
+  uint64_t accel_hash = 0;
+  for (const RunResult& run : runs) {
+    if (run.profile != "accelerator_bound") continue;
+    if (run.threads == 1) accel_1 = run.examples_per_sec;
+    if (run.threads == 8) {
+      accel_8 = run.examples_per_sec;
+      accel_8_epoch_ms = run.epoch_ms;
+      accel_hash = run.hash;
+    }
+  }
+  const double speedup = accel_1 > 0.0 ? accel_8 / accel_1 : 0.0;
+  std::printf("\nheadline: accelerator-bound (%dus/example): 8 threads "
+              "%.1f vs 1 thread %.1f examples/s -> %.2fx, determinism %s\n",
+              kSimCostUs, accel_8, accel_1, speedup,
+              determinism_ok ? "ok" : "MISMATCH");
+
+  std::string json = "{\n  \"bench\": \"train_throughput\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"profile\":\"%s\",\"threads\":%d,"
+                  "\"examples_per_sec\":%.1f,\"epoch_ms\":%.2f,"
+                  "\"hash\":\"%016llx\"}",
+                  runs[i].profile.c_str(), runs[i].threads,
+                  runs[i].examples_per_sec, runs[i].epoch_ms,
+                  static_cast<unsigned long long>(runs[i].hash));
+    json += line;
+    json += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  char headline[320];
+  std::snprintf(headline, sizeof(headline),
+                "  ],\n  \"headline\": {\"profile\":\"accelerator_bound\","
+                "\"sim_example_cost_us\":%d,"
+                "\"threads1_examples_per_sec\":%.1f,"
+                "\"threads8_examples_per_sec\":%.1f,"
+                "\"threads8_epoch_ms\":%.2f,\"speedup\":%.2f,"
+                "\"determinism_hash\":\"%016llx\",\"determinism_ok\":%s}\n}\n",
+                kSimCostUs, accel_1, accel_8, accel_8_epoch_ms, speedup,
+                static_cast<unsigned long long>(accel_hash),
+                determinism_ok ? "true" : "false");
+  json += headline;
+
+  FILE* out = std::fopen("BENCH_train.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_train.json\n");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_train.json (%zu runs)\n", runs.size());
+  return determinism_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tailormatch
+
+int main() { return tailormatch::Run(); }

@@ -74,6 +74,37 @@ void PrintMetricsReport(const obs::MetricsSnapshot& snapshot,
       table.Print(out);
     }
   }
+  // Training-throughput summary: present whenever the trainer recorded its
+  // per-epoch timing (the data-parallel trainer sets both on every completed
+  // epoch).
+  {
+    const double* examples_per_sec = nullptr;
+    for (const auto& [name, value] : snapshot.gauges) {
+      if (name == "trainer.examples_per_sec") examples_per_sec = &value;
+    }
+    const obs::HistogramStats* epoch_wall = nullptr;
+    for (const obs::HistogramStats& h : snapshot.histograms) {
+      if (h.name == "trainer.epoch_wall_time") epoch_wall = &h;
+    }
+    if (examples_per_sec != nullptr || epoch_wall != nullptr) {
+      out << "training throughput:\n";
+      TablePrinter table({"metric", "value"});
+      if (examples_per_sec != nullptr) {
+        table.AddRow({"examples/sec (last epoch)",
+                      StrFormat("%.1f", *examples_per_sec)});
+      }
+      if (epoch_wall != nullptr) {
+        table.AddRow({"epochs timed",
+                      StrFormat("%lld",
+                                static_cast<long long>(epoch_wall->count))});
+        table.AddRow({"epoch wall p50 (ms)",
+                      StrFormat("%.3f", epoch_wall->p50)});
+        table.AddRow({"epoch wall max (ms)",
+                      StrFormat("%.3f", epoch_wall->max)});
+      }
+      table.Print(out);
+    }
+  }
   if (!snapshot.histograms.empty()) {
     out << "histograms (latencies in ms):\n";
     TablePrinter table({"histogram", "count", "p50", "p95", "p99", "max"});

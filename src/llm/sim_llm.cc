@@ -159,15 +159,21 @@ double SimLlm::PredictMatchProbability(const std::string& prompt_text) const {
 
 std::vector<double> SimLlm::PredictMatchProbabilities(
     const std::vector<std::string>& prompts, int num_threads) const {
+  // An empty batch would only pollute the batch-size histogram and pay a
+  // pointless pool dispatch.
+  if (prompts.empty()) return {};
   static obs::Histogram& batch_size =
       obs::MetricsRegistry::Global().GetHistogram("sim_llm.batch_size");
   batch_size.Record(static_cast<double>(prompts.size()));
   std::vector<double> probabilities(prompts.size());
+  const size_t threads = static_cast<size_t>(std::max(1, num_threads));
+  // Large offline batches amortize queue dispatch by scoring a few prompts
+  // per task; small batches keep grain 1 for full parallelism.
+  const size_t grain = std::max<size_t>(1, prompts.size() / (threads * 8));
   ThreadPool::ParallelFor(
-      prompts.size(),
-      static_cast<size_t>(std::max(1, num_threads)), [&](size_t i) {
-        probabilities[i] = PredictMatchProbability(prompts[i]);
-      });
+      prompts.size(), threads,
+      [&](size_t i) { probabilities[i] = PredictMatchProbability(prompts[i]); },
+      grain);
   return probabilities;
 }
 
@@ -211,6 +217,12 @@ nn::Tensor SimLlm::ForwardLoss(const TrainExample& example, bool training,
     loss = nn::Add(loss, nn::Scale(text_loss, example.aux_weight));
   }
   return loss;
+}
+
+nn::Tensor SimLlm::ForwardLoss(const TrainExample& example, bool training,
+                               uint64_t rng_stream) const {
+  Rng rng = Rng::ForStream(config_.init_seed, rng_stream);
+  return ForwardLoss(example, training, rng);
 }
 
 std::vector<nn::Tensor> SimLlm::TrainableParameters() const {

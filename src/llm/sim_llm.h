@@ -89,6 +89,13 @@ class SimLlm {
   nn::Tensor ForwardLoss(const TrainExample& example, bool training,
                          Rng& rng) const;
 
+  // Counter-based variant for data-parallel training: dropout draws come
+  // from a private generator derived from `rng_stream` (see Rng::ForStream),
+  // so the mask depends only on the stream id — not on which worker runs the
+  // example or how many forwards preceded it.
+  nn::Tensor ForwardLoss(const TrainExample& example, bool training,
+                         uint64_t rng_stream) const;
+
   // Tensors the optimizer should update in the current mode.
   std::vector<nn::Tensor> TrainableParameters() const;
   // Every weight tensor (for snapshots and checkpoints).

@@ -5,33 +5,18 @@
 #include <cstdlib>
 #include <memory>
 #include <numeric>
+#include <thread>
 
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tailormatch::llm {
 
 namespace {
-
-// Learning rate at optimizer step `step` of `total_steps`.
-float ScheduledLr(const TrainOptions& options, int64_t step,
-                  int64_t total_steps) {
-  if (options.schedule == LrSchedule::kConstant || total_steps <= 1) {
-    return options.learning_rate;
-  }
-  const float progress =
-      static_cast<float>(step) / static_cast<float>(total_steps - 1);
-  const float floor = options.learning_rate * options.lr_floor_fraction;
-  if (options.schedule == LrSchedule::kLinear) {
-    return floor + (options.learning_rate - floor) * (1.0f - progress);
-  }
-  // Cosine decay.
-  const float cosine = 0.5f * (1.0f + std::cos(3.14159265f * progress));
-  return floor + (options.learning_rate - floor) * cosine;
-}
 
 int ResolveMaxRollbacks(const TrainOptions& options) {
   if (options.max_rollbacks >= 0) return options.max_rollbacks;
@@ -45,7 +30,51 @@ float ResolveLrBackoff(const TrainOptions& options) {
   return env != nullptr ? static_cast<float>(std::atof(env)) : 0.5f;
 }
 
+int ResolveTrainThreads(const TrainOptions& options) {
+  if (options.num_threads > 0) return options.num_threads;
+  const char* env = std::getenv("TM_TRAIN_THREADS");
+  const int value = env != nullptr ? std::atoi(env) : 1;
+  return value > 0 ? value : 1;
+}
+
+// Keeps per-slot gradient arenas alive exactly as long as the training run
+// that needs them.
+struct GradSlotsGuard {
+  GradSlotsGuard(std::vector<nn::Tensor>& params, int num_slots)
+      : params_(params) {
+    nn::EnableGradSlots(params_, num_slots);
+  }
+  ~GradSlotsGuard() { nn::DisableGradSlots(params_); }
+  std::vector<nn::Tensor>& params_;
+};
+
 }  // namespace
+
+float ScheduledLr(const TrainOptions& options, int64_t step,
+                  int64_t total_steps) {
+  const int64_t warmup_steps =
+      options.warmup_fraction > 0.0f
+          ? static_cast<int64_t>(options.warmup_fraction *
+                                 static_cast<float>(total_steps))
+          : 0;
+  if (step < warmup_steps) {
+    return options.learning_rate * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps);
+  }
+  const int64_t decay_steps = total_steps - warmup_steps;
+  if (options.schedule == LrSchedule::kConstant || decay_steps <= 1) {
+    return options.learning_rate;
+  }
+  const float progress = static_cast<float>(step - warmup_steps) /
+                         static_cast<float>(decay_steps - 1);
+  const float floor = options.learning_rate * options.lr_floor_fraction;
+  if (options.schedule == LrSchedule::kLinear) {
+    return floor + (options.learning_rate - floor) * (1.0f - progress);
+  }
+  // Cosine decay.
+  const float cosine = 0.5f * (1.0f + std::cos(3.14159265f * progress));
+  return floor + (options.learning_rate - floor) * cosine;
+}
 
 TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
                       const TrainOptions& options,
@@ -55,6 +84,7 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
   TM_CHECK_GT(options.batch_size, 0);
   const int max_rollbacks = ResolveMaxRollbacks(options);
   const float lr_backoff = ResolveLrBackoff(options);
+  const int num_threads = ResolveTrainThreads(options);
 
   TrainStats stats;
   Rng rng(options.seed);
@@ -73,15 +103,34 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
   obs::Gauge& epoch_clip_gauge = registry.GetGauge("trainer.epoch_clip_events");
   obs::Gauge& valid_gauge = registry.GetGauge("trainer.valid_score");
   obs::Gauge& effective_lr_gauge = registry.GetGauge("trainer.effective_lr");
+  obs::Gauge& throughput_gauge =
+      registry.GetGauge("trainer.examples_per_sec");
+  obs::Histogram& epoch_wall_time =
+      registry.GetHistogram("trainer.epoch_wall_time");
   fault::FaultInjector& faults = fault::FaultInjector::Global();
 
   std::vector<size_t> order(examples.size());
   std::iota(order.begin(), order.end(), 0);
 
+  const size_t batch_size = static_cast<size_t>(options.batch_size);
   const int64_t steps_per_epoch =
       (static_cast<int64_t>(examples.size()) + options.batch_size - 1) /
       options.batch_size;
   const int64_t total_steps = steps_per_epoch * options.epochs;
+
+  // Data-parallel plumbing: every example in a batch gets a private gradient
+  // slot (its position in the batch); workers run forward/backward passes
+  // concurrently, each scoped to its slot, and the slots are merged in batch
+  // order before the optimizer step. Because the merge order is the example
+  // order — not the completion order — the summed gradient, and therefore
+  // every downstream clip event and weight update, is bitwise identical for
+  // any worker count. The serial path runs the very same slot/merge code.
+  std::vector<nn::Tensor> params = model.TrainableParameters();
+  GradSlotsGuard slots_guard(params, options.batch_size);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(num_threads));
+  }
 
   // Divergence recovery state: the snapshot taken after the last completed
   // epoch (initially the untrained weights) and the LR backoff in effect.
@@ -89,20 +138,25 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
   float lr_scale = 1.0f;
 
   std::vector<std::vector<float>> best_state;
+  // Counts every epoch attempt, including rollback retries. Keys the
+  // per-example dropout streams so a retried epoch draws fresh masks
+  // regardless of how it is scheduled across workers.
+  uint64_t attempt = 0;
   int epoch = 0;
   while (epoch < options.epochs) {
     // Retried epochs restart the schedule position so a rollback does not
     // skip ahead in the decay.
     int64_t step = static_cast<int64_t>(epoch) * steps_per_epoch;
     rng.Shuffle(order);
+    const uint64_t attempt_salt = attempt++;
     double epoch_loss = 0.0;
-    int in_batch = 0;
     int64_t epoch_clips = 0;
     bool diverged = false;
     optimizer->ZeroGrad();
+    const auto epoch_start = std::chrono::steady_clock::now();
     // One "step" spans the forward/backward work of a whole batch plus the
     // clipped optimizer update that closes it.
-    auto step_start = std::chrono::steady_clock::now();
+    auto step_start = epoch_start;
     const auto take_step = [&] {
       const float norm = nn::ClipGradNorm(optimizer->params(),
                                           options.clip_norm);
@@ -124,29 +178,54 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
       step_latency.Record(obs::MillisSince(step_start));
       step_start = std::chrono::steady_clock::now();
     };
-    for (size_t idx : order) {
-      nn::Tensor loss = model.ForwardLoss(examples[idx], /*training=*/true,
-                                          rng);
-      double loss_value = loss.item();
-      faults.OnValue("trainer.loss", &loss_value);
-      if (!std::isfinite(loss_value)) {
-        diverged = true;
-        break;
+    std::vector<double> losses(batch_size);
+    for (size_t batch_begin = 0;
+         batch_begin < order.size() && !diverged;
+         batch_begin += batch_size) {
+      const size_t batch_count =
+          std::min(batch_size, order.size() - batch_begin);
+      const auto run_example = [&](size_t i) {
+        nn::GradSlotScope slot_scope(static_cast<int>(i));
+        // Counter-based stream: a pure function of (seed, attempt, position
+        // in the shuffled epoch) — never of worker id or execution order.
+        const uint64_t stream = Rng::MixStream(
+            options.seed, (attempt_salt << 32) | (batch_begin + i));
+        nn::Tensor loss = model.ForwardLoss(examples[order[batch_begin + i]],
+                                            /*training=*/true, stream);
+        losses[i] = loss.item();
+        // Mean-reduce over the batch by scaling each example's loss.
+        nn::Scale(loss, 1.0f / static_cast<float>(options.batch_size))
+            .Backward();
+        if (options.sim_example_cost_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(options.sim_example_cost_us));
+        }
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(batch_count, run_example);
+      } else {
+        for (size_t i = 0; i < batch_count; ++i) run_example(i);
       }
-      epoch_loss += loss_value;
-      // Mean-reduce over the batch by scaling each example's loss.
-      nn::Scale(loss, 1.0f / static_cast<float>(options.batch_size))
-          .Backward();
-      if (++in_batch == options.batch_size) {
-        take_step();
-        in_batch = 0;
-        if (diverged) break;
+      // Fault arrivals and loss accumulation happen on this thread in batch
+      // order, so injection points (e.g. "nth loss goes NaN") fire at the
+      // same example as in a serial run.
+      for (size_t i = 0; i < batch_count; ++i) {
+        faults.OnValue("trainer.loss", &losses[i]);
+        if (!std::isfinite(losses[i])) {
+          diverged = true;
+          break;
+        }
+        epoch_loss += losses[i];
       }
-    }
-    if (!diverged && in_batch > 0) {
+      if (diverged) break;
+      nn::ReduceGradSlots(params, static_cast<int>(batch_count));
       take_step();
     }
+    const double epoch_ms = obs::MillisSince(epoch_start);
     if (diverged) {
+      // Unmerged partials from the aborted batch must not leak into the
+      // retry.
+      nn::ClearGradSlots(params);
       model.RestoreState(last_good_state);
       if (stats.rollbacks >= max_rollbacks) {
         TM_LOG(Error) << "training diverged in epoch " << epoch + 1
@@ -167,6 +246,11 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
                       << options.learning_rate * lr_scale << " (rollback "
                       << stats.rollbacks << "/" << max_rollbacks << ")";
       continue;  // retry the same epoch
+    }
+    epoch_wall_time.Record(epoch_ms);
+    if (epoch_ms > 0.0) {
+      throughput_gauge.Set(static_cast<double>(examples.size()) /
+                           (epoch_ms / 1000.0));
     }
     stats.epoch_train_loss.push_back(epoch_loss /
                                      static_cast<double>(examples.size()));

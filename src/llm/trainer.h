@@ -27,6 +27,19 @@ struct TrainOptions {
   LrSchedule schedule = LrSchedule::kConstant;
   // Final learning rate as a fraction of the peak (cosine/linear only).
   float lr_floor_fraction = 0.1f;
+  // Fraction of total steps spent ramping linearly from ~0 to the peak
+  // before the configured schedule takes over; 0 disables warmup.
+  float warmup_fraction = 0.0f;
+  // Data-parallel training: number of workers that fan out each batch's
+  // forward/backward passes. Results are bitwise identical for any worker
+  // count (see DESIGN.md §5e). <= 0 resolves from TM_TRAIN_THREADS
+  // (default 1, i.e. serial).
+  int num_threads = 0;
+  // Benchmark-only cost model: each example's forward/backward additionally
+  // holds its worker for this long, simulating the per-example latency of an
+  // accelerator-bound backend (the analog of the micro-batcher's
+  // dispatch_cost_us). 0 in all production paths.
+  int sim_example_cost_us = 0;
   // When a validation callback is supplied, the checkpoint with the best
   // validation score is restored at the end (the paper selects the best of
   // the per-epoch checkpoints).
@@ -54,6 +67,12 @@ struct TrainStats {
 
 // Scores a model (higher = better); typically validation-set F1.
 using ValidationFn = std::function<double(const SimLlm&)>;
+
+// Learning rate at optimizer step `step` of `total_steps` under `options`'
+// schedule: optional linear warmup (warmup_fraction), then constant /
+// linear / cosine decay to lr_floor_fraction of the peak.
+float ScheduledLr(const TrainOptions& options, int64_t step,
+                  int64_t total_steps);
 
 // Trains `model` in place on `examples` (pretraining when the backbone is
 // trainable, LoRA fine-tuning when adapters are enabled) and returns

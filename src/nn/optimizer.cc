@@ -10,6 +10,10 @@ float ClipGradNorm(std::vector<Tensor>& params, float max_norm) {
     for (float g : p.grad()) total += static_cast<double>(g) * g;
   }
   const float norm = static_cast<float>(std::sqrt(total));
+  // A non-finite norm means the gradients are already poisoned; scaling by
+  // max_norm/inf would silently zero them, so leave them untouched and let
+  // the caller's divergence handling inspect the originals.
+  if (!std::isfinite(norm)) return norm;
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (Tensor& p : params) {

@@ -1,6 +1,8 @@
 #include "nn/tensor.h"
 
 #include <cmath>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "nn/kernels.h"
@@ -8,6 +10,76 @@
 namespace tailormatch::nn {
 
 using internal::TensorImpl;
+
+namespace internal {
+
+namespace {
+// -1 = no scope: AccumGrad falls through to the shared grad buffer.
+thread_local int g_active_grad_slot = -1;
+}  // namespace
+
+int ActiveGradSlot() { return g_active_grad_slot; }
+
+std::vector<float>& TensorImpl::AccumGrad() {
+  if (!grad_slots.empty()) {
+    const int slot = g_active_grad_slot;
+    if (slot >= 0) {
+      TM_CHECK_LT(static_cast<size_t>(slot), grad_slots.size());
+      std::vector<float>& buf = grad_slots[static_cast<size_t>(slot)];
+      if (buf.size() != value.size()) buf.assign(value.size(), 0.0f);
+      return buf;
+    }
+  }
+  EnsureGrad();
+  return grad;
+}
+
+}  // namespace internal
+
+GradSlotScope::GradSlotScope(int slot) : prev_(internal::g_active_grad_slot) {
+  TM_CHECK_GE(slot, 0);
+  internal::g_active_grad_slot = slot;
+}
+
+GradSlotScope::~GradSlotScope() { internal::g_active_grad_slot = prev_; }
+
+void EnableGradSlots(std::vector<Tensor>& params, int num_slots) {
+  TM_CHECK_GT(num_slots, 0);
+  for (Tensor& p : params) {
+    p.impl()->grad_slots.resize(static_cast<size_t>(num_slots));
+  }
+}
+
+void DisableGradSlots(std::vector<Tensor>& params) {
+  for (Tensor& p : params) {
+    p.impl()->grad_slots.clear();
+    p.impl()->grad_slots.shrink_to_fit();
+  }
+}
+
+void ReduceGradSlots(std::vector<Tensor>& params, int num_slots) {
+  for (Tensor& p : params) {
+    TensorImpl* impl = p.impl().get();
+    TM_CHECK_LE(static_cast<size_t>(num_slots), impl->grad_slots.size());
+    impl->EnsureGrad();
+    for (int s = 0; s < num_slots; ++s) {
+      std::vector<float>& buf = impl->grad_slots[static_cast<size_t>(s)];
+      if (buf.empty()) continue;  // slot never touched this batch
+      for (size_t i = 0; i < buf.size(); ++i) {
+        impl->grad[i] += buf[i];
+        buf[i] = 0.0f;
+      }
+    }
+  }
+}
+
+void ClearGradSlots(std::vector<Tensor>& params) {
+  for (Tensor& p : params) {
+    for (std::vector<float>& buf : p.impl()->grad_slots) {
+      if (!buf.empty()) buf.assign(buf.size(), 0.0f);
+    }
+  }
+}
 
 Tensor::Tensor(int rows, int cols, bool requires_grad)
     : impl_(std::make_shared<TensorImpl>()) {
@@ -92,6 +164,44 @@ Tensor MakeResult(int rows, int cols,
   return out;
 }
 
+// Accumulation buffer for one backward closure's contribution to one tensor.
+// For leaf parameters the contribution is folded locally from zero and
+// committed with a single += per element at destruction; for intermediates
+// it is a direct pointer into the grad buffer (no copy). The single commit
+// point is what makes per-example gradient slots merged in batch order
+// (ReduceGradSlots) bitwise equal to serial accumulation: float addition
+// only regroups safely around one += per element per closure, and kernels
+// like the blocked GEMM or the layernorm row reduction otherwise fold many
+// partial adds directly into the running buffer (DESIGN.md §5e).
+class GradAccum {
+ public:
+  explicit GradAccum(TensorImpl* t) {
+    std::vector<float>& g = t->AccumGrad();
+    if (t->requires_grad && t->parents.empty()) {
+      target_ = &g;
+      scratch_.assign(g.size(), 0.0f);
+      buf_ = scratch_.data();
+    } else {
+      buf_ = g.data();
+    }
+  }
+  ~GradAccum() {
+    if (target_ != nullptr) {
+      float* g = target_->data();
+      for (size_t i = 0; i < scratch_.size(); ++i) g[i] += scratch_[i];
+    }
+  }
+  GradAccum(const GradAccum&) = delete;
+  GradAccum& operator=(const GradAccum&) = delete;
+
+  float* data() { return buf_; }
+
+ private:
+  std::vector<float>* target_ = nullptr;
+  std::vector<float> scratch_;
+  float* buf_ = nullptr;
+};
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -107,14 +217,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     out.impl()->backward_fn = [ai, bi, oi, m, k, n]() {
       const float* og = oi->grad.data();
       if (ai->requires_grad) {
-        ai->EnsureGrad();
         // dA(m x k) += dOut(m x n) * B(k x n)^T
-        kernels::GemmNT(m, k, n, og, bi->value.data(), ai->grad.data());
+        GradAccum ag(ai.get());
+        kernels::GemmNT(m, k, n, og, bi->value.data(), ag.data());
       }
       if (bi->requires_grad) {
-        bi->EnsureGrad();
         // dB(k x n) += A(m x k)^T * dOut(m x n)
-        kernels::GemmTN(k, n, m, ai->value.data(), og, bi->grad.data());
+        GradAccum bg(bi.get());
+        kernels::GemmTN(k, n, m, ai->value.data(), og, bg.data());
       }
     };
   }
@@ -133,12 +243,12 @@ Tensor Add(const Tensor& a, const Tensor& b) {
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, bi, oi]() {
       if (ai->requires_grad) {
-        ai->EnsureGrad();
-        for (size_t i = 0; i < oi->grad.size(); ++i) ai->grad[i] += oi->grad[i];
+        std::vector<float>& ag = ai->AccumGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) ag[i] += oi->grad[i];
       }
       if (bi->requires_grad) {
-        bi->EnsureGrad();
-        for (size_t i = 0; i < oi->grad.size(); ++i) bi->grad[i] += oi->grad[i];
+        std::vector<float>& bg = bi->AccumGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) bg[i] += oi->grad[i];
       }
     };
   }
@@ -162,13 +272,14 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
     const int rows = a.rows();
     out.impl()->backward_fn = [ai, ri, oi, rows, n]() {
       if (ai->requires_grad) {
-        ai->EnsureGrad();
-        for (size_t i = 0; i < oi->grad.size(); ++i) ai->grad[i] += oi->grad[i];
+        std::vector<float>& ag = ai->AccumGrad();
+        for (size_t i = 0; i < oi->grad.size(); ++i) ag[i] += oi->grad[i];
       }
       if (ri->requires_grad) {
-        ri->EnsureGrad();
+        GradAccum rg(ri.get());
+        float* r = rg.data();
         for (int i = 0; i < rows; ++i) {
-          for (int j = 0; j < n; ++j) ri->grad[j] += oi->grad[i * n + j];
+          for (int j = 0; j < n; ++j) r[j] += oi->grad[i * n + j];
         }
       }
     };
@@ -188,15 +299,15 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, bi, oi]() {
       if (ai->requires_grad) {
-        ai->EnsureGrad();
+        std::vector<float>& ag = ai->AccumGrad();
         for (size_t i = 0; i < oi->grad.size(); ++i) {
-          ai->grad[i] += oi->grad[i] * bi->value[i];
+          ag[i] += oi->grad[i] * bi->value[i];
         }
       }
       if (bi->requires_grad) {
-        bi->EnsureGrad();
+        std::vector<float>& bg = bi->AccumGrad();
         for (size_t i = 0; i < oi->grad.size(); ++i) {
-          bi->grad[i] += oi->grad[i] * ai->value[i];
+          bg[i] += oi->grad[i] * ai->value[i];
         }
       }
     };
@@ -213,9 +324,9 @@ Tensor Scale(const Tensor& a, float s) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi, s]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       for (size_t i = 0; i < oi->grad.size(); ++i) {
-        ai->grad[i] += oi->grad[i] * s;
+        ag[i] += oi->grad[i] * s;
       }
     };
   }
@@ -231,9 +342,9 @@ Tensor Relu(const Tensor& a) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       for (size_t i = 0; i < oi->grad.size(); ++i) {
-        if (ai->value[i] > 0.0f) ai->grad[i] += oi->grad[i];
+        if (ai->value[i] > 0.0f) ag[i] += oi->grad[i];
       }
     };
   }
@@ -255,14 +366,14 @@ Tensor Gelu(const Tensor& a) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       for (size_t i = 0; i < oi->grad.size(); ++i) {
         const float x = ai->value[i];
         const float u = kGeluC * (x + 0.044715f * x * x * x);
         const float t = std::tanh(u);
         const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
         const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-        ai->grad[i] += oi->grad[i] * d;
+        ag[i] += oi->grad[i] * d;
       }
     };
   }
@@ -276,10 +387,10 @@ Tensor Tanh(const Tensor& a) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       for (size_t i = 0; i < oi->grad.size(); ++i) {
         const float y = oi->value[i];
-        ai->grad[i] += oi->grad[i] * (1.0f - y * y);
+        ag[i] += oi->grad[i] * (1.0f - y * y);
       }
     };
   }
@@ -295,9 +406,9 @@ Tensor Softmax(const Tensor& a) {
     auto oi = out.impl().get();
     const int rows = a.rows();
     out.impl()->backward_fn = [ai, oi, rows, n]() {
-      ai->EnsureGrad();
+      GradAccum ag(ai.get());
       kernels::SoftmaxBackwardRows(rows, n, oi->value.data(), oi->grad.data(),
-                                   ai->grad.data());
+                                   ag.data());
     };
   }
   return out;
@@ -324,24 +435,14 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gain, const Tensor& bias,
     auto oi = out.impl().get();
     const int rows = a.rows();
     out.impl()->backward_fn = [ai, gi, bi, oi, stats, rows, n]() {
-      float* dgain = nullptr;
-      float* dbias = nullptr;
-      float* dx = nullptr;
-      if (gi->requires_grad) {
-        gi->EnsureGrad();
-        dgain = gi->grad.data();
-      }
-      if (bi->requires_grad) {
-        bi->EnsureGrad();
-        dbias = bi->grad.data();
-      }
-      if (ai->requires_grad) {
-        ai->EnsureGrad();
-        dx = ai->grad.data();
-      }
-      kernels::LayerNormBackwardRows(rows, n, ai->value.data(),
-                                     gi->value.data(), stats->data(),
-                                     oi->grad.data(), dx, dgain, dbias);
+      std::optional<GradAccum> dgain, dbias, dx;
+      if (gi->requires_grad) dgain.emplace(gi.get());
+      if (bi->requires_grad) dbias.emplace(bi.get());
+      if (ai->requires_grad) dx.emplace(ai.get());
+      kernels::LayerNormBackwardRows(
+          rows, n, ai->value.data(), gi->value.data(), stats->data(),
+          oi->grad.data(), dx ? dx->data() : nullptr,
+          dgain ? dgain->data() : nullptr, dbias ? dbias->data() : nullptr);
     };
   }
   return out;
@@ -359,19 +460,13 @@ Tensor BiasGelu(const Tensor& a, const Tensor& bias) {
     auto bi = bias.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, bi, oi, rows, n]() {
-      float* dx = nullptr;
-      float* dbias = nullptr;
-      if (ai->requires_grad) {
-        ai->EnsureGrad();
-        dx = ai->grad.data();
-      }
-      if (bi->requires_grad) {
-        bi->EnsureGrad();
-        dbias = bi->grad.data();
-      }
+      std::optional<GradAccum> dx, dbias;
+      if (ai->requires_grad) dx.emplace(ai.get());
+      if (bi->requires_grad) dbias.emplace(bi.get());
       kernels::BiasGeluBackwardRows(rows, n, ai->value.data(),
-                                    bi->value.data(), oi->grad.data(), dx,
-                                    dbias);
+                                    bi->value.data(), oi->grad.data(),
+                                    dx ? dx->data() : nullptr,
+                                    dbias ? dbias->data() : nullptr);
     };
   }
   return out;
@@ -389,10 +484,10 @@ Tensor Transpose(const Tensor& a) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi, m, n]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       for (int i = 0; i < m; ++i) {
         for (int j = 0; j < n; ++j) {
-          ai->grad[i * n + j] += oi->grad[j * m + i];
+          ag[i * n + j] += oi->grad[j * m + i];
         }
       }
     };
@@ -413,10 +508,10 @@ Tensor SliceCols(const Tensor& a, int begin, int end) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi, m, n, w, begin]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       for (int i = 0; i < m; ++i) {
         for (int j = 0; j < w; ++j) {
-          ai->grad[i * n + begin + j] += oi->grad[i * w + j];
+          ag[i * n + begin + j] += oi->grad[i * w + j];
         }
       }
     };
@@ -437,10 +532,10 @@ Tensor SliceRows(const Tensor& a, int begin, int end) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi, h, n, begin]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       for (int i = 0; i < h; ++i) {
         for (int j = 0; j < n; ++j) {
-          ai->grad[(begin + i) * n + j] += oi->grad[i * n + j];
+          ag[(begin + i) * n + j] += oi->grad[i * n + j];
         }
       }
     };
@@ -482,10 +577,10 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
       for (auto& pi : impls) {
         const int w = pi->cols;
         if (pi->requires_grad) {
-          pi->EnsureGrad();
+          std::vector<float>& pg = pi->AccumGrad();
           for (int i = 0; i < m; ++i) {
             for (int j = 0; j < w; ++j) {
-              pi->grad[i * w + j] += oi->grad[i * total + offset + j];
+              pg[i * w + j] += oi->grad[i * total + offset + j];
             }
           }
         }
@@ -508,10 +603,10 @@ Tensor MeanRows(const Tensor& a) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi, m, n]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       const float inv = 1.0f / static_cast<float>(m);
       for (int i = 0; i < m; ++i) {
-        for (int j = 0; j < n; ++j) ai->grad[i * n + j] += oi->grad[j] * inv;
+        for (int j = 0; j < n; ++j) ag[i * n + j] += oi->grad[j] * inv;
       }
     };
   }
@@ -540,9 +635,9 @@ Tensor MaxRows(const Tensor& a) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi, argmax, n]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       for (int j = 0; j < n; ++j) {
-        ai->grad[(*argmax)[j] * n + j] += oi->grad[j];
+        ag[(*argmax)[j] * n + j] += oi->grad[j];
       }
     };
   }
@@ -564,11 +659,31 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
     auto oi = out.impl().get();
     auto ids_copy = std::make_shared<std::vector<int>>(ids);
     out.impl()->backward_fn = [ti, oi, ids_copy, dim]() {
-      ti->EnsureGrad();
-      for (size_t i = 0; i < ids_copy->size(); ++i) {
-        for (int j = 0; j < dim; ++j) {
-          ti->grad[(*ids_copy)[i] * dim + j] += oi->grad[i * dim + j];
+      // Duplicate-token contributions fold together in positional order in
+      // a local per-row sum, then each touched row is committed with one +=
+      // per element — sparse, so the cost stays O(sequence * dim) rather
+      // than a dense scratch over the whole table.
+      const std::vector<int>& ids = *ids_copy;
+      std::vector<int> uniq;
+      uniq.reserve(ids.size());
+      std::vector<float> rowsum;
+      std::unordered_map<int, size_t> row_of;
+      row_of.reserve(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        auto [it, inserted] = row_of.try_emplace(ids[i], uniq.size());
+        if (inserted) {
+          uniq.push_back(ids[i]);
+          rowsum.resize(rowsum.size() + static_cast<size_t>(dim), 0.0f);
         }
+        float* dst = rowsum.data() + it->second * dim;
+        const float* src = oi->grad.data() + i * dim;
+        for (int j = 0; j < dim; ++j) dst[j] += src[j];
+      }
+      std::vector<float>& tg = ti->AccumGrad();
+      for (size_t r = 0; r < uniq.size(); ++r) {
+        float* dst = tg.data() + static_cast<size_t>(uniq[r]) * dim;
+        const float* src = rowsum.data() + r * dim;
+        for (int j = 0; j < dim; ++j) dst[j] += src[j];
       }
     };
   }
@@ -586,18 +701,17 @@ Tensor ScalarScale(const Tensor& a, const Tensor& scalar) {
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, si, oi]() {
       if (si->requires_grad) {
-        si->EnsureGrad();
         double acc = 0.0;
         for (size_t i = 0; i < oi->grad.size(); ++i) {
           acc += static_cast<double>(oi->grad[i]) * ai->value[i];
         }
-        si->grad[0] += static_cast<float>(acc);
+        si->AccumGrad()[0] += static_cast<float>(acc);
       }
       if (ai->requires_grad) {
-        ai->EnsureGrad();
+        std::vector<float>& ag = ai->AccumGrad();
         const float s = si->value[0];
         for (size_t i = 0; i < oi->grad.size(); ++i) {
-          ai->grad[i] += oi->grad[i] * s;
+          ag[i] += oi->grad[i] * s;
         }
       }
     };
@@ -619,9 +733,9 @@ Tensor DropoutOp(const Tensor& a, float p, bool training, Rng& rng) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi, mask]() {
-      ai->EnsureGrad();
+      std::vector<float>& ag = ai->AccumGrad();
       for (size_t i = 0; i < oi->grad.size(); ++i) {
-        ai->grad[i] += oi->grad[i] * (*mask)[i];
+        ag[i] += oi->grad[i] * (*mask)[i];
       }
     };
   }
@@ -644,11 +758,11 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits, int target) {
     auto li = logits.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [li, oi, target, n, max_v, sum]() {
-      li->EnsureGrad();
+      std::vector<float>& lg = li->AccumGrad();
       const float g = oi->grad[0];
       for (int j = 0; j < n; ++j) {
         const float p = std::exp(li->value[j] - max_v) / sum;
-        li->grad[j] += g * (p - (j == target ? 1.0f : 0.0f));
+        lg[j] += g * (p - (j == target ? 1.0f : 0.0f));
       }
     };
   }
@@ -674,12 +788,12 @@ Tensor SigmoidBceLoss(const Tensor& logits,
     auto oi = out.impl().get();
     auto t_copy = std::make_shared<std::vector<float>>(targets);
     out.impl()->backward_fn = [li, oi, t_copy, n]() {
-      li->EnsureGrad();
+      std::vector<float>& lg = li->AccumGrad();
       const float g = oi->grad[0] / static_cast<float>(n);
       for (int j = 0; j < n; ++j) {
         const float x = li->value[j];
         const float sigmoid = 1.0f / (1.0f + std::exp(-x));
-        li->grad[j] += g * (sigmoid - (*t_copy)[j]);
+        lg[j] += g * (sigmoid - (*t_copy)[j]);
       }
     };
   }
@@ -712,12 +826,11 @@ Tensor WeightedMseLoss(const Tensor& pred, const std::vector<float>& targets,
     auto w_copy = std::make_shared<std::vector<float>>(weights);
     auto m_copy = std::make_shared<std::vector<float>>(mask);
     out.impl()->backward_fn = [pi, oi, t_copy, w_copy, m_copy, n, denom]() {
-      pi->EnsureGrad();
+      std::vector<float>& pg = pi->AccumGrad();
       const float g = oi->grad[0] / denom;
       for (size_t j = 0; j < n; ++j) {
         if ((*m_copy)[j] == 0.0f) continue;
-        pi->grad[j] +=
-            g * 2.0f * (*w_copy)[j] * (pi->value[j] - (*t_copy)[j]);
+        pg[j] += g * 2.0f * (*w_copy)[j] * (pi->value[j] - (*t_copy)[j]);
       }
     };
   }
@@ -733,8 +846,7 @@ Tensor Sum(const Tensor& a) {
     auto ai = a.impl();
     auto oi = out.impl().get();
     out.impl()->backward_fn = [ai, oi]() {
-      ai->EnsureGrad();
-      for (float& g : ai->grad) g += oi->grad[0];
+      for (float& g : ai->AccumGrad()) g += oi->grad[0];
     };
   }
   return out;

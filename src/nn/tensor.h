@@ -22,6 +22,12 @@ struct TensorImpl {
   int cols = 0;
   std::vector<float> value;
   std::vector<float> grad;  // allocated lazily when requires_grad
+  // Per-slot gradient arenas for data-parallel training. When non-empty and
+  // a GradSlotScope is active on the calling thread, backward closures
+  // accumulate into grad_slots[slot] instead of `grad`; the trainer then
+  // merges the slots into `grad` in slot order (a deterministic ordered
+  // reduction). Empty for every tensor outside a parallel training run.
+  std::vector<std::vector<float>> grad_slots;
   bool requires_grad = false;
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void()> backward_fn;
@@ -30,9 +36,33 @@ struct TensorImpl {
   void EnsureGrad() {
     if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
   }
+  // The buffer backward closures accumulate into: the active slot's arena
+  // when slots are enabled on this tensor and the calling thread is inside a
+  // GradSlotScope, otherwise the main `grad` buffer. Either way the buffer
+  // is allocated (zeroed) on first use.
+  std::vector<float>& AccumGrad();
 };
 
+// Index of the grad slot active on the calling thread, -1 when none.
+int ActiveGradSlot();
+
 }  // namespace internal
+
+// RAII marker: while alive, backward closures on the calling thread route
+// parameter-gradient accumulation into `grad_slots[slot]` of any tensor with
+// slots enabled. Thread-local, so each worker of a data-parallel trainer
+// scopes its own example's backward pass to a private slot.
+class GradSlotScope {
+ public:
+  explicit GradSlotScope(int slot);
+  ~GradSlotScope();
+
+  GradSlotScope(const GradSlotScope&) = delete;
+  GradSlotScope& operator=(const GradSlotScope&) = delete;
+
+ private:
+  int prev_;
+};
 
 // A dense row-major 2D float tensor with reverse-mode autodiff. Value
 // semantics on the handle (copying a Tensor aliases the same storage), which
@@ -106,6 +136,24 @@ class Tensor {
  private:
   std::shared_ptr<internal::TensorImpl> impl_;
 };
+
+// ---- Data-parallel gradient slots ----
+
+// Enables `num_slots` per-slot gradient arenas on every tensor in `params`.
+// While enabled, a backward pass run under GradSlotScope(s) accumulates
+// parameter gradients into slot s instead of the shared grad buffer, letting
+// workers run backward passes concurrently without racing.
+void EnableGradSlots(std::vector<Tensor>& params, int num_slots);
+// Drops the slot arenas (and their memory) again.
+void DisableGradSlots(std::vector<Tensor>& params);
+// Merges slots [0, num_slots) into each parameter's main grad buffer in
+// ascending slot order — a fixed-order summation, so the merged gradient is
+// bitwise identical for any assignment of slots to worker threads — and
+// zeroes the merged slots.
+void ReduceGradSlots(std::vector<Tensor>& params, int num_slots);
+// Zeroes all slot arenas without merging (used when a diverged batch's
+// partial gradients must be discarded).
+void ClearGradSlots(std::vector<Tensor>& params);
 
 // ---- Ops (all differentiable) ----
 

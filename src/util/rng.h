@@ -115,6 +115,28 @@ class Rng {
     return Rng(NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x1234567));
   }
 
+  // Mixes (seed, stream) into a well-spread 64-bit value via the SplitMix64
+  // finalizer. Unlike Fork, this is a pure function of its inputs — no
+  // generator state is consumed — so counter-based streams can be derived in
+  // any order (or concurrently) and still be identical.
+  static uint64_t MixStream(uint64_t seed, uint64_t stream) {
+    uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  // Counter-based stream `stream` of a base seed: the generator seeded with
+  // MixStream(seed, stream). The data-parallel trainer gives every training
+  // example its own stream so dropout masks do not depend on which worker
+  // (or in which order) the example runs.
+  static Rng ForStream(uint64_t seed, uint64_t stream) {
+    return Rng(MixStream(seed, stream));
+  }
+
  private:
   uint64_t state_ = 0;
   uint64_t inc_ = 0;

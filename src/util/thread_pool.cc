@@ -61,18 +61,34 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, size_t num_threads,
-                             const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t grain) {
   if (n == 0) return;
-  if (num_threads <= 1 || n == 1) {
+  if (grain == 0) grain = 1;
+  if (workers_.size() <= 1 || n <= grain) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  ThreadPool pool(std::min(num_threads, n));
-  for (size_t i = 0; i < n; ++i) {
-    pool.Submit([&fn, i] { fn(i); });
+  for (size_t begin = 0; begin < n; begin += grain) {
+    const size_t end = std::min(begin + grain, n);
+    Submit([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
   }
-  pool.Wait();
+  Wait();
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t num_threads,
+                             const std::function<void(size_t)>& fn,
+                             size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (num_threads <= 1 || n <= grain) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, (n + grain - 1) / grain));
+  pool.ParallelFor(n, fn, grain);
 }
 
 }  // namespace tailormatch

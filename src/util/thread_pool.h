@@ -29,9 +29,20 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // Runs fn(i) for i in [0, n) on this pool's workers and waits. `grain`
+  // batches that many consecutive indices into one task so tiny per-item
+  // work amortizes queue dispatch. Runs inline (no queue round-trip) when a
+  // single task would cover the whole range. The caller must be the only
+  // client of the pool while this runs (Wait() is a pool-wide barrier).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t grain = 1);
+
+  // One-shot variant: spins up a temporary pool of `num_threads` workers.
+  // Runs inline when n <= 1 or num_threads <= 1, skipping pool construction
+  // entirely. Prefer the member form when calling repeatedly.
   static void ParallelFor(size_t n, size_t num_threads,
-                          const std::function<void(size_t)>& fn);
+                          const std::function<void(size_t)>& fn,
+                          size_t grain = 1);
 
  private:
   void WorkerLoop();

@@ -123,5 +123,68 @@ TEST_F(DivergenceRecoveryTest, RecoveryIsDeterministic) {
   }
 }
 
+TEST_F(DivergenceRecoveryTest, ParallelRecoveryMatchesSerial) {
+  // The divergence-rollback contract survives data-parallel training: the
+  // same injected NaN must produce the same rollback count, the same LR
+  // backoff, and bit-identical recovered weights at every worker count.
+  const auto run = [](int threads) {
+    fault::FaultSpec spec;
+    spec.point = "trainer.loss";
+    spec.mode = fault::FaultMode::kNan;
+    spec.nth = 25;
+    fault::ScopedFault fault(spec);
+    SimLlm model = fault_test::MakeTinyModel();
+    const auto examples = fault_test::KeywordExamples(model);
+    TrainOptions options = Options();
+    options.epochs = 3;
+    options.num_threads = threads;
+    TrainStats stats = TrainModel(model, examples, options);
+    return std::make_pair(stats, model.SnapshotState());
+  };
+  const auto [serial_stats, serial_state] = run(1);
+  EXPECT_EQ(serial_stats.rollbacks, 1);
+  for (int threads : {2, 8}) {
+    const auto [stats, state] = run(threads);
+    EXPECT_EQ(stats.rollbacks, serial_stats.rollbacks) << threads;
+    EXPECT_EQ(stats.final_learning_rate, serial_stats.final_learning_rate)
+        << threads;
+    ASSERT_EQ(stats.epoch_train_loss.size(),
+              serial_stats.epoch_train_loss.size());
+    for (size_t e = 0; e < stats.epoch_train_loss.size(); ++e) {
+      EXPECT_EQ(stats.epoch_train_loss[e], serial_stats.epoch_train_loss[e])
+          << threads << " epoch " << e;
+    }
+    ASSERT_EQ(state.size(), serial_state.size());
+    for (size_t i = 0; i < state.size(); ++i) {
+      EXPECT_EQ(state[i], serial_state[i])
+          << threads << " threads, tensor " << i;
+    }
+  }
+}
+
+TEST_F(DivergenceRecoveryTest, ParallelBudgetExhaustionPreservesLastGoodState) {
+  fault::FaultSpec spec;
+  spec.point = "trainer.loss";
+  spec.mode = fault::FaultMode::kNan;
+  spec.nth = 0;  // every arrival
+  fault::ScopedFault fault(spec);
+
+  SimLlm model = fault_test::MakeTinyModel();
+  const auto before = model.SnapshotState();
+  const auto examples = fault_test::KeywordExamples(model);
+  TrainOptions options = Options();
+  options.max_rollbacks = 2;
+  options.num_threads = 8;
+  TrainStats stats = TrainModel(model, examples, options);
+
+  EXPECT_EQ(stats.rollbacks, 2);
+  EXPECT_TRUE(stats.epoch_train_loss.empty());
+  const auto after = model.SnapshotState();
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i], before[i]) << "tensor " << i;
+  }
+}
+
 }  // namespace
 }  // namespace tailormatch::llm

@@ -1,7 +1,10 @@
 #include "core/run_journal.h"
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -13,7 +16,13 @@ namespace {
 class RunJournalTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "tm_journal_test")
+    // Unique per test and per process: gtest_discover_tests runs each TEST
+    // as its own ctest entry, so a shared directory would be created and
+    // remove_all'd concurrently under `ctest -j`.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("tm_journal_test_") + std::to_string(getpid()) +
+             "_" + info->name()))
                .string();
     std::filesystem::create_directories(dir_);
   }

@@ -1,0 +1,132 @@
+// Boundary behavior of the LR schedule and gradient clipping — the two
+// pieces of per-step arithmetic the deterministic-training contract depends
+// on (every worker count must see the same LR and the same clip decision).
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "llm/trainer.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+
+namespace tailormatch::llm {
+namespace {
+
+TrainOptions OptionsWith(LrSchedule schedule, float warmup_fraction = 0.0f) {
+  TrainOptions options;
+  options.learning_rate = 1.0f;  // makes expected values read directly
+  options.lr_floor_fraction = 0.1f;
+  options.schedule = schedule;
+  options.warmup_fraction = warmup_fraction;
+  return options;
+}
+
+TEST(ScheduledLrTest, StepZeroStartsAtPeakWithoutWarmup) {
+  EXPECT_FLOAT_EQ(ScheduledLr(OptionsWith(LrSchedule::kConstant), 0, 100),
+                  1.0f);
+  EXPECT_FLOAT_EQ(ScheduledLr(OptionsWith(LrSchedule::kLinear), 0, 100), 1.0f);
+  EXPECT_FLOAT_EQ(ScheduledLr(OptionsWith(LrSchedule::kCosine), 0, 100), 1.0f);
+}
+
+TEST(ScheduledLrTest, WarmupRampsLinearlyToThePeak) {
+  const TrainOptions options = OptionsWith(LrSchedule::kLinear, 0.2f);
+  // 20 warmup steps out of 100: step 0 is 1/20 of the peak, step 19 the peak.
+  EXPECT_FLOAT_EQ(ScheduledLr(options, 0, 100), 1.0f / 20.0f);
+  EXPECT_FLOAT_EQ(ScheduledLr(options, 9, 100), 10.0f / 20.0f);
+  EXPECT_FLOAT_EQ(ScheduledLr(options, 19, 100), 1.0f);
+}
+
+TEST(ScheduledLrTest, WarmupToDecayTransitionIsContinuous) {
+  for (LrSchedule schedule : {LrSchedule::kLinear, LrSchedule::kCosine}) {
+    const TrainOptions options = OptionsWith(schedule, 0.2f);
+    // The last warmup step reaches the peak; the first decay step starts
+    // there (progress 0), so the handoff has no jump.
+    const float last_warmup = ScheduledLr(options, 19, 100);
+    const float first_decay = ScheduledLr(options, 20, 100);
+    EXPECT_FLOAT_EQ(last_warmup, 1.0f);
+    EXPECT_FLOAT_EQ(first_decay, 1.0f);
+    // And the schedule decays monotonically after the handoff.
+    EXPECT_LT(ScheduledLr(options, 21, 100), first_decay);
+  }
+}
+
+TEST(ScheduledLrTest, FinalStepLandsOnTheFloor) {
+  EXPECT_FLOAT_EQ(ScheduledLr(OptionsWith(LrSchedule::kLinear), 99, 100),
+                  0.1f);
+  // cos(pi) is -1 up to float rounding.
+  EXPECT_NEAR(ScheduledLr(OptionsWith(LrSchedule::kCosine), 99, 100), 0.1f,
+              1e-6f);
+  EXPECT_FLOAT_EQ(ScheduledLr(OptionsWith(LrSchedule::kConstant), 99, 100),
+                  1.0f);
+}
+
+TEST(ScheduledLrTest, SingleStepScheduleIsConstant) {
+  for (LrSchedule schedule :
+       {LrSchedule::kConstant, LrSchedule::kLinear, LrSchedule::kCosine}) {
+    EXPECT_FLOAT_EQ(ScheduledLr(OptionsWith(schedule), 0, 1), 1.0f);
+  }
+}
+
+class ClipGradNormTest : public ::testing::Test {
+ protected:
+  // One parameter with gradient (3, 4, 0): global L2 norm 5.
+  std::vector<nn::Tensor> ParamsWithNormFive() {
+    nn::Tensor p(1, 3, /*requires_grad=*/true);
+    std::vector<float>& g = p.grad();
+    g[0] = 3.0f;
+    g[1] = 4.0f;
+    g[2] = 0.0f;
+    return {p};
+  }
+};
+
+TEST_F(ClipGradNormTest, BelowThresholdLeavesGradientsUntouched) {
+  std::vector<nn::Tensor> params = ParamsWithNormFive();
+  const float norm = nn::ClipGradNorm(params, 10.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_FLOAT_EQ(params[0].grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(params[0].grad()[1], 4.0f);
+}
+
+TEST_F(ClipGradNormTest, ExactThresholdDoesNotClip) {
+  std::vector<nn::Tensor> params = ParamsWithNormFive();
+  const float norm = nn::ClipGradNorm(params, 5.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  // norm == max_norm is not an excess: the gradients stay bitwise intact.
+  EXPECT_FLOAT_EQ(params[0].grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(params[0].grad()[1], 4.0f);
+}
+
+TEST_F(ClipGradNormTest, AboveThresholdRescalesToMaxNorm) {
+  std::vector<nn::Tensor> params = ParamsWithNormFive();
+  const float norm = nn::ClipGradNorm(params, 2.5f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_FLOAT_EQ(params[0].grad()[0], 1.5f);
+  EXPECT_FLOAT_EQ(params[0].grad()[1], 2.0f);
+  // Post-clip norm is the threshold.
+  const float clipped = nn::ClipGradNorm(params, 2.5f);
+  EXPECT_FLOAT_EQ(clipped, 2.5f);
+}
+
+TEST_F(ClipGradNormTest, NonFiniteGradientsAreReportedNotScaled) {
+  std::vector<nn::Tensor> params = ParamsWithNormFive();
+  params[0].grad()[2] = std::numeric_limits<float>::infinity();
+  const float inf_norm = nn::ClipGradNorm(params, 5.0f);
+  EXPECT_FALSE(std::isfinite(inf_norm));
+  // The poisoned gradients are left for the caller's divergence handling —
+  // scaling by max_norm/inf would have silently zeroed the evidence.
+  EXPECT_FLOAT_EQ(params[0].grad()[0], 3.0f);
+  EXPECT_TRUE(std::isinf(params[0].grad()[2]));
+
+  std::vector<nn::Tensor> nan_params = ParamsWithNormFive();
+  nan_params[0].grad()[1] = std::numeric_limits<float>::quiet_NaN();
+  const float nan_norm = nn::ClipGradNorm(nan_params, 5.0f);
+  EXPECT_FALSE(std::isfinite(nan_norm));
+  EXPECT_FLOAT_EQ(nan_params[0].grad()[0], 3.0f);
+}
+
+}  // namespace
+}  // namespace tailormatch::llm

@@ -2,12 +2,13 @@
 # Rebuilds the library and a set of test suites under a sanitizer in a
 # dedicated build tree, then runs them.
 #
-# Default: the nn + obs + serve suites under TSan — the kernel layer's
-# parallel dispatch is what TSan is here to watch: src/nn/kernels.cc fans
-# GEMM and row-kernel chunks out to a shared thread pool, and the kernel
-# tests pin thread counts of 1/2/8. The serve suite adds the online path's
-# concurrency: sharded cache access, registry hot-swaps under reader
-# traffic, and micro-batcher submit/drain races.
+# Default: the nn + obs + serve + train suites under TSan — the kernel
+# layer's parallel dispatch is what TSan is here to watch: src/nn/kernels.cc
+# fans GEMM and row-kernel chunks out to a shared thread pool, and the
+# kernel tests pin thread counts of 1/2/8. The serve suite adds the online
+# path's concurrency (sharded cache, registry hot-swaps, micro-batcher
+# submit/drain); the train suite adds the data-parallel trainer's concurrent
+# backward passes over shared parameters via per-slot gradient arenas.
 #
 # Usage: tools/check_sanitize.sh [thread|address|undefined] [test_target...]
 # (Also exposed as the `check-sanitize` and `check-fault` CMake targets; the
@@ -18,7 +19,7 @@ SANITIZER="${1:-thread}"
 shift || true
 TARGETS=("$@")
 if [ "${#TARGETS[@]}" -eq 0 ]; then
-  TARGETS=(nn_tests obs_tests serve_tests)
+  TARGETS=(nn_tests obs_tests serve_tests train_tests)
 fi
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"

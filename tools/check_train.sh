@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the trainer determinism suite with TM_TRAIN_THREADS forced to 1, 2,
+# and 8 — every run must pass with identical results, exercising the
+# env-resolution path (the one the CLI --train-threads flag uses) on top of
+# the suite's own explicit worker-count matrix.
+#
+# Usage: tools/check_train.sh [build_dir]
+# (Also exposed as the `check-train` CMake target.)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BIN="${BUILD_DIR}/tests/train_tests"
+if [ ! -x "${BIN}" ]; then
+  echo "check_train: ${BIN} not built (build the train_tests target first)" >&2
+  exit 1
+fi
+
+for threads in 1 2 8; do
+  echo "== check-train: TM_TRAIN_THREADS=${threads} =="
+  TM_TRAIN_THREADS="${threads}" "${BIN}"
+done
+
+echo "check-train: determinism suite clean at threads 1/2/8"

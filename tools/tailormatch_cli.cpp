@@ -143,7 +143,10 @@ int Usage() {
       "  benchmarks | families\n"
       "global options:\n"
       "  --metrics-out PATH   dump a JSON metrics snapshot at exit\n"
-      "  --metrics-report     print metrics tables to stderr at exit\n");
+      "  --metrics-report     print metrics tables to stderr at exit\n"
+      "  --train-threads N    data-parallel training workers (sets\n"
+      "                       TM_TRAIN_THREADS; results are identical at\n"
+      "                       every worker count)\n");
   return 2;
 }
 
@@ -397,6 +400,12 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   ArgMap args(argc, argv, 2);
   if (!args.ok()) return Usage();
+  // The trainer resolves its worker count from TM_TRAIN_THREADS whenever
+  // TrainOptions::num_threads is unset, so routing the flag through the
+  // environment covers every command that ends up training a model.
+  if (args.Has("train-threads")) {
+    setenv("TM_TRAIN_THREADS", args.Get("train-threads", "1").c_str(), 1);
+  }
   int rc;
   if (command == "pretrain") {
     rc = CmdPretrain(args);
