@@ -17,6 +17,9 @@
 #include "llm/teacher.h"
 #include "nn/kernels.h"
 #include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/window.h"
 #include "text/similarity.h"
 #include "text/tokenizer.h"
 
@@ -174,6 +177,49 @@ void BM_SimLlmTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimLlmTrainStep);
+
+// The trace recorder sits on the serve hot path, so its per-event cost —
+// enabled (one seqlock publish into the thread-local ring) and disabled
+// (one relaxed atomic load) — is tracked here next to the kernels it
+// shares request latency with.
+void BM_TraceRecordEnabled(benchmark::State& state) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable();
+  uint64_t arg = 0;
+  for (auto _ : state) {
+    recorder.Record(uint64_t{1} << 41, obs::TraceEventKind::kMark, arg++);
+  }
+  recorder.Disable();
+  recorder.Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordEnabled);
+
+void BM_TraceRecordDisabled(benchmark::State& state) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Disable();
+  uint64_t arg = 0;
+  for (auto _ : state) {
+    recorder.Record(uint64_t{1} << 41, obs::TraceEventKind::kMark, arg++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordDisabled);
+
+// One rolling-window sample: a bucket increment in the current one-second
+// slice plus (once a second) the EWMA fold. Paid per served request.
+void BM_WindowedHistogramRecord(benchmark::State& state) {
+  obs::WindowedHistogram hist(obs::Histogram::DefaultLatencyBounds());
+  int64_t sample = 0;
+  for (auto _ : state) {
+    hist.RecordAtSecond(static_cast<double>(sample % 50),
+                        1000 + sample / 4096);
+    ++sample;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowedHistogramRecord);
 
 // ---- BENCH_kernels.json ----
 //

@@ -1,0 +1,229 @@
+// Observability overhead benchmark: how much serve throughput does the
+// tracing/windowed-metrics layer cost? Writes BENCH_obs.json.
+//
+// Reruns the PR-4 headline serve shape — closed loop, 8 clients, one
+// outstanding request each, max_batch 8, 200us dispatch cost — twice:
+// once with the trace recorder disabled (only the always-on windowed
+// latency histograms run) and once with it enabled, so every request
+// records its enqueue/dispatch/reply lifeline plus batch events. Each
+// config runs kReps times and keeps the best run, since the quantity
+// under test is the instrumentation's floor cost, not scheduler noise.
+//
+// The gate is the on/off ratio from the same process on the same machine
+// (>= kMinOnOffRatio, i.e. tracing may cost at most ~5%). The committed
+// BENCH_serve.json throughput is reported alongside for cross-PR context
+// but never gated on: it was measured by a different binary in a
+// different run, so a hard comparison would only measure machine drift.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.h"
+#include "llm/sim_llm.h"
+#include "obs/trace.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_registry.h"
+#include "text/tokenizer.h"
+
+using namespace tailormatch;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kClients = 8;
+constexpr int kPerClient = 250;
+constexpr int kMaxBatch = 8;
+constexpr int kDispatchCostUs = 200;
+constexpr int kReps = 3;
+constexpr double kMinOnOffRatio = 0.95;
+
+// Same tiny-but-real model as bench_serve_load, so the throughputs here
+// are directly comparable to the committed BENCH_serve.json numbers.
+llm::SimLlm MakeServeModel() {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back("do the two entity descriptions refer to the same "
+                     "real-world product entity 1 widget pro model " +
+                     std::to_string(i) + " entity 2 widget pro model " +
+                     std::to_string(i + 1));
+  }
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1200, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 32;
+  config.init_seed = 11;
+  return llm::SimLlm(config, std::move(tokenizer));
+}
+
+data::EntityPair MakePair(int i) {
+  return core::MakeSurfacePair(
+      "widget pro model " + std::to_string(i),
+      "widget pro model " + std::to_string(i % 7 == 0 ? i : i + 1),
+      data::Domain::kProduct);
+}
+
+// One closed-loop run; returns pairs/sec.
+double RunClosedLoop(const std::shared_ptr<const serve::ServedModel>& model) {
+  serve::MicroBatcherConfig config;
+  config.max_batch = kMaxBatch;
+  config.max_wait_us = 200;
+  config.dispatch_cost_us = kDispatchCostUs;
+  config.batch_parallelism = 1;
+  serve::MicroBatcher batcher(config);
+
+  std::vector<int> served(kClients, 0);
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        serve::ServeResult result = batcher.SubmitAndWait(
+            model, prompt::PromptTemplate::kDefault,
+            MakePair(c * kPerClient + i));
+        if (result.outcome == serve::RequestOutcome::kOk) ++served[c];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  batcher.Shutdown();
+
+  int total = 0;
+  for (int count : served) total += count;
+  return elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0;
+}
+
+double BestOf(const std::shared_ptr<const serve::ServedModel>& model,
+              bool tracing, std::vector<double>* runs) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    recorder.Clear();
+    if (tracing) {
+      recorder.Enable();
+    } else {
+      recorder.Disable();
+    }
+    const double throughput = RunClosedLoop(model);
+    runs->push_back(throughput);
+    if (throughput > best) best = throughput;
+    std::printf("  tracing %-3s rep %d: %10.1f pairs/s\n",
+                tracing ? "on" : "off", rep, throughput);
+  }
+  recorder.Disable();
+  return best;
+}
+
+// Pulls batch8_throughput out of the committed PR-4 baseline for context;
+// 0.0 when the file is not reachable from the working directory.
+double ReadServeBaseline() {
+  for (const char* path : {"BENCH_serve.json", "../BENCH_serve.json"}) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const std::string key = "\"batch8_throughput\":";
+    const size_t at = text.rfind(key);
+    if (at == std::string::npos) continue;
+    return std::atof(text.c_str() + at + key.size());
+  }
+  return 0.0;
+}
+
+void AppendRuns(const std::vector<double>& runs, std::string* json) {
+  for (size_t i = 0; i < runs.size(); ++i) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%s%.1f", i ? "," : "", runs[i]);
+    *json += buffer;
+  }
+}
+
+}  // namespace
+
+int main() {
+  llm::SimLlm model_value = MakeServeModel();
+  auto served = std::make_shared<const serve::ServedModel>(serve::ServedModel{
+      "bench", 1, "<memory>",
+      std::shared_ptr<const llm::SimLlm>(&model_value,
+                                         [](const llm::SimLlm*) {})});
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Disable();
+
+  std::printf("obs overhead: closed loop, %d clients, max_batch %d, "
+              "%dus dispatch, best of %d\n",
+              kClients, kMaxBatch, kDispatchCostUs, kReps);
+
+  // Warm-up run (tokenizer caches, thread pool, allocator) before timing.
+  RunClosedLoop(served);
+
+  std::vector<double> off_runs, on_runs;
+  const double off = BestOf(served, /*tracing=*/false, &off_runs);
+  const double on = BestOf(served, /*tracing=*/true, &on_runs);
+
+  // Count what the enabled runs actually recorded — an accidentally
+  // disabled recorder would otherwise make the overhead look free.
+  recorder.Enable();
+  recorder.Clear();
+  RunClosedLoop(served);
+  const size_t traced_events = recorder.Collect().size();
+  recorder.Disable();
+  recorder.Clear();
+
+  const double ratio = off > 0 ? on / off : 0.0;
+  const double baseline = ReadServeBaseline();
+  std::printf("\nheadline: tracing off %.1f vs on %.1f pairs/s -> "
+              "ratio %.3f (%.1f%% overhead), %zu events/run\n",
+              off, on, ratio, (1.0 - ratio) * 100.0, traced_events);
+  if (baseline > 0) {
+    std::printf("context: committed BENCH_serve.json batch8 baseline "
+                "%.1f pairs/s (off/baseline %.3f, not gated)\n",
+                baseline, off / baseline);
+  }
+
+  std::string json = "{\n  \"bench\": \"obs_overhead\",\n";
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"shape\": {\"loop\":\"closed\",\"clients\":%d,"
+                "\"max_batch\":%d,\"dispatch_cost_us\":%d,"
+                "\"requests_per_client\":%d,\"reps\":%d},\n",
+                kClients, kMaxBatch, kDispatchCostUs, kPerClient, kReps);
+  json += buffer;
+  json += "  \"runs\": {\"tracing_off\":[";
+  AppendRuns(off_runs, &json);
+  json += "],\"tracing_on\":[";
+  AppendRuns(on_runs, &json);
+  json += "]},\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"headline\": {\"off_throughput\":%.1f,"
+                "\"on_throughput\":%.1f,\"on_off_ratio\":%.3f,"
+                "\"tracing_overhead_pct\":%.1f,"
+                "\"trace_events_per_run\":%zu,"
+                "\"serve_baseline_batch8_throughput\":%.1f,"
+                "\"min_on_off_ratio\":%.2f}\n}\n",
+                off, on, ratio, (1.0 - ratio) * 100.0, traced_events,
+                baseline, kMinOnOffRatio);
+  json += buffer;
+
+  FILE* out = std::fopen("BENCH_obs.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_obs.json\n");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_obs.json\n");
+  return ratio >= kMinOnOffRatio ? 0 : 1;
+}

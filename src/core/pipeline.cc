@@ -6,6 +6,7 @@
 #include "llm/teacher.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -40,6 +41,12 @@ bool DecodeTrainStats(const std::string& payload, llm::TrainStats* stats) {
 
 PipelineReport RunPipeline(const PipelineConfig& config) {
   TM_SPAN("pipeline");
+  // One trace id per pipeline run: stage and trainer-epoch events below all
+  // land on this run's timeline.
+  obs::TraceScope run_trace(obs::TraceRecorder::Global().enabled()
+                                ? obs::TraceRecorder::Global().NewTraceId()
+                                : 0);
+  TM_TRACE_STAGE("pipeline");
   PipelineReport report;
   const llm::FamilyProfile profile = llm::GetFamilyProfile(config.family);
   const data::BenchmarkSpec spec = data::GetBenchmarkSpec(config.benchmark);
@@ -61,18 +68,21 @@ PipelineReport RunPipeline(const PipelineConfig& config) {
   data::Benchmark benchmark;
   {
     TM_SPAN("data_load");
+    TM_TRACE_STAGE("data_load");
     benchmark = data::BuildBenchmark(spec, config.context.data_scale);
   }
 
   std::unique_ptr<llm::SimLlm> zero_shot;
   {
     TM_SPAN("pretrain_load");
+    TM_TRACE_STAGE("pretrain_load");
     zero_shot = llm::GetZeroShotModel(config.family, config.context.cache_dir);
   }
   if (journal.PayloadDouble("zero_shot_eval", &report.zero_shot_f1)) {
     stages_skipped.Increment();
   } else {
     TM_SPAN("zero_shot_eval");
+    TM_TRACE_STAGE("zero_shot_eval");
     report.zero_shot_f1 =
         TestF1(*zero_shot, benchmark, config.context, config.prompt_template);
     record("zero_shot_eval", report.zero_shot_f1);
@@ -83,6 +93,7 @@ PipelineReport RunPipeline(const PipelineConfig& config) {
 
   {
     TM_SPAN("selection");
+    TM_TRACE_STAGE("selection");
     if (config.generate_examples) {
       train = select::BuildSyntheticSet(train, spec);
     }
@@ -105,6 +116,7 @@ PipelineReport RunPipeline(const PipelineConfig& config) {
   }
   {
     TM_SPAN("fine_tune");
+    TM_TRACE_STAGE("fine_tune");
     if (journal.enabled()) {
       // Memoized path: a restart reloads the committed checkpoint instead of
       // re-training, and the journal restores the stats of the original run.
@@ -141,6 +153,7 @@ PipelineReport RunPipeline(const PipelineConfig& config) {
     stages_skipped.Increment();
   } else {
     TM_SPAN("eval");
+    TM_TRACE_STAGE("eval");
     report.fine_tuned_f1 =
         TestF1(*report.model, benchmark, config.context,
                config.prompt_template);

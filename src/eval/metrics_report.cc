@@ -1,5 +1,6 @@
 #include "eval/metrics_report.h"
 
+#include <algorithm>
 #include <string>
 
 #include "eval/table_printer.h"
@@ -8,6 +9,17 @@
 namespace tailormatch::eval {
 
 namespace {
+
+// The report is diffed across runs, so every block prints in a stable
+// order regardless of how the snapshot was assembled: sort a copy of the
+// span tree (recursively) and of the windowed list by name.
+void SortSpanTree(std::vector<obs::SpanNode>* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const obs::SpanNode& a, const obs::SpanNode& b) {
+              return a.name < b.name;
+            });
+  for (obs::SpanNode& node : *nodes) SortSpanTree(&node.children);
+}
 
 void AddSpanRows(const obs::SpanNode& node, int depth, TablePrinter* table) {
   const std::string indent(static_cast<size_t>(depth) * 2, ' ');
@@ -32,7 +44,9 @@ void PrintMetricsReport(const obs::MetricsSnapshot& snapshot,
   if (!snapshot.spans.empty()) {
     out << "spans (wall time):\n";
     TablePrinter table({"span", "count", "total ms", "mean ms"});
-    for (const obs::SpanNode& root : snapshot.spans) {
+    std::vector<obs::SpanNode> roots = snapshot.spans;
+    SortSpanTree(&roots);
+    for (const obs::SpanNode& root : roots) {
       AddSpanRows(root, 0, &table);
     }
     table.Print(out);
@@ -112,6 +126,30 @@ void PrintMetricsReport(const obs::MetricsSnapshot& snapshot,
       table.AddRow({h.name, StrFormat("%lld", static_cast<long long>(h.count)),
                     StrFormat("%.3f", h.p50), StrFormat("%.3f", h.p95),
                     StrFormat("%.3f", h.p99), StrFormat("%.3f", h.max)});
+    }
+    table.Print(out);
+  }
+  if (!snapshot.windows.empty()) {
+    out << "rolling windows (latencies in ms):\n";
+    TablePrinter table(
+        {"window", "count", "rate/s", "p50", "p95", "p99", "ewma/s"});
+    std::vector<obs::WindowedHistogramStats> windows = snapshot.windows;
+    std::sort(windows.begin(), windows.end(),
+              [](const obs::WindowedHistogramStats& a,
+                 const obs::WindowedHistogramStats& b) {
+                return a.name < b.name;
+              });
+    for (const obs::WindowedHistogramStats& w : windows) {
+      for (const obs::WindowStats& stats : w.windows) {
+        table.AddRow({StrFormat("%s[%ds]", w.name.c_str(),
+                                stats.window_seconds),
+                      StrFormat("%lld", static_cast<long long>(stats.count)),
+                      StrFormat("%.1f", stats.rate),
+                      StrFormat("%.3f", stats.p50),
+                      StrFormat("%.3f", stats.p95),
+                      StrFormat("%.3f", stats.p99),
+                      StrFormat("%.2f", w.rate_ewma)});
+      }
     }
     table.Print(out);
   }

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -165,6 +166,11 @@ std::vector<double> SimLlm::PredictMatchProbabilities(
   static obs::Histogram& batch_size =
       obs::MetricsRegistry::Global().GetHistogram("sim_llm.batch_size");
   batch_size.Record(static_cast<double>(prompts.size()));
+  // Duration event under the caller's ambient trace id (the serving path
+  // sets a batch scope; offline paths a run scope): the "forward" box on
+  // the timeline, with the batch size as its arg.
+  obs::ScopedTraceEvent forward_event(obs::TraceEventKind::kForward,
+                                      /*label=*/0, prompts.size());
   std::vector<double> probabilities(prompts.size());
   const size_t threads = static_cast<size_t>(std::max(1, num_threads));
   // Large offline batches amortize queue dispatch by scoring a few prompts

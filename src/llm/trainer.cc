@@ -9,6 +9,7 @@
 
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -248,6 +249,11 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
       continue;  // retry the same epoch
     }
     epoch_wall_time.Record(epoch_ms);
+    // Epoch box on the run's trace timeline (pipeline sets the run scope).
+    obs::TraceRecorder::Global().Record(
+        obs::CurrentTraceId(), obs::TraceEventKind::kEpoch,
+        static_cast<uint64_t>(epoch),
+        static_cast<uint64_t>(epoch_ms * 1e6));
     if (epoch_ms > 0.0) {
       throughput_gauge.Set(static_cast<double>(examples.size()) /
                            (epoch_ms / 1000.0));

@@ -1,0 +1,106 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "obs/trace.h"
+#include "util/fault.h"
+
+namespace tailormatch::obs::flight {
+
+namespace {
+
+// Fixed-size path buffer so the signal handler never touches std::string.
+constexpr size_t kMaxPath = 3968;
+char g_path[kMaxPath + 128] = {0};  // "<dir>/flight.json"
+std::atomic<bool> g_configured{false};
+std::atomic<bool> g_dumping{false};  // re-entrancy guard (crash in crash)
+
+struct sigaction g_previous[32];
+const int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+bool DumpLocked(const char* reason) {
+  if (!g_configured.load(std::memory_order_acquire)) return false;
+  const int fd =
+      ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  TraceRecorder::Global().WriteFlightJson(fd, reason);
+  ::close(fd);
+  return true;
+}
+
+const char* SignalReason(int signo) {
+  switch (signo) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+  }
+  return "signal";
+}
+
+void FatalSignalHandler(int signo) {
+  if (!g_dumping.exchange(true, std::memory_order_acq_rel)) {
+    DumpLocked(SignalReason(signo));
+  }
+  // Restore the previous disposition and re-raise so the process still dies
+  // the way it would have (core dump, sanitizer report, default exit).
+  if (signo >= 0 && signo < static_cast<int>(sizeof(g_previous) /
+                                             sizeof(g_previous[0]))) {
+    ::sigaction(signo, &g_previous[signo], nullptr);
+  }
+  ::raise(signo);
+}
+
+void CrashHookTrampoline(const char* point) {
+  if (!g_dumping.exchange(true, std::memory_order_acq_rel)) {
+    DumpLocked(point != nullptr ? point : "fault_crash");
+  }
+}
+
+}  // namespace
+
+void Configure(const std::string& dir) {
+  if (dir.empty() || dir.size() > kMaxPath) return;
+  ::memcpy(g_path, dir.c_str(), dir.size());
+  const char* suffix = "/flight.json";
+  ::memcpy(g_path + dir.size(), suffix, ::strlen(suffix) + 1);
+
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) recorder.Enable();
+
+  const bool first = !g_configured.exchange(true, std::memory_order_acq_rel);
+  if (first) {
+    fault::SetCrashHook(&CrashHookTrampoline);
+    struct sigaction action;
+    ::memset(&action, 0, sizeof(action));
+    action.sa_handler = &FatalSignalHandler;
+    ::sigemptyset(&action.sa_mask);
+    // No SA_RESETHAND: the handler restores the old disposition itself so
+    // it can chain; SA_NODEFER stays off so we don't recurse on a crash
+    // inside the handler (the g_dumping guard covers cross-signal races).
+    for (int signo : kFatalSignals) {
+      ::sigaction(signo, &action, &g_previous[signo]);
+    }
+  }
+}
+
+void ConfigureFromEnv() {
+  const char* dir = std::getenv("TM_FLIGHT_DIR");
+  if (dir != nullptr && *dir != '\0') Configure(dir);
+}
+
+bool DumpNow(const char* reason) {
+  if (!g_configured.load(std::memory_order_acquire)) return false;
+  return DumpLocked(reason == nullptr ? "manual" : reason);
+}
+
+bool Configured() { return g_configured.load(std::memory_order_acquire); }
+
+}  // namespace tailormatch::obs::flight

@@ -1,0 +1,44 @@
+#ifndef TAILORMATCH_OBS_FLIGHT_RECORDER_H_
+#define TAILORMATCH_OBS_FLIGHT_RECORDER_H_
+
+#include <string>
+
+namespace tailormatch::obs {
+
+// Crash flight recorder (DESIGN.md §5f): when the process dies — an
+// injected fault crash (util/fault kCrash) or a fatal signal — the newest
+// trace events of every thread are dumped to `<dir>/flight.json` as flat
+// JSON, turning a dead `ctest -L fault` child into a replayable timeline.
+//
+// The dump path is async-signal-safe: TraceRecorder::WriteFlightJson
+// formats straight from the atomic ring slots into a raw fd with no
+// allocation or locking; the directory path is captured into a fixed
+// buffer at Configure time.
+namespace flight {
+
+// Arms the recorder: dumps will be written to `dir` (created by the
+// caller; the recorder only open()s inside it). Installs handlers for
+// SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL (chaining to the previous
+// disposition by re-raising) and registers the util/fault crash hook.
+// Also enables tracing if it is off — a flight recorder without events
+// records nothing. Calling again just swaps the directory. TM_FLIGHT_DIR
+// arms this at startup for subprocess harnesses (read by ConfigureFromEnv,
+// which the CLI and test mains call).
+void Configure(const std::string& dir);
+
+// Reads TM_FLIGHT_DIR; no-op when unset or empty.
+void ConfigureFromEnv();
+
+// Writes `<dir>/flight.json` immediately (async-signal-safe). `reason`
+// lands in the dump's "reason" field. Returns false when unconfigured or
+// the file cannot be opened. Exposed for tests and for graceful-degrade
+// paths that want a dump without dying.
+bool DumpNow(const char* reason);
+
+// True once Configure has armed a directory.
+bool Configured();
+
+}  // namespace flight
+}  // namespace tailormatch::obs
+
+#endif  // TAILORMATCH_OBS_FLIGHT_RECORDER_H_

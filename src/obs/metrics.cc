@@ -139,26 +139,37 @@ double Histogram::max() const {
 
 double Histogram::Percentile(double pct) const {
   const int64_t total = count();
+  if (total <= 0) return 0.0;   // empty histogram: every percentile is 0
+  if (total == 1) return max(); // single sample: the sample itself
+  std::vector<int64_t> buckets(bounds_.size() + 1);
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] = bucket_counts_[i].load(std::memory_order_relaxed);
+  }
+  return BucketPercentile(bounds_, buckets, total, pct, min(), max());
+}
+
+double BucketPercentile(const std::vector<double>& bounds,
+                        const std::vector<int64_t>& bucket_counts,
+                        int64_t total, double pct, double min, double max) {
   if (total <= 0) return 0.0;
+  if (total == 1) return max;
   const double rank = std::clamp(pct, 0.0, 100.0) / 100.0 *
                       static_cast<double>(total);
   int64_t cumulative = 0;
-  const size_t num_buckets = bounds_.size() + 1;
-  for (size_t i = 0; i < num_buckets; ++i) {
-    const int64_t in_bucket =
-        bucket_counts_[i].load(std::memory_order_relaxed);
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const int64_t in_bucket = bucket_counts[i];
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= rank) {
-      const double lo = i == 0 ? min() : bounds_[i - 1];
-      const double hi = i == bounds_.size() ? max() : bounds_[i];
+      const double lo = i == 0 ? min : bounds[i - 1];
+      const double hi = i == bounds.size() ? max : bounds[i];
       const double frac =
           (rank - static_cast<double>(cumulative)) /
           static_cast<double>(in_bucket);
-      return std::clamp(lo + (hi - lo) * frac, min(), max());
+      return std::clamp(lo + (hi - lo) * frac, min, max);
     }
     cumulative += in_bucket;
   }
-  return max();
+  return max;
 }
 
 std::vector<double> Histogram::ExponentialBounds(double start, double factor,
@@ -225,6 +236,13 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+WindowedHistogram& MetricsRegistry::GetWindowed(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<WindowedHistogram>& slot = windows_[name];
+  if (slot == nullptr) slot.reset(new WindowedHistogram);
+  return *slot;
+}
+
 void MetricsRegistry::RecordSpan(const std::string& path, double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   SpanStat& stat = spans_[path];
@@ -255,6 +273,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     stats.p99 = histogram->Percentile(99.0);
     snapshot.histograms.push_back(std::move(stats));
   }
+  for (const auto& [name, window] : windows_) {
+    WindowedHistogramStats stats;
+    stats.name = name;
+    for (int seconds : {1, 10, 60}) {
+      stats.windows.push_back(window->StatsOver(seconds));
+    }
+    stats.rate_ewma = window->RateEwma();
+    snapshot.windows.push_back(std::move(stats));
+  }
   // Map iteration is sorted, so parents are inserted before their children.
   for (const auto& [path, stat] : spans_) {
     InsertSpan(&snapshot.spans, path, stat.count, stat.total, stat.min,
@@ -268,6 +295,7 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, window] : windows_) window->Reset();
   spans_.clear();
 }
 
@@ -299,6 +327,24 @@ std::string MetricsSnapshot::ToJson() const {
     out.append(",\"p99\":" + JsonNumber(h.p99));
     out.push_back('}');
   }
+  out.append("},\"windows\":{");
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const WindowedHistogramStats& w = windows[i];
+    if (i > 0) out.push_back(',');
+    AppendJsonString(w.name, &out);
+    out.append(":{\"rate_ewma\":" + JsonNumber(w.rate_ewma));
+    for (const WindowStats& stats : w.windows) {
+      out.append(StrFormat(",\"w%ds\":{\"count\":%lld", stats.window_seconds,
+                           static_cast<long long>(stats.count)));
+      out.append(",\"rate\":" + JsonNumber(stats.rate));
+      out.append(",\"p50\":" + JsonNumber(stats.p50));
+      out.append(",\"p95\":" + JsonNumber(stats.p95));
+      out.append(",\"p99\":" + JsonNumber(stats.p99));
+      out.append(",\"max\":" + JsonNumber(stats.max));
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
   out.append("},\"spans\":[");
   for (size_t i = 0; i < spans.size(); ++i) {
     if (i > 0) out.push_back(',');
@@ -326,6 +372,14 @@ const HistogramStats* MetricsSnapshot::FindHistogram(
     const std::string& name) const& {
   for (const HistogramStats& h : histograms) {
     if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const WindowedHistogramStats* MetricsSnapshot::FindWindow(
+    const std::string& name) const& {
+  for (const WindowedHistogramStats& w : windows) {
+    if (w.name == name) return &w;
   }
   return nullptr;
 }

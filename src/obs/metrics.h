@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/window.h"
+
 namespace tailormatch::obs {
 
 // Process-wide metrics: named counters, gauges, and fixed-bucket latency
@@ -94,6 +96,21 @@ struct HistogramStats {
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
 };
 
+// Rank interpolation inside fixed buckets — the percentile math shared by
+// Histogram and WindowedHistogram. Well-defined at the edges: 0 for an
+// empty population, the sample itself (min == max) for a single sample.
+double BucketPercentile(const std::vector<double>& bounds,
+                        const std::vector<int64_t>& bucket_counts,
+                        int64_t total, double pct, double min, double max);
+
+// Snapshot of one WindowedHistogram: merged 1s/10s/60s windows plus the
+// EWMA rate (see obs/window.h).
+struct WindowedHistogramStats {
+  std::string name;
+  std::vector<WindowStats> windows;  // ascending window_seconds: 1, 10, 60
+  double rate_ewma = 0.0;
+};
+
 // One node of the aggregated span tree. `path` is the full dotted path
 // ("pipeline.fine_tune"), `name` its last segment. A node that only exists
 // as a prefix of deeper spans has count 0.
@@ -112,6 +129,7 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramStats> histograms;
+  std::vector<WindowedHistogramStats> windows;
   std::vector<SpanNode> spans;  // roots of the span tree
 
   std::string ToJson() const;
@@ -124,6 +142,9 @@ struct MetricsSnapshot {
   const double* FindGauge(const std::string& name) const&& = delete;
   const HistogramStats* FindHistogram(const std::string& name) const&;
   const HistogramStats* FindHistogram(const std::string& name) const&& = delete;
+  const WindowedHistogramStats* FindWindow(const std::string& name) const&;
+  const WindowedHistogramStats* FindWindow(const std::string& name) const&& =
+      delete;
   // Depth-first lookup by full dotted path; nullptr when absent. Lvalue-only:
   // the pointer aims into this snapshot, so calling it on a temporary
   // (Registry().Snapshot().FindSpan(...)) would dangle immediately.
@@ -144,6 +165,9 @@ class MetricsRegistry {
   // Custom bucket bounds (strictly increasing); ignored if `name` exists.
   Histogram& GetHistogram(const std::string& name,
                           const std::vector<double>& bounds);
+  // Rolling-window companion to GetHistogram. By convention named like the
+  // cumulative histogram it shadows (e.g. "serve.latency_ms").
+  WindowedHistogram& GetWindowed(const std::string& name);
 
   // Folds one completed span into the aggregate tree (called by ScopedSpan).
   void RecordSpan(const std::string& path, double seconds);
@@ -163,6 +187,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windows_;
   std::map<std::string, SpanStat> spans_;
 };
 

@@ -1,0 +1,454 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace tailormatch::obs {
+
+namespace {
+
+// Hard bounds on the per-thread ring so a typo'd TM_TRACE_RING can neither
+// disable tracing nor eat the heap.
+constexpr size_t kMinRing = 64;
+constexpr size_t kMaxRing = size_t{1} << 20;
+// Threads that can ever record events. Registration is a lock-free slot
+// claim so the flight recorder can walk the table from a signal handler.
+constexpr size_t kMaxThreads = 256;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// One ring slot. Every field is a relaxed atomic so concurrent Collect()
+// reads are race-free under TSan; `ready` seqlocks the slot: 0 while the
+// owner thread rewrites it, then the publish count. A reader that sees
+// `ready` change across its field reads discards the slot.
+struct Slot {
+  std::atomic<uint64_t> ready{0};
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint64_t> t_ns{0};
+  std::atomic<uint64_t> dur_ns{0};
+  std::atomic<uint64_t> arg{0};
+  std::atomic<uint32_t> kind{0};
+  std::atomic<uint32_t> label{0};
+};
+
+struct ThreadBuffer {
+  explicit ThreadBuffer(size_t capacity)
+      : slots(new Slot[capacity]), capacity(capacity) {}
+  ~ThreadBuffer() { delete[] slots; }
+
+  Slot* slots;
+  size_t capacity;           // power of two
+  std::atomic<uint64_t> head{0};  // total events ever written
+  int tid = 0;
+};
+
+}  // namespace
+
+struct TraceRecorder::Impl {
+  std::chrono::steady_clock::time_point epoch;
+  std::atomic<uint64_t> next_seq{1};
+  std::atomic<uint64_t> next_trace_id{1};
+  std::atomic<size_t> ring_capacity{4096};
+
+  // Lock-free thread table: buffers are claimed with a fetch_add index,
+  // published with a release store, and never freed — the flight recorder
+  // walks this from signal context.
+  std::atomic<ThreadBuffer*> threads[kMaxThreads] = {};
+  std::atomic<int> num_threads{0};
+
+  // Interned labels: pointers to caller-owned static strings. Insert under
+  // the mutex, read lock-free (count published with release).
+  std::mutex label_mutex;
+  const char* labels[kMaxThreads] = {};
+  std::atomic<uint32_t> num_labels{0};
+
+  ThreadBuffer* BufferForThisThread() {
+    thread_local ThreadBuffer* buffer = nullptr;
+    if (buffer != nullptr) return buffer;
+    const int index = num_threads.fetch_add(1, std::memory_order_relaxed);
+    if (index >= static_cast<int>(kMaxThreads)) {
+      num_threads.fetch_sub(1, std::memory_order_relaxed);
+      return nullptr;  // beyond the table: this thread's events are dropped
+    }
+    auto* fresh =
+        new ThreadBuffer(ring_capacity.load(std::memory_order_relaxed));
+    fresh->tid = index;
+    threads[index].store(fresh, std::memory_order_release);
+    buffer = fresh;
+    return buffer;
+  }
+};
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kEnqueue: return "enqueue";
+    case TraceEventKind::kReject: return "reject";
+    case TraceEventKind::kTimeout: return "timeout";
+    case TraceEventKind::kCacheHit: return "cache_hit";
+    case TraceEventKind::kCacheMiss: return "cache_miss";
+    case TraceEventKind::kBatchForm: return "batch_form";
+    case TraceEventKind::kDispatch: return "dispatch";
+    case TraceEventKind::kForward: return "forward";
+    case TraceEventKind::kReply: return "reply";
+    case TraceEventKind::kStage: return "stage";
+    case TraceEventKind::kEpoch: return "epoch";
+    case TraceEventKind::kMark: return "mark";
+    case TraceEventKind::kNumKinds: break;
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder() : impl_(new Impl) {
+  impl_->epoch = std::chrono::steady_clock::now();
+  const char* ring = std::getenv("TM_TRACE_RING");
+  if (ring != nullptr && *ring != '\0') {
+    set_ring_capacity(static_cast<size_t>(std::strtoull(ring, nullptr, 10)));
+  }
+  const char* trace = std::getenv("TM_TRACE");
+  if (trace != nullptr && *trace != '\0' && std::strcmp(trace, "0") != 0) {
+    Enable();
+  }
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder;
+  return *recorder;
+}
+
+void TraceRecorder::set_ring_capacity(size_t events) {
+  impl_->ring_capacity.store(
+      RoundUpPow2(std::clamp(events, kMinRing, kMaxRing)),
+      std::memory_order_relaxed);
+}
+
+size_t TraceRecorder::ring_capacity() const {
+  return impl_->ring_capacity.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - impl_->epoch)
+          .count());
+}
+
+uint64_t TraceRecorder::NewTraceId() {
+  return impl_->next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t TraceRecorder::InternLabel(const char* label) {
+  std::lock_guard<std::mutex> lock(impl_->label_mutex);
+  const uint32_t count = impl_->num_labels.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (impl_->labels[i] == label ||
+        std::strcmp(impl_->labels[i], label) == 0) {
+      return i + 1;
+    }
+  }
+  if (count >= kMaxThreads) return 0;  // label table full: record unnamed
+  impl_->labels[count] = label;
+  impl_->num_labels.store(count + 1, std::memory_order_release);
+  return count + 1;
+}
+
+const char* TraceRecorder::LabelName(uint32_t label) const {
+  const uint32_t count = impl_->num_labels.load(std::memory_order_acquire);
+  if (label == 0 || label > count) return "";
+  return impl_->labels[label - 1];
+}
+
+void TraceRecorder::Record(uint64_t trace_id, TraceEventKind kind,
+                           uint64_t arg, uint64_t dur_ns, uint32_t label) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = impl_->BufferForThisThread();
+  if (buffer == nullptr) return;
+  const uint64_t head = buffer->head.load(std::memory_order_relaxed);
+  Slot& slot = buffer->slots[head & (buffer->capacity - 1)];
+  const uint64_t seq = impl_->next_seq.fetch_add(1, std::memory_order_relaxed);
+  slot.ready.store(0, std::memory_order_release);
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.t_ns.store(NowNs(), std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint32_t>(kind), std::memory_order_relaxed);
+  slot.label.store(label, std::memory_order_relaxed);
+  slot.ready.store(head + 1, std::memory_order_release);
+  buffer->head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  std::vector<TraceEvent> events;
+  const int threads = impl_->num_threads.load(std::memory_order_acquire);
+  for (int t = 0; t < threads && t < static_cast<int>(kMaxThreads); ++t) {
+    const ThreadBuffer* buffer =
+        impl_->threads[t].load(std::memory_order_acquire);
+    if (buffer == nullptr) continue;
+    const uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const uint64_t first =
+        head > buffer->capacity ? head - buffer->capacity : 0;
+    for (uint64_t i = first; i < head; ++i) {
+      const Slot& slot = buffer->slots[i & (buffer->capacity - 1)];
+      const uint64_t ready = slot.ready.load(std::memory_order_acquire);
+      if (ready != i + 1) continue;  // overwritten or mid-write
+      TraceEvent event;
+      event.seq = slot.seq.load(std::memory_order_relaxed);
+      event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      event.t_ns = slot.t_ns.load(std::memory_order_relaxed);
+      event.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+      event.arg = slot.arg.load(std::memory_order_relaxed);
+      event.kind = static_cast<TraceEventKind>(
+          slot.kind.load(std::memory_order_relaxed));
+      event.label = slot.label.load(std::memory_order_relaxed);
+      event.tid = buffer->tid;
+      // Seqlock validation: if the writer lapped us mid-read, the publish
+      // count moved — drop the torn slot.
+      if (slot.ready.load(std::memory_order_acquire) != i + 1) continue;
+      events.push_back(event);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
+int64_t TraceRecorder::overwritten() const {
+  int64_t total = 0;
+  const int threads = impl_->num_threads.load(std::memory_order_acquire);
+  for (int t = 0; t < threads && t < static_cast<int>(kMaxThreads); ++t) {
+    const ThreadBuffer* buffer =
+        impl_->threads[t].load(std::memory_order_acquire);
+    if (buffer == nullptr) continue;
+    const uint64_t head = buffer->head.load(std::memory_order_acquire);
+    if (head > buffer->capacity) {
+      total += static_cast<int64_t>(head - buffer->capacity);
+    }
+  }
+  return total;
+}
+
+void TraceRecorder::Clear() {
+  const int threads = impl_->num_threads.load(std::memory_order_acquire);
+  for (int t = 0; t < threads && t < static_cast<int>(kMaxThreads); ++t) {
+    ThreadBuffer* buffer = impl_->threads[t].load(std::memory_order_acquire);
+    if (buffer == nullptr) continue;
+    for (size_t i = 0; i < buffer->capacity; ++i) {
+      buffer->slots[i].ready.store(0, std::memory_order_relaxed);
+    }
+    buffer->head.store(0, std::memory_order_release);
+  }
+}
+
+namespace {
+
+void AppendEventCommon(const TraceEvent& event, const char* name,
+                       std::string* out) {
+  out->append("{\"name\":");
+  json::AppendString(name, out);
+  out->append(",\"cat\":\"tm\"");
+  out->append(StrFormat(",\"pid\":1,\"tid\":%d", event.tid));
+  out->append(StrFormat(",\"ts\":%.3f",
+                        static_cast<double>(event.t_ns) / 1e3));
+  out->append(StrFormat(",\"id\":%llu",
+                        static_cast<unsigned long long>(event.trace_id)));
+  out->append(StrFormat(",\"seq\":%llu",
+                        static_cast<unsigned long long>(event.seq)));
+  out->append(StrFormat(",\"arg\":%llu",
+                        static_cast<unsigned long long>(event.arg)));
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  for (const TraceEvent& event : events) {
+    const char* label = LabelName(event.label);
+    const char* name =
+        *label != '\0' ? label : TraceEventKindName(event.kind);
+    // Requests get an async lifeline: "b" at enqueue, "e" at reply, keyed
+    // by trace id, so chrome://tracing groups every event of one request.
+    if (event.kind == TraceEventKind::kEnqueue) {
+      comma();
+      AppendEventCommon(event, "request", &out);
+      out.append(",\"ph\":\"b\"}");
+    }
+    comma();
+    AppendEventCommon(event, name, &out);
+    if (event.dur_ns > 0) {
+      out.append(StrFormat(",\"ph\":\"X\",\"dur\":%.3f}",
+                           static_cast<double>(event.dur_ns) / 1e3));
+    } else {
+      out.append(",\"ph\":\"i\",\"s\":\"t\"}");
+    }
+    if (event.kind == TraceEventKind::kReply ||
+        event.kind == TraceEventKind::kTimeout ||
+        event.kind == TraceEventKind::kReject) {
+      comma();
+      AppendEventCommon(event, "request", &out);
+      out.append(",\"ph\":\"e\"}");
+    }
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}");
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::IoError("cannot open trace output: " + path);
+  }
+  out << ToChromeJson() << "\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("cannot write trace output: " + path);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// ---- async-signal-safe formatting for the flight dump ----
+
+size_t SafeWrite(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+  return written;
+}
+
+void SafeAppend(char* buffer, size_t cap, size_t* len, const char* text) {
+  while (*text != '\0' && *len + 1 < cap) buffer[(*len)++] = *text++;
+}
+
+void SafeAppendU64(char* buffer, size_t cap, size_t* len, uint64_t value) {
+  char digits[24];
+  size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value > 0 && n < sizeof(digits));
+  while (n > 0 && *len + 1 < cap) buffer[(*len)++] = digits[--n];
+}
+
+}  // namespace
+
+size_t TraceRecorder::WriteFlightJson(int fd, const char* reason) const {
+  char buffer[512];
+  size_t len = 0;
+  SafeAppend(buffer, sizeof(buffer), &len, "{\"reason\":\"");
+  SafeAppend(buffer, sizeof(buffer), &len, reason == nullptr ? "" : reason);
+  SafeAppend(buffer, sizeof(buffer), &len, "\",\"events\":[");
+  SafeWrite(fd, buffer, len);
+
+  size_t written = 0;
+  const int threads = impl_->num_threads.load(std::memory_order_acquire);
+  for (int t = 0; t < threads && t < static_cast<int>(kMaxThreads); ++t) {
+    const ThreadBuffer* thread_buffer =
+        impl_->threads[t].load(std::memory_order_acquire);
+    if (thread_buffer == nullptr) continue;
+    const uint64_t head = thread_buffer->head.load(std::memory_order_acquire);
+    const uint64_t first =
+        head > thread_buffer->capacity ? head - thread_buffer->capacity : 0;
+    for (uint64_t i = first; i < head; ++i) {
+      const Slot& slot =
+          thread_buffer->slots[i & (thread_buffer->capacity - 1)];
+      if (slot.ready.load(std::memory_order_acquire) != i + 1) continue;
+      len = 0;
+      if (written > 0) SafeAppend(buffer, sizeof(buffer), &len, ",");
+      SafeAppend(buffer, sizeof(buffer), &len, "\n{\"seq\":");
+      SafeAppendU64(buffer, sizeof(buffer), &len,
+                    slot.seq.load(std::memory_order_relaxed));
+      SafeAppend(buffer, sizeof(buffer), &len, ",\"trace_id\":");
+      SafeAppendU64(buffer, sizeof(buffer), &len,
+                    slot.trace_id.load(std::memory_order_relaxed));
+      SafeAppend(buffer, sizeof(buffer), &len, ",\"tid\":");
+      SafeAppendU64(buffer, sizeof(buffer), &len,
+                    static_cast<uint64_t>(thread_buffer->tid));
+      SafeAppend(buffer, sizeof(buffer), &len, ",\"kind\":\"");
+      SafeAppend(buffer, sizeof(buffer), &len,
+                 TraceEventKindName(static_cast<TraceEventKind>(
+                     slot.kind.load(std::memory_order_relaxed))));
+      SafeAppend(buffer, sizeof(buffer), &len, "\",\"label\":\"");
+      SafeAppend(buffer, sizeof(buffer), &len,
+                 LabelName(slot.label.load(std::memory_order_relaxed)));
+      SafeAppend(buffer, sizeof(buffer), &len, "\",\"t_ns\":");
+      SafeAppendU64(buffer, sizeof(buffer), &len,
+                    slot.t_ns.load(std::memory_order_relaxed));
+      SafeAppend(buffer, sizeof(buffer), &len, ",\"dur_ns\":");
+      SafeAppendU64(buffer, sizeof(buffer), &len,
+                    slot.dur_ns.load(std::memory_order_relaxed));
+      SafeAppend(buffer, sizeof(buffer), &len, ",\"arg\":");
+      SafeAppendU64(buffer, sizeof(buffer), &len,
+                    slot.arg.load(std::memory_order_relaxed));
+      SafeAppend(buffer, sizeof(buffer), &len, "}");
+      SafeWrite(fd, buffer, len);
+      ++written;
+    }
+  }
+  len = 0;
+  SafeAppend(buffer, sizeof(buffer), &len, "\n]}\n");
+  SafeWrite(fd, buffer, len);
+  return written;
+}
+
+namespace {
+
+uint64_t& CurrentTraceIdRef() {
+  thread_local uint64_t current = 0;
+  return current;
+}
+
+}  // namespace
+
+uint64_t CurrentTraceId() { return CurrentTraceIdRef(); }
+
+TraceScope::TraceScope(uint64_t trace_id) {
+  uint64_t& current = CurrentTraceIdRef();
+  previous_ = current;
+  current = trace_id;
+}
+
+TraceScope::~TraceScope() { CurrentTraceIdRef() = previous_; }
+
+ScopedTraceEvent::ScopedTraceEvent(TraceEventKind kind, uint32_t label,
+                                   uint64_t arg)
+    : arg_(arg), kind_(kind), label_(label) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  active_ = recorder.enabled();
+  start_ns_ = active_ ? recorder.NowNs() : 0;
+}
+
+ScopedTraceEvent::~ScopedTraceEvent() {
+  if (!active_) return;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  recorder.Record(CurrentTraceId(), kind_, arg_,
+                  recorder.NowNs() - start_ns_, label_);
+}
+
+}  // namespace tailormatch::obs

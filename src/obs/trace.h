@@ -1,0 +1,185 @@
+#ifndef TAILORMATCH_OBS_TRACE_H_
+#define TAILORMATCH_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tailormatch::obs {
+
+// Request-scoped tracing (DESIGN.md §5f). Where the span layer (obs/span.h)
+// aggregates wall time per dotted path, this layer records *individual*
+// typed events tagged with a 64-bit trace id, so one slow request can be
+// followed through enqueue -> batch-form -> dispatch -> forward -> reply and
+// rendered on a timeline (Chrome trace_event JSON, chrome://tracing).
+//
+// Cost model: tracing is compiled in but off by default. The off path is a
+// single relaxed atomic load per call site; the on path is one slot write
+// into a per-thread fixed-capacity ring buffer (no locks, no allocation
+// after the thread's first event). Rings overwrite their oldest events, so
+// memory is bounded and the most recent history is always available — which
+// is exactly what the crash flight recorder (obs/flight_recorder.h) dumps.
+
+// Typed event kinds. Per-request kinds (enqueue, cache hit/miss, dispatch,
+// reply, reject, timeout) are recorded under the request's trace id;
+// per-batch kinds (batch-form, forward) under a batch trace id so a
+// request's event *sequence* is identical for any batch size (asserted by
+// tests/serve/batching_determinism_test.cpp).
+enum class TraceEventKind : uint32_t {
+  kEnqueue = 0,  // request admitted to the micro-batch queue (arg: depth)
+  kReject,       // admission control turned the request away (arg: depth)
+  kTimeout,      // deadline expired before the forward ran
+  kCacheHit,     // decision served from the result cache
+  kCacheMiss,    // result cache consulted and missed
+  kBatchForm,    // a worker closed a micro-batch (arg: batch size)
+  kDispatch,     // request assigned to a batch (arg: batch trace id)
+  kForward,      // one model forward dispatch (arg: batch size, has dur)
+  kReply,        // result delivered to the caller
+  kStage,        // offline pipeline stage (label names it, has dur)
+  kEpoch,        // trainer epoch (arg: epoch index, has dur)
+  kMark,         // generic labeled point or duration
+  kNumKinds,
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+// One collected event. `label` is an interned name id (0 = none; resolve
+// with TraceRecorder::LabelName), `tid` the recorder's stable index for the
+// recording thread, `t_ns`/`dur_ns` nanoseconds since the recorder epoch.
+struct TraceEvent {
+  uint64_t seq = 0;  // global record order (atomic counter)
+  uint64_t trace_id = 0;
+  uint64_t t_ns = 0;
+  uint64_t dur_ns = 0;
+  uint64_t arg = 0;
+  TraceEventKind kind = TraceEventKind::kMark;
+  uint32_t label = 0;
+  int tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  // Process-wide recorder. First use reads TM_TRACE (non-empty and not "0"
+  // enables tracing at startup) and TM_TRACE_RING (events kept per thread,
+  // default 4096, clamped to [64, 1<<20] and rounded up to a power of two).
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Records one event on the calling thread's ring buffer. No-op (one
+  // relaxed load) while disabled.
+  void Record(uint64_t trace_id, TraceEventKind kind, uint64_t arg = 0,
+              uint64_t dur_ns = 0, uint32_t label = 0);
+
+  // Fresh process-unique trace id (a counter: ids are small and dense, so
+  // tests may safely pick explicit ids >= 1<<40 without collision).
+  uint64_t NewTraceId();
+
+  // Interns a label and returns its id (>= 1). `label` must outlive the
+  // recorder (string literals): the flight recorder resolves labels inside
+  // a signal handler, where copying would be unsafe.
+  uint32_t InternLabel(const char* label);
+  // Name for an interned id; "" for 0/unknown.
+  const char* LabelName(uint32_t label) const;
+
+  // Nanoseconds since the recorder epoch (steady clock).
+  uint64_t NowNs() const;
+
+  // Copies every currently-readable event out of all thread rings, sorted
+  // by seq. Events being overwritten concurrently are skipped — the
+  // snapshot is best-effort by design; quiesce writers (join threads) when
+  // an exact view is required.
+  std::vector<TraceEvent> Collect() const;
+
+  // Events discarded to ring overwrite across all threads so far.
+  int64_t overwritten() const;
+
+  // Test hook: empties every ring (does not unregister threads).
+  void Clear();
+
+  // Chrome trace_event JSON ("{\"traceEvents\":[...]}"): every event is one
+  // *flat* object (args are inlined as top-level keys, never nested) so the
+  // export round-trips through util/json's flat-object parser. Events with
+  // a duration render as "ph":"X"; instants as "ph":"i"; enqueue/reply
+  // additionally emit async "b"/"e" brackets keyed by trace id so
+  // chrome://tracing draws one lifeline per request.
+  std::string ToChromeJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  // Async-signal-safe flight dump: formats the newest events of every
+  // thread as flat JSON into `fd` without allocating or locking. Returns
+  // the number of events written. Used by the flight recorder from fatal
+  // signal handlers and the fault-injection crash hook.
+  size_t WriteFlightJson(int fd, const char* reason) const;
+
+  // Ring capacity for threads that register *after* this call (existing
+  // rings keep their size). Test hook; clamps and rounds like the env knob.
+  void set_ring_capacity(size_t events);
+  size_t ring_capacity() const;
+
+ private:
+  TraceRecorder();
+  struct Impl;
+  Impl* impl_;
+  std::atomic<bool> enabled_{false};
+};
+
+// Thread-local trace context: the innermost TraceScope's id, or 0. The
+// serving path sets a scope per request (and per batch around the forward),
+// the offline pipeline one per run, so instrumentation deep in the stack
+// (SimLlm, ResultCache) can tag events without threading ids through every
+// signature.
+uint64_t CurrentTraceId();
+
+class TraceScope {
+ public:
+  explicit TraceScope(uint64_t trace_id);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+// RAII duration event: records `kind` with the scope's wall time on
+// destruction, under the trace id current at destruction time. Free while
+// the recorder is disabled (checked at both ends).
+class ScopedTraceEvent {
+ public:
+  explicit ScopedTraceEvent(TraceEventKind kind, uint32_t label = 0,
+                            uint64_t arg = 0);
+  ~ScopedTraceEvent();
+  ScopedTraceEvent(const ScopedTraceEvent&) = delete;
+  ScopedTraceEvent& operator=(const ScopedTraceEvent&) = delete;
+
+ private:
+  uint64_t start_ns_;
+  uint64_t arg_;
+  TraceEventKind kind_;
+  uint32_t label_;
+  bool active_;
+};
+
+}  // namespace tailormatch::obs
+
+// Times the enclosing scope as a kStage trace event labeled `name` (a string
+// literal). Companion to TM_SPAN: the span aggregates, the trace event lands
+// on the timeline.
+#define TM_TRACE_STAGE(name)                                               \
+  static const uint32_t TM_TRACE_CONCAT(tm_trace_label_, __LINE__) =       \
+      ::tailormatch::obs::TraceRecorder::Global().InternLabel(name);       \
+  ::tailormatch::obs::ScopedTraceEvent TM_TRACE_CONCAT(tm_trace_ev_,       \
+                                                       __LINE__)(          \
+      ::tailormatch::obs::TraceEventKind::kStage,                          \
+      TM_TRACE_CONCAT(tm_trace_label_, __LINE__))
+
+#define TM_TRACE_CONCAT_INNER(a, b) a##b
+#define TM_TRACE_CONCAT(a, b) TM_TRACE_CONCAT_INNER(a, b)
+
+#endif  // TAILORMATCH_OBS_TRACE_H_

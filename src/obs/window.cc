@@ -1,0 +1,222 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace tailormatch::obs {
+
+namespace {
+
+// One fold step: admit `count` events for the oldest completed second, then
+// decay across the `gap - 1` empty seconds that followed it — in that order,
+// so an idle stream converges to 0 no matter when it went quiet.
+double FoldEwma(double ewma, bool primed, int64_t gap, int64_t count) {
+  const double alpha = 1.0 - std::exp(-1.0 / WindowedHistogram::kEwmaTauSeconds);
+  ewma = primed ? alpha * static_cast<double>(count) + (1.0 - alpha) * ewma
+                : static_cast<double>(count);
+  for (int64_t i = 1; i < gap; ++i) ewma *= (1.0 - alpha);
+  return ewma;
+}
+
+}  // namespace
+
+WindowedHistogram::WindowedHistogram()
+    : WindowedHistogram(Histogram::DefaultLatencyBounds()) {}
+
+WindowedHistogram::WindowedHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), slices_(kWindowSlices) {
+  TM_CHECK(!bounds_.empty()) << "windowed histogram needs bucket bounds";
+  for (Slice& slice : slices_) {
+    slice.bucket_counts.assign(bounds_.size() + 1, 0);
+  }
+}
+
+int64_t WindowedHistogram::NowSecond() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void WindowedHistogram::AdvanceLocked(int64_t now_sec) {
+  if (now_sec <= last_second_) return;
+  if (last_second_ >= 0) {
+    // Fold the completed second (and the empty gap after it) into the rate.
+    const Slice& done = SliceForLocked(last_second_);
+    const int64_t count =
+        done.epoch_second == last_second_ ? done.count : 0;
+    ewma_rate_ = FoldEwma(ewma_rate_, ewma_primed_, now_sec - last_second_,
+                          count);
+    ewma_primed_ = true;
+  }
+  last_second_ = now_sec;
+  Slice& fresh = slices_[static_cast<size_t>(now_sec) % slices_.size()];
+  if (fresh.epoch_second != now_sec) {
+    fresh.epoch_second = now_sec;
+    fresh.count = 0;
+    fresh.sum = 0.0;
+    fresh.min = std::numeric_limits<double>::infinity();
+    fresh.max = -std::numeric_limits<double>::infinity();
+    std::fill(fresh.bucket_counts.begin(), fresh.bucket_counts.end(), 0);
+  }
+}
+
+const WindowedHistogram::Slice& WindowedHistogram::SliceForLocked(
+    int64_t second) const {
+  return slices_[static_cast<size_t>(second) % slices_.size()];
+}
+
+void WindowedHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Slice& slice : slices_) {
+    slice.epoch_second = -1;
+    slice.count = 0;
+    slice.sum = 0.0;
+    std::fill(slice.bucket_counts.begin(), slice.bucket_counts.end(), 0);
+  }
+  last_second_ = -1;
+  ewma_rate_ = 0.0;
+  ewma_primed_ = false;
+}
+
+void WindowedHistogram::Record(double value) {
+  RecordAtSecond(value, NowSecond());
+}
+
+void WindowedHistogram::RecordAtSecond(double value, int64_t now_sec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdvanceLocked(now_sec);
+  Slice& slice = slices_[static_cast<size_t>(now_sec) % slices_.size()];
+  if (slice.epoch_second != now_sec) {
+    // now_sec regressed below a newer slice; drop rather than corrupt.
+    return;
+  }
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  slice.bucket_counts[bucket] += 1;
+  slice.count += 1;
+  slice.sum += value;
+  slice.min = std::min(slice.min, value);
+  slice.max = std::max(slice.max, value);
+}
+
+WindowStats WindowedHistogram::StatsOver(int window_seconds) const {
+  return StatsOverAtSecond(window_seconds, NowSecond());
+}
+
+WindowStats WindowedHistogram::StatsOverAtSecond(int window_seconds,
+                                                 int64_t now_sec) const {
+  window_seconds = std::clamp(window_seconds, 1, kWindowSlices);
+  WindowStats stats;
+  stats.window_seconds = window_seconds;
+
+  std::vector<int64_t> merged(bounds_.size() + 1, 0);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int64_t sec = now_sec - window_seconds + 1; sec <= now_sec; ++sec) {
+      if (sec < 0) continue;
+      const Slice& slice = SliceForLocked(sec);
+      if (slice.epoch_second != sec || slice.count == 0) continue;
+      stats.count += slice.count;
+      stats.sum += slice.sum;
+      min = std::min(min, slice.min);
+      max = std::max(max, slice.max);
+      for (size_t i = 0; i < merged.size(); ++i) {
+        merged[i] += slice.bucket_counts[i];
+      }
+    }
+  }
+  if (stats.count == 0) return stats;
+  stats.min = min;
+  stats.max = max;
+  stats.rate = static_cast<double>(stats.count) / window_seconds;
+  stats.p50 = BucketPercentile(bounds_, merged, stats.count, 50.0, min, max);
+  stats.p95 = BucketPercentile(bounds_, merged, stats.count, 95.0, min, max);
+  stats.p99 = BucketPercentile(bounds_, merged, stats.count, 99.0, min, max);
+  return stats;
+}
+
+double WindowedHistogram::RateEwma() const {
+  return RateEwmaAtSecond(NowSecond());
+}
+
+double WindowedHistogram::RateEwmaAtSecond(int64_t now_sec) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (last_second_ < 0) return 0.0;
+  // Project the folded rate forward over seconds that have fully elapsed
+  // since the last fold (the current partial second stays unjudged).
+  double ewma = ewma_rate_;
+  bool primed = ewma_primed_;
+  if (now_sec > last_second_) {
+    const Slice& done = SliceForLocked(last_second_);
+    const int64_t count =
+        done.epoch_second == last_second_ ? done.count : 0;
+    ewma = FoldEwma(ewma, primed, now_sec - last_second_, count);
+  }
+  return ewma;
+}
+
+SloTracker::SloTracker(const std::string& prefix, SloConfig config)
+    : config_(config) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  evaluations_ = &registry.GetCounter(prefix + ".evaluations");
+  p99_breaches_ = &registry.GetCounter(prefix + ".p99_breaches");
+  error_breaches_ = &registry.GetCounter(prefix + ".error_breaches");
+  last_p99_ms_ = &registry.GetGauge(prefix + ".last_p99_ms");
+  last_error_rate_ = &registry.GetGauge(prefix + ".last_error_rate");
+}
+
+void SloTracker::RecordRequest(double latency_ms, bool error) {
+  RecordRequestAtSecond(latency_ms, error, WindowedHistogram::NowSecond());
+}
+
+void SloTracker::RecordRequestAtSecond(double latency_ms, bool error,
+                                       int64_t now_sec) {
+  latency_.RecordAtSecond(latency_ms, now_sec);
+  if (error) errors_.RecordAtSecond(1.0, now_sec);
+}
+
+bool SloTracker::MaybeEvaluate() {
+  return MaybeEvaluateAtSecond(WindowedHistogram::NowSecond());
+}
+
+bool SloTracker::MaybeEvaluateAtSecond(int64_t now_sec) {
+  if (config_.p99_ms <= 0.0 && config_.max_error_rate < 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (now_sec <= last_eval_second_) return false;
+  last_eval_second_ = now_sec;
+  return EvaluateLocked(now_sec);
+}
+
+bool SloTracker::EvaluateLocked(int64_t now_sec) {
+  const WindowStats latency =
+      latency_.StatsOverAtSecond(config_.window_seconds, now_sec);
+  if (latency.count < config_.min_requests) return false;
+  evaluations_->Increment();
+
+  last_p99_ms_->Set(latency.p99);
+  if (config_.p99_ms > 0.0 && latency.p99 > config_.p99_ms) {
+    p99_breaches_->Increment();
+  }
+
+  const WindowStats errors =
+      errors_.StatsOverAtSecond(config_.window_seconds, now_sec);
+  const double error_rate =
+      static_cast<double>(errors.count) / static_cast<double>(latency.count);
+  last_error_rate_->Set(error_rate);
+  if (config_.max_error_rate >= 0.0 && error_rate > config_.max_error_rate) {
+    error_breaches_->Increment();
+  }
+  return true;
+}
+
+}  // namespace tailormatch::obs

@@ -1,0 +1,144 @@
+#ifndef TAILORMATCH_OBS_WINDOW_H_
+#define TAILORMATCH_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tailormatch::obs {
+
+class Counter;
+class Gauge;
+
+// Rolling-window metrics (DESIGN.md §5f). The cumulative layer in
+// obs/metrics.h answers "what happened since boot"; this layer answers
+// "what is happening *now*": per-second slices merged into 1s/10s/60s
+// percentile windows, plus an exponentially-weighted events/sec rate.
+// These are the inputs an SLO budget (SloTracker) — and, per ROADMAP item
+// 4, a future adaptive batcher — can actually steer on, where a p99-since-
+// boot histogram cannot.
+
+// Stats over one merged window. `window_seconds` slices ending at the
+// current (partial) second; percentiles interpolate inside fixed buckets
+// exactly like the cumulative Histogram (shared BucketPercentile).
+struct WindowStats {
+  int window_seconds = 0;
+  int64_t count = 0;
+  double sum = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double rate = 0.0;  // events/sec averaged over the window
+};
+
+// Fixed-bucket histogram over a ring of one-second slices. Recording takes
+// a short mutex-protected critical section (one bucket increment plus ring
+// advance); reads merge the newest `window_seconds` slices. Slices older
+// than kWindowSlices (60) seconds are overwritten — the whole point is to
+// forget.
+class WindowedHistogram {
+ public:
+  // Largest supported window, in seconds (ring length).
+  static constexpr int kWindowSlices = 60;
+  // EWMA time constant: weight of a one-second-old sample decays by
+  // exp(-1/kEwmaTauSeconds) per second, so ~63% of the rate mass comes from
+  // the last 10 seconds.
+  static constexpr double kEwmaTauSeconds = 10.0;
+
+  // `bounds` as in Histogram: bucket i spans (bounds[i-1], bounds[i]], with
+  // an unbounded overflow bucket above. Defaults to the millisecond latency
+  // bounds.
+  WindowedHistogram();
+  explicit WindowedHistogram(std::vector<double> bounds);
+
+  void Record(double value);
+  // Merged stats for the trailing `window_seconds` in [1, kWindowSlices].
+  WindowStats StatsOver(int window_seconds) const;
+  // EWMA events/sec, folded at one-second slice boundaries and decayed for
+  // elapsed empty seconds (so an idle stream converges to 0).
+  double RateEwma() const;
+
+  // Seconds since the process-wide window epoch — the slice index domain.
+  static int64_t NowSecond();
+
+  // Test hook (MetricsRegistry::Reset): empties every slice and the rate.
+  void Reset();
+
+  // Deterministic-time variants for tests: `now_sec` must be monotonically
+  // non-decreasing across calls on one instance.
+  void RecordAtSecond(double value, int64_t now_sec);
+  WindowStats StatsOverAtSecond(int window_seconds, int64_t now_sec) const;
+  double RateEwmaAtSecond(int64_t now_sec) const;
+
+ private:
+  struct Slice {
+    int64_t epoch_second = -1;  // which absolute second this slice holds
+    int64_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0;
+    std::vector<int64_t> bucket_counts;
+  };
+
+  void AdvanceLocked(int64_t now_sec);
+  const Slice& SliceForLocked(int64_t second) const;
+
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;
+  std::vector<Slice> slices_;   // ring indexed by second % size
+  int64_t last_second_ = -1;    // newest second ever advanced to
+  double ewma_rate_ = 0.0;      // folded at slice boundaries
+  bool ewma_primed_ = false;    // first fold seeds rather than decays
+};
+
+// Configurable service-level budget over a rolling window.
+struct SloConfig {
+  double p99_ms = 0.0;          // p99 latency budget; <= 0 disables
+  double max_error_rate = -1.0; // errors/requests budget in [0,1]; <0 disables
+  int window_seconds = 10;      // window both budgets are evaluated over
+  int64_t min_requests = 20;    // don't judge windows thinner than this
+};
+
+// Evaluates `SloConfig` against a latency window and an error-rate window,
+// exposing breach counts through the global MetricsRegistry (so the serving
+// `stats` op reports them with zero extra plumbing):
+//   <prefix>.evaluations   windows actually judged
+//   <prefix>.p99_breaches  evaluations where p99 > budget
+//   <prefix>.error_breaches evaluations where error rate > budget
+// and gauges <prefix>.last_p99_ms / <prefix>.last_error_rate with the most
+// recently evaluated values. Counters exist (at zero) even when both budgets
+// are disabled, so dashboards never see a missing series.
+class SloTracker {
+ public:
+  SloTracker(const std::string& prefix, SloConfig config);
+
+  // One finished request: its latency and whether it failed.
+  void RecordRequest(double latency_ms, bool error);
+
+  // Throttled evaluation: judges the window at most once per second (the
+  // serve path calls this on every reply). Returns true when a judgement
+  // actually ran. No-op while both budgets are disabled.
+  bool MaybeEvaluate();
+
+  // Deterministic-time variants for tests.
+  void RecordRequestAtSecond(double latency_ms, bool error, int64_t now_sec);
+  bool MaybeEvaluateAtSecond(int64_t now_sec);
+
+  const SloConfig& config() const { return config_; }
+  WindowedHistogram& latency() { return latency_; }
+
+ private:
+  bool EvaluateLocked(int64_t now_sec);
+
+  const SloConfig config_;
+  WindowedHistogram latency_;
+  WindowedHistogram errors_;  // one sample per failed request
+  std::mutex mutex_;
+  int64_t last_eval_second_ = -1;
+  Counter* evaluations_;
+  Counter* p99_breaches_;
+  Counter* error_breaches_;
+  Gauge* last_p99_ms_;
+  Gauge* last_error_rate_;
+};
+
+}  // namespace tailormatch::obs
+
+#endif  // TAILORMATCH_OBS_WINDOW_H_

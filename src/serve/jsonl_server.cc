@@ -18,8 +18,10 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace tailormatch::serve {
 
@@ -143,7 +145,13 @@ std::string RenderMatchResponse(const Pending& pending, ServeResult result) {
                     ",\"model\":" + json::Quote(pending.model_name) +
                     ",\"version\":" + json::Number(static_cast<double>(result.model_version)) +
                     ",\"cache_hit\":" + (result.cache_hit ? "true" : "false") +
-                    ",\"latency_ms\":" + json::Number(latency_ms) + "}";
+                    ",\"latency_ms\":" + json::Number(latency_ms);
+  if (result.trace_id != 0) {
+    // Decimal, not json::Number: a %.9g double would mangle 64-bit ids.
+    out += StrFormat(",\"trace_id\":%llu",
+                     static_cast<unsigned long long>(result.trace_id));
+  }
+  out += "}";
   return out;
 }
 
@@ -210,7 +218,9 @@ std::string JsonlServer::HandleControl(
     for (const char* name :
          {"serve.requests", "serve.batches", "serve.timeouts",
           "serve.overloaded", "serve.errors", "serve.cache.hits",
-          "serve.cache.misses", "serve.cache.evictions"}) {
+          "serve.cache.misses", "serve.cache.evictions",
+          "serve.slo.evaluations", "serve.slo.p99_breaches",
+          "serve.slo.error_breaches"}) {
       const int64_t* value = snapshot.FindCounter(name);
       if (value == nullptr) continue;
       std::string label = name;
@@ -222,8 +232,45 @@ std::string JsonlServer::HandleControl(
     }
     AppendHistogramStats(snapshot, "serve.latency", "latency_ms", &out);
     AppendHistogramStats(snapshot, "serve.batch_size", "batch_size", &out);
+    // Rolling windows: what latency looks like *now*, not since boot.
+    const obs::WindowedHistogramStats* window =
+        snapshot.FindWindow("serve.latency");
+    if (window != nullptr) {
+      out += ",\"latency_rate_ewma\":" + json::Number(window->rate_ewma);
+      for (const obs::WindowStats& w : window->windows) {
+        const std::string prefix =
+            StrFormat("latency_ms_w%ds", w.window_seconds);
+        out += "," + json::Quote(prefix + "_count") + ":" +
+               json::Number(static_cast<double>(w.count));
+        out += "," + json::Quote(prefix + "_p50") + ":" + json::Number(w.p50);
+        out += "," + json::Quote(prefix + "_p95") + ":" + json::Number(w.p95);
+        out += "," + json::Quote(prefix + "_p99") + ":" + json::Number(w.p99);
+      }
+    }
     out += "}";
     return out;
+  }
+  if (op == "trace") {
+    // Dumps the trace ring as Chrome trace_event JSON to a server-side
+    // path (the CLI's --trace-out does the same at process exit).
+    const std::string path = Field(fields, "path");
+    if (path.empty()) {
+      return ErrorResponse(id, "error", "trace needs a \"path\"");
+    }
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    if (!recorder.enabled()) {
+      return ErrorResponse(id, "error",
+                           "tracing is disabled (enable with --trace or "
+                           "TM_TRACE=1)");
+    }
+    const size_t events = recorder.Collect().size();
+    Status status = recorder.WriteChromeTrace(path);
+    if (!status.ok()) {
+      return ErrorResponse(id, "error", status.ToString());
+    }
+    return "{\"op\":\"trace\",\"outcome\":\"ok\",\"path\":" +
+           json::Quote(path) +
+           ",\"events\":" + json::Number(static_cast<double>(events)) + "}";
   }
   return ErrorResponse(id, "error", "unknown op: " + op);
 }
@@ -269,10 +316,16 @@ std::string JsonlServer::HandleLine(const std::string& line) {
     deadline = pending.start +
                std::chrono::milliseconds(config_.request_timeout_ms);
   }
-  pending.future = batcher_->Submit(
-      std::move(served), tmpl,
-      core::MakeSurfacePair(fields.at("left"), fields.at("right"), domain),
-      deadline);
+  {
+    // Server-assigned trace id: every event from cache probe to reply is
+    // recorded under it, and the response echoes it as "trace_id".
+    obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
+    obs::TraceScope trace_scope(tracer.enabled() ? tracer.NewTraceId() : 0);
+    pending.future = batcher_->Submit(
+        std::move(served), tmpl,
+        core::MakeSurfacePair(fields.at("left"), fields.at("right"), domain),
+        deadline);
+  }
   return RenderMatchResponse(pending, pending.future.get());
 }
 
@@ -355,10 +408,14 @@ void JsonlServer::ServeStream(std::istream& in, std::ostream& out) {
       deadline = request.start +
                  std::chrono::milliseconds(config_.request_timeout_ms);
     }
-    request.future = batcher_->Submit(
-        std::move(served), tmpl,
-        core::MakeSurfacePair(fields.at("left"), fields.at("right"), domain),
-        deadline);
+    {
+      obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
+      obs::TraceScope trace_scope(tracer.enabled() ? tracer.NewTraceId() : 0);
+      request.future = batcher_->Submit(
+          std::move(served), tmpl,
+          core::MakeSurfacePair(fields.at("left"), fields.at("right"), domain),
+          deadline);
+    }
     pending.push_back(std::move(request));
     while (static_cast<int>(pending.size()) >= config_.max_pipeline) {
       drain_one();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/fault.h"
 
@@ -24,9 +25,11 @@ struct ServeMetrics {
   obs::Counter& errors;
   obs::Histogram& batch_size;
   obs::Histogram& queue_wait_ms;
+  obs::Histogram& queue_wait_us;
   obs::Histogram& forward_ms;
   obs::Histogram& latency_ms;
   obs::Gauge& queue_depth;
+  obs::WindowedHistogram& latency_window;
 
   static ServeMetrics& Get() {
     obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
@@ -38,12 +41,26 @@ struct ServeMetrics {
                                 r.GetCounter("serve.errors"),
                                 r.GetHistogram("serve.batch_size"),
                                 r.GetHistogram("serve.queue_wait"),
+                                r.GetHistogram("serve.queue_wait_us"),
                                 r.GetHistogram("serve.forward"),
                                 r.GetHistogram("serve.latency"),
-                                r.GetGauge("serve.queue_depth")};
+                                r.GetGauge("serve.queue_depth"),
+                                r.GetWindowed("serve.latency")};
     return metrics;
   }
 };
+
+obs::TraceRecorder& Tracer() { return obs::TraceRecorder::Global(); }
+
+// Request events are recorded under the request's trace id; batch events
+// (batch-form, forward) under a per-batch id. Keeping the two apart is what
+// makes a request's event *sequence* independent of batch composition —
+// the determinism property tests/serve/batching_determinism_test.cpp pins.
+uint64_t RequestTraceId() {
+  const uint64_t ambient = obs::CurrentTraceId();
+  if (ambient != 0) return ambient;
+  return Tracer().enabled() ? Tracer().NewTraceId() : 0;
+}
 
 std::future<ServeResult> ReadyResult(ServeResult result) {
   std::promise<ServeResult> promise;
@@ -75,6 +92,10 @@ MicroBatcher::MicroBatcher(MicroBatcherConfig config)
           ? config_.batch_parallelism
           : static_cast<int>(
                 std::max(1u, std::thread::hardware_concurrency()));
+  obs::SloConfig slo_config;
+  slo_config.p99_ms = config_.slo_p99_ms;
+  slo_config.max_error_rate = config_.slo_max_error_rate;
+  slo_.reset(new obs::SloTracker("serve.slo", slo_config));
   workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -94,10 +115,17 @@ std::future<ServeResult> MicroBatcher::Submit(
   ServeMetrics& metrics = ServeMetrics::Get();
   metrics.requests.Increment();
 
+  // All obs events of this request — including cache and model lookups deep
+  // in the stack — are tagged with one trace id.
+  const uint64_t trace_id = RequestTraceId();
+  obs::TraceScope trace_scope(trace_id);
+
   if (model == nullptr || model->model == nullptr) {
     metrics.errors.Increment();
+    Tracer().Record(trace_id, obs::TraceEventKind::kReject);
     ServeResult result;
     result.outcome = RequestOutcome::kError;
+    result.trace_id = trace_id;
     result.error = "null model";
     return ReadyResult(std::move(result));
   }
@@ -105,8 +133,10 @@ std::future<ServeResult> MicroBatcher::Submit(
   Status fault = fault::FaultInjector::Global().OnPoint("serve.enqueue");
   if (!fault.ok()) {
     metrics.errors.Increment();
+    Tracer().Record(trace_id, obs::TraceEventKind::kReject);
     ServeResult result;
     result.outcome = RequestOutcome::kError;
+    result.trace_id = trace_id;
     result.error = fault.ToString();
     return ReadyResult(std::move(result));
   }
@@ -115,11 +145,13 @@ std::future<ServeResult> MicroBatcher::Submit(
     CacheKey key{model->version, tmpl, HashPair(pair)};
     core::MatchDecision cached;
     if (config_.cache->Lookup(key, &cached)) {
+      Tracer().Record(trace_id, obs::TraceEventKind::kReply);
       ServeResult result;
       result.outcome = RequestOutcome::kOk;
       result.decision = std::move(cached);
       result.cache_hit = true;
       result.model_version = model->version;
+      result.trace_id = trace_id;
       return ReadyResult(std::move(result));
     }
   }
@@ -130,25 +162,37 @@ std::future<ServeResult> MicroBatcher::Submit(
   request.pair = std::move(pair);
   request.deadline = deadline;
   request.enqueued_at = Clock::now();
+  request.trace_id = trace_id;
   std::future<ServeResult> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutting_down_) {
       metrics.shutdown_rejects.Increment();
+      Tracer().Record(trace_id, obs::TraceEventKind::kReject,
+                      queue_.size());
       ServeResult result;
       result.outcome = RequestOutcome::kShutdown;
+      result.trace_id = trace_id;
       request.promise.set_value(std::move(result));
       return future;
     }
     if (queue_.size() >= static_cast<size_t>(config_.queue_capacity)) {
       metrics.overloaded.Increment();
+      // Keep the gauge honest under admission-control pressure: a full
+      // queue is exactly when a stale depth reading misleads.
+      metrics.queue_depth.Set(static_cast<double>(queue_.size()));
+      Tracer().Record(trace_id, obs::TraceEventKind::kReject,
+                      queue_.size());
+      slo_->RecordRequest(0.0, /*error=*/true);
       ServeResult result;
       result.outcome = RequestOutcome::kOverloaded;
+      result.trace_id = trace_id;
       request.promise.set_value(std::move(result));
       return future;
     }
     queue_.push_back(std::move(request));
     metrics.queue_depth.Set(static_cast<double>(queue_.size()));
+    Tracer().Record(trace_id, obs::TraceEventKind::kEnqueue, queue_.size());
   }
   queue_cv_.notify_one();
   return future;
@@ -222,29 +266,51 @@ void MicroBatcher::RunBatch(std::vector<Request> batch) {
   for (Request& request : batch) {
     if (batch_start > request.deadline) {
       metrics.timeouts.Increment();
+      Tracer().Record(request.trace_id, obs::TraceEventKind::kTimeout);
+      slo_->RecordRequest(obs::MillisSince(request.enqueued_at),
+                          /*error=*/true);
       ServeResult result;
       result.outcome = RequestOutcome::kTimeout;
       result.queue_ms = obs::MillisSince(request.enqueued_at);
+      result.trace_id = request.trace_id;
       request.promise.set_value(std::move(result));
     } else {
       live.push_back(std::move(request));
     }
   }
-  if (live.empty()) return;
+  if (live.empty()) {
+    slo_->MaybeEvaluate();
+    return;
+  }
 
   metrics.batches.Increment();
   metrics.batch_size.Record(static_cast<double>(live.size()));
+
+  // Batch-scoped events carry their own id; each member request records a
+  // kDispatch pointing at it (arg), so a timeline joins the two.
+  const uint64_t batch_id =
+      Tracer().enabled() ? Tracer().NewTraceId() : 0;
+  Tracer().Record(batch_id, obs::TraceEventKind::kBatchForm, live.size());
+  for (const Request& request : live) {
+    Tracer().Record(request.trace_id, obs::TraceEventKind::kDispatch,
+                    batch_id);
+  }
 
   Status fault = fault::FaultInjector::Global().OnPoint("serve.forward");
   if (!fault.ok()) {
     for (Request& request : live) {
       metrics.errors.Increment();
+      Tracer().Record(request.trace_id, obs::TraceEventKind::kReply, 1);
+      slo_->RecordRequest(obs::MillisSince(request.enqueued_at),
+                          /*error=*/true);
       ServeResult result;
       result.outcome = RequestOutcome::kError;
       result.error = fault.ToString();
       result.queue_ms = obs::MillisSince(request.enqueued_at);
+      result.trace_id = request.trace_id;
       request.promise.set_value(std::move(result));
     }
+    slo_->MaybeEvaluate();
     return;
   }
 
@@ -271,8 +337,13 @@ void MicroBatcher::RunBatch(std::vector<Request> batch) {
     for (size_t i : indices) {
       prompts.push_back(core::RenderPairPrompt(live[i].tmpl, live[i].pair));
     }
-    const std::vector<double> probabilities =
-        served.model->PredictMatchProbabilities(prompts, batch_threads_);
+    std::vector<double> probabilities;
+    {
+      // SimLlm's kForward event lands under the batch id, not any request.
+      obs::TraceScope batch_scope(batch_id);
+      probabilities =
+          served.model->PredictMatchProbabilities(prompts, batch_threads_);
+    }
     for (size_t j = 0; j < indices.size(); ++j) {
       Request& request = live[indices[j]];
       ServeResult result;
@@ -283,16 +354,23 @@ void MicroBatcher::RunBatch(std::vector<Request> batch) {
           std::chrono::duration<double, std::milli>(batch_start -
                                                     request.enqueued_at)
               .count();
+      result.trace_id = request.trace_id;
       if (config_.cache != nullptr) {
         CacheKey key{served.version, request.tmpl, HashPair(request.pair)};
         config_.cache->Insert(key, result.decision);
       }
+      const double latency_ms = obs::MillisSince(request.enqueued_at);
       metrics.queue_wait_ms.Record(result.queue_ms);
-      metrics.latency_ms.Record(obs::MillisSince(request.enqueued_at));
+      metrics.queue_wait_us.Record(result.queue_ms * 1e3);
+      metrics.latency_ms.Record(latency_ms);
+      metrics.latency_window.Record(latency_ms);
+      slo_->RecordRequest(latency_ms, /*error=*/false);
+      Tracer().Record(request.trace_id, obs::TraceEventKind::kReply);
       request.promise.set_value(std::move(result));
     }
   }
   metrics.forward_ms.Record(obs::MillisSince(batch_start));
+  slo_->MaybeEvaluate();
 }
 
 }  // namespace tailormatch::serve

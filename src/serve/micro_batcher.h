@@ -14,6 +14,7 @@
 
 #include "core/matcher.h"
 #include "data/entity.h"
+#include "obs/window.h"
 #include "prompt/prompt.h"
 #include "serve/model_registry.h"
 #include "serve/result_cache.h"
@@ -38,6 +39,10 @@ struct ServeResult {
   bool cache_hit = false;
   uint64_t model_version = 0;
   double queue_ms = 0.0;  // submit -> batch start (0 for cache hits/rejects)
+  // Trace id every obs event of this request was recorded under (the
+  // caller's ambient TraceScope id, or a fresh one). 0 when tracing never
+  // assigned one.
+  uint64_t trace_id = 0;
   std::string error;      // detail for kError
 };
 
@@ -71,6 +76,12 @@ struct MicroBatcherConfig {
   // entirely. Keyed by (model version, template, pair), so hot-swapped
   // models never serve stale decisions.
   std::shared_ptr<ResultCache> cache;
+  // SLO budgets evaluated over a rolling 10s window (obs::SloTracker,
+  // surfaced as serve.slo.* counters in `stats`). p99 latency budget in
+  // milliseconds (<= 0 disables) and error+timeout+reject rate budget in
+  // [0, 1] (< 0 disables). Breaches count evaluations, not requests.
+  double slo_p99_ms = 0.0;
+  double slo_max_error_rate = -1.0;
 };
 
 // Dynamic micro-batching executor for online matching: a bounded MPSC
@@ -119,6 +130,8 @@ class MicroBatcher {
 
   const MicroBatcherConfig& config() const { return config_; }
   size_t queue_depth() const;
+  // The SLO budget evaluator (always constructed; budgets may be disabled).
+  obs::SloTracker& slo() { return *slo_; }
 
  private:
   struct Request {
@@ -128,6 +141,7 @@ class MicroBatcher {
     data::EntityPair pair;
     Clock::time_point deadline;
     Clock::time_point enqueued_at;
+    uint64_t trace_id = 0;
   };
 
   void WorkerLoop();
@@ -136,6 +150,7 @@ class MicroBatcher {
 
   MicroBatcherConfig config_;
   int batch_threads_;  // resolved batch_parallelism
+  std::unique_ptr<obs::SloTracker> slo_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/logging.h"
 
@@ -65,6 +66,9 @@ Status ModelRegistry::RegisterModel(const std::string& name,
 
 Status ModelRegistry::Reload(const std::string& name,
                              const std::string& checkpoint_path) {
+  // Lands on the trace timeline so a latency blip can be correlated with a
+  // concurrent hot-swap.
+  TM_TRACE_STAGE("registry_reload");
   Slot* slot = FindSlot(name);
   if (slot == nullptr) {
     return Status::NotFound("model not registered: " + name);

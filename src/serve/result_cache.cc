@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tailormatch::serve {
@@ -90,11 +91,17 @@ bool ResultCache::Lookup(const CacheKey& key, core::MatchDecision* out) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     counters.misses.Increment();
+    // Tagged with the submitting request's ambient trace id (see
+    // MicroBatcher::Submit), so a timeline shows where the cache said no.
+    obs::TraceRecorder::Global().Record(obs::CurrentTraceId(),
+                                        obs::TraceEventKind::kCacheMiss);
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->decision;
   counters.hits.Increment();
+  obs::TraceRecorder::Global().Record(obs::CurrentTraceId(),
+                                      obs::TraceEventKind::kCacheHit);
   return true;
 }
 

@@ -12,6 +12,22 @@
 
 namespace tailormatch::fault {
 
+namespace {
+
+std::atomic<CrashHook> g_crash_hook{nullptr};
+
+void RunCrashHook(const char* point) {
+  if (CrashHook hook = g_crash_hook.load(std::memory_order_acquire)) {
+    hook(point);
+  }
+}
+
+}  // namespace
+
+void SetCrashHook(CrashHook hook) {
+  g_crash_hook.store(hook, std::memory_order_release);
+}
+
 const char* FaultModeName(FaultMode mode) {
   switch (mode) {
     case FaultMode::kNone:
@@ -137,6 +153,7 @@ Status FaultInjector::OnPoint(const std::string& point) {
   switch (Fire(point, &spec)) {
     case FaultMode::kCrash:
       TM_LOG(Warning) << "fault injection: simulated crash at " << point;
+      RunCrashHook(point.c_str());
       std::_Exit(kCrashExitCode);
     case FaultMode::kIoError:
       return Status::IoError("injected fault at " + point);
@@ -150,6 +167,7 @@ Status FaultInjector::OnWrite(const std::string& point, std::string* data) {
   switch (Fire(point, &spec)) {
     case FaultMode::kCrash:
       TM_LOG(Warning) << "fault injection: simulated crash at " << point;
+      RunCrashHook(point.c_str());
       std::_Exit(kCrashExitCode);
     case FaultMode::kIoError:
       return Status::IoError("injected fault at " + point);

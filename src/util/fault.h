@@ -53,6 +53,14 @@ struct FaultSpec {
 // crash from a genuine abort.
 inline constexpr int kCrashExitCode = 86;
 
+// Last-gasp hook invoked (with the instrumentation-point name) immediately
+// before an injected kCrash calls _Exit. The observability layer registers
+// the flight recorder here (obs/flight_recorder.h) — a function pointer
+// rather than a direct call because tm_util cannot link against tm_obs.
+// Must be async-signal-safe-ish: the process is about to die.
+using CrashHook = void (*)(const char* point);
+void SetCrashHook(CrashHook hook);
+
 // Process-wide registry of armed faults. Arming and hooks are thread-safe;
 // the unarmed fast path is one relaxed atomic load.
 class FaultInjector {

@@ -1,0 +1,112 @@
+#include "eval/metrics_report.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tailormatch::eval {
+namespace {
+
+obs::SpanNode MakeSpan(const std::string& name, int64_t count) {
+  obs::SpanNode node;
+  node.name = name;
+  node.path = name;
+  node.count = count;
+  node.total_seconds = 0.001 * static_cast<double>(count);
+  return node;
+}
+
+obs::WindowedHistogramStats MakeWindow(const std::string& name) {
+  obs::WindowedHistogramStats stats;
+  stats.name = name;
+  obs::WindowStats window;
+  window.window_seconds = 10;
+  window.count = 5;
+  window.rate = 0.5;
+  window.p50 = 1.0;
+  window.p95 = 2.0;
+  window.p99 = 3.0;
+  stats.windows.push_back(window);
+  stats.rate_ewma = 0.4;
+  return stats;
+}
+
+// The report is diffed across runs: block ordering must not depend on the
+// order the snapshot happened to be assembled in.
+TEST(MetricsReportTest, SpanTreeAndWindowsPrintInSortedOrder) {
+  obs::MetricsSnapshot snapshot;
+  // Roots deliberately scrambled, with scrambled children under one root.
+  obs::SpanNode zebra = MakeSpan("zebra_span", 2);
+  obs::SpanNode apple = MakeSpan("apple_span", 3);
+  obs::SpanNode late_child = MakeSpan("zz_child", 1);
+  late_child.path = "apple_span.zz_child";
+  obs::SpanNode early_child = MakeSpan("aa_child", 1);
+  early_child.path = "apple_span.aa_child";
+  apple.children.push_back(late_child);
+  apple.children.push_back(early_child);
+  snapshot.spans.push_back(zebra);
+  snapshot.spans.push_back(apple);
+
+  snapshot.windows.push_back(MakeWindow("zz.window"));
+  snapshot.windows.push_back(MakeWindow("aa.window"));
+
+  std::ostringstream out;
+  PrintMetricsReport(snapshot, out);
+  const std::string text = out.str();
+
+  // Roots sorted by name, and scrambled children re-sorted under theirs.
+  const size_t apple_at = text.find("apple_span");
+  const size_t zebra_at = text.find("zebra_span");
+  const size_t aa_child_at = text.find("aa_child");
+  const size_t zz_child_at = text.find("zz_child");
+  ASSERT_NE(apple_at, std::string::npos) << text;
+  ASSERT_NE(zebra_at, std::string::npos);
+  ASSERT_NE(aa_child_at, std::string::npos);
+  ASSERT_NE(zz_child_at, std::string::npos);
+  EXPECT_LT(apple_at, zebra_at);
+  EXPECT_LT(aa_child_at, zz_child_at);
+  EXPECT_LT(zz_child_at, zebra_at) << "children stay under their root";
+
+  // Windowed block present, sorted by name, one row per window span.
+  EXPECT_NE(text.find("rolling windows (latencies in ms):"),
+            std::string::npos);
+  const size_t aa_window_at = text.find("aa.window[10s]");
+  const size_t zz_window_at = text.find("zz.window[10s]");
+  ASSERT_NE(aa_window_at, std::string::npos) << text;
+  ASSERT_NE(zz_window_at, std::string::npos);
+  EXPECT_LT(aa_window_at, zz_window_at);
+}
+
+TEST(MetricsReportTest, IdenticalSnapshotsInDifferentOrderRenderIdentically) {
+  obs::MetricsSnapshot forward;
+  forward.spans.push_back(MakeSpan("one", 1));
+  forward.spans.push_back(MakeSpan("two", 2));
+  forward.windows.push_back(MakeWindow("w.a"));
+  forward.windows.push_back(MakeWindow("w.b"));
+
+  obs::MetricsSnapshot reversed;
+  reversed.spans.push_back(MakeSpan("two", 2));
+  reversed.spans.push_back(MakeSpan("one", 1));
+  reversed.windows.push_back(MakeWindow("w.b"));
+  reversed.windows.push_back(MakeWindow("w.a"));
+
+  std::ostringstream a, b;
+  PrintMetricsReport(forward, a);
+  PrintMetricsReport(reversed, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(MetricsReportTest, EmptyWindowsBlockIsOmitted) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("some.counter", 1);
+  std::ostringstream out;
+  PrintMetricsReport(snapshot, out);
+  EXPECT_EQ(out.str().find("rolling windows"), std::string::npos);
+  EXPECT_NE(out.str().find("some.counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tailormatch::eval

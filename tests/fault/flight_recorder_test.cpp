@@ -1,0 +1,217 @@
+// Subprocess flight-recorder harness: re-executes this binary as a helper
+// that configures the crash flight recorder, records trace events, and then
+// dies — via an injected TM_FAULT_* crash (the fault layer's crash hook) or
+// a fatal signal (the recorder's own handlers). Either way the parent must
+// find a parseable <dir>/flight.json holding the last trace events, and the
+// helper must still die the way it would have without the recorder.
+//
+// Fresh exec rather than fork for the same reason as crash_recovery_test:
+// the gtest process owns threads and sanitizer state by the time tests run.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "util/fault.h"
+#include "util/json.h"
+
+namespace tailormatch {
+namespace {
+
+// Helper exit codes (distinct from fault::kCrashExitCode = 86).
+constexpr int kHelperOk = 0;
+constexpr int kHelperConfigureFailed = 7;
+constexpr int kHelperSurvivedCrash = 9;
+
+constexpr uint64_t kHelperTraceId = (uint64_t{1} << 40) + 99;
+
+std::string SelfExe() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return "";
+  buffer[n] = '\0';
+  return buffer;
+}
+
+struct HelperResult {
+  bool exited = false;     // WIFEXITED (false: killed by a signal)
+  int exit_code = -1;
+  bool signaled = false;
+};
+
+// Runs `<self> --helper-flight <dir> <death>` with `extra_env` prepended.
+HelperResult RunFlightHelper(const std::string& dir, const std::string& death,
+                             const std::string& extra_env = "") {
+  const std::string command = extra_env + " '" + SelfExe() +
+                              "' --helper-flight '" + dir + "' " + death;
+  const int status = std::system(command.c_str());
+  HelperResult result;
+  result.exited = WIFEXITED(status);
+  if (result.exited) result.exit_code = WEXITSTATUS(status);
+  result.signaled = WIFSIGNALED(status);
+  return result;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(SelfExe().empty());
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tm_flight_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()) +
+             "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string FlightPath() const { return dir_ + "/flight.json"; }
+
+  std::string ReadFlight() const {
+    std::ifstream in(FlightPath());
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  // Asserts the dump is well formed — reason header plus per-event lines
+  // that each parse as one flat JSON object — and returns the event count.
+  size_t ExpectParseableFlight(const std::string& want_reason) const {
+    const std::string contents = ReadFlight();
+    EXPECT_EQ(contents.find("{\"reason\":\"" + want_reason + "\""), 0u)
+        << contents.substr(0, 200);
+    size_t events = 0;
+    std::istringstream lines(contents);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] != '{' ||
+          line.find("\"seq\"") == std::string::npos) {
+        continue;
+      }
+      if (line.back() == ',') line.pop_back();
+      std::map<std::string, std::string> fields;
+      EXPECT_TRUE(json::ParseFlatObject(line, &fields).ok()) << line;
+      EXPECT_EQ(fields.count("trace_id"), 1u);
+      EXPECT_EQ(fields.count("kind"), 1u);
+      EXPECT_EQ(fields.count("t_ns"), 1u);
+      ++events;
+    }
+    return events;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FlightRecorderTest, InjectedCrashFaultDumpsFlightJson) {
+  HelperResult result = RunFlightHelper(
+      dir_, "fault",
+      "TM_FAULT_POINT='flight.test' TM_FAULT_MODE='crash'");
+  ASSERT_TRUE(result.exited);
+  // The crash hook must not change how the process dies.
+  ASSERT_EQ(result.exit_code, fault::kCrashExitCode);
+  ASSERT_TRUE(std::filesystem::exists(FlightPath()));
+  // The dump names the fault point that killed the process and carries the
+  // helper's recorded events.
+  EXPECT_GE(ExpectParseableFlight("flight.test"), 32u);
+}
+
+TEST_F(FlightRecorderTest, FatalSignalDumpsFlightJsonAndStillDies) {
+  HelperResult result = RunFlightHelper(dir_, "segv");
+  // The handler re-raises after dumping: the helper must not survive —
+  // either the default disposition kills it or a sanitizer's chained
+  // handler exits non-zero.
+  EXPECT_TRUE(result.signaled || (result.exited && result.exit_code != 0))
+      << "exited=" << result.exited << " code=" << result.exit_code;
+  ASSERT_TRUE(std::filesystem::exists(FlightPath()));
+  EXPECT_GE(ExpectParseableFlight("SIGSEGV"), 32u);
+}
+
+TEST_F(FlightRecorderTest, ManualDumpWritesWithoutDying) {
+  HelperResult result = RunFlightHelper(dir_, "manual");
+  ASSERT_TRUE(result.exited);
+  ASSERT_EQ(result.exit_code, kHelperOk);
+  EXPECT_GE(ExpectParseableFlight("manual_test"), 32u);
+}
+
+TEST_F(FlightRecorderTest, ConfigureFromEnvPicksUpFlightDir) {
+  HelperResult result =
+      RunFlightHelper("ENV", "manual", "TM_FLIGHT_DIR='" + dir_ + "'");
+  ASSERT_TRUE(result.exited);
+  ASSERT_EQ(result.exit_code, kHelperOk);
+  EXPECT_GE(ExpectParseableFlight("manual_test"), 32u);
+}
+
+TEST_F(FlightRecorderTest, UnarmedFaultPointLeavesHelperAlive) {
+  // Same code path as the crash scenario but with no fault armed: the
+  // helper runs to completion and the only dump is its manual one.
+  HelperResult result = RunFlightHelper(dir_, "fault");
+  ASSERT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, kHelperOk);
+}
+
+}  // namespace
+
+// `--helper-flight <dir> <death>`: configure the recorder at <dir> (or from
+// TM_FLIGHT_DIR when <dir> is the literal "ENV"), record a burst of events,
+// then die as directed.
+int RunHelperFlight(const std::string& dir, const std::string& death) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (dir == "ENV") {
+    obs::flight::ConfigureFromEnv();
+  } else {
+    obs::flight::Configure(dir);
+  }
+  if (!obs::flight::Configured()) return kHelperConfigureFailed;
+
+  for (uint64_t i = 0; i < 32; ++i) {
+    recorder.Record(kHelperTraceId, obs::TraceEventKind::kMark, /*arg=*/i);
+  }
+
+  if (death == "fault") {
+    // With TM_FAULT_POINT=flight.test TM_FAULT_MODE=crash armed, OnPoint
+    // runs the crash hook (the flight dump) and _Exit(86)s; unarmed it is a
+    // no-op and the helper finishes cleanly.
+    Status status = fault::FaultInjector::Global().OnPoint("flight.test");
+    if (!status.ok()) return kHelperSurvivedCrash;
+    return kHelperOk;
+  }
+  if (death == "segv") {
+    ::raise(SIGSEGV);
+    return kHelperSurvivedCrash;  // unreachable unless the handler misfired
+  }
+  if (death == "manual") {
+    return obs::flight::DumpNow("manual_test") ? kHelperOk
+                                               : kHelperConfigureFailed;
+  }
+  std::fprintf(stderr, "unknown death mode: %s\n", death.c_str());
+  return kHelperConfigureFailed;
+}
+
+}  // namespace tailormatch
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "--helper-flight") {
+    return tailormatch::RunHelperFlight(argv[2], argv[3]);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -68,6 +68,36 @@ TEST(HistogramTest, PercentilesOnKnownUniformDistribution) {
   EXPECT_GE(hist.Percentile(0.0), 1.0);
 }
 
+TEST(HistogramTest, EmptyHistogramPercentilesAreZero) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  Histogram& hist = registry.GetHistogram("test.empty");
+  // No samples: every percentile is 0, never a bucket bound or -inf/inf
+  // leaking out of the uninitialized min/max.
+  for (double pct : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(hist.Percentile(pct), 0.0) << "p" << pct;
+  }
+}
+
+TEST(HistogramTest, SingleSamplePercentilesAreTheSample) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  Histogram& hist = registry.GetHistogram("test.single");
+  hist.Record(3.7);
+  // One sample: the sample itself, not an interpolated bucket position.
+  for (double pct : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(hist.Percentile(pct), 3.7) << "p" << pct;
+  }
+}
+
+TEST(BucketPercentileTest, SharedHelperHandlesDegenerateTotals) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const std::vector<int64_t> empty = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(BucketPercentile(bounds, empty, 0, 99.0, 0.0, 0.0), 0.0);
+  const std::vector<int64_t> one = {0, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(BucketPercentile(bounds, one, 1, 50.0, 1.5, 1.5), 1.5);
+}
+
 TEST(HistogramTest, PercentilesWithDefaultLatencyBoundsStayNearSamples) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.Reset();

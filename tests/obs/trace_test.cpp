@@ -1,0 +1,307 @@
+#include "obs/trace.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace tailormatch::obs {
+namespace {
+
+// Explicit test trace ids sit far above the dense NewTraceId counter so they
+// can never collide with ids handed out elsewhere in this binary.
+constexpr uint64_t kTestId = (uint64_t{1} << 40) + 7;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().Enable();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+std::vector<TraceEvent> EventsFor(uint64_t trace_id) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : TraceRecorder::Global().Collect()) {
+    if (event.trace_id == trace_id) out.push_back(event);
+  }
+  return out;
+}
+
+TEST_F(TraceTest, RecordedEventRoundTripsThroughCollect) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Record(kTestId, TraceEventKind::kEnqueue, /*arg=*/3);
+  recorder.Record(kTestId, TraceEventKind::kReply, /*arg=*/0,
+                  /*dur_ns=*/1234);
+
+  const std::vector<TraceEvent> events = EventsFor(kTestId);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kEnqueue);
+  EXPECT_EQ(events[0].arg, 3u);
+  EXPECT_EQ(events[1].kind, TraceEventKind::kReply);
+  EXPECT_EQ(events[1].dur_ns, 1234u);
+  // Collect sorts by the global seq counter: record order is preserved.
+  EXPECT_LT(events[0].seq, events[1].seq);
+}
+
+TEST_F(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Disable();
+  recorder.Record(kTestId + 1, TraceEventKind::kMark);
+  recorder.Enable();
+  EXPECT_TRUE(EventsFor(kTestId + 1).empty());
+}
+
+TEST_F(TraceTest, ClearEmptiesEveryRing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Record(kTestId, TraceEventKind::kMark);
+  ASSERT_FALSE(recorder.Collect().empty());
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Collect().empty());
+}
+
+TEST_F(TraceTest, NewTraceIdsAreUniqueAndIncreasing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const uint64_t a = recorder.NewTraceId();
+  const uint64_t b = recorder.NewTraceId();
+  EXPECT_LT(a, b);
+  // The counter stays dense, far below the explicit-test-id range.
+  EXPECT_LT(b, uint64_t{1} << 40);
+}
+
+TEST_F(TraceTest, RingOverwriteKeepsTheNewestEvents) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const size_t previous_capacity = recorder.ring_capacity();
+  recorder.set_ring_capacity(64);
+  const int64_t overwritten_before = recorder.overwritten();
+
+  // Capacity applies to threads registering after the call, so record from
+  // a fresh thread.
+  std::thread writer([&recorder] {
+    for (uint64_t i = 0; i < 200; ++i) {
+      recorder.Record(kTestId + 2, TraceEventKind::kMark, /*arg=*/i);
+    }
+  });
+  writer.join();
+  recorder.set_ring_capacity(previous_capacity);
+
+  const std::vector<TraceEvent> events = EventsFor(kTestId + 2);
+  ASSERT_EQ(events.size(), 64u);
+  // The survivors are exactly the newest 64 (args 136..199, in order).
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, 136 + i);
+  }
+  EXPECT_GE(recorder.overwritten() - overwritten_before, 136);
+}
+
+TEST_F(TraceTest, RingCapacityIsClampedToAPowerOfTwo) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const size_t previous_capacity = recorder.ring_capacity();
+  recorder.set_ring_capacity(0);
+  EXPECT_EQ(recorder.ring_capacity(), 64u);  // floor
+  recorder.set_ring_capacity(100);
+  EXPECT_EQ(recorder.ring_capacity(), 128u);  // rounded up
+  recorder.set_ring_capacity(size_t{1} << 30);
+  EXPECT_EQ(recorder.ring_capacity(), size_t{1} << 20);  // ceiling
+  recorder.set_ring_capacity(previous_capacity);
+}
+
+TEST_F(TraceTest, LabelsInternToStableIds) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const uint32_t id = recorder.InternLabel("trace_test_label");
+  ASSERT_GE(id, 1u);
+  EXPECT_EQ(recorder.InternLabel("trace_test_label"), id);
+  EXPECT_STREQ(recorder.LabelName(id), "trace_test_label");
+  EXPECT_STREQ(recorder.LabelName(0), "");
+  EXPECT_STREQ(recorder.LabelName(100000), "");
+  EXPECT_NE(recorder.InternLabel("trace_test_other"), id);
+}
+
+TEST_F(TraceTest, TraceScopeNestsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    TraceScope outer(kTestId);
+    EXPECT_EQ(CurrentTraceId(), kTestId);
+    {
+      TraceScope inner(kTestId + 3);
+      EXPECT_EQ(CurrentTraceId(), kTestId + 3);
+    }
+    EXPECT_EQ(CurrentTraceId(), kTestId);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST_F(TraceTest, ScopedTraceEventRecordsDurationUnderAmbientId) {
+  {
+    TraceScope scope(kTestId + 4);
+    ScopedTraceEvent event(TraceEventKind::kForward, /*label=*/0, /*arg=*/9);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::vector<TraceEvent> events = EventsFor(kTestId + 4);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kForward);
+  EXPECT_EQ(events[0].arg, 9u);
+  EXPECT_GE(events[0].dur_ns, uint64_t{1000000});  // slept >= 1ms
+}
+
+TEST_F(TraceTest, TraceStageMacroRecordsALabeledStage) {
+  {
+    TraceScope scope(kTestId + 5);
+    TM_TRACE_STAGE("trace_test_stage");
+  }
+  const std::vector<TraceEvent> events = EventsFor(kTestId + 5);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kStage);
+  EXPECT_STREQ(TraceRecorder::Global().LabelName(events[0].label),
+               "trace_test_stage");
+}
+
+// Pulls every "{...}" out of the export. Event objects are flat by design
+// (no nested braces), so a linear scan is exact; the scan skips the
+// enclosing top-level object by starting at the traceEvents array.
+std::vector<std::string> ExtractEventObjects(const std::string& chrome_json) {
+  std::vector<std::string> objects;
+  const size_t array_begin = chrome_json.find('[');
+  const size_t array_end = chrome_json.rfind(']');
+  EXPECT_NE(array_begin, std::string::npos);
+  for (size_t i = array_begin; i < array_end; ++i) {
+    if (chrome_json[i] != '{') continue;
+    const size_t end = chrome_json.find('}', i);
+    EXPECT_NE(end, std::string::npos);
+    objects.push_back(chrome_json.substr(i, end - i + 1));
+    i = end;
+  }
+  return objects;
+}
+
+TEST_F(TraceTest, ChromeJsonEventsAreFlatAndRoundTripThroughUtilJson) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const uint64_t id = kTestId + 6;
+  recorder.Record(id, TraceEventKind::kEnqueue, /*arg=*/1);
+  recorder.Record(id, TraceEventKind::kForward, /*arg=*/4,
+                  /*dur_ns=*/2500);
+  recorder.Record(id, TraceEventKind::kReply);
+
+  const std::string chrome = recorder.ToChromeJson();
+  EXPECT_EQ(chrome.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(chrome.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+
+  int async_begin = 0, async_end = 0, durations = 0, instants = 0;
+  const std::string want_id =
+      std::to_string(static_cast<unsigned long long>(id));
+  for (const std::string& object : ExtractEventObjects(chrome)) {
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(json::ParseFlatObject(object, &fields).ok()) << object;
+    for (const char* key : {"name", "cat", "pid", "tid", "ts", "id", "ph"}) {
+      EXPECT_EQ(fields.count(key), 1u) << key << " missing in " << object;
+    }
+    // 64-bit trace ids must survive verbatim (decimal, not %.9g).
+    EXPECT_EQ(fields["id"], want_id) << object;
+    if (fields["ph"] == "b") ++async_begin;
+    if (fields["ph"] == "e") ++async_end;
+    if (fields["ph"] == "X") {
+      ++durations;
+      EXPECT_EQ(fields.count("dur"), 1u) << object;
+    }
+    if (fields["ph"] == "i") ++instants;
+  }
+  // One request lifeline (enqueue "b" ... reply "e"), one duration event
+  // (the forward), two instants (enqueue + reply themselves).
+  EXPECT_EQ(async_begin, 1);
+  EXPECT_EQ(async_end, 1);
+  EXPECT_EQ(durations, 1);
+  EXPECT_EQ(instants, 2);
+}
+
+TEST_F(TraceTest, WriteChromeTraceWritesTheExportToDisk) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Record(kTestId + 7, TraceEventKind::kMark);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("tm_trace_test_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  ASSERT_TRUE(recorder.WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents.find("{\"traceEvents\":["), 0u);
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(recorder.WriteChromeTrace("/nonexistent_dir/trace.json").ok());
+}
+
+TEST_F(TraceTest, FlightJsonIsParseablePerEvent) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Record(kTestId + 8, TraceEventKind::kEnqueue, /*arg=*/2);
+  recorder.Record(kTestId + 8, TraceEventKind::kReply);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("tm_flight_test_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  ASSERT_GE(fd, 0);
+  const size_t written = recorder.WriteFlightJson(fd, "unit_test");
+  ::close(fd);
+  EXPECT_GE(written, 2u);
+
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  std::filesystem::remove(path);
+  EXPECT_EQ(contents.find("{\"reason\":\"unit_test\",\"events\":["), 0u);
+
+  // Every event line is itself a flat JSON object.
+  size_t parsed = 0;
+  std::istringstream lines(contents);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '{' || line.find("\"seq\"") == std::string::npos) {
+      continue;
+    }
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(json::ParseFlatObject(line, &fields).ok()) << line;
+    EXPECT_EQ(fields.count("trace_id"), 1u);
+    EXPECT_EQ(fields.count("kind"), 1u);
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 2u);
+}
+
+TEST_F(TraceTest, CollectMergesThreadsInSeqOrder) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const uint64_t id = kTestId + 9;
+  recorder.Record(id, TraceEventKind::kMark, /*arg=*/0);
+  std::thread other(
+      [&recorder, id] { recorder.Record(id, TraceEventKind::kMark, 1); });
+  other.join();
+  recorder.Record(id, TraceEventKind::kMark, /*arg=*/2);
+
+  const std::vector<TraceEvent> events = EventsFor(id);
+  ASSERT_EQ(events.size(), 3u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, i);  // wall-clock record order, across threads
+  }
+  EXPECT_NE(events[1].tid, events[0].tid);
+}
+
+}  // namespace
+}  // namespace tailormatch::obs

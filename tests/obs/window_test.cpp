@@ -1,0 +1,235 @@
+#include "obs/window.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tailormatch::obs {
+namespace {
+
+// Unit-width bucket bounds 1..100: percentile interpolation is exact for
+// integer samples 1..100 (same trick as the cumulative Histogram test).
+std::vector<double> UnitBounds() {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  return bounds;
+}
+
+TEST(WindowedHistogramTest, EmptyWindowIsAllZero) {
+  WindowedHistogram hist;
+  const WindowStats stats = hist.StatsOverAtSecond(10, 100);
+  EXPECT_EQ(stats.window_seconds, 10);
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 0.0);
+  EXPECT_DOUBLE_EQ(stats.rate, 0.0);
+  EXPECT_DOUBLE_EQ(hist.RateEwmaAtSecond(100), 0.0);
+}
+
+TEST(WindowedHistogramTest, SingleSampleWindowReportsTheSample) {
+  WindowedHistogram hist;
+  hist.RecordAtSecond(7.25, 100);
+  const WindowStats stats = hist.StatsOverAtSecond(1, 100);
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_DOUBLE_EQ(stats.sum, 7.25);
+  EXPECT_DOUBLE_EQ(stats.min, 7.25);
+  EXPECT_DOUBLE_EQ(stats.max, 7.25);
+  // Single sample: every percentile is the sample itself, not a bucket edge.
+  EXPECT_DOUBLE_EQ(stats.p50, 7.25);
+  EXPECT_DOUBLE_EQ(stats.p99, 7.25);
+  EXPECT_DOUBLE_EQ(stats.rate, 1.0);
+}
+
+TEST(WindowedHistogramTest, WindowsForgetOldSeconds) {
+  WindowedHistogram hist;
+  hist.RecordAtSecond(5.0, 100);
+  EXPECT_EQ(hist.StatsOverAtSecond(1, 100).count, 1);
+  // Two seconds later the 1s window is empty but the 10s window still sees
+  // the sample.
+  EXPECT_EQ(hist.StatsOverAtSecond(1, 102).count, 0);
+  EXPECT_EQ(hist.StatsOverAtSecond(10, 102).count, 1);
+  // Once second 100 falls out of even the 60s window, nothing remains.
+  EXPECT_EQ(hist.StatsOverAtSecond(60, 161).count, 0);
+}
+
+TEST(WindowedHistogramTest, PercentilesMergeAcrossSlices) {
+  WindowedHistogram hist(UnitBounds());
+  // Samples 1..100 spread over four consecutive seconds (recorded in
+  // second order: the AtSecond clock must not regress).
+  for (int phase = 0; phase < 4; ++phase) {
+    for (int v = 1; v <= 100; ++v) {
+      if (v % 4 == phase) hist.RecordAtSecond(static_cast<double>(v),
+                                              200 + phase);
+    }
+  }
+  const WindowStats stats = hist.StatsOverAtSecond(10, 203);
+  EXPECT_EQ(stats.count, 100);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+  EXPECT_NEAR(stats.p50, 50.0, 1e-9);
+  EXPECT_NEAR(stats.p95, 95.0, 1e-9);
+  EXPECT_NEAR(stats.p99, 99.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.rate, 10.0);  // 100 events / 10s window
+  // The narrowest window only sees its own second's samples.
+  EXPECT_EQ(hist.StatsOverAtSecond(1, 203).count, 25);
+}
+
+TEST(WindowedHistogramTest, RingOverwritesSlicesOlderThanSixtySeconds) {
+  WindowedHistogram hist;
+  hist.RecordAtSecond(1.0, 100);
+  // Second 160 maps to the same ring slot as 100 and must evict it.
+  hist.RecordAtSecond(2.0, 160);
+  const WindowStats stats = hist.StatsOverAtSecond(60, 160);
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_DOUBLE_EQ(stats.max, 2.0);
+}
+
+TEST(WindowedHistogramTest, RegressedTimestampsAreDroppedNotCorrupting) {
+  WindowedHistogram hist;
+  hist.RecordAtSecond(1.0, 100);
+  hist.RecordAtSecond(9.0, 99);  // time went backwards: dropped
+  EXPECT_EQ(hist.StatsOverAtSecond(10, 100).count, 1);
+  EXPECT_DOUBLE_EQ(hist.StatsOverAtSecond(10, 100).max, 1.0);
+}
+
+TEST(WindowedHistogramTest, EwmaConvergesToSteadyRateAndDecaysWhenIdle) {
+  WindowedHistogram hist;
+  for (int64_t sec = 300; sec < 340; ++sec) {
+    for (int i = 0; i < 5; ++i) hist.RecordAtSecond(1.0, sec);
+  }
+  // A constant 5/s stream reads back as exactly 5/s (the first fold seeds
+  // the EWMA, later folds are fixed points).
+  EXPECT_NEAR(hist.RateEwmaAtSecond(340), 5.0, 1e-9);
+  // 60 idle seconds decay it by e^-6.
+  EXPECT_NEAR(hist.RateEwmaAtSecond(400), 5.0 * std::exp(-6.0), 1e-6);
+}
+
+TEST(WindowedHistogramTest, ResetForgetsEverything) {
+  WindowedHistogram hist;
+  for (int i = 0; i < 10; ++i) hist.RecordAtSecond(3.0, 500);
+  ASSERT_EQ(hist.StatsOverAtSecond(1, 500).count, 10);
+  hist.Reset();
+  EXPECT_EQ(hist.StatsOverAtSecond(60, 500).count, 0);
+  EXPECT_DOUBLE_EQ(hist.RateEwmaAtSecond(501), 0.0);
+}
+
+int64_t CounterValue(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name).value();
+}
+
+TEST(SloTrackerTest, P99BreachIsCountedOncePerEvaluation) {
+  SloConfig config;
+  config.p99_ms = 10.0;
+  config.window_seconds = 10;
+  config.min_requests = 5;
+  SloTracker slo("slotest.p99", config);
+
+  for (int i = 0; i < 20; ++i) {
+    slo.RecordRequestAtSecond(/*latency_ms=*/50.0, /*error=*/false, 1000);
+  }
+  EXPECT_TRUE(slo.MaybeEvaluateAtSecond(1000));
+  EXPECT_EQ(CounterValue("slotest.p99.evaluations"), 1);
+  EXPECT_EQ(CounterValue("slotest.p99.p99_breaches"), 1);
+  EXPECT_EQ(CounterValue("slotest.p99.error_breaches"), 0);
+  EXPECT_NEAR(MetricsRegistry::Global().GetGauge("slotest.p99.last_p99_ms")
+                  .value(),
+              50.0, 1e-9);
+
+  // Throttled: at most one judgement per second.
+  EXPECT_FALSE(slo.MaybeEvaluateAtSecond(1000));
+  EXPECT_TRUE(slo.MaybeEvaluateAtSecond(1001));
+  EXPECT_EQ(CounterValue("slotest.p99.evaluations"), 2);
+  EXPECT_EQ(CounterValue("slotest.p99.p99_breaches"), 2);
+}
+
+TEST(SloTrackerTest, ErrorRateBudgetBreaches) {
+  SloConfig config;
+  config.max_error_rate = 0.1;
+  config.min_requests = 5;
+  SloTracker slo("slotest.err", config);
+
+  for (int i = 0; i < 20; ++i) {
+    slo.RecordRequestAtSecond(1.0, /*error=*/i < 5, 2000);
+  }
+  EXPECT_TRUE(slo.MaybeEvaluateAtSecond(2000));
+  EXPECT_EQ(CounterValue("slotest.err.error_breaches"), 1);
+  EXPECT_EQ(CounterValue("slotest.err.p99_breaches"), 0);  // budget disabled
+  EXPECT_NEAR(MetricsRegistry::Global()
+                  .GetGauge("slotest.err.last_error_rate")
+                  .value(),
+              0.25, 1e-9);
+}
+
+TEST(SloTrackerTest, WithinBudgetEvaluationsDoNotBreach) {
+  SloConfig config;
+  config.p99_ms = 100.0;
+  config.max_error_rate = 0.5;
+  config.min_requests = 5;
+  SloTracker slo("slotest.ok", config);
+  for (int i = 0; i < 30; ++i) {
+    slo.RecordRequestAtSecond(2.0, /*error=*/false, 3000);
+  }
+  EXPECT_TRUE(slo.MaybeEvaluateAtSecond(3000));
+  EXPECT_EQ(CounterValue("slotest.ok.evaluations"), 1);
+  EXPECT_EQ(CounterValue("slotest.ok.p99_breaches"), 0);
+  EXPECT_EQ(CounterValue("slotest.ok.error_breaches"), 0);
+}
+
+TEST(SloTrackerTest, ThinWindowsAreNotJudged) {
+  SloConfig config;
+  config.p99_ms = 1.0;
+  config.min_requests = 50;
+  SloTracker slo("slotest.thin", config);
+  for (int i = 0; i < 10; ++i) {
+    slo.RecordRequestAtSecond(99.0, /*error=*/true, 4000);
+  }
+  EXPECT_FALSE(slo.MaybeEvaluateAtSecond(4000));
+  EXPECT_EQ(CounterValue("slotest.thin.evaluations"), 0);
+  EXPECT_EQ(CounterValue("slotest.thin.p99_breaches"), 0);
+}
+
+TEST(SloTrackerTest, DisabledBudgetsNeverEvaluateButCountersExist) {
+  SloTracker slo("slotest.off", SloConfig{});
+  for (int i = 0; i < 100; ++i) {
+    slo.RecordRequestAtSecond(1000.0, /*error=*/true, 5000);
+  }
+  EXPECT_FALSE(slo.MaybeEvaluateAtSecond(5000));
+  // The series exist at zero so dashboards never see a gap.
+  EXPECT_EQ(CounterValue("slotest.off.evaluations"), 0);
+  EXPECT_EQ(CounterValue("slotest.off.p99_breaches"), 0);
+  EXPECT_EQ(CounterValue("slotest.off.error_breaches"), 0);
+}
+
+TEST(MetricsRegistryWindowTest, SnapshotExportsWindowedStats) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  WindowedHistogram& window = registry.GetWindowed("wintest.latency");
+  // Live-clock seconds: whatever "now" is, both the 10s and 60s windows
+  // cover samples recorded this instant.
+  for (int i = 0; i < 8; ++i) window.Record(4.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const WindowedHistogramStats* stats = snapshot.FindWindow("wintest.latency");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_EQ(stats->windows.size(), 3u);
+  EXPECT_EQ(stats->windows[0].window_seconds, 1);
+  EXPECT_EQ(stats->windows[1].window_seconds, 10);
+  EXPECT_EQ(stats->windows[2].window_seconds, 60);
+  EXPECT_EQ(stats->windows[1].count, 8);
+  EXPECT_EQ(stats->windows[2].count, 8);
+
+  const std::string encoded = snapshot.ToJson();
+  EXPECT_NE(encoded.find("\"wintest.latency\":{\"rate_ewma\":"),
+            std::string::npos);
+  EXPECT_NE(encoded.find("\"w10s\":{\"count\":8"), std::string::npos);
+
+  registry.Reset();
+  EXPECT_EQ(registry.GetWindowed("wintest.latency").StatsOver(60).count, 0);
+}
+
+}  // namespace
+}  // namespace tailormatch::obs

@@ -4,6 +4,7 @@
 // and compositions — every path must produce bitwise-identical decisions.
 
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 
 #include "core/batch_matcher.h"
 #include "core/matcher.h"
+#include "obs/trace.h"
 #include "serve/micro_batcher.h"
 #include "serve_test_util.h"
 
@@ -129,6 +131,76 @@ TEST(BatchingDeterminismTest, BatchCompositionDoesNotLeakAcrossRequests) {
     EXPECT_EQ(probed.probability, direct.probability)
         << "with " << neighbors << " neighbors";
     EXPECT_EQ(probed.response, direct.response);
+  }
+}
+
+// Runs `pairs` through a fresh MicroBatcher with each request submitted
+// under an explicit ambient trace id (base + index), then returns the
+// per-request event-kind sequences keyed by index. Collect() is exact here:
+// the batcher is shut down (workers joined) before events are read.
+std::vector<std::vector<obs::TraceEventKind>> TraceSequences(
+    const std::shared_ptr<const ServedModel>& served,
+    const std::vector<data::EntityPair>& pairs, int max_batch) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Clear();
+  // Well above the dense NewTraceId counter: explicit ids cannot collide
+  // with the batch ids the workers allocate for batch-scoped events.
+  const uint64_t base = uint64_t{1} << 40;
+
+  MicroBatcherConfig config;
+  config.max_batch = max_batch;
+  config.max_wait_us = 1000;
+  config.batch_parallelism = 1;
+  MicroBatcher batcher(config);
+  std::vector<std::future<ServeResult>> futures;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    obs::TraceScope scope(base + i);
+    futures.push_back(
+        batcher.Submit(served, prompt::PromptTemplate::kDefault, pairs[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const ServeResult result = futures[i].get();
+    EXPECT_EQ(result.outcome, RequestOutcome::kOk);
+    // The reply carries the ambient id it was traced under.
+    EXPECT_EQ(result.trace_id, base + i);
+  }
+  batcher.Shutdown();
+
+  std::vector<std::vector<obs::TraceEventKind>> sequences(pairs.size());
+  for (const obs::TraceEvent& event : recorder.Collect()) {
+    if (event.trace_id >= base && event.trace_id < base + pairs.size()) {
+      sequences[event.trace_id - base].push_back(event.kind);
+    }
+  }
+  recorder.Clear();
+  return sequences;
+}
+
+// DESIGN.md §5f: per-request trace-event *sequences* are part of the
+// determinism contract. Batch composition may only show up in batch-scoped
+// events (batch_form/forward, recorded under a separate batch id), so the
+// same request stream must produce identical per-request sequences whether
+// requests are dispatched one at a time or coalesced eight at a time.
+TEST(BatchingDeterminismTest, TraceSequencePerRequestIsBatchInvariant) {
+  std::shared_ptr<llm::SimLlm> model = serve_test::TinyServeModel();
+  std::shared_ptr<const ServedModel> served = serve_test::WrapServed(model);
+  const std::vector<data::EntityPair> pairs = TestPairs();
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Enable();
+  const auto unbatched = TraceSequences(served, pairs, /*max_batch=*/1);
+  const auto batched = TraceSequences(served, pairs, /*max_batch=*/8);
+  recorder.Disable();
+
+  ASSERT_EQ(unbatched.size(), batched.size());
+  for (size_t i = 0; i < unbatched.size(); ++i) {
+    // Every request walks enqueue -> dispatch -> reply, regardless of how
+    // the micro-batches were cut.
+    const std::vector<obs::TraceEventKind> expected = {
+        obs::TraceEventKind::kEnqueue, obs::TraceEventKind::kDispatch,
+        obs::TraceEventKind::kReply};
+    EXPECT_EQ(unbatched[i], expected) << "request " << i << " (unbatched)";
+    EXPECT_EQ(batched[i], expected) << "request " << i << " (batched)";
   }
 }
 

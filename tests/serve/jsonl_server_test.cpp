@@ -1,13 +1,17 @@
 #include "serve/jsonl_server.h"
 
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.h"
 #include "serve_test_util.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace tailormatch::serve {
@@ -115,6 +119,77 @@ TEST_F(JsonlServerTest, ReloadSwapsVersionAndCorruptReloadKeepsServing) {
                 .find("reload disabled"),
             std::string::npos);
   std::filesystem::remove_all(dir);
+}
+
+TEST_F(JsonlServerTest, StatsReportsWindowedLatencyAndSloCounters) {
+  JsonlServer server = MakeServer();
+  server.HandleLine(R"({"left":"a","right":"b"})");
+  const std::string stats = server.HandleLine(R"({"op":"stats"})");
+
+  // The whole stats line stays within the flat-JSON serving grammar.
+  std::map<std::string, std::string> fields;
+  ASSERT_TRUE(json::ParseFlatObject(stats, &fields).ok()) << stats;
+
+  // SLO breach counters exist (at zero: no budgets configured here).
+  for (const char* key : {"serve_slo_evaluations", "serve_slo_p99_breaches",
+                          "serve_slo_error_breaches"}) {
+    EXPECT_EQ(fields.count(key), 1u) << key << " missing in " << stats;
+  }
+  // Rolling 1s/10s/60s latency windows with percentiles, plus the EWMA rate.
+  for (const char* key :
+       {"latency_rate_ewma", "latency_ms_w1s_count", "latency_ms_w10s_count",
+        "latency_ms_w10s_p50", "latency_ms_w10s_p95", "latency_ms_w10s_p99",
+        "latency_ms_w60s_count"}) {
+    EXPECT_EQ(fields.count(key), 1u) << key << " missing in " << stats;
+  }
+  // The request just served is inside the 60s window.
+  EXPECT_NE(fields["latency_ms_w60s_count"], "0");
+}
+
+TEST_F(JsonlServerTest, TraceOpWritesParseableChromeTrace) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable();
+  JsonlServer server = MakeServer();
+
+  const std::string match = server.HandleLine(
+      R"({"left":"jabra evolve 80","right":"jabra evolve 80 stereo"})");
+  // With tracing on, the reply echoes the request's trace id.
+  EXPECT_NE(match.find("\"trace_id\":"), std::string::npos) << match;
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("tm_jsonl_trace_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  const std::string response = server.HandleLine(
+      "{\"op\":\"trace\",\"path\":" + json::Quote(path) + "}");
+  recorder.Disable();
+  recorder.Clear();
+  EXPECT_NE(response.find("\"outcome\":\"ok\""), std::string::npos)
+      << response;
+  EXPECT_EQ(response.find("\"events\":0"), std::string::npos)
+      << "trace export should contain the served request: " << response;
+
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  std::filesystem::remove(path);
+  EXPECT_EQ(contents.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(contents.find("\"ph\":\"b\""), std::string::npos)
+      << "request lifeline missing";
+}
+
+TEST_F(JsonlServerTest, TraceOpRequiresTracingAndAPath) {
+  JsonlServer server = MakeServer();
+  obs::TraceRecorder::Global().Disable();
+  EXPECT_NE(server.HandleLine(R"({"op":"trace","path":"/tmp/x.json"})")
+                .find("tracing is disabled"),
+            std::string::npos);
+  obs::TraceRecorder::Global().Enable();
+  // The quotes around "path" arrive JSON-escaped, so match around them.
+  EXPECT_NE(server.HandleLine(R"({"op":"trace"})").find("trace needs a"),
+            std::string::npos);
+  obs::TraceRecorder::Global().Disable();
 }
 
 TEST_F(JsonlServerTest, ServeStreamAnswersEveryLineInOrder) {

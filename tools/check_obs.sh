@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end check of the observability layer:
+#   1. builds and runs the obs unit suites plus the subprocess
+#      flight-recorder suite (crash dumps must parse);
+#   2. reruns the obs + serve suites under TSan with TM_TRACE=1, so the
+#      trace recorder's per-thread rings are exercised with tracing ON
+#      under the batcher's and registry's real concurrency;
+#   3. boots `tailormatch serve --trace --trace-out`, drives it over TCP
+#      with the load generator's smoke mode, and lints the Chrome
+#      trace_event JSON the server writes at shutdown.
+#
+# Usage: tools/check_obs.sh [build_dir]
+# (Also exposed as the `check-obs` CMake target.)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+cmake --build "${BUILD_DIR}" --target obs_tests flight_recorder_tests \
+  tailormatch_cli bench_serve_load trace_lint -j"$(nproc)"
+
+"${BUILD_DIR}/tests/obs_tests"
+"${BUILD_DIR}/tests/flight_recorder_tests"
+
+# Tracing-on TSan pass: the plain suites toggle tracing per test; TM_TRACE=1
+# also starts every other test in these suites with the recorder live, so
+# concurrent Record/Collect runs under the batcher and registry threads.
+TM_TRACE=1 "${REPO_ROOT}/tools/check_sanitize.sh" thread obs_tests serve_tests
+
+WORK_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "${SERVER_PID}" ] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill "${SERVER_PID}" 2>/dev/null || true
+    wait "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+CKPT="${WORK_DIR}/tiny.ckpt"
+TRACE_OUT="${WORK_DIR}/serve_trace.json"
+"${BUILD_DIR}/bench/bench_serve_load" --write-tiny-ckpt "${CKPT}"
+
+SERVER_LOG="${WORK_DIR}/server.log"
+"${BUILD_DIR}/tools/tailormatch" serve --model "${CKPT}" --port 0 \
+  --max-batch 8 --max-wait-us 200 --trace --trace-out "${TRACE_OUT}" \
+  --flight-dir "${WORK_DIR}" 2>"${SERVER_LOG}" &
+SERVER_PID="$!"
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*serving JSONL on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${SERVER_LOG}" | head -n1)"
+  [ -n "${PORT}" ] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server exited before binding; log:" >&2
+    cat "${SERVER_LOG}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "${PORT}" ]; then
+  echo "server never reported its port; log:" >&2
+  cat "${SERVER_LOG}" >&2
+  exit 1
+fi
+
+"${BUILD_DIR}/bench/bench_serve_load" --connect "${PORT}" --shutdown
+wait "${SERVER_PID}"
+SERVER_PID=""
+
+# 16 smoke requests, each with an enqueue/dispatch/reply lifeline, so a
+# healthy export clears 16 events with room to spare.
+if [ ! -s "${TRACE_OUT}" ]; then
+  echo "server did not write ${TRACE_OUT}; log:" >&2
+  cat "${SERVER_LOG}" >&2
+  exit 1
+fi
+"${BUILD_DIR}/tools/trace_lint" "${TRACE_OUT}" --min-events 16
+
+echo "check-obs: suites + TSan(TM_TRACE=1) + traced TCP smoke clean"

@@ -19,6 +19,9 @@
 //   --metrics-out PATH   dump a JSON metrics snapshot (counters, gauges,
 //                        latency histograms, span tree) at exit
 //   --metrics-report     print the human-readable metrics tables to stderr
+//   --trace / --trace-out PATH / --flight-dir DIR
+//                        request-scoped tracing: Chrome trace_event JSON at
+//                        exit, crash flight recorder (DESIGN.md §5f)
 //
 // Honors TM_SCALE / TM_EVAL_MAX / TM_EPOCHS / TM_CACHE_DIR.
 
@@ -35,7 +38,9 @@
 #include "data/dataset_io.h"
 #include "eval/evaluator.h"
 #include "eval/metrics_report.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/jsonl_server.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
@@ -138,16 +143,52 @@ int Usage() {
       "             [--max-batch K] [--max-wait-us U] [--workers W]\n"
       "             [--queue-cap Q] [--cache-mb M] [--timeout-ms T]\n"
       "             [--dispatch-cost-us D] [--scholar]\n"
+      "             [--slo-p99-ms MS] [--slo-max-error-rate R]  rolling\n"
+      "             10s-window SLO budgets surfaced as serve.slo.* stats\n"
       "  export     --benchmark B [--split train|valid|test]\n"
       "             [--format csv|jsonl] --out PATH\n"
       "  benchmarks | families\n"
       "global options:\n"
       "  --metrics-out PATH   dump a JSON metrics snapshot at exit\n"
       "  --metrics-report     print metrics tables to stderr at exit\n"
+      "  --trace              enable request/stage tracing (TM_TRACE=1)\n"
+      "  --trace-out PATH     write the Chrome trace_event JSON timeline at\n"
+      "                       exit (implies --trace); open in chrome://tracing\n"
+      "  --flight-dir DIR     arm the crash flight recorder: fatal signals\n"
+      "                       and injected crashes dump DIR/flight.json\n"
+      "                       (implies --trace)\n"
       "  --train-threads N    data-parallel training workers (sets\n"
       "                       TM_TRAIN_THREADS; results are identical at\n"
       "                       every worker count)\n");
   return 2;
+}
+
+// Arms tracing / the flight recorder before the command runs (--trace,
+// --trace-out, --flight-dir; TM_TRACE / TM_FLIGHT_DIR do the same from the
+// environment for subprocess harnesses).
+void ConfigureObservability(const ArgMap& args) {
+  if (args.Has("trace") || args.Has("trace-out")) {
+    obs::TraceRecorder::Global().Enable();
+  }
+  obs::flight::ConfigureFromEnv();
+  const std::string flight_dir = args.Get("flight-dir", "");
+  if (!flight_dir.empty()) {
+    obs::flight::Configure(flight_dir);  // also enables tracing
+  }
+}
+
+// Writes the Chrome trace timeline after the command finishes
+// (--trace-out). Returns false if the file cannot be written.
+bool EmitTrace(const ArgMap& args) {
+  const std::string trace_out = args.Get("trace-out", "");
+  if (trace_out.empty()) return true;
+  Status status = obs::TraceRecorder::Global().WriteChromeTrace(trace_out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write trace: %s\n",
+                 status.ToString().c_str());
+    return false;
+  }
+  return true;
 }
 
 // Exports the run's metrics after the command finishes (--metrics-out /
@@ -315,6 +356,14 @@ int CmdServe(const ArgMap& args) {
   batcher_config.queue_capacity = int_arg("queue-cap", 1024);
   batcher_config.num_workers = int_arg("workers", 1);
   batcher_config.dispatch_cost_us = int_arg("dispatch-cost-us", 0);
+  const std::string slo_p99 = args.Get("slo-p99-ms", "");
+  if (!slo_p99.empty()) {
+    batcher_config.slo_p99_ms = std::atof(slo_p99.c_str());
+  }
+  const std::string slo_err = args.Get("slo-max-error-rate", "");
+  if (!slo_err.empty()) {
+    batcher_config.slo_max_error_rate = std::atof(slo_err.c_str());
+  }
   const int cache_mb = int_arg("cache-mb", 16);
   if (cache_mb > 0) {
     batcher_config.cache = std::make_shared<serve::ResultCache>(
@@ -406,6 +455,7 @@ int main(int argc, char** argv) {
   if (args.Has("train-threads")) {
     setenv("TM_TRAIN_THREADS", args.Get("train-threads", "1").c_str(), 1);
   }
+  ConfigureObservability(args);
   int rc;
   if (command == "pretrain") {
     rc = CmdPretrain(args);
@@ -427,5 +477,6 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (!EmitMetrics(args) && rc == 0) rc = 1;
+  if (!EmitTrace(args) && rc == 0) rc = 1;
   return rc;
 }

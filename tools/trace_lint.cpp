@@ -1,0 +1,117 @@
+// trace_lint: validates a Chrome trace_event JSON file produced by
+// `tailormatch --trace-out` or the serve `trace` op.
+//
+//   trace_lint FILE [--min-events N]
+//
+// The exporter promises flat event objects so every event round-trips
+// through the same util/json flat-object grammar the serving layer speaks.
+// This tool holds it to that: it re-parses every event, checks the Chrome
+// viewer's required keys per phase, and verifies the async request
+// brackets ("b"/"e" pairs per id) balance. Exit 0 only when every event
+// passes; used by tools/check_obs.sh against a live server's export.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+using namespace tailormatch;
+
+namespace {
+
+int Fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "trace_lint: %s: %s\n", what,
+               detail.substr(0, 200).c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_lint FILE [--min-events N]\n");
+    return 2;
+  }
+  long min_events = 1;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-events") == 0) {
+      min_events = std::atol(argv[i + 1]);
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_lint: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::string header = "{\"traceEvents\":[";
+  if (text.rfind(header, 0) != 0) {
+    return Fail("missing traceEvents header", text);
+  }
+
+  // Events are flat objects by construction, so a brace scan is a real
+  // parse: the first '}' after a '{' closes that event.
+  long events = 0;
+  std::map<std::string, int> open_brackets;  // async id -> b minus e
+  size_t at = header.size();
+  while (true) {
+    const size_t open = text.find('{', at);
+    if (open == std::string::npos) break;
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      return Fail("unterminated event object", text.substr(open));
+    }
+    const std::string event = text.substr(open, close - open + 1);
+    at = close + 1;
+
+    std::map<std::string, std::string> fields;
+    Status status = json::ParseFlatObject(event, &fields);
+    if (!status.ok()) return Fail(status.ToString().c_str(), event);
+    for (const char* key : {"name", "cat", "ph", "pid", "tid", "ts"}) {
+      if (fields.count(key) == 0) {
+        return Fail(("event missing \"" + std::string(key) + "\"").c_str(),
+                    event);
+      }
+    }
+    const std::string ph = fields["ph"];
+    if (ph == "X" && fields.count("dur") == 0) {
+      return Fail("duration event missing \"dur\"", event);
+    }
+    if (ph == "b" || ph == "e") {
+      if (fields.count("id") == 0) {
+        return Fail("async event missing \"id\"", event);
+      }
+      open_brackets[fields["id"]] += ph == "b" ? 1 : -1;
+    }
+    ++events;
+  }
+
+  for (const auto& [id, balance] : open_brackets) {
+    // A request in flight at export time legitimately leaves one open "b";
+    // a negative balance or a pile-up means the bracket logic broke.
+    if (balance < 0 || balance > 1) {
+      return Fail("unbalanced async brackets for id",
+                  id + " (b-e = " + std::to_string(balance) + ")");
+    }
+  }
+
+  if (events < min_events) {
+    std::fprintf(stderr, "trace_lint: %ld events, expected >= %ld\n", events,
+                 min_events);
+    return 1;
+  }
+  std::printf("trace_lint: %s ok (%ld events, %zu async ids)\n", argv[1],
+              events, open_brackets.size());
+  return 0;
+}
