@@ -1,6 +1,11 @@
 // Load generator for the online serving subsystem (src/serve/).
 //
 //   bench_serve_load                       run the sweeps, write BENCH_serve.json
+//   bench_serve_load --fleet               run the multi-process fleet sweeps
+//                                          (scaling, crash drill, autotune vs
+//                                          fixed), write BENCH_fleet.json
+//   bench_serve_load --seed N              seed for the open-loop arrival
+//                                          schedules (default 20260809)
 //   bench_serve_load --write-tiny-ckpt P   write a tiny framed checkpoint to P
 //   bench_serve_load --connect PORT        JSONL smoke test against a running
 //                                          `tailormatch serve --port PORT`
@@ -29,8 +34,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <string>
@@ -39,9 +46,12 @@
 
 #include "core/matcher.h"
 #include "llm/sim_llm.h"
+#include "serve/fleet.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
+#include "serve/net_util.h"
 #include "text/tokenizer.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 
 using namespace tailormatch;
@@ -285,6 +295,418 @@ int RunSweeps() {
   return speedup >= 2.0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Fleet sweeps (--fleet): the multi-process serve fleet measured through its
+// real front door — TCP to the router, router to forked workers. Three
+// experiments, written to BENCH_fleet.json:
+//   scaling      closed-loop throughput at 1/2/4 workers under the 200us
+//                dispatch-cost profile (gate: >= 2.5x at 4 vs 1, p99 within
+//                the 50ms SLO)
+//   crash        closed-loop traffic with a SIGKILL mid-run (gate: the slot
+//                restarts and only the in-flight window errors)
+//   diurnal      seeded open-loop arrivals on a sinusoid + burst schedule,
+//                autotuned workers vs fixed batch policies (gate: autotune
+//                ok-throughput >= 1.2x the worst fixed policy)
+// ---------------------------------------------------------------------------
+
+constexpr double kFleetSloP99Ms = 50.0;
+
+// An even smaller model for the scaling sweep. There the 200us dispatch
+// sleep is the quantity under test (how well N worker processes overlap
+// it), so per-request forward CPU — pure noise for that question, and the
+// bottleneck on a small host — is shrunk as far as the stack allows.
+llm::SimLlm MakeMicroServeModel() {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back("w " + std::to_string(i) + " w " + std::to_string(i) +
+                     " x");
+  }
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 700, 1);
+  llm::ModelConfig config;
+  config.dim = 8;
+  config.num_heads = 1;
+  config.num_layers = 1;
+  config.max_seq = 16;
+  config.init_seed = 11;
+  return llm::SimLlm(config, std::move(tokenizer));
+}
+
+std::string MatchLine(int id) {
+  return "{\"id\":\"" + std::to_string(id) + "\",\"left\":\"widget pro model " +
+         std::to_string(id) + "\",\"right\":\"widget pro model " +
+         std::to_string(id + 1) + "\"}\n";
+}
+
+// Minimal pairs for the scaling sweep: the quantity under test there is the
+// dispatch pipeline (the 200us sleep), so per-request tokenize/forward CPU
+// is kept as small as possible to stay out of the measurement.
+std::string ShortMatchLine(int id) {
+  return "{\"id\":\"" + std::to_string(id) + "\",\"left\":\"w " +
+         std::to_string(id) + "\",\"right\":\"w " + std::to_string(id) +
+         " x\"}\n";
+}
+
+struct FleetLoopResult {
+  int requests = 0;
+  int ok = 0;
+  int errors = 0;
+  double elapsed_s = 0.0;
+  double throughput = 0.0;  // ok responses / sec
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+};
+
+void FinishFleetRun(std::vector<double>& latencies, FleetLoopResult* run) {
+  std::sort(latencies.begin(), latencies.end());
+  run->ok = static_cast<int>(latencies.size());
+  run->throughput =
+      run->elapsed_s > 0 ? static_cast<double>(run->ok) / run->elapsed_s : 0.0;
+  run->p50_ms = Percentile(latencies, 50);
+  run->p95_ms = Percentile(latencies, 95);
+  run->p99_ms = Percentile(latencies, 99);
+}
+
+// `clients` interactive TCP connections, one outstanding request each.
+FleetLoopResult FleetClosedLoop(int port, int clients, int per_client,
+                                int id_base, bool short_pairs = false) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<int> errors{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int fd = serve::TcpConnectLoopback(port);
+      if (fd < 0) return;
+      serve::FdStreamBuf buf(fd);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      latencies[c].reserve(per_client);
+      for (int i = 0; i < per_client; ++i) {
+        const int id = id_base + c * per_client + i;
+        const auto sent = Clock::now();
+        out << (short_pairs ? ShortMatchLine(id) : MatchLine(id));
+        out.flush();
+        std::string line;
+        if (!std::getline(in, line)) break;
+        if (line.find("\"outcome\":\"ok\"") != std::string::npos) {
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - sent)
+                  .count());
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  FleetLoopResult run;
+  run.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  run.requests = clients * per_client;
+  run.errors = errors.load();
+  std::vector<double> all;
+  for (auto& per_conn : latencies) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  FinishFleetRun(all, &run);
+  return run;
+}
+
+// Boots a fleet, runs its front in a background thread, and hands the bound
+// port to `body`. Tears everything down before returning.
+template <typename Body>
+void WithFleet(const serve::FleetConfig& config, Body body) {
+  serve::Fleet fleet(config);
+  Status started = fleet.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "fleet start failed: %s\n",
+                 started.ToString().c_str());
+    return;
+  }
+  std::atomic<int> port{0};
+  std::thread front([&] { fleet.ServeFront(0, &port); });
+  while (port.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  body(fleet, port.load());
+  fleet.Stop();
+  front.join();
+}
+
+serve::FleetConfig BaseFleetConfig(const std::string& ckpt, int workers) {
+  serve::FleetConfig config;
+  config.num_workers = workers;
+  config.checkpoint_path = ckpt;
+  config.max_batch = 8;
+  config.max_wait_us = 200;
+  config.dispatch_cost_us = 200;
+  config.cache_mb = 0;  // distinct pairs anyway; keep the numbers honest
+  config.queue_capacity = 4096;
+  return config;
+}
+
+// Deterministic diurnal arrival schedule: a sinusoid over `seconds` plus one
+// hard burst, arrival gaps drawn exponentially from the seeded Rng.
+std::vector<double> DiurnalSchedule(uint64_t seed, double seconds,
+                                    double mean_rate, double swing,
+                                    double period_s, int burst_size,
+                                    double burst_at_s) {
+  Rng rng(seed);
+  std::vector<double> arrivals;
+  double t = 0.0;
+  while (t < seconds) {
+    const double rate =
+        mean_rate + swing * std::sin(2.0 * M_PI * t / period_s);
+    const double u = std::max(rng.NextDouble(), 1e-12);
+    t += -std::log(u) / std::max(rate, 1.0);
+    if (t < seconds) arrivals.push_back(t);
+  }
+  for (int i = 0; i < burst_size; ++i) {
+    arrivals.push_back(burst_at_s + 0.05 * rng.NextDouble());
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+// Open-loop generator against a fleet front: `conns` pipelined connections,
+// each sending its slice of the schedule at the scheduled wall-clock times.
+// Latency is measured from the *scheduled* arrival, so falling behind the
+// schedule (an overloaded policy) shows up as queueing delay, and shed
+// requests (overloaded/error responses) are excluded from ok-throughput.
+FleetLoopResult FleetOpenLoop(int port, const std::vector<double>& schedule,
+                              int conns) {
+  std::vector<std::vector<double>> latencies(conns);
+  std::atomic<int> errors{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> slice;
+      for (size_t i = static_cast<size_t>(c); i < schedule.size();
+           i += static_cast<size_t>(conns)) {
+        slice.push_back(schedule[i]);
+      }
+      const int fd = serve::TcpConnectLoopback(port);
+      if (fd < 0) return;
+      serve::FdStreamBuf buf(fd);
+      std::thread reader([&] {
+        std::istream in(&buf);
+        std::string line;
+        for (size_t i = 0; i < slice.size(); ++i) {
+          if (!std::getline(in, line)) break;
+          const double scheduled_ms = slice[i] * 1000.0;
+          const double now_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count();
+          if (line.find("\"outcome\":\"ok\"") != std::string::npos) {
+            latencies[c].push_back(now_ms - scheduled_ms);
+          } else {
+            errors.fetch_add(1);
+          }
+        }
+      });
+      std::ostream out(&buf);
+      for (size_t i = 0; i < slice.size(); ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(slice[i])));
+        out << MatchLine(static_cast<int>(i) * conns + c);
+        out.flush();
+      }
+      reader.join();
+      ::close(fd);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  FleetLoopResult run;
+  run.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  run.requests = static_cast<int>(schedule.size());
+  run.errors = errors.load();
+  std::vector<double> all;
+  for (auto& per_conn : latencies) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  FinishFleetRun(all, &run);
+  return run;
+}
+
+void AppendFleetRunJson(const char* name, int workers, int max_batch,
+                        const char* policy, const FleetLoopResult& run,
+                        std::string* out) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "    {\"experiment\":\"%s\",\"workers\":%d,\"max_batch\":%d,"
+      "\"policy\":\"%s\",\"requests\":%d,\"ok\":%d,\"errors\":%d,"
+      "\"elapsed_s\":%.4f,\"ok_throughput\":%.1f,\"p50_ms\":%.3f,"
+      "\"p95_ms\":%.3f,\"p99_ms\":%.3f}",
+      name, workers, max_batch, policy, run.requests, run.ok, run.errors,
+      run.elapsed_s, run.throughput, run.p50_ms, run.p95_ms, run.p99_ms);
+  *out += buffer;
+}
+
+int RunFleetBench(uint64_t seed) {
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() /
+       ("tm_bench_fleet_" + std::to_string(::getpid()) + ".ckpt"))
+          .string();
+  const std::string micro_ckpt =
+      (std::filesystem::temp_directory_path() /
+       ("tm_bench_fleet_micro_" + std::to_string(::getpid()) + ".ckpt"))
+          .string();
+  {
+    llm::SimLlm model = MakeServeModel();
+    Status status = model.SaveCheckpoint(ckpt);
+    if (status.ok()) status = MakeMicroServeModel().SaveCheckpoint(micro_ckpt);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::string json = "{\n  \"bench\": \"serve_fleet\",\n  \"seed\": " +
+                     std::to_string(seed) + ",\n  \"runs\": [\n";
+
+  // --- scaling: closed loop, 16 clients, 1/2/4 workers -------------------
+  // max_batch is pinned to 1 here so the measured quantity is PROCESS
+  // scaling of the dispatch pipeline: each request pays the full 200us
+  // dispatch cost, and more workers overlap more of those dispatches (the
+  // within-worker batching win is BENCH_serve.json's story). A single
+  // serial worker is dispatch-bound; N workers overlap N dispatch sleeps.
+  std::printf("%-10s %7s %9s %8s %12s %8s %8s %8s %7s\n", "experiment",
+              "workers", "max_batch", "clients", "ok/s", "p50ms", "p95ms",
+              "p99ms", "errors");
+  double scale1 = 0.0, scale4 = 0.0, scale4_p99 = 0.0;
+  const int kClients = 16;
+  const int kPerClient = 400;
+  for (int workers : {1, 2, 4}) {
+    serve::FleetConfig config = BaseFleetConfig(micro_ckpt, workers);
+    config.max_batch = 1;
+    config.max_wait_us = 0;
+    config.slo_p99_ms = kFleetSloP99Ms;
+    FleetLoopResult run;
+    WithFleet(config, [&](serve::Fleet& fleet, int port) {
+      (void)fleet;
+      run = FleetClosedLoop(port, kClients, kPerClient, workers * 1000000,
+                            /*short_pairs=*/true);
+    });
+    std::printf("%-10s %7d %9d %8d %12.1f %8.3f %8.3f %8.3f %7d\n", "scaling",
+                workers, 1, kClients, run.throughput, run.p50_ms, run.p95_ms,
+                run.p99_ms, run.errors);
+    if (workers == 1) scale1 = run.throughput;
+    if (workers == 4) {
+      scale4 = run.throughput;
+      scale4_p99 = run.p99_ms;
+    }
+    AppendFleetRunJson("scaling", workers, 1, "fixed", run, &json);
+    json += ",\n";
+  }
+
+  // --- crash drill: SIGKILL a worker mid-traffic -------------------------
+  FleetLoopResult crash;
+  int64_t crash_restarts = 0;
+  {
+    serve::FleetConfig config = BaseFleetConfig(ckpt, 2);
+    config.slo_p99_ms = kFleetSloP99Ms;
+    WithFleet(config, [&](serve::Fleet& fleet, int port) {
+      std::thread killer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        fleet.KillWorker(0, SIGKILL);
+      });
+      crash = FleetClosedLoop(port, 8, 400, 9000000);
+      killer.join();
+      fleet.WaitForWorker(0, 1, 10000);
+      crash_restarts = fleet.restarts();
+    });
+    std::printf("%-10s %7d %9d %8d %12.1f %8.3f %8.3f %8.3f %7d\n", "crash", 2,
+                8, 8, crash.throughput, crash.p50_ms, crash.p95_ms,
+                crash.p99_ms, crash.errors);
+    AppendFleetRunJson("crash", 2, 8, "sigkill", crash, &json);
+    json += ",\n";
+  }
+
+  // --- diurnal: autotune vs fixed batch policies -------------------------
+  // Offered load: sinusoid around 7000/s (peak ~12000/s, above what the
+  // fixed batch1 policy can serve on 2 workers) plus a 1500-request burst.
+  const std::vector<double> schedule =
+      DiurnalSchedule(seed, /*seconds=*/5.0, /*mean_rate=*/7000.0,
+                      /*swing=*/5000.0, /*period_s=*/4.0,
+                      /*burst_size=*/1500, /*burst_at_s=*/2.5);
+  struct Policy {
+    const char* name;
+    int max_batch;
+    bool autotune;
+  };
+  const std::vector<Policy> policies = {
+      {"fixed1", 1, false},
+      {"fixed8", 8, false},
+      {"fixed32", 32, false},
+      {"autotune", 1, true},  // worst fixed start; the controller must climb
+  };
+  double autotune_tput = 0.0, worst_fixed_tput = 0.0;
+  for (const Policy& policy : policies) {
+    serve::FleetConfig config = BaseFleetConfig(ckpt, 2);
+    config.max_batch = policy.max_batch;
+    config.autotune = policy.autotune;
+    config.slo_p99_ms = kFleetSloP99Ms;
+    config.autotune_tick_ms = 400;
+    FleetLoopResult run;
+    WithFleet(config, [&](serve::Fleet& fleet, int port) {
+      (void)fleet;
+      run = FleetOpenLoop(port, schedule, /*conns=*/4);
+    });
+    std::printf("%-10s %7d %9d %8d %12.1f %8.3f %8.3f %8.3f %7d\n",
+                policy.name, 2, policy.max_batch, 4, run.throughput,
+                run.p50_ms, run.p95_ms, run.p99_ms, run.errors);
+    AppendFleetRunJson("diurnal", 2, policy.max_batch, policy.name, run,
+                       &json);
+    json += &policy == &policies.back() ? "\n" : ",\n";
+    if (policy.autotune) {
+      autotune_tput = run.throughput;
+    } else if (worst_fixed_tput == 0.0 || run.throughput < worst_fixed_tput) {
+      worst_fixed_tput = run.throughput;
+    }
+  }
+  std::filesystem::remove(ckpt);
+  std::filesystem::remove(micro_ckpt);
+
+  const double scaling = scale1 > 0 ? scale4 / scale1 : 0.0;
+  const double autotune_gain =
+      worst_fixed_tput > 0 ? autotune_tput / worst_fixed_tput : 0.0;
+  const bool p99_ok = scale4_p99 > 0 && scale4_p99 <= kFleetSloP99Ms;
+  std::printf("\nheadline: 4-worker scaling %.2fx (p99 %.3fms vs %.0fms SLO), "
+              "crash errors %d (restarts %lld), autotune %.2fx worst fixed\n",
+              scaling, scale4_p99, kFleetSloP99Ms, crash.errors,
+              static_cast<long long>(crash_restarts), autotune_gain);
+
+  char headline[512];
+  std::snprintf(
+      headline, sizeof(headline),
+      "  ],\n  \"headline\": {\"slo_p99_ms\":%.0f,"
+      "\"scaling_4v1\":%.2f,\"scale4_p99_ms\":%.3f,\"scale4_p99_within_slo\":"
+      "%s,\"crash_errors\":%d,\"crash_restarts\":%lld,"
+      "\"autotune_throughput\":%.1f,\"worst_fixed_throughput\":%.1f,"
+      "\"autotune_vs_worst_fixed\":%.2f}\n}\n",
+      kFleetSloP99Ms, scaling, scale4_p99, p99_ok ? "true" : "false",
+      crash.errors, static_cast<long long>(crash_restarts), autotune_tput,
+      worst_fixed_tput, autotune_gain);
+  json += headline;
+
+  FILE* out = std::fopen("BENCH_fleet.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fleet.json\n");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_fleet.json\n");
+
+  const bool gates = scaling >= 2.5 && p99_ok && crash_restarts >= 1 &&
+                     autotune_gain >= 1.2;
+  return gates ? 0 : 1;
+}
+
 // --connect PORT: drive a running JSONL server over TCP, verify responses.
 int RunSmoke(int port, bool shutdown_server) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -351,6 +773,13 @@ int RunSmoke(int port, bool shutdown_server) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  uint64_t seed = 20260809;
+  bool fleet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) seed = std::strtoull(argv[i + 1], nullptr, 10);
+    if (arg == "--fleet") fleet = true;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--write-tiny-ckpt" && i + 1 < argc) {
@@ -371,5 +800,6 @@ int main(int argc, char** argv) {
       return RunSmoke(std::atoi(argv[i + 1]), shutdown_server);
     }
   }
+  if (fleet) return RunFleetBench(seed);
   return RunSweeps();
 }

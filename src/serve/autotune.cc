@@ -1,0 +1,274 @@
+#include "serve/autotune.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/window.h"
+#include "util/check.h"
+
+namespace tailormatch::serve {
+
+namespace {
+
+// Cached metric handles, same pattern as the batcher's ServeMetrics: the
+// controller ticks once a second, but the gauges are also read by `stats`.
+struct AutotuneMetrics {
+  obs::Counter& ticks;
+  obs::Counter& grows;
+  obs::Counter& reverts;
+  obs::Counter& backoffs;
+  obs::Counter& holds;
+  obs::Gauge& max_batch;
+  obs::Gauge& max_wait_us;
+  obs::Gauge& last_p99_ms;
+  obs::Gauge& last_queue_depth;
+
+  static AutotuneMetrics& Get() {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    static AutotuneMetrics metrics{
+        r.GetCounter("serve.autotune.ticks"),
+        r.GetCounter("serve.autotune.grows"),
+        r.GetCounter("serve.autotune.reverts"),
+        r.GetCounter("serve.autotune.backoffs"),
+        r.GetCounter("serve.autotune.holds"),
+        r.GetGauge("serve.autotune.max_batch"),
+        r.GetGauge("serve.autotune.max_wait_us"),
+        r.GetGauge("serve.autotune.last_p99_ms"),
+        r.GetGauge("serve.autotune.last_queue_depth")};
+    return metrics;
+  }
+};
+
+uint32_t ActionLabel(AutotuneAction action) {
+  // Labels are interned once; InternLabel requires literals that outlive
+  // the recorder.
+  static const uint32_t kIdle =
+      obs::TraceRecorder::Global().InternLabel("autotune.idle");
+  static const uint32_t kHold =
+      obs::TraceRecorder::Global().InternLabel("autotune.hold");
+  static const uint32_t kGrow =
+      obs::TraceRecorder::Global().InternLabel("autotune.grow");
+  static const uint32_t kRevert =
+      obs::TraceRecorder::Global().InternLabel("autotune.revert");
+  static const uint32_t kBackoff =
+      obs::TraceRecorder::Global().InternLabel("autotune.backoff");
+  switch (action) {
+    case AutotuneAction::kIdle: return kIdle;
+    case AutotuneAction::kHold: return kHold;
+    case AutotuneAction::kGrow: return kGrow;
+    case AutotuneAction::kRevert: return kRevert;
+    case AutotuneAction::kBackoff: return kBackoff;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* AutotuneActionName(AutotuneAction action) {
+  switch (action) {
+    case AutotuneAction::kIdle: return "idle";
+    case AutotuneAction::kHold: return "hold";
+    case AutotuneAction::kGrow: return "grow";
+    case AutotuneAction::kRevert: return "revert";
+    case AutotuneAction::kBackoff: return "backoff";
+  }
+  return "unknown";
+}
+
+AutotuneController::AutotuneController(MicroBatcher* batcher,
+                                       AutotuneConfig config)
+    : batcher_(batcher), config_(config) {
+  TM_CHECK(batcher != nullptr);
+  TM_CHECK_GT(config_.slo_p99_ms, 0.0);
+  TM_CHECK_GT(config_.min_batch, 0);
+  TM_CHECK_GE(config_.max_batch, config_.min_batch);
+  TM_CHECK_GE(config_.min_wait_us, 0);
+  TM_CHECK_GE(config_.max_wait_us, config_.min_wait_us);
+  AutotuneMetrics& metrics = AutotuneMetrics::Get();
+  metrics.max_batch.Set(static_cast<double>(batcher_->max_batch()));
+  metrics.max_wait_us.Set(static_cast<double>(batcher_->max_wait_us()));
+}
+
+AutotuneController::~AutotuneController() { Stop(); }
+
+void AutotuneController::Start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void AutotuneController::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+void AutotuneController::Loop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, std::chrono::milliseconds(config_.tick_ms),
+                          [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    TickNow();
+    lock.lock();
+  }
+}
+
+AutotuneDecision AutotuneController::TickNow() {
+  const obs::WindowStats window =
+      batcher_->slo().latency().StatsOver(config_.window_seconds);
+  AutotuneObservation observation;
+  observation.p99_ms = window.p99;
+  observation.window_count = window.count;
+  observation.rate_ewma = batcher_->slo().latency().RateEwma();
+  observation.queue_depth = batcher_->queue_depth();
+  return Tick(observation);
+}
+
+void AutotuneController::RecordDecision(AutotuneAction action) {
+  AutotuneMetrics& metrics = AutotuneMetrics::Get();
+  metrics.ticks.Increment();
+  switch (action) {
+    case AutotuneAction::kGrow: metrics.grows.Increment(); break;
+    case AutotuneAction::kRevert: metrics.reverts.Increment(); break;
+    case AutotuneAction::kBackoff: metrics.backoffs.Increment(); break;
+    case AutotuneAction::kHold: metrics.holds.Increment(); break;
+    case AutotuneAction::kIdle: break;
+  }
+  metrics.max_batch.Set(static_cast<double>(batcher_->max_batch()));
+  metrics.max_wait_us.Set(static_cast<double>(batcher_->max_wait_us()));
+
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
+  if (tracer.enabled()) {
+    if (trace_id_ == 0) trace_id_ = tracer.NewTraceId();
+    tracer.Record(trace_id_, obs::TraceEventKind::kMark,
+                  static_cast<uint64_t>(batcher_->max_batch()),
+                  /*dur_ns=*/0, ActionLabel(action));
+  }
+}
+
+AutotuneDecision AutotuneController::Tick(
+    const AutotuneObservation& observation) {
+  std::lock_guard<std::mutex> lock(tick_mutex_);
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  AutotuneMetrics& metrics = AutotuneMetrics::Get();
+  metrics.last_p99_ms.Set(observation.p99_ms);
+  metrics.last_queue_depth.Set(static_cast<double>(observation.queue_depth));
+
+  const int batch = batcher_->max_batch();
+  const int wait_us = batcher_->max_wait_us();
+  AutotuneDecision decision;
+  decision.max_batch = batch;
+  decision.max_wait_us = wait_us;
+
+  // Thin window: nothing trustworthy to steer on. Cooldowns still elapse so
+  // an idle spell doesn't freeze the controller after a backoff.
+  if (observation.window_count < config_.min_window_requests) {
+    if (cooldown_ > 0) --cooldown_;
+    last_was_grow_ = false;
+    decision.action = AutotuneAction::kIdle;
+    RecordDecision(decision.action);
+    return decision;
+  }
+
+  // Breach: the response depends on WHY p99 is over budget. A deep queue
+  // means the server is under-capacity — requests age in the queue, and
+  // shrinking the batch would shrink capacity further and pin the breach.
+  // The rescue is to GROW (more amortization, more throughput, queue
+  // drains). A shallow queue means the latency is self-inflicted batching
+  // delay, and multiplicative decrease is the right medicine.
+  if (observation.p99_ms > config_.slo_p99_ms) {
+    const bool backlogged =
+        observation.queue_depth >=
+        static_cast<size_t>(config_.grow_queue_depth);
+    if (backlogged && batch < config_.max_batch) {
+      pre_grow_batch_ = batch;
+      pre_grow_wait_us_ = wait_us;
+      pre_grow_rate_ = observation.rate_ewma;
+      decision.max_batch = std::min(config_.max_batch, batch * 2);
+      decision.max_wait_us = std::min(
+          config_.max_wait_us, std::max(config_.min_wait_us, wait_us * 2));
+      batcher_->set_max_batch(decision.max_batch);
+      batcher_->set_max_wait_us(decision.max_wait_us);
+      last_was_grow_ = true;
+      decision.action = AutotuneAction::kGrow;
+      RecordDecision(decision.action);
+      return decision;
+    }
+    decision.max_batch = std::max(config_.min_batch, batch / 2);
+    decision.max_wait_us = std::max(config_.min_wait_us, wait_us / 2);
+    batcher_->set_max_batch(decision.max_batch);
+    batcher_->set_max_wait_us(decision.max_wait_us);
+    cooldown_ = config_.cooldown_ticks;
+    last_was_grow_ = false;
+    decision.action = AutotuneAction::kBackoff;
+    RecordDecision(decision.action);
+    return decision;
+  }
+
+  if (cooldown_ > 0) {
+    --cooldown_;
+    last_was_grow_ = false;
+    decision.action = AutotuneAction::kHold;
+    RecordDecision(decision.action);
+    return decision;
+  }
+
+  // Hill-climb bookkeeping: a grow that did not move the completion rate
+  // uphill gets undone before anything else is tried.
+  if (last_was_grow_ &&
+      observation.rate_ewma <
+          pre_grow_rate_ * (1.0 + config_.rate_epsilon)) {
+    decision.max_batch = pre_grow_batch_;
+    decision.max_wait_us = pre_grow_wait_us_;
+    batcher_->set_max_batch(decision.max_batch);
+    batcher_->set_max_wait_us(decision.max_wait_us);
+    cooldown_ = config_.cooldown_ticks;
+    last_was_grow_ = false;
+    decision.action = AutotuneAction::kRevert;
+    RecordDecision(decision.action);
+    return decision;
+  }
+  last_was_grow_ = false;
+
+  // Grow: enough latency headroom AND a queue actually building. Stretch
+  // the wait window with the batch so the larger batch has time to fill.
+  const bool headroom =
+      observation.p99_ms < config_.headroom_fraction * config_.slo_p99_ms;
+  const bool pressure =
+      observation.queue_depth >=
+      static_cast<size_t>(config_.grow_queue_depth);
+  if (headroom && pressure && batch < config_.max_batch) {
+    pre_grow_batch_ = batch;
+    pre_grow_wait_us_ = wait_us;
+    pre_grow_rate_ = observation.rate_ewma;
+    decision.max_batch = std::min(config_.max_batch, batch * 2);
+    decision.max_wait_us = std::min(
+        config_.max_wait_us, std::max(config_.min_wait_us, wait_us * 2));
+    batcher_->set_max_batch(decision.max_batch);
+    batcher_->set_max_wait_us(decision.max_wait_us);
+    last_was_grow_ = true;
+    decision.action = AutotuneAction::kGrow;
+    RecordDecision(decision.action);
+    return decision;
+  }
+
+  // Dead band: stable by construction.
+  decision.action = AutotuneAction::kHold;
+  RecordDecision(decision.action);
+  return decision;
+}
+
+}  // namespace tailormatch::serve

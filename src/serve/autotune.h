@@ -1,0 +1,150 @@
+#ifndef TAILORMATCH_SERVE_AUTOTUNE_H_
+#define TAILORMATCH_SERVE_AUTOTUNE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "serve/micro_batcher.h"
+
+namespace tailormatch::serve {
+
+// SLO-adaptive batching controller (DESIGN.md §5g). BENCH_serve.json shows
+// the hand-tuning cliff: the best max_batch depends on load shape, and the
+// worst choice costs ~30% throughput or blows the latency budget. This
+// controller closes the loop that PR 6's rolling windows were built for: it
+// reads the 10s latency window (p99, EWMA completion rate) and the live
+// queue depth each tick, and steers MicroBatcher::set_max_batch /
+// set_max_wait_us against a p99 budget with hill-climb-with-hysteresis:
+//
+//   backoff  p99 over budget with a SHALLOW queue -> halve both knobs, then
+//            hold for a cooldown: the latency is self-inflicted batching
+//            delay. (The 10s window remembers a bad second for 10s;
+//            stacking multiplicative cuts on stale evidence would slam to
+//            the floor — hence the cooldown.)
+//   grow     two triggers, one lever. Healthy: p99 under
+//            headroom_fraction * budget AND requests queueing -> double
+//            max_batch (and stretch the wait window) to amortize dispatch
+//            cost. Rescue: p99 over budget with a DEEP queue -> the server
+//            is under-capacity and requests are aging in the queue;
+//            shrinking the batch would pin the breach, so grow instead and
+//            let the extra amortization drain the backlog.
+//   revert   a grow that did not raise the EWMA completion rate is undone
+//            (the hill-climb's "step back downhill").
+//   hold     anywhere inside the dead band between the two thresholds —
+//            the hysteresis that keeps the controller from oscillating.
+//
+// Every decision lands in the metrics registry (serve.autotune.* counters
+// and gauges) and, when tracing is on, as a labeled kMark trace event, so a
+// timeline shows *why* the policy moved under a load swing.
+struct AutotuneConfig {
+  // p99 budget the controller steers against. Required (> 0): without a
+  // target there is no error signal.
+  double slo_p99_ms = 50.0;
+  // Evaluation window, matching the SloTracker default.
+  int window_seconds = 10;
+  // Controller period for the background thread (Start()).
+  int tick_ms = 1000;
+  // Knob bounds. max_batch stays within [min_batch, max_batch]; the wait
+  // window within [min_wait_us, max_wait_us].
+  int min_batch = 1;
+  int max_batch = 64;
+  int min_wait_us = 50;
+  int max_wait_us = 4000;
+  // Dead band: grow only while p99 < headroom_fraction * slo_p99_ms; back
+  // off only when p99 > slo_p99_ms. In between, hold.
+  double headroom_fraction = 0.7;
+  // Queue depth that counts as pressure worth batching for.
+  int grow_queue_depth = 4;
+  // Windows thinner than this are not steered on (mirrors SloConfig).
+  int64_t min_window_requests = 20;
+  // Ticks to hold after a backoff or revert before acting again.
+  int cooldown_ticks = 3;
+  // A grow must improve the EWMA completion rate by at least this relative
+  // margin, or the next tick reverts it.
+  double rate_epsilon = 0.02;
+};
+
+enum class AutotuneAction {
+  kIdle = 0,  // window too thin to judge
+  kHold,      // inside the dead band (or cooling down)
+  kGrow,      // doubled max_batch / stretched the wait window
+  kRevert,    // undid the previous grow (rate did not follow)
+  kBackoff,   // p99 over budget, shallow queue: halved both knobs
+};
+
+const char* AutotuneActionName(AutotuneAction action);
+
+// One tick's inputs. TickNow() fills this from the live batcher; tests
+// construct it directly and call Tick() for deterministic control-law
+// coverage.
+struct AutotuneObservation {
+  double p99_ms = 0.0;
+  int64_t window_count = 0;
+  double rate_ewma = 0.0;  // completed requests/sec (EWMA, tau 10s)
+  size_t queue_depth = 0;
+};
+
+struct AutotuneDecision {
+  AutotuneAction action = AutotuneAction::kIdle;
+  // Policy in force after the tick.
+  int max_batch = 0;
+  int max_wait_us = 0;
+};
+
+class AutotuneController {
+ public:
+  // `batcher` must outlive the controller. The batcher's own SloTracker
+  // window is the controller's sensor, so the batcher should be constructed
+  // with slo_p99_ms set (the budgets need not match, but an unset batcher
+  // budget leaves serve.slo.* breach counters dark).
+  AutotuneController(MicroBatcher* batcher, AutotuneConfig config);
+  ~AutotuneController();  // implies Stop()
+
+  AutotuneController(const AutotuneController&) = delete;
+  AutotuneController& operator=(const AutotuneController&) = delete;
+
+  // Starts the background tick thread. Idempotent.
+  void Start();
+  // Stops and joins the tick thread. Idempotent; safe without Start().
+  void Stop();
+
+  // One synchronous control step from an explicit observation — the
+  // deterministic seam the tests drive.
+  AutotuneDecision Tick(const AutotuneObservation& observation);
+
+  // Gathers the live observation from the batcher and ticks once.
+  AutotuneDecision TickNow();
+
+  const AutotuneConfig& config() const { return config_; }
+  int64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  void RecordDecision(AutotuneAction action);
+
+  MicroBatcher* batcher_;
+  const AutotuneConfig config_;
+
+  std::mutex tick_mutex_;  // serializes Tick() callers (thread + tests)
+  // Hill-climb state, all under tick_mutex_.
+  int cooldown_ = 0;
+  bool last_was_grow_ = false;
+  int pre_grow_batch_ = 0;
+  int pre_grow_wait_us_ = 0;
+  double pre_grow_rate_ = 0.0;
+
+  std::atomic<int64_t> ticks_{0};
+  uint64_t trace_id_ = 0;  // controller lifeline; minted on first use
+
+  std::mutex thread_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tailormatch::serve
+
+#endif  // TAILORMATCH_SERVE_AUTOTUNE_H_

@@ -1,0 +1,995 @@
+#include "serve/fleet.h"
+
+#include <dirent.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/window.h"
+#include "serve/autotune.h"
+#include "serve/jsonl_server.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_registry.h"
+#include "serve/net_util.h"
+#include "serve/result_cache.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tailormatch::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Router guards, matching JsonlServerConfig defaults.
+constexpr size_t kMaxLineBytes = 1 << 20;
+constexpr int kMaxPipeline = 64;
+
+bool ParseDomainText(const std::string& text, data::Domain* domain) {
+  if (text == "product") {
+    *domain = data::Domain::kProduct;
+    return true;
+  }
+  if (text == "scholar") {
+    *domain = data::Domain::kScholar;
+    return true;
+  }
+  return false;
+}
+
+std::string Field(const std::map<std::string, std::string>& fields,
+                  const std::string& key, const std::string& fallback = "") {
+  auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+std::string RouterError(const std::string& id, const std::string& detail) {
+  return "{\"id\":" + json::Quote(id) +
+         ",\"outcome\":\"error\",\"error\":" + json::Quote(detail) + "}";
+}
+
+// One router->worker connection. Owned via shared_ptr so in-flight requests
+// keep a replaced (crashed-worker) connection alive until their responses
+// are accounted for.
+struct BackendConn {
+  int fd = -1;
+  int generation = 0;
+  bool dead = false;
+  std::unique_ptr<FdStreamBuf> buf;
+  std::unique_ptr<std::istream> in;
+  std::unique_ptr<std::ostream> out;
+
+  ~BackendConn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Worker process body. Runs in a child forked from the (single-threaded)
+// zygote: builds a complete single-process server and serves an ephemeral
+// loopback port until {"op":"shutdown"}.
+// ---------------------------------------------------------------------------
+
+void WritePortFile(const std::string& path, int port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "%d\n", port);
+  std::fclose(f);
+  ::rename(tmp.c_str(), path.c_str());  // atomic publish
+}
+
+std::string PortFilePathFor(const std::string& state_dir, int slot,
+                            int generation) {
+  return state_dir + StrFormat("/worker%d.g%d.port", slot, generation);
+}
+
+[[noreturn]] void RunFleetWorker(const FleetConfig& config,
+                                 const std::string& state_dir, int slot,
+                                 int generation, int close_fd_a,
+                                 int close_fd_b) {
+  if (close_fd_a >= 0) ::close(close_fd_a);
+  if (close_fd_b >= 0) ::close(close_fd_b);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ModelRegistry registry;
+  Status registered = registry.Register("default", config.checkpoint_path);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "[fleet w%d.g%d] cannot load model: %s\n", slot,
+                 generation, registered.ToString().c_str());
+    std::_Exit(3);
+  }
+
+  MicroBatcherConfig batcher_config;
+  batcher_config.max_batch = config.max_batch;
+  batcher_config.max_wait_us = config.max_wait_us;
+  batcher_config.queue_capacity = config.queue_capacity;
+  batcher_config.dispatch_cost_us = config.dispatch_cost_us;
+  batcher_config.slo_p99_ms = config.slo_p99_ms;
+  batcher_config.slo_max_error_rate = config.slo_max_error_rate;
+  if (config.cache_mb > 0) {
+    batcher_config.cache = std::make_shared<ResultCache>(
+        static_cast<size_t>(config.cache_mb) << 20);
+  }
+  MicroBatcher batcher(batcher_config);
+
+  std::unique_ptr<AutotuneController> tuner;
+  if (config.autotune && config.slo_p99_ms > 0.0) {
+    AutotuneConfig tuner_config;
+    tuner_config.slo_p99_ms = config.slo_p99_ms;
+    tuner_config.tick_ms = config.autotune_tick_ms;
+    tuner = std::make_unique<AutotuneController>(&batcher, tuner_config);
+    tuner->Start();
+  }
+
+  JsonlServerConfig server_config;
+  server_config.request_timeout_ms = config.request_timeout_ms;
+  ParseDomainText(config.default_domain, &server_config.default_domain);
+  JsonlServer server(&registry, &batcher, server_config);
+
+  // The port is only known once ServeTcp has bound; announce it from the
+  // side so the (blocking) serve loop starts immediately.
+  std::atomic<int> bound{0};
+  std::thread announcer([&] {
+    while (bound.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const int port = bound.load();
+    if (port > 0) {
+      WritePortFile(PortFilePathFor(state_dir, slot, generation), port);
+    }
+  });
+
+  Status served = server.ServeTcp(0, &bound);
+  if (bound.load() == 0) bound.store(-1);
+  announcer.join();
+  if (tuner != nullptr) tuner->Stop();
+  batcher.Shutdown();
+  std::_Exit(served.ok() ? 0 : 4);
+}
+
+// ---------------------------------------------------------------------------
+// Zygote process body. Forked from the supervisor while it is still
+// single-threaded, and single-threaded itself, so forking workers from it is
+// always safe. Protocol: commands "spawn <slot> <gen>", "kill <pid> <sig>",
+// "quit" on cmd_fd; events "P <slot> <gen> <pid>" (forked) and
+// "E <slot> <gen> <pid> <status>" (reaped) on event_fd.
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void ZygoteLoop(const FleetConfig& config,
+                             const std::string& state_dir, int cmd_fd,
+                             int event_fd) {
+  std::map<int, std::pair<int, int>> children;  // pid -> (slot, generation)
+  std::string buf;
+  bool quitting = false;
+  while (true) {
+    int status = 0;
+    pid_t pid;
+    while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
+      auto it = children.find(static_cast<int>(pid));
+      if (it == children.end()) continue;
+      ::dprintf(event_fd, "E %d %d %d %d\n", it->second.first,
+                it->second.second, static_cast<int>(pid), status);
+      children.erase(it);
+    }
+    if (quitting) {
+      if (children.empty()) break;
+      for (const auto& [child_pid, slot_gen] : children) {
+        ::kill(child_pid, SIGKILL);
+      }
+    }
+
+    struct pollfd pfd;
+    pfd.fd = cmd_fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready <= 0) continue;  // tick: go reap again
+    char tmp[256];
+    const ssize_t n = ::read(cmd_fd, tmp, sizeof(tmp));
+    if (n == 0 || (n < 0 && errno != EINTR)) {
+      quitting = true;  // supervisor gone: kill what's left and exit
+      continue;
+    }
+    if (n < 0) continue;
+    buf.append(tmp, static_cast<size_t>(n));
+
+    size_t newline;
+    while ((newline = buf.find('\n')) != std::string::npos) {
+      std::istringstream line(buf.substr(0, newline));
+      buf.erase(0, newline + 1);
+      std::string cmd;
+      line >> cmd;
+      if (cmd == "spawn") {
+        int slot = -1, generation = 0;
+        line >> slot >> generation;
+        const pid_t child = ::fork();
+        if (child == 0) {
+          RunFleetWorker(config, state_dir, slot, generation, cmd_fd,
+                         event_fd);
+        }
+        if (child > 0) {
+          children[static_cast<int>(child)] = {slot, generation};
+          ::dprintf(event_fd, "P %d %d %d\n", slot, generation,
+                    static_cast<int>(child));
+        } else {
+          // fork failed: report as an instant exit so the supervisor's
+          // restart path (with its backoff) retries.
+          ::dprintf(event_fd, "E %d %d -1 -1\n", slot, generation);
+        }
+      } else if (cmd == "kill") {
+        int target = 0, sig = SIGKILL;
+        line >> target >> sig;
+        if (children.count(target) != 0) ::kill(target, sig);
+      } else if (cmd == "quit") {
+        quitting = true;
+      }
+    }
+  }
+  std::_Exit(0);
+}
+
+}  // namespace
+
+int JumpConsistentHash(uint64_t key, int32_t num_buckets) {
+  int64_t bucket = -1;
+  int64_t next = 0;
+  while (next < num_buckets) {
+    bucket = next;
+    key = key * 2862933555777941757ULL + 1;
+    next = static_cast<int64_t>(
+        static_cast<double>(bucket + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<int>(bucket);
+}
+
+Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
+  default_domain_ = data::Domain::kProduct;
+  obs::SloConfig slo;
+  slo.p99_ms = config_.slo_p99_ms;
+  slo.max_error_rate = config_.slo_max_error_rate;
+  fleet_slo_ = std::make_unique<obs::SloTracker>("serve.fleet.slo", slo);
+}
+
+Fleet::~Fleet() { Stop(); }
+
+Status Fleet::Start() {
+  if (config_.num_workers < 1) {
+    return Status::InvalidArgument("fleet needs at least one worker");
+  }
+  if (config_.checkpoint_path.empty()) {
+    return Status::InvalidArgument("fleet needs a checkpoint_path");
+  }
+  if (!ParseDomainText(config_.default_domain, &default_domain_)) {
+    return Status::InvalidArgument("unknown domain: " +
+                                   config_.default_domain);
+  }
+  // The router writes to worker sockets that can vanish mid-write (that is
+  // the whole crash drill); a SIGPIPE default would kill the supervisor.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (config_.state_dir.empty()) {
+    char tmpl[] = "/tmp/tm_fleet.XXXXXX";
+    char* dir = ::mkdtemp(tmpl);
+    if (dir == nullptr) {
+      return Status::Internal(std::string("mkdtemp: ") +
+                              std::strerror(errno));
+    }
+    state_dir_ = dir;
+    owns_state_dir_ = true;
+  } else {
+    state_dir_ = config_.state_dir;
+    ::mkdir(state_dir_.c_str(), 0755);  // best effort; may already exist
+  }
+
+  int cmd_pipe[2] = {-1, -1};
+  int event_pipe[2] = {-1, -1};
+  if (::pipe(cmd_pipe) != 0 || ::pipe(event_pipe) != 0) {
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+
+  // MUST happen before any thread is created in this process: the zygote
+  // stays single-threaded so its own forks are safe.
+  const pid_t zygote = ::fork();
+  if (zygote < 0) {
+    return Status::Internal(std::string("fork: ") + std::strerror(errno));
+  }
+  if (zygote == 0) {
+    ::close(cmd_pipe[1]);
+    ::close(event_pipe[0]);
+    ZygoteLoop(config_, state_dir_, cmd_pipe[0], event_pipe[1]);
+  }
+  zygote_pid_ = static_cast<int>(zygote);
+  ::close(cmd_pipe[0]);
+  ::close(event_pipe[1]);
+  cmd_fd_ = cmd_pipe[1];
+  event_fd_ = event_pipe[0];
+
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    slots_.assign(static_cast<size_t>(config_.num_workers), SlotState{});
+    for (SlotState& slot : slots_) slot.generation = 1;
+  }
+  stopping_.store(false);
+  stopped_.store(false);
+  monitor_ = std::thread([this] { MonitorLoop(); });
+
+  for (int slot = 0; slot < config_.num_workers; ++slot) {
+    Status sent = SendCommand(StrFormat("spawn %d 1\n", slot));
+    if (!sent.ok()) {
+      Stop();
+      return sent;
+    }
+  }
+  for (int slot = 0; slot < config_.num_workers; ++slot) {
+    int port = 0;
+    if (!WaitPortFile(slot, 1, config_.worker_ready_timeout_ms, &port)) {
+      Stop();
+      return Status::Internal(
+          StrFormat("fleet worker %d did not come up within %d ms", slot,
+                    config_.worker_ready_timeout_ms));
+    }
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    if (slots_[static_cast<size_t>(slot)].generation == 1) {
+      slots_[static_cast<size_t>(slot)].port = port;
+    }
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.fleet.workers")
+      .Set(static_cast<double>(config_.num_workers));
+  TM_LOG(Info) << "fleet up: " << config_.num_workers
+               << " workers, state dir " << state_dir_;
+  return Status::Ok();
+}
+
+void Fleet::MonitorLoop() {
+  std::string buf;
+  char tmp[256];
+  while (true) {
+    const ssize_t n = ::read(event_fd_, tmp, sizeof(tmp));
+    if (n == 0) return;  // zygote exited
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    buf.append(tmp, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = buf.find('\n')) != std::string::npos) {
+      std::istringstream line(buf.substr(0, newline));
+      buf.erase(0, newline + 1);
+      std::string event;
+      line >> event;
+      if (event == "P") {
+        int slot = -1, generation = 0, pid = 0;
+        line >> slot >> generation >> pid;
+        std::lock_guard<std::mutex> lock(slots_mutex_);
+        if (slot >= 0 && slot < static_cast<int>(slots_.size()) &&
+            slots_[static_cast<size_t>(slot)].generation == generation) {
+          slots_[static_cast<size_t>(slot)].pid = pid;
+        }
+      } else if (event == "E") {
+        int slot = -1, generation = 0, pid = 0, status = 0;
+        line >> slot >> generation >> pid >> status;
+        HandleExitEvent(slot, generation, status);
+      }
+    }
+  }
+}
+
+void Fleet::HandleExitEvent(int slot, int generation, int status) {
+  int next_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    if (slot < 0 || slot >= static_cast<int>(slots_.size())) return;
+    SlotState& state = slots_[static_cast<size_t>(slot)];
+    if (state.generation != generation) return;  // stale event
+    state.pid = 0;
+    state.port = 0;
+    if (stopping_.load()) return;  // expected exit during Stop()
+    if (state.restarts >= config_.max_restarts_per_worker) {
+      TM_LOG(Error) << "fleet: worker " << slot << " exceeded "
+                    << config_.max_restarts_per_worker
+                    << " restarts; leaving slot down";
+      return;
+    }
+    ++state.restarts;
+    state.generation = generation + 1;
+    next_generation = state.generation;
+  }
+  restarts_.fetch_add(1);
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.fleet.restarts")
+      .Increment();
+  TM_LOG(Info) << "fleet: worker " << slot << " exited (status " << status
+               << "), restarting as generation " << next_generation;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(config_.restart_backoff_ms));
+  if (!SendCommand(StrFormat("spawn %d %d\n", slot, next_generation)).ok()) {
+    return;
+  }
+  int port = 0;
+  if (WaitPortFile(slot, next_generation, config_.worker_ready_timeout_ms,
+                   &port)) {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    if (slots_[static_cast<size_t>(slot)].generation == next_generation) {
+      slots_[static_cast<size_t>(slot)].port = port;
+    }
+  }
+}
+
+Status Fleet::SendCommand(const std::string& line) {
+  std::lock_guard<std::mutex> lock(cmd_mutex_);
+  if (cmd_fd_ < 0) return Status::Internal("fleet is not running");
+  const char* data = line.data();
+  size_t remaining = line.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(cmd_fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("fleet command pipe: ") +
+                              std::strerror(errno));
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+std::string Fleet::PortFilePath(int slot, int generation) const {
+  return PortFilePathFor(state_dir_, slot, generation);
+}
+
+bool Fleet::WaitPortFile(int slot, int generation, int timeout_ms,
+                         int* port) {
+  const std::string path = PortFilePath(slot, generation);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f != nullptr) {
+      int value = 0;
+      const bool ok = std::fscanf(f, "%d", &value) == 1 && value > 0;
+      std::fclose(f);
+      if (ok) {
+        *port = value;
+        return true;
+      }
+    }
+    if (stopping_.load()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+int Fleet::WorkerPort(int slot) const {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  if (slot < 0 || slot >= static_cast<int>(slots_.size())) return -1;
+  return slots_[static_cast<size_t>(slot)].port;
+}
+
+int Fleet::WorkerPid(int slot) const {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  if (slot < 0 || slot >= static_cast<int>(slots_.size())) return -1;
+  return slots_[static_cast<size_t>(slot)].pid;
+}
+
+int Fleet::WorkerGeneration(int slot) const {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  if (slot < 0 || slot >= static_cast<int>(slots_.size())) return -1;
+  return slots_[static_cast<size_t>(slot)].generation;
+}
+
+int Fleet::RouteSlot(uint64_t pair_hash) const {
+  return JumpConsistentHash(pair_hash, config_.num_workers);
+}
+
+Status Fleet::KillWorker(int slot, int sig) {
+  const int pid = WorkerPid(slot);
+  if (pid <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("fleet worker %d is not running", slot));
+  }
+  return SendCommand(StrFormat("kill %d %d\n", pid, sig));
+}
+
+bool Fleet::WaitForWorker(int slot, int after_gen, int timeout_ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      if (slot >= 0 && slot < static_cast<int>(slots_.size())) {
+        const SlotState& state = slots_[static_cast<size_t>(slot)];
+        if (state.generation > after_gen && state.port > 0 &&
+            state.pid > 0) {
+          return true;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+bool Fleet::FetchWorkerStats(int slot,
+                             std::map<std::string, std::string>* fields) {
+  const int port = WorkerPort(slot);
+  if (port <= 0) return false;
+  const int fd = TcpConnectLoopback(port);
+  if (fd < 0) return false;
+  FdStreamBuf buf(fd);
+  std::istream in(&buf);
+  std::ostream out(&buf);
+  out << "{\"op\":\"stats\"}\n{\"op\":\"quit\"}\n";
+  out.flush();
+  std::string line;
+  bool ok = static_cast<bool>(std::getline(in, line));
+  if (ok) ok = json::ParseFlatObject(line, fields).ok();
+  ::close(fd);
+  return ok;
+}
+
+std::string Fleet::AggregateStatsJson() {
+  // Counter-shaped worker stats keys that are meaningful to sum across the
+  // fleet. Percentiles are NOT summed: the per-worker p99 max and the
+  // router's own fleet window cover latency.
+  static const char* const kSumKeys[] = {
+      "serve_requests",        "serve_batches",
+      "serve_timeouts",        "serve_overloaded",
+      "serve_errors",          "serve_cache_hits",
+      "serve_cache_misses",    "serve_cache_evictions",
+      "serve_slo_evaluations", "serve_slo_p99_breaches",
+      "serve_slo_error_breaches"};
+  std::map<std::string, double> sums;
+  double worker_p99_max = 0.0;
+  int reporting = 0;
+  for (int slot = 0; slot < config_.num_workers; ++slot) {
+    std::map<std::string, std::string> fields;
+    if (!FetchWorkerStats(slot, &fields)) continue;
+    ++reporting;
+    for (const char* key : kSumKeys) {
+      auto it = fields.find(key);
+      if (it != fields.end()) sums[key] += std::atof(it->second.c_str());
+    }
+    auto p99 = fields.find("latency_ms_p99");
+    if (p99 != fields.end()) {
+      worker_p99_max =
+          std::max(worker_p99_max, std::atof(p99->second.c_str()));
+    }
+  }
+  int alive = 0;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const SlotState& state : slots_) {
+      if (state.port > 0) ++alive;
+    }
+  }
+
+  std::string out = "{\"op\":\"stats\",\"fleet_workers\":" +
+                    json::Number(static_cast<double>(config_.num_workers)) +
+                    ",\"fleet_alive\":" +
+                    json::Number(static_cast<double>(alive)) +
+                    ",\"fleet_reporting\":" +
+                    json::Number(static_cast<double>(reporting)) +
+                    ",\"fleet_restarts\":" +
+                    json::Number(static_cast<double>(restarts_.load()));
+  for (const char* key : kSumKeys) {
+    auto it = sums.find(key);
+    if (it == sums.end()) continue;
+    out += "," + json::Quote(key) + ":" + json::Number(it->second);
+  }
+  if (worker_p99_max > 0.0) {
+    out += ",\"worker_p99_ms_max\":" + json::Number(worker_p99_max);
+  }
+  // Router-side view: latency as the client experiences it, with the 10s
+  // rolling window (what the SLO is judged on), not since-boot percentiles.
+  obs::WindowedHistogram& window = fleet_slo_->latency();
+  const obs::WindowStats stats = window.StatsOver(10);
+  out += ",\"fleet_latency_rate_ewma\":" + json::Number(window.RateEwma());
+  out += ",\"fleet_latency_ms_w10s_count\":" +
+         json::Number(static_cast<double>(stats.count));
+  out += ",\"fleet_latency_ms_w10s_p50\":" + json::Number(stats.p50);
+  out += ",\"fleet_latency_ms_w10s_p95\":" + json::Number(stats.p95);
+  out += ",\"fleet_latency_ms_w10s_p99\":" + json::Number(stats.p99);
+  out += "}";
+  return out;
+}
+
+std::string Fleet::WorkerTableJson() {
+  std::string out =
+      "{\"op\":\"fleet\",\"workers\":" +
+      json::Number(static_cast<double>(config_.num_workers)) +
+      ",\"restarts\":" + json::Number(static_cast<double>(restarts_.load()));
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  for (int slot = 0; slot < static_cast<int>(slots_.size()); ++slot) {
+    const SlotState& state = slots_[static_cast<size_t>(slot)];
+    out += StrFormat(
+        ",\"w%d_pid\":%d,\"w%d_port\":%d,\"w%d_gen\":%d,\"w%d_restarts\":%d",
+        slot, state.pid, slot, state.port, slot, state.generation, slot,
+        state.restarts);
+  }
+  out += "}";
+  return out;
+}
+
+void Fleet::RouteStream(std::istream& in, std::ostream& out) {
+  struct InFlight {
+    std::string id;
+    int slot = 0;
+    std::shared_ptr<BackendConn> conn;
+    Clock::time_point start;
+  };
+  std::vector<std::shared_ptr<BackendConn>> conns(
+      static_cast<size_t>(config_.num_workers));
+  std::deque<InFlight> pending;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter& requests = registry.GetCounter("serve.fleet.requests");
+  obs::Counter& errors = registry.GetCounter("serve.fleet.errors");
+  obs::Counter& lost = registry.GetCounter("serve.fleet.lost_inflight");
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
+  static const uint32_t kRouteLabel = tracer.InternLabel("fleet.route");
+
+  // A healthy connection to `slot`'s current worker generation, reconnecting
+  // (with retries across a crash->restart window) as needed. The previous
+  // connection object survives through pending entries' shared_ptrs.
+  const auto connect_slot =
+      [&](int slot) -> std::shared_ptr<BackendConn> {
+    std::shared_ptr<BackendConn>& conn = conns[static_cast<size_t>(slot)];
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      const SlotState& state = slots_[static_cast<size_t>(slot)];
+      if (conn != nullptr && !conn->dead &&
+          conn->generation == state.generation) {
+        return conn;
+      }
+    }
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(config_.route_retry_ms);
+    while (!front_stop_.load() && !stopping_.load()) {
+      int port = 0, generation = 0;
+      {
+        std::lock_guard<std::mutex> lock(slots_mutex_);
+        const SlotState& state = slots_[static_cast<size_t>(slot)];
+        port = state.port;
+        generation = state.generation;
+      }
+      if (port > 0) {
+        const int fd = TcpConnectLoopback(port);
+        if (fd >= 0) {
+          auto fresh = std::make_shared<BackendConn>();
+          fresh->fd = fd;
+          fresh->generation = generation;
+          fresh->buf = std::make_unique<FdStreamBuf>(fd);
+          fresh->in = std::make_unique<std::istream>(fresh->buf.get());
+          fresh->out = std::make_unique<std::ostream>(fresh->buf.get());
+          conn = std::move(fresh);
+          return conn;
+        }
+      }
+      if (Clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return nullptr;
+  };
+
+  const auto drain_one = [&] {
+    InFlight front = std::move(pending.front());
+    pending.pop_front();
+    std::string response;
+    bool ok = false;
+    if (front.conn != nullptr && !front.conn->dead) {
+      // A complete response is newline-terminated; getline hitting EOF
+      // mid-line means the worker died mid-write — that torn fragment is
+      // never relayed.
+      if (std::getline(*front.conn->in, response) &&
+          !front.conn->in->eof()) {
+        ok = true;
+      } else {
+        front.conn->dead = true;
+      }
+    }
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - front.start)
+            .count();
+    if (ok) {
+      out << response << "\n";
+      fleet_slo_->RecordRequest(latency_ms, false);
+    } else {
+      lost.Increment();
+      errors.Increment();
+      out << RouterError(front.id, StrFormat("fleet worker %d connection "
+                                             "lost with request in flight",
+                                             front.slot))
+          << "\n";
+      fleet_slo_->RecordRequest(latency_ms, true);
+    }
+    fleet_slo_->MaybeEvaluate();
+  };
+  const auto drain_all = [&] {
+    while (!pending.empty()) drain_one();
+    out.flush();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line.size() > kMaxLineBytes) {
+      drain_all();
+      out << RouterError(
+                 "", StrFormat("request line of %zu bytes exceeds limit of "
+                               "%zu",
+                               line.size(), kMaxLineBytes))
+          << "\n";
+      out.flush();
+      continue;
+    }
+    std::map<std::string, std::string> fields;
+    Status parsed = json::ParseFlatObject(line, &fields);
+    if (!parsed.ok()) {
+      drain_all();
+      out << RouterError("", parsed.ToString()) << "\n";
+      out.flush();
+      continue;
+    }
+    const auto op_it = fields.find("op");
+    if (op_it != fields.end()) {
+      drain_all();
+      const std::string& op = op_it->second;
+      const std::string id = Field(fields, "id");
+      if (op == "quit" || op == "shutdown") {
+        out << "{\"op\":" << json::Quote(op) << ",\"outcome\":\"ok\"}\n";
+        out.flush();
+        if (op == "shutdown") Stop();
+        return;
+      }
+      if (op == "ping") {
+        out << "{\"op\":\"pong\"}\n";
+      } else if (op == "stats") {
+        out << AggregateStatsJson() << "\n";
+      } else if (op == "fleet") {
+        out << WorkerTableJson() << "\n";
+      } else if (op == "trace") {
+        const std::string path = Field(fields, "path");
+        if (path.empty()) {
+          out << RouterError(id, "trace needs a \"path\"") << "\n";
+        } else if (!tracer.enabled()) {
+          out << RouterError(id,
+                             "tracing is disabled (enable with --trace or "
+                             "TM_TRACE=1)")
+              << "\n";
+        } else {
+          const size_t events = tracer.Collect().size();
+          Status written = tracer.WriteChromeTrace(path);
+          if (!written.ok()) {
+            out << RouterError(id, written.ToString()) << "\n";
+          } else {
+            out << "{\"op\":\"trace\",\"outcome\":\"ok\",\"path\":"
+                << json::Quote(path) << ",\"events\":"
+                << json::Number(static_cast<double>(events)) << "}\n";
+          }
+        }
+      } else {
+        out << RouterError(id, "unknown op: " + op) << "\n";
+      }
+      out.flush();
+      continue;
+    }
+
+    // Match request: route by pair hash so repeats hit the same worker's
+    // ResultCache.
+    requests.Increment();
+    InFlight request;
+    request.id = Field(fields, "id");
+    request.start = Clock::now();
+    if (fields.count("left") == 0 || fields.count("right") == 0) {
+      drain_all();
+      out << RouterError(request.id,
+                         "match request needs \"left\" and \"right\"")
+          << "\n";
+      out.flush();
+      continue;
+    }
+    data::Domain domain = default_domain_;
+    const std::string domain_text = Field(fields, "domain");
+    if (!domain_text.empty() && !ParseDomainText(domain_text, &domain)) {
+      drain_all();
+      out << RouterError(request.id, "unknown domain: " + domain_text)
+          << "\n";
+      out.flush();
+      continue;
+    }
+    const uint64_t pair_hash = HashPair(core::MakeSurfacePair(
+        fields.at("left"), fields.at("right"), domain));
+    request.slot = RouteSlot(pair_hash);
+    if (tracer.enabled()) {
+      tracer.Record(tracer.NewTraceId(), obs::TraceEventKind::kMark,
+                    static_cast<uint64_t>(request.slot), /*dur_ns=*/0,
+                    kRouteLabel);
+    }
+
+    bool forwarded = false;
+    for (int attempt = 0; attempt < 2 && !forwarded; ++attempt) {
+      std::shared_ptr<BackendConn> conn = connect_slot(request.slot);
+      if (conn == nullptr) break;
+      (*conn->out) << line << "\n";
+      conn->out->flush();
+      if (conn->out->good()) {
+        request.conn = std::move(conn);
+        forwarded = true;
+      } else {
+        // The write raced the worker dying; one reconnect attempt gets the
+        // restarted generation.
+        conn->dead = true;
+      }
+    }
+    if (!forwarded) {
+      errors.Increment();
+      drain_all();
+      out << RouterError(request.id,
+                         StrFormat("fleet worker %d unavailable",
+                                   request.slot))
+          << "\n";
+      out.flush();
+      fleet_slo_->RecordRequest(0.0, true);
+      continue;
+    }
+    pending.push_back(std::move(request));
+    while (static_cast<int>(pending.size()) >= kMaxPipeline) drain_one();
+    // Same lock-step heuristic as JsonlServer::ServeStream: when no more
+    // input is buffered, answer everything in flight.
+    if (in.rdbuf()->in_avail() <= 0) drain_all();
+  }
+  drain_all();
+}
+
+Status Fleet::ServeFront(int port, std::atomic<int>* bound_port) {
+  int listen_fd = -1;
+  int actual_port = 0;
+  Status status = TcpListenLoopback(port, &listen_fd, &actual_port);
+  if (!status.ok()) {
+    if (bound_port != nullptr) bound_port->store(-1);
+    return status;
+  }
+  front_stop_.store(false);
+  front_listen_fd_.store(listen_fd);
+  if (bound_port != nullptr) bound_port->store(actual_port);
+  TM_LOG(Info) << "fleet front serving JSONL on 127.0.0.1:" << actual_port
+               << " (" << config_.num_workers << " workers)";
+
+  std::vector<std::thread> connections;
+  while (!front_stop_.load()) {
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    connections.emplace_back([this, conn_fd] {
+      FdStreamBuf buf(conn_fd);
+      std::istream conn_in(&buf);
+      std::ostream conn_out(&buf);
+      RouteStream(conn_in, conn_out);
+      conn_out.flush();
+      ::close(conn_fd);
+    });
+  }
+  for (std::thread& conn : connections) {
+    if (conn.joinable()) conn.join();
+  }
+  const int fd = front_listen_fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+  return Status::Ok();
+}
+
+void Fleet::Stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true);
+
+  // Stop accepting new clients.
+  front_stop_.store(true);
+  const int listen_fd = front_listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+
+  // Graceful worker drain: a TCP {"op":"shutdown"} lets each JsonlServer
+  // finish its in-flight batches before exiting.
+  std::vector<int> ports;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const SlotState& state : slots_) {
+      if (state.port > 0) ports.push_back(state.port);
+    }
+  }
+  for (int port : ports) {
+    const int fd = TcpConnectLoopback(port);
+    if (fd < 0) continue;
+    static const char kShutdown[] = "{\"op\":\"shutdown\"}\n";
+    const char* data = kShutdown;
+    size_t remaining = sizeof(kShutdown) - 1;
+    while (remaining > 0) {
+      const ssize_t n = ::write(fd, data, remaining);
+      if (n <= 0) break;
+      data += n;
+      remaining -= static_cast<size_t>(n);
+    }
+    // Wait for the ack (or EOF) so the worker has definitely read the line.
+    char ack[128];
+    while (::read(fd, ack, sizeof(ack)) > 0) {
+    }
+    ::close(fd);
+  }
+
+  // Wait for the expected exits; the zygote SIGKILLs stragglers on "quit".
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(5000);
+  while (Clock::now() < deadline) {
+    bool any_alive = false;
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      for (const SlotState& state : slots_) {
+        if (state.pid != 0) any_alive = true;
+      }
+    }
+    if (!any_alive) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  SendCommand("quit\n");
+  {
+    std::lock_guard<std::mutex> lock(cmd_mutex_);
+    if (cmd_fd_ >= 0) {
+      ::close(cmd_fd_);
+      cmd_fd_ = -1;
+    }
+  }
+  if (zygote_pid_ > 0) {
+    int status = 0;
+    ::waitpid(zygote_pid_, &status, 0);
+    zygote_pid_ = 0;
+  }
+  if (monitor_.joinable()) monitor_.join();
+  if (event_fd_ >= 0) {
+    ::close(event_fd_);
+    event_fd_ = -1;
+  }
+
+  if (owns_state_dir_ && !state_dir_.empty()) {
+    DIR* dir = ::opendir(state_dir_.c_str());
+    if (dir != nullptr) {
+      struct dirent* entry;
+      while ((entry = ::readdir(dir)) != nullptr) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((state_dir_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(state_dir_.c_str());
+    owns_state_dir_ = false;
+  }
+}
+
+}  // namespace tailormatch::serve

@@ -1,0 +1,196 @@
+#ifndef TAILORMATCH_SERVE_FLEET_H_
+#define TAILORMATCH_SERVE_FLEET_H_
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/entity.h"
+#include "prompt/prompt.h"
+#include "util/status.h"
+
+namespace tailormatch::obs {
+class SloTracker;
+}  // namespace tailormatch::obs
+
+namespace tailormatch::serve {
+
+// Jump consistent hash (Lamping & Veach, 2014): maps `key` to a bucket in
+// [0, num_buckets) such that growing the fleet only moves ~1/n of the keys.
+// Used to route a pair (by HashPair) to a worker so repeat pairs land on the
+// worker whose ResultCache already holds the decision.
+int JumpConsistentHash(uint64_t key, int32_t num_buckets);
+
+struct FleetConfig {
+  int num_workers = 2;
+  // Framed checkpoint every worker loads at boot (and reloads after a crash
+  // restart). Required.
+  std::string checkpoint_path;
+
+  // Per-worker serving knobs, mirroring `tailormatch serve`.
+  int max_batch = 8;
+  int max_wait_us = 200;
+  int queue_capacity = 1024;
+  int dispatch_cost_us = 0;
+  int cache_mb = 16;
+  int request_timeout_ms = 0;
+  double slo_p99_ms = 0.0;        // also the autotuner's budget when enabled
+  double slo_max_error_rate = -1.0;
+  bool autotune = false;          // run an AutotuneController in each worker
+  int autotune_tick_ms = 1000;
+  std::string default_domain = "product";
+
+  // Supervisor knobs.
+  int max_restarts_per_worker = 16;  // per slot, across the fleet's lifetime
+  int restart_backoff_ms = 50;
+  int worker_ready_timeout_ms = 20000;
+  // How long the router retries connecting to a slot (covering a crash ->
+  // restart window) before answering a typed error.
+  int route_retry_ms = 3000;
+  // Directory for worker port files; empty = a fresh temp directory that the
+  // fleet removes on Stop().
+  std::string state_dir;
+};
+
+// Shared-nothing multi-process serve fleet (DESIGN.md §5g).
+//
+// Process tree:
+//
+//   supervisor ──fork (before any threads)──> zygote ──fork──> worker 0..N-1
+//
+// The zygote is the only process that forks workers. It is forked at
+// Start(), while the supervisor is still single-threaded, and stays
+// single-threaded forever, so forking from it is always safe — no inherited
+// mutexes (metrics registry, malloc arenas) can be held mid-flight at fork
+// time, which is exactly the hazard a threaded supervisor would have. The
+// supervisor talks to it over two pipes: a command pipe ("spawn slot gen",
+// "kill pid sig", "quit") and an event pipe on which the zygote reports
+// forks ("P slot gen pid") and reaped exits ("E slot gen pid status").
+//
+// Each worker is a full single-process server: own ModelRegistry (loaded
+// from the crash-safe checkpoint), own ResultCache, own MicroBatcher
+// (optionally wrapped by an AutotuneController), own JsonlServer bound to an
+// ephemeral loopback port. The worker announces its port by atomically
+// writing <state_dir>/worker<slot>.g<gen>.port (tmp + rename); the
+// supervisor polls for the file. Crash detection is the zygote's waitpid:
+// an unexpected exit event makes the monitor thread respawn the slot (next
+// generation) after a short backoff, up to max_restarts_per_worker.
+//
+// The router (ServeFront) accepts client connections and speaks the same
+// JSONL protocol as a single server. Match requests are forwarded to
+// workers by JumpConsistentHash(HashPair(pair)) — preserving ResultCache
+// locality — over per-client-connection backend connections, and responses
+// are relayed strictly in client request order (same pipelining contract as
+// JsonlServer::ServeStream). When a worker dies mid-flight, only the
+// requests already forwarded to it get typed "error" responses (the
+// documented in-flight window); subsequent requests for that slot retry
+// against the restarted worker. {"op":"stats"} aggregates worker stats plus
+// the router's own fleet-level rolling latency window; {"op":"fleet"}
+// reports the worker table.
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config);
+  ~Fleet();  // implies Stop()
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // Forks the zygote, spawns all workers, waits until every one has
+  // announced its port. Call once, before ServeFront and before creating
+  // any threads in the calling process.
+  Status Start();
+
+  // Accepts client connections on 127.0.0.1:`port` (0 = ephemeral; stored
+  // in *bound_port) and routes them until Stop() or {"op":"shutdown"}.
+  // Blocks.
+  Status ServeFront(int port, std::atomic<int>* bound_port = nullptr);
+
+  // Routes one already-connected client stream (the unit the tests drive
+  // without a front socket).
+  void RouteStream(std::istream& in, std::ostream& out);
+
+  // Graceful shutdown: stops the front accept loop, sends {"op":"shutdown"}
+  // to every worker, waits for their exits, then retires the zygote
+  // (SIGKILL for stragglers). Idempotent.
+  void Stop();
+
+  int num_workers() const { return config_.num_workers; }
+  // Live worker table entries; 0 / -1 when the slot is down.
+  int WorkerPort(int slot) const;
+  int WorkerPid(int slot) const;
+  int64_t restarts() const { return restarts_.load(); }
+  bool alive() const { return zygote_pid_ > 0; }
+
+  // Routing slot for a pair hash (exposed for tests and the bench).
+  int RouteSlot(uint64_t pair_hash) const;
+
+  // Asks the zygote to signal a worker (workers are the zygote's children).
+  // The default SIGKILL is the crash-drill switch the fleet tests throw.
+  Status KillWorker(int slot, int sig = SIGKILL);
+
+  // Waits until `slot` is serving generation > `after_gen` (port announced),
+  // e.g. to observe a restart completing. Returns false on timeout.
+  bool WaitForWorker(int slot, int after_gen, int timeout_ms);
+  // Current generation of a slot (bumps on every restart).
+  int WorkerGeneration(int slot) const;
+
+  // Flat-JSON aggregate of worker stats + router-side fleet windows.
+  std::string AggregateStatsJson();
+  // Flat-JSON worker table ({"op":"fleet","workers":N,"w0_pid":...,...}).
+  std::string WorkerTableJson();
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  struct SlotState {
+    int generation = 0;
+    int port = 0;   // 0 = not (yet) serving
+    int pid = 0;    // 0 = not running
+    int restarts = 0;
+  };
+
+  void MonitorLoop();
+  void HandleExitEvent(int slot, int generation, int status);
+  Status SendCommand(const std::string& line);
+  bool WaitPortFile(int slot, int generation, int timeout_ms, int* port);
+  std::string PortFilePath(int slot, int generation) const;
+  // Fetches one worker's {"op":"stats"} over a fresh connection; empty map
+  // on failure.
+  bool FetchWorkerStats(int slot,
+                        std::map<std::string, std::string>* fields);
+
+  FleetConfig config_;
+  data::Domain default_domain_;
+  // Fleet-level SLO window ("serve.fleet.slo.*"): the latency the *client*
+  // sees through the router, including routing and any crash-window errors.
+  std::unique_ptr<obs::SloTracker> fleet_slo_;
+  std::string state_dir_;
+  bool owns_state_dir_ = false;
+
+  int zygote_pid_ = 0;
+  int cmd_fd_ = -1;    // supervisor -> zygote
+  int event_fd_ = -1;  // zygote -> supervisor
+  std::mutex cmd_mutex_;
+
+  mutable std::mutex slots_mutex_;
+  std::vector<SlotState> slots_;
+  std::atomic<int64_t> restarts_{0};
+
+  std::thread monitor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<bool> front_stop_{false};
+  std::atomic<int> front_listen_fd_{-1};
+};
+
+}  // namespace tailormatch::serve
+
+#endif  // TAILORMATCH_SERVE_FLEET_H_

@@ -1,7 +1,5 @@
 #include "serve/jsonl_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,12 +9,12 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <streambuf>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "serve/net_util.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "util/json.h"
@@ -28,58 +26,6 @@ namespace tailormatch::serve {
 namespace {
 
 using Clock = MicroBatcher::Clock;
-
-// Minimal read/write streambuf over a connected socket so ServeStream works
-// unchanged for TCP connections.
-class FdStreamBuf : public std::streambuf {
- public:
-  explicit FdStreamBuf(int fd) : fd_(fd) {
-    setg(in_, in_, in_);
-    setp(out_, out_ + sizeof(out_));
-  }
-
- protected:
-  int_type underflow() override {
-    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    ssize_t n;
-    do {
-      n = ::read(fd_, in_, sizeof(in_));
-    } while (n < 0 && errno == EINTR);
-    if (n <= 0) return traits_type::eof();
-    setg(in_, in_, in_ + n);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  int_type overflow(int_type ch) override {
-    if (Flush() != 0) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override { return Flush(); }
-
- private:
-  int Flush() {
-    const char* p = pbase();
-    while (p < pptr()) {
-      ssize_t n = ::write(fd_, p, static_cast<size_t>(pptr() - p));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return -1;
-      }
-      p += n;
-    }
-    setp(out_, out_ + sizeof(out_));
-    return 0;
-  }
-
-  int fd_;
-  char in_[4096];
-  char out_[4096];
-};
 
 bool ParseDomain(const std::string& text, data::Domain* domain) {
   if (text == "product") {
@@ -276,6 +222,12 @@ std::string JsonlServer::HandleControl(
 }
 
 std::string JsonlServer::HandleLine(const std::string& line) {
+  if (config_.max_line_bytes > 0 && line.size() > config_.max_line_bytes) {
+    return ErrorResponse(
+        "", "error",
+        StrFormat("request line of %zu bytes exceeds limit of %zu",
+                  line.size(), config_.max_line_bytes));
+  }
   std::map<std::string, std::string> fields;
   Status parsed = json::ParseFlatObject(line, &fields);
   if (!parsed.ok()) {
@@ -348,6 +300,16 @@ void JsonlServer::ServeStream(std::istream& in, std::ostream& out) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (config_.max_line_bytes > 0 && line.size() > config_.max_line_bytes) {
+      drain_all();
+      out << ErrorResponse(
+                 "", "error",
+                 StrFormat("request line of %zu bytes exceeds limit of %zu",
+                           line.size(), config_.max_line_bytes))
+          << "\n";
+      out.flush();
+      continue;
+    }
     std::map<std::string, std::string> fields;
     Status parsed = json::ParseFlatObject(line, &fields);
     if (!parsed.ok()) {
@@ -429,40 +391,17 @@ void JsonlServer::ServeStream(std::istream& in, std::ostream& out) {
 }
 
 Status JsonlServer::ServeTcp(int port, std::atomic<int>* bound_port) {
-  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  int enable = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    Status status =
-        Status::Internal(std::string("bind: ") + std::strerror(errno));
-    ::close(listen_fd);
+  int listen_fd = -1;
+  int actual_port = 0;
+  Status status = TcpListenLoopback(port, &listen_fd, &actual_port);
+  if (!status.ok()) {
+    if (bound_port != nullptr) bound_port->store(-1);
     return status;
   }
-  if (::listen(listen_fd, 64) < 0) {
-    Status status =
-        Status::Internal(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd);
-    return status;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) == 0 &&
-      bound_port != nullptr) {
-    bound_port->store(ntohs(addr.sin_port));
-  }
+  if (bound_port != nullptr) bound_port->store(actual_port);
   stop_.store(false);
   listen_fd_.store(listen_fd);
-  TM_LOG(Info) << "serving JSONL on 127.0.0.1:" << ntohs(addr.sin_port);
+  TM_LOG(Info) << "serving JSONL on 127.0.0.1:" << actual_port;
 
   std::vector<std::thread> connections;
   while (!stop_.load()) {

@@ -25,6 +25,9 @@ struct JsonlServerConfig {
   int max_pipeline = 64;
   // Whether {"op":"reload"} is honored (a public endpoint would say no).
   bool allow_reload = true;
+  // Request lines longer than this are answered with a typed error instead
+  // of being parsed; the stream stays usable. 0 disables the guard.
+  size_t max_line_bytes = 1 << 20;
 };
 
 // Line-delimited JSON request/response front end over any byte stream:

@@ -83,7 +83,9 @@ const char* RequestOutcomeName(RequestOutcome outcome) {
 }
 
 MicroBatcher::MicroBatcher(MicroBatcherConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      max_batch_(config_.max_batch),
+      max_wait_us_(config_.max_wait_us) {
   TM_CHECK_GT(config_.max_batch, 0);
   TM_CHECK_GT(config_.queue_capacity, 0);
   TM_CHECK_GT(config_.num_workers, 0);
@@ -107,6 +109,14 @@ MicroBatcher::~MicroBatcher() { Shutdown(); }
 size_t MicroBatcher::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+void MicroBatcher::set_max_batch(int max_batch) {
+  max_batch_.store(std::max(1, max_batch), std::memory_order_relaxed);
+}
+
+void MicroBatcher::set_max_wait_us(int max_wait_us) {
+  max_wait_us_.store(std::max(0, max_wait_us), std::memory_order_relaxed);
 }
 
 std::future<ServeResult> MicroBatcher::Submit(
@@ -233,16 +243,20 @@ void MicroBatcher::WorkerLoop() {
       queue_.pop_front();
       // Coalescing window: hold the batch open up to max_wait_us for more
       // arrivals. Skipped entirely for max_batch == 1 and during drain.
-      if (config_.max_batch > 1) {
+      // Policy knobs are sampled once per batch: a concurrent retune
+      // (set_max_batch / set_max_wait_us) applies from the next batch on.
+      const int max_batch = max_batch_.load(std::memory_order_relaxed);
+      const int max_wait_us = max_wait_us_.load(std::memory_order_relaxed);
+      if (max_batch > 1) {
         const auto window_end =
-            Clock::now() + std::chrono::microseconds(config_.max_wait_us);
-        while (static_cast<int>(batch.size()) < config_.max_batch) {
+            Clock::now() + std::chrono::microseconds(max_wait_us);
+        while (static_cast<int>(batch.size()) < max_batch) {
           if (!queue_.empty()) {
             batch.push_back(std::move(queue_.front()));
             queue_.pop_front();
             continue;
           }
-          if (shutting_down_ || config_.max_wait_us <= 0) break;
+          if (shutting_down_ || max_wait_us <= 0) break;
           if (!queue_cv_.wait_until(lock, window_end, [this] {
                 return shutting_down_ || !queue_.empty();
               })) {

@@ -1,6 +1,7 @@
 #ifndef TAILORMATCH_SERVE_MICRO_BATCHER_H_
 #define TAILORMATCH_SERVE_MICRO_BATCHER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -133,6 +134,19 @@ class MicroBatcher {
   // The SLO budget evaluator (always constructed; budgets may be disabled).
   obs::SloTracker& slo() { return *slo_; }
 
+  // Live batching policy. `max_batch`/`max_wait_us` start from the config
+  // and may be retuned at any time from any thread (the SLO-adaptive
+  // controller in serve/autotune.h does exactly that while workers are
+  // mid-flight). A worker picks up the new values at its next coalescing
+  // decision; batches already formed dispatch under the old policy. Values
+  // are clamped to sane bounds (batch >= 1, wait >= 0).
+  int max_batch() const { return max_batch_.load(std::memory_order_relaxed); }
+  int max_wait_us() const {
+    return max_wait_us_.load(std::memory_order_relaxed);
+  }
+  void set_max_batch(int max_batch);
+  void set_max_wait_us(int max_wait_us);
+
  private:
   struct Request {
     std::promise<ServeResult> promise;
@@ -150,6 +164,10 @@ class MicroBatcher {
 
   MicroBatcherConfig config_;
   int batch_threads_;  // resolved batch_parallelism
+  // Tunable policy knobs, split out of config_ so reconfiguration never
+  // races the workers' reads.
+  std::atomic<int> max_batch_;
+  std::atomic<int> max_wait_us_;
   std::unique_ptr<obs::SloTracker> slo_;
 
   mutable std::mutex mutex_;

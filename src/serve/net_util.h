@@ -1,0 +1,41 @@
+#ifndef TAILORMATCH_SERVE_NET_UTIL_H_
+#define TAILORMATCH_SERVE_NET_UTIL_H_
+
+#include <streambuf>
+
+#include "util/status.h"
+
+namespace tailormatch::serve {
+
+// Minimal read/write streambuf over a connected socket (or any fd), so the
+// line-oriented serving code paths (`JsonlServer::ServeStream`, the fleet
+// router) work unchanged over TCP. Retries EINTR; no buffering surprises:
+// sync() flushes everything written.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  int Flush();
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+// Binds 127.0.0.1:`port` (0 = ephemeral) and listens. On success stores the
+// listening fd in *listen_fd and the actually-bound port in *bound_port.
+Status TcpListenLoopback(int port, int* listen_fd, int* bound_port);
+
+// Connects to 127.0.0.1:`port`. Returns the connected fd, or -1 (errno
+// preserved from the failing call).
+int TcpConnectLoopback(int port);
+
+}  // namespace tailormatch::serve
+
+#endif  // TAILORMATCH_SERVE_NET_UTIL_H_

@@ -1,0 +1,263 @@
+#include "serve/autotune.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/micro_batcher.h"
+#include "serve_test_util.h"
+
+namespace tailormatch::serve {
+namespace {
+
+// The control law is tested through the deterministic Tick(observation)
+// seam: each test constructs the window the controller would have seen and
+// asserts which way it steers the live batcher knobs.
+class AutotuneTest : public ::testing::Test {
+ protected:
+  static MicroBatcherConfig BatcherConfig() {
+    MicroBatcherConfig config;
+    config.max_batch = 8;
+    config.max_wait_us = 400;
+    config.batch_parallelism = 1;
+    return config;
+  }
+
+  static AutotuneConfig TunerConfig() {
+    AutotuneConfig config;
+    config.slo_p99_ms = 50.0;
+    config.min_batch = 1;
+    config.max_batch = 64;
+    config.min_wait_us = 50;
+    config.max_wait_us = 4000;
+    config.headroom_fraction = 0.7;
+    config.grow_queue_depth = 4;
+    config.min_window_requests = 20;
+    config.cooldown_ticks = 2;
+    config.rate_epsilon = 0.02;
+    return config;
+  }
+
+  // Healthy, busy window: lots of headroom and a queue worth batching for.
+  static AutotuneObservation Pressure(double rate = 1000.0) {
+    AutotuneObservation obs;
+    obs.p99_ms = 10.0;  // well under 0.7 * 50
+    obs.window_count = 500;
+    obs.rate_ewma = rate;
+    obs.queue_depth = 16;
+    return obs;
+  }
+};
+
+TEST_F(AutotuneTest, ThinWindowIsIdleAndChangesNothing) {
+  MicroBatcher batcher(BatcherConfig());
+  AutotuneController tuner(&batcher, TunerConfig());
+  AutotuneObservation obs;
+  obs.window_count = 3;  // below min_window_requests
+  obs.p99_ms = 500.0;    // even a terrible p99 is not trusted at this count
+  const AutotuneDecision decision = tuner.Tick(obs);
+  EXPECT_EQ(decision.action, AutotuneAction::kIdle);
+  EXPECT_EQ(batcher.max_batch(), 8);
+  EXPECT_EQ(batcher.max_wait_us(), 400);
+}
+
+TEST_F(AutotuneTest, BreachWithShallowQueueBacksOffThenCoolsDown) {
+  MicroBatcher batcher(BatcherConfig());
+  AutotuneController tuner(&batcher, TunerConfig());
+  AutotuneObservation breach;
+  breach.p99_ms = 80.0;  // over the 50ms budget
+  breach.window_count = 100;
+  breach.rate_ewma = 500.0;
+  breach.queue_depth = 2;  // below grow_queue_depth: self-inflicted latency
+  AutotuneDecision decision = tuner.Tick(breach);
+  EXPECT_EQ(decision.action, AutotuneAction::kBackoff);
+  EXPECT_EQ(batcher.max_batch(), 4);
+  EXPECT_EQ(batcher.max_wait_us(), 200);
+
+  // Cooldown: even a perfect growth window holds for cooldown_ticks.
+  decision = tuner.Tick(Pressure());
+  EXPECT_EQ(decision.action, AutotuneAction::kHold);
+  EXPECT_EQ(batcher.max_batch(), 4);
+  decision = tuner.Tick(Pressure());
+  EXPECT_EQ(decision.action, AutotuneAction::kHold);
+  // Cooldown elapsed: now it may grow again.
+  decision = tuner.Tick(Pressure());
+  EXPECT_EQ(decision.action, AutotuneAction::kGrow);
+  EXPECT_EQ(batcher.max_batch(), 8);
+}
+
+TEST_F(AutotuneTest, BreachWithDeepQueueGrowsToRescueThroughput) {
+  // Saturated server: p99 breached BECAUSE requests age in a deep queue.
+  // Shrinking the batch would shrink capacity and pin the breach forever;
+  // the controller must grow its way out instead.
+  MicroBatcher batcher(BatcherConfig());
+  AutotuneController tuner(&batcher, TunerConfig());
+  AutotuneObservation overload;
+  overload.p99_ms = 400.0;  // way over budget
+  overload.window_count = 300;
+  overload.rate_ewma = 1000.0;
+  overload.queue_depth = 256;  // deep backlog
+  AutotuneDecision decision = tuner.Tick(overload);
+  EXPECT_EQ(decision.action, AutotuneAction::kGrow);
+  EXPECT_EQ(batcher.max_batch(), 16);
+  // Still breached, still backlogged, and the grow raised the completion
+  // rate: keep climbing toward the capacity the backlog needs.
+  overload.rate_ewma = 1600.0;
+  EXPECT_EQ(tuner.Tick(overload).action, AutotuneAction::kGrow);
+  EXPECT_EQ(batcher.max_batch(), 32);
+  // Once the knob is at its ceiling the rescue is exhausted; the breach
+  // falls through to the multiplicative backoff.
+  batcher.set_max_batch(64);
+  overload.rate_ewma = 3000.0;
+  EXPECT_EQ(tuner.Tick(overload).action, AutotuneAction::kBackoff);
+}
+
+TEST_F(AutotuneTest, BackoffClampsAtTheFloor) {
+  MicroBatcherConfig small = BatcherConfig();
+  small.max_batch = 1;
+  small.max_wait_us = 50;
+  MicroBatcher batcher(small);
+  AutotuneController tuner(&batcher, TunerConfig());
+  AutotuneObservation breach;
+  breach.p99_ms = 500.0;
+  breach.window_count = 100;
+  breach.queue_depth = 0;
+  tuner.Tick(breach);
+  EXPECT_EQ(batcher.max_batch(), 1);
+  EXPECT_EQ(batcher.max_wait_us(), 50);
+}
+
+TEST_F(AutotuneTest, GrowNeedsBothHeadroomAndQueuePressure) {
+  MicroBatcher batcher(BatcherConfig());
+  AutotuneController tuner(&batcher, TunerConfig());
+
+  // Headroom but an idle queue: a bigger batch would only add latency.
+  AutotuneObservation idle = Pressure();
+  idle.queue_depth = 0;
+  EXPECT_EQ(tuner.Tick(idle).action, AutotuneAction::kHold);
+  EXPECT_EQ(batcher.max_batch(), 8);
+
+  // Queue pressure but p99 inside the dead band: hold (hysteresis).
+  AutotuneObservation dead_band = Pressure();
+  dead_band.p99_ms = 45.0;  // between 0.7*50 and 50
+  EXPECT_EQ(tuner.Tick(dead_band).action, AutotuneAction::kHold);
+  EXPECT_EQ(batcher.max_batch(), 8);
+
+  // Both: double the batch and stretch the wait window.
+  const AutotuneDecision decision = tuner.Tick(Pressure());
+  EXPECT_EQ(decision.action, AutotuneAction::kGrow);
+  EXPECT_EQ(batcher.max_batch(), 16);
+  EXPECT_EQ(batcher.max_wait_us(), 800);
+}
+
+TEST_F(AutotuneTest, GrowThatDoesNotRaiseTheRateIsReverted) {
+  MicroBatcher batcher(BatcherConfig());
+  AutotuneController tuner(&batcher, TunerConfig());
+
+  ASSERT_EQ(tuner.Tick(Pressure(1000.0)).action, AutotuneAction::kGrow);
+  ASSERT_EQ(batcher.max_batch(), 16);
+
+  // Rate stayed flat after the grow: step back downhill.
+  const AutotuneDecision decision = tuner.Tick(Pressure(1005.0));
+  EXPECT_EQ(decision.action, AutotuneAction::kRevert);
+  EXPECT_EQ(batcher.max_batch(), 8);
+  EXPECT_EQ(batcher.max_wait_us(), 400);
+  // And the revert starts a cooldown, so no immediate re-grow oscillation.
+  EXPECT_EQ(tuner.Tick(Pressure(1005.0)).action, AutotuneAction::kHold);
+}
+
+TEST_F(AutotuneTest, GrowThatRaisesTheRateSticks) {
+  MicroBatcher batcher(BatcherConfig());
+  AutotuneController tuner(&batcher, TunerConfig());
+
+  ASSERT_EQ(tuner.Tick(Pressure(1000.0)).action, AutotuneAction::kGrow);
+  // Completion rate clearly up: keep the new policy and climb further.
+  const AutotuneDecision decision = tuner.Tick(Pressure(1400.0));
+  EXPECT_EQ(decision.action, AutotuneAction::kGrow);
+  EXPECT_EQ(batcher.max_batch(), 32);
+}
+
+TEST_F(AutotuneTest, GrowClampsAtTheCeiling) {
+  MicroBatcher batcher(BatcherConfig());
+  AutotuneConfig config = TunerConfig();
+  config.max_batch = 16;
+  config.max_wait_us = 500;
+  AutotuneController tuner(&batcher, config);
+
+  double rate = 1000.0;
+  ASSERT_EQ(tuner.Tick(Pressure(rate)).action, AutotuneAction::kGrow);
+  EXPECT_EQ(batcher.max_batch(), 16);
+  EXPECT_EQ(batcher.max_wait_us(), 500);  // clamped, not 800
+  rate *= 2;
+  // At the ceiling: no further growth, just hold.
+  EXPECT_EQ(tuner.Tick(Pressure(rate)).action, AutotuneAction::kHold);
+  EXPECT_EQ(batcher.max_batch(), 16);
+}
+
+TEST_F(AutotuneTest, TickNowReadsTheLiveBatcherWindow) {
+  MicroBatcher batcher(BatcherConfig());
+  AutotuneController tuner(&batcher, TunerConfig());
+  // Fresh batcher: empty window -> idle, knobs untouched.
+  const AutotuneDecision decision = tuner.TickNow();
+  EXPECT_EQ(decision.action, AutotuneAction::kIdle);
+  EXPECT_EQ(decision.max_batch, 8);
+  EXPECT_EQ(tuner.ticks(), 1);
+}
+
+TEST_F(AutotuneTest, BackgroundThreadTicksAndStopsCleanly) {
+  MicroBatcher batcher(BatcherConfig());
+  AutotuneConfig config = TunerConfig();
+  config.tick_ms = 5;
+  AutotuneController tuner(&batcher, config);
+  tuner.Start();
+  tuner.Start();  // idempotent
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (tuner.ticks() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(tuner.ticks(), 3);
+  tuner.Stop();
+  tuner.Stop();  // idempotent
+  const int64_t after_stop = tuner.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(tuner.ticks(), after_stop) << "ticks after Stop()";
+}
+
+TEST_F(AutotuneTest, SteersARealOverloadedBatcherWithoutBreakingRequests) {
+  // End-to-end: run real traffic with a deliberately poor starting policy
+  // and tick the controller synchronously; every request must still
+  // complete kOk while the knobs move.
+  MicroBatcherConfig config = BatcherConfig();
+  config.max_batch = 1;
+  config.max_wait_us = 0;
+  config.dispatch_cost_us = 200;
+  config.slo_p99_ms = 50.0;
+  MicroBatcher batcher(config);
+  AutotuneController tuner(&batcher, TunerConfig());
+  std::shared_ptr<const ServedModel> model =
+      serve_test::WrapServed(serve_test::TinyServeModel());
+
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::future<ServeResult>> futures;
+    futures.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(batcher.Submit(
+          model, prompt::PromptTemplate::kDefault,
+          core::MakeSurfacePair("widget " + std::to_string(i),
+                                "widget " + std::to_string(i + 1),
+                                data::Domain::kProduct)));
+    }
+    tuner.TickNow();
+    for (std::future<ServeResult>& future : futures) {
+      EXPECT_EQ(future.get().outcome, RequestOutcome::kOk);
+    }
+  }
+  EXPECT_GE(tuner.ticks(), 5);
+  EXPECT_GE(batcher.max_batch(), 1);
+  EXPECT_LE(batcher.max_batch(), 64);
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

@@ -1,0 +1,350 @@
+#include "serve/fleet.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/net_util.h"
+#include "serve_test_util.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace tailormatch::serve {
+namespace {
+
+TEST(JumpConsistentHashTest, SingleBucketAndDeterminism) {
+  for (uint64_t key : {0ULL, 1ULL, 0xdeadbeefULL, ~0ULL}) {
+    EXPECT_EQ(JumpConsistentHash(key, 1), 0);
+    EXPECT_EQ(JumpConsistentHash(key, 7), JumpConsistentHash(key, 7));
+  }
+}
+
+TEST(JumpConsistentHashTest, RoughlyBalancedAcrossBuckets) {
+  const int kBuckets = 4;
+  const int kKeys = 40000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    const uint64_t key = static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+    const int bucket = JumpConsistentHash(key, kBuckets);
+    ASSERT_GE(bucket, 0);
+    ASSERT_LT(bucket, kBuckets);
+    ++counts[static_cast<size_t>(bucket)];
+  }
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    EXPECT_GT(counts[static_cast<size_t>(bucket)], kKeys / kBuckets / 2)
+        << "bucket " << bucket << " badly underloaded";
+    EXPECT_LT(counts[static_cast<size_t>(bucket)], kKeys / kBuckets * 2)
+        << "bucket " << bucket << " badly overloaded";
+  }
+}
+
+TEST(JumpConsistentHashTest, GrowingTheFleetOnlyMovesKeysToTheNewBucket) {
+  // The consistency property the router relies on: adding bucket n either
+  // keeps a key where it was or moves it to the NEW bucket — it never
+  // shuffles keys between existing buckets (which would cold every cache).
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+    for (int n = 1; n < 8; ++n) {
+      const int before = JumpConsistentHash(key, n);
+      const int after = JumpConsistentHash(key, n + 1);
+      EXPECT_TRUE(after == before || after == n)
+          << "key " << key << " moved " << before << " -> " << after
+          << " when growing to " << n + 1 << " buckets";
+    }
+  }
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tm_fleet_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+    ckpt_ = dir_ + "/tiny.ckpt";
+    ASSERT_TRUE(serve_test::WriteTinyCheckpoint(ckpt_, 11).ok());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  FleetConfig Config(int workers) {
+    FleetConfig config;
+    config.num_workers = workers;
+    config.checkpoint_path = ckpt_;
+    config.max_batch = 4;
+    config.max_wait_us = 100;
+    config.cache_mb = 4;
+    config.restart_backoff_ms = 10;
+    return config;
+  }
+
+  // Runs `input` through the router and returns the response lines.
+  static std::vector<std::string> Route(Fleet& fleet,
+                                        const std::string& input) {
+    std::istringstream in(input);
+    std::ostringstream out;
+    fleet.RouteStream(in, out);
+    std::vector<std::string> lines;
+    for (const std::string& line : Split(out.str(), '\n')) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  }
+
+  // Every response must be complete, flat JSON — a torn line (worker killed
+  // mid-write) would fail to parse.
+  static void AssertWellFormed(const std::vector<std::string>& lines) {
+    for (const std::string& line : lines) {
+      std::map<std::string, std::string> fields;
+      EXPECT_TRUE(json::ParseFlatObject(line, &fields).ok())
+          << "torn/malformed response: " << line;
+    }
+  }
+
+  std::string dir_;
+  std::string ckpt_;
+};
+
+TEST_F(FleetTest, StartRejectsBadConfig) {
+  FleetConfig no_ckpt = Config(2);
+  no_ckpt.checkpoint_path = "";
+  EXPECT_FALSE(Fleet(no_ckpt).Start().ok());
+  FleetConfig no_workers = Config(0);
+  EXPECT_FALSE(Fleet(no_workers).Start().ok());
+  FleetConfig bad_model = Config(1);
+  bad_model.checkpoint_path = dir_ + "/nonexistent.ckpt";
+  bad_model.worker_ready_timeout_ms = 3000;
+  bad_model.max_restarts_per_worker = 1;
+  EXPECT_FALSE(Fleet(bad_model).Start().ok());
+}
+
+TEST_F(FleetTest, RoutesMatchesControlOpsAndPreservesOrder) {
+  Fleet fleet(Config(2));
+  ASSERT_TRUE(fleet.Start().ok());
+  EXPECT_EQ(fleet.restarts(), 0);
+  EXPECT_GT(fleet.WorkerPort(0), 0);
+  EXPECT_GT(fleet.WorkerPort(1), 0);
+  EXPECT_GT(fleet.WorkerPid(0), 0);
+
+  std::string input;
+  for (int i = 0; i < 16; ++i) {
+    input += StrFormat(
+        "{\"id\":\"%d\",\"left\":\"widget %d\",\"right\":\"widget %d x\"}\n",
+        i, i, i);
+  }
+  input += "{\"op\":\"ping\"}\n{\"op\":\"fleet\"}\n{\"op\":\"stats\"}\n";
+  const std::vector<std::string> lines = Route(fleet, input);
+  ASSERT_EQ(lines.size(), 19u);
+  AssertWellFormed(lines);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NE(lines[static_cast<size_t>(i)].find(
+                  StrFormat("\"id\":\"%d\"", i)),
+              std::string::npos)
+        << lines[static_cast<size_t>(i)];
+    EXPECT_NE(lines[static_cast<size_t>(i)].find("\"outcome\":\"ok\""),
+              std::string::npos)
+        << lines[static_cast<size_t>(i)];
+  }
+  EXPECT_NE(lines[16].find("pong"), std::string::npos);
+  EXPECT_NE(lines[17].find("\"op\":\"fleet\""), std::string::npos);
+  EXPECT_NE(lines[17].find("\"w1_port\":"), std::string::npos);
+  EXPECT_NE(lines[18].find("\"fleet_alive\":2"), std::string::npos);
+  EXPECT_NE(lines[18].find("\"serve_requests\":16"), std::string::npos)
+      << "worker stats should sum to the full request count: " << lines[18];
+  fleet.Stop();
+}
+
+TEST_F(FleetTest, RepeatPairsRouteToTheSameWorkerAndHitItsCache) {
+  Fleet fleet(Config(2));
+  ASSERT_TRUE(fleet.Start().ok());
+  // Two identical rounds as separate client streams: round one must have
+  // fully completed (and populated the worker caches) before round two — the
+  // cache dedups completed results, not requests still in flight.
+  for (int round = 0; round < 2; ++round) {
+    std::string input;
+    for (int i = 0; i < 8; ++i) {
+      input += StrFormat(
+          "{\"id\":\"%d-%d\",\"left\":\"acme %d\",\"right\":\"acme %d v2\"}\n",
+          round, i, i, i);
+    }
+    const std::vector<std::string> round_lines = Route(fleet, input);
+    ASSERT_EQ(round_lines.size(), 8u);
+    AssertWellFormed(round_lines);
+  }
+  const std::vector<std::string> lines = Route(fleet, "{\"op\":\"stats\"}\n");
+  ASSERT_EQ(lines.size(), 1u);
+  AssertWellFormed(lines);
+  std::map<std::string, std::string> stats;
+  ASSERT_TRUE(json::ParseFlatObject(lines.back(), &stats).ok());
+  // Round two repeats round one's pairs exactly; consistent-hash routing
+  // must land them on the same worker's cache.
+  EXPECT_EQ(std::atof(stats["serve_cache_hits"].c_str()), 8.0)
+      << lines.back();
+  fleet.Stop();
+}
+
+TEST_F(FleetTest, RouterAnswersProtocolErrorsWithoutWorkers) {
+  Fleet fleet(Config(1));
+  ASSERT_TRUE(fleet.Start().ok());
+  const std::vector<std::string> lines = Route(
+      fleet,
+      "not json\n"
+      "{\"id\":\"half\",\"left\":\"only one side\"}\n"
+      "{\"id\":\"dom\",\"left\":\"a\",\"right\":\"b\",\"domain\":\"bogus\"}\n"
+      "{\"op\":\"frobnicate\"}\n" +
+          std::string(2 << 20, 'x') + "\n" +
+          "{\"id\":\"ok\",\"left\":\"a\",\"right\":\"b\"}\n");
+  ASSERT_EQ(lines.size(), 6u);
+  AssertWellFormed(lines);
+  EXPECT_NE(lines[0].find("\"outcome\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[1].find("needs \\\"left\\\" and \\\"right\\\""),
+            std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[2].find("unknown domain"), std::string::npos);
+  EXPECT_NE(lines[3].find("unknown op"), std::string::npos);
+  EXPECT_NE(lines[4].find("exceeds limit"), std::string::npos);
+  EXPECT_NE(lines[5].find("\"outcome\":\"ok\""), std::string::npos)
+      << "stream must survive every protocol error: " << lines[5];
+  fleet.Stop();
+}
+
+TEST_F(FleetTest, SigkilledWorkerIsRestartedAndCapacityRestored) {
+  Fleet fleet(Config(2));
+  ASSERT_TRUE(fleet.Start().ok());
+
+  // Baseline traffic across both workers.
+  std::string warmup;
+  for (int i = 0; i < 8; ++i) {
+    warmup += StrFormat(
+        "{\"id\":\"w%d\",\"left\":\"gadget %d\",\"right\":\"gadget %d b\"}\n",
+        i, i, i);
+  }
+  AssertWellFormed(Route(fleet, warmup));
+
+  const int old_pid = fleet.WorkerPid(0);
+  ASSERT_GT(old_pid, 0);
+  ASSERT_TRUE(fleet.KillWorker(0, SIGKILL).ok());
+  ASSERT_TRUE(fleet.WaitForWorker(0, 1, 10000))
+      << "worker 0 was not restarted after SIGKILL";
+  EXPECT_EQ(fleet.WorkerGeneration(0), 2);
+  EXPECT_EQ(fleet.restarts(), 1);
+  EXPECT_GT(fleet.WorkerPort(0), 0);
+  EXPECT_NE(fleet.WorkerPid(0), old_pid);
+
+  // Full capacity restored: traffic to every slot completes ok, and no
+  // response is torn.
+  std::string after;
+  for (int i = 0; i < 16; ++i) {
+    after += StrFormat(
+        "{\"id\":\"a%d\",\"left\":\"gadget %d\",\"right\":\"gadget %d b\"}\n",
+        i, i, i);
+  }
+  const std::vector<std::string> lines = Route(fleet, after);
+  ASSERT_EQ(lines.size(), 16u);
+  AssertWellFormed(lines);
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"outcome\":\"ok\""), std::string::npos) << line;
+  }
+  fleet.Stop();
+}
+
+TEST_F(FleetTest, CrashWithRequestsInFlightLosesOnlyTheInFlightWindow) {
+  FleetConfig config = Config(1);
+  // Slow the worker down so requests are reliably in flight when it dies.
+  config.dispatch_cost_us = 20000;
+  config.max_batch = 1;
+  Fleet fleet(config);
+  ASSERT_TRUE(fleet.Start().ok());
+
+  // Forward a pipelined burst, SIGKILL the worker while it grinds, then
+  // keep going with fresh requests on the same client stream.
+  std::istringstream in([&] {
+    std::string input;
+    for (int i = 0; i < 8; ++i) {
+      input += StrFormat(
+          "{\"id\":\"pre%d\",\"left\":\"thing %d\",\"right\":\"thing %d "
+          "c\"}\n",
+          i, i, i);
+    }
+    return input;
+  }());
+  std::ostringstream out;
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    fleet.KillWorker(0, SIGKILL);
+  });
+  fleet.RouteStream(in, out);
+  killer.join();
+
+  ASSERT_TRUE(fleet.WaitForWorker(0, 1, 10000));
+  std::vector<std::string> lines;
+  for (const std::string& line : Split(out.str(), '\n')) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  // Exactly one response line per request — errors for the in-flight
+  // window, and every line well-formed (zero torn responses).
+  ASSERT_EQ(lines.size(), 8u);
+  AssertWellFormed(lines);
+  int ok = 0, errors = 0;
+  for (const std::string& line : lines) {
+    if (line.find("\"outcome\":\"ok\"") != std::string::npos) {
+      ++ok;
+    } else {
+      EXPECT_NE(line.find("\"outcome\":\"error\""), std::string::npos)
+          << line;
+      ++errors;
+    }
+  }
+  EXPECT_GT(errors, 0) << "the SIGKILL should have caught requests in flight";
+
+  // After the restart the same stream shape completes fully.
+  const std::vector<std::string> after =
+      Route(fleet, "{\"id\":\"post\",\"left\":\"thing\",\"right\":\"thing "
+                   "c\"}\n");
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NE(after[0].find("\"outcome\":\"ok\""), std::string::npos)
+      << after[0];
+  fleet.Stop();
+}
+
+TEST_F(FleetTest, ServeFrontAcceptsTcpClientsAndShutsDown) {
+  Fleet fleet(Config(2));
+  ASSERT_TRUE(fleet.Start().ok());
+  std::atomic<int> port{0};
+  std::thread front([&] { fleet.ServeFront(0, &port); });
+  while (port.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(port.load(), 0);
+
+  const int fd = TcpConnectLoopback(port.load());
+  ASSERT_GE(fd, 0);
+  FdStreamBuf buf(fd);
+  std::istream in(&buf);
+  std::ostream out(&buf);
+  out << "{\"id\":\"t1\",\"left\":\"jabra evolve 80\",\"right\":\"jabra "
+         "evolve 80 stereo\"}\n{\"op\":\"shutdown\"}\n";
+  out.flush();
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_NE(line.find("\"id\":\"t1\""), std::string::npos) << line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_NE(line.find("\"op\":\"shutdown\""), std::string::npos) << line;
+  ::close(fd);
+  front.join();
+  EXPECT_FALSE(fleet.alive());
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

@@ -1,15 +1,21 @@
 #include "serve/jsonl_server.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "obs/trace.h"
+#include "serve/net_util.h"
 #include "serve_test_util.h"
 #include "util/json.h"
 #include "util/string_util.h"
@@ -246,6 +252,151 @@ TEST_F(JsonlServerTest, PipelinedRequestsKeepRequestOrder) {
               std::string::npos)
         << "line " << i << ": " << lines[i];
   }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol torture: the server is fed hostile framing — oversized lines,
+// dribbled TCP reads, unknown ops, mixed pipelined streams — and must answer
+// every line with well-formed JSON in request order without dying.
+// ---------------------------------------------------------------------------
+
+TEST_F(JsonlServerTest, OversizedLineIsRejectedAndTheStreamSurvives) {
+  JsonlServerConfig config;
+  config.max_line_bytes = 256;
+  JsonlServer server = MakeServer(config);
+  std::istringstream in("{\"id\":\"before\",\"left\":\"a\",\"right\":\"b\"}\n" +
+                        std::string(1024, 'x') + "\n" +
+                        "{\"id\":\"pad\",\"left\":\"" + std::string(512, 'y') +
+                        "\",\"right\":\"b\"}\n"
+                        "{\"id\":\"after\",\"left\":\"a\",\"right\":\"b\"}\n");
+  std::ostringstream out;
+  server.ServeStream(in, out);
+  const std::vector<std::string> lines = Split(out.str(), '\n');
+  ASSERT_GE(lines.size(), 4u) << out.str();
+  EXPECT_NE(lines[0].find("\"id\":\"before\""), std::string::npos);
+  EXPECT_NE(lines[1].find("exceeds limit"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[2].find("exceeds limit"), std::string::npos)
+      << "a valid-JSON line over the limit must still be refused: "
+      << lines[2];
+  EXPECT_NE(lines[3].find("\"id\":\"after\""), std::string::npos)
+      << "the connection must keep serving after an oversized line";
+  for (const std::string& line : lines) {
+    if (line.empty()) continue;
+    std::map<std::string, std::string> fields;
+    EXPECT_TRUE(json::ParseFlatObject(line, &fields).ok()) << line;
+  }
+}
+
+TEST_F(JsonlServerTest, ZeroMaxLineBytesDisablesTheGuard) {
+  JsonlServerConfig config;
+  config.max_line_bytes = 0;
+  JsonlServer server = MakeServer(config);
+  const std::string big_left = std::string(1 << 16, 'z');
+  const std::string response = server.HandleLine(
+      "{\"id\":\"big\",\"left\":\"" + big_left + "\",\"right\":\"b\"}");
+  EXPECT_NE(response.find("\"outcome\":\"ok\""), std::string::npos);
+}
+
+TEST_F(JsonlServerTest, DribbledTcpBytesAssembleIntoWholeRequests) {
+  JsonlServer server = MakeServer();
+  std::atomic<int> port{0};
+  std::thread serving([&] { server.ServeTcp(0, &port); });
+  while (port.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const int fd = TcpConnectLoopback(port.load());
+  ASSERT_GE(fd, 0);
+  // Two pipelined requests written one byte at a time across many TCP
+  // segments: framing is the newline, not the segment boundary.
+  const std::string payload =
+      "{\"id\":\"d1\",\"left\":\"jabra evolve 80\",\"right\":\"jabra evolve "
+      "80 stereo\"}\n"
+      "{\"id\":\"d2\",\"left\":\"acme anvil\",\"right\":\"acme anvil "
+      "iii\"}\n";
+  for (size_t i = 0; i < payload.size(); ++i) {
+    ASSERT_EQ(::write(fd, payload.data() + i, 1), 1);
+    if (i % 16 == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  FdStreamBuf buf(fd);
+  std::istream in(&buf);
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_NE(line.find("\"id\":\"d1\""), std::string::npos) << line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_NE(line.find("\"id\":\"d2\""), std::string::npos) << line;
+  ::close(fd);
+  server.Stop();
+  serving.join();
+}
+
+TEST_F(JsonlServerTest, InterleavedTcpClientsGetTheirOwnAnswers) {
+  JsonlServer server = MakeServer();
+  std::atomic<int> port{0};
+  std::thread serving([&] { server.ServeTcp(0, &port); });
+  while (port.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Two concurrent connections, each sending a tagged burst; every client
+  // must get exactly its own ids back, in its own order.
+  auto client = [&](const std::string& tag) {
+    const int fd = TcpConnectLoopback(port.load());
+    ASSERT_GE(fd, 0);
+    FdStreamBuf buf(fd);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    for (int i = 0; i < 10; ++i) {
+      out << "{\"id\":\"" << tag << i << "\",\"left\":\"widget " << tag << i
+          << "\",\"right\":\"widget " << tag << i << " x\"}\n";
+      out.flush();
+      if (i % 3 == 0) std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    for (int i = 0; i < 10; ++i) {
+      std::string line;
+      ASSERT_TRUE(static_cast<bool>(std::getline(in, line))) << tag << i;
+      EXPECT_NE(line.find("\"id\":\"" + tag + std::to_string(i) + "\""),
+                std::string::npos)
+          << line;
+    }
+    ::close(fd);
+  };
+  std::thread a([&] { client("a"); });
+  std::thread b([&] { client("b"); });
+  a.join();
+  b.join();
+  server.Stop();
+  serving.join();
+}
+
+TEST_F(JsonlServerTest, MixedPipelinedStreamKeepsOrderAcrossOpKinds) {
+  JsonlServer server = MakeServer();
+  // Control ops act as pipeline barriers: every response still lands in
+  // request order even when matches, errors, and ops interleave.
+  std::istringstream in(
+      R"({"id":"m0","left":"widget","right":"widget x"})"
+      "\n"
+      R"({"op":"ping"})"
+      "\n"
+      R"({"id":"m1","left":"acme anvil","right":"acme anvil iii"})"
+      "\n"
+      R"({"op":"frobnicate"})"
+      "\nnot json\n"
+      R"({"op":"stats"})"
+      "\n"
+      R"({"id":"m2","left":"gadget","right":"gadget b"})"
+      "\n");
+  std::ostringstream out;
+  server.ServeStream(in, out);
+  const std::vector<std::string> lines = Split(out.str(), '\n');
+  ASSERT_GE(lines.size(), 7u) << out.str();
+  EXPECT_NE(lines[0].find("\"id\":\"m0\""), std::string::npos);
+  EXPECT_NE(lines[1].find("pong"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":\"m1\""), std::string::npos);
+  EXPECT_NE(lines[3].find("unknown op"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"outcome\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[5].find("\"op\":\"stats\""), std::string::npos);
+  EXPECT_NE(lines[6].find("\"id\":\"m2\""), std::string::npos);
 }
 
 }  // namespace

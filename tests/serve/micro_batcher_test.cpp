@@ -1,5 +1,6 @@
 #include "serve/micro_batcher.h"
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -171,6 +172,122 @@ TEST(MicroBatcherTest, RequestOutcomeNamesAreStable) {
   EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kOverloaded), "overloaded");
   EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kShutdown), "shutdown");
   EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kError), "error");
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration edges: the autotuner moves max_batch / max_wait_us on a
+// live batcher, so the knobs must be safe to change mid-flight, clamp bad
+// values, and interact cleanly with deadlines and shutdown. The racy ones
+// run under TSan via check-sanitize.
+// ---------------------------------------------------------------------------
+
+TEST(MicroBatcherReconfigureTest, SettersClampHostileValues) {
+  MicroBatcher batcher(MicroBatcherConfig{});
+  batcher.set_max_batch(0);
+  EXPECT_EQ(batcher.max_batch(), 1) << "max_batch floors at 1";
+  batcher.set_max_batch(-7);
+  EXPECT_EQ(batcher.max_batch(), 1);
+  batcher.set_max_wait_us(-5);
+  EXPECT_EQ(batcher.max_wait_us(), 0) << "max_wait_us floors at 0";
+  batcher.set_max_batch(4096);
+  EXPECT_EQ(batcher.max_batch(), 4096);
+}
+
+TEST(MicroBatcherReconfigureTest, KnobsChangedMidFlightUnderLoad) {
+  MicroBatcherConfig config;
+  config.max_batch = 1;
+  config.max_wait_us = 0;
+  config.dispatch_cost_us = 100;
+  config.queue_capacity = 4096;
+  config.batch_parallelism = 2;
+  MicroBatcher batcher(config);
+  std::shared_ptr<const ServedModel> served = WrapServed(TinyServeModel());
+
+  // Submitters flood while a tuner thread thrashes both knobs through their
+  // full range. Every request must resolve kOk — reconfiguration may change
+  // batch shapes but never lose or corrupt a request.
+  std::atomic<bool> done{false};
+  std::thread tuner([&] {
+    int step = 0;
+    while (!done.load()) {
+      batcher.set_max_batch(1 << (step % 7));        // 1..64
+      batcher.set_max_wait_us(50 * (step % 5));      // 0..200us
+      ++step;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::thread> submitters;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        ServeResult result = batcher.SubmitAndWait(
+            served, prompt::PromptTemplate::kDefault,
+            Pair("s" + std::to_string(t) + "-" + std::to_string(i), "q"));
+        if (result.outcome == RequestOutcome::kOk) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  done.store(true);
+  tuner.join();
+  EXPECT_EQ(ok_count.load(), 400);
+}
+
+TEST(MicroBatcherReconfigureTest, DeadlineExpiryRacesDispatchWithoutLoss) {
+  MicroBatcherConfig config;
+  config.max_batch = 2;
+  config.max_wait_us = 100;
+  config.dispatch_cost_us = 500;
+  MicroBatcher batcher(config);
+  std::shared_ptr<const ServedModel> served = WrapServed(TinyServeModel());
+
+  // Deadlines chosen right around the dispatch latency: each request must
+  // resolve to exactly one typed outcome (kOk or kTimeout), never hang.
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(batcher.Submit(
+        served, prompt::PromptTemplate::kDefault,
+        Pair("r" + std::to_string(i), "q"),
+        MicroBatcher::Clock::now() + std::chrono::microseconds(200 + i * 37)));
+  }
+  int ok = 0, timeout = 0;
+  for (std::future<ServeResult>& future : futures) {
+    const ServeResult result = future.get();
+    ASSERT_TRUE(result.outcome == RequestOutcome::kOk ||
+                result.outcome == RequestOutcome::kTimeout)
+        << RequestOutcomeName(result.outcome);
+    (result.outcome == RequestOutcome::kOk) ? ++ok : ++timeout;
+  }
+  EXPECT_EQ(ok + timeout, 64);
+}
+
+TEST(MicroBatcherReconfigureTest, DrainDuringReconfigureResolvesEverything) {
+  MicroBatcherConfig config;
+  config.max_batch = 4;
+  config.dispatch_cost_us = 5000;  // keep a queue alive at Shutdown time
+  auto batcher = std::make_unique<MicroBatcher>(config);
+  std::shared_ptr<const ServedModel> served = WrapServed(TinyServeModel());
+
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(batcher->Submit(served, prompt::PromptTemplate::kDefault,
+                                      Pair("d" + std::to_string(i), "q")));
+  }
+  // Reconfigure concurrently with the drain: the worker may sample either
+  // knob value; it must not deadlock or drop queued requests.
+  std::thread tuner([&] {
+    for (int i = 0; i < 50; ++i) {
+      batcher->set_max_batch(i % 2 == 0 ? 1 : 16);
+      batcher->set_max_wait_us(i % 2 == 0 ? 0 : 500);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  batcher->Shutdown();
+  tuner.join();
+  for (std::future<ServeResult>& future : futures) {
+    EXPECT_EQ(future.get().outcome, RequestOutcome::kOk);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+#!/usr/bin/env bash
+# End-to-end check of the multi-process serve fleet:
+#   1. builds the fleet suite, the CLI, the load generator, and trace_lint;
+#   2. runs the fleet suites under `ctest -L fleet -j`;
+#   3. boots a traced 2-worker `tailormatch fleet` on an ephemeral loopback
+#      port, drives it over the wire with a raw bash /dev/tcp client,
+#      SIGKILLs one worker with requests in flight, and asserts:
+#        - every response line is intact JSON (no torn responses);
+#        - the supervisor restarts the worker (new pid, restarts >= 1);
+#        - after the restart, a fresh batch of requests is 100% ok
+#          (no failures beyond the in-flight window);
+#        - the router's trace export passes trace_lint.
+#
+# Usage: tools/check_fleet.sh [build_dir]
+# (Also exposed as the `check-fleet` CMake target.)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+cmake --build "${BUILD_DIR}" --target fleet_tests tailormatch_cli \
+  bench_serve_load trace_lint -j"$(nproc)"
+
+(cd "${BUILD_DIR}" && ctest -L fleet --output-on-failure -j"$(nproc)")
+
+WORK_DIR="$(mktemp -d)"
+FLEET_PID=""
+cleanup() {
+  if [ -n "${FLEET_PID}" ] && kill -0 "${FLEET_PID}" 2>/dev/null; then
+    kill "${FLEET_PID}" 2>/dev/null || true
+    wait "${FLEET_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+CKPT="${WORK_DIR}/tiny.ckpt"
+"${BUILD_DIR}/bench/bench_serve_load" --write-tiny-ckpt "${CKPT}"
+
+FLEET_LOG="${WORK_DIR}/fleet.log"
+"${BUILD_DIR}/tools/tailormatch" fleet --model "${CKPT}" \
+  --fleet-workers 2 --port 0 --max-batch 4 --max-wait-us 100 \
+  --trace 2>"${FLEET_LOG}" &
+FLEET_PID="$!"
+
+PORT=""
+for _ in $(seq 1 200); do
+  PORT="$(sed -n 's/.*fleet front serving JSONL on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${FLEET_LOG}" | head -n1)"
+  [ -n "${PORT}" ] && break
+  if ! kill -0 "${FLEET_PID}" 2>/dev/null; then
+    echo "fleet exited before binding; log:" >&2
+    cat "${FLEET_LOG}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "${PORT}" ]; then
+  echo "fleet never reported its front port; log:" >&2
+  cat "${FLEET_LOG}" >&2
+  exit 1
+fi
+
+# Raw JSONL client over bash's /dev/tcp. Opens a fresh connection, writes
+# every argument as one request line, reads one response line per request,
+# and echoes the responses (newline-separated) on stdout.
+send_requests() {
+  local line response out=""
+  exec 3<>"/dev/tcp/127.0.0.1/${PORT}"
+  for line in "$@"; do
+    printf '%s\n' "${line}" >&3
+  done
+  for line in "$@"; do
+    if ! IFS= read -r -t 15 response <&3; then
+      echo "timed out / connection closed waiting for a response" >&2
+      exec 3<&- 3>&-
+      return 1
+    fi
+    out+="${response}"$'\n'
+  done
+  exec 3<&- 3>&-
+  printf '%s' "${out}"
+}
+
+# Torn-response guard: every line the router emits must be one complete
+# JSON object. A SIGKILL mid-write on a worker must never leak a partial
+# line through the front.
+assert_intact() {
+  local line
+  while IFS= read -r line; do
+    case "${line}" in
+      "") ;;  # here-string trailing newline, not router output
+      {*}) ;;
+      *)
+        echo "torn response line: ${line}" >&2
+        return 1
+        ;;
+    esac
+  done
+}
+
+match_lines() {
+  local base="$1" count="$2" i lines=()
+  for ((i = 0; i < count; ++i)); do
+    lines+=("{\"id\":\"r$((base + i))\",\"left\":\"widget pro model $((base + i))\",\"right\":\"widget pro model $((base + i + 1))\"}")
+  done
+  printf '%s\n' "${lines[@]}"
+}
+
+fleet_field() {  # fleet_field <json-line> <key>
+  sed -n "s/.*\"$2\":\\([0-9-]*\\).*/\\1/p" <<<"$1"
+}
+
+# Round 1: the fleet at full strength answers everything ok.
+mapfile -t ROUND1 < <(match_lines 0 8)
+R1="$(send_requests "${ROUND1[@]}")"
+assert_intact <<<"${R1}"
+if [ "$(grep -c '"outcome":"ok"' <<<"${R1}")" -ne 8 ]; then
+  echo "round 1: expected 8 ok responses, got:" >&2
+  echo "${R1}" >&2
+  exit 1
+fi
+
+TABLE="$(send_requests '{"op":"fleet"}')"
+PID0="$(fleet_field "${TABLE}" w0_pid)"
+if [ -z "${PID0}" ] || [ "${PID0}" -le 0 ]; then
+  echo "could not read worker 0 pid from: ${TABLE}" >&2
+  exit 1
+fi
+
+# Round 2: SIGKILL worker 0 with 8 requests already written but unread —
+# genuinely in flight. Those may come back as router errors (the in-flight
+# window), but every line must still be intact JSON and none may go
+# unanswered.
+exec 3<>"/dev/tcp/127.0.0.1/${PORT}"
+mapfile -t ROUND2 < <(match_lines 100 8)
+for line in "${ROUND2[@]}"; do
+  printf '%s\n' "${line}" >&3
+done
+kill -9 "${PID0}"
+R2=""
+for _ in "${ROUND2[@]}"; do
+  if ! IFS= read -r -t 15 RESP <&3; then
+    echo "a crash-window request went unanswered" >&2
+    exit 1
+  fi
+  R2+="${RESP}"$'\n'
+done
+exec 3<&- 3>&-
+assert_intact <<<"${R2}"
+
+# The supervisor must bring slot 0 back: new pid, restart counted.
+RESTARTED=""
+for _ in $(seq 1 100); do
+  TABLE="$(send_requests '{"op":"fleet"}')"
+  NEW_PID0="$(fleet_field "${TABLE}" w0_pid)"
+  RESTARTS="$(fleet_field "${TABLE}" restarts)"
+  if [ -n "${NEW_PID0}" ] && [ "${NEW_PID0}" -gt 0 ] &&
+     [ "${NEW_PID0}" -ne "${PID0}" ] && [ "${RESTARTS:-0}" -ge 1 ]; then
+    RESTARTED=1
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "${RESTARTED}" ]; then
+  echo "worker 0 was not restarted; last table: ${TABLE}" >&2
+  exit 1
+fi
+
+# Round 3: full capacity is back — zero failures beyond the in-flight
+# window means this batch must be 100% ok.
+mapfile -t ROUND3 < <(match_lines 200 8)
+R3="$(send_requests "${ROUND3[@]}")"
+assert_intact <<<"${R3}"
+if [ "$(grep -c '"outcome":"ok"' <<<"${R3}")" -ne 8 ]; then
+  echo "post-restart round: expected 8 ok responses, got:" >&2
+  echo "${R3}" >&2
+  exit 1
+fi
+
+# The router's trace export must lint clean (route spans + autotune marks
+# use the same recorder as the serve path).
+TRACE_OUT="${WORK_DIR}/fleet_trace.json"
+TRACE_RESP="$(send_requests "{\"op\":\"trace\",\"path\":\"${TRACE_OUT}\"}")"
+if ! grep -q '"outcome":"ok"' <<<"${TRACE_RESP}"; then
+  echo "trace export failed: ${TRACE_RESP}" >&2
+  exit 1
+fi
+"${BUILD_DIR}/tools/trace_lint" "${TRACE_OUT}" --min-events 8
+
+send_requests '{"op":"shutdown"}' >/dev/null
+wait "${FLEET_PID}"
+FLEET_PID=""
+
+echo "check-fleet: suites + crash/restart TCP drill on port ${PORT} clean"

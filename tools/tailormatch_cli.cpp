@@ -10,7 +10,9 @@
 //   tailormatch serve      --model model.ckpt [--port N] [--max-batch K]
 //                          [--max-wait-us U] [--workers W] [--queue-cap Q]
 //                          [--cache-mb M] [--timeout-ms T]
-//                          [--dispatch-cost-us D]
+//                          [--dispatch-cost-us D] [--autotune]
+//   tailormatch fleet      --model model.ckpt --fleet-workers N [--port N]
+//                          (plus the serve batching/SLO flags)
 //   tailormatch export     --benchmark wdc-small --split train
 //                          --format csv|jsonl --out pairs.csv
 //   tailormatch benchmarks | families
@@ -31,6 +33,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -41,6 +44,8 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/autotune.h"
+#include "serve/fleet.h"
 #include "serve/jsonl_server.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
@@ -145,6 +150,13 @@ int Usage() {
       "             [--dispatch-cost-us D] [--scholar]\n"
       "             [--slo-p99-ms MS] [--slo-max-error-rate R]  rolling\n"
       "             10s-window SLO budgets surfaced as serve.slo.* stats\n"
+      "             [--autotune] SLO-adaptive batching: steers max-batch /\n"
+      "             max-wait-us against --slo-p99-ms (serve.autotune.* stats)\n"
+      "  fleet      --model PATH --fleet-workers N [--port N]  multi-process\n"
+      "             serve fleet: N single-process workers forked via a\n"
+      "             zygote, consistent-hash routing, crash restart from the\n"
+      "             checkpoint; accepts the serve batching/SLO flags plus\n"
+      "             [--autotune] per worker\n"
       "  export     --benchmark B [--split train|valid|test]\n"
       "             [--format csv|jsonl] --out PATH\n"
       "  benchmarks | families\n"
@@ -378,6 +390,20 @@ int CmdServe(const ArgMap& args) {
   }
   serve::JsonlServer server(&registry, &batcher, server_config);
 
+  std::unique_ptr<serve::AutotuneController> tuner;
+  if (args.Has("autotune")) {
+    if (batcher_config.slo_p99_ms <= 0.0) {
+      std::fprintf(stderr, "--autotune needs --slo-p99-ms\n");
+      return Usage();
+    }
+    serve::AutotuneConfig tuner_config;
+    tuner_config.slo_p99_ms = batcher_config.slo_p99_ms;
+    tuner_config.tick_ms = int_arg("autotune-tick-ms", 1000);
+    tuner = std::make_unique<serve::AutotuneController>(&batcher,
+                                                        tuner_config);
+    tuner->Start();
+  }
+
   if (args.Has("port")) {
     Status status = server.ServeTcp(int_arg("port", 0));
     if (!status.ok()) {
@@ -387,7 +413,56 @@ int CmdServe(const ArgMap& args) {
   } else {
     server.ServeStream(std::cin, std::cout);
   }
+  if (tuner != nullptr) tuner->Stop();
   batcher.Shutdown();
+  return 0;
+}
+
+int CmdFleet(const ArgMap& args) {
+  const std::string model_path = args.Get("model", "");
+  if (model_path.empty()) return Usage();
+  const auto int_arg = [&args](const char* key, int fallback) {
+    const std::string text = args.Get(key, "");
+    return text.empty() ? fallback : std::atoi(text.c_str());
+  };
+
+  serve::FleetConfig config;
+  config.checkpoint_path = model_path;
+  config.num_workers = int_arg("fleet-workers", 2);
+  config.max_batch = int_arg("max-batch", 8);
+  config.max_wait_us = int_arg("max-wait-us", 200);
+  config.queue_capacity = int_arg("queue-cap", 1024);
+  config.dispatch_cost_us = int_arg("dispatch-cost-us", 0);
+  config.cache_mb = int_arg("cache-mb", 16);
+  config.request_timeout_ms = int_arg("timeout-ms", 0);
+  const std::string slo_p99 = args.Get("slo-p99-ms", "");
+  if (!slo_p99.empty()) config.slo_p99_ms = std::atof(slo_p99.c_str());
+  const std::string slo_err = args.Get("slo-max-error-rate", "");
+  if (!slo_err.empty()) {
+    config.slo_max_error_rate = std::atof(slo_err.c_str());
+  }
+  config.autotune = args.Has("autotune");
+  config.autotune_tick_ms = int_arg("autotune-tick-ms", 1000);
+  if (args.Has("scholar")) config.default_domain = "scholar";
+  if (config.autotune && config.slo_p99_ms <= 0.0) {
+    std::fprintf(stderr, "--autotune needs --slo-p99-ms\n");
+    return Usage();
+  }
+
+  serve::Fleet fleet(config);
+  Status started = fleet.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "fleet failed to start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  Status served = fleet.ServeFront(int_arg("port", 0));
+  fleet.Stop();
+  if (!served.ok()) {
+    std::fprintf(stderr, "fleet front failed: %s\n",
+                 served.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -467,6 +542,8 @@ int main(int argc, char** argv) {
     rc = CmdMatch(args);
   } else if (command == "serve") {
     rc = CmdServe(args);
+  } else if (command == "fleet") {
+    rc = CmdFleet(args);
   } else if (command == "export") {
     rc = CmdExport(args);
   } else if (command == "benchmarks") {
