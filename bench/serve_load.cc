@@ -4,8 +4,13 @@
 //   bench_serve_load --fleet               run the multi-process fleet sweeps
 //                                          (scaling, crash drill, autotune vs
 //                                          fixed), write BENCH_fleet.json
-//   bench_serve_load --seed N              seed for the open-loop arrival
-//                                          schedules (default 20260809)
+//   bench_serve_load --chaos               replay a seeded fault schedule
+//                                          (>= 5 SIGKILLs + pauses + network
+//                                          faults) against a 3-worker fleet
+//                                          under load, baseline vs failover
+//                                          arms, write BENCH_chaos.json
+//   bench_serve_load --seed N              seed for the open-loop arrival /
+//                                          chaos schedules (default 20260809)
 //   bench_serve_load --write-tiny-ckpt P   write a tiny framed checkpoint to P
 //   bench_serve_load --connect PORT        JSONL smoke test against a running
 //                                          `tailormatch serve --port PORT`
@@ -39,6 +44,7 @@
 #include <cstring>
 #include <filesystem>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -46,11 +52,14 @@
 
 #include "core/matcher.h"
 #include "llm/sim_llm.h"
+#include "serve/chaos.h"
 #include "serve/fleet.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
 #include "serve/net_util.h"
 #include "text/tokenizer.h"
+#include "util/fault.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -707,6 +716,263 @@ int RunFleetBench(uint64_t seed) {
   return gates ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Chaos bench (--chaos): the §5h failover headline, written to
+// BENCH_chaos.json. One seeded FaultSchedule (>= 5 SIGKILLs plus SIGSTOP
+// pauses and probabilistic connect/read faults on the router<->worker path)
+// is replayed twice against a 3-worker fleet under sustained 8-client
+// closed-loop TCP load:
+//   baseline   retry_max_attempts=0 — the pre-§5h router; every kill costs
+//              the in-flight window as client-visible errors
+//   failover   journaled retry + breakers + auto hedging — the same drill
+//              must produce ZERO failed client responses
+// The gate is the failover arm's zero-loss under >= 5 kills; the baseline
+// arm documents what the journal is saving.
+// ---------------------------------------------------------------------------
+
+// Closed-loop load until `deadline`: `clients` connections, one outstanding
+// request each, every response checked.
+FleetLoopResult FleetTimedClosedLoop(int port, int clients,
+                                     Clock::time_point deadline,
+                                     int id_base) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<int> errors{0};
+  std::atomic<int> sent_total{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int fd = serve::TcpConnectLoopback(port);
+      if (fd < 0) return;
+      serve::FdStreamBuf buf(fd);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      for (int i = 0; Clock::now() < deadline; ++i) {
+        const int id = id_base + c * 1000000 + i;
+        const auto sent = Clock::now();
+        out << MatchLine(id);
+        out.flush();
+        sent_total.fetch_add(1);
+        std::string line;
+        if (!std::getline(in, line)) {
+          errors.fetch_add(1);  // a dropped connection is a failed response
+          break;
+        }
+        if (line.find("\"outcome\":\"ok\"") != std::string::npos) {
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - sent)
+                  .count());
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  FleetLoopResult run;
+  run.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  run.requests = sent_total.load();
+  run.errors = errors.load();
+  std::vector<double> all;
+  for (auto& per_conn : latencies) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  FinishFleetRun(all, &run);
+  return run;
+}
+
+// Fetches the router's {"op":"stats"} aggregate over a fresh connection.
+std::map<std::string, std::string> FetchFleetStats(int port) {
+  std::map<std::string, std::string> fields;
+  const int fd = serve::TcpConnectLoopback(port);
+  if (fd < 0) return fields;
+  serve::FdStreamBuf buf(fd);
+  std::istream in(&buf);
+  std::ostream out(&buf);
+  out << "{\"op\":\"stats\"}\n";
+  out.flush();
+  std::string line;
+  if (std::getline(in, line)) {
+    (void)json::ParseFlatObject(line, &fields);
+  }
+  ::close(fd);
+  return fields;
+}
+
+double StatDelta(const std::map<std::string, std::string>& before,
+                 const std::map<std::string, std::string>& after,
+                 const char* key) {
+  const auto get = [&](const std::map<std::string, std::string>& fields) {
+    auto it = fields.find(key);
+    return it == fields.end() ? 0.0 : std::atof(it->second.c_str());
+  };
+  return get(after) - get(before);
+}
+
+struct ChaosArmResult {
+  FleetLoopResult load;
+  serve::ChaosDrillStats drill;
+  double retries = 0.0, failovers = 0.0, hedges = 0.0, hedge_wins = 0.0;
+  double breaker_opened = 0.0, degraded = 0.0;
+  int64_t restarts = 0;
+};
+
+ChaosArmResult RunChaosArm(const std::string& ckpt,
+                           const fault::FaultSchedule& schedule,
+                           bool failover, int id_base) {
+  serve::FleetConfig config = BaseFleetConfig(ckpt, 3);
+  config.slo_p99_ms = kFleetSloP99Ms;
+  if (failover) {
+    config.hedge_after_ms = -1.0;  // auto: 1.5x the rolling p99
+  } else {
+    config.retry_max_attempts = 0;  // the pre-§5h router
+  }
+  ChaosArmResult arm;
+  WithFleet(config, [&](serve::Fleet& fleet, int port) {
+    const std::map<std::string, std::string> before = FetchFleetStats(port);
+    serve::ChaosRunner chaos(&fleet, schedule);
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               schedule.config().duration_s + 0.5));
+    chaos.Start();
+    arm.load = FleetTimedClosedLoop(port, /*clients=*/8, deadline, id_base);
+    chaos.Wait();  // every kill's recovery observed (or timed out)
+    chaos.Stop();
+    arm.drill = chaos.stats();
+    const std::map<std::string, std::string> after = FetchFleetStats(port);
+    arm.retries = StatDelta(before, after, "fleet_retry_attempts");
+    arm.failovers = StatDelta(before, after, "fleet_retry_failovers");
+    arm.hedges = StatDelta(before, after, "fleet_hedge_attempts");
+    arm.hedge_wins = StatDelta(before, after, "fleet_hedge_wins");
+    arm.breaker_opened = StatDelta(before, after, "fleet_breaker_opened");
+    arm.degraded = StatDelta(before, after, "fleet_degraded");
+    arm.restarts = fleet.restarts();
+  });
+  return arm;
+}
+
+void AppendChaosArmJson(const char* name, const ChaosArmResult& arm,
+                        std::string* out) {
+  double min_ms = 0.0, max_ms = 0.0, sum_ms = 0.0;
+  for (double ms : arm.drill.recovery_ms) {
+    if (min_ms == 0.0 || ms < min_ms) min_ms = ms;
+    if (ms > max_ms) max_ms = ms;
+    sum_ms += ms;
+  }
+  const double mean_ms =
+      arm.drill.recovery_ms.empty()
+          ? 0.0
+          : sum_ms / static_cast<double>(arm.drill.recovery_ms.size());
+  char buffer[768];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "    {\"arm\":\"%s\",\"requests\":%d,\"ok\":%d,\"errors\":%d,"
+      "\"elapsed_s\":%.3f,\"ok_throughput\":%.1f,\"p50_ms\":%.3f,"
+      "\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"kills\":%d,\"pauses\":%d,"
+      "\"unrecovered\":%d,\"recovery_ms_min\":%.1f,\"recovery_ms_mean\":%.1f,"
+      "\"recovery_ms_max\":%.1f,\"restarts\":%lld,\"retry_attempts\":%.0f,"
+      "\"retry_failovers\":%.0f,\"hedge_attempts\":%.0f,\"hedge_wins\":%.0f,"
+      "\"breaker_opened\":%.0f,\"degraded\":%.0f}",
+      name, arm.load.requests, arm.load.ok, arm.load.errors,
+      arm.load.elapsed_s, arm.load.throughput, arm.load.p50_ms,
+      arm.load.p95_ms, arm.load.p99_ms, arm.drill.kills, arm.drill.pauses,
+      arm.drill.unrecovered, min_ms, mean_ms, max_ms,
+      static_cast<long long>(arm.restarts), arm.retries, arm.failovers,
+      arm.hedges, arm.hedge_wins, arm.breaker_opened, arm.degraded);
+  *out += buffer;
+}
+
+int RunChaosBench(uint64_t seed) {
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() /
+       ("tm_bench_chaos_" + std::to_string(::getpid()) + ".ckpt"))
+          .string();
+  {
+    llm::SimLlm model = MakeServeModel();
+    Status status = model.SaveCheckpoint(ckpt);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  fault::ChaosScheduleConfig drill;
+  drill.seed = seed;
+  drill.duration_s = 4.5;
+  drill.targets = 3;
+  drill.kills = 6;       // headline needs >= 5 under sustained load
+  drill.pauses = 2;      // SIGSTOP stalls for the hedger
+  drill.pause_ms = 150.0;
+  drill.connect_fail_rate = 0.05;  // flaky router->worker network
+  drill.read_fail_rate = 0.01;
+  const fault::FaultSchedule schedule = fault::FaultSchedule::Build(drill);
+  std::printf("chaos schedule: %s\n", schedule.ToJson().c_str());
+  std::fflush(stdout);
+
+  std::printf("%-10s %9s %7s %7s %12s %8s %8s %8s\n", "arm", "requests",
+              "ok", "errors", "ok/s", "p50ms", "p99ms", "recov_ms");
+  std::fflush(stdout);
+  const auto print_arm = [](const char* name, const ChaosArmResult& arm) {
+    double max_ms = 0.0;
+    for (double ms : arm.drill.recovery_ms) max_ms = std::max(max_ms, ms);
+    std::printf("%-10s %9d %7d %7d %12.1f %8.3f %8.3f %8.1f\n", name,
+                arm.load.requests, arm.load.ok, arm.load.errors,
+                arm.load.throughput, arm.load.p50_ms, arm.load.p99_ms,
+                max_ms);
+    // The next arm forks workers; an unflushed stdout buffer would be
+    // inherited and re-flushed by every exiting child.
+    std::fflush(stdout);
+  };
+
+  const ChaosArmResult baseline =
+      RunChaosArm(ckpt, schedule, /*failover=*/false, 10000000);
+  print_arm("baseline", baseline);
+  const ChaosArmResult failover =
+      RunChaosArm(ckpt, schedule, /*failover=*/true, 20000000);
+  print_arm("failover", failover);
+  std::filesystem::remove(ckpt);
+
+  std::printf("\nheadline: %d SIGKILLs under load -> baseline %d failed "
+              "responses, failover %d (retries %.0f, failovers %.0f, hedges "
+              "%.0f)\n",
+              failover.drill.kills, baseline.load.errors,
+              failover.load.errors, failover.retries, failover.failovers,
+              failover.hedges);
+
+  std::string json = "{\n  \"bench\": \"serve_chaos\",\n  \"schedule\": " +
+                     schedule.ToJson() + ",\n  \"arms\": [\n";
+  AppendChaosArmJson("baseline", baseline, &json);
+  json += ",\n";
+  AppendChaosArmJson("failover", failover, &json);
+  char headline[384];
+  const bool zero_loss = failover.load.errors == 0 &&
+                         failover.drill.kills >= 5 &&
+                         failover.drill.unrecovered == 0 &&
+                         failover.load.ok > 0;
+  std::snprintf(
+      headline, sizeof(headline),
+      "\n  ],\n  \"headline\": {\"kills\":%d,\"baseline_errors\":%d,"
+      "\"failover_errors\":%d,\"zero_loss\":%s,\"retry_attempts\":%.0f,"
+      "\"hedge_attempts\":%.0f,\"baseline_shows_loss\":%s}\n}\n",
+      failover.drill.kills, baseline.load.errors, failover.load.errors,
+      zero_loss ? "true" : "false", failover.retries, failover.hedges,
+      baseline.load.errors > 0 ? "true" : "false");
+  json += headline;
+
+  FILE* out = std::fopen("BENCH_chaos.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_chaos.json\n");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_chaos.json\n");
+  return zero_loss ? 0 : 1;
+}
+
 // --connect PORT: drive a running JSONL server over TCP, verify responses.
 int RunSmoke(int port, bool shutdown_server) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -775,10 +1041,12 @@ int RunSmoke(int port, bool shutdown_server) {
 int main(int argc, char** argv) {
   uint64_t seed = 20260809;
   bool fleet = false;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) seed = std::strtoull(argv[i + 1], nullptr, 10);
     if (arg == "--fleet") fleet = true;
+    if (arg == "--chaos") chaos = true;
   }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -800,6 +1068,7 @@ int main(int argc, char** argv) {
       return RunSmoke(std::atoi(argv[i + 1]), shutdown_server);
     }
   }
+  if (chaos) return RunChaosBench(seed);
   if (fleet) return RunFleetBench(seed);
   return RunSweeps();
 }

@@ -1,0 +1,131 @@
+#include "serve/breaker.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace tailormatch::serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "closed";
+}
+
+CircuitBreaker::CircuitBreaker(std::string name, BreakerConfig config)
+    : name_(std::move(name)), config_(config) {}
+
+void CircuitBreaker::OpenLocked(Clock::time_point now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  half_open_successes_ = 0;
+  ++opened_total_;
+  obs::MetricsRegistry::Global().GetCounter("serve.breaker.opened")
+      .Increment();
+}
+
+bool CircuitBreaker::Allow(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const auto open_for =
+          std::chrono::duration<double, std::milli>(now - opened_at_).count();
+      if (open_for < static_cast<double>(config_.open_ms)) {
+        ++fast_fails_total_;
+        obs::MetricsRegistry::Global()
+            .GetCounter("serve.breaker.fast_fails")
+            .Increment();
+        return false;
+      }
+      state_ = BreakerState::kHalfOpen;
+      half_open_successes_ = 0;
+      last_probe_ = now;
+      ++probes_total_;
+      obs::MetricsRegistry::Global()
+          .GetCounter("serve.breaker.probes")
+          .Increment();
+      return true;  // this dispatch is the probe
+    }
+    case BreakerState::kHalfOpen: {
+      const auto since_probe =
+          std::chrono::duration<double, std::milli>(now - last_probe_)
+              .count();
+      if (since_probe < static_cast<double>(config_.probe_interval_ms)) {
+        ++fast_fails_total_;
+        obs::MetricsRegistry::Global()
+            .GetCounter("serve.breaker.fast_fails")
+            .Increment();
+        return false;
+      }
+      last_probe_ = now;
+      ++probes_total_;
+      obs::MetricsRegistry::Global()
+          .GetCounter("serve.breaker.probes")
+          .Increment();
+      return true;
+    }
+  }
+  return true;
+}
+
+void CircuitBreaker::OnSuccess(Clock::time_point now) {
+  (void)now;
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    if (++half_open_successes_ >= config_.success_threshold) {
+      state_ = BreakerState::kClosed;
+      ++closed_total_;
+      obs::MetricsRegistry::Global()
+          .GetCounter("serve.breaker.closed")
+          .Increment();
+    }
+  }
+}
+
+void CircuitBreaker::OnFailure(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    OpenLocked(now);  // the probe failed: straight back to open
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // already open
+  if (++consecutive_failures_ >= config_.failure_threshold) {
+    OpenLocked(now);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int64_t CircuitBreaker::opened_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return opened_total_;
+}
+
+int64_t CircuitBreaker::closed_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_total_;
+}
+
+int64_t CircuitBreaker::probes_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return probes_total_;
+}
+
+int64_t CircuitBreaker::fast_fails_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fast_fails_total_;
+}
+
+}  // namespace tailormatch::serve

@@ -1,0 +1,85 @@
+#ifndef TAILORMATCH_SERVE_BREAKER_H_
+#define TAILORMATCH_SERVE_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace tailormatch::serve {
+
+// Per-worker circuit breaker for the fleet router (DESIGN.md §5h). A slot
+// whose worker is crashing or restarting should cost the router one failed
+// dispatch, not a connect-retry stall per request: after
+// `failure_threshold` consecutive failures the breaker opens and dispatches
+// fail over to another slot instantly. After `open_ms` the breaker lets a
+// single probe through (half-open); a probe success closes it, a probe
+// failure re-opens it for another `open_ms`. While half-open, probes are
+// paced at least `probe_interval_ms` apart so a restarting worker is not
+// hammered by every client connection at once.
+struct BreakerConfig {
+  // Consecutive failures (connect refused, write failed, connection lost
+  // with requests in flight) that trip the breaker.
+  int failure_threshold = 3;
+  // Successes in half-open needed to close again. 1 = first good response.
+  int success_threshold = 1;
+  // How long the breaker stays open before the first probe is allowed.
+  int open_ms = 200;
+  // Minimum spacing between half-open probes.
+  int probe_interval_ms = 100;
+};
+
+enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+const char* BreakerStateName(BreakerState state);
+
+// Thread-safe; every method takes an explicit `now` so tests drive the
+// state machine deterministically (the same seam style as
+// AutotuneController::Tick). Transitions out of kOpen happen inside
+// Allow(), never on a background thread.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CircuitBreaker(std::string name, BreakerConfig config);
+
+  // May this dispatch proceed? In kOpen, returns false (a fast-fail) until
+  // open_ms has elapsed, then transitions to kHalfOpen and admits the call
+  // as the probe. In kHalfOpen, admits one probe per probe_interval_ms.
+  bool Allow(Clock::time_point now);
+
+  // Outcome reporting for a dispatch that Allow() admitted.
+  void OnSuccess(Clock::time_point now);
+  void OnFailure(Clock::time_point now);
+
+  BreakerState state() const;
+  const std::string& name() const { return name_; }
+  const BreakerConfig& config() const { return config_; }
+
+  // Instance-local tallies (the registry-level serve.breaker.* counters
+  // aggregate across slots; these let tests assert per-breaker behavior).
+  int64_t opened_total() const;
+  int64_t closed_total() const;
+  int64_t probes_total() const;
+  int64_t fast_fails_total() const;
+
+ private:
+  void OpenLocked(Clock::time_point now);
+
+  const std::string name_;
+  const BreakerConfig config_;
+
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  Clock::time_point opened_at_{};
+  Clock::time_point last_probe_{};
+  int64_t opened_total_ = 0;
+  int64_t closed_total_ = 0;
+  int64_t probes_total_ = 0;
+  int64_t fast_fails_total_ = 0;
+};
+
+}  // namespace tailormatch::serve
+
+#endif  // TAILORMATCH_SERVE_BREAKER_H_

@@ -1,0 +1,169 @@
+#include "serve/chaos.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "serve/fleet.h"
+#include "serve/net_util.h"
+#include "util/logging.h"
+
+namespace tailormatch::serve {
+
+namespace {
+// How long a killed slot gets to announce its restarted port before the
+// drill records it as unrecovered. Generous: restart backoff doubles.
+constexpr int kRecoveryTimeoutMs = 15000;
+}  // namespace
+
+ChaosRunner::ChaosRunner(Fleet* fleet, fault::FaultSchedule schedule)
+    : fleet_(fleet), schedule_(std::move(schedule)) {}
+
+ChaosRunner::~ChaosRunner() { Stop(); }
+
+void ChaosRunner::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) return;
+    started_ = true;
+  }
+  const fault::ChaosScheduleConfig& config = schedule_.config();
+  if (config.connect_fail_rate > 0.0) {
+    fault::FaultSpec spec;
+    spec.point = kFleetConnectFaultPoint;
+    spec.mode = fault::FaultMode::kIoError;
+    spec.probability = config.connect_fail_rate;
+    spec.seed = config.seed ^ 0xc0;
+    fault::FaultInjector::Global().Arm(spec);
+  }
+  if (config.read_fail_rate > 0.0) {
+    fault::FaultSpec spec;
+    spec.point = kFleetReadFaultPoint;
+    spec.mode = fault::FaultMode::kIoError;
+    spec.probability = config.read_fail_rate;
+    spec.seed = config.seed ^ 0x4ead;
+    fault::FaultInjector::Global().Arm(spec);
+  }
+  replay_ = std::thread(&ChaosRunner::ReplayLoop, this);
+}
+
+void ChaosRunner::ReplayLoop() {
+  const auto start = std::chrono::steady_clock::now();
+  for (const fault::ChaosEvent& event : schedule_.events()) {
+    const auto due = start + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(event.at_s));
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_until(lock, due, [this] { return stop_; });
+      if (stop_) break;
+    }
+    ApplyEvent(event);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  replay_done_ = true;
+  cv_.notify_all();
+}
+
+void ChaosRunner::ApplyEvent(const fault::ChaosEvent& event) {
+  switch (event.action) {
+    case fault::ChaosAction::kKill: {
+      const int generation = fleet_->WorkerGeneration(event.target);
+      const auto killed_at = std::chrono::steady_clock::now();
+      TM_LOG(Info) << "chaos: SIGKILL slot " << event.target << " (gen "
+                   << generation << ")";
+      fleet_->KillWorker(event.target, SIGKILL);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.kills;
+      // Recovery is measured off-thread so a slow restart never skews the
+      // timing of the next scheduled event.
+      recovery_threads_.emplace_back([this, event, generation, killed_at] {
+        const bool up = fleet_->WaitForWorker(event.target, generation,
+                                              kRecoveryTimeoutMs);
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - killed_at)
+                .count();
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (up) {
+          stats_.recovery_ms.push_back(elapsed_ms);
+        } else {
+          ++stats_.unrecovered;
+        }
+        cv_.notify_all();
+      });
+      break;
+    }
+    case fault::ChaosAction::kPause: {
+      TM_LOG(Info) << "chaos: SIGSTOP slot " << event.target;
+      fleet_->KillWorker(event.target, SIGSTOP);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.pauses;
+      paused_slots_.push_back(event.target);
+      break;
+    }
+    case fault::ChaosAction::kResume: {
+      TM_LOG(Info) << "chaos: SIGCONT slot " << event.target;
+      fleet_->KillWorker(event.target, SIGCONT);
+      std::lock_guard<std::mutex> lock(mutex_);
+      paused_slots_.erase(
+          std::remove(paused_slots_.begin(), paused_slots_.end(),
+                      event.target),
+          paused_slots_.end());
+      break;
+    }
+  }
+}
+
+void ChaosRunner::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!started_) return;
+    cv_.wait(lock, [this] { return replay_done_ || stop_; });
+  }
+  // Recovery threads only ever append under mutex_; the vector itself is
+  // stable once replay is done (no further kills can spawn threads).
+  std::vector<std::thread> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.swap(recovery_threads_);
+  }
+  for (std::thread& t : pending) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ChaosRunner::Stop() {
+  std::vector<int> to_resume;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stop_) {
+      if (!started_) return;
+    }
+    stop_ = true;
+    to_resume = paused_slots_;
+    paused_slots_.clear();
+    cv_.notify_all();
+  }
+  if (replay_.joinable()) replay_.join();
+  std::vector<std::thread> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.swap(recovery_threads_);
+  }
+  for (std::thread& t : pending) {
+    if (t.joinable()) t.join();
+  }
+  for (int slot : to_resume) {
+    fleet_->KillWorker(slot, SIGCONT);
+  }
+  fault::FaultInjector::Global().Disarm(kFleetConnectFaultPoint);
+  fault::FaultInjector::Global().Disarm(kFleetReadFaultPoint);
+}
+
+ChaosDrillStats ChaosRunner::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tailormatch::serve

@@ -1,0 +1,74 @@
+#ifndef TAILORMATCH_SERVE_CHAOS_H_
+#define TAILORMATCH_SERVE_CHAOS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/fault.h"
+
+namespace tailormatch::serve {
+
+class Fleet;
+
+// What a drill did to the fleet, and how the fleet took it.
+struct ChaosDrillStats {
+  int kills = 0;
+  int pauses = 0;
+  // Slots that did not come back within the recovery timeout after a kill.
+  int unrecovered = 0;
+  // Per-kill time from SIGKILL to the restarted worker announcing its port.
+  std::vector<double> recovery_ms;
+};
+
+// Replays a seeded FaultSchedule against a live Fleet (DESIGN.md §5h):
+// SIGKILLs and SIGSTOP/SIGCONT pauses are delivered through the zygote at
+// the scheduled offsets on a background thread, and the schedule's
+// connect/read failure rates are armed at the net.fleet.* fault points for
+// the drill's duration. Each kill's recovery (generation bump + new port
+// announced) is measured on a side thread so a slow restart never delays
+// the next scheduled event. `tailormatch fleet --chaos` and the chaos bench
+// both drive their drills through this runner so the same seed produces the
+// same drill everywhere.
+class ChaosRunner {
+ public:
+  ChaosRunner(Fleet* fleet, fault::FaultSchedule schedule);
+  ~ChaosRunner();  // implies Stop()
+
+  ChaosRunner(const ChaosRunner&) = delete;
+  ChaosRunner& operator=(const ChaosRunner&) = delete;
+
+  void Start();
+  // Blocks until every scheduled event has been delivered and every kill's
+  // recovery has been observed (or timed out).
+  void Wait();
+  // Interrupts the replay, disarms the drill's fault points, joins threads.
+  // Idempotent; resumes any worker the drill left paused.
+  void Stop();
+
+  ChaosDrillStats stats() const;
+  const fault::FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  void ReplayLoop();
+  void ApplyEvent(const fault::ChaosEvent& event);
+
+  Fleet* fleet_;
+  fault::FaultSchedule schedule_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool replay_done_ = false;
+  bool started_ = false;
+  ChaosDrillStats stats_;
+  std::vector<int> paused_slots_;
+
+  std::thread replay_;
+  std::vector<std::thread> recovery_threads_;
+};
+
+}  // namespace tailormatch::serve
+
+#endif  // TAILORMATCH_SERVE_CHAOS_H_

@@ -25,6 +25,7 @@
 #include "obs/trace.h"
 #include "obs/window.h"
 #include "serve/autotune.h"
+#include "serve/breaker.h"
 #include "serve/jsonl_server.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
@@ -32,6 +33,7 @@
 #include "serve/result_cache.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 
 namespace tailormatch::serve {
@@ -67,21 +69,28 @@ std::string RouterError(const std::string& id, const std::string& detail) {
          ",\"outcome\":\"error\",\"error\":" + json::Quote(detail) + "}";
 }
 
-// One router->worker connection. Owned via shared_ptr so in-flight requests
-// keep a replaced (crashed-worker) connection alive until their responses
-// are accounted for.
-struct BackendConn {
-  int fd = -1;
-  int generation = 0;
-  bool dead = false;
-  std::unique_ptr<FdStreamBuf> buf;
-  std::unique_ptr<std::istream> in;
-  std::unique_ptr<std::ostream> out;
+// Structured "the fleet could not serve this in time" response (distinct
+// from "error" so clients and the error budget can tell a typed capacity
+// failure from a malformed request).
+std::string RouterUnavailable(const std::string& id,
+                              const std::string& detail) {
+  return "{\"id\":" + json::Quote(id) +
+         ",\"outcome\":\"unavailable\",\"error\":" + json::Quote(detail) +
+         "}";
+}
 
-  ~BackendConn() {
-    if (fd >= 0) ::close(fd);
+bool WriteAllFd(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
   }
-};
+  return true;
+}
 
 // ---------------------------------------------------------------------------
 // Worker process body. Runs in a child forked from the (single-threaded)
@@ -270,6 +279,54 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
   slo.p99_ms = config_.slo_p99_ms;
   slo.max_error_rate = config_.slo_max_error_rate;
   fleet_slo_ = std::make_unique<obs::SloTracker>("serve.fleet.slo", slo);
+  BreakerConfig breaker_config;
+  breaker_config.failure_threshold = config_.breaker_failure_threshold;
+  breaker_config.open_ms = config_.breaker_open_ms;
+  breaker_config.probe_interval_ms = config_.breaker_probe_interval_ms;
+  for (int slot = 0; slot < config_.num_workers; ++slot) {
+    breakers_.push_back(std::make_unique<CircuitBreaker>(
+        StrFormat("fleet.w%d", slot), breaker_config));
+  }
+}
+
+CircuitBreaker* Fleet::breaker(int slot) const {
+  if (slot < 0 || slot >= static_cast<int>(breakers_.size())) return nullptr;
+  return breakers_[static_cast<size_t>(slot)].get();
+}
+
+void Fleet::CacheRouterResponse(uint64_t pair_hash, const std::string& body) {
+  if (config_.router_cache_entries <= 0) return;
+  std::lock_guard<std::mutex> lock(router_cache_mutex_);
+  auto [it, inserted] = router_cache_.emplace(pair_hash, body);
+  if (!inserted) {
+    it->second = body;
+    return;
+  }
+  router_cache_order_.push_back(pair_hash);
+  while (router_cache_.size() >
+         static_cast<size_t>(config_.router_cache_entries)) {
+    router_cache_.erase(router_cache_order_.front());
+    router_cache_order_.erase(router_cache_order_.begin());
+  }
+}
+
+bool Fleet::LookupRouterResponse(uint64_t pair_hash,
+                                 std::string* body) const {
+  std::lock_guard<std::mutex> lock(router_cache_mutex_);
+  auto it = router_cache_.find(pair_hash);
+  if (it == router_cache_.end()) return false;
+  *body = it->second;
+  return true;
+}
+
+double Fleet::HedgeThresholdMs() const {
+  if (config_.hedge_after_ms > 0.0) return config_.hedge_after_ms;
+  if (config_.hedge_after_ms == 0.0) return 0.0;
+  // Auto mode (-1): 1.5x the fleet window's rolling p99 once it has seen
+  // enough traffic to make the percentile meaningful.
+  const obs::WindowStats stats = fleet_slo_->latency().StatsOver(10);
+  if (stats.count < 50) return 0.0;
+  return std::max(1.0, stats.p99 * 1.5);
 }
 
 Fleet::~Fleet() { Stop(); }
@@ -302,6 +359,10 @@ Status Fleet::Start() {
     state_dir_ = config_.state_dir;
     ::mkdir(state_dir_.c_str(), 0755);  // best effort; may already exist
   }
+  // A crashed previous run (or a stale explicit state_dir) may have left
+  // worker*.port files behind; WaitPortFile would read one and route to a
+  // port nobody owns. Sweep them before spawning anything.
+  ReapPortFiles();
 
   int cmd_pipe[2] = {-1, -1};
   int event_pipe[2] = {-1, -1};
@@ -406,16 +467,23 @@ void Fleet::HandleExitEvent(int slot, int generation, int status) {
     if (state.generation != generation) return;  // stale event
     state.pid = 0;
     state.port = 0;
-    if (stopping_.load()) return;  // expected exit during Stop()
-    if (state.restarts >= config_.max_restarts_per_worker) {
+    if (!stopping_.load() &&
+        state.restarts < config_.max_restarts_per_worker) {
+      ++state.restarts;
+      state.generation = generation + 1;
+      next_generation = state.generation;
+    }
+  }
+  // The dead generation's port file is now a lie; reap it so nothing can
+  // read it again (and so a crashed run can't poison the next boot).
+  RemovePortFile(slot, generation);
+  if (next_generation == 0) {
+    if (!stopping_.load()) {
       TM_LOG(Error) << "fleet: worker " << slot << " exceeded "
                     << config_.max_restarts_per_worker
                     << " restarts; leaving slot down";
-      return;
     }
-    ++state.restarts;
-    state.generation = generation + 1;
-    next_generation = state.generation;
+    return;  // expected exit during Stop(), or restart budget exhausted
   }
   restarts_.fetch_add(1);
   obs::MetricsRegistry::Global()
@@ -458,6 +526,26 @@ Status Fleet::SendCommand(const std::string& line) {
 
 std::string Fleet::PortFilePath(int slot, int generation) const {
   return PortFilePathFor(state_dir_, slot, generation);
+}
+
+void Fleet::RemovePortFile(int slot, int generation) {
+  const std::string path = PortFilePath(slot, generation);
+  ::unlink(path.c_str());
+  ::unlink((path + ".tmp").c_str());
+}
+
+void Fleet::ReapPortFiles() {
+  if (state_dir_.empty()) return;
+  DIR* dir = ::opendir(state_dir_.c_str());
+  if (dir == nullptr) return;
+  struct dirent* entry;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    const std::string name = entry->d_name;
+    if (name.rfind("worker", 0) != 0) continue;
+    if (name.find(".port") == std::string::npos) continue;
+    ::unlink((state_dir_ + "/" + name).c_str());
+  }
+  ::closedir(dir);
 }
 
 bool Fleet::WaitPortFile(int slot, int generation, int timeout_ms,
@@ -602,6 +690,27 @@ std::string Fleet::AggregateStatsJson() {
   if (worker_p99_max > 0.0) {
     out += ",\"worker_p99_ms_max\":" + json::Number(worker_p99_max);
   }
+  // Failover counters (process-global; tests asserting per-fleet behavior
+  // use the per-breaker instance tallies instead).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static const char* const kFailoverCounters[][2] = {
+      {"fleet_retry_attempts", "serve.retry.attempts"},
+      {"fleet_retry_failovers", "serve.retry.failovers"},
+      {"fleet_retry_unavailable", "serve.retry.unavailable"},
+      {"fleet_hedge_attempts", "serve.hedge.attempts"},
+      {"fleet_hedge_wins", "serve.hedge.wins"},
+      {"fleet_hedge_wasted", "serve.hedge.wasted"},
+      {"fleet_degraded", "serve.degraded.responses"},
+      {"fleet_breaker_opened", "serve.breaker.opened"},
+      {"fleet_breaker_fast_fails", "serve.breaker.fast_fails"},
+      {"fleet_breaker_probes", "serve.breaker.probes"}};
+  for (const auto& [label, metric] : kFailoverCounters) {
+    out += "," + json::Quote(label) + ":" +
+           json::Number(
+               static_cast<double>(registry.GetCounter(metric).value()));
+  }
+  out += ",\"fleet_inflight\":" +
+         json::Number(registry.GetGauge("serve.fleet.inflight").value());
   // Router-side view: latency as the client experiences it, with the 10s
   // rolling window (what the SLO is judged on), not since-boot percentiles.
   obs::WindowedHistogram& window = fleet_slo_->latency();
@@ -628,107 +737,448 @@ std::string Fleet::WorkerTableJson() {
         ",\"w%d_pid\":%d,\"w%d_port\":%d,\"w%d_gen\":%d,\"w%d_restarts\":%d",
         slot, state.pid, slot, state.port, slot, state.generation, slot,
         state.restarts);
+    out += StrFormat(",\"w%d_breaker\":", slot) +
+           json::Quote(BreakerStateName(
+               breakers_[static_cast<size_t>(slot)]->state()));
   }
   out += "}";
   return out;
 }
 
 void Fleet::RouteStream(std::istream& in, std::ostream& out) {
-  struct InFlight {
+  // One client stream's failover router (DESIGN.md §5h). Every match
+  // request is journaled in `pending` (client order) until its response is
+  // relayed; each dispatch adds a leg to a worker connection's FIFO. When a
+  // connection dies, its journaled legs are transparently re-dispatched to
+  // a surviving worker with exponential backoff + jitter — answers are
+  // bitwise-identical across replicas, so a retry can never change the
+  // result the client sees. Per-slot circuit breakers turn a restarting
+  // worker into an instant failover instead of a connect stall; tail
+  // requests can hedge to a second worker (first answer wins); and when the
+  // whole fleet is down, previously seen pairs are answered from the router
+  // cache with an explicit "degraded":true flag.
+  struct Req {
     std::string id;
-    int slot = 0;
-    std::shared_ptr<BackendConn> conn;
+    std::string line;  // journaled request, re-sent verbatim on retry
+    uint64_t pair_hash = 0;
+    int primary_slot = 0;
+    int last_slot = -1;
+    int hedge_slot = -1;
     Clock::time_point start;
+    // Fires when no leg is live: the request's own deadline, not
+    // route_retry_ms, bounds how long a restarting slot can stall it.
+    Clock::time_point deadline = Clock::time_point::max();
+    // Wedge guard while a leg is outstanding on a silent (e.g. SIGSTOPped)
+    // worker that will never answer.
+    Clock::time_point wedge_deadline = Clock::time_point::max();
+    Clock::time_point budget;  // start + route_retry_ms
+    Clock::time_point next_retry = Clock::time_point::max();
+    bool retry_pending = false;
+    int attempts = 0;     // dispatches that reached a worker socket
+    int outstanding = 0;  // live legs (entries in conn FIFOs)
+    bool hedged = false;
+    bool lost_leg = false;
+    bool done = false;
+    bool error = false;
+    std::string response;
   };
-  std::vector<std::shared_ptr<BackendConn>> conns(
-      static_cast<size_t>(config_.num_workers));
-  std::deque<InFlight> pending;
+  // One router->worker connection. Responses arrive in FIFO dispatch order
+  // (the worker's pipelining contract); a torn trailing fragment in `inbuf`
+  // is never relayed.
+  struct Conn {
+    int fd = -1;
+    int slot = 0;
+    int generation = 0;
+    bool dead = false;
+    std::string inbuf;
+    std::deque<std::shared_ptr<Req>> fifo;
+    ~Conn() {
+      if (fd >= 0) ::close(fd);
+    }
+  };
+
+  const int workers = config_.num_workers;
+  std::vector<std::shared_ptr<Conn>> slot_conns(
+      static_cast<size_t>(workers));
+  std::vector<std::shared_ptr<Conn>> conns;  // every conn that may owe reads
+  std::deque<std::shared_ptr<Req>> pending;  // client order
+  Rng jitter(config_.retry_jitter_seed);
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::Counter& requests = registry.GetCounter("serve.fleet.requests");
   obs::Counter& errors = registry.GetCounter("serve.fleet.errors");
   obs::Counter& lost = registry.GetCounter("serve.fleet.lost_inflight");
+  obs::Counter& retries = registry.GetCounter("serve.retry.attempts");
+  obs::Counter& failovers = registry.GetCounter("serve.retry.failovers");
+  obs::Counter& unavailable = registry.GetCounter("serve.retry.unavailable");
+  obs::Counter& hedges = registry.GetCounter("serve.hedge.attempts");
+  obs::Counter& hedge_wins = registry.GetCounter("serve.hedge.wins");
+  obs::Counter& hedge_wasted = registry.GetCounter("serve.hedge.wasted");
+  obs::Counter& degraded = registry.GetCounter("serve.degraded.responses");
+  obs::Gauge& inflight = registry.GetGauge("serve.fleet.inflight");
   obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
   static const uint32_t kRouteLabel = tracer.InternLabel("fleet.route");
+  static const uint32_t kRetryLabel = tracer.InternLabel("fleet.retry");
+  static const uint32_t kHedgeLabel = tracer.InternLabel("fleet.hedge");
 
-  // A healthy connection to `slot`'s current worker generation, reconnecting
-  // (with retries across a crash->restart window) as needed. The previous
-  // connection object survives through pending entries' shared_ptrs.
-  const auto connect_slot =
-      [&](int slot) -> std::shared_ptr<BackendConn> {
-    std::shared_ptr<BackendConn>& conn = conns[static_cast<size_t>(slot)];
+  const auto alive_ports = [&] {
+    int alive = 0;
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const SlotState& state : slots_) {
+      if (state.port > 0) ++alive;
+    }
+    return alive;
+  };
+
+  const auto backoff_after = [&](int attempts_done) {
+    const int shift = std::max(0, std::min(attempts_done - 1, 10));
+    double ms = std::min<double>(
+        static_cast<double>(config_.retry_backoff_ms) *
+            static_cast<double>(1 << shift),
+        static_cast<double>(config_.retry_backoff_max_ms));
+    // Jitter de-synchronizes the retry stampede of many streams hitting the
+    // same restarting slot.
+    ms += jitter.NextDouble() * static_cast<double>(config_.retry_backoff_ms);
+    return std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0));
+  };
+
+  const auto resolve = [&](const std::shared_ptr<Req>& req,
+                           std::string response, bool is_error) {
+    req->done = true;
+    req->error = is_error;
+    req->response = std::move(response);
+    req->retry_pending = false;
+  };
+
+  // Terminal failure: answer from the degraded cache when the whole fleet
+  // is down and this pair has been answered before; typed "unavailable"
+  // otherwise.
+  const auto resolve_unavailable = [&](const std::shared_ptr<Req>& req,
+                                       const std::string& why) {
+    std::string suffix;
+    if (alive_ports() == 0 && LookupRouterResponse(req->pair_hash, &suffix)) {
+      degraded.Increment();
+      resolve(req,
+              "{\"id\":" + json::Quote(req->id) +
+                  ",\"outcome\":\"ok\",\"degraded\":true" + suffix + "}",
+              /*is_error=*/false);
+      return;
+    }
+    unavailable.Increment();
+    errors.Increment();
+    if (req->lost_leg) lost.Increment();
+    resolve(req, RouterUnavailable(req->id, why), /*is_error=*/true);
+  };
+
+  // A worker connection failed: every journaled leg on it is rescheduled
+  // for retry (unless its hedge twin is still live, retries are disabled,
+  // or the attempt cap is spent).
+  const auto fail_conn = [&](const std::shared_ptr<Conn>& conn,
+                             Clock::time_point now) {
+    conn->dead = true;
+    breakers_[static_cast<size_t>(conn->slot)]->OnFailure(now);
+    for (const std::shared_ptr<Req>& req : conn->fifo) {
+      if (req->outstanding > 0) --req->outstanding;
+      if (req->done) continue;
+      req->lost_leg = true;
+      if (req->outstanding > 0) continue;  // hedge twin still in flight
+      if (config_.retry_max_attempts == 0) {
+        // Failover disabled (the pre-§5h baseline): the in-flight window
+        // is lost.
+        errors.Increment();
+        lost.Increment();
+        resolve(req,
+                RouterError(req->id,
+                            StrFormat("fleet worker %d connection lost "
+                                      "with request in flight",
+                                      conn->slot)),
+                /*is_error=*/true);
+      } else if (config_.retry_max_attempts > 0 &&
+                 req->attempts > config_.retry_max_attempts) {
+        resolve_unavailable(req, "retry attempts exhausted");
+      } else {
+        req->retry_pending = true;
+        req->next_retry = now + backoff_after(req->attempts);
+      }
+    }
+    conn->fifo.clear();
+  };
+
+  // A healthy connection to `slot`'s current generation; nullptr when the
+  // slot has no announced port or the (single, non-blocking-fast) connect
+  // fails. No retry loop here — the breaker plus the request retry timers
+  // own the waiting.
+  const auto ensure_conn = [&](int slot) -> std::shared_ptr<Conn> {
+    int port = 0, generation = 0;
     {
       std::lock_guard<std::mutex> lock(slots_mutex_);
       const SlotState& state = slots_[static_cast<size_t>(slot)];
-      if (conn != nullptr && !conn->dead &&
-          conn->generation == state.generation) {
-        return conn;
-      }
+      port = state.port;
+      generation = state.generation;
     }
-    const Clock::time_point deadline =
-        Clock::now() + std::chrono::milliseconds(config_.route_retry_ms);
-    while (!front_stop_.load() && !stopping_.load()) {
-      int port = 0, generation = 0;
-      {
-        std::lock_guard<std::mutex> lock(slots_mutex_);
-        const SlotState& state = slots_[static_cast<size_t>(slot)];
-        port = state.port;
-        generation = state.generation;
-      }
-      if (port > 0) {
-        const int fd = TcpConnectLoopback(port);
-        if (fd >= 0) {
-          auto fresh = std::make_shared<BackendConn>();
-          fresh->fd = fd;
-          fresh->generation = generation;
-          fresh->buf = std::make_unique<FdStreamBuf>(fd);
-          fresh->in = std::make_unique<std::istream>(fresh->buf.get());
-          fresh->out = std::make_unique<std::ostream>(fresh->buf.get());
-          conn = std::move(fresh);
-          return conn;
-        }
-      }
-      if (Clock::now() >= deadline) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::shared_ptr<Conn>& current = slot_conns[static_cast<size_t>(slot)];
+    if (current != nullptr && !current->dead &&
+        current->generation == generation) {
+      return current;
     }
-    return nullptr;
+    if (port <= 0) return nullptr;
+    const int fd = TcpConnectLoopback(port, kFleetConnectFaultPoint);
+    if (fd < 0) return nullptr;
+    auto fresh = std::make_shared<Conn>();
+    fresh->fd = fd;
+    fresh->slot = slot;
+    fresh->generation = generation;
+    current = fresh;
+    conns.push_back(fresh);
+    return fresh;
   };
 
-  const auto drain_one = [&] {
-    InFlight front = std::move(pending.front());
-    pending.pop_front();
-    std::string response;
-    bool ok = false;
-    if (front.conn != nullptr && !front.conn->dead) {
-      // A complete response is newline-terminated; getline hitting EOF
-      // mid-line means the worker died mid-write — that torn fragment is
-      // never relayed.
-      if (std::getline(*front.conn->in, response) &&
-          !front.conn->in->eof()) {
-        ok = true;
-      } else {
-        front.conn->dead = true;
+  // Sends `req` to the first admissible worker, preferring its cache-local
+  // primary slot. A hedge leg must land on a different slot than the one
+  // already carrying the request.
+  const auto try_dispatch = [&](const std::shared_ptr<Req>& req,
+                                Clock::time_point now, bool hedge) {
+    for (int k = 0; k < workers; ++k) {
+      const int slot = (req->primary_slot + k) % workers;
+      if (hedge && slot == req->last_slot) continue;
+      if (!breakers_[static_cast<size_t>(slot)]->Allow(now)) continue;
+      std::shared_ptr<Conn> conn = ensure_conn(slot);
+      if (conn == nullptr) {
+        breakers_[static_cast<size_t>(slot)]->OnFailure(now);
+        continue;
+      }
+      const std::string payload = req->line + "\n";
+      if (!WriteAllFd(conn->fd, payload.data(), payload.size())) {
+        fail_conn(conn, now);  // also records the breaker failure
+        continue;
+      }
+      conn->fifo.push_back(req);
+      ++req->outstanding;
+      ++req->attempts;
+      req->retry_pending = false;
+      req->last_slot = slot;
+      if (hedge) {
+        req->hedge_slot = slot;
+        hedges.Increment();
+        if (tracer.enabled()) {
+          tracer.Record(tracer.NewTraceId(), obs::TraceEventKind::kMark,
+                        static_cast<uint64_t>(slot), /*dur_ns=*/0,
+                        kHedgeLabel);
+        }
+      } else if (req->attempts > 1) {
+        retries.Increment();
+        if (slot != req->primary_slot) failovers.Increment();
+        if (tracer.enabled()) {
+          tracer.Record(tracer.NewTraceId(), obs::TraceEventKind::kMark,
+                        static_cast<uint64_t>(slot), /*dur_ns=*/0,
+                        kRetryLabel);
+        }
+      } else if (slot != req->primary_slot) {
+        failovers.Increment();
+      }
+      return true;
+    }
+    return false;
+  };
+
+  const auto complete_line = [&](const std::shared_ptr<Conn>& conn,
+                                 std::string&& response,
+                                 Clock::time_point now) {
+    if (conn->fifo.empty()) {
+      fail_conn(conn, now);  // protocol violation: unsolicited response
+      return;
+    }
+    std::shared_ptr<Req> req = conn->fifo.front();
+    conn->fifo.pop_front();
+    if (req->outstanding > 0) --req->outstanding;
+    breakers_[static_cast<size_t>(conn->slot)]->OnSuccess(now);
+    if (req->done) {
+      // The hedge twin won, or an error was synthesized at the deadline;
+      // this answer is discarded (identical bits either way).
+      if (req->hedged) hedge_wasted.Increment();
+      return;
+    }
+    if (req->hedged && conn->slot == req->hedge_slot) hedge_wins.Increment();
+    if (config_.router_cache_entries > 0 &&
+        response.find("\"outcome\":\"ok\"") != std::string::npos) {
+      std::map<std::string, std::string> fields;
+      if (json::ParseFlatObject(response, &fields).ok()) {
+        CacheRouterResponse(
+            req->pair_hash,
+            ",\"match\":" + Field(fields, "match", "false") +
+                ",\"probability\":" + Field(fields, "probability", "0") +
+                ",\"response\":" + json::Quote(Field(fields, "response")) +
+                ",\"model\":" + json::Quote(Field(fields, "model")) +
+                ",\"version\":" + Field(fields, "version", "0"));
       }
     }
-    const double latency_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - front.start)
-            .count();
-    if (ok) {
-      out << response << "\n";
-      fleet_slo_->RecordRequest(latency_ms, false);
-    } else {
-      lost.Increment();
-      errors.Increment();
-      out << RouterError(front.id, StrFormat("fleet worker %d connection "
-                                             "lost with request in flight",
-                                             front.slot))
-          << "\n";
-      fleet_slo_->RecordRequest(latency_ms, true);
+    resolve(req, std::move(response), /*is_error=*/false);
+  };
+
+  // Relays every response that is ready at the head of the client-order
+  // queue. Writing to a half-closed client is harmless (the stream goes
+  // bad and later writes no-op); the journal still drains.
+  const auto emit_ready = [&] {
+    bool wrote = false;
+    while (!pending.empty() && pending.front()->done) {
+      std::shared_ptr<Req> req = pending.front();
+      pending.pop_front();
+      const double latency_ms = std::chrono::duration<double, std::milli>(
+                                    Clock::now() - req->start)
+                                    .count();
+      out << req->response << "\n";
+      fleet_slo_->RecordRequest(latency_ms, req->error);
+      fleet_slo_->MaybeEvaluate();
+      inflight.Add(-1.0);
+      wrote = true;
     }
-    fleet_slo_->MaybeEvaluate();
+    if (wrote) out.flush();
+  };
+
+  const auto handle_timers = [&](Clock::time_point now) {
+    const bool shutting_down = front_stop_.load() || stopping_.load();
+    const double hedge_ms =
+        config_.hedge_after_ms == 0.0 ? 0.0 : HedgeThresholdMs();
+    for (const std::shared_ptr<Req>& req : pending) {
+      if (req->done) continue;
+      if (shutting_down && req->outstanding == 0) {
+        resolve_unavailable(req, "fleet is shutting down");
+        continue;
+      }
+      if (req->outstanding == 0 && now >= req->deadline) {
+        resolve_unavailable(
+            req, StrFormat("deadline of %d ms exceeded while slot %d was "
+                           "unavailable",
+                           config_.request_timeout_ms, req->primary_slot));
+        continue;
+      }
+      if (req->outstanding > 0 && now >= req->wedge_deadline) {
+        resolve_unavailable(req, "worker unresponsive past deadline");
+        continue;
+      }
+      if (req->retry_pending && now >= req->next_retry &&
+          !try_dispatch(req, now, /*hedge=*/false) && !req->done) {
+        if (now >= req->budget ||
+            (config_.retry_max_attempts > 0 &&
+             req->attempts > config_.retry_max_attempts)) {
+          resolve_unavailable(
+              req, StrFormat("no fleet worker available within %d ms",
+                             config_.route_retry_ms));
+        } else if (alive_ports() == 0 && req->attempts >= 1 &&
+                   [&] {
+                     std::string cached;
+                     return LookupRouterResponse(req->pair_hash, &cached);
+                   }()) {
+          // Whole fleet down and the pair is cached: degrade now instead
+          // of burning the rest of the budget.
+          resolve_unavailable(req, "all workers down");
+        } else {
+          req->next_retry = now + backoff_after(req->attempts + 1);
+        }
+      }
+      if (!req->done && !req->hedged && req->outstanding > 0 &&
+          hedge_ms > 0.0 &&
+          now >= req->start + std::chrono::microseconds(static_cast<int64_t>(
+                                  hedge_ms * 1000.0))) {
+        req->hedged = true;  // one hedge per request, even if dispatch fails
+        try_dispatch(req, now, /*hedge=*/true);
+      }
+    }
+  };
+
+  // Earliest instant at which handle_timers would have something to do.
+  const auto next_timer = [&] {
+    Clock::time_point next = Clock::time_point::max();
+    const double hedge_ms =
+        config_.hedge_after_ms == 0.0 ? 0.0 : HedgeThresholdMs();
+    for (const std::shared_ptr<Req>& req : pending) {
+      if (req->done) continue;
+      if (req->retry_pending) next = std::min(next, req->next_retry);
+      if (req->outstanding == 0) {
+        next = std::min(next, req->deadline);
+        next = std::min(next, req->budget);
+      } else {
+        next = std::min(next, req->wedge_deadline);
+        if (!req->hedged && hedge_ms > 0.0) {
+          next = std::min(
+              next,
+              req->start + std::chrono::microseconds(
+                               static_cast<int64_t>(hedge_ms * 1000.0)));
+        }
+      }
+    }
+    return next;
+  };
+
+  // One scheduler turn: fire due timers, poll every connection that owes
+  // responses, complete arrived lines, relay what is ready.
+  const auto pump = [&] {
+    Clock::time_point now = Clock::now();
+    handle_timers(now);
+    emit_ready();
+    if (pending.empty()) return;
+
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const std::shared_ptr<Conn>& conn) {
+                                 return conn->dead && conn->fifo.empty();
+                               }),
+                conns.end());
+    std::vector<struct pollfd> fds;
+    std::vector<std::shared_ptr<Conn>> polled;
+    for (const std::shared_ptr<Conn>& conn : conns) {
+      if (conn->dead || conn->fifo.empty()) continue;
+      struct pollfd pfd;
+      pfd.fd = conn->fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      fds.push_back(pfd);
+      polled.push_back(conn);
+    }
+
+    int timeout_ms = 50;  // cap: re-check shutdown flags regularly
+    const Clock::time_point next = next_timer();
+    if (next != Clock::time_point::max()) {
+      const int64_t until_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(next - now)
+              .count();
+      timeout_ms = static_cast<int>(
+          std::max<int64_t>(0, std::min<int64_t>(until_ms + 1, 50)));
+    }
+    const int ready = ::poll(fds.empty() ? nullptr : fds.data(),
+                             static_cast<nfds_t>(fds.size()), timeout_ms);
+    now = Clock::now();
+    if (ready > 0) {
+      for (size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        const std::shared_ptr<Conn>& conn = polled[i];
+        if (conn->dead) continue;
+        char buf[4096];
+        const ssize_t n =
+            ReadWithFault(conn->fd, buf, sizeof(buf), kFleetReadFaultPoint);
+        if (n <= 0) {
+          fail_conn(conn, now);
+          continue;
+        }
+        conn->inbuf.append(buf, static_cast<size_t>(n));
+        size_t newline;
+        while (!conn->dead &&
+               (newline = conn->inbuf.find('\n')) != std::string::npos) {
+          std::string response = conn->inbuf.substr(0, newline);
+          conn->inbuf.erase(0, newline + 1);
+          complete_line(conn, std::move(response), now);
+        }
+        if (conn->inbuf.size() > kMaxLineBytes) fail_conn(conn, now);
+      }
+    }
+    handle_timers(now);
+    emit_ready();
+  };
+
+  const auto drain_to = [&](size_t target) {
+    while (pending.size() > target) pump();
   };
   const auto drain_all = [&] {
-    while (!pending.empty()) drain_one();
+    drain_to(0);
     out.flush();
   };
 
@@ -798,14 +1248,17 @@ void Fleet::RouteStream(std::istream& in, std::ostream& out) {
     }
 
     // Match request: route by pair hash so repeats hit the same worker's
-    // ResultCache.
+    // ResultCache. From here on the request is journaled: it stays in
+    // `pending` (and in conn FIFOs) until a response — possibly from a
+    // retried or hedged dispatch — is relayed in client order.
     requests.Increment();
-    InFlight request;
-    request.id = Field(fields, "id");
-    request.start = Clock::now();
+    auto req = std::make_shared<Req>();
+    req->id = Field(fields, "id");
+    req->line = line;
+    req->start = Clock::now();
     if (fields.count("left") == 0 || fields.count("right") == 0) {
       drain_all();
-      out << RouterError(request.id,
+      out << RouterError(req->id,
                          "match request needs \"left\" and \"right\"")
           << "\n";
       out.flush();
@@ -815,52 +1268,51 @@ void Fleet::RouteStream(std::istream& in, std::ostream& out) {
     const std::string domain_text = Field(fields, "domain");
     if (!domain_text.empty() && !ParseDomainText(domain_text, &domain)) {
       drain_all();
-      out << RouterError(request.id, "unknown domain: " + domain_text)
-          << "\n";
+      out << RouterError(req->id, "unknown domain: " + domain_text) << "\n";
       out.flush();
       continue;
     }
-    const uint64_t pair_hash = HashPair(core::MakeSurfacePair(
+    req->pair_hash = HashPair(core::MakeSurfacePair(
         fields.at("left"), fields.at("right"), domain));
-    request.slot = RouteSlot(pair_hash);
+    req->primary_slot = RouteSlot(req->pair_hash);
+    req->budget =
+        req->start + std::chrono::milliseconds(config_.route_retry_ms);
+    if (config_.request_timeout_ms > 0) {
+      req->deadline =
+          req->start + std::chrono::milliseconds(config_.request_timeout_ms);
+      req->wedge_deadline =
+          req->start +
+          std::chrono::milliseconds(2 * config_.request_timeout_ms);
+    }
     if (tracer.enabled()) {
       tracer.Record(tracer.NewTraceId(), obs::TraceEventKind::kMark,
-                    static_cast<uint64_t>(request.slot), /*dur_ns=*/0,
+                    static_cast<uint64_t>(req->primary_slot), /*dur_ns=*/0,
                     kRouteLabel);
     }
 
-    bool forwarded = false;
-    for (int attempt = 0; attempt < 2 && !forwarded; ++attempt) {
-      std::shared_ptr<BackendConn> conn = connect_slot(request.slot);
-      if (conn == nullptr) break;
-      (*conn->out) << line << "\n";
-      conn->out->flush();
-      if (conn->out->good()) {
-        request.conn = std::move(conn);
-        forwarded = true;
+    inflight.Add(1.0);
+    pending.push_back(req);
+    const Clock::time_point now = Clock::now();
+    if (!try_dispatch(req, now, /*hedge=*/false)) {
+      if (config_.retry_max_attempts == 0) {
+        errors.Increment();
+        resolve(req,
+                RouterError(req->id, StrFormat("fleet worker %d unavailable",
+                                               req->primary_slot)),
+                /*is_error=*/true);
       } else {
-        // The write raced the worker dying; one reconnect attempt gets the
-        // restarted generation.
-        conn->dead = true;
+        req->retry_pending = true;
+        req->next_retry = now;  // first retry fires on the next pump
       }
     }
-    if (!forwarded) {
-      errors.Increment();
-      drain_all();
-      out << RouterError(request.id,
-                         StrFormat("fleet worker %d unavailable",
-                                   request.slot))
-          << "\n";
-      out.flush();
-      fleet_slo_->RecordRequest(0.0, true);
-      continue;
-    }
-    pending.push_back(std::move(request));
-    while (static_cast<int>(pending.size()) >= kMaxPipeline) drain_one();
+    drain_to(static_cast<size_t>(kMaxPipeline) - 1);
     // Same lock-step heuristic as JsonlServer::ServeStream: when no more
     // input is buffered, answer everything in flight.
     if (in.rdbuf()->in_avail() <= 0) drain_all();
   }
+  // Client EOF (including a half-closed socket that still reads): drain the
+  // journal to completion so no in-flight entry leaks and every response
+  // the client is still listening for goes out.
   drain_all();
 }
 
@@ -989,6 +1441,10 @@ void Fleet::Stop() {
     }
     ::rmdir(state_dir_.c_str());
     owns_state_dir_ = false;
+  } else {
+    // Explicit (caller-owned) state dir: still reap our port files so a
+    // later boot in the same dir can't read this run's dead ports.
+    ReapPortFiles();
   }
 }
 

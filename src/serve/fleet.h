@@ -22,6 +22,8 @@ class SloTracker;
 
 namespace tailormatch::serve {
 
+class CircuitBreaker;
+
 // Jump consistent hash (Lamping & Veach, 2014): maps `key` to a bucket in
 // [0, num_buckets) such that growing the fleet only moves ~1/n of the keys.
 // Used to route a pair (by HashPair) to a worker so repeat pairs land on the
@@ -51,12 +53,38 @@ struct FleetConfig {
   int max_restarts_per_worker = 16;  // per slot, across the fleet's lifetime
   int restart_backoff_ms = 50;
   int worker_ready_timeout_ms = 20000;
-  // How long the router retries connecting to a slot (covering a crash ->
-  // restart window) before answering a typed error.
+  // Total failover budget per request: how long the router keeps retrying /
+  // failing over (covering a crash -> restart window) before answering a
+  // typed "unavailable" error. A per-request deadline (request_timeout_ms)
+  // cuts this short.
   int route_retry_ms = 3000;
   // Directory for worker port files; empty = a fresh temp directory that the
   // fleet removes on Stop().
   std::string state_dir;
+
+  // Failover knobs (DESIGN.md §5h). Retries are safe because answers are
+  // bitwise-identical across replicas: routing only picks which worker
+  // computes.
+  // Re-dispatch attempts per request after the first. -1 = unlimited within
+  // the deadline / route_retry_ms budget; 0 = failover off (the pre-§5h
+  // in-flight-window-loss behavior, kept as the bench baseline arm).
+  int retry_max_attempts = -1;
+  // Exponential backoff between re-dispatches: backoff_ms << (attempt-1),
+  // capped at backoff_max_ms, plus uniform jitter of up to one backoff_ms.
+  int retry_backoff_ms = 5;
+  int retry_backoff_max_ms = 100;
+  uint64_t retry_jitter_seed = 0x9e77e;
+  // Hedge a request to a second worker once it has been outstanding this
+  // long (first answer wins). 0 = off; -1 = auto (1.5x the fleet window's
+  // rolling p99 once 50+ requests have been observed, floor 1ms).
+  double hedge_after_ms = 0.0;
+  // Per-worker circuit breaker (serve/breaker.h).
+  int breaker_failure_threshold = 3;
+  int breaker_open_ms = 200;
+  int breaker_probe_interval_ms = 100;
+  // Router-side cache of recent ok match responses, used for cache-only
+  // "degraded":true answers when every worker is down. 0 = off.
+  int router_cache_entries = 4096;
 };
 
 // Shared-nothing multi-process serve fleet (DESIGN.md §5g).
@@ -88,12 +116,15 @@ struct FleetConfig {
 // workers by JumpConsistentHash(HashPair(pair)) — preserving ResultCache
 // locality — over per-client-connection backend connections, and responses
 // are relayed strictly in client request order (same pipelining contract as
-// JsonlServer::ServeStream). When a worker dies mid-flight, only the
-// requests already forwarded to it get typed "error" responses (the
-// documented in-flight window); subsequent requests for that slot retry
-// against the restarted worker. {"op":"stats"} aggregates worker stats plus
-// the router's own fleet-level rolling latency window; {"op":"fleet"}
-// reports the worker table.
+// JsonlServer::ServeStream). Every forwarded request is journaled until its
+// response is relayed: when a worker dies mid-flight the journaled requests
+// are transparently re-dispatched to a surviving worker (answers are
+// bitwise-identical across replicas, so retries are safe), with
+// deadline-aware exponential backoff, per-slot circuit breakers, optional
+// tail hedging, and a cache-only "degraded":true fallback when every worker
+// is down — see DESIGN.md §5h for the full failover contract. {"op":"stats"}
+// aggregates worker stats plus the router's own fleet-level rolling latency
+// window and failover counters; {"op":"fleet"} reports the worker table.
 class Fleet {
  public:
   explicit Fleet(FleetConfig config);
@@ -146,6 +177,10 @@ class Fleet {
   // Flat-JSON worker table ({"op":"fleet","workers":N,"w0_pid":...,...}).
   std::string WorkerTableJson();
 
+  // The slot's circuit breaker (valid after construction; exposed for tests
+  // and the stats aggregator). nullptr for out-of-range slots.
+  CircuitBreaker* breaker(int slot) const;
+
   const FleetConfig& config() const { return config_; }
 
  private:
@@ -166,11 +201,30 @@ class Fleet {
   bool FetchWorkerStats(int slot,
                         std::map<std::string, std::string>* fields);
 
+  // Removes every worker*.port file in state_dir_ (crashed runs leave stale
+  // ones behind; they must not poison the next boot's WaitPortFile).
+  void ReapPortFiles();
+  // Removes one dead generation's port file.
+  void RemovePortFile(int slot, int generation);
+
+  // Router-side degraded-mode cache: pair hash -> last ok response body.
+  void CacheRouterResponse(uint64_t pair_hash, const std::string& body);
+  bool LookupRouterResponse(uint64_t pair_hash, std::string* body) const;
+  // Effective hedge threshold in ms for this instant (resolves the -1 auto
+  // mode from the fleet latency window); 0 = hedging off.
+  double HedgeThresholdMs() const;
+
   FleetConfig config_;
   data::Domain default_domain_;
   // Fleet-level SLO window ("serve.fleet.slo.*"): the latency the *client*
   // sees through the router, including routing and any crash-window errors.
   std::unique_ptr<obs::SloTracker> fleet_slo_;
+  // One breaker per slot, shared by every router stream.
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  // Degraded-mode response cache (insertion-order eviction).
+  mutable std::mutex router_cache_mutex_;
+  std::map<uint64_t, std::string> router_cache_;
+  std::vector<uint64_t> router_cache_order_;
   std::string state_dir_;
   bool owns_state_dir_ = false;
 

@@ -299,6 +299,11 @@ void JsonlServer::ServeStream(std::istream& in, std::ostream& out) {
 
   std::string line;
   while (std::getline(in, line)) {
+    // A failed write means the client is fully gone (not just half-closed,
+    // which only ends the *input*): stop burning worker capacity on answers
+    // nobody can read. The final drain below still retires every in-flight
+    // future.
+    if (!out) break;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     if (config_.max_line_bytes > 0 && line.size() > config_.max_line_bytes) {
       drain_all();

@@ -8,7 +8,21 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/fault.h"
+
 namespace tailormatch::serve {
+
+namespace {
+
+// True when an armed io_error fault fires at `point` (null = no point).
+bool FaultFires(const char* point) {
+  if (point == nullptr) return false;
+  auto& injector = fault::FaultInjector::Global();
+  if (!injector.AnyArmed()) return false;
+  return !injector.OnPoint(point).ok();
+}
+
+}  // namespace
 
 FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
   setg(in_, in_, in_);
@@ -88,7 +102,11 @@ Status TcpListenLoopback(int port, int* listen_fd, int* bound_port) {
   return Status::Ok();
 }
 
-int TcpConnectLoopback(int port) {
+int TcpConnectLoopback(int port, const char* fault_point) {
+  if (FaultFires(fault_point)) {
+    errno = ECONNREFUSED;
+    return -1;
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   sockaddr_in addr;
@@ -101,6 +119,19 @@ int TcpConnectLoopback(int port) {
     return -1;
   }
   return fd;
+}
+
+ssize_t ReadWithFault(int fd, void* buf, size_t len,
+                      const char* fault_point) {
+  if (FaultFires(fault_point)) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  ssize_t n;
+  do {
+    n = ::read(fd, buf, len);
+  } while (n < 0 && errno == EINTR);
+  return n;
 }
 
 }  // namespace tailormatch::serve

@@ -1,11 +1,18 @@
 #ifndef TAILORMATCH_SERVE_NET_UTIL_H_
 #define TAILORMATCH_SERVE_NET_UTIL_H_
 
+#include <cstddef>
 #include <streambuf>
 
 #include "util/status.h"
 
 namespace tailormatch::serve {
+
+// Fault-injection points on the router<->worker network path. The chaos
+// schedule arms probabilistic io_error faults here to simulate a flaky
+// loopback (connect refused / read reset) without touching real sockets.
+inline constexpr char kFleetConnectFaultPoint[] = "net.fleet.connect";
+inline constexpr char kFleetReadFaultPoint[] = "net.fleet.read";
 
 // Minimal read/write streambuf over a connected socket (or any fd), so the
 // line-oriented serving code paths (`JsonlServer::ServeStream`, the fleet
@@ -33,8 +40,16 @@ class FdStreamBuf : public std::streambuf {
 Status TcpListenLoopback(int port, int* listen_fd, int* bound_port);
 
 // Connects to 127.0.0.1:`port`. Returns the connected fd, or -1 (errno
-// preserved from the failing call).
-int TcpConnectLoopback(int port);
+// preserved from the failing call). When `fault_point` is non-null and an
+// io_error fault fires there, the connect fails with ECONNREFUSED instead.
+int TcpConnectLoopback(int port, const char* fault_point = nullptr);
+
+// read(2) with EINTR retry and an optional fault point: when an io_error
+// fault fires at `fault_point`, returns -1 with errno ECONNRESET as if the
+// peer reset the connection. The fleet router uses this for backend reads so
+// the chaos schedule can exercise the retry path without killing workers.
+ssize_t ReadWithFault(int fd, void* buf, size_t len,
+                      const char* fault_point = nullptr);
 
 }  // namespace tailormatch::serve
 

@@ -1,7 +1,9 @@
 #include "util/fault.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <map>
@@ -62,6 +64,7 @@ struct FaultInjector::Armed {
   FaultSpec spec;
   int64_t hits = 0;
   bool fired = false;
+  Rng rng{0x5eed};  // probabilistic mode: per-point arrival stream
 };
 
 struct FaultInjector::Impl {
@@ -96,6 +99,9 @@ void FaultInjector::ArmFromEnv() {
   if (const char* seed = std::getenv("TM_FAULT_SEED")) {
     spec.seed = static_cast<uint64_t>(std::atoll(seed));
   }
+  if (const char* prob = std::getenv("TM_FAULT_PROB")) {
+    spec.probability = std::atof(prob);
+  }
   Arm(spec);
 }
 
@@ -105,6 +111,7 @@ void FaultInjector::Arm(const FaultSpec& spec) {
   armed.spec = spec;
   armed.hits = 0;
   armed.fired = false;
+  armed.rng = Rng(spec.seed);
   impl_->armed_count.store(static_cast<int>(impl_->armed.size()),
                            std::memory_order_release);
 }
@@ -139,9 +146,13 @@ FaultMode FaultInjector::Fire(const std::string& point, FaultSpec* spec) {
   if (it == impl_->armed.end()) return FaultMode::kNone;
   Armed& armed = it->second;
   ++armed.hits;
-  const bool due = armed.spec.nth == 0
-                       ? true
-                       : (!armed.fired && armed.hits == armed.spec.nth);
+  bool due;
+  if (armed.spec.probability > 0.0) {
+    due = armed.rng.NextDouble() < armed.spec.probability;
+  } else {
+    due = armed.spec.nth == 0 ? true
+                              : (!armed.fired && armed.hits == armed.spec.nth);
+  }
   if (!due) return FaultMode::kNone;
   armed.fired = true;
   *spec = armed.spec;
@@ -198,6 +209,109 @@ void FaultInjector::OnValue(const std::string& point, double* value) {
   if (Fire(point, &spec) == FaultMode::kNan) {
     *value = std::numeric_limits<double>::quiet_NaN();
   }
+}
+
+// ---------------------------------------------------------------------------
+// FaultSchedule
+// ---------------------------------------------------------------------------
+
+const char* ChaosActionName(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kKill:
+      return "kill";
+    case ChaosAction::kPause:
+      return "pause";
+    case ChaosAction::kResume:
+      return "resume";
+  }
+  return "kill";
+}
+
+FaultSchedule FaultSchedule::Build(const ChaosScheduleConfig& config) {
+  FaultSchedule schedule;
+  schedule.config_ = config;
+  const int targets = config.targets > 0 ? config.targets : 1;
+  const double span =
+      std::max(config.duration_s - config.start_s, 1e-3);
+  Rng rng(config.seed);
+
+  if (config.kills > 0) {
+    if (config.poisson) {
+      // Exponential gaps with the mean that lands `kills` in expectation;
+      // random targets. Two slots can be down at once — the harder drill.
+      const double mean_gap = span / static_cast<double>(config.kills);
+      double t = config.start_s;
+      for (int i = 0; i < config.kills; ++i) {
+        const double u = std::max(rng.NextDouble(), 1e-12);
+        t += -std::log(u) * mean_gap;
+        if (t >= config.duration_s) break;
+        schedule.events_.push_back(
+            {t, ChaosAction::kKill,
+             static_cast<int>(rng.NextBounded(
+                 static_cast<uint32_t>(targets)))});
+      }
+    } else {
+      // Evenly spaced, round-robin targets: at most one slot down at a
+      // time as long as the gap exceeds the restart time — the zero-loss
+      // headline schedule.
+      const double gap = span / static_cast<double>(config.kills);
+      for (int i = 0; i < config.kills; ++i) {
+        schedule.events_.push_back({config.start_s + gap * i,
+                                    ChaosAction::kKill, i % targets});
+      }
+    }
+  }
+
+  for (int i = 0; i < config.pauses; ++i) {
+    // Offset half a gap from the kill grid so pauses and kills interleave
+    // rather than stack on one instant.
+    const double gap = span / static_cast<double>(config.pauses);
+    const double at = config.start_s + gap * (static_cast<double>(i) + 0.5);
+    const double resume_at =
+        std::min(at + config.pause_ms / 1000.0, config.duration_s);
+    const int target = (i + 1) % targets;
+    if (at >= config.duration_s) break;
+    schedule.events_.push_back({at, ChaosAction::kPause, target});
+    schedule.events_.push_back({resume_at, ChaosAction::kResume, target});
+  }
+
+  std::stable_sort(schedule.events_.begin(), schedule.events_.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at_s < b.at_s;
+                   });
+  return schedule;
+}
+
+int FaultSchedule::kill_count() const {
+  int kills = 0;
+  for (const ChaosEvent& event : events_) {
+    if (event.action == ChaosAction::kKill) ++kills;
+  }
+  return kills;
+}
+
+std::string FaultSchedule::ToJson() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"seed\":%llu,\"duration_s\":%.3f,\"targets\":%d,"
+                "\"kills\":%d,\"poisson\":%s,\"pauses\":%d,"
+                "\"pause_ms\":%.1f,\"connect_fail_rate\":%.3f,"
+                "\"read_fail_rate\":%.3f,\"events\":[",
+                static_cast<unsigned long long>(config_.seed),
+                config_.duration_s, config_.targets, config_.kills,
+                config_.poisson ? "true" : "false", config_.pauses,
+                config_.pause_ms, config_.connect_fail_rate,
+                config_.read_fail_rate);
+  std::string out = buffer;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"at_s\":%.3f,\"action\":\"%s\",\"target\":%d}",
+                  i == 0 ? "" : ",", events_[i].at_s,
+                  ChaosActionName(events_[i].action), events_[i].target);
+    out += buffer;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace tailormatch::fault

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -22,7 +23,10 @@ namespace tailormatch::fault {
 //   TM_FAULT_MODE   io_error | short_write | bit_flip | crash | nan
 //   TM_FAULT_NTH    fire on the nth arrival, 1-based (0 = every; default 1)
 //   TM_FAULT_KEEP   short_write: fraction of the payload kept (default 0.5)
-//   TM_FAULT_SEED   bit_flip: seed choosing the flipped bit
+//   TM_FAULT_SEED   bit_flip / probabilistic: RNG seed
+//   TM_FAULT_PROB   fire independently on each arrival with this
+//                   probability (overrides the nth logic; how the chaos
+//                   layer injects flaky-network faults at a rate)
 
 // What happens when an armed fault fires.
 enum class FaultMode {
@@ -45,8 +49,13 @@ struct FaultSpec {
   int nth = 1;
   // kShortWrite: fraction of the payload kept.
   double keep_fraction = 0.5;
-  // kBitFlip: chooses the flipped bit.
+  // kBitFlip: chooses the flipped bit. Probabilistic faults: seeds the
+  // per-point arrival RNG.
   uint64_t seed = 0x5eed;
+  // > 0: ignore `nth` and fire independently on each arrival with this
+  // probability, forever (until disarmed). The chaos schedule arms the
+  // router<->worker network fault points this way.
+  double probability = 0.0;
 };
 
 // Exit code used by FaultMode::kCrash so harnesses can tell an injected
@@ -116,6 +125,71 @@ class ScopedFault {
 
  private:
   std::string point_;
+};
+
+// ---------------------------------------------------------------------------
+// Chaos fault schedule (DESIGN.md §5h). Where the FaultInjector above arms a
+// single named point, a FaultSchedule is a whole drill: a seeded,
+// deterministic timeline of process-level faults (SIGKILL a worker, SIGSTOP
+// it for a pause) plus arrival-rate faults on the router<->worker network
+// path (connect/read failures via the probabilistic FaultSpec mode). The
+// schedule itself is pure data — `tailormatch fleet --chaos`, the chaos
+// bench, and the tests all replay the same events from the same seed; the
+// serve-layer ChaosRunner (serve/chaos.h) is what applies it to a Fleet.
+// ---------------------------------------------------------------------------
+
+enum class ChaosAction {
+  kKill = 0,  // SIGKILL the target worker slot
+  kPause,     // SIGSTOP the target worker slot
+  kResume,    // SIGCONT it again (paired with the preceding kPause)
+};
+const char* ChaosActionName(ChaosAction action);
+
+struct ChaosEvent {
+  double at_s = 0.0;  // offset from drill start
+  ChaosAction action = ChaosAction::kKill;
+  int target = 0;  // worker slot
+};
+
+struct ChaosScheduleConfig {
+  uint64_t seed = 20260809;
+  // Drill length. Events never land after duration_s (pauses are resumed
+  // in-bounds too).
+  double duration_s = 5.0;
+  // Worker slots events are aimed at.
+  int targets = 3;
+  // SIGKILL events. `poisson` draws exponential gaps and random targets
+  // from the seed; otherwise kills are evenly spaced round-robin (the
+  // zero-loss headline shape: at most one slot down at a time).
+  int kills = 5;
+  bool poisson = false;
+  // Quiet head before the first fault, so load is flowing when it hits.
+  double start_s = 0.5;
+  // SIGSTOP pauses (each paired with a SIGCONT pause_ms later).
+  int pauses = 0;
+  double pause_ms = 150.0;
+  // Probabilistic faults armed at the net.fleet.* points for the drill's
+  // duration: each router->worker connect / read fails with this chance.
+  double connect_fail_rate = 0.0;
+  double read_fail_rate = 0.0;
+};
+
+class FaultSchedule {
+ public:
+  // Expands the config into a sorted, deterministic event timeline.
+  static FaultSchedule Build(const ChaosScheduleConfig& config);
+
+  const ChaosScheduleConfig& config() const { return config_; }
+  const std::vector<ChaosEvent>& events() const { return events_; }
+  int kill_count() const;
+
+  // Flat-JSON description (seed, config, event list) for BENCH_chaos.json
+  // and drill logs.
+  std::string ToJson() const;
+
+ private:
+  ChaosScheduleConfig config_;
+  std::vector<ChaosEvent> events_;
 };
 
 }  // namespace tailormatch::fault

@@ -6,6 +6,8 @@
 // whose CRC has been recomputed (exercising the inner parser's own
 // length-prefix validation).
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -36,7 +38,11 @@ void WriteFileBytes(const std::string& path, const std::string& bytes) {
 class CheckpointFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "tm_ckpt_fuzz").string();
+    // Per-process dir: parallel ctest runs each case in its own process,
+    // and a shared path would let them trample each other's files.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tm_ckpt_fuzz." + std::to_string(::getpid())))
+               .string();
     std::filesystem::create_directories(dir_);
     good_path_ = dir_ + "/good.ckpt";
     llm::SimLlm model = fault_test::MakeTinyModel();

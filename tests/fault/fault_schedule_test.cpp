@@ -1,0 +1,150 @@
+// FaultSchedule: the chaos drill timeline must be deterministic per seed,
+// in-bounds, and correctly shaped for both the periodic (zero-loss headline)
+// and poisson (overlapping-failure) modes — the CLI drill, the chaos bench,
+// and check_chaos.sh all depend on replaying the identical event list.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/fault.h"
+
+namespace tailormatch::fault {
+namespace {
+
+TEST(FaultScheduleTest, SameSeedSameSchedule) {
+  ChaosScheduleConfig config;
+  config.poisson = true;
+  config.pauses = 2;
+  const FaultSchedule a = FaultSchedule::Build(config);
+  const FaultSchedule b = FaultSchedule::Build(config);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at_s, b.events()[i].at_s);
+    EXPECT_EQ(a.events()[i].action, b.events()[i].action);
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+  }
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+
+  config.seed = 7;
+  const FaultSchedule c = FaultSchedule::Build(config);
+  EXPECT_NE(a.ToJson(), c.ToJson()) << "a new seed must reshape the drill";
+}
+
+TEST(FaultScheduleTest, PeriodicKillsAreEvenlySpacedRoundRobin) {
+  ChaosScheduleConfig config;
+  config.duration_s = 5.0;
+  config.start_s = 0.5;
+  config.kills = 5;
+  config.targets = 3;
+  config.poisson = false;
+  const FaultSchedule schedule = FaultSchedule::Build(config);
+  ASSERT_EQ(schedule.events().size(), 5u);
+  EXPECT_EQ(schedule.kill_count(), 5);
+  const double gap = (5.0 - 0.5) / 5.0;
+  for (int i = 0; i < 5; ++i) {
+    const ChaosEvent& event = schedule.events()[static_cast<size_t>(i)];
+    EXPECT_EQ(event.action, ChaosAction::kKill);
+    EXPECT_NEAR(event.at_s, 0.5 + gap * i, 1e-9);
+    EXPECT_EQ(event.target, i % 3) << "targets must rotate round-robin";
+  }
+}
+
+TEST(FaultScheduleTest, PoissonKillsStayInBoundsWithValidTargets) {
+  ChaosScheduleConfig config;
+  config.poisson = true;
+  config.kills = 20;
+  config.duration_s = 10.0;
+  config.targets = 3;
+  const FaultSchedule schedule = FaultSchedule::Build(config);
+  EXPECT_GT(schedule.kill_count(), 0);
+  EXPECT_LE(schedule.kill_count(), 20);
+  double prev = 0.0;
+  for (const ChaosEvent& event : schedule.events()) {
+    EXPECT_GE(event.at_s, config.start_s);
+    EXPECT_LT(event.at_s, config.duration_s);
+    EXPECT_GE(event.at_s, prev) << "events must be sorted";
+    prev = event.at_s;
+    EXPECT_GE(event.target, 0);
+    EXPECT_LT(event.target, 3);
+  }
+}
+
+TEST(FaultScheduleTest, EveryPauseIsPairedWithALaterInBoundsResume) {
+  ChaosScheduleConfig config;
+  config.kills = 3;
+  config.pauses = 4;
+  config.pause_ms = 150.0;
+  config.targets = 3;
+  const FaultSchedule schedule = FaultSchedule::Build(config);
+  // Track outstanding pauses per target; a resume must always follow its
+  // pause, and nothing may still be paused when the drill ends.
+  std::map<int, int> outstanding;
+  double last_resume = 0.0;
+  for (const ChaosEvent& event : schedule.events()) {
+    if (event.action == ChaosAction::kPause) {
+      ++outstanding[event.target];
+    } else if (event.action == ChaosAction::kResume) {
+      ASSERT_GT(outstanding[event.target], 0)
+          << "resume for slot " << event.target << " with no pause pending";
+      --outstanding[event.target];
+      last_resume = event.at_s;
+    }
+  }
+  for (const auto& [target, count] : outstanding) {
+    EXPECT_EQ(count, 0) << "slot " << target << " left SIGSTOPped";
+  }
+  EXPECT_LE(last_resume, config.duration_s);
+}
+
+TEST(FaultScheduleTest, ToJsonIsWellFormedAndCountsEvents) {
+  ChaosScheduleConfig config;
+  config.kills = 4;
+  config.pauses = 1;
+  config.connect_fail_rate = 0.05;
+  const FaultSchedule schedule = FaultSchedule::Build(config);
+  const std::string json = schedule.ToJson();
+  EXPECT_NE(json.find("\"seed\":20260809"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"connect_fail_rate\":0.050"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"action\":\"kill\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"action\":\"pause\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"action\":\"resume\""), std::string::npos) << json;
+  // Event count in the array == schedule size (count the "at_s" keys).
+  size_t count = 0;
+  for (size_t pos = json.find("\"at_s\""); pos != std::string::npos;
+       pos = json.find("\"at_s\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, schedule.events().size());
+}
+
+TEST(FaultScheduleTest, ZeroKillsZeroPausesIsAnEmptyDrill) {
+  ChaosScheduleConfig config;
+  config.kills = 0;
+  config.pauses = 0;
+  const FaultSchedule schedule = FaultSchedule::Build(config);
+  EXPECT_TRUE(schedule.events().empty());
+  EXPECT_EQ(schedule.kill_count(), 0);
+  EXPECT_NE(schedule.ToJson().find("\"events\":[]"), std::string::npos);
+}
+
+TEST(FaultScheduleTest, ProbabilisticFaultSpecFiresAtTheConfiguredRate) {
+  // The schedule's connect/read fail rates ride on FaultSpec.probability;
+  // verify the injector honors it statistically and deterministically.
+  FaultSpec spec;
+  spec.point = "test.prob";
+  spec.mode = FaultMode::kIoError;
+  spec.probability = 0.2;
+  spec.seed = 42;
+  ScopedFault fault(spec);
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!FaultInjector::Global().OnPoint("test.prob").ok()) ++fired;
+  }
+  EXPECT_GT(fired, 300) << "0.2 rate fired " << fired << "/2000";
+  EXPECT_LT(fired, 500) << "0.2 rate fired " << fired << "/2000";
+}
+
+}  // namespace
+}  // namespace tailormatch::fault

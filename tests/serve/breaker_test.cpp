@@ -1,0 +1,128 @@
+// Circuit-breaker state machine, driven deterministically through the
+// explicit-`now` seam (the same style as autotune_test.cpp): no sleeps, no
+// real clock — every transition is asserted at an exact instant.
+
+#include "serve/breaker.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace tailormatch::serve {
+namespace {
+
+using Clock = CircuitBreaker::Clock;
+
+Clock::time_point At(int ms) {
+  return Clock::time_point() + std::chrono::milliseconds(ms);
+}
+
+BreakerConfig TestConfig() {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.success_threshold = 1;
+  config.open_ms = 200;
+  config.probe_interval_ms = 100;
+  return config;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowTheFailureThreshold) {
+  CircuitBreaker breaker("test", TestConfig());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(breaker.Allow(At(i)));
+    breaker.OnFailure(At(i));
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed)
+        << "failure " << i + 1 << " of threshold 3 must not trip it";
+  }
+  // A success resets the consecutive count: two more failures still don't
+  // trip it.
+  breaker.OnSuccess(At(10));
+  breaker.OnFailure(At(11));
+  breaker.OnFailure(At(12));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.opened_total(), 0);
+}
+
+TEST(CircuitBreakerTest, ConsecutiveFailuresOpenAndFastFail) {
+  CircuitBreaker breaker("test", TestConfig());
+  for (int i = 0; i < 3; ++i) breaker.OnFailure(At(i));
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opened_total(), 1);
+
+  // While open, every dispatch is refused instantly.
+  EXPECT_FALSE(breaker.Allow(At(50)));
+  EXPECT_FALSE(breaker.Allow(At(199)));
+  EXPECT_EQ(breaker.fast_fails_total(), 2);
+}
+
+TEST(CircuitBreakerTest, ProbeAfterOpenMsClosesOnSuccess) {
+  CircuitBreaker breaker("test", TestConfig());
+  for (int i = 0; i < 3; ++i) breaker.OnFailure(At(i));
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  // open_ms after the trip (t=2ms), the next Allow admits the probe and the
+  // state is half-open.
+  EXPECT_TRUE(breaker.Allow(At(2 + 200)));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.probes_total(), 1);
+
+  breaker.OnSuccess(At(2 + 200 + 5));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.closed_total(), 1);
+  // Fully recovered: dispatches flow again.
+  EXPECT_TRUE(breaker.Allow(At(300)));
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAnotherFullWindow) {
+  CircuitBreaker breaker("test", TestConfig());
+  for (int i = 0; i < 3; ++i) breaker.OnFailure(At(i));
+  ASSERT_TRUE(breaker.Allow(At(250)));  // probe admitted
+  breaker.OnFailure(At(255));
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opened_total(), 2);
+
+  // The new open window starts at the probe failure, not the original trip.
+  EXPECT_FALSE(breaker.Allow(At(255 + 199)));
+  EXPECT_TRUE(breaker.Allow(At(255 + 200)));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbesArePaced) {
+  CircuitBreaker breaker("test", TestConfig());
+  for (int i = 0; i < 3; ++i) breaker.OnFailure(At(i));
+  ASSERT_TRUE(breaker.Allow(At(250)));  // first probe
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  // With the probe outcome still unknown, further dispatches inside
+  // probe_interval_ms are refused — a restarting worker must not be hammered
+  // by every client connection at once.
+  EXPECT_FALSE(breaker.Allow(At(260)));
+  EXPECT_FALSE(breaker.Allow(At(250 + 99)));
+  EXPECT_TRUE(breaker.Allow(At(250 + 100)));
+  EXPECT_EQ(breaker.probes_total(), 2);
+}
+
+TEST(CircuitBreakerTest, SuccessThresholdAboveOneNeedsRepeatedProbes) {
+  BreakerConfig config = TestConfig();
+  config.success_threshold = 2;
+  CircuitBreaker breaker("test", config);
+  for (int i = 0; i < 3; ++i) breaker.OnFailure(At(i));
+  ASSERT_TRUE(breaker.Allow(At(250)));
+  breaker.OnSuccess(At(251));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen)
+      << "one success of a 2-success threshold must not close it";
+  ASSERT_TRUE(breaker.Allow(At(360)));
+  breaker.OnSuccess(At(361));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  // The names appear in {"op":"fleet"} output; lock the spelling.
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

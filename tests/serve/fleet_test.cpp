@@ -1,5 +1,6 @@
 #include "serve/fleet.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -7,6 +8,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -15,7 +17,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/matcher.h"
+#include "obs/metrics.h"
 #include "serve/net_util.h"
+#include "serve/result_cache.h"
 #include "serve_test_util.h"
 #include "util/json.h"
 #include "util/string_util.h"
@@ -259,7 +264,7 @@ TEST_F(FleetTest, SigkilledWorkerIsRestartedAndCapacityRestored) {
   fleet.Stop();
 }
 
-TEST_F(FleetTest, CrashWithRequestsInFlightLosesOnlyTheInFlightWindow) {
+TEST_F(FleetTest, CrashWithRequestsInFlightIsInvisibleToTheClient) {
   FleetConfig config = Config(1);
   // Slow the worker down so requests are reliably in flight when it dies.
   config.dispatch_cost_us = 20000;
@@ -267,8 +272,10 @@ TEST_F(FleetTest, CrashWithRequestsInFlightLosesOnlyTheInFlightWindow) {
   Fleet fleet(config);
   ASSERT_TRUE(fleet.Start().ok());
 
-  // Forward a pipelined burst, SIGKILL the worker while it grinds, then
-  // keep going with fresh requests on the same client stream.
+  // Forward a pipelined burst and SIGKILL the worker while it grinds. The
+  // §5h failover contract: the router journals every in-flight request and
+  // re-dispatches it against the restarted worker, so the client sees 8 ok
+  // responses and zero errors — the crash is invisible.
   std::istringstream in([&] {
     std::string input;
     for (int i = 0; i < 8; ++i) {
@@ -292,21 +299,19 @@ TEST_F(FleetTest, CrashWithRequestsInFlightLosesOnlyTheInFlightWindow) {
   for (const std::string& line : Split(out.str(), '\n')) {
     if (!line.empty()) lines.push_back(line);
   }
-  // Exactly one response line per request — errors for the in-flight
-  // window, and every line well-formed (zero torn responses).
   ASSERT_EQ(lines.size(), 8u);
   AssertWellFormed(lines);
-  int ok = 0, errors = 0;
-  for (const std::string& line : lines) {
-    if (line.find("\"outcome\":\"ok\"") != std::string::npos) {
-      ++ok;
-    } else {
-      EXPECT_NE(line.find("\"outcome\":\"error\""), std::string::npos)
-          << line;
-      ++errors;
-    }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(lines[static_cast<size_t>(i)].find(
+                  StrFormat("\"id\":\"pre%d\"", i)),
+              std::string::npos)
+        << "responses must stay in client order: "
+        << lines[static_cast<size_t>(i)];
+    EXPECT_NE(lines[static_cast<size_t>(i)].find("\"outcome\":\"ok\""),
+              std::string::npos)
+        << "a crash mid-flight must not surface to the client: "
+        << lines[static_cast<size_t>(i)];
   }
-  EXPECT_GT(errors, 0) << "the SIGKILL should have caught requests in flight";
 
   // After the restart the same stream shape completes fully.
   const std::vector<std::string> after =
@@ -316,6 +321,288 @@ TEST_F(FleetTest, CrashWithRequestsInFlightLosesOnlyTheInFlightWindow) {
   EXPECT_NE(after[0].find("\"outcome\":\"ok\""), std::string::npos)
       << after[0];
   fleet.Stop();
+}
+
+TEST_F(FleetTest, NoRetryBaselineStillLosesTheInFlightWindow) {
+  // retry_max_attempts = 0 keeps the pre-§5h behavior (the chaos bench's
+  // baseline arm): a crash surfaces the in-flight window as typed errors.
+  FleetConfig config = Config(1);
+  config.dispatch_cost_us = 20000;
+  config.max_batch = 1;
+  config.retry_max_attempts = 0;
+  Fleet fleet(config);
+  ASSERT_TRUE(fleet.Start().ok());
+
+  std::istringstream in([&] {
+    std::string input;
+    for (int i = 0; i < 8; ++i) {
+      input += StrFormat(
+          "{\"id\":\"pre%d\",\"left\":\"thing %d\",\"right\":\"thing %d "
+          "c\"}\n",
+          i, i, i);
+    }
+    return input;
+  }());
+  std::ostringstream out;
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    fleet.KillWorker(0, SIGKILL);
+  });
+  fleet.RouteStream(in, out);
+  killer.join();
+
+  ASSERT_TRUE(fleet.WaitForWorker(0, 1, 10000));
+  std::vector<std::string> lines;
+  for (const std::string& line : Split(out.str(), '\n')) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 8u);
+  AssertWellFormed(lines);
+  int errors = 0;
+  for (const std::string& line : lines) {
+    if (line.find("\"outcome\":\"ok\"") == std::string::npos) ++errors;
+  }
+  EXPECT_GT(errors, 0)
+      << "with failover disabled the SIGKILL should cost the in-flight "
+         "window";
+  fleet.Stop();
+}
+
+TEST_F(FleetTest, DeadlineExpiryDuringRestartAnswersUnavailableImmediately) {
+  // Satellite: a request whose deadline expires while its slot is still in
+  // restart backoff gets a typed "unavailable" error at the deadline — it
+  // must not stall for the full route_retry_ms failover budget.
+  FleetConfig config = Config(1);
+  config.request_timeout_ms = 150;
+  config.restart_backoff_ms = 2000;  // slot stays down past the deadline
+  config.route_retry_ms = 8000;
+  Fleet fleet(config);
+  ASSERT_TRUE(fleet.Start().ok());
+
+  ASSERT_TRUE(fleet.KillWorker(0, SIGKILL).ok());
+  // Wait for the monitor to register the death (port drops to 0).
+  const auto down_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fleet.WorkerPort(0) != 0 &&
+         std::chrono::steady_clock::now() < down_by) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(fleet.WorkerPort(0), 0);
+
+  const int64_t unavailable_before =
+      obs::MetricsRegistry::Global()
+          .GetCounter("serve.retry.unavailable")
+          .value();
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<std::string> lines = Route(
+      fleet, "{\"id\":\"dl\",\"left\":\"cold pair\",\"right\":\"cold pair "
+             "b\"}\n");
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_EQ(lines.size(), 1u);
+  AssertWellFormed(lines);
+  EXPECT_NE(lines[0].find("\"outcome\":\"unavailable\""), std::string::npos)
+      << lines[0];
+  EXPECT_LT(elapsed_ms, 1500.0)
+      << "the deadline, not route_retry_ms, must bound the wait";
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("serve.retry.unavailable")
+                .value(),
+            unavailable_before)
+      << "unavailable answers must hit the SLO error budget";
+  fleet.Stop();
+}
+
+TEST_F(FleetTest, StalePortFilesAreReapedOnStartAndStop) {
+  // Satellite: crashed runs leave worker<slot>.g<gen>.port files behind; a
+  // new boot must not read them, and Stop() must leave none behind even in a
+  // caller-owned state dir.
+  FleetConfig config = Config(1);
+  config.state_dir = dir_ + "/state";
+  std::filesystem::create_directories(config.state_dir);
+  {
+    // A stale file for the exact slot/generation the first boot will wait
+    // on, pointing at a dead port — poison unless reaped.
+    std::ofstream stale(config.state_dir + "/worker0.g1.port");
+    stale << "1\n";
+  }
+  {
+    std::ofstream stale(config.state_dir + "/worker3.g9.port.tmp");
+    stale << "1";
+  }
+  Fleet fleet(config);
+  ASSERT_TRUE(fleet.Start().ok());
+  const std::vector<std::string> lines = Route(
+      fleet, "{\"id\":\"s\",\"left\":\"stale probe\",\"right\":\"stale "
+             "probe b\"}\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"outcome\":\"ok\""), std::string::npos)
+      << "router connected to the stale port instead of the live worker: "
+      << lines[0];
+
+  // A restart retires the dead generation's file right away.
+  ASSERT_TRUE(fleet.KillWorker(0, SIGKILL).ok());
+  ASSERT_TRUE(fleet.WaitForWorker(0, 1, 10000));
+  EXPECT_FALSE(
+      std::filesystem::exists(config.state_dir + "/worker0.g1.port"));
+
+  fleet.Stop();
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config.state_dir)) {
+    EXPECT_EQ(entry.path().filename().string().find(".port"),
+              std::string::npos)
+        << "port file left behind: " << entry.path();
+  }
+}
+
+TEST_F(FleetTest, AllWorkersDownServesDegradedAnswersFromTheRouterCache) {
+  FleetConfig config = Config(1);
+  config.max_restarts_per_worker = 0;  // death is permanent
+  config.request_timeout_ms = 200;
+  config.route_retry_ms = 400;
+  Fleet fleet(config);
+  ASSERT_TRUE(fleet.Start().ok());
+
+  // Warm the router's degraded-mode cache with one ok answer.
+  const std::vector<std::string> warm = Route(
+      fleet,
+      "{\"id\":\"warm\",\"left\":\"acme anvil\",\"right\":\"acme anvil "
+      "v2\"}\n");
+  ASSERT_EQ(warm.size(), 1u);
+  ASSERT_NE(warm[0].find("\"outcome\":\"ok\""), std::string::npos) << warm[0];
+
+  ASSERT_TRUE(fleet.KillWorker(0, SIGKILL).ok());
+  const auto down_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fleet.WorkerPort(0) != 0 &&
+         std::chrono::steady_clock::now() < down_by) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(fleet.WorkerPort(0), 0);
+
+  const int64_t degraded_before = obs::MetricsRegistry::Global()
+                                      .GetCounter("serve.degraded.responses")
+                                      .value();
+  // The warm pair still gets its (bitwise-identical) answer, marked
+  // degraded; a cold pair gets the typed unavailable error.
+  const std::vector<std::string> lines = Route(
+      fleet,
+      "{\"id\":\"hot\",\"left\":\"acme anvil\",\"right\":\"acme anvil "
+      "v2\"}\n"
+      "{\"id\":\"cold\",\"left\":\"never seen\",\"right\":\"never seen "
+      "b\"}\n");
+  ASSERT_EQ(lines.size(), 2u);
+  AssertWellFormed(lines);
+  EXPECT_NE(lines[0].find("\"outcome\":\"ok\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"degraded\":true"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("\"outcome\":\"unavailable\""), std::string::npos)
+      << lines[1];
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("serve.degraded.responses")
+                .value(),
+            degraded_before);
+  fleet.Stop();
+}
+
+TEST_F(FleetTest, HedgeWinsWhileThePrimaryWorkerStalls) {
+  FleetConfig config = Config(2);
+  config.hedge_after_ms = 50.0;
+  Fleet fleet(config);
+  ASSERT_TRUE(fleet.Start().ok());
+
+  const std::string left = "hedge probe";
+  const std::string right = "hedge probe deluxe";
+  const int primary = fleet.RouteSlot(HashPair(
+      core::MakeSurfacePair(left, right, data::Domain::kProduct)));
+  ASSERT_GE(primary, 0);
+  ASSERT_LT(primary, 2);
+
+  const int64_t hedges_before = obs::MetricsRegistry::Global()
+                                    .GetCounter("serve.hedge.attempts")
+                                    .value();
+  const int64_t wins_before =
+      obs::MetricsRegistry::Global().GetCounter("serve.hedge.wins").value();
+
+  // SIGSTOP the primary: its kernel still accepts the connection, so the
+  // dispatch looks healthy but never answers. The hedge to the other slot
+  // must win and the client must see a normal ok response.
+  ASSERT_TRUE(fleet.KillWorker(primary, SIGSTOP).ok());
+  const std::vector<std::string> lines = Route(
+      fleet, StrFormat("{\"id\":\"h\",\"left\":\"%s\",\"right\":\"%s\"}\n",
+                       left.c_str(), right.c_str()));
+  ASSERT_TRUE(fleet.KillWorker(primary, SIGCONT).ok());
+
+  ASSERT_EQ(lines.size(), 1u);
+  AssertWellFormed(lines);
+  EXPECT_NE(lines[0].find("\"outcome\":\"ok\""), std::string::npos)
+      << lines[0];
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("serve.hedge.attempts")
+                .value(),
+            hedges_before);
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().GetCounter("serve.hedge.wins").value(),
+      wins_before);
+  fleet.Stop();
+}
+
+TEST_F(FleetTest, HalfClosedClientDrainsResponsesWithoutWedgingOrLeaking) {
+  // Satellite: a client that sends a burst then shutdown(SHUT_WR) (half
+  // close) must still receive every response, the front handler must exit,
+  // and no journal entries may leak (inflight gauge returns to baseline).
+  Fleet fleet(Config(2));
+  ASSERT_TRUE(fleet.Start().ok());
+  std::atomic<int> port{0};
+  std::thread front([&] { fleet.ServeFront(0, &port); });
+  while (port.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const double inflight_before = obs::MetricsRegistry::Global()
+                                     .GetGauge("serve.fleet.inflight")
+                                     .value();
+  const int fd = TcpConnectLoopback(port.load());
+  ASSERT_GE(fd, 0);
+  std::string burst;
+  for (int i = 0; i < 8; ++i) {
+    burst += StrFormat(
+        "{\"id\":\"hc%d\",\"left\":\"item %d\",\"right\":\"item %d b\"}\n", i,
+        i, i);
+  }
+  ASSERT_EQ(::write(fd, burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  std::string received;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  std::vector<std::string> lines;
+  for (const std::string& line : Split(received, '\n')) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 8u)
+      << "half close must not truncate the response stream";
+  AssertWellFormed(lines);
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"outcome\":\"ok\""), std::string::npos) << line;
+  }
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetGauge("serve.fleet.inflight")
+                .value(),
+            inflight_before)
+      << "journal entries leaked past the stream's end";
+
+  fleet.Stop();
+  front.join();
 }
 
 TEST_F(FleetTest, ServeFrontAcceptsTcpClientsAndShutsDown) {

@@ -1,0 +1,178 @@
+#!/usr/bin/env bash
+# End-to-end check of the serve fleet's failover contract (DESIGN.md §5h):
+#   1. builds the chaos + fleet suites, the CLI, the load generator, and
+#      trace_lint;
+#   2. runs the chaos suites under `ctest -L chaos -j` (breaker state
+#      machine, fault schedule determinism);
+#   3. boots a traced 3-worker `tailormatch fleet --chaos` whose seeded
+#      schedule SIGKILLs workers while this script drives sustained raw-TCP
+#      load through the front, and asserts:
+#        - 100% client success: every response during the drill is an
+#          intact "outcome":"ok" line (the journaled retry path makes the
+#          kills invisible — no in-flight-window errors);
+#        - the supervisor restarted every killed worker (restarts >= kills,
+#          drill reports unrecovered=0);
+#        - the router's trace export passes trace_lint.
+#
+# Usage: tools/check_chaos.sh [build_dir]
+# (Also exposed as the `check-chaos` CMake target.)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+cmake --build "${BUILD_DIR}" --target chaos_tests fleet_tests tailormatch_cli \
+  bench_serve_load trace_lint -j"$(nproc)"
+
+(cd "${BUILD_DIR}" && ctest -L chaos --output-on-failure -j"$(nproc)")
+
+WORK_DIR="$(mktemp -d)"
+FLEET_PID=""
+cleanup() {
+  if [ -n "${FLEET_PID}" ] && kill -0 "${FLEET_PID}" 2>/dev/null; then
+    kill "${FLEET_PID}" 2>/dev/null || true
+    wait "${FLEET_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+CKPT="${WORK_DIR}/tiny.ckpt"
+"${BUILD_DIR}/bench/bench_serve_load" --write-tiny-ckpt "${CKPT}"
+
+KILLS=5
+FLEET_LOG="${WORK_DIR}/fleet.log"
+"${BUILD_DIR}/tools/tailormatch" fleet --model "${CKPT}" \
+  --fleet-workers 3 --port 0 --max-batch 4 --max-wait-us 100 \
+  --chaos --chaos-kills "${KILLS}" --chaos-duration-s 4 \
+  --trace 2>"${FLEET_LOG}" &
+FLEET_PID="$!"
+
+PORT=""
+for _ in $(seq 1 200); do
+  PORT="$(sed -n 's/.*fleet front serving JSONL on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${FLEET_LOG}" | head -n1)"
+  [ -n "${PORT}" ] && break
+  if ! kill -0 "${FLEET_PID}" 2>/dev/null; then
+    echo "fleet exited before binding; log:" >&2
+    cat "${FLEET_LOG}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "${PORT}" ]; then
+  echo "fleet never reported its front port; log:" >&2
+  cat "${FLEET_LOG}" >&2
+  exit 1
+fi
+
+# Raw JSONL client over bash's /dev/tcp: writes every argument as one
+# request line, reads one response line per request, echoes them on stdout.
+send_requests() {
+  local line response out=""
+  exec 3<>"/dev/tcp/127.0.0.1/${PORT}"
+  for line in "$@"; do
+    printf '%s\n' "${line}" >&3
+  done
+  for line in "$@"; do
+    if ! IFS= read -r -t 20 response <&3; then
+      echo "timed out / connection closed waiting for a response" >&2
+      exec 3<&- 3>&-
+      return 1
+    fi
+    out+="${response}"$'\n'
+  done
+  exec 3<&- 3>&-
+  printf '%s' "${out}"
+}
+
+match_lines() {
+  local base="$1" count="$2" i lines=()
+  for ((i = 0; i < count; ++i)); do
+    lines+=("{\"id\":\"r$((base + i))\",\"left\":\"widget pro model $((base + i))\",\"right\":\"widget pro model $((base + i + 1))\"}")
+  done
+  printf '%s\n' "${lines[@]}"
+}
+
+fleet_field() {  # fleet_field <json-line> <key>
+  sed -n "s/.*\"$2\":\\([0-9-]*\\).*/\\1/p" <<<"$1"
+}
+
+# Sustained pipelined load for the whole drill window (the schedule's kills
+# land between 0.5s and 4s in). Every single response must be intact ok —
+# the zero-loss failover contract means a SIGKILL mid-batch is invisible.
+TOTAL=0
+BATCH=16
+DEADLINE=$((SECONDS + 5))
+while [ "${SECONDS}" -lt "${DEADLINE}" ]; do
+  mapfile -t BURST < <(match_lines "${TOTAL}" "${BATCH}")
+  if ! RESP="$(send_requests "${BURST[@]}")"; then
+    echo "drill load: a request went unanswered after ${TOTAL} ok" >&2
+    exit 1
+  fi
+  while IFS= read -r line; do
+    case "${line}" in
+      "") ;;
+      {*'"outcome":"ok"'*}) ;;
+      *)
+        echo "drill load: non-ok or torn response: ${line}" >&2
+        exit 1
+        ;;
+    esac
+  done <<<"${RESP}"
+  TOTAL=$((TOTAL + BATCH))
+done
+if [ "${TOTAL}" -lt $((BATCH * 10)) ]; then
+  echo "drill load too thin: only ${TOTAL} requests completed" >&2
+  exit 1
+fi
+
+# Every scheduled kill must have been delivered and recovered.
+RESTARTED=""
+for _ in $(seq 1 100); do
+  TABLE="$(send_requests '{"op":"fleet"}')"
+  RESTARTS="$(fleet_field "${TABLE}" restarts)"
+  if [ "${RESTARTS:-0}" -ge "${KILLS}" ]; then
+    RESTARTED=1
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "${RESTARTED}" ]; then
+  echo "expected >= ${KILLS} restarts; last table: ${TABLE}" >&2
+  exit 1
+fi
+
+STATS="$(send_requests '{"op":"stats"}')"
+ALIVE="$(fleet_field "${STATS}" fleet_alive)"
+if [ "${ALIVE:-0}" -ne 3 ]; then
+  echo "fleet not back at full strength after the drill: ${STATS}" >&2
+  exit 1
+fi
+
+# The failover trace (fleet.route / fleet.retry marks) must lint clean.
+TRACE_OUT="${WORK_DIR}/chaos_trace.json"
+TRACE_RESP="$(send_requests "{\"op\":\"trace\",\"path\":\"${TRACE_OUT}\"}")"
+if ! grep -q '"outcome":"ok"' <<<"${TRACE_RESP}"; then
+  echo "trace export failed: ${TRACE_RESP}" >&2
+  exit 1
+fi
+"${BUILD_DIR}/tools/trace_lint" "${TRACE_OUT}" --min-events 8
+
+send_requests '{"op":"shutdown"}' >/dev/null
+wait "${FLEET_PID}"
+FLEET_PID=""
+
+if ! grep -q 'chaos drill done' "${FLEET_LOG}"; then
+  echo "drill never reported completion; log:" >&2
+  cat "${FLEET_LOG}" >&2
+  exit 1
+fi
+if ! grep -q 'unrecovered=0' "${FLEET_LOG}"; then
+  echo "drill reported unrecovered slots; log:" >&2
+  grep 'chaos drill' "${FLEET_LOG}" >&2
+  exit 1
+fi
+
+echo "check-chaos: suites + ${KILLS}-kill drill, ${TOTAL}/${TOTAL} ok on port ${PORT} clean"

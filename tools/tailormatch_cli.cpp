@@ -45,6 +45,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/autotune.h"
+#include "serve/chaos.h"
 #include "serve/fleet.h"
 #include "serve/jsonl_server.h"
 #include "serve/micro_batcher.h"
@@ -157,6 +158,16 @@ int Usage() {
       "             zygote, consistent-hash routing, crash restart from the\n"
       "             checkpoint; accepts the serve batching/SLO flags plus\n"
       "             [--autotune] per worker\n"
+      "             failover (see DESIGN.md 5h): [--retry-max N] re-dispatch\n"
+      "             attempts (-1 unlimited, 0 off), [--hedge-after-ms MS]\n"
+      "             tail hedging (0 off, -1 auto from the rolling p99),\n"
+      "             [--breaker-failures N] [--breaker-open-ms MS]\n"
+      "             [--breaker-probe-ms MS] per-worker circuit breaker\n"
+      "             chaos drills: [--chaos] replay a seeded fault schedule\n"
+      "             while serving, with [--chaos-seed S] [--chaos-kills K]\n"
+      "             [--chaos-duration-s SEC] [--chaos-pauses P]\n"
+      "             [--chaos-poisson] [--chaos-connect-fail-rate R]\n"
+      "             [--chaos-read-fail-rate R]\n"
       "  export     --benchmark B [--split train|valid|test]\n"
       "             [--format csv|jsonl] --out PATH\n"
       "  benchmarks | families\n"
@@ -449,6 +460,16 @@ int CmdFleet(const ArgMap& args) {
     return Usage();
   }
 
+  // Failover knobs (DESIGN.md §5h).
+  config.retry_max_attempts = int_arg("retry-max", config.retry_max_attempts);
+  const std::string hedge = args.Get("hedge-after-ms", "");
+  if (!hedge.empty()) config.hedge_after_ms = std::atof(hedge.c_str());
+  config.breaker_failure_threshold =
+      int_arg("breaker-failures", config.breaker_failure_threshold);
+  config.breaker_open_ms = int_arg("breaker-open-ms", config.breaker_open_ms);
+  config.breaker_probe_interval_ms =
+      int_arg("breaker-probe-ms", config.breaker_probe_interval_ms);
+
   serve::Fleet fleet(config);
   Status started = fleet.Start();
   if (!started.ok()) {
@@ -456,7 +477,51 @@ int CmdFleet(const ArgMap& args) {
                  started.ToString().c_str());
     return 1;
   }
+
+  // --chaos: replay a seeded fault schedule against the fleet while it
+  // serves — the drill the check-chaos harness drives over TCP.
+  std::unique_ptr<serve::ChaosRunner> chaos;
+  if (args.Has("chaos")) {
+    fault::ChaosScheduleConfig drill;
+    const std::string seed = args.Get("chaos-seed", "");
+    if (!seed.empty()) {
+      drill.seed = static_cast<uint64_t>(std::atoll(seed.c_str()));
+    }
+    drill.targets = config.num_workers;
+    drill.kills = int_arg("chaos-kills", drill.kills);
+    const std::string duration = args.Get("chaos-duration-s", "");
+    if (!duration.empty()) drill.duration_s = std::atof(duration.c_str());
+    drill.pauses = int_arg("chaos-pauses", drill.pauses);
+    drill.poisson = args.Has("chaos-poisson");
+    const std::string connect_rate = args.Get("chaos-connect-fail-rate", "");
+    if (!connect_rate.empty()) {
+      drill.connect_fail_rate = std::atof(connect_rate.c_str());
+    }
+    const std::string read_rate = args.Get("chaos-read-fail-rate", "");
+    if (!read_rate.empty()) {
+      drill.read_fail_rate = std::atof(read_rate.c_str());
+    }
+    fault::FaultSchedule schedule = fault::FaultSchedule::Build(drill);
+    std::fprintf(stderr, "chaos drill: %s\n", schedule.ToJson().c_str());
+    chaos = std::make_unique<serve::ChaosRunner>(&fleet, std::move(schedule));
+    chaos->Start();
+  }
+
   Status served = fleet.ServeFront(int_arg("port", 0));
+  if (chaos != nullptr) {
+    chaos->Stop();
+    const serve::ChaosDrillStats drill_stats = chaos->stats();
+    double worst_ms = 0.0;
+    for (double ms : drill_stats.recovery_ms) {
+      if (ms > worst_ms) worst_ms = ms;
+    }
+    std::fprintf(stderr,
+                 "chaos drill done: kills=%d pauses=%d recovered=%zu "
+                 "unrecovered=%d worst_recovery_ms=%.1f\n",
+                 drill_stats.kills, drill_stats.pauses,
+                 drill_stats.recovery_ms.size(), drill_stats.unrecovered,
+                 worst_ms);
+  }
   fleet.Stop();
   if (!served.ok()) {
     std::fprintf(stderr, "fleet front failed: %s\n",
