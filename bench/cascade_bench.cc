@@ -1,0 +1,246 @@
+// Million-entity deduplication cascade benchmark (DESIGN.md §5i), written
+// to BENCH_cascade.json:
+//
+//   1. recall-vs-LLM-budget curve: the synthetic corpus at 10k and 100k
+//      entities, the cascade run at 0 / 0.02 / 0.05 / 0.1 / 0.2 LLM calls
+//      per entity, plus the exhaustive-blocking baseline (no posting
+//      pruning, no LSH) at the default 0.1 budget as the recall ceiling;
+//   2. a single 1M-entity cascade run at the default budget — the scale
+//      the pruned index + ANN layer exists for (the exhaustive baseline is
+//      O(n^2)-ish and is skipped at this size);
+//   3. index-build parallel scaling: CascadeIndex::Build at 1 vs 4 threads
+//      over the 100k corpus (identical postings either way; the merge
+//      order is deterministic);
+//   4. per-stage p99 wall times from the cascade.<stage>.ms histograms
+//      accumulated across every run above.
+//
+// Environment knobs:
+//   TM_CASCADE_MAX=N   cap the largest corpus (default 1000000; set 100000
+//                      to skip the 1M tier on slow machines)
+//   TM_CASCADE_EXACT=0 skip the exhaustive baselines
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cascade/ann_index.h"
+#include "cascade/dedup.h"
+#include "data/corpus_stream.h"
+#include "llm/sim_llm.h"
+#include "obs/metrics.h"
+#include "text/tfidf.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+using namespace tailormatch;
+
+namespace {
+
+constexpr uint64_t kSeed = 20260809;  // documented in EXPERIMENTS.md
+
+llm::SimLlm MakeCascadeModel() {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back("do the two entity descriptions refer to the same "
+                     "real-world product entity 1 widget pro model " +
+                     std::to_string(i) + " entity 2 widget pro model " +
+                     std::to_string(i + 1));
+  }
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1200, 1);
+  llm::ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.max_seq = 32;
+  config.init_seed = 11;
+  return llm::SimLlm(config, std::move(tokenizer));
+}
+
+struct RunRecord {
+  size_t entities = 0;
+  double budget = 0.0;
+  bool exact = false;
+  cascade::DedupReport report;
+  double total_ms = 0.0;
+};
+
+RunRecord RunCascade(const llm::SimLlm* model, size_t entities, double budget,
+                     bool exact) {
+  data::CorpusStreamConfig corpus;
+  corpus.num_entities = entities;
+  corpus.seed = kSeed;
+
+  cascade::DedupOptions options;
+  options.llm_budget_per_entity = budget;
+  options.num_threads = 4;
+  options.index.seed = kSeed;
+  if (exact) {
+    options.index.max_posting_length = 0;
+    options.index.max_df_fraction = 1.0;
+    options.index.lsh_tables = 0;
+  }
+
+  data::CorpusStream stream(corpus);
+  cascade::DedupPipeline pipeline(options, model);
+  Result<cascade::DedupReport> result = pipeline.Run(stream);
+  TM_CHECK(result.ok()) << result.status().ToString();
+
+  RunRecord record;
+  record.entities = entities;
+  record.budget = budget;
+  record.exact = exact;
+  record.report = std::move(result).value();
+  for (const auto& [stage, ms] : record.report.stage_ms) {
+    record.total_ms += ms;
+  }
+  std::printf("%8zu entities  budget %.2f %s  blocking recall %.4f  "
+              "pair recall %.4f  precision %.4f  calls/entity %.4f  "
+              "%.0fms\n",
+              entities, budget, record.exact ? "exact  " : "cascade",
+              record.report.candidate_recall, record.report.pair_recall,
+              record.report.pair_precision,
+              record.report.llm_calls_per_entity, record.total_ms);
+  std::fflush(stdout);
+  return record;
+}
+
+void AppendRunJson(const RunRecord& record, bool last, std::string* json) {
+  const cascade::DedupReport& report = record.report;
+  *json += "    {";
+  *json += StrFormat("\"entities\": %zu, ", record.entities);
+  *json += StrFormat("\"budget\": %.3f, ", record.budget);
+  *json += StrFormat("\"exact\": %s, ", record.exact ? "true" : "false");
+  *json += StrFormat("\"true_pairs\": %llu, ",
+                     static_cast<unsigned long long>(report.true_pairs));
+  *json += StrFormat("\"candidate_pairs\": %zu, ", report.candidate_pairs);
+  *json += StrFormat("\"candidate_recall\": %.6f, ", report.candidate_recall);
+  *json += StrFormat("\"uncertain\": %zu, ", report.uncertain);
+  *json += StrFormat("\"escalated\": %zu, ", report.escalated);
+  *json += StrFormat("\"llm_calls_per_entity\": %.6f, ",
+                     report.llm_calls_per_entity);
+  *json += StrFormat("\"pair_recall\": %.6f, ", report.pair_recall);
+  *json += StrFormat("\"pair_precision\": %.6f, ", report.pair_precision);
+  *json += StrFormat("\"clusters\": %zu, ", report.clusters);
+  *json += StrFormat("\"total_ms\": %.1f, ", record.total_ms);
+  *json += "\"stage_ms\": {";
+  bool first = true;
+  for (const auto& [stage, ms] : report.stage_ms) {
+    *json += StrFormat("%s\"%s\": %.2f", first ? "" : ", ", stage.c_str(), ms);
+    first = false;
+  }
+  *json += "}}";
+  *json += last ? "\n" : ",\n";
+}
+
+double EnvSize(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr || *value == '\0' ? fallback : std::atof(value);
+}
+
+}  // namespace
+
+int main() {
+  const size_t max_entities =
+      static_cast<size_t>(EnvSize("TM_CASCADE_MAX", 1000000.0));
+  const bool run_exact = EnvSize("TM_CASCADE_EXACT", 1.0) != 0.0;
+  llm::SimLlm model = MakeCascadeModel();
+
+  const std::vector<double> budgets = {0.0, 0.02, 0.05, 0.1, 0.2};
+  std::vector<size_t> scales = {10000, 100000};
+  std::vector<RunRecord> runs;
+
+  for (size_t entities : scales) {
+    if (entities > max_entities) continue;
+    for (double budget : budgets) {
+      runs.push_back(RunCascade(&model, entities, budget, /*exact=*/false));
+    }
+    if (run_exact) {
+      runs.push_back(RunCascade(&model, entities, 0.1, /*exact=*/true));
+    }
+  }
+  if (max_entities >= 1000000) {
+    runs.push_back(RunCascade(&model, 1000000, 0.1, /*exact=*/false));
+  }
+
+  // Index-build scaling at the 100k tier: same postings at every thread
+  // count, so the only difference is wall time.
+  double build_ms_1 = 0.0, build_ms_4 = 0.0;
+  size_t postings_1 = 0, postings_4 = 0;
+  {
+    const size_t entities = std::min<size_t>(100000, max_entities);
+    data::CorpusStreamConfig corpus;
+    corpus.num_entities = entities;
+    corpus.seed = kSeed;
+    data::CorpusStream stream(corpus);
+    std::vector<std::string> surfaces;
+    data::Entity entity;
+    while (stream.Next(&entity)) surfaces.push_back(entity.surface);
+    text::TfidfEmbedder embedder;
+    embedder.Fit(surfaces);
+    std::vector<text::SparseVector> vectors;
+    vectors.reserve(surfaces.size());
+    for (const std::string& surface : surfaces) {
+      vectors.push_back(embedder.Embed(surface));
+    }
+    cascade::CascadeIndexOptions options;
+    options.seed = kSeed;
+    const auto timed_build = [&](int threads, size_t* postings) {
+      cascade::CascadeIndex index(options);
+      const auto start = std::chrono::steady_clock::now();
+      index.Build(&vectors, threads);
+      *postings = index.num_postings();
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    build_ms_1 = timed_build(1, &postings_1);
+    build_ms_4 = timed_build(4, &postings_4);
+    TM_CHECK_EQ(postings_1, postings_4);
+    std::printf("index build %zu entities: 1 thread %.0fms, 4 threads %.0fms "
+                "(identical %zu postings)\n",
+                entities, build_ms_1, build_ms_4, postings_1);
+  }
+
+  std::string json = "{\n  \"bench\": \"cascade\",\n";
+  json += StrFormat("  \"seed\": %llu,\n",
+                    static_cast<unsigned long long>(kSeed));
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    AppendRunJson(runs[i], i + 1 == runs.size(), &json);
+  }
+  json += "  ],\n";
+  json += StrFormat(
+      "  \"index_build\": {\"entities\": %zu, \"threads1_ms\": %.1f, "
+      "\"threads4_ms\": %.1f, \"speedup\": %.2f, \"postings\": %zu},\n",
+      std::min<size_t>(100000, max_entities), build_ms_1, build_ms_4,
+      build_ms_4 > 0.0 ? build_ms_1 / build_ms_4 : 0.0, postings_1);
+
+  // Per-stage p99 across every run above, from the pipeline's histograms.
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  json += "  \"stage_p99_ms\": {";
+  bool first = true;
+  for (const char* stage : {"ingest", "embed", "index", "candidates",
+                            "calibrate", "score", "escalate", "cluster"}) {
+    const auto* stats =
+        snapshot.FindHistogram(std::string("cascade.") + stage + ".ms");
+    if (stats == nullptr) continue;
+    json += StrFormat("%s\"%s\": %.2f", first ? "" : ", ", stage, stats->p99);
+    first = false;
+  }
+  json += "}\n}\n";
+
+  FILE* out = std::fopen("BENCH_cascade.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_cascade.json\n");
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("wrote BENCH_cascade.json (%zu runs)\n", runs.size());
+  return 0;
+}

@@ -86,7 +86,11 @@ class SortedNeighborhoodBlocker : public Blocker {
 
 // TF-IDF k-nearest-neighbour blocking: each record pairs with its k most
 // cosine-similar records (the embedding-space analogue the paper uses for
-// demonstration selection).
+// demonstration selection). Queries run through text::NearestNeighborIndex,
+// which is backed by the sharded inverted index of text/inverted_index.h —
+// exact cosine scores, but only documents sharing at least one term are
+// visited. For million-entity scale with posting-list pruning and LSH
+// candidate generation, use cascade::CascadeIndex (DESIGN.md §5i) instead.
 class TfidfKnnBlocker : public Blocker {
  public:
   explicit TfidfKnnBlocker(int k = 5) : k_(k) {}

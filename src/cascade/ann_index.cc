@@ -1,0 +1,174 @@
+#include "cascade/ann_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tailormatch::cascade {
+
+namespace {
+
+// Pseudo-random hyperplane component for (seed, table, bit, term) in
+// [-1, 1). Pure function of its inputs (Rng::MixStream), so signatures can
+// be computed for any document on any thread in any order and still agree.
+double HyperplaneComponent(uint64_t seed, int table, int bit, int term) {
+  const uint64_t stream =
+      (static_cast<uint64_t>(table) << 40) ^ (static_cast<uint64_t>(bit) << 20);
+  const uint64_t mixed =
+      Rng::MixStream(seed ^ stream, static_cast<uint64_t>(term));
+  return static_cast<double>(mixed >> 11) * (1.0 / 4503599627370496.0) - 1.0;
+}
+
+}  // namespace
+
+CascadeIndex::CascadeIndex(CascadeIndexOptions options)
+    : options_(options),
+      index_(text::InvertedIndexOptions{options.max_posting_length,
+                                        options.max_df_fraction}) {
+  TM_CHECK_GE(options_.lsh_tables, 0);
+  TM_CHECK_GT(options_.lsh_bits, 0);
+  TM_CHECK_LE(options_.lsh_bits, 32);
+}
+
+uint32_t CascadeIndex::Signature(const text::SparseVector& vector,
+                                 int table) const {
+  uint32_t signature = 0;
+  for (int bit = 0; bit < options_.lsh_bits; ++bit) {
+    double projection = 0.0;
+    for (const auto& [term, weight] : vector) {
+      projection += static_cast<double>(weight) *
+                    HyperplaneComponent(options_.seed, table, bit, term);
+    }
+    if (projection > 0.0) signature |= (1u << bit);
+  }
+  return signature;
+}
+
+void CascadeIndex::Build(const std::vector<text::SparseVector>* vectors,
+                         int num_threads) {
+  TM_CHECK(vectors != nullptr);
+  vectors_ = vectors;
+  index_.Build(*vectors, num_threads);
+
+  buckets_.assign(static_cast<size_t>(options_.lsh_tables), {});
+  signatures_.assign(vectors->size() * static_cast<size_t>(options_.lsh_tables),
+                     0);
+  if (options_.lsh_tables == 0 || vectors->empty()) return;
+
+  // Signatures are independent per (doc, table): compute in parallel, then
+  // fill buckets in ascending doc order so bucket contents are deterministic.
+  ThreadPool::ParallelFor(
+      vectors->size(), static_cast<size_t>(std::max(1, num_threads)),
+      [&](size_t doc) {
+        for (int table = 0; table < options_.lsh_tables; ++table) {
+          signatures_[doc * static_cast<size_t>(options_.lsh_tables) +
+                      static_cast<size_t>(table)] =
+              Signature((*vectors)[doc], table);
+        }
+      },
+      /*grain=*/64);
+  for (size_t doc = 0; doc < vectors->size(); ++doc) {
+    for (int table = 0; table < options_.lsh_tables; ++table) {
+      const uint32_t signature =
+          signatures_[doc * static_cast<size_t>(options_.lsh_tables) +
+                      static_cast<size_t>(table)];
+      buckets_[static_cast<size_t>(table)][signature].push_back(
+          static_cast<int>(doc));
+    }
+  }
+}
+
+std::vector<CascadeIndex::Neighbor> CascadeIndex::QueryVector(
+    const text::SparseVector& query, int k, int exclude) const {
+  TM_CHECK(vectors_ != nullptr) << "Build must be called first";
+  std::vector<Neighbor> out;
+  if (k <= 0) return out;
+
+  // Lexical candidates: docs sharing an unpruned term with the query. The
+  // accumulated partial dot is discarded; it only nominates candidates.
+  std::unordered_map<int, double> acc;
+  index_.AccumulateDot(query, &acc);
+  std::vector<int> candidates;
+  candidates.reserve(acc.size());
+  for (const auto& [doc, dot] : acc) candidates.push_back(doc);
+
+  // ANN candidates: bucket mates in any LSH table.
+  for (int table = 0; table < options_.lsh_tables; ++table) {
+    const auto& table_buckets = buckets_[static_cast<size_t>(table)];
+    const auto it = table_buckets.find(Signature(query, table));
+    if (it == table_buckets.end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Exact re-scoring over the candidate set.
+  std::vector<Neighbor> scored;
+  scored.reserve(candidates.size());
+  for (int doc : candidates) {
+    if (doc == exclude) continue;
+    const double cosine = text::TfidfEmbedder::Cosine(
+        query, (*vectors_)[static_cast<size_t>(doc)]);
+    if (cosine > 0.0) scored.push_back({doc, cosine});
+  }
+  const size_t take = std::min(scored.size(), static_cast<size_t>(k));
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  scored.resize(take);
+  return scored;
+}
+
+std::vector<CascadeIndex::Neighbor> CascadeIndex::Query(int doc, int k) const {
+  TM_CHECK(vectors_ != nullptr) << "Build must be called first";
+  TM_CHECK_GE(doc, 0);
+  TM_CHECK_LT(static_cast<size_t>(doc), vectors_->size());
+  const text::SparseVector& query = (*vectors_)[static_cast<size_t>(doc)];
+  if (options_.lsh_tables == 0) return QueryVector(query, k, doc);
+
+  // Same as QueryVector but reusing the precomputed signatures.
+  std::unordered_map<int, double> acc;
+  index_.AccumulateDot(query, &acc);
+  std::vector<int> candidates;
+  candidates.reserve(acc.size());
+  for (const auto& [other, dot] : acc) candidates.push_back(other);
+  for (int table = 0; table < options_.lsh_tables; ++table) {
+    const uint32_t signature =
+        signatures_[static_cast<size_t>(doc) *
+                        static_cast<size_t>(options_.lsh_tables) +
+                    static_cast<size_t>(table)];
+    const auto& table_buckets = buckets_[static_cast<size_t>(table)];
+    const auto it = table_buckets.find(signature);
+    if (it == table_buckets.end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<Neighbor> scored;
+  scored.reserve(candidates.size());
+  for (int other : candidates) {
+    if (other == doc) continue;
+    const double cosine = text::TfidfEmbedder::Cosine(
+        query, (*vectors_)[static_cast<size_t>(other)]);
+    if (cosine > 0.0) scored.push_back({other, cosine});
+  }
+  const size_t take =
+      std::min(scored.size(), static_cast<size_t>(std::max(0, k)));
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  scored.resize(take);
+  return scored;
+}
+
+}  // namespace tailormatch::cascade

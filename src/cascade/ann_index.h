@@ -1,0 +1,83 @@
+#ifndef TAILORMATCH_CASCADE_ANN_INDEX_H_
+#define TAILORMATCH_CASCADE_ANN_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/inverted_index.h"
+#include "text/tfidf.h"
+
+namespace tailormatch::cascade {
+
+struct CascadeIndexOptions {
+  // Posting-list pruning for the lexical layer: keep only the
+  // `max_posting_length` highest-weight documents per term, and drop terms
+  // entirely once they appear in more than `max_df_fraction` of documents.
+  // 0 / 1.0 disable pruning, which makes candidate generation exhaustive
+  // (the exact-KNN baseline runs the very same code path that way).
+  int max_posting_length = 64;
+  double max_df_fraction = 0.25;
+
+  // Random-hyperplane LSH layer: `lsh_tables` signatures of `lsh_bits` bits
+  // each. Documents whose signature collides in any table become candidates
+  // even when posting pruning dropped their shared terms. 0 tables disables
+  // the layer.
+  int lsh_tables = 6;
+  int lsh_bits = 14;
+
+  uint64_t seed = 20260809;
+};
+
+// Approximate nearest-neighbour index over TF-IDF sparse vectors: a pruned
+// inverted index (cheap lexical candidates) unioned with random-hyperplane
+// LSH buckets (recovers near-duplicates whose strongest terms got pruned),
+// followed by exact cosine re-scoring of the candidate set. Build is
+// parallel with a deterministic merge order: the same corpus and options
+// produce the same index — and the same query results — for any thread
+// count.
+//
+// The index borrows the vectors it is built over; the caller keeps them
+// alive and unchanged for the index's lifetime.
+class CascadeIndex {
+ public:
+  explicit CascadeIndex(CascadeIndexOptions options = {});
+
+  void Build(const std::vector<text::SparseVector>* vectors,
+             int num_threads = 1);
+
+  struct Neighbor {
+    int doc = 0;
+    double score = 0.0;  // exact cosine
+  };
+
+  // Top-k neighbours of document `doc` (itself excluded), highest cosine
+  // first, ties to the lower doc id. Only candidates with positive cosine
+  // are returned.
+  std::vector<Neighbor> Query(int doc, int k) const;
+
+  // Same, for an arbitrary query vector; `exclude` skips one doc (-1 none).
+  std::vector<Neighbor> QueryVector(const text::SparseVector& query, int k,
+                                    int exclude = -1) const;
+
+  // Signature of a vector in LSH table `table` (exposed for tests).
+  uint32_t Signature(const text::SparseVector& vector, int table) const;
+
+  size_t num_docs() const { return vectors_ == nullptr ? 0 : vectors_->size(); }
+  size_t num_postings() const { return index_.num_postings(); }
+  const CascadeIndexOptions& options() const { return options_; }
+
+ private:
+  CascadeIndexOptions options_;
+  const std::vector<text::SparseVector>* vectors_ = nullptr;
+  text::InvertedIndex index_;
+  // buckets_[table] maps signature -> docs, docs ascending.
+  std::vector<std::unordered_map<uint32_t, std::vector<int>>> buckets_;
+  // signatures_[doc * lsh_tables + table], for querying by doc id without
+  // recomputing hyperplane projections.
+  std::vector<uint32_t> signatures_;
+};
+
+}  // namespace tailormatch::cascade
+
+#endif  // TAILORMATCH_CASCADE_ANN_INDEX_H_

@@ -1,0 +1,166 @@
+#include "cascade/cheap_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace tailormatch::cascade {
+
+namespace {
+
+uint64_t HashToken(const std::string& token) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a
+  for (char c : token) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// |a ∩ b| of two sorted unique vectors.
+size_t Intersection(const std::vector<uint64_t>& a,
+                    const std::vector<uint64_t>& b) {
+  size_t i = 0, j = 0, shared = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++shared;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return shared;
+}
+
+double Jaccard(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t shared = Intersection(a, b);
+  return static_cast<double>(shared) /
+         static_cast<double>(a.size() + b.size() - shared);
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+DocProfile MakeDocProfile(const std::string& surface) {
+  DocProfile profile;
+  profile.surface_length = static_cast<int>(surface.size());
+  for (const std::string& token : text::PreTokenize(surface)) {
+    ++profile.num_tokens;
+    const uint64_t hash = HashToken(token);
+    profile.tokens.push_back(hash);
+    if (std::any_of(token.begin(), token.end(),
+                    [](char c) { return c >= '0' && c <= '9'; })) {
+      profile.digit_tokens.push_back(hash);
+    }
+  }
+  auto dedupe = [](std::vector<uint64_t>& hashes) {
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  };
+  dedupe(profile.tokens);
+  dedupe(profile.digit_tokens);
+  return profile;
+}
+
+PairFeatures ComputeFeatures(double cosine, const DocProfile& a,
+                             const DocProfile& b) {
+  PairFeatures features;
+  features.values[0] = std::clamp(cosine, 0.0, 1.0);
+  features.values[1] = Jaccard(a.tokens, b.tokens);
+  features.values[2] = Jaccard(a.digit_tokens, b.digit_tokens);
+  const size_t min_tokens = std::min(a.tokens.size(), b.tokens.size());
+  features.values[3] =
+      min_tokens == 0
+          ? 1.0
+          : static_cast<double>(Intersection(a.tokens, b.tokens)) /
+                static_cast<double>(min_tokens);
+  const int max_len = std::max(a.surface_length, b.surface_length);
+  features.values[4] =
+      max_len == 0 ? 1.0
+                   : static_cast<double>(
+                         std::min(a.surface_length, b.surface_length)) /
+                         max_len;
+  const int max_count = std::max(a.num_tokens, b.num_tokens);
+  features.values[5] =
+      max_count == 0
+          ? 1.0
+          : static_cast<double>(std::min(a.num_tokens, b.num_tokens)) /
+                max_count;
+  return features;
+}
+
+void CheapScorer::Fit(const std::vector<TrainPair>& pairs) {
+  // Deterministic split: every third pair calibrates, the rest train.
+  std::vector<const TrainPair*> train, holdout;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    (i % 3 == 2 ? holdout : train).push_back(&pairs[i]);
+  }
+  if (holdout.empty()) holdout = train;
+  int train_pos = 0;
+  for (const TrainPair* pair : train) train_pos += pair->label ? 1 : 0;
+  TM_CHECK_GT(train_pos, 0) << "CheapScorer::Fit needs a positive pair";
+  TM_CHECK_LT(train_pos, static_cast<int>(train.size()))
+      << "CheapScorer::Fit needs a negative pair";
+
+  // Full-batch logistic regression, zero init, fixed schedule.
+  constexpr int kIterations = 400;
+  constexpr double kLearningRate = 0.5;
+  constexpr double kL2 = 1e-4;
+  weights_.fill(0.0);
+  const double inv_n = 1.0 / static_cast<double>(train.size());
+  for (int iter = 0; iter < kIterations; ++iter) {
+    std::array<double, PairFeatures::kNumFeatures + 1> grad{};
+    for (const TrainPair* pair : train) {
+      const double error =
+          Sigmoid(Logit(pair->features)) - (pair->label ? 1.0 : 0.0);
+      for (int f = 0; f < PairFeatures::kNumFeatures; ++f) {
+        grad[static_cast<size_t>(f)] += error * pair->features.values[f];
+      }
+      grad[PairFeatures::kNumFeatures] += error;
+    }
+    for (size_t f = 0; f < weights_.size(); ++f) {
+      weights_[f] -= kLearningRate * (grad[f] * inv_n + kL2 * weights_[f]);
+    }
+  }
+
+  // Platt scaling on the held-out slice: sigmoid(a * logit + b) fitted by
+  // gradient descent on the log loss, from the identity (a=1, b=0).
+  platt_a_ = 1.0;
+  platt_b_ = 0.0;
+  const double inv_m = 1.0 / static_cast<double>(holdout.size());
+  for (int iter = 0; iter < 500; ++iter) {
+    double grad_a = 0.0, grad_b = 0.0;
+    for (const TrainPair* pair : holdout) {
+      const double z = Logit(pair->features);
+      const double error =
+          Sigmoid(platt_a_ * z + platt_b_) - (pair->label ? 1.0 : 0.0);
+      grad_a += error * z;
+      grad_b += error;
+    }
+    platt_a_ -= 0.1 * grad_a * inv_m;
+    platt_b_ -= 0.1 * grad_b * inv_m;
+  }
+  fitted_ = true;
+}
+
+double CheapScorer::Logit(const PairFeatures& features) const {
+  double logit = weights_[PairFeatures::kNumFeatures];
+  for (int f = 0; f < PairFeatures::kNumFeatures; ++f) {
+    logit += weights_[static_cast<size_t>(f)] * features.values[f];
+  }
+  return logit;
+}
+
+double CheapScorer::Score(const PairFeatures& features) const {
+  TM_CHECK(fitted_) << "CheapScorer::Fit must be called first";
+  return Sigmoid(platt_a_ * Logit(features) + platt_b_);
+}
+
+}  // namespace tailormatch::cascade

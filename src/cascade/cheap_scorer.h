@@ -1,0 +1,78 @@
+#ifndef TAILORMATCH_CASCADE_CHEAP_SCORER_H_
+#define TAILORMATCH_CASCADE_CHEAP_SCORER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tailormatch::cascade {
+
+// Precomputed per-record lexical profile; everything pair scoring needs
+// without re-tokenizing the surface for each of its candidate pairs.
+struct DocProfile {
+  std::vector<uint64_t> tokens;        // sorted unique token hashes
+  std::vector<uint64_t> digit_tokens;  // subset: tokens containing a digit
+  int num_tokens = 0;                  // with multiplicity
+  int surface_length = 0;
+};
+
+DocProfile MakeDocProfile(const std::string& surface);
+
+// Pairwise features, each in [0, 1], higher = more match-like.
+struct PairFeatures {
+  static constexpr int kNumFeatures = 6;
+  // [0] embedding cosine, [1] token jaccard, [2] digit-token jaccard
+  // (model numbers / years — the strongest sibling discriminator),
+  // [3] token containment |a∩b| / min(|a|,|b|), [4] surface length ratio,
+  // [5] token count ratio.
+  std::array<double, kNumFeatures> values{};
+};
+
+PairFeatures ComputeFeatures(double cosine, const DocProfile& a,
+                             const DocProfile& b);
+
+// Calibrated cheap match scorer: a logistic head over PairFeatures whose
+// output is Platt-scaled on a held-out slice of the training pairs, so
+// Score() is a usable P(match) — the cascade's banding thresholds cut on
+// probability, not on an arbitrary margin. Training is full-batch gradient
+// descent from zero initialization: no randomness, identical weights for
+// identical inputs.
+class CheapScorer {
+ public:
+  struct TrainPair {
+    PairFeatures features;
+    bool label = false;
+  };
+
+  // Fits the logistic head on ~2/3 of `pairs` and the Platt calibration
+  // layer on the held-out remainder (every third pair). Requires at least
+  // one positive and one negative pair.
+  void Fit(const std::vector<TrainPair>& pairs);
+
+  bool fitted() const { return fitted_; }
+
+  // Calibrated P(match).
+  double Score(const PairFeatures& features) const;
+
+  // Uncalibrated model logit w·f + b (exposed for tests: Platt scaling must
+  // be monotone in this).
+  double Logit(const PairFeatures& features) const;
+
+  // Platt parameters: Score = sigmoid(platt_a * Logit + platt_b).
+  double platt_a() const { return platt_a_; }
+  double platt_b() const { return platt_b_; }
+  const std::array<double, PairFeatures::kNumFeatures + 1>& weights() const {
+    return weights_;  // last entry is the bias
+  }
+
+ private:
+  std::array<double, PairFeatures::kNumFeatures + 1> weights_{};
+  double platt_a_ = 1.0;
+  double platt_b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace tailormatch::cascade
+
+#endif  // TAILORMATCH_CASCADE_CHEAP_SCORER_H_

@@ -1,0 +1,422 @@
+#include "cascade/dedup.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <unordered_map>
+
+#include "cascade/union_find.h"
+#include "core/matcher.h"
+#include "core/run_journal.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/check.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace tailormatch::cascade {
+
+namespace {
+
+// A candidate pair in canonical (low, high) order with its exact cosine.
+struct Candidate {
+  int a = 0;
+  int b = 0;
+  float cosine = 0.0f;
+  bool operator<(const Candidate& other) const {
+    if (a != other.a) return a < other.a;
+    return b < other.b;
+  }
+  bool operator==(const Candidate& other) const {
+    return a == other.a && b == other.b;
+  }
+};
+
+class StageTimer {
+ public:
+  StageTimer(std::string name, DedupReport* report)
+      : name_(std::move(name)),
+        report_(report),
+        start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    report_->stage_ms[name_] = ms;
+    obs::MetricsRegistry::Global()
+        .GetHistogram("cascade." + name_ + ".ms")
+        .Record(ms);
+  }
+
+ private:
+  std::string name_;
+  DedupReport* report_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+std::string JoinProbabilities(const std::vector<double>& probabilities) {
+  std::string joined;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    if (i > 0) joined += ",";
+    joined += StrFormat("%.17g", probabilities[i]);
+  }
+  return joined;
+}
+
+bool ParseProbabilities(const std::string& payload, size_t expected,
+                        std::vector<double>* probabilities) {
+  probabilities->clear();
+  const char* cursor = payload.c_str();
+  while (*cursor != '\0') {
+    char* end = nullptr;
+    probabilities->push_back(std::strtod(cursor, &end));
+    if (end == cursor) return false;
+    cursor = *end == ',' ? end + 1 : end;
+  }
+  return probabilities->size() == expected;
+}
+
+uint64_t PairsAmong(uint64_t count) { return count * (count - 1) / 2; }
+
+}  // namespace
+
+DedupPipeline::DedupPipeline(DedupOptions options, const llm::SimLlm* model)
+    : options_(std::move(options)), model_(model) {
+  TM_CHECK_GT(options_.chunk_size, 0u);
+  TM_CHECK_GT(options_.k, 0);
+  TM_CHECK_GT(options_.llm_batch_size, 0u);
+  TM_CHECK_LE(options_.band_low, options_.band_high);
+}
+
+Result<DedupReport> DedupPipeline::Run(data::CorpusStream& stream) {
+  TM_SPAN("dedup");
+  auto& metrics = obs::MetricsRegistry::Global();
+  DedupReport report;
+
+  core::RunJournal journal;
+  if (!options_.work_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.work_dir, ec);
+    journal = core::RunJournal(options_.work_dir, options_.run_key);
+    report.resumed = journal.Has("ingest.done");
+  }
+  // The test seam that simulates a crash right after `stage` committed.
+  auto stop_requested = [&](const std::string& stage) {
+    return options_.stop_after_stage == stage;
+  };
+
+  // ---- Ingest: chunked drain of the stream. The stream is seeded, so a
+  // resumed run regenerates the identical corpus instead of spilling it.
+  std::vector<std::string> surfaces;
+  std::vector<uint64_t> entity_ids;
+  {
+    TM_SPAN("ingest");
+    StageTimer timer("ingest", &report);
+    std::vector<data::Entity> chunk;
+    chunk.reserve(options_.chunk_size);
+    for (;;) {
+      chunk.clear();
+      if (stream.NextChunk(&chunk, options_.chunk_size) == 0) break;
+      for (data::Entity& entity : chunk) {
+        surfaces.push_back(std::move(entity.surface));
+        entity_ids.push_back(entity.entity_id);
+      }
+    }
+    report.num_records = surfaces.size();
+    report.true_pairs = stream.true_pairs();
+    metrics.GetCounter("cascade.records")
+        .Increment(static_cast<int64_t>(surfaces.size()));
+    const std::string fingerprint =
+        StrFormat("%zu %llu", surfaces.size(),
+                  static_cast<unsigned long long>(report.true_pairs));
+    if (journal.Has("ingest.done") && journal.Payload("ingest.done") != fingerprint) {
+      return Status::FailedPrecondition(
+          "dedup journal was written for a different corpus: " +
+          journal.Payload("ingest.done") + " vs " + fingerprint);
+    }
+    TM_RETURN_IF_ERROR(journal.Record("ingest.done", fingerprint));
+  }
+  if (surfaces.empty()) return report;
+  if (stop_requested("ingest")) {
+    return Status::Internal("dedup stopped after stage ingest (test seam)");
+  }
+  const size_t n = surfaces.size();
+
+  // ---- Embed: fit the TF-IDF space on the corpus and embed every record.
+  text::TfidfEmbedder embedder;
+  std::vector<text::SparseVector> vectors(n);
+  std::vector<DocProfile> profiles(n);
+  {
+    TM_SPAN("embed");
+    StageTimer timer("embed", &report);
+    embedder.Fit(surfaces);
+    ThreadPool::ParallelFor(
+        n, static_cast<size_t>(std::max(1, options_.num_threads)),
+        [&](size_t i) {
+          vectors[i] = embedder.Embed(surfaces[i]);
+          profiles[i] = MakeDocProfile(surfaces[i]);
+        },
+        /*grain=*/128);
+  }
+
+  // ---- Index: pruned inverted index + LSH tables, parallel build.
+  CascadeIndex index(options_.index);
+  {
+    TM_SPAN("index");
+    StageTimer timer("index", &report);
+    index.Build(&vectors, options_.num_threads);
+  }
+
+  // ---- Candidates: top-k neighbours per record, deduplicated into
+  // canonical pairs. Queries are independent; the merge is in doc order.
+  std::vector<Candidate> candidates;
+  {
+    TM_SPAN("candidates");
+    StageTimer timer("candidates", &report);
+    std::vector<std::vector<Candidate>> per_doc(n);
+    ThreadPool::ParallelFor(
+        n, static_cast<size_t>(std::max(1, options_.num_threads)),
+        [&](size_t i) {
+          for (const CascadeIndex::Neighbor& neighbor :
+               index.Query(static_cast<int>(i), options_.k)) {
+            Candidate candidate;
+            candidate.a = std::min(static_cast<int>(i), neighbor.doc);
+            candidate.b = std::max(static_cast<int>(i), neighbor.doc);
+            candidate.cosine = static_cast<float>(neighbor.score);
+            per_doc[i].push_back(candidate);
+          }
+        },
+        /*grain=*/64);
+    size_t total = 0;
+    for (const auto& list : per_doc) total += list.size();
+    candidates.reserve(total);
+    for (auto& list : per_doc) {
+      candidates.insert(candidates.end(), list.begin(), list.end());
+      list.clear();
+      list.shrink_to_fit();
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    report.candidate_pairs = candidates.size();
+    for (const Candidate& candidate : candidates) {
+      if (entity_ids[static_cast<size_t>(candidate.a)] ==
+          entity_ids[static_cast<size_t>(candidate.b)]) {
+        ++report.candidate_true_pairs;
+      }
+    }
+    report.candidate_recall =
+        report.true_pairs == 0
+            ? 1.0
+            : static_cast<double>(report.candidate_true_pairs) /
+                  static_cast<double>(report.true_pairs);
+    metrics.GetCounter("cascade.candidates")
+        .Increment(static_cast<int64_t>(candidates.size()));
+  }
+  if (stop_requested("candidates")) {
+    return Status::Internal("dedup stopped after stage candidates (test seam)");
+  }
+
+  // ---- Calibrate: fit the cheap scorer on a deterministic slice of the
+  // candidates, labelled by generator ground truth (the synthetic stand-in
+  // for the small labelled sample a production run would hold).
+  CheapScorer scorer;
+  bool scorer_fitted = false;
+  {
+    TM_SPAN("calibrate");
+    StageTimer timer("calibrate", &report);
+    const size_t stride =
+        std::max<size_t>(1, candidates.size() /
+                                std::max<size_t>(1, options_.calibration_pairs));
+    std::vector<CheapScorer::TrainPair> sample;
+    bool has_positive = false, has_negative = false;
+    auto labelled = [&](const Candidate& candidate) {
+      CheapScorer::TrainPair pair;
+      pair.features = ComputeFeatures(
+          candidate.cosine, profiles[static_cast<size_t>(candidate.a)],
+          profiles[static_cast<size_t>(candidate.b)]);
+      pair.label = entity_ids[static_cast<size_t>(candidate.a)] ==
+                   entity_ids[static_cast<size_t>(candidate.b)];
+      return pair;
+    };
+    for (size_t i = 0; i < candidates.size(); i += stride) {
+      sample.push_back(labelled(candidates[i]));
+      (sample.back().label ? has_positive : has_negative) = true;
+    }
+    // The strided sample can miss a whole class on tiny or skewed corpora;
+    // sweep for the first example of the missing one.
+    for (size_t i = 0; i < candidates.size() && !(has_positive && has_negative);
+         ++i) {
+      CheapScorer::TrainPair pair = labelled(candidates[i]);
+      if (pair.label ? !has_positive : !has_negative) {
+        sample.push_back(pair);
+        (pair.label ? has_positive : has_negative) = true;
+      }
+    }
+    if (has_positive && has_negative) {
+      scorer.Fit(sample);
+      scorer_fitted = true;
+    }
+  }
+
+  // ---- Score: cheap calibrated P(match) for every candidate, banded into
+  // confident-match / confident-non-match / uncertain.
+  std::vector<double> scores(candidates.size());
+  {
+    TM_SPAN("score");
+    StageTimer timer("score", &report);
+    ThreadPool::ParallelFor(
+        candidates.size(),
+        static_cast<size_t>(std::max(1, options_.num_threads)),
+        [&](size_t i) {
+          const Candidate& candidate = candidates[i];
+          if (scorer_fitted) {
+            scores[i] = scorer.Score(ComputeFeatures(
+                candidate.cosine, profiles[static_cast<size_t>(candidate.a)],
+                profiles[static_cast<size_t>(candidate.b)]));
+          } else {
+            // Single-class calibration sample: the cosine itself is the
+            // best available monotone proxy for P(match).
+            scores[i] = candidate.cosine;
+          }
+        },
+        /*grain=*/256);
+  }
+
+  std::vector<char> decisions(candidates.size(), 0);  // 1 = match
+  std::vector<size_t> uncertain;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (scores[i] >= options_.band_high) {
+      decisions[i] = 1;
+      ++report.confident_match;
+    } else if (scores[i] <= options_.band_low) {
+      ++report.confident_non_match;
+    } else {
+      uncertain.push_back(i);
+    }
+  }
+  report.uncertain = uncertain.size();
+  metrics.GetCounter("cascade.uncertain")
+      .Increment(static_cast<int64_t>(uncertain.size()));
+  if (stop_requested("score")) {
+    return Status::Internal("dedup stopped after stage score (test seam)");
+  }
+
+  // ---- Escalate: spend the LLM budget on the most uncertain pairs first.
+  {
+    TM_SPAN("escalate");
+    StageTimer timer("escalate", &report);
+    std::sort(uncertain.begin(), uncertain.end(), [&](size_t x, size_t y) {
+      const double dx = std::abs(scores[x] - 0.5);
+      const double dy = std::abs(scores[y] - 0.5);
+      if (dx != dy) return dx < dy;
+      return candidates[x] < candidates[y];
+    });
+    report.llm_budget = static_cast<size_t>(
+        options_.llm_budget_per_entity * static_cast<double>(n));
+    size_t escalated = uncertain.size();
+    if (model_ == nullptr) escalated = 0;
+    escalated = std::min(escalated, report.llm_budget);
+    report.escalated = escalated;
+    report.truncated = uncertain.size() - escalated;
+
+    int live_batches = 0;
+    for (size_t start = 0; start < escalated;
+         start += options_.llm_batch_size) {
+      const size_t end =
+          std::min(escalated, start + options_.llm_batch_size);
+      const size_t batch_index = start / options_.llm_batch_size;
+      const std::string stage = StrFormat("escalate.batch.%zu", batch_index);
+      std::vector<double> probabilities;
+      if (journal.Has(stage) &&
+          ParseProbabilities(journal.Payload(stage), end - start,
+                             &probabilities)) {
+        ++report.resumed_batches;
+      } else {
+        if (options_.max_llm_batches >= 0 &&
+            live_batches >= options_.max_llm_batches) {
+          return Status::Internal(
+              StrFormat("dedup stopped before llm batch %zu (test seam)",
+                        batch_index));
+        }
+        std::vector<std::string> prompts;
+        prompts.reserve(end - start);
+        for (size_t i = start; i < end; ++i) {
+          const Candidate& candidate = candidates[uncertain[i]];
+          prompts.push_back(core::RenderPairPrompt(
+              options_.prompt_template,
+              core::MakeSurfacePair(
+                  surfaces[static_cast<size_t>(candidate.a)],
+                  surfaces[static_cast<size_t>(candidate.b)],
+                  data::Domain::kProduct)));
+        }
+        probabilities = model_->PredictMatchProbabilities(
+            prompts, options_.num_threads);
+        ++live_batches;
+        TM_RETURN_IF_ERROR(
+            journal.Record(stage, JoinProbabilities(probabilities)));
+      }
+      for (size_t i = start; i < end; ++i) {
+        decisions[uncertain[i]] =
+            core::DecisionForProbability(probabilities[i - start]).is_match
+                ? 1
+                : 0;
+      }
+    }
+    // Beyond the budget the cheap score is all we have: decide at 0.5.
+    for (size_t i = escalated; i < uncertain.size(); ++i) {
+      decisions[uncertain[i]] = scores[uncertain[i]] >= 0.5 ? 1 : 0;
+    }
+    report.llm_calls_per_entity =
+        static_cast<double>(escalated) / static_cast<double>(n);
+    metrics.GetCounter("cascade.llm_pairs")
+        .Increment(static_cast<int64_t>(escalated));
+    metrics.GetCounter("cascade.truncated")
+        .Increment(static_cast<int64_t>(report.truncated));
+  }
+  if (stop_requested("escalate")) {
+    return Status::Internal("dedup stopped after stage escalate (test seam)");
+  }
+
+  // ---- Cluster: transitive closure of the matched pairs, scored against
+  // the generator's ground truth.
+  {
+    TM_SPAN("cluster");
+    StageTimer timer("cluster", &report);
+    UnionFind clusters(n);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (decisions[i]) {
+        ++report.matched_pairs;
+        clusters.Union(candidates[i].a, candidates[i].b);
+      }
+    }
+    for (const std::vector<int>& members : clusters.Clusters(2)) {
+      ++report.clusters;
+      report.clustered_pairs += PairsAmong(members.size());
+      std::unordered_map<uint64_t, uint64_t> counts;
+      for (int member : members) ++counts[entity_ids[static_cast<size_t>(member)]];
+      for (const auto& [id, count] : counts) {
+        report.correct_pairs += PairsAmong(count);
+      }
+    }
+    report.pair_recall =
+        report.true_pairs == 0
+            ? 1.0
+            : static_cast<double>(report.correct_pairs) /
+                  static_cast<double>(report.true_pairs);
+    report.pair_precision =
+        report.clustered_pairs == 0
+            ? 1.0
+            : static_cast<double>(report.correct_pairs) /
+                  static_cast<double>(report.clustered_pairs);
+    metrics.GetCounter("cascade.clusters")
+        .Increment(static_cast<int64_t>(report.clusters));
+  }
+  TM_RETURN_IF_ERROR(journal.Record("cluster.done",
+                                    StrFormat("%zu", report.clusters)));
+  return report;
+}
+
+}  // namespace tailormatch::cascade

@@ -1,0 +1,106 @@
+#ifndef TAILORMATCH_CASCADE_DEDUP_H_
+#define TAILORMATCH_CASCADE_DEDUP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cascade/ann_index.h"
+#include "cascade/cheap_scorer.h"
+#include "data/corpus_stream.h"
+#include "llm/sim_llm.h"
+#include "prompt/prompt.h"
+#include "util/status.h"
+
+namespace tailormatch::cascade {
+
+struct DedupOptions {
+  // Records pulled from the stream per ingest step.
+  size_t chunk_size = 8192;
+  // Candidate neighbours generated per record.
+  int k = 10;
+  // Cheap-score bands: score <= band_low is a confident non-match,
+  // score >= band_high a confident match; in between escalates to the LLM.
+  double band_low = 0.15;
+  double band_high = 0.9;
+  // Hard ceiling on LLM usage: at most floor(budget * num_records) pairs
+  // are escalated. Uncertain pairs beyond the budget fall back to the
+  // cheap-score decision at 0.5.
+  double llm_budget_per_entity = 0.1;
+  // Pairs per PredictMatchProbabilities dispatch (also the resume grain).
+  size_t llm_batch_size = 64;
+  int num_threads = 4;
+  // Candidate pairs sampled (with ground-truth labels) to fit CheapScorer.
+  size_t calibration_pairs = 512;
+  prompt::PromptTemplate prompt_template = prompt::PromptTemplate::kDefault;
+  CascadeIndexOptions index;
+
+  // Work directory for the resume journal; empty disables resumability.
+  std::string work_dir;
+  std::string run_key = "dedup";
+
+  // Test seams. `stop_after_stage` aborts the run right after the named
+  // stage commits to the journal (simulating a crash at the worst moment);
+  // `max_llm_batches` >= 0 stops escalation after that many live batches.
+  std::string stop_after_stage;
+  int max_llm_batches = -1;
+};
+
+struct DedupReport {
+  size_t num_records = 0;
+  uint64_t true_pairs = 0;  // ground-truth duplicate pairs in the corpus
+
+  // Candidate generation.
+  size_t candidate_pairs = 0;
+  uint64_t candidate_true_pairs = 0;  // true pairs surviving blocking
+  double candidate_recall = 0.0;      // candidate_true_pairs / true_pairs
+
+  // Banding.
+  size_t confident_match = 0;
+  size_t confident_non_match = 0;
+  size_t uncertain = 0;
+
+  // Escalation.
+  size_t llm_budget = 0;
+  size_t escalated = 0;  // uncertain pairs actually sent to the LLM
+  size_t truncated = 0;  // uncertain pairs decided by fallback (over budget)
+  double llm_calls_per_entity = 0.0;
+
+  // Clustering, scored against ground truth.
+  size_t matched_pairs = 0;  // pairwise positives fed to union-find
+  size_t clusters = 0;       // clusters of size >= 2
+  uint64_t clustered_pairs = 0;
+  uint64_t correct_pairs = 0;
+  double pair_recall = 0.0;     // correct_pairs / true_pairs
+  double pair_precision = 0.0;  // correct_pairs / clustered_pairs
+
+  bool resumed = false;          // a journal from a prior run was reused
+  size_t resumed_batches = 0;    // LLM batches answered from the journal
+  std::map<std::string, double> stage_ms;  // wall time per stage
+};
+
+// The million-entity deduplication cascade: stream ingest -> TF-IDF embed ->
+// pruned+ANN candidate generation -> calibrated cheap scoring -> banded,
+// budgeted LLM escalation -> union-find clustering. Every stage is
+// deterministic for a fixed corpus and options (thread count included), and
+// the expensive escalation stage journals per-batch results through
+// core::RunJournal, so an interrupted run resumes mid-stream without
+// re-spending LLM calls.
+//
+// `model` may be null: the uncertain band then falls back to the cheap
+// score everywhere (the "no LLM budget" point of the cost/recall curve).
+class DedupPipeline {
+ public:
+  DedupPipeline(DedupOptions options, const llm::SimLlm* model);
+
+  Result<DedupReport> Run(data::CorpusStream& stream);
+
+ private:
+  DedupOptions options_;
+  const llm::SimLlm* model_;
+};
+
+}  // namespace tailormatch::cascade
+
+#endif  // TAILORMATCH_CASCADE_DEDUP_H_

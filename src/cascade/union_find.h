@@ -1,0 +1,72 @@
+#ifndef TAILORMATCH_CASCADE_UNION_FIND_H_
+#define TAILORMATCH_CASCADE_UNION_FIND_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tailormatch::cascade {
+
+// Disjoint-set forest with union by rank and path halving. Clustering the
+// matched pairs of a deduplication run is just the transitive closure of
+// the pairwise match decisions, which is exactly what union-find computes.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0), components_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+
+  int Find(int x) {
+    TM_CHECK_GE(x, 0);
+    TM_CHECK_LT(static_cast<size_t>(x), parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Merges the sets of a and b; returns true when they were distinct.
+  bool Union(int a, int b) {
+    int ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --components_;
+    return true;
+  }
+
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  size_t size() const { return parent_.size(); }
+  size_t num_components() const { return components_; }
+
+  // Clusters of size >= min_size, each sorted ascending, ordered by their
+  // smallest member. Deterministic regardless of union order.
+  std::vector<std::vector<int>> Clusters(size_t min_size = 1) {
+    std::vector<std::vector<int>> by_root(parent_.size());
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      by_root[static_cast<size_t>(Find(static_cast<int>(i)))].push_back(
+          static_cast<int>(i));
+    }
+    std::vector<std::vector<int>> clusters;
+    for (auto& members : by_root) {
+      if (members.size() >= min_size) clusters.push_back(std::move(members));
+    }
+    std::sort(clusters.begin(), clusters.end(),
+              [](const auto& a, const auto& b) { return a[0] < b[0]; });
+    return clusters;
+  }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  size_t components_;
+};
+
+}  // namespace tailormatch::cascade
+
+#endif  // TAILORMATCH_CASCADE_UNION_FIND_H_

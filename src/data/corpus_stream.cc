@@ -1,0 +1,85 @@
+#include "data/corpus_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tailormatch::data {
+
+namespace {
+
+std::unique_ptr<EntityGenerator> MakeGenerator(const CorpusStreamConfig& config) {
+  if (config.domain == Domain::kScholar) {
+    ScholarGeneratorConfig scholar;
+    scholar.id_salt = config.seed & 0xffff;
+    scholar.shared_pool_salt = config.seed & 0xffff;
+    return std::make_unique<ScholarGenerator>(scholar);
+  }
+  ProductGeneratorConfig product;
+  product.id_salt = config.seed & 0xffff;
+  return std::make_unique<ProductGenerator>(product);
+}
+
+}  // namespace
+
+CorpusStream::CorpusStream(const CorpusStreamConfig& config)
+    : config_(config), generator_(MakeGenerator(config)), rng_(config.seed) {
+  TM_CHECK_GT(config_.window, 0u);
+  TM_CHECK_GE(config_.duplicate_rate, 0.0);
+  TM_CHECK_GE(config_.sibling_rate, 0.0);
+  TM_CHECK_LE(config_.duplicate_rate + config_.sibling_rate, 1.0);
+  window_.reserve(std::min(config_.window, config_.num_entities));
+}
+
+CorpusStream::WindowEntry& CorpusStream::Insert(Entity base) {
+  if (window_.size() < config_.window) {
+    window_.push_back({std::move(base), 0});
+    return window_.back();
+  }
+  WindowEntry& slot = window_[window_next_];
+  window_next_ = (window_next_ + 1) % config_.window;
+  slot.base = std::move(base);
+  slot.copies = 0;
+  return slot;
+}
+
+bool CorpusStream::Next(Entity* out) {
+  if (emitted_ >= config_.num_entities) return false;
+  const double draw = window_.empty() ? 1.0 : rng_.NextDouble();
+  if (draw < config_.duplicate_rate) {
+    // Re-describe a recent entity: the emitted record pairs with every
+    // earlier emission of the same entity.
+    WindowEntry& entry =
+        window_[rng_.NextBounded(static_cast<uint32_t>(window_.size()))];
+    *out = generator_->RenderVariant(entry.base, config_.divergence, rng_);
+    true_pairs_ += entry.copies;
+    ++entry.copies;
+  } else if (draw < config_.duplicate_rate + config_.sibling_rate) {
+    // Hard negative: a distinct entity deliberately close to a recent one.
+    // It enters the window itself so it can later accrete duplicates.
+    const WindowEntry& entry =
+        window_[rng_.NextBounded(static_cast<uint32_t>(window_.size()))];
+    WindowEntry& slot = Insert(generator_->MutateToSibling(entry.base, rng_));
+    *out = slot.base;
+    slot.copies = 1;
+  } else {
+    WindowEntry& slot = Insert(generator_->SampleBase(rng_));
+    *out = slot.base;
+    slot.copies = 1;
+  }
+  ++emitted_;
+  return true;
+}
+
+size_t CorpusStream::NextChunk(std::vector<Entity>* out, size_t max_records) {
+  size_t produced = 0;
+  Entity entity;
+  while (produced < max_records && Next(&entity)) {
+    out->push_back(std::move(entity));
+    ++produced;
+  }
+  return produced;
+}
+
+}  // namespace tailormatch::data

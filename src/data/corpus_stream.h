@@ -1,0 +1,86 @@
+#ifndef TAILORMATCH_DATA_CORPUS_STREAM_H_
+#define TAILORMATCH_DATA_CORPUS_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/entity.h"
+#include "data/generator.h"
+#include "util/rng.h"
+
+namespace tailormatch::data {
+
+// Configuration for a streamed deduplication corpus.
+struct CorpusStreamConfig {
+  // Total number of records the stream emits.
+  size_t num_entities = 0;
+  // Chance an emitted record re-describes an entity already in the recency
+  // window (a true duplicate).
+  double duplicate_rate = 0.35;
+  // Chance an emitted record is a hard-negative sibling of a windowed
+  // entity (similar surface, different entity_id).
+  double sibling_rate = 0.10;
+  // Surface divergence of duplicate renderings, in [0, 1].
+  double divergence = 0.4;
+  uint64_t seed = 20260809;
+  // Recency window: duplicates and siblings only reference one of the last
+  // `window` distinct entities, which bounds memory at O(window) no matter
+  // how many records are streamed.
+  size_t window = 4096;
+  Domain domain = Domain::kProduct;
+};
+
+// Streaming synthetic corpus for deduplication. Unlike BenchmarkFactory,
+// which materializes whole labelled datasets in memory, CorpusStream emits
+// one record at a time from a bounded recency window, so a million-entity
+// run costs O(window) memory. The same seed always yields the same record
+// sequence regardless of chunk sizes (Next and NextChunk draw from one
+// generator state).
+//
+// Ground truth is carried by Entity::entity_id: two records match iff their
+// ids are equal. true_pairs() maintains the exact number of matching pairs
+// among the records emitted so far.
+class CorpusStream {
+ public:
+  explicit CorpusStream(const CorpusStreamConfig& config);
+
+  // Emits the next record; returns false once num_entities records have
+  // been produced.
+  bool Next(Entity* out);
+
+  // Appends up to `max_records` records to `out`; returns how many were
+  // produced (0 at end of stream).
+  size_t NextChunk(std::vector<Entity>* out, size_t max_records);
+
+  size_t emitted() const { return emitted_; }
+
+  // Number of ground-truth duplicate pairs among the emitted records: the
+  // sum over entities of C(copies, 2).
+  uint64_t true_pairs() const { return true_pairs_; }
+
+  const CorpusStreamConfig& config() const { return config_; }
+
+ private:
+  struct WindowEntry {
+    Entity base;
+    // How many records of this entity have been emitted so far.
+    uint64_t copies = 0;
+  };
+
+  // Inserts a freshly sampled entity into the ring, evicting the oldest
+  // entry once the window is full. Returns the slot.
+  WindowEntry& Insert(Entity base);
+
+  CorpusStreamConfig config_;
+  std::unique_ptr<EntityGenerator> generator_;
+  Rng rng_;
+  std::vector<WindowEntry> window_;
+  size_t window_next_ = 0;  // ring cursor: next slot to overwrite
+  size_t emitted_ = 0;
+  uint64_t true_pairs_ = 0;
+};
+
+}  // namespace tailormatch::data
+
+#endif  // TAILORMATCH_DATA_CORPUS_STREAM_H_

@@ -1,0 +1,107 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace tailormatch::text {
+
+void InvertedIndex::Build(const std::vector<SparseVector>& vectors,
+                          int num_threads) {
+  postings_.clear();
+  num_postings_ = 0;
+  num_docs_ = static_cast<int>(vectors.size());
+  if (vectors.empty()) return;
+
+  // Pass 1: document frequencies, so ubiquitous terms can be dropped before
+  // their postings are ever materialized.
+  std::unordered_map<int, int> doc_freq;
+  for (const SparseVector& vec : vectors) {
+    for (const auto& [term, weight] : vec) ++doc_freq[term];
+  }
+  const int max_df =
+      options_.max_df_fraction >= 1.0
+          ? num_docs_
+          : static_cast<int>(options_.max_df_fraction * num_docs_);
+
+  // Pass 2: sharded build. Each worker owns a contiguous doc range; local
+  // maps are merged in shard order, so every posting list comes out sorted
+  // by doc id regardless of the thread count.
+  const size_t num_shards =
+      std::max<size_t>(1, std::min<size_t>(num_threads, vectors.size()));
+  std::vector<std::unordered_map<int, std::vector<Posting>>> shard_postings(
+      num_shards);
+  const size_t per_shard = (vectors.size() + num_shards - 1) / num_shards;
+  const auto& df = doc_freq;  // workers read concurrently, never insert
+  ThreadPool::ParallelFor(num_shards, num_shards, [&](size_t shard) {
+    const size_t begin = shard * per_shard;
+    const size_t end = std::min(vectors.size(), begin + per_shard);
+    auto& local = shard_postings[shard];
+    for (size_t doc = begin; doc < end; ++doc) {
+      for (const auto& [term, weight] : vectors[doc]) {
+        if (df.find(term)->second > max_df) continue;
+        local[term].push_back({static_cast<int>(doc), weight});
+      }
+    }
+  });
+
+  for (auto& local : shard_postings) {
+    for (auto& [term, posting_list] : local) {
+      auto& merged = postings_[term];
+      merged.insert(merged.end(), posting_list.begin(), posting_list.end());
+    }
+    local.clear();
+  }
+
+  // Posting-list pruning: keep the highest-weight entries (ties to the
+  // lower doc id), then restore doc order for cache-friendly sweeps.
+  if (options_.max_posting_length > 0) {
+    const size_t cap = static_cast<size_t>(options_.max_posting_length);
+    for (auto& [term, posting_list] : postings_) {
+      if (posting_list.size() > cap) {
+        std::partial_sort(posting_list.begin(), posting_list.begin() + cap,
+                          posting_list.end(),
+                          [](const Posting& a, const Posting& b) {
+                            if (a.weight != b.weight) return a.weight > b.weight;
+                            return a.doc < b.doc;
+                          });
+        posting_list.resize(cap);
+        std::sort(posting_list.begin(), posting_list.end(),
+                  [](const Posting& a, const Posting& b) {
+                    return a.doc < b.doc;
+                  });
+      }
+    }
+  }
+  for (const auto& [term, posting_list] : postings_) {
+    num_postings_ += posting_list.size();
+  }
+}
+
+void InvertedIndex::Append(const SparseVector& vector) {
+  const int doc = num_docs_++;
+  for (const auto& [term, weight] : vector) {
+    postings_[term].push_back({doc, weight});
+    ++num_postings_;
+  }
+}
+
+void InvertedIndex::AccumulateDot(const SparseVector& query,
+                                  std::unordered_map<int, double>* acc) const {
+  for (const auto& [term, query_weight] : query) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    for (const Posting& posting : it->second) {
+      (*acc)[posting.doc] +=
+          static_cast<double>(query_weight) * posting.weight;
+    }
+  }
+}
+
+const std::vector<InvertedIndex::Posting>* InvertedIndex::PostingsFor(
+    int term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tailormatch::text

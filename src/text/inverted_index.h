@@ -1,0 +1,76 @@
+#ifndef TAILORMATCH_TEXT_INVERTED_INDEX_H_
+#define TAILORMATCH_TEXT_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tfidf.h"
+
+namespace tailormatch::text {
+
+// Options for InvertedIndex. The defaults keep every posting, which makes
+// the index an *exact* accelerator: sweeping a query's postings reproduces
+// the brute-force dot product bit for bit (see AccumulateDot). The cascade
+// candidate generator (src/cascade/) turns both knobs down to trade a little
+// recall for million-entity scale.
+struct InvertedIndexOptions {
+  // Keep only the `max_posting_length` highest-weight postings per term
+  // (0 = unlimited). Effective only on the bulk Build path.
+  int max_posting_length = 0;
+  // Drop terms whose document frequency exceeds this fraction of the corpus
+  // entirely (1.0 = keep all). Ubiquitous terms pair everything with
+  // everything and contribute almost nothing to cosine ordering.
+  double max_df_fraction = 1.0;
+};
+
+// Term-at-a-time inverted index over sparse TF-IDF vectors: term id ->
+// postings (doc id, weight). This is the shared candidate-generation core:
+// NearestNeighborIndex runs it unpruned for exact nearest neighbours, the
+// cascade ANN layer runs it pruned underneath an LSH overlay.
+class InvertedIndex {
+ public:
+  struct Posting {
+    int doc = 0;
+    float weight = 0.0f;
+  };
+
+  InvertedIndex() = default;
+  explicit InvertedIndex(InvertedIndexOptions options) : options_(options) {}
+
+  // Bulk build. Docs are sharded into `num_threads` contiguous ranges, each
+  // worker builds postings for its range, and shards are merged in range
+  // order — so postings end up sorted by doc id and the result is identical
+  // for every thread count. Replaces any previous contents.
+  void Build(const std::vector<SparseVector>& vectors, int num_threads = 1);
+
+  // Incremental append; the document gets the next doc id. Pruning options
+  // are not applied on this path (it serves the exact index).
+  void Append(const SparseVector& vector);
+
+  // Sweeps the query's terms in ascending term order and accumulates
+  // query_weight * posting_weight into (*acc)[doc]. Because each document's
+  // contributions arrive in ascending term order — the same order as the
+  // sorted-merge in TfidfEmbedder::Cosine — the per-document sums are
+  // bitwise identical to the brute-force scan when the index is unpruned.
+  void AccumulateDot(const SparseVector& query,
+                     std::unordered_map<int, double>* acc) const;
+
+  int num_docs() const { return num_docs_; }
+  size_t num_terms() const { return postings_.size(); }
+  size_t num_postings() const { return num_postings_; }
+
+  // Postings for one term; nullptr when the term is absent (unseen or
+  // dropped by max_df_fraction).
+  const std::vector<Posting>* PostingsFor(int term) const;
+
+ private:
+  InvertedIndexOptions options_;
+  std::unordered_map<int, std::vector<Posting>> postings_;
+  int num_docs_ = 0;
+  size_t num_postings_ = 0;
+};
+
+}  // namespace tailormatch::text
+
+#endif  // TAILORMATCH_TEXT_INVERTED_INDEX_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "text/inverted_index.h"
 #include "text/tokenizer.h"
 #include "util/check.h"
 
@@ -71,12 +72,15 @@ double TfidfEmbedder::Cosine(const SparseVector& a, const SparseVector& b) {
 }
 
 NearestNeighborIndex::NearestNeighborIndex(const TfidfEmbedder* embedder)
-    : embedder_(embedder) {
+    : embedder_(embedder), index_(std::make_unique<InvertedIndex>()) {
   TM_CHECK(embedder != nullptr);
 }
 
+NearestNeighborIndex::~NearestNeighborIndex() = default;
+
 int NearestNeighborIndex::Add(const std::string& document) {
   vectors_.push_back(embedder_->Embed(document));
+  index_->Append(vectors_.back());
   return static_cast<int>(vectors_.size()) - 1;
 }
 
@@ -88,22 +92,47 @@ void NearestNeighborIndex::AddAll(const std::vector<std::string>& documents) {
 std::vector<int> NearestNeighborIndex::Query(std::string_view query, int k,
                                              int exclude) const {
   SparseVector qv = embedder_->Embed(query);
+  // Term-at-a-time accumulation touches only documents that share a term
+  // with the query. TF-IDF weights are strictly positive, so exactly those
+  // documents have a positive dot product; everything else scores 0.0 —
+  // the same value the brute-force scan produced. Per-document addition
+  // order (ascending term id) matches the sorted-merge in Cosine, so the
+  // accumulated doubles are bitwise identical too.
+  std::unordered_map<int, double> acc;
+  index_->AccumulateDot(qv, &acc);
   std::vector<std::pair<double, int>> scored;
-  scored.reserve(vectors_.size());
-  for (size_t i = 0; i < vectors_.size(); ++i) {
-    if (static_cast<int>(i) == exclude) continue;
-    scored.emplace_back(TfidfEmbedder::Cosine(qv, vectors_[i]),
-                        static_cast<int>(i));
+  scored.reserve(acc.size());
+  for (const auto& [doc, dot] : acc) {
+    if (doc == exclude || dot <= 0.0) continue;
+    scored.emplace_back(dot, doc);
   }
-  const size_t take = std::min(scored.size(), static_cast<size_t>(k));
-  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+  const size_t eligible =
+      vectors_.size() -
+      (exclude >= 0 && exclude < static_cast<int>(vectors_.size()) ? 1 : 0);
+  const size_t take =
+      std::min(eligible, static_cast<size_t>(std::max(0, k)));
+  const size_t ranked = std::min(scored.size(), take);
+  std::partial_sort(scored.begin(), scored.begin() + ranked, scored.end(),
                     [](const auto& a, const auto& b) {
                       if (a.first != b.first) return a.first > b.first;
                       return a.second < b.second;
                     });
   std::vector<int> out;
   out.reserve(take);
-  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  for (size_t i = 0; i < ranked; ++i) out.push_back(scored[i].second);
+  // The brute-force scan ranked zero-score documents after every positive
+  // score, tie-broken by ascending index; reproduce that tail when k
+  // exceeds the number of overlapping documents.
+  if (out.size() < take) {
+    std::vector<bool> emitted(vectors_.size(), false);
+    for (int doc : out) emitted[static_cast<size_t>(doc)] = true;
+    for (size_t i = 0; i < vectors_.size() && out.size() < take; ++i) {
+      if (static_cast<int>(i) == exclude || emitted[i]) continue;
+      const auto it = acc.find(static_cast<int>(i));
+      if (it != acc.end() && it->second > 0.0) continue;  // ranked above
+      out.push_back(static_cast<int>(i));
+    }
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef TAILORMATCH_TEXT_TFIDF_H_
 #define TAILORMATCH_TEXT_TFIDF_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -35,10 +36,21 @@ class TfidfEmbedder {
   std::vector<float> idf_;
 };
 
-// Brute-force cosine nearest-neighbour index over embedded documents.
+// Exact cosine nearest-neighbour index over embedded documents. Queries run
+// term-at-a-time over an inverted index (see text/inverted_index.h), so cost
+// scales with the postings the query actually touches instead of the corpus
+// size — but results are bitwise identical to the original brute-force scan
+// (same scores, same tie order), which the blocker and ICL demonstration
+// selection rely on.
+class InvertedIndex;
+
 class NearestNeighborIndex {
  public:
   explicit NearestNeighborIndex(const TfidfEmbedder* embedder);
+  ~NearestNeighborIndex();
+
+  NearestNeighborIndex(const NearestNeighborIndex&) = delete;
+  NearestNeighborIndex& operator=(const NearestNeighborIndex&) = delete;
 
   // Adds a document; returns its position.
   int Add(const std::string& document);
@@ -55,6 +67,7 @@ class NearestNeighborIndex {
  private:
   const TfidfEmbedder* embedder_;
   std::vector<SparseVector> vectors_;
+  std::unique_ptr<InvertedIndex> index_;
 };
 
 }  // namespace tailormatch::text

@@ -1,0 +1,144 @@
+#include "cascade/ann_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/corpus_stream.h"
+#include "text/tfidf.h"
+
+namespace tailormatch::cascade {
+namespace {
+
+struct EmbeddedCorpus {
+  std::vector<std::string> surfaces;
+  text::TfidfEmbedder embedder;
+  std::vector<text::SparseVector> vectors;
+};
+
+EmbeddedCorpus MakeCorpus(size_t n, uint64_t seed = 9) {
+  EmbeddedCorpus corpus;
+  data::CorpusStreamConfig config;
+  config.num_entities = n;
+  config.seed = seed;
+  data::CorpusStream stream(config);
+  data::Entity entity;
+  while (stream.Next(&entity)) corpus.surfaces.push_back(entity.surface);
+  corpus.embedder.Fit(corpus.surfaces);
+  for (const std::string& surface : corpus.surfaces) {
+    corpus.vectors.push_back(corpus.embedder.Embed(surface));
+  }
+  return corpus;
+}
+
+CascadeIndexOptions ExactOptions() {
+  CascadeIndexOptions options;
+  options.max_posting_length = 0;  // no pruning: exhaustive candidates
+  options.max_df_fraction = 1.0;
+  options.lsh_tables = 0;
+  return options;
+}
+
+TEST(CascadeIndexTest, ExactModeMatchesNearestNeighborIndex) {
+  EmbeddedCorpus corpus = MakeCorpus(300);
+  CascadeIndex index(ExactOptions());
+  index.Build(&corpus.vectors);
+
+  text::NearestNeighborIndex reference(&corpus.embedder);
+  reference.AddAll(corpus.surfaces);
+  for (size_t i = 0; i < corpus.surfaces.size(); i += 13) {
+    std::vector<int> expected =
+        reference.Query(corpus.surfaces[i], 5, static_cast<int>(i));
+    // NearestNeighborIndex pads with zero-score docs; CascadeIndex only
+    // returns positive-cosine neighbours, so compare the scored prefix.
+    std::vector<CascadeIndex::Neighbor> actual =
+        index.Query(static_cast<int>(i), 5);
+    ASSERT_LE(actual.size(), expected.size());
+    for (size_t j = 0; j < actual.size(); ++j) {
+      EXPECT_EQ(actual[j].doc, expected[j]) << "query " << i << " rank " << j;
+    }
+  }
+}
+
+TEST(CascadeIndexTest, AnnRecallFloorAgainstExactKnn) {
+  EmbeddedCorpus corpus = MakeCorpus(2000);
+  CascadeIndex exact(ExactOptions());
+  exact.Build(&corpus.vectors, 4);
+
+  CascadeIndexOptions pruned_options;  // defaults: pruning + LSH on
+  CascadeIndex pruned(pruned_options);
+  pruned.Build(&corpus.vectors, 4);
+  ASSERT_LT(pruned.num_postings(), exact.num_postings());
+
+  constexpr int kK = 10;
+  size_t exact_total = 0, recovered = 0;
+  for (size_t i = 0; i < corpus.vectors.size(); i += 3) {
+    std::set<int> approx_docs;
+    for (const auto& neighbor : pruned.Query(static_cast<int>(i), kK)) {
+      approx_docs.insert(neighbor.doc);
+    }
+    for (const auto& neighbor : exact.Query(static_cast<int>(i), kK)) {
+      ++exact_total;
+      recovered += approx_docs.count(neighbor.doc);
+    }
+  }
+  ASSERT_GT(exact_total, 0u);
+  const double recall =
+      static_cast<double>(recovered) / static_cast<double>(exact_total);
+  EXPECT_GE(recall, 0.9) << "ANN recall vs exact KNN collapsed";
+}
+
+TEST(CascadeIndexTest, BuildDeterministicAcrossThreadCounts) {
+  EmbeddedCorpus corpus = MakeCorpus(600);
+  CascadeIndex one;
+  one.Build(&corpus.vectors, 1);
+  CascadeIndex eight;
+  eight.Build(&corpus.vectors, 8);
+  ASSERT_EQ(one.num_postings(), eight.num_postings());
+  for (size_t i = 0; i < corpus.vectors.size(); i += 7) {
+    std::vector<CascadeIndex::Neighbor> a = one.Query(static_cast<int>(i), 8);
+    std::vector<CascadeIndex::Neighbor> b = eight.Query(static_cast<int>(i), 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].doc, b[j].doc);
+      EXPECT_EQ(a[j].score, b[j].score);
+    }
+  }
+}
+
+TEST(CascadeIndexTest, SignaturesAreStablePerTable) {
+  EmbeddedCorpus corpus = MakeCorpus(50);
+  CascadeIndex index;
+  index.Build(&corpus.vectors);
+  const text::SparseVector& vector = corpus.vectors[7];
+  EXPECT_EQ(index.Signature(vector, 0), index.Signature(vector, 0));
+  // Different tables use different hyperplanes; with 14 bits the chance of
+  // every table agreeing is negligible.
+  bool any_difference = false;
+  for (int table = 1; table < index.options().lsh_tables; ++table) {
+    if (index.Signature(vector, table) != index.Signature(vector, 0)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CascadeIndexTest, QueryVectorExcludesAndRanks) {
+  EmbeddedCorpus corpus = MakeCorpus(200);
+  CascadeIndex index;
+  index.Build(&corpus.vectors, 2);
+  std::vector<CascadeIndex::Neighbor> with_self =
+      index.QueryVector(corpus.vectors[4], 3);
+  ASSERT_FALSE(with_self.empty());
+  EXPECT_EQ(with_self[0].doc, 4);  // self cosine is 1.0
+  std::vector<CascadeIndex::Neighbor> without_self =
+      index.QueryVector(corpus.vectors[4], 3, /*exclude=*/4);
+  for (const auto& neighbor : without_self) EXPECT_NE(neighbor.doc, 4);
+  // Scores are sorted descending.
+  for (size_t j = 1; j < without_self.size(); ++j) {
+    EXPECT_GE(without_self[j - 1].score, without_self[j].score);
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::cascade

@@ -1,0 +1,156 @@
+#include "cascade/cheap_scorer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/corpus_stream.h"
+#include "text/tfidf.h"
+#include "util/rng.h"
+
+namespace tailormatch::cascade {
+namespace {
+
+TEST(DocProfileTest, ExtractsSortedUniqueTokenHashes) {
+  DocProfile profile = MakeDocProfile("acme X9-500 widget acme 2021");
+  EXPECT_TRUE(std::is_sorted(profile.tokens.begin(), profile.tokens.end()));
+  EXPECT_TRUE(std::adjacent_find(profile.tokens.begin(), profile.tokens.end()) ==
+              profile.tokens.end());
+  EXPECT_FALSE(profile.digit_tokens.empty());
+  EXPECT_LT(profile.digit_tokens.size(), profile.tokens.size());
+  EXPECT_GT(profile.num_tokens, 0);
+}
+
+TEST(PairFeaturesTest, IdenticalSurfacesScoreMaximal) {
+  DocProfile profile = MakeDocProfile("jabra evolve 65 headset");
+  PairFeatures features = ComputeFeatures(1.0, profile, profile);
+  for (double value : features.values) EXPECT_DOUBLE_EQ(value, 1.0);
+}
+
+TEST(PairFeaturesTest, AllFeaturesStayInUnitInterval) {
+  const char* surfaces[] = {
+      "jabra evolve 65 headset", "totally unrelated garden hose 12m",
+      "jabra evolve 75 headset", "", "x", "12 34 56"};
+  for (const char* a : surfaces) {
+    for (const char* b : surfaces) {
+      PairFeatures features =
+          ComputeFeatures(0.3, MakeDocProfile(a), MakeDocProfile(b));
+      for (double value : features.values) {
+        EXPECT_GE(value, 0.0);
+        EXPECT_LE(value, 1.0);
+      }
+    }
+  }
+}
+
+TEST(PairFeaturesTest, DigitJaccardSeparatesSiblings) {
+  DocProfile base = MakeDocProfile("acme powerdrill pd-730 kit");
+  DocProfile duplicate = MakeDocProfile("acme powerdrill pd-730");
+  DocProfile sibling = MakeDocProfile("acme powerdrill pd-1130 kit");
+  PairFeatures dup_features = ComputeFeatures(0.9, base, duplicate);
+  PairFeatures sib_features = ComputeFeatures(0.9, base, sibling);
+  EXPECT_GT(dup_features.values[2], sib_features.values[2]);
+}
+
+// Builds a labelled training set from the synthetic corpus: candidate-like
+// pairs labelled by entity_id equality.
+std::vector<CheapScorer::TrainPair> LabelledPairs(size_t num_entities) {
+  data::CorpusStreamConfig config;
+  config.num_entities = num_entities;
+  config.seed = 33;
+  config.duplicate_rate = 0.45;
+  config.window = 16;  // duplicates stay close -> the "prev" pairs find them
+  data::CorpusStream stream(config);
+  std::vector<data::Entity> records;
+  data::Entity entity;
+  while (stream.Next(&entity)) records.push_back(entity);
+
+  std::vector<std::string> surfaces;
+  for (const auto& record : records) surfaces.push_back(record.surface);
+  text::TfidfEmbedder embedder;
+  embedder.Fit(surfaces);
+  std::vector<text::SparseVector> vectors;
+  std::vector<DocProfile> profiles;
+  for (const std::string& surface : surfaces) {
+    vectors.push_back(embedder.Embed(surface));
+    profiles.push_back(MakeDocProfile(surface));
+  }
+
+  std::vector<CheapScorer::TrainPair> pairs;
+  Rng rng(5);
+  for (size_t i = 1; i < records.size(); ++i) {
+    // One nearby pair (often a duplicate) and one random pair per record.
+    const size_t prev = i - 1 - rng.NextBounded(static_cast<uint32_t>(
+                                    std::min<size_t>(i, 16)));
+    const size_t random = rng.NextBounded(static_cast<uint32_t>(i));
+    for (size_t j : {prev, random}) {
+      CheapScorer::TrainPair pair;
+      pair.features = ComputeFeatures(
+          text::TfidfEmbedder::Cosine(vectors[i], vectors[j]), profiles[i],
+          profiles[j]);
+      pair.label = records[i].entity_id == records[j].entity_id;
+      pairs.push_back(pair);
+    }
+  }
+  return pairs;
+}
+
+TEST(CheapScorerTest, CalibrationIsMonotoneInTheLogit) {
+  std::vector<CheapScorer::TrainPair> pairs = LabelledPairs(800);
+  CheapScorer scorer;
+  scorer.Fit(pairs);
+  ASSERT_TRUE(scorer.fitted());
+  // Platt scaling must preserve the model's ranking: a positive slope.
+  EXPECT_GT(scorer.platt_a(), 0.0);
+  // Spot-check monotonicity end to end: higher logit -> higher score.
+  std::vector<std::pair<double, double>> pointwise;
+  for (const auto& pair : pairs) {
+    pointwise.emplace_back(scorer.Logit(pair.features),
+                           scorer.Score(pair.features));
+  }
+  std::sort(pointwise.begin(), pointwise.end());
+  for (size_t i = 1; i < pointwise.size(); ++i) {
+    EXPECT_GE(pointwise[i].second, pointwise[i - 1].second);
+  }
+}
+
+TEST(CheapScorerTest, SeparatesDuplicatesFromNonDuplicates) {
+  std::vector<CheapScorer::TrainPair> pairs = LabelledPairs(800);
+  CheapScorer scorer;
+  scorer.Fit(pairs);
+  double positive_sum = 0.0, negative_sum = 0.0;
+  size_t positives = 0, negatives = 0;
+  for (const auto& pair : pairs) {
+    const double score = scorer.Score(pair.features);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+    if (pair.label) {
+      positive_sum += score;
+      ++positives;
+    } else {
+      negative_sum += score;
+      ++negatives;
+    }
+  }
+  ASSERT_GT(positives, 0u);
+  ASSERT_GT(negatives, 0u);
+  // Calibrated probabilities honour the base rate, so assert separation as
+  // a ratio plus a modest absolute gap rather than a large absolute margin.
+  const double positive_mean = positive_sum / static_cast<double>(positives);
+  const double negative_mean = negative_sum / static_cast<double>(negatives);
+  EXPECT_GT(positive_mean, 5.0 * negative_mean);
+  EXPECT_GT(positive_mean, negative_mean + 0.1);
+}
+
+TEST(CheapScorerTest, FitIsDeterministic) {
+  std::vector<CheapScorer::TrainPair> pairs = LabelledPairs(400);
+  CheapScorer a, b;
+  a.Fit(pairs);
+  b.Fit(pairs);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.platt_a(), b.platt_a());
+  EXPECT_EQ(a.platt_b(), b.platt_b());
+}
+
+}  // namespace
+}  // namespace tailormatch::cascade

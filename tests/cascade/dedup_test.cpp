@@ -1,0 +1,252 @@
+#include "cascade/dedup.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+
+#include "../fault/tiny_model.h"
+#include "cascade/union_find.h"
+#include "data/corpus_stream.h"
+#include "obs/metrics.h"
+
+namespace tailormatch::cascade {
+namespace {
+
+TEST(UnionFindTest, MergesAndCounts) {
+  UnionFind sets(6);
+  EXPECT_EQ(sets.num_components(), 6u);
+  EXPECT_TRUE(sets.Union(0, 1));
+  EXPECT_TRUE(sets.Union(1, 2));
+  EXPECT_FALSE(sets.Union(0, 2));  // already connected
+  EXPECT_TRUE(sets.Union(4, 5));
+  EXPECT_EQ(sets.num_components(), 3u);
+  EXPECT_TRUE(sets.Connected(0, 2));
+  EXPECT_FALSE(sets.Connected(0, 3));
+  EXPECT_FALSE(sets.Connected(2, 4));
+}
+
+TEST(UnionFindTest, ClustersAreSortedAndDeterministic) {
+  UnionFind sets(7);
+  sets.Union(5, 2);
+  sets.Union(2, 6);
+  sets.Union(1, 3);
+  std::vector<std::vector<int>> clusters = sets.Clusters(2);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<int>{1, 3}));
+  EXPECT_EQ(clusters[1], (std::vector<int>{2, 5, 6}));
+  EXPECT_EQ(sets.Clusters(1).size(), 4u);  // plus singletons 0 and 4
+}
+
+TEST(UnionFindTest, TransitiveClosureOfChain) {
+  constexpr int kN = 100;
+  UnionFind sets(kN);
+  for (int i = 0; i + 1 < kN; ++i) sets.Union(i, i + 1);
+  EXPECT_EQ(sets.num_components(), 1u);
+  EXPECT_TRUE(sets.Connected(0, kN - 1));
+}
+
+data::CorpusStreamConfig StreamConfig(size_t n) {
+  data::CorpusStreamConfig config;
+  config.num_entities = n;
+  config.seed = 4242;
+  return config;
+}
+
+DedupOptions FastOptions() {
+  DedupOptions options;
+  options.chunk_size = 512;
+  options.num_threads = 4;
+  options.k = 8;
+  return options;
+}
+
+TEST(DedupPipelineTest, NoLlmRunRecoversDuplicates) {
+  data::CorpusStream stream(StreamConfig(3000));
+  DedupPipeline pipeline(FastOptions(), /*model=*/nullptr);
+  Result<DedupReport> result = pipeline.Run(stream);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DedupReport& report = result.value();
+
+  EXPECT_EQ(report.num_records, 3000u);
+  EXPECT_GT(report.true_pairs, 0u);
+  EXPECT_GT(report.candidate_pairs, 0u);
+  // Blocking keeps nearly all true pairs at this scale.
+  EXPECT_GE(report.candidate_recall, 0.95);
+  // Band accounting is exhaustive.
+  EXPECT_EQ(report.confident_match + report.confident_non_match +
+                report.uncertain,
+            report.candidate_pairs);
+  // Without a model nothing is escalated; everything uncertain falls back.
+  EXPECT_EQ(report.escalated, 0u);
+  EXPECT_EQ(report.truncated, report.uncertain);
+  EXPECT_EQ(report.llm_calls_per_entity, 0.0);
+  // The cheap cascade alone already clusters most duplicates correctly.
+  EXPECT_GE(report.pair_recall, 0.7);
+  EXPECT_GE(report.pair_precision, 0.7);
+  EXPECT_GT(report.clusters, 0u);
+  // Every stage reported a wall time.
+  for (const char* stage : {"ingest", "embed", "index", "candidates",
+                            "calibrate", "score", "escalate", "cluster"}) {
+    EXPECT_TRUE(report.stage_ms.count(stage)) << stage;
+  }
+}
+
+TEST(DedupPipelineTest, BudgetCapsLlmUsage) {
+  llm::SimLlm model = fault_test::MakeTinyModel();
+  DedupOptions options = FastOptions();
+  options.llm_budget_per_entity = 0.02;
+  options.llm_batch_size = 16;
+
+  const auto before = obs::MetricsRegistry::Global().Snapshot();
+  const auto* batch_before = before.FindHistogram("sim_llm.batch_size");
+  const double sum_before = batch_before == nullptr ? 0.0 : batch_before->sum;
+
+  data::CorpusStream stream(StreamConfig(1500));
+  DedupPipeline pipeline(options, &model);
+  Result<DedupReport> result = pipeline.Run(stream);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DedupReport& report = result.value();
+
+  EXPECT_EQ(report.llm_budget, 30u);  // floor(0.02 * 1500)
+  EXPECT_GT(report.uncertain, report.llm_budget);  // budget actually binds
+  EXPECT_EQ(report.escalated, report.llm_budget);
+  EXPECT_EQ(report.truncated, report.uncertain - report.escalated);
+  EXPECT_LE(report.llm_calls_per_entity, options.llm_budget_per_entity);
+
+  // The model-side histogram confirms exactly `escalated` prompts were
+  // dispatched — the budget is enforced at the LLM boundary, not just in
+  // the report.
+  const auto after = obs::MetricsRegistry::Global().Snapshot();
+  const auto* batch_after = after.FindHistogram("sim_llm.batch_size");
+  ASSERT_NE(batch_after, nullptr);
+  EXPECT_EQ(batch_after->sum - sum_before,
+            static_cast<double>(report.escalated));
+}
+
+class DedupResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("tm_dedup_test_") + std::to_string(getpid()) + "_" +
+             info->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DedupResumeTest, ResumesMidEscalationWithoutRespendingBudget) {
+  llm::SimLlm model = fault_test::MakeTinyModel();
+  DedupOptions options = FastOptions();
+  options.llm_budget_per_entity = 0.05;
+  options.llm_batch_size = 8;
+  options.work_dir = dir_;
+
+  // Reference: one uninterrupted run without a journal.
+  DedupOptions reference_options = options;
+  reference_options.work_dir.clear();
+  data::CorpusStream reference_stream(StreamConfig(1200));
+  Result<DedupReport> reference =
+      DedupPipeline(reference_options, &model).Run(reference_stream);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GT(reference.value().escalated, 16u);  // several batches
+
+  // First attempt dies after two live LLM batches.
+  DedupOptions crash_options = options;
+  crash_options.max_llm_batches = 2;
+  data::CorpusStream crash_stream(StreamConfig(1200));
+  Result<DedupReport> crashed =
+      DedupPipeline(crash_options, &model).Run(crash_stream);
+  ASSERT_FALSE(crashed.ok());
+
+  // The retry answers the first two batches from the journal and only pays
+  // for the remainder.
+  const auto before = obs::MetricsRegistry::Global().Snapshot();
+  const auto* batch_before = before.FindHistogram("sim_llm.batch_size");
+  const double sum_before = batch_before == nullptr ? 0.0 : batch_before->sum;
+
+  data::CorpusStream resume_stream(StreamConfig(1200));
+  Result<DedupReport> resumed =
+      DedupPipeline(options, &model).Run(resume_stream);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed.value().resumed);
+  EXPECT_EQ(resumed.value().resumed_batches, 2u);
+
+  const auto after = obs::MetricsRegistry::Global().Snapshot();
+  const auto* batch_after = after.FindHistogram("sim_llm.batch_size");
+  ASSERT_NE(batch_after, nullptr);
+  EXPECT_EQ(batch_after->sum - sum_before,
+            static_cast<double>(resumed.value().escalated - 16));
+
+  // The resumed run lands on the exact same answer as the uninterrupted one.
+  const DedupReport& a = reference.value();
+  const DedupReport& b = resumed.value();
+  EXPECT_EQ(a.candidate_pairs, b.candidate_pairs);
+  EXPECT_EQ(a.escalated, b.escalated);
+  EXPECT_EQ(a.matched_pairs, b.matched_pairs);
+  EXPECT_EQ(a.clusters, b.clusters);
+  EXPECT_EQ(a.correct_pairs, b.correct_pairs);
+  EXPECT_EQ(a.pair_recall, b.pair_recall);
+}
+
+TEST_F(DedupResumeTest, StageSeamCrashThenCleanResume) {
+  DedupOptions options = FastOptions();
+  options.work_dir = dir_;
+  options.stop_after_stage = "candidates";
+  data::CorpusStream crash_stream(StreamConfig(800));
+  Result<DedupReport> crashed =
+      DedupPipeline(options, nullptr).Run(crash_stream);
+  ASSERT_FALSE(crashed.ok());
+
+  options.stop_after_stage.clear();
+  data::CorpusStream resume_stream(StreamConfig(800));
+  Result<DedupReport> resumed =
+      DedupPipeline(options, nullptr).Run(resume_stream);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed.value().resumed);
+  EXPECT_GT(resumed.value().clusters, 0u);
+}
+
+TEST_F(DedupResumeTest, JournalFromDifferentCorpusIsRejected) {
+  DedupOptions options = FastOptions();
+  options.work_dir = dir_;
+  data::CorpusStream first_stream(StreamConfig(500));
+  ASSERT_TRUE(DedupPipeline(options, nullptr).Run(first_stream).ok());
+
+  data::CorpusStream other_stream(StreamConfig(600));
+  Result<DedupReport> mismatched =
+      DedupPipeline(options, nullptr).Run(other_stream);
+  ASSERT_FALSE(mismatched.ok());
+}
+
+TEST(DedupPipelineTest, DeterministicAcrossThreadCounts) {
+  DedupOptions one_thread = FastOptions();
+  one_thread.num_threads = 1;
+  DedupOptions many_threads = FastOptions();
+  many_threads.num_threads = 8;
+
+  data::CorpusStream stream_a(StreamConfig(1000));
+  data::CorpusStream stream_b(StreamConfig(1000));
+  Result<DedupReport> a = DedupPipeline(one_thread, nullptr).Run(stream_a);
+  Result<DedupReport> b = DedupPipeline(many_threads, nullptr).Run(stream_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().candidate_pairs, b.value().candidate_pairs);
+  EXPECT_EQ(a.value().confident_match, b.value().confident_match);
+  EXPECT_EQ(a.value().uncertain, b.value().uncertain);
+  EXPECT_EQ(a.value().matched_pairs, b.value().matched_pairs);
+  EXPECT_EQ(a.value().clusters, b.value().clusters);
+  EXPECT_EQ(a.value().correct_pairs, b.value().correct_pairs);
+}
+
+}  // namespace
+}  // namespace tailormatch::cascade

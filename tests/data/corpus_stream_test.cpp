@@ -1,0 +1,145 @@
+#include "data/corpus_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "data/entity.h"
+
+namespace tailormatch::data {
+namespace {
+
+std::vector<Entity> Drain(CorpusStream& stream) {
+  std::vector<Entity> records;
+  Entity entity;
+  while (stream.Next(&entity)) records.push_back(entity);
+  return records;
+}
+
+uint64_t BruteForcePairs(const std::vector<Entity>& records) {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (const Entity& entity : records) ++counts[entity.entity_id];
+  uint64_t pairs = 0;
+  for (const auto& [id, count] : counts) pairs += count * (count - 1) / 2;
+  return pairs;
+}
+
+TEST(CorpusStreamTest, EmitsExactlyNumEntities) {
+  CorpusStreamConfig config;
+  config.num_entities = 137;
+  CorpusStream stream(config);
+  std::vector<Entity> records = Drain(stream);
+  EXPECT_EQ(records.size(), 137u);
+  EXPECT_EQ(stream.emitted(), 137u);
+  Entity extra;
+  EXPECT_FALSE(stream.Next(&extra));
+}
+
+TEST(CorpusStreamTest, SameSeedSameRecords) {
+  CorpusStreamConfig config;
+  config.num_entities = 500;
+  config.seed = 42;
+  CorpusStream a(config);
+  CorpusStream b(config);
+  std::vector<Entity> ra = Drain(a);
+  std::vector<Entity> rb = Drain(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].entity_id, rb[i].entity_id);
+    EXPECT_EQ(ra[i].surface, rb[i].surface);
+  }
+  EXPECT_EQ(a.true_pairs(), b.true_pairs());
+}
+
+TEST(CorpusStreamTest, DifferentSeedsDiffer) {
+  CorpusStreamConfig config;
+  config.num_entities = 200;
+  config.seed = 1;
+  CorpusStream a(config);
+  config.seed = 2;
+  CorpusStream b(config);
+  std::vector<Entity> ra = Drain(a);
+  std::vector<Entity> rb = Drain(b);
+  size_t same = 0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].surface == rb[i].surface) ++same;
+  }
+  EXPECT_LT(same, ra.size() / 2);
+}
+
+TEST(CorpusStreamTest, ChunkingDoesNotChangeTheStream) {
+  CorpusStreamConfig config;
+  config.num_entities = 400;
+  CorpusStream whole(config);
+  std::vector<Entity> expected = Drain(whole);
+
+  CorpusStream chunked(config);
+  std::vector<Entity> actual;
+  // Deliberately ragged chunk sizes, including zero.
+  const size_t sizes[] = {1, 7, 0, 64, 13, 255, 400};
+  for (size_t size : sizes) chunked.NextChunk(&actual, size);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].entity_id, expected[i].entity_id);
+    EXPECT_EQ(actual[i].surface, expected[i].surface);
+  }
+  EXPECT_EQ(chunked.true_pairs(), whole.true_pairs());
+}
+
+TEST(CorpusStreamTest, TruePairsMatchesBruteForceCount) {
+  CorpusStreamConfig config;
+  config.num_entities = 2000;
+  config.window = 64;  // small window forces evictions
+  CorpusStream stream(config);
+  std::vector<Entity> records = Drain(stream);
+  EXPECT_EQ(stream.true_pairs(), BruteForcePairs(records));
+  EXPECT_GT(stream.true_pairs(), 0u);
+}
+
+TEST(CorpusStreamTest, DuplicatesShareIdsWithDifferentSurfaces) {
+  CorpusStreamConfig config;
+  config.num_entities = 1000;
+  config.duplicate_rate = 0.5;
+  CorpusStream stream(config);
+  std::vector<Entity> records = Drain(stream);
+  std::unordered_map<uint64_t, std::set<std::string>> surfaces;
+  for (const Entity& entity : records) {
+    surfaces[entity.entity_id].insert(entity.surface);
+  }
+  size_t multi = 0;
+  for (const auto& [id, forms] : surfaces) {
+    if (forms.size() > 1) ++multi;
+  }
+  // Re-renderings of the same entity overwhelmingly yield distinct surfaces.
+  EXPECT_GT(multi, 50u);
+}
+
+TEST(CorpusStreamTest, ScholarDomainProducesScholarRecords) {
+  CorpusStreamConfig config;
+  config.num_entities = 50;
+  config.domain = Domain::kScholar;
+  CorpusStream stream(config);
+  std::vector<Entity> records = Drain(stream);
+  ASSERT_EQ(records.size(), 50u);
+  for (const Entity& entity : records) {
+    EXPECT_EQ(entity.domain, Domain::kScholar);
+    EXPECT_FALSE(entity.surface.empty());
+  }
+}
+
+TEST(CorpusStreamTest, ZeroDuplicateRateYieldsDistinctIds) {
+  CorpusStreamConfig config;
+  config.num_entities = 300;
+  config.duplicate_rate = 0.0;
+  config.sibling_rate = 0.0;
+  CorpusStream stream(config);
+  std::vector<Entity> records = Drain(stream);
+  std::set<uint64_t> ids;
+  for (const Entity& entity : records) ids.insert(entity.entity_id);
+  EXPECT_EQ(ids.size(), records.size());
+  EXPECT_EQ(stream.true_pairs(), 0u);
+}
+
+}  // namespace
+}  // namespace tailormatch::data

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "data/corpus_stream.h"
+#include "text/inverted_index.h"
+#include "util/rng.h"
+
 namespace tailormatch::text {
 namespace {
 
@@ -88,6 +94,123 @@ TEST(NearestNeighborTest, SemanticNeighborsRankAboveUnrelated) {
   // The two sram/bike documents (2, 3) should come first in some order.
   EXPECT_TRUE((hits[0] == 2 && hits[1] == 3) ||
               (hits[0] == 3 && hits[1] == 2));
+}
+
+// The brute-force scan NearestNeighborIndex::Query used before the
+// inverted-index backing, kept verbatim as the equivalence oracle.
+std::vector<int> BruteForceQuery(const TfidfEmbedder& embedder,
+                                 const std::vector<SparseVector>& vectors,
+                                 std::string_view query, int k, int exclude) {
+  SparseVector qv = embedder.Embed(query);
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(vectors.size());
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    if (static_cast<int>(i) == exclude) continue;
+    scored.emplace_back(TfidfEmbedder::Cosine(qv, vectors[i]),
+                        static_cast<int>(i));
+  }
+  const size_t take = std::min(scored.size(), static_cast<size_t>(k));
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<int> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+// A realistic small corpus: streamed product records with duplicates and
+// near-duplicate siblings, the distribution the blocker actually queries.
+std::vector<std::string> StreamedCorpus(size_t n) {
+  data::CorpusStreamConfig config;
+  config.num_entities = n;
+  config.seed = 77;
+  data::CorpusStream stream(config);
+  std::vector<std::string> surfaces;
+  data::Entity entity;
+  while (stream.Next(&entity)) surfaces.push_back(entity.surface);
+  return surfaces;
+}
+
+TEST(NearestNeighborTest, MatchesBruteForceExactly) {
+  const std::vector<std::string> corpus = StreamedCorpus(400);
+  TfidfEmbedder embedder;
+  embedder.Fit(corpus);
+  NearestNeighborIndex index(&embedder);
+  index.AddAll(corpus);
+  std::vector<SparseVector> vectors;
+  for (const std::string& doc : corpus) vectors.push_back(embedder.Embed(doc));
+  for (size_t i = 0; i < corpus.size(); i += 7) {
+    for (int k : {1, 3, 8}) {
+      EXPECT_EQ(index.Query(corpus[i], k, static_cast<int>(i)),
+                BruteForceQuery(embedder, vectors, corpus[i], k,
+                                static_cast<int>(i)))
+          << "query " << i << " k " << k;
+    }
+  }
+  // No-exclude and out-of-vocabulary queries (all scores zero).
+  EXPECT_EQ(index.Query(corpus[0], 5),
+            BruteForceQuery(embedder, vectors, corpus[0], 5, -1));
+  EXPECT_EQ(index.Query("zzz qqq unseen", 4),
+            BruteForceQuery(embedder, vectors, "zzz qqq unseen", 4, -1));
+  // k larger than the corpus drains into the zero-score tail.
+  EXPECT_EQ(index.Query(corpus[3], 1000, 3),
+            BruteForceQuery(embedder, vectors, corpus[3], 1000, 3));
+}
+
+TEST(InvertedIndexTest, BuildDeterministicAcrossThreadCounts) {
+  const std::vector<std::string> corpus = StreamedCorpus(300);
+  TfidfEmbedder embedder;
+  embedder.Fit(corpus);
+  std::vector<SparseVector> vectors;
+  for (const std::string& doc : corpus) vectors.push_back(embedder.Embed(doc));
+
+  InvertedIndexOptions options;
+  options.max_posting_length = 8;
+  options.max_df_fraction = 0.2;
+  InvertedIndex one(options);
+  one.Build(vectors, 1);
+  InvertedIndex eight(options);
+  eight.Build(vectors, 8);
+
+  ASSERT_EQ(one.num_postings(), eight.num_postings());
+  for (const SparseVector& vec : vectors) {
+    for (const auto& [term, weight] : vec) {
+      const auto* a = one.PostingsFor(term);
+      const auto* b = eight.PostingsFor(term);
+      ASSERT_EQ(a == nullptr, b == nullptr);
+      if (a == nullptr) continue;
+      ASSERT_EQ(a->size(), b->size());
+      for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ((*a)[i].doc, (*b)[i].doc);
+        EXPECT_EQ((*a)[i].weight, (*b)[i].weight);
+      }
+    }
+  }
+}
+
+TEST(InvertedIndexTest, PruningCapsPostingLists) {
+  const std::vector<std::string> corpus = StreamedCorpus(300);
+  TfidfEmbedder embedder;
+  embedder.Fit(corpus);
+  std::vector<SparseVector> vectors;
+  for (const std::string& doc : corpus) vectors.push_back(embedder.Embed(doc));
+
+  InvertedIndexOptions options;
+  options.max_posting_length = 4;
+  InvertedIndex pruned(options);
+  pruned.Build(vectors, 2);
+  InvertedIndex exact;
+  exact.Build(vectors, 2);
+  EXPECT_LT(pruned.num_postings(), exact.num_postings());
+  for (const SparseVector& vec : vectors) {
+    for (const auto& [term, weight] : vec) {
+      const auto* postings = pruned.PostingsFor(term);
+      if (postings != nullptr) EXPECT_LE(postings->size(), 4u);
+    }
+  }
 }
 
 }  // namespace

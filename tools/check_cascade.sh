@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end check of the million-entity deduplication cascade:
+#   1. builds and runs the cascade unit suites (`ctest -L cascade`);
+#   2. streams 50k synthetic entities through `tailormatch dedup` twice —
+#      once with the pruned+LSH cascade under the default LLM budget, once
+#      with exhaustive blocking (--exact) as the recall ceiling — and gates
+#      the cascade at >= 0.95 of the exhaustive recall while staying within
+#      the per-entity budget;
+#   3. asserts the --metrics-report output carries the cascade.* pipeline
+#      counters, so the obs wiring cannot silently rot.
+#
+# Usage: tools/check_cascade.sh [build_dir]
+# (Also exposed as the `check-cascade` CMake target.)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+ENTITIES="${TM_CASCADE_ENTITIES:-50000}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+cmake --build "${BUILD_DIR}" --target cascade_tests tailormatch_cli \
+  bench_serve_load -j"$(nproc)"
+
+(cd "${BUILD_DIR}" && ctest -L cascade --output-on-failure -j"$(nproc)")
+
+WORK_DIR="$(mktemp -d)"
+cleanup() { rm -rf "${WORK_DIR}"; }
+trap cleanup EXIT
+
+CKPT="${WORK_DIR}/tiny.ckpt"
+"${BUILD_DIR}/bench/bench_serve_load" --write-tiny-ckpt "${CKPT}"
+
+echo "== cascade run (${ENTITIES} entities, budget 0.1) =="
+"${BUILD_DIR}/tools/tailormatch" dedup --entities "${ENTITIES}" \
+  --model "${CKPT}" --budget 0.1 --threads "$(nproc)" \
+  --json-out "${WORK_DIR}/cascade.json" \
+  --metrics-report 2>"${WORK_DIR}/metrics.txt"
+
+echo "== exhaustive-blocking baseline =="
+"${BUILD_DIR}/tools/tailormatch" dedup --entities "${ENTITIES}" \
+  --model "${CKPT}" --budget 0.1 --threads "$(nproc)" --exact \
+  --json-out "${WORK_DIR}/exact.json"
+
+json_field() {
+  sed -n "s/^ *\"$2\": \([0-9.eE+-]*\),*\$/\1/p" "$1" | head -n1
+}
+
+CASCADE_RECALL="$(json_field "${WORK_DIR}/cascade.json" pair_recall)"
+EXACT_RECALL="$(json_field "${WORK_DIR}/exact.json" pair_recall)"
+CALLS_PER_ENTITY="$(json_field "${WORK_DIR}/cascade.json" llm_calls_per_entity)"
+
+awk -v cascade="${CASCADE_RECALL}" -v exact="${EXACT_RECALL}" \
+    -v calls="${CALLS_PER_ENTITY}" 'BEGIN {
+  ratio = 1; if (exact > 0) ratio = cascade / exact;
+  printf "cascade recall %.4f vs exhaustive %.4f (ratio %.4f), %.4f llm calls/entity\n", \
+    cascade, exact, ratio, calls;
+  if (exact > 0 && cascade < 0.95 * exact) {
+    print "FAIL: cascade recall fell below 0.95x of exhaustive blocking";
+    exit 1;
+  }
+  if (calls > 0.1 + 1e-9) {
+    print "FAIL: cascade exceeded the LLM budget";
+    exit 1;
+  }
+}'
+
+# The metrics report must surface the pipeline counters end to end.
+for counter in cascade.records cascade.candidates cascade.llm_pairs \
+               cascade.clusters; do
+  if ! grep -q "${counter}" "${WORK_DIR}/metrics.txt"; then
+    echo "FAIL: ${counter} missing from --metrics-report output" >&2
+    exit 1
+  fi
+done
+
+echo "check-cascade: suites + 50k recall gate + metrics report clean"

@@ -19,7 +19,7 @@ SANITIZER="${1:-thread}"
 shift || true
 TARGETS=("$@")
 if [ "${#TARGETS[@]}" -eq 0 ]; then
-  TARGETS=(nn_tests obs_tests serve_tests train_tests chaos_tests)
+  TARGETS=(nn_tests obs_tests serve_tests train_tests chaos_tests cascade_tests)
 fi
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"

@@ -13,6 +13,10 @@
 //                          [--dispatch-cost-us D] [--autotune]
 //   tailormatch fleet      --model model.ckpt --fleet-workers N [--port N]
 //                          (plus the serve batching/SLO flags)
+//   tailormatch dedup      --entities N [--model model.ckpt] [--budget B]
+//                          [--seed S] [--k K] [--band-low L] [--band-high H]
+//                          [--threads T] [--chunk C] [--work-dir DIR]
+//                          [--exact] [--json-out PATH] [--scholar]
 //   tailormatch export     --benchmark wdc-small --split train
 //                          --format csv|jsonl --out pairs.csv
 //   tailormatch benchmarks | families
@@ -37,7 +41,9 @@
 #include <optional>
 #include <string>
 
+#include "cascade/dedup.h"
 #include "core/pipeline.h"
+#include "data/corpus_stream.h"
 #include "data/dataset_io.h"
 #include "eval/evaluator.h"
 #include "eval/metrics_report.h"
@@ -168,6 +174,19 @@ int Usage() {
       "             [--chaos-duration-s SEC] [--chaos-pauses P]\n"
       "             [--chaos-poisson] [--chaos-connect-fail-rate R]\n"
       "             [--chaos-read-fail-rate R]\n"
+      "  dedup      --entities N  stream N synthetic records through the\n"
+      "             million-entity cascade (DESIGN.md 5i): ANN blocking,\n"
+      "             calibrated cheap scoring, budgeted LLM escalation,\n"
+      "             union-find clustering; scored against ground truth\n"
+      "             [--model PATH] LLM for the uncertain band (omit = cheap\n"
+      "             scorer only), [--budget B] LLM pairs per entity (0.1)\n"
+      "             [--seed S] [--dup-rate R] [--window W] corpus shape\n"
+      "             [--k K] neighbours/record [--band-low L] [--band-high H]\n"
+      "             [--threads T] [--chunk C] [--calib-pairs P]\n"
+      "             [--exact] exhaustive blocking baseline (no pruning/LSH)\n"
+      "             [--work-dir DIR] resume journal (reruns skip paid LLM\n"
+      "             batches) [--json-out PATH] machine-readable report\n"
+      "             [--scholar]\n"
       "  export     --benchmark B [--split train|valid|test]\n"
       "             [--format csv|jsonl] --out PATH\n"
       "  benchmarks | families\n"
@@ -531,6 +550,133 @@ int CmdFleet(const ArgMap& args) {
   return 0;
 }
 
+int CmdDedup(const ArgMap& args) {
+  const auto int_arg = [&args](const char* key, int fallback) {
+    const std::string text = args.Get(key, "");
+    return text.empty() ? fallback : std::atoi(text.c_str());
+  };
+  const auto double_arg = [&args](const char* key, double fallback) {
+    const std::string text = args.Get(key, "");
+    return text.empty() ? fallback : std::atof(text.c_str());
+  };
+
+  data::CorpusStreamConfig corpus;
+  corpus.num_entities = static_cast<size_t>(std::atoll(
+      args.Get("entities", "100000").c_str()));
+  corpus.seed = static_cast<uint64_t>(
+      std::atoll(args.Get("seed", "20260809").c_str()));
+  corpus.duplicate_rate = double_arg("dup-rate", corpus.duplicate_rate);
+  corpus.window = static_cast<size_t>(
+      int_arg("window", static_cast<int>(corpus.window)));
+  if (args.Has("scholar")) corpus.domain = data::Domain::kScholar;
+
+  cascade::DedupOptions options;
+  options.k = int_arg("k", options.k);
+  options.llm_budget_per_entity = double_arg("budget", 0.1);
+  options.band_low = double_arg("band-low", options.band_low);
+  options.band_high = double_arg("band-high", options.band_high);
+  options.num_threads = int_arg("threads", options.num_threads);
+  options.chunk_size = static_cast<size_t>(
+      int_arg("chunk", static_cast<int>(options.chunk_size)));
+  options.calibration_pairs = static_cast<size_t>(
+      int_arg("calib-pairs", static_cast<int>(options.calibration_pairs)));
+  options.work_dir = args.Get("work-dir", "");
+  options.run_key = args.Get("run-key", "dedup");
+  if (args.Has("exact")) {
+    // Exhaustive blocking: the recall ceiling the check-cascade gate
+    // compares the pruned+ANN cascade against.
+    options.index.max_posting_length = 0;
+    options.index.max_df_fraction = 1.0;
+    options.index.lsh_tables = 0;
+  }
+  options.index.seed = corpus.seed;
+
+  std::unique_ptr<llm::SimLlm> model;
+  const std::string model_path = args.Get("model", "");
+  if (!model_path.empty()) {
+    Result<std::unique_ptr<llm::SimLlm>> loaded =
+        llm::SimLlm::LoadCheckpoint(model_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    model = std::move(loaded).value();
+  }
+
+  data::CorpusStream stream(corpus);
+  cascade::DedupPipeline pipeline(options, model.get());
+  Result<cascade::DedupReport> result = pipeline.Run(stream);
+  if (!result.ok()) {
+    std::fprintf(stderr, "dedup failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const cascade::DedupReport& report = result.value();
+
+  std::printf("records            %zu (true pairs %llu)\n", report.num_records,
+              static_cast<unsigned long long>(report.true_pairs));
+  std::printf("candidates         %zu (recall %.4f)\n", report.candidate_pairs,
+              report.candidate_recall);
+  std::printf("bands              match %zu / non-match %zu / uncertain %zu\n",
+              report.confident_match, report.confident_non_match,
+              report.uncertain);
+  std::printf("escalated          %zu of budget %zu (%.4f calls/entity, "
+              "%zu truncated)%s\n",
+              report.escalated, report.llm_budget, report.llm_calls_per_entity,
+              report.truncated, model == nullptr ? " [no model]" : "");
+  std::printf("clusters           %zu (pair precision %.4f, pair recall "
+              "%.4f)\n",
+              report.clusters, report.pair_precision, report.pair_recall);
+  if (report.resumed) {
+    std::printf("resumed            %zu llm batches answered from journal\n",
+                report.resumed_batches);
+  }
+  double total_ms = 0.0;
+  for (const auto& [stage, ms] : report.stage_ms) total_ms += ms;
+  std::printf("stages             ");
+  for (const auto& [stage, ms] : report.stage_ms) {
+    std::printf("%s %.0fms  ", stage.c_str(), ms);
+  }
+  std::printf("(total %.0fms)\n", total_ms);
+
+  const std::string json_out = args.Get("json-out", "");
+  if (!json_out.empty()) {
+    std::string json = "{\n";
+    json += StrFormat("  \"entities\": %zu,\n", report.num_records);
+    json += StrFormat("  \"seed\": %llu,\n",
+                      static_cast<unsigned long long>(corpus.seed));
+    json += StrFormat("  \"exact\": %s,\n",
+                      args.Has("exact") ? "true" : "false");
+    json += StrFormat("  \"true_pairs\": %llu,\n",
+                      static_cast<unsigned long long>(report.true_pairs));
+    json += StrFormat("  \"candidate_pairs\": %zu,\n", report.candidate_pairs);
+    json += StrFormat("  \"candidate_recall\": %.6f,\n",
+                      report.candidate_recall);
+    json += StrFormat("  \"uncertain\": %zu,\n", report.uncertain);
+    json += StrFormat("  \"escalated\": %zu,\n", report.escalated);
+    json += StrFormat("  \"llm_calls_per_entity\": %.6f,\n",
+                      report.llm_calls_per_entity);
+    json += StrFormat("  \"clusters\": %zu,\n", report.clusters);
+    json += StrFormat("  \"pair_precision\": %.6f,\n", report.pair_precision);
+    json += StrFormat("  \"pair_recall\": %.6f,\n", report.pair_recall);
+    json += "  \"stage_ms\": {";
+    bool first = true;
+    for (const auto& [stage, ms] : report.stage_ms) {
+      json += StrFormat("%s\"%s\": %.3f", first ? "" : ", ", stage.c_str(), ms);
+      first = false;
+    }
+    json += "}\n}\n";
+    std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+    out << json;
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int CmdExport(const ArgMap& args) {
   auto benchmark_id = ParseBenchmark(args.Get("benchmark", "wdc-small"));
   const std::string out = args.Get("out", "");
@@ -609,6 +755,8 @@ int main(int argc, char** argv) {
     rc = CmdServe(args);
   } else if (command == "fleet") {
     rc = CmdFleet(args);
+  } else if (command == "dedup") {
+    rc = CmdDedup(args);
   } else if (command == "export") {
     rc = CmdExport(args);
   } else if (command == "benchmarks") {
