@@ -29,6 +29,7 @@
 #include "cascade/ann_index.h"
 #include "cascade/dedup.h"
 #include "data/corpus_stream.h"
+#include "llm/infer_engine.h"
 #include "llm/sim_llm.h"
 #include "obs/metrics.h"
 #include "text/tfidf.h"
@@ -166,6 +167,29 @@ int main() {
     runs.push_back(RunCascade(&model, 1000000, 0.1, /*exact=*/false));
   }
 
+  // Escalation executor A/B: the same 10k cascade at the largest budget,
+  // once with the dynamic autograd forward pinned and once with the planned
+  // arena executor. Only the escalate stage scores through the model, so
+  // its wall time isolates the executor. (The sweep above runs under the
+  // process default, i.e. planned.)
+  double esc_dynamic_ms = 0.0, esc_planned_ms = 0.0;
+  if (max_entities >= 10000) {
+    {
+      llm::InferExecutorModeScope mode(llm::InferExecutorMode::kDynamic);
+      RunRecord record = RunCascade(&model, 10000, 0.2, /*exact=*/false);
+      esc_dynamic_ms = record.report.stage_ms.at("escalate");
+    }
+    {
+      llm::InferExecutorModeScope mode(llm::InferExecutorMode::kPlanned);
+      RunRecord record = RunCascade(&model, 10000, 0.2, /*exact=*/false);
+      esc_planned_ms = record.report.stage_ms.at("escalate");
+    }
+    std::printf("escalation A/B (10k entities, budget 0.2): planned %.0fms "
+                "vs dynamic %.0fms -> %.2fx\n",
+                esc_planned_ms, esc_dynamic_ms,
+                esc_planned_ms > 0.0 ? esc_dynamic_ms / esc_planned_ms : 0.0);
+  }
+
   // Index-build scaling at the 100k tier: same postings at every thread
   // count, so the only difference is wall time.
   double build_ms_1 = 0.0, build_ms_4 = 0.0;
@@ -218,6 +242,11 @@ int main() {
       "\"threads4_ms\": %.1f, \"speedup\": %.2f, \"postings\": %zu},\n",
       std::min<size_t>(100000, max_entities), build_ms_1, build_ms_4,
       build_ms_4 > 0.0 ? build_ms_1 / build_ms_4 : 0.0, postings_1);
+  json += StrFormat(
+      "  \"escalation\": {\"entities\": 10000, \"budget\": 0.2, "
+      "\"dynamic_ms\": %.1f, \"planned_ms\": %.1f, \"speedup\": %.2f},\n",
+      esc_dynamic_ms, esc_planned_ms,
+      esc_planned_ms > 0.0 ? esc_dynamic_ms / esc_planned_ms : 0.0);
 
   // Per-stage p99 across every run above, from the pipeline's histograms.
   const obs::MetricsSnapshot snapshot =

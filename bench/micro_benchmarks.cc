@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "data/generator.h"
+#include "llm/infer_engine.h"
 #include "llm/model_config.h"
 #include "llm/pretrainer.h"
 #include "llm/sim_llm.h"
@@ -157,6 +158,97 @@ void BM_SimLlmForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimLlmForward);
+
+// ---- Planned-graph inference executor (DESIGN.md §5j) ----
+//
+// The planned/dynamic pair below is the per-request cost of the arena
+// executor vs the autograd forward it replaces; the capture benchmark is
+// the one-time cost of planning a sequence length; the prefix pair
+// isolates the prompt-prefix cache (cold strands the cache via a weights
+// epoch bump, exactly like an optimizer step would).
+
+llm::SimLlm* InferBenchModel() {
+  static llm::SimLlm* model = [] {
+    llm::ModelConfig config;
+    config.dim = 32;
+    config.num_heads = 2;
+    config.num_layers = 2;
+    return new llm::SimLlm(config, SharedTokenizer());
+  }();
+  return model;
+}
+
+const std::string& InferBenchPrompt() {
+  static const std::string prompt =
+      "Do the two entity descriptions refer to the same real-world product? "
+      "Entity 1: sonara pulse zmw-304 printer Entity 2: sonara pulse zmw 304";
+  return prompt;
+}
+
+void BM_InferForwardPlanned(benchmark::State& state) {
+  llm::SimLlm* model = InferBenchModel();
+  llm::InferExecutorModeScope mode(llm::InferExecutorMode::kPlanned);
+  (void)model->PredictMatchProbability(InferBenchPrompt());  // capture
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model->PredictMatchProbability(InferBenchPrompt()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InferForwardPlanned);
+
+void BM_InferForwardDynamic(benchmark::State& state) {
+  llm::SimLlm* model = InferBenchModel();
+  llm::InferExecutorModeScope mode(llm::InferExecutorMode::kDynamic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model->PredictMatchProbability(InferBenchPrompt()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InferForwardDynamic);
+
+// Plan capture + first planned forward. RestoreState drops the plans the
+// way any structural change does, so every iteration replans; subtract
+// BM_InferForwardPlanned for the capture cost alone (the state copy is a
+// few hundred KB and small next to the capture).
+void BM_InferPlanCapture(benchmark::State& state) {
+  llm::SimLlm* model = InferBenchModel();
+  llm::InferExecutorModeScope mode(llm::InferExecutorMode::kPlanned);
+  const std::vector<std::vector<float>> snapshot = model->SnapshotState();
+  for (auto _ : state) {
+    model->RestoreState(snapshot);
+    benchmark::DoNotOptimize(
+        model->PredictMatchProbability(InferBenchPrompt()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InferPlanCapture);
+
+void BM_InferPrefixHit(benchmark::State& state) {
+  llm::SimLlm* model = InferBenchModel();
+  llm::InferExecutorModeScope mode(llm::InferExecutorMode::kPlanned);
+  (void)model->PredictMatchProbability(InferBenchPrompt());  // warm prefix
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model->PredictMatchProbability(InferBenchPrompt()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InferPrefixHit);
+
+void BM_InferPrefixCold(benchmark::State& state) {
+  llm::SimLlm* model = InferBenchModel();
+  llm::InferExecutorModeScope mode(llm::InferExecutorMode::kPlanned);
+  (void)model->PredictMatchProbability(InferBenchPrompt());  // keep the plan
+  for (auto _ : state) {
+    model->NotifyWeightsMutated();  // strand the prefix cache, keep plans
+    benchmark::DoNotOptimize(
+        model->PredictMatchProbability(InferBenchPrompt()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InferPrefixCold);
 
 void BM_SimLlmTrainStep(benchmark::State& state) {
   static llm::SimLlm* model = [] {

@@ -9,6 +9,9 @@
 //                                          faults) against a 3-worker fleet
 //                                          under load, baseline vs failover
 //                                          arms, write BENCH_chaos.json
+//   bench_serve_load --infer-gate          gated planned-vs-dynamic batched
+//                                          throughput check (exit 0 iff the
+//                                          planned executor is >= 2x)
 //   bench_serve_load --seed N              seed for the open-loop arrival /
 //                                          chaos schedules (default 20260809)
 //   bench_serve_load --write-tiny-ckpt P   write a tiny framed checkpoint to P
@@ -51,7 +54,9 @@
 #include <vector>
 
 #include "core/matcher.h"
+#include "llm/infer_engine.h"
 #include "llm/sim_llm.h"
+#include "obs/metrics.h"
 #include "serve/chaos.h"
 #include "serve/fleet.h"
 #include "serve/micro_batcher.h"
@@ -263,6 +268,92 @@ int RunSweeps() {
     }
   }
 
+  // Executor A/B: one worker scoring one request at a time through the
+  // served model — the single-worker regime the planned executor's headline
+  // is defined over (the fleet rows above keep contention and batching out
+  // of this measurement). Dynamic runs first so the planned arm's counter
+  // deltas are cleanly attributable.
+  std::vector<std::string> ab_prompts;
+  for (int i = 0; i < 64; ++i) {
+    ab_prompts.push_back(
+        "do the two entity descriptions refer to the same real-world product "
+        "entity 1 widget pro model " +
+        std::to_string(i) + " entity 2 widget pro model " +
+        std::to_string(i + 1));
+  }
+  const auto run_executor_arm = [&](llm::InferExecutorMode mode_value,
+                                    const char* shape) {
+    llm::InferExecutorModeScope mode(mode_value);
+    RunResult run;
+    run.shape = shape;
+    run.dispatch_cost_us = 0;
+    run.max_batch = 1;
+    run.clients = 1;
+    const int kRequests = 4000;
+    // Warm plan + prefix caches so the measured window is steady state.
+    for (size_t i = 0; i < ab_prompts.size(); ++i) {
+      (void)served->model->PredictMatchProbability(ab_prompts[i]);
+    }
+    std::vector<double> latencies;
+    latencies.reserve(kRequests);
+    const auto start = Clock::now();
+    for (int i = 0; i < kRequests; ++i) {
+      const auto sent = Clock::now();
+      (void)served->model->PredictMatchProbability(
+          ab_prompts[static_cast<size_t>(i) % ab_prompts.size()]);
+      latencies.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - sent)
+              .count());
+    }
+    run.elapsed_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    FinishRun(latencies, &run);
+    return run;
+  };
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  RunResult exec_dynamic =
+      run_executor_arm(llm::InferExecutorMode::kDynamic, "executor_dynamic");
+  const int64_t hits_before =
+      metrics.GetCounter("serve.prefix_cache.hits").value();
+  const int64_t misses_before =
+      metrics.GetCounter("serve.prefix_cache.misses").value();
+  const int64_t planned_before =
+      metrics.GetCounter("serve.infer.planned_forwards").value();
+  const int64_t captures_before =
+      metrics.GetCounter("serve.infer.plan_captures").value();
+  RunResult exec_planned =
+      run_executor_arm(llm::InferExecutorMode::kPlanned, "executor_planned");
+  const int64_t prefix_hits =
+      metrics.GetCounter("serve.prefix_cache.hits").value() - hits_before;
+  const int64_t prefix_misses =
+      metrics.GetCounter("serve.prefix_cache.misses").value() - misses_before;
+  const int64_t planned_forwards =
+      metrics.GetCounter("serve.infer.planned_forwards").value() -
+      planned_before;
+  const int64_t plan_captures =
+      metrics.GetCounter("serve.infer.plan_captures").value() - captures_before;
+  const double arena_bytes = metrics.GetGauge("serve.arena.bytes").value();
+  runs.push_back(exec_dynamic);
+  runs.push_back(exec_planned);
+  for (const RunResult* run : {&exec_dynamic, &exec_planned}) {
+    std::printf("%-16s %3dus %9d %8d %12.1f %8.3f %8.3f %8.3f\n",
+                run->shape.c_str(), 0, 1, 1, run->throughput,
+                run->p50_ms, run->p95_ms, run->p99_ms);
+  }
+  const double executor_speedup = exec_dynamic.throughput > 0
+                                      ? exec_planned.throughput /
+                                            exec_dynamic.throughput
+                                      : 0.0;
+  std::printf("executor headline: planned %.1f vs dynamic %.1f pairs/s -> "
+              "%.2fx (p99 %.3f vs %.3f ms; prefix %lld hits / %lld misses, "
+              "%lld planned forwards, %lld captures)\n",
+              exec_planned.throughput, exec_dynamic.throughput,
+              executor_speedup, exec_planned.p99_ms, exec_dynamic.p99_ms,
+              static_cast<long long>(prefix_hits),
+              static_cast<long long>(prefix_misses),
+              static_cast<long long>(planned_forwards),
+              static_cast<long long>(plan_captures));
+
   // Headline: batched vs unbatched closed-loop throughput under the
   // dispatch-cost profile (the regime batching exists for).
   double batch1 = 0.0, batch8 = 0.0, batch8_p99 = 0.0;
@@ -284,13 +375,24 @@ int RunSweeps() {
     AppendRunJson(runs[i], &json);
     json += i + 1 < runs.size() ? ",\n" : "\n";
   }
-  char headline[256];
-  std::snprintf(headline, sizeof(headline),
-                "  ],\n  \"headline\": {\"shape\":\"closed_loop\","
-                "\"dispatch_cost_us\":200,\"clients\":%d,"
-                "\"batch1_throughput\":%.1f,\"batch8_throughput\":%.1f,"
-                "\"speedup\":%.2f,\"batch8_p99_ms\":%.3f}\n}\n",
-                kClients, batch1, batch8, speedup, batch8_p99);
+  char headline[1024];
+  std::snprintf(
+      headline, sizeof(headline),
+      "  ],\n  \"headline\": {\"shape\":\"closed_loop\","
+      "\"dispatch_cost_us\":200,\"clients\":%d,"
+      "\"batch1_throughput\":%.1f,\"batch8_throughput\":%.1f,"
+      "\"speedup\":%.2f,\"batch8_p99_ms\":%.3f},\n"
+      "  \"infer\": {\"dynamic_throughput\":%.1f,\"planned_throughput\":%.1f,"
+      "\"executor_speedup\":%.2f,\"dynamic_p99_ms\":%.3f,"
+      "\"planned_p99_ms\":%.3f,\"prefix_cache_hits\":%lld,"
+      "\"prefix_cache_misses\":%lld,\"planned_forwards\":%lld,"
+      "\"plan_captures\":%lld,\"arena_bytes\":%.0f}\n}\n",
+      kClients, batch1, batch8, speedup, batch8_p99, exec_dynamic.throughput,
+      exec_planned.throughput, executor_speedup, exec_dynamic.p99_ms,
+      exec_planned.p99_ms, static_cast<long long>(prefix_hits),
+      static_cast<long long>(prefix_misses),
+      static_cast<long long>(planned_forwards),
+      static_cast<long long>(plan_captures), arena_bytes);
   json += headline;
 
   FILE* out = std::fopen("BENCH_serve.json", "w");
@@ -301,7 +403,57 @@ int RunSweeps() {
   std::fwrite(json.data(), 1, json.size(), out);
   std::fclose(out);
   std::printf("wrote BENCH_serve.json (%zu runs)\n", runs.size());
-  return speedup >= 2.0 ? 0 : 1;
+  // Two gates: the micro-batching headline and the planned executor's >= 2x
+  // single-worker throughput at no-worse p99.
+  const bool p99_held = exec_planned.p99_ms <= exec_dynamic.p99_ms * 1.10;
+  return speedup >= 2.0 && executor_speedup >= 2.0 && p99_held ? 0 : 1;
+}
+
+// --infer-gate: direct model-level batched throughput, planned vs dynamic,
+// with no batcher in the way — the check-infer target's CI gate. Exit 0 iff
+// the planned arena executor sustains >= 2x the dynamic autograd forward.
+int RunInferGate() {
+  llm::SimLlm model = MakeServeModel();
+  std::vector<std::string> prompts;
+  for (int i = 0; i < 64; ++i) {
+    prompts.push_back(
+        "do the two entity descriptions refer to the same real-world product "
+        "entity 1 widget pro model " +
+        std::to_string(i) + " entity 2 widget pro model " +
+        std::to_string(i + 1));
+  }
+  const auto run_arm = [&](llm::InferExecutorMode mode) {
+    llm::InferExecutorModeScope scope(mode);
+    (void)model.PredictMatchProbabilities(prompts);  // warmup (plan capture)
+    const auto start = Clock::now();
+    int scored = 0;
+    const int kIters = 30;
+    for (int iter = 0; iter < kIters; ++iter) {
+      scored += static_cast<int>(model.PredictMatchProbabilities(prompts).size());
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return elapsed > 0 ? static_cast<double>(scored) / elapsed : 0.0;
+  };
+  const double dynamic_tput = run_arm(llm::InferExecutorMode::kDynamic);
+  const double planned_tput = run_arm(llm::InferExecutorMode::kPlanned);
+  const double speedup = dynamic_tput > 0 ? planned_tput / dynamic_tput : 0.0;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  std::printf(
+      "infer-gate: planned %.0f vs dynamic %.0f pairs/s -> %.2fx "
+      "(prefix hits %lld, misses %lld, captures %lld)\n",
+      planned_tput, dynamic_tput, speedup,
+      static_cast<long long>(
+          metrics.GetCounter("serve.prefix_cache.hits").value()),
+      static_cast<long long>(
+          metrics.GetCounter("serve.prefix_cache.misses").value()),
+      static_cast<long long>(
+          metrics.GetCounter("serve.infer.plan_captures").value()));
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "infer-gate FAILED: %.2fx < 2.0x\n", speedup);
+    return 1;
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -1042,11 +1194,13 @@ int main(int argc, char** argv) {
   uint64_t seed = 20260809;
   bool fleet = false;
   bool chaos = false;
+  bool infer_gate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) seed = std::strtoull(argv[i + 1], nullptr, 10);
     if (arg == "--fleet") fleet = true;
     if (arg == "--chaos") chaos = true;
+    if (arg == "--infer-gate") infer_gate = true;
   }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1068,6 +1222,7 @@ int main(int argc, char** argv) {
       return RunSmoke(std::atoi(argv[i + 1]), shutdown_server);
     }
   }
+  if (infer_gate) return RunInferGate();
   if (chaos) return RunChaosBench(seed);
   if (fleet) return RunFleetBench(seed);
   return RunSweeps();

@@ -13,7 +13,10 @@ namespace tailormatch::core {
 // Thread-pooled batch inference: the paper runs its hosted evaluations
 // through the OpenAI *batch* API; this is the local equivalent. Model
 // forward passes are read-only and thread-safe, so pairs are partitioned
-// across a worker pool.
+// across a worker pool. Each worker scores through the shared Matcher seam
+// and thus the model's planned-graph executor; workers share that engine's
+// plan and prefix caches, and results stay bitwise independent of the
+// worker count.
 class BatchMatcher {
  public:
   // `num_threads` 0 = hardware concurrency.

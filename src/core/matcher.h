@@ -24,6 +24,10 @@ struct MatchDecision {
 // paths MUST go through these helpers: a pair rendered here and scored with
 // SimLlm::PredictMatchProbability yields bitwise-identical decisions whether
 // it is matched alone, in an offline batch, or inside a serving micro-batch.
+// Underneath, that call routes through the model's planned-graph executor
+// (llm::InferEngine, DESIGN.md §5j) whose arena forward is itself pinned
+// bitwise to the dynamic autograd path — so the executor choice
+// (TM_INFER_EXECUTOR) can never change a decision either.
 
 // Builds an EntityPair from two free-text surfaces.
 data::EntityPair MakeSurfacePair(const std::string& left,

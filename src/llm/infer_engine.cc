@@ -1,0 +1,259 @@
+#include "llm/infer_engine.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "llm/sim_llm.h"
+#include "nn/arena.h"
+#include "nn/layers.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace tailormatch::llm {
+
+namespace {
+
+// Prefixes shorter than this are not worth the cache lookup.
+constexpr int kMinPrefixRows = 4;
+// Cache bound: one entry per (template, model version) in practice; the
+// clear-all eviction is only a runaway backstop.
+constexpr size_t kMaxPrefixEntries = 256;
+
+std::atomic<InferExecutorMode>& ModeFlag() {
+  static std::atomic<InferExecutorMode> mode = [] {
+    InferExecutorMode m = InferExecutorMode::kPlanned;
+    if (const char* env = std::getenv("TM_INFER_EXECUTOR")) {
+      if (std::string_view(env) == "dynamic") m = InferExecutorMode::kDynamic;
+    }
+    return m;
+  }();
+  return mode;
+}
+
+uint64_t HashPrefix(const int* ids, int len) {
+  uint64_t h = 14695981039346656037ULL;
+  for (int i = 0; i < len; ++i) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(ids[i]));
+    h *= 1099511628211ULL;
+  }
+  h ^= static_cast<uint64_t>(len);
+  h *= 1099511628211ULL;
+  return h;
+}
+
+obs::Counter& PrefixHits() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("serve.prefix_cache.hits");
+  return c;
+}
+obs::Counter& PrefixMisses() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("serve.prefix_cache.misses");
+  return c;
+}
+obs::Gauge& PrefixEntries() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("serve.prefix_cache.entries");
+  return g;
+}
+obs::Gauge& ArenaBytes() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("serve.arena.bytes");
+  return g;
+}
+obs::Counter& PlannedForwards() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "serve.infer.planned_forwards");
+  return c;
+}
+obs::Counter& PlanCaptures() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("serve.infer.plan_captures");
+  return c;
+}
+
+}  // namespace
+
+InferExecutorMode infer_executor_mode() {
+  return ModeFlag().load(std::memory_order_relaxed);
+}
+
+void SetInferExecutorMode(InferExecutorMode mode) {
+  ModeFlag().store(mode, std::memory_order_relaxed);
+}
+
+InferEngine::InferEngine(const SimLlm& model) : model_(model) {}
+
+InferEngine::~InferEngine() = default;
+
+void InferEngine::Invalidate() {
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    plans_.clear();
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(prefix_mu_);
+    prefix_cache_.clear();
+  }
+  weights_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void InferEngine::NotifyWeightsMutated() {
+  weights_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+int64_t InferEngine::plan_count() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return static_cast<int64_t>(plans_.size());
+}
+
+int64_t InferEngine::prefix_entry_count() const {
+  std::shared_lock<std::shared_mutex> lock(prefix_mu_);
+  return static_cast<int64_t>(prefix_cache_.size());
+}
+
+std::shared_ptr<const nn::graph::ForwardPlan> InferEngine::CaptureOrLookup(
+    const std::vector<int>& clipped, const PromptFeatures& feats,
+    float out[2], bool* captured) {
+  const int seq = static_cast<int>(clipped.size());
+  std::unique_lock<std::mutex> lock(plan_mu_);
+  auto it = plans_.find(seq);
+  if (it != plans_.end()) return it->second;
+  // First request at this sequence length: trace one dynamic eval forward
+  // into a plan. Holding plan_mu_ serializes captures; concurrent requests
+  // at other lengths briefly queue behind one forward, once per length.
+  const int dim = model_.config_.dim;
+  std::vector<float> embed(static_cast<size_t>(seq) * dim);
+  model_.FillEmbedRows(clipped, feats, embed.data());
+  std::vector<float> bias(static_cast<size_t>(seq) * seq);
+  model_.FillMatchBias(clipped, bias.data());
+  nn::Tensor embed_t = nn::Tensor::FromData(seq, dim, std::move(embed));
+  nn::Tensor bias_t = nn::Tensor::FromData(seq, seq, std::move(bias));
+  nn::graph::GraphCapture capture;
+  const int embed_input = capture.AddInput(embed_t);
+  capture.AddInput(bias_t);
+  nn::ForwardContext ctx;  // eval mode
+  nn::Tensor pooled = model_.EncodePooledFromInput(embed_t, bias_t, ctx);
+  nn::Tensor logits = model_.cls_head_->Forward(pooled, ctx);
+  std::shared_ptr<nn::graph::ForwardPlan> plan = capture.Finish(logits);
+  if (plan != nullptr) {
+    plan->EnablePrefixReuse(embed_input);
+    PlanCaptures().Increment();
+  }
+  plans_.emplace(seq, plan);
+  // The capture run already computed this request's logits dynamically.
+  out[0] = logits.at(0, 0);
+  out[1] = logits.at(0, 1);
+  *captured = true;
+  return plan;
+}
+
+void InferEngine::RunPlanned(const nn::graph::ForwardPlan& plan,
+                             const std::vector<int>& clipped,
+                             const PromptFeatures& feats, float out[2]) {
+  nn::Arena& arena = nn::Arena::ThreadLocal();
+  const int seq = static_cast<int>(clipped.size());
+  const int dim = model_.config_.dim;
+  const int prefix_len = feats.entity1_start;
+  const bool try_prefix = plan.prefix_reusable() &&
+                          prefix_len >= kMinPrefixRows && prefix_len < seq;
+  const uint64_t epoch = weights_epoch_.load(std::memory_order_acquire);
+
+  std::shared_ptr<const nn::graph::PrefixState> hit;
+  uint64_t key = 0;
+  if (try_prefix) {
+    key = HashPrefix(clipped.data(), prefix_len);
+    std::shared_lock<std::shared_mutex> lock(prefix_mu_);
+    auto it = prefix_cache_.find(key);
+    if (it != prefix_cache_.end()) {
+      const nn::graph::PrefixState& entry = *it->second;
+      if (entry.weights_epoch == epoch && entry.rows == prefix_len &&
+          std::memcmp(entry.ids.data(), clipped.data(),
+                      static_cast<size_t>(prefix_len) * sizeof(int)) == 0) {
+        hit = it->second;
+      }
+    }
+  }
+
+  float* embed_ptr = plan.InputPtr(arena, 0);
+  float* bias_ptr = plan.InputPtr(arena, 1);
+  model_.FillMatchBias(clipped, bias_ptr);
+  if (hit != nullptr) {
+    std::memcpy(embed_ptr, hit->embed.data(),
+                static_cast<size_t>(prefix_len) * dim * sizeof(float));
+    model_.FillEmbedRows(clipped, feats, embed_ptr, prefix_len);
+    plan.Run(arena, out, 2, hit.get(), nullptr);
+    PrefixHits().Increment();
+  } else {
+    model_.FillEmbedRows(clipped, feats, embed_ptr);
+    nn::graph::PrefixState fresh;
+    nn::graph::PrefixState* capture = nullptr;
+    if (try_prefix) {
+      fresh.rows = prefix_len;
+      fresh.dim = dim;
+      fresh.weights_epoch = epoch;
+      fresh.ids.assign(clipped.begin(), clipped.begin() + prefix_len);
+      // Snapshot the embedding rows before Run: the input region may be
+      // reused for intermediates once past its last use.
+      fresh.embed.assign(embed_ptr,
+                         embed_ptr + static_cast<size_t>(prefix_len) * dim);
+      capture = &fresh;
+    }
+    plan.Run(arena, out, 2, nullptr, capture);
+    if (try_prefix) {
+      PrefixMisses().Increment();
+      std::unique_lock<std::shared_mutex> lock(prefix_mu_);
+      // Skip publication if the weights moved while we ran — the snapshot
+      // could mix values from two versions.
+      if (weights_epoch_.load(std::memory_order_acquire) == epoch) {
+        if (prefix_cache_.size() >= kMaxPrefixEntries) prefix_cache_.clear();
+        prefix_cache_[key] =
+            std::make_shared<nn::graph::PrefixState>(std::move(fresh));
+        PrefixEntries().Set(static_cast<double>(prefix_cache_.size()));
+      }
+    }
+  }
+  ArenaBytes().Set(static_cast<double>(arena.capacity_bytes()));
+}
+
+bool InferEngine::Logits(const std::vector<int>& ids, float out[2]) {
+  // Per-request metric parity with the dynamic path: EncodeHidden records
+  // sim_llm.forward count + latency once per request, so the planned path
+  // does the same (the capture run goes through EncodePooledFromInput, not
+  // EncodeHidden, and is covered here too).
+  static obs::Counter& forward_count =
+      obs::MetricsRegistry::Global().GetCounter("sim_llm.forward");
+  static obs::Histogram& forward_latency =
+      obs::MetricsRegistry::Global().GetHistogram("sim_llm.forward");
+  const auto forward_start = std::chrono::steady_clock::now();
+
+  if (ids.empty()) return false;
+  std::vector<int> clipped = ids;
+  if (static_cast<int>(clipped.size()) > model_.config_.max_seq) {
+    clipped.resize(static_cast<size_t>(model_.config_.max_seq));
+  }
+  PromptFeatures feats;
+  model_.ComputePromptFeatures(clipped, &feats);
+
+  bool captured = false;
+  std::shared_ptr<const nn::graph::ForwardPlan> plan =
+      CaptureOrLookup(clipped, feats, out, &captured);
+  if (plan == nullptr) {
+    // Unplannable graph (unsupported op): dynamic fallback. The capture
+    // attempt, if any, already burned a forward; don't double-record.
+    return false;
+  }
+  if (!captured) {
+    RunPlanned(*plan, clipped, feats, out);
+    PlannedForwards().Increment();
+  }
+  forward_count.Increment();
+  forward_latency.Record(obs::MillisSince(forward_start));
+  return true;
+}
+
+}  // namespace tailormatch::llm

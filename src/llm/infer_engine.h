@@ -1,0 +1,119 @@
+#ifndef TAILORMATCH_LLM_INFER_ENGINE_H_
+#define TAILORMATCH_LLM_INFER_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/graph_executor.h"
+
+// Planned-graph inference engine (DESIGN.md §5j): the per-model-instance
+// cache of captured ForwardPlans plus the prompt-prefix state cache.
+//
+// Each SimLlm owns one InferEngine. The serving registry hot-swaps whole
+// SimLlm instances on Reload, so a new model version starts with an empty
+// engine and in-flight requests on the old version keep using the old
+// engine — the plan/prefix caches are versioned by construction, never by
+// manual invalidation. Within one instance's lifetime:
+//   - structural changes (EnableLora / MergeLora / RestoreState) call
+//     Invalidate(), dropping plans and prefix state;
+//   - in-place weight updates (optimizer steps) call NotifyWeightsMutated(),
+//     which bumps the weights epoch: plans stay valid (they read weight
+//     values live through shared storage), but cached prefix activations
+//     are value snapshots and are stranded by the epoch check.
+
+namespace tailormatch::llm {
+
+class SimLlm;
+struct PromptFeatures;
+
+enum class InferExecutorMode {
+  kPlanned,  // capture + arena executor + prefix reuse (default)
+  kDynamic,  // always build the autograd graph (A/B baseline)
+};
+
+// Process-wide executor mode. Initialized once from TM_INFER_EXECUTOR
+// ("planned" | "dynamic"); settable programmatically for A/B runs.
+InferExecutorMode infer_executor_mode();
+void SetInferExecutorMode(InferExecutorMode mode);
+
+// RAII override for tests and benches.
+class InferExecutorModeScope {
+ public:
+  explicit InferExecutorModeScope(InferExecutorMode mode)
+      : prev_(infer_executor_mode()) {
+    SetInferExecutorMode(mode);
+  }
+  ~InferExecutorModeScope() { SetInferExecutorMode(prev_); }
+
+  InferExecutorModeScope(const InferExecutorModeScope&) = delete;
+  InferExecutorModeScope& operator=(const InferExecutorModeScope&) = delete;
+
+ private:
+  InferExecutorMode prev_;
+};
+
+class InferEngine {
+ public:
+  explicit InferEngine(const SimLlm& model);
+  ~InferEngine();
+
+  InferEngine(const InferEngine&) = delete;
+  InferEngine& operator=(const InferEngine&) = delete;
+
+  // Computes the verbalizer logits ("No", "Yes") for a token sequence via
+  // the planned executor, capturing a plan for this sequence length on
+  // first sight. Returns false when the model's current graph cannot be
+  // planned — the caller falls back to the dynamic path. Thread-safe;
+  // bitwise identical to the dynamic forward.
+  bool Logits(const std::vector<int>& ids, float out[2]);
+
+  // Structure changed: drop every plan and prefix entry, bump the epoch.
+  void Invalidate();
+  // Weight values changed in place: strand cached prefix activations.
+  void NotifyWeightsMutated();
+
+  // Introspection for tests.
+  int64_t plan_count() const;
+  int64_t prefix_entry_count() const;
+  uint64_t weights_epoch() const {
+    return weights_epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Returns the plan for this sequence length, capturing one on first
+  // sight. When a capture ran, the request's logits are already in `out`
+  // (the capture run is itself a full dynamic forward) and *captured is
+  // set, so the caller skips the planned execution.
+  std::shared_ptr<const nn::graph::ForwardPlan> CaptureOrLookup(
+      const std::vector<int>& clipped, const PromptFeatures& feats,
+      float out[2], bool* captured);
+  void RunPlanned(const nn::graph::ForwardPlan& plan,
+                  const std::vector<int>& clipped,
+                  const PromptFeatures& feats, float out[2]);
+
+  const SimLlm& model_;
+
+  mutable std::mutex plan_mu_;
+  // seq_len -> plan. A nullptr entry marks a sequence length whose capture
+  // failed (unsupported op), so later requests skip straight to dynamic.
+  std::unordered_map<int, std::shared_ptr<const nn::graph::ForwardPlan>>
+      plans_;
+
+  std::atomic<uint64_t> weights_epoch_{0};
+
+  mutable std::shared_mutex prefix_mu_;
+  // Hash of (prefix ids, prefix length) -> cached state; collisions are
+  // resolved by full id comparison on hit.
+  std::unordered_map<uint64_t,
+                     std::shared_ptr<const nn::graph::PrefixState>>
+      prefix_cache_;
+};
+
+}  // namespace tailormatch::llm
+
+#endif  // TAILORMATCH_LLM_INFER_ENGINE_H_

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
+#include "llm/infer_engine.h"
+#include "nn/op_compute.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -40,6 +43,134 @@ SimLlm::SimLlm(ModelConfig config, text::Tokenizer tokenizer)
                                                 config_.num_attr_slots, rng);
   text_head_ = std::make_unique<nn::LoraLinear>(2 * config_.dim,
                                                 config_.num_text_buckets, rng);
+  infer_engine_ = std::make_unique<InferEngine>(*this);
+}
+
+SimLlm::~SimLlm() = default;
+
+void SimLlm::NotifyWeightsMutated() { infer_engine_->NotifyWeightsMutated(); }
+
+void SimLlm::InvalidateInferenceState() { infer_engine_->Invalidate(); }
+
+void SimLlm::ComputePromptFeatures(const std::vector<int>& clipped,
+                                   PromptFeatures* features) const {
+  const int seq = static_cast<int>(clipped.size());
+  // Segments: 0 = instruction, 1 = first entity, 2 = second entity,
+  // switching at each occurrence of the "entity" marker token. The
+  // serialized prompt always ends with "... Entity 1: <e1> Entity 2:
+  // <e2>"; instructions may also mention the word "entity", so the markers
+  // are the *last two* occurrences of the token.
+  features->segments.assign(clipped.size(), 0);
+  const int entity_marker = tokenizer_.vocab().GetId("entity");
+  std::vector<int> occurrences;
+  for (int i = 0; i < seq; ++i) {
+    if (clipped[static_cast<size_t>(i)] == entity_marker) {
+      occurrences.push_back(i);
+    }
+  }
+  features->entity1_start = seq;
+  features->entity2_start = seq;
+  if (occurrences.size() >= 2) {
+    features->entity1_start = occurrences[occurrences.size() - 2];
+    features->entity2_start = occurrences[occurrences.size() - 1];
+  } else if (occurrences.size() == 1) {
+    features->entity1_start = occurrences[0];
+  }
+  for (int i = 0; i < seq; ++i) {
+    features->segments[static_cast<size_t>(i)] =
+        i >= features->entity2_start ? 2
+                                     : (i >= features->entity1_start ? 1 : 0);
+  }
+  // Duplicate flags classify each entity token by {word, digit} x
+  // {unmatched, matched-in-the-other-entity}. Cross-entity overlap is the
+  // core matching evidence, and an *unmatched digit identifier* is the
+  // core non-matching evidence, so both get explicit feature rows.
+  features->duplicate_flags.assign(clipped.size(), 0);
+  for (int i = 0; i < seq; ++i) {
+    const int id = clipped[static_cast<size_t>(i)];
+    if (id < text::Vocab::kNumSpecialTokens ||
+        features->segments[static_cast<size_t>(i)] == 0) {
+      continue;
+    }
+    bool matched = false;
+    for (int j = 0; j < seq; ++j) {
+      if (features->segments[static_cast<size_t>(j)] != 0 &&
+          features->segments[static_cast<size_t>(j)] !=
+              features->segments[static_cast<size_t>(i)] &&
+          id == clipped[static_cast<size_t>(j)]) {
+        matched = true;
+        break;
+      }
+    }
+    features->duplicate_flags[static_cast<size_t>(i)] =
+        (text::Tokenizer::IsDigitBucketId(id) ? 2 : 0) + (matched ? 1 : 0);
+  }
+}
+
+void SimLlm::FillMatchBias(const std::vector<int>& clipped,
+                           float* out) const {
+  // Token-match attention bias: 1 where two positions hold the identical
+  // (non-special) token. See MultiHeadAttention for rationale.
+  const int seq = static_cast<int>(clipped.size());
+  std::memset(out, 0,
+              static_cast<size_t>(seq) * static_cast<size_t>(seq) *
+                  sizeof(float));
+  for (int i = 0; i < seq; ++i) {
+    if (clipped[static_cast<size_t>(i)] < text::Vocab::kNumSpecialTokens) {
+      continue;
+    }
+    for (int j = 0; j < seq; ++j) {
+      if (i != j && clipped[static_cast<size_t>(i)] ==
+                        clipped[static_cast<size_t>(j)]) {
+        out[static_cast<size_t>(i) * seq + j] = 1.0f;
+      }
+    }
+  }
+}
+
+void SimLlm::FillEmbedRows(const std::vector<int>& clipped,
+                           const PromptFeatures& features, float* out,
+                           int start_row) const {
+  const int seq = static_cast<int>(clipped.size());
+  const int dim = config_.dim;
+  const float* tok = token_embedding_->table().data().data();
+  const float* pos = position_embedding_->table().data().data();
+  const float* seg = segment_embedding_->table().data().data();
+  const float* dup = duplicate_flag_embedding_->table().data().data();
+  for (int i = start_row; i < seq; ++i) {
+    const int id = clipped[static_cast<size_t>(i)];
+    TM_CHECK(id >= 0 && id < token_embedding_->table().rows());
+    float* r = out + static_cast<size_t>(i) * dim;
+    // token + position + segment + duplicate, in the dynamic path's
+    // association order, through the same compiled add loop (out aliases a).
+    std::memcpy(r, tok + static_cast<size_t>(id) * dim,
+                static_cast<size_t>(dim) * sizeof(float));
+    nn::compute::AddRows(static_cast<size_t>(dim), r,
+                         pos + static_cast<size_t>(i) * dim, r);
+    nn::compute::AddRows(
+        static_cast<size_t>(dim), r,
+        seg + static_cast<size_t>(features.segments[static_cast<size_t>(i)]) *
+                  dim,
+        r);
+    nn::compute::AddRows(
+        static_cast<size_t>(dim), r,
+        dup + static_cast<size_t>(
+                  features.duplicate_flags[static_cast<size_t>(i)]) *
+                  dim,
+        r);
+  }
+}
+
+nn::Tensor SimLlm::EncodePooledFromInput(nn::Tensor h, nn::Tensor match_bias,
+                                         const nn::ForwardContext& ctx) const {
+  for (const auto& block : blocks_) {
+    h = block->Forward(h, ctx, &match_bias);
+  }
+  h = final_norm_->Forward(h);
+  // Mean pooling captures aggregate overlap; max pooling lets a single
+  // decisive token (an unmatched model number) dominate. Their concat
+  // feeds the verbalizer and auxiliary heads.
+  return nn::ConcatCols({nn::MeanRows(h), nn::MaxRows(h)});
 }
 
 nn::Tensor SimLlm::EncodeHidden(const std::vector<int>& ids,
@@ -58,84 +189,17 @@ nn::Tensor SimLlm::EncodeHidden(const std::vector<int>& ids,
   TM_CHECK(!clipped.empty());
   std::vector<int> positions(clipped.size());
   std::iota(positions.begin(), positions.end(), 0);
-  // Token-match attention bias: 1 where two positions hold the identical
-  // (non-special) token. See MultiHeadAttention for rationale.
   const int seq = static_cast<int>(clipped.size());
   nn::Tensor match_bias(seq, seq);
-  for (int i = 0; i < seq; ++i) {
-    if (clipped[static_cast<size_t>(i)] < text::Vocab::kNumSpecialTokens) {
-      continue;
-    }
-    for (int j = 0; j < seq; ++j) {
-      if (i != j && clipped[static_cast<size_t>(i)] ==
-                        clipped[static_cast<size_t>(j)]) {
-        match_bias.set(i, j, 1.0f);
-      }
-    }
-  }
-  // Segments: 0 = instruction, 1 = first entity, 2 = second entity,
-  // switching at each occurrence of the "entity" marker token.
-  std::vector<int> segments(clipped.size(), 0);
-  {
-    // The serialized prompt always ends with "... Entity 1: <e1> Entity 2:
-    // <e2>"; instructions may also mention the word "entity", so the
-    // markers are the *last two* occurrences of the token.
-    const int entity_marker = tokenizer_.vocab().GetId("entity");
-    std::vector<int> occurrences;
-    for (int i = 0; i < seq; ++i) {
-      if (clipped[static_cast<size_t>(i)] == entity_marker) {
-        occurrences.push_back(i);
-      }
-    }
-    int entity1_start = seq, entity2_start = seq;
-    if (occurrences.size() >= 2) {
-      entity1_start = occurrences[occurrences.size() - 2];
-      entity2_start = occurrences[occurrences.size() - 1];
-    } else if (occurrences.size() == 1) {
-      entity1_start = occurrences[0];
-    }
-    for (int i = 0; i < seq; ++i) {
-      segments[static_cast<size_t>(i)] =
-          i >= entity2_start ? 2 : (i >= entity1_start ? 1 : 0);
-    }
-  }
-  // Duplicate flags classify each entity token by {word, digit} x
-  // {unmatched, matched-in-the-other-entity}. Cross-entity overlap is the
-  // core matching evidence, and an *unmatched digit identifier* is the
-  // core non-matching evidence, so both get explicit feature rows.
-  std::vector<int> duplicate_flags(clipped.size(), 0);
-  for (int i = 0; i < seq; ++i) {
-    const int id = clipped[static_cast<size_t>(i)];
-    if (id < text::Vocab::kNumSpecialTokens ||
-        segments[static_cast<size_t>(i)] == 0) {
-      continue;
-    }
-    bool matched = false;
-    for (int j = 0; j < seq; ++j) {
-      if (segments[static_cast<size_t>(j)] != 0 &&
-          segments[static_cast<size_t>(j)] !=
-              segments[static_cast<size_t>(i)] &&
-          id == clipped[static_cast<size_t>(j)]) {
-        matched = true;
-        break;
-      }
-    }
-    duplicate_flags[static_cast<size_t>(i)] =
-        (text::Tokenizer::IsDigitBucketId(id) ? 2 : 0) + (matched ? 1 : 0);
-  }
+  FillMatchBias(clipped, match_bias.data().data());
+  PromptFeatures features;
+  ComputePromptFeatures(clipped, &features);
   nn::Tensor h = nn::Add(
       nn::Add(nn::Add(token_embedding_->Forward(clipped),
                       position_embedding_->Forward(positions)),
-              segment_embedding_->Forward(segments)),
-      duplicate_flag_embedding_->Forward(duplicate_flags));
-  for (const auto& block : blocks_) {
-    h = block->Forward(h, ctx, &match_bias);
-  }
-  h = final_norm_->Forward(h);
-  // Mean pooling captures aggregate overlap; max pooling lets a single
-  // decisive token (an unmatched model number) dominate. Their concat
-  // feeds the verbalizer and auxiliary heads.
-  nn::Tensor pooled = nn::ConcatCols({nn::MeanRows(h), nn::MaxRows(h)});
+              segment_embedding_->Forward(features.segments)),
+      duplicate_flag_embedding_->Forward(features.duplicate_flags));
+  nn::Tensor pooled = EncodePooledFromInput(h, match_bias, ctx);
   forward_count.Increment();
   forward_latency.Record(obs::MillisSince(forward_start));
   return pooled;
@@ -147,15 +211,31 @@ nn::Tensor SimLlm::ClsLogits(const std::vector<int>& ids,
 }
 
 double SimLlm::PredictMatchProbability(const std::string& prompt_text) const {
-  nn::ForwardContext ctx;  // eval mode, no dropout
   std::vector<int> ids = tokenizer_.EncodeForModel(prompt_text, config_.max_seq);
-  nn::Tensor logits = ClsLogits(ids, ctx);
-  const float no_logit = logits.at(0, 0);
-  const float yes_logit = logits.at(0, 1);
+  float logits[2];
+  ComputeClsLogits(ids, logits);
+  const float no_logit = logits[0];
+  const float yes_logit = logits[1];
   const float m = std::max(no_logit, yes_logit);
   const double e_no = std::exp(no_logit - m);
   const double e_yes = std::exp(yes_logit - m);
   return e_yes / (e_no + e_yes);
+}
+
+void SimLlm::ComputeClsLogits(const std::vector<int>& ids,
+                              float out[2]) const {
+  if (infer_executor_mode() == InferExecutorMode::kPlanned &&
+      infer_engine_->Logits(ids, out)) {
+    return;
+  }
+  static obs::Counter& dynamic_forwards =
+      obs::MetricsRegistry::Global().GetCounter(
+          "serve.infer.dynamic_forwards");
+  dynamic_forwards.Increment();
+  nn::ForwardContext ctx;  // eval mode, no dropout
+  nn::Tensor logits = ClsLogits(ids, ctx);
+  out[0] = logits.at(0, 0);
+  out[1] = logits.at(0, 1);
 }
 
 std::vector<double> SimLlm::PredictMatchProbabilities(
@@ -272,6 +352,8 @@ void SimLlm::EnableLora(const nn::LoraConfig& config) {
   // Task heads stay fully trainable (they are tiny, like the verbalizer
   // embeddings that always train in LoRA setups).
   lora_enabled_ = true;
+  // The forward graph changed shape: captured plans no longer match.
+  InvalidateInferenceState();
 }
 
 void SimLlm::MergeLora() {
@@ -282,6 +364,7 @@ void SimLlm::MergeLora() {
   duplicate_flag_embedding_->SetTrainable(true);
   segment_embedding_->SetTrainable(true);
   lora_enabled_ = false;
+  InvalidateInferenceState();
 }
 
 std::vector<std::vector<float>> SimLlm::SnapshotState() const {
@@ -298,6 +381,9 @@ void SimLlm::RestoreState(const std::vector<std::vector<float>>& state) {
     TM_CHECK_EQ(tensors[i].size(), state[i].size());
     tensors[i].data() = state[i];
   }
+  // Weight values were replaced wholesale; treat like a structure change
+  // (checkpoint selection restores across LoRA boundaries).
+  InvalidateInferenceState();
 }
 
 Status SimLlm::SaveCheckpoint(const std::string& path) const {

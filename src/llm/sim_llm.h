@@ -14,6 +14,20 @@
 
 namespace tailormatch::llm {
 
+class InferEngine;
+
+// Prompt-structure features derived from a clipped token sequence: the
+// segment id and duplicate-flag row per position, plus where each entity's
+// tokens begin. Computed identically by the dynamic forward and the planned
+// inference engine; entity1_start doubles as the length of the template
+// prefix (positions whose features cannot depend on the pair suffix).
+struct PromptFeatures {
+  std::vector<int> segments;
+  std::vector<int> duplicate_flags;
+  int entity1_start = 0;
+  int entity2_start = 0;
+};
+
 // A training example as consumed by the simulated LLM: the encoded prompt,
 // the Yes/No completion, and optional explanation supervision. The paper
 // trains a generative model on "<prompt> -> Yes/No [+ explanation]"; the
@@ -47,6 +61,7 @@ struct TrainExample {
 class SimLlm {
  public:
   SimLlm(ModelConfig config, text::Tokenizer tokenizer);
+  ~SimLlm();
 
   SimLlm(const SimLlm&) = delete;
   SimLlm& operator=(const SimLlm&) = delete;
@@ -122,12 +137,49 @@ class SimLlm {
   // Deep copy (used to fine-tune many variants off one zero-shot model).
   std::unique_ptr<SimLlm> Clone() const;
 
+  // ---- Planned-graph inference (DESIGN.md §5j) ----
+
+  // Tells the inference engine that weight *values* changed in place (an
+  // optimizer step). Captured plans stay valid — they read weights live —
+  // but cached prefix activations are stranded. Called by the trainer.
+  void NotifyWeightsMutated();
+
+  // The per-instance planned-inference engine (plan + prefix caches).
+  const InferEngine& infer_engine() const { return *infer_engine_; }
+
  private:
-  // Runs the encoder and returns the CLS-position hidden state (1 x dim).
+  friend class InferEngine;
+
+  // Runs the encoder and returns the pooled hidden state (1 x 2*dim).
   nn::Tensor EncodeHidden(const std::vector<int>& ids,
                           const nn::ForwardContext& ctx) const;
   nn::Tensor ClsLogits(const std::vector<int>& ids,
                        const nn::ForwardContext& ctx) const;
+
+  // Derives segments / duplicate flags / entity starts for a clipped
+  // sequence (shared by the dynamic forward and the inference engine).
+  void ComputePromptFeatures(const std::vector<int>& clipped,
+                             PromptFeatures* features) const;
+  // Fills the (seq x seq) token-match attention bias into `out` (zeroed
+  // first; `out` is raw storage so the engine can target arena memory).
+  void FillMatchBias(const std::vector<int>& clipped, float* out) const;
+  // Fills summed embedding rows [start_row, seq) — token + position +
+  // segment + duplicate-flag — bitwise equal to the dynamic embedding-sum
+  // chain (same single-TU add loop, applied row by row).
+  void FillEmbedRows(const std::vector<int>& clipped,
+                     const PromptFeatures& features, float* out,
+                     int start_row = 0) const;
+  // Transformer stack + final norm + mean/max pooling from an
+  // already-summed embedding input. EncodeHidden and the plan capture both
+  // run exactly this.
+  nn::Tensor EncodePooledFromInput(nn::Tensor h, nn::Tensor match_bias,
+                                   const nn::ForwardContext& ctx) const;
+  // Verbalizer logits through the shared executor seam: planned engine
+  // when enabled and plannable, dynamic autograd forward otherwise. Both
+  // public predict paths route through this.
+  void ComputeClsLogits(const std::vector<int>& ids, float out[2]) const;
+  // Structure changed (LoRA toggle, state restore): drop plans + prefix.
+  void InvalidateInferenceState();
 
   ModelConfig config_;
   text::Tokenizer tokenizer_;
@@ -147,6 +199,8 @@ class SimLlm {
   std::unique_ptr<nn::LoraLinear> cls_head_;   // dim -> 2 ("No", "Yes")
   std::unique_ptr<nn::LoraLinear> attr_head_;  // dim -> num_attr_slots
   std::unique_ptr<nn::LoraLinear> text_head_;  // dim -> num_text_buckets
+
+  std::unique_ptr<InferEngine> infer_engine_;
 };
 
 // Hashes an explanation word into a text-head bucket.

@@ -176,6 +176,9 @@ TrainStats TrainModel(SimLlm& model, const std::vector<TrainExample>& examples,
       optimizer->set_learning_rate(lr);
       optimizer->Step();
       optimizer->ZeroGrad();
+      // In-place weight update: strand any cached prefix activations (the
+      // captured plans themselves read weights live and stay valid).
+      model.NotifyWeightsMutated();
       step_latency.Record(obs::MillisSince(step_start));
       step_start = std::chrono::steady_clock::now();
     };

@@ -1,0 +1,32 @@
+#include "nn/arena.h"
+
+#include <new>
+
+namespace tailormatch::nn {
+
+namespace {
+constexpr std::align_val_t kAlign{64};
+}
+
+Arena::~Arena() {
+  if (base_ != nullptr) {
+    ::operator delete[](base_, kAlign);
+  }
+}
+
+void Arena::EnsureCapacity(size_t bytes) {
+  if (bytes <= capacity_bytes_) return;
+  if (base_ != nullptr) {
+    ::operator delete[](base_, kAlign);
+  }
+  base_ = static_cast<float*>(::operator new[](bytes, kAlign));
+  capacity_bytes_ = bytes;
+  ++grow_count_;
+}
+
+Arena& Arena::ThreadLocal() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace tailormatch::nn

@@ -1,0 +1,47 @@
+#ifndef TAILORMATCH_NN_ARENA_H_
+#define TAILORMATCH_NN_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tailormatch::nn {
+
+// A grow-only, 64-byte-aligned float arena backing one planned-graph
+// execution at a time. A ForwardPlan assigns every intermediate buffer a
+// fixed offset via liveness analysis at capture time, so executing the plan
+// touches the heap at most once — the first run grows the arena to the
+// plan's high-water mark and every later run reuses it. Each executor
+// thread uses its own arena (ThreadLocal()), which is what keeps the
+// batched ParallelFor inference path allocation- and race-free.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  float* base() { return base_; }
+  const float* base() const { return base_; }
+
+  // Grows (never shrinks) the arena to at least `bytes`. Contents are not
+  // preserved across growth; plans fully rewrite their buffers per run.
+  void EnsureCapacity(size_t bytes);
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  // Number of times the arena (re)allocated — the allocation-count
+  // regression test asserts this stays flat after warmup.
+  int64_t grow_count() const { return grow_count_; }
+
+  // The calling thread's arena (one per executor worker thread).
+  static Arena& ThreadLocal();
+
+ private:
+  float* base_ = nullptr;
+  size_t capacity_bytes_ = 0;
+  int64_t grow_count_ = 0;
+};
+
+}  // namespace tailormatch::nn
+
+#endif  // TAILORMATCH_NN_ARENA_H_

@@ -1,0 +1,75 @@
+#ifndef TAILORMATCH_NN_GRAPH_CAPTURE_H_
+#define TAILORMATCH_NN_GRAPH_CAPTURE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+// The thin seam between the autograd ops in tensor.cc and the planned-graph
+// executor. tensor.cc only needs the op vocabulary and a thread-local
+// recording hook; the plan/arena machinery lives in graph_executor.{h,cc}.
+
+namespace tailormatch::nn {
+
+class Tensor;
+
+namespace graph {
+
+// Op vocabulary of the planned eval-mode forward executor. Mirrors the
+// differentiable ops in tensor.h that appear in inference graphs; anything
+// else records kUnsupported, which poisons the capture and makes the caller
+// fall back to the dynamic path — correctness never depends on the planner
+// keeping up with newly added ops.
+enum class OpKind : uint8_t {
+  kMatMul,
+  kAdd,
+  kAddRowBroadcast,
+  kMul,
+  kScale,
+  kScalarScale,
+  kRelu,
+  kGelu,
+  kTanh,
+  kBiasGelu,
+  kSoftmax,
+  kLayerNorm,
+  kTranspose,
+  kSliceCols,
+  kSliceRows,
+  kConcatCols,
+  kMeanRows,
+  kMaxRows,
+  kUnsupported,
+};
+
+}  // namespace graph
+
+namespace internal {
+
+// Sink installed (thread-locally) by graph::GraphCapture. Ops in tensor.cc
+// call MaybeRecordOp after computing their forward values; outside a capture
+// scope the hook is null, so the per-op cost is one thread-local load.
+struct CaptureSink {
+  virtual ~CaptureSink() = default;
+  virtual void Record(graph::OpKind kind,
+                      const std::vector<const Tensor*>& inputs,
+                      const Tensor& out, int i0, int i1, float f0) = 0;
+};
+
+extern thread_local CaptureSink* g_capture_sink;
+
+inline bool CaptureActive() { return g_capture_sink != nullptr; }
+
+// Forward one recorded op to the active sink (callers guard with
+// CaptureActive()). i0/i1 carry slice bounds, f0 a scale factor or the
+// layernorm epsilon.
+void MaybeRecordOp(graph::OpKind kind,
+                   std::initializer_list<const Tensor*> inputs,
+                   const Tensor& out, int i0 = 0, int i1 = 0, float f0 = 0.0f);
+void MaybeRecordOpVec(graph::OpKind kind, const std::vector<Tensor>& inputs,
+                      const Tensor& out);
+
+}  // namespace internal
+}  // namespace tailormatch::nn
+
+#endif  // TAILORMATCH_NN_GRAPH_CAPTURE_H_

@@ -1,0 +1,493 @@
+#include "nn/graph_executor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "nn/kernels.h"
+#include "nn/op_compute.h"
+#include "util/check.h"
+
+namespace tailormatch::nn {
+
+namespace internal {
+
+thread_local CaptureSink* g_capture_sink = nullptr;
+
+void MaybeRecordOp(graph::OpKind kind,
+                   std::initializer_list<const Tensor*> inputs,
+                   const Tensor& out, int i0, int i1, float f0) {
+  CaptureSink* sink = g_capture_sink;
+  if (sink == nullptr) return;
+  std::vector<const Tensor*> ins(inputs.begin(), inputs.end());
+  sink->Record(kind, ins, out, i0, i1, f0);
+}
+
+void MaybeRecordOpVec(graph::OpKind kind, const std::vector<Tensor>& inputs,
+                      const Tensor& out) {
+  CaptureSink* sink = g_capture_sink;
+  if (sink == nullptr) return;
+  std::vector<const Tensor*> ins;
+  ins.reserve(inputs.size());
+  for (const Tensor& t : inputs) ins.push_back(&t);
+  sink->Record(kind, ins, out, 0, 0, 0.0f);
+}
+
+}  // namespace internal
+
+namespace graph {
+
+namespace {
+
+// 64-byte alignment in floats: every buffer starts on a cache line.
+constexpr size_t kAlignFloats = 16;
+
+size_t AlignedFloats(size_t floats) {
+  return (floats + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+// First-fit interval allocator over an unbounded float space; the high
+//-water mark after planning is the arena footprint.
+class IntervalAllocator {
+ public:
+  size_t Alloc(size_t floats) {
+    for (size_t i = 0; i < free_.size(); ++i) {
+      auto& [begin, end] = free_[i];
+      if (end - begin >= floats) {
+        const size_t offset = begin;
+        begin += floats;
+        if (begin == end) free_.erase(free_.begin() + i);
+        return offset;
+      }
+    }
+    const size_t offset = high_water_;
+    high_water_ += floats;
+    return offset;
+  }
+
+  void Free(size_t offset, size_t floats) {
+    if (floats == 0) return;
+    // Insert sorted by offset and coalesce with neighbors.
+    auto it = std::lower_bound(
+        free_.begin(), free_.end(), offset,
+        [](const auto& iv, size_t off) { return iv.first < off; });
+    it = free_.insert(it, {offset, offset + floats});
+    if (it + 1 != free_.end() && it->second == (it + 1)->first) {
+      it->second = (it + 1)->second;
+      it = free_.erase(it + 1) - 1;
+    }
+    if (it != free_.begin() && (it - 1)->second == it->first) {
+      (it - 1)->second = it->second;
+      free_.erase(it);
+    }
+  }
+
+  size_t high_water() const { return high_water_; }
+
+ private:
+  std::vector<std::pair<size_t, size_t>> free_;  // [begin, end), sorted
+  size_t high_water_ = 0;
+};
+
+}  // namespace
+
+// ---- GraphCapture ----
+
+class GraphCapture::Sink : public internal::CaptureSink {
+ public:
+  Sink() : prev_(internal::g_capture_sink) {
+    internal::g_capture_sink = this;
+  }
+  ~Sink() override { Uninstall(); }
+
+  void Uninstall() {
+    if (installed_) {
+      internal::g_capture_sink = prev_;
+      installed_ = false;
+    }
+  }
+
+  int AddInput(const Tensor& t) {
+    internal::TensorImpl* impl = t.impl().get();
+    TM_CHECK(buffer_of_.find(impl) == buffer_of_.end())
+        << "input registered twice or aliases a recorded tensor";
+    const int id = NewBuffer(t.rows(), t.cols(), /*external=*/false);
+    buffers_[static_cast<size_t>(id)].def = -1;
+    buffer_of_[impl] = id;
+    keepalive_.push_back(t.impl());
+    inputs_.push_back(id);
+    return static_cast<int>(inputs_.size()) - 1;
+  }
+
+  void Record(OpKind kind, const std::vector<const Tensor*>& inputs,
+              const Tensor& out, int i0, int i1, float f0) override {
+    if (kind == OpKind::kUnsupported) {
+      poisoned_ = true;
+      return;
+    }
+    Step step;
+    step.kind = kind;
+    step.i0 = i0;
+    step.i1 = i1;
+    step.f0 = f0;
+    step.inputs.reserve(inputs.size());
+    for (const Tensor* in : inputs) {
+      step.inputs.push_back(BufferFor(*in));
+    }
+    internal::TensorImpl* oi = out.impl().get();
+    if (buffer_of_.find(oi) != buffer_of_.end()) {
+      // An op produced an impl we already track — only possible if a future
+      // op aliases results; refuse rather than guess.
+      poisoned_ = true;
+      return;
+    }
+    const int out_id = NewBuffer(out.rows(), out.cols(), /*external=*/false);
+    const int step_idx = static_cast<int>(steps_.size());
+    buffers_[static_cast<size_t>(out_id)].def = step_idx;
+    buffer_of_[oi] = out_id;
+    keepalive_.push_back(out.impl());
+    step.output = out_id;
+    if (kind == OpKind::kLayerNorm) {
+      // Per-row {mean, inv_std} scratch, live only within this step.
+      step.scratch = NewBuffer(out.rows(), 2, /*external=*/false);
+      buffers_[static_cast<size_t>(step.scratch)].def = step_idx;
+      buffers_[static_cast<size_t>(step.scratch)].last_use = step_idx;
+    }
+    steps_.push_back(std::move(step));
+  }
+
+  std::shared_ptr<ForwardPlan> Finish(const Tensor& output) {
+    Uninstall();
+    auto it = buffer_of_.find(output.impl().get());
+    if (poisoned_ || it == buffer_of_.end() ||
+        buffers_[static_cast<size_t>(it->second)].def < 0) {
+      return nullptr;
+    }
+    auto plan = std::make_shared<ForwardPlan>();
+    plan->steps_ = std::move(steps_);
+    plan->buffers_ = std::move(buffers_);
+    plan->inputs_ = std::move(inputs_);
+    plan->output_ = it->second;
+    PlanOffsets(plan.get());
+    return plan;
+  }
+
+ private:
+  int BufferFor(const Tensor& t) {
+    internal::TensorImpl* impl = t.impl().get();
+    auto it = buffer_of_.find(impl);
+    if (it != buffer_of_.end()) {
+      BufferInfo& buf = buffers_[static_cast<size_t>(it->second)];
+      buf.last_use = static_cast<int>(steps_.size());
+      return it->second;
+    }
+    // First sighting of a tensor we did not produce: a weight (or captured
+    // constant). Held by shared_ptr; values are read live at run time.
+    const int id = NewBuffer(t.rows(), t.cols(), /*external=*/true);
+    buffers_[static_cast<size_t>(id)].weights = t.impl();
+    buffer_of_[impl] = id;
+    return id;
+  }
+
+  int NewBuffer(int rows, int cols, bool external) {
+    BufferInfo buf;
+    buf.rows = rows;
+    buf.cols = cols;
+    buf.external = external;
+    buf.alloc_floats =
+        external ? 0
+                 : AlignedFloats(static_cast<size_t>(rows) *
+                                 static_cast<size_t>(cols));
+    buffers_.push_back(std::move(buf));
+    return static_cast<int>(buffers_.size()) - 1;
+  }
+
+  // Liveness-driven first-fit offset assignment: walk steps in execution
+  // order, placing each step's output (and scratch) before releasing every
+  // buffer whose last use was this step — an op's output never overlaps its
+  // own inputs, which the kernels require (no aliasing).
+  static void PlanOffsets(ForwardPlan* plan) {
+    const int num_steps = static_cast<int>(plan->steps_.size());
+    plan->buffers_[static_cast<size_t>(plan->output_)].last_use = num_steps;
+    IntervalAllocator alloc;
+    for (int id : plan->inputs_) {
+      BufferInfo& buf = plan->buffers_[static_cast<size_t>(id)];
+      buf.offset = alloc.Alloc(buf.alloc_floats);
+    }
+    std::vector<std::vector<int>> frees(static_cast<size_t>(num_steps));
+    for (size_t id = 0; id < plan->buffers_.size(); ++id) {
+      const BufferInfo& buf = plan->buffers_[id];
+      if (buf.external) continue;
+      if (buf.last_use >= 0 && buf.last_use < num_steps) {
+        frees[static_cast<size_t>(buf.last_use)].push_back(
+            static_cast<int>(id));
+      }
+    }
+    for (int s = 0; s < num_steps; ++s) {
+      Step& step = plan->steps_[static_cast<size_t>(s)];
+      BufferInfo& out = plan->buffers_[static_cast<size_t>(step.output)];
+      out.offset = alloc.Alloc(out.alloc_floats);
+      if (step.scratch >= 0) {
+        BufferInfo& scratch =
+            plan->buffers_[static_cast<size_t>(step.scratch)];
+        scratch.offset = alloc.Alloc(scratch.alloc_floats);
+      }
+      for (int id : frees[static_cast<size_t>(s)]) {
+        const BufferInfo& buf = plan->buffers_[static_cast<size_t>(id)];
+        alloc.Free(buf.offset, buf.alloc_floats);
+      }
+    }
+    plan->arena_floats_ = alloc.high_water();
+  }
+
+  internal::CaptureSink* prev_;
+  bool installed_ = true;
+  bool poisoned_ = false;
+  std::vector<Step> steps_;
+  std::vector<BufferInfo> buffers_;
+  std::vector<int> inputs_;
+  std::unordered_map<internal::TensorImpl*, int> buffer_of_;
+  // Pins every tensor seen during capture: a freed-and-reallocated impl at
+  // the same address would corrupt the pointer-keyed buffer map.
+  std::vector<std::shared_ptr<internal::TensorImpl>> keepalive_;
+};
+
+GraphCapture::GraphCapture() : sink_(std::make_unique<Sink>()) {}
+
+GraphCapture::~GraphCapture() = default;
+
+int GraphCapture::AddInput(const Tensor& t) { return sink_->AddInput(t); }
+
+std::shared_ptr<ForwardPlan> GraphCapture::Finish(const Tensor& output) {
+  return sink_->Finish(output);
+}
+
+// ---- ForwardPlan ----
+
+size_t ForwardPlan::total_buffer_bytes() const {
+  size_t floats = 0;
+  for (const BufferInfo& buf : buffers_) floats += buf.alloc_floats;
+  return floats * sizeof(float);
+}
+
+int ForwardPlan::input_rows(int input) const {
+  return buffers_[static_cast<size_t>(inputs_[static_cast<size_t>(input)])]
+      .rows;
+}
+
+int ForwardPlan::input_cols(int input) const {
+  return buffers_[static_cast<size_t>(inputs_[static_cast<size_t>(input)])]
+      .cols;
+}
+
+float* ForwardPlan::InputPtr(Arena& arena, int input) const {
+  arena.EnsureCapacity(arena_bytes());
+  return arena.base() +
+         buffers_[static_cast<size_t>(inputs_[static_cast<size_t>(input)])]
+             .offset;
+}
+
+bool ForwardPlan::EnablePrefixReuse(int embed_input) {
+  prefix_ok_ = false;
+  TM_CHECK(embed_input >= 0 && embed_input < num_inputs());
+  const int embed_buf = inputs_[static_cast<size_t>(embed_input)];
+  // The first layernorm consuming the embedding input is block 0's
+  // pre-attention norm. (The residual Add also consumes the input, but it
+  // runs full-width over rows the prefix cache repopulates, so it needs no
+  // tag.)
+  int ln = -1;
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    if (steps_[s].kind == OpKind::kLayerNorm &&
+        steps_[s].inputs[0] == embed_buf) {
+      ln = static_cast<int>(s);
+      break;
+    }
+  }
+  if (ln < 0) return false;
+  const int ln_out = steps_[static_cast<size_t>(ln)].output;
+  // Every consumer of the normed prefix rows must be a row-independent
+  // matmul using them as the left operand — exactly the q/k/v projections.
+  // A LoRA-adapted projection adds extra consumers (the adapter matmul
+  // chain), which correctly fails this pattern and disables prefix reuse.
+  std::vector<int> mms;
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const Step& step = steps_[s];
+    for (size_t i = 0; i < step.inputs.size(); ++i) {
+      if (step.inputs[i] != ln_out) continue;
+      if (step.kind != OpKind::kMatMul || i != 0) return false;
+      mms.push_back(static_cast<int>(s));
+    }
+  }
+  if (mms.size() != 3) return false;
+  for (size_t slot = 0; slot < mms.size(); ++slot) {
+    const int mm = mms[slot];
+    const int mm_out = steps_[static_cast<size_t>(mm)].output;
+    int add = -1;
+    for (size_t s = 0; s < steps_.size(); ++s) {
+      const Step& step = steps_[s];
+      for (size_t i = 0; i < step.inputs.size(); ++i) {
+        if (step.inputs[i] != mm_out) continue;
+        if (add >= 0 || step.kind != OpKind::kAddRowBroadcast || i != 0) {
+          return false;
+        }
+        add = static_cast<int>(s);
+      }
+    }
+    if (add < 0) return false;
+    const Step& add_step = steps_[static_cast<size_t>(add)];
+    if (!buffers_[static_cast<size_t>(add_step.inputs[1])].external) {
+      return false;
+    }
+    steps_[static_cast<size_t>(mm)].row_split = true;
+    steps_[static_cast<size_t>(add)].row_split = true;
+    steps_[static_cast<size_t>(add)].prefix_slot = static_cast<int>(slot);
+  }
+  steps_[static_cast<size_t>(ln)].row_split = true;
+  prefix_ok_ = true;
+  return true;
+}
+
+void ForwardPlan::Run(Arena& arena, float* out, size_t out_count,
+                      const PrefixState* prefix, PrefixState* capture) const {
+  arena.EnsureCapacity(arena_bytes());
+  float* base = arena.base();
+  const auto ptr = [&](int id) -> float* {
+    const BufferInfo& buf = buffers_[static_cast<size_t>(id)];
+    if (buf.external) return buf.weights->value.data();
+    return base + buf.offset;
+  };
+  const int P = prefix != nullptr ? prefix->rows : 0;
+  TM_CHECK(prefix == nullptr || prefix_ok_);
+  TM_CHECK(capture == nullptr || prefix_ok_);
+
+  for (const Step& step : steps_) {
+    const BufferInfo& ob = buffers_[static_cast<size_t>(step.output)];
+    float* o = ptr(step.output);
+    const int m = ob.rows, n = ob.cols;
+    // Prefix hit: tagged (row-independent) steps compute suffix rows only.
+    const int rb = (step.row_split && P > 0) ? P : 0;
+    switch (step.kind) {
+      case OpKind::kMatMul: {
+        const BufferInfo& ab = buffers_[static_cast<size_t>(step.inputs[0])];
+        const int k = ab.cols;
+        const float* a = ptr(step.inputs[0]);
+        const float* b = ptr(step.inputs[1]);
+        // The GEMM kernels accumulate (C += A*B); arena memory is reused
+        // across steps, so the target rows must be zeroed first.
+        std::memset(o + static_cast<size_t>(rb) * n, 0,
+                    static_cast<size_t>(m - rb) * n * sizeof(float));
+        kernels::GemmNN(m - rb, n, k, a + static_cast<size_t>(rb) * k, b,
+                        o + static_cast<size_t>(rb) * n);
+        break;
+      }
+      case OpKind::kAdd:
+        compute::AddRows(static_cast<size_t>(m - rb) * n,
+                         ptr(step.inputs[0]) + static_cast<size_t>(rb) * n,
+                         ptr(step.inputs[1]) + static_cast<size_t>(rb) * n,
+                         o + static_cast<size_t>(rb) * n);
+        break;
+      case OpKind::kAddRowBroadcast:
+        compute::AddRowBroadcast(
+            m - rb, n, ptr(step.inputs[0]) + static_cast<size_t>(rb) * n,
+            ptr(step.inputs[1]), o + static_cast<size_t>(rb) * n);
+        break;
+      case OpKind::kMul:
+        compute::MulRows(static_cast<size_t>(m) * n, ptr(step.inputs[0]),
+                         ptr(step.inputs[1]), o);
+        break;
+      case OpKind::kScale:
+        compute::ScaleRows(static_cast<size_t>(m) * n, ptr(step.inputs[0]),
+                           step.f0, o);
+        break;
+      case OpKind::kScalarScale:
+        compute::ScaleRows(static_cast<size_t>(m) * n, ptr(step.inputs[0]),
+                           ptr(step.inputs[1])[0], o);
+        break;
+      case OpKind::kRelu:
+        compute::ReluRows(static_cast<size_t>(m) * n, ptr(step.inputs[0]), o);
+        break;
+      case OpKind::kGelu:
+        compute::GeluRows(static_cast<size_t>(m) * n, ptr(step.inputs[0]), o);
+        break;
+      case OpKind::kTanh:
+        compute::TanhRows(static_cast<size_t>(m) * n, ptr(step.inputs[0]), o);
+        break;
+      case OpKind::kBiasGelu:
+        kernels::BiasGeluRows(m, n, ptr(step.inputs[0]), ptr(step.inputs[1]),
+                              o);
+        break;
+      case OpKind::kSoftmax:
+        kernels::SoftmaxRows(m, n, ptr(step.inputs[0]), o);
+        break;
+      case OpKind::kLayerNorm:
+        kernels::LayerNormRows(
+            m - rb, n, ptr(step.inputs[0]) + static_cast<size_t>(rb) * n,
+            ptr(step.inputs[1]), ptr(step.inputs[2]), step.f0,
+            o + static_cast<size_t>(rb) * n,
+            ptr(step.scratch) + static_cast<size_t>(rb) * 2);
+        break;
+      case OpKind::kTranspose: {
+        const BufferInfo& ab = buffers_[static_cast<size_t>(step.inputs[0])];
+        compute::Transpose(ab.rows, ab.cols, ptr(step.inputs[0]), o);
+        break;
+      }
+      case OpKind::kSliceCols: {
+        const BufferInfo& ab = buffers_[static_cast<size_t>(step.inputs[0])];
+        compute::SliceCols(m, ab.cols, step.i0, n, ptr(step.inputs[0]), o);
+        break;
+      }
+      case OpKind::kSliceRows: {
+        const BufferInfo& ab = buffers_[static_cast<size_t>(step.inputs[0])];
+        std::memcpy(o,
+                    ptr(step.inputs[0]) +
+                        static_cast<size_t>(step.i0) * ab.cols,
+                    static_cast<size_t>(m) * n * sizeof(float));
+        break;
+      }
+      case OpKind::kConcatCols: {
+        int offset = 0;
+        for (int in : step.inputs) {
+          const BufferInfo& pb = buffers_[static_cast<size_t>(in)];
+          compute::CopyColsInto(m, pb.cols, n, offset, ptr(in), o);
+          offset += pb.cols;
+        }
+        break;
+      }
+      case OpKind::kMeanRows: {
+        const BufferInfo& ab = buffers_[static_cast<size_t>(step.inputs[0])];
+        compute::MeanRows(ab.rows, n, ptr(step.inputs[0]), o);
+        break;
+      }
+      case OpKind::kMaxRows: {
+        const BufferInfo& ab = buffers_[static_cast<size_t>(step.inputs[0])];
+        compute::MaxRows(ab.rows, n, ptr(step.inputs[0]), o,
+                         /*argmax=*/nullptr);
+        break;
+      }
+      case OpKind::kUnsupported:
+        TM_CHECK(false) << "unsupported op survived capture";
+    }
+    if (step.prefix_slot >= 0) {
+      std::vector<float> PrefixState::*slots[3] = {
+          &PrefixState::q, &PrefixState::k, &PrefixState::v};
+      auto slot = slots[step.prefix_slot];
+      if (prefix != nullptr) {
+        // Restore the cached prefix rows the row-split execution skipped.
+        std::memcpy(o, (prefix->*slot).data(),
+                    static_cast<size_t>(P) * n * sizeof(float));
+      }
+      if (capture != nullptr) {
+        // Snapshot now — the arena offset may be reused by a later step.
+        (capture->*slot)
+            .assign(o, o + static_cast<size_t>(capture->rows) * n);
+      }
+    }
+  }
+  const BufferInfo& ob = buffers_[static_cast<size_t>(output_)];
+  TM_CHECK_EQ(out_count,
+              static_cast<size_t>(ob.rows) * static_cast<size_t>(ob.cols));
+  std::memcpy(out, ptr(output_), out_count * sizeof(float));
+}
+
+}  // namespace graph
+}  // namespace tailormatch::nn

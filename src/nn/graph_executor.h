@@ -1,0 +1,160 @@
+#ifndef TAILORMATCH_NN_GRAPH_EXECUTOR_H_
+#define TAILORMATCH_NN_GRAPH_EXECUTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/arena.h"
+#include "nn/graph_capture.h"
+#include "nn/tensor.h"
+
+// Planned-graph inference (DESIGN.md §5j).
+//
+// GraphCapture traces one eval-mode forward pass — the dynamic autograd ops
+// record themselves through the thread-local hook in graph_capture.h — into
+// a ForwardPlan: a flat op list over a fixed buffer table. Finish() runs a
+// liveness analysis (def = producing step, last use = last consuming step)
+// and assigns every non-weight buffer a fixed offset in a single arena via
+// first-fit interval reuse, so executing the plan performs zero per-op heap
+// allocations and builds no autograd bookkeeping. Weight buffers are held
+// by shared_ptr and read live at every run, so in-place optimizer updates
+// flow through without recapture (the plan's *structure* only changes when
+// the op graph does, e.g. a LoRA toggle — callers invalidate then).
+//
+// Every op executes the exact compiled loop the dynamic path uses (the
+// kernels:: seam for GEMM/softmax/layernorm/bias-GELU, op_compute.cc for
+// the simple elementwise ops), which is what makes planned results bitwise
+// identical to the dynamic graph at any kernel backend or thread count.
+//
+// EnablePrefixReuse() additionally tags the structurally-provable
+// prompt-prefix work for row-split execution: with bidirectional attention
+// only the *per-position* computations ahead of the first attention mixing
+// are independent of the suffix — the summed embedding rows, the first
+// layernorm's rows, and block 0's pre-attention q/k/v projection rows. A
+// PrefixState caches those rows; a prefix-hit run recomputes only suffix
+// rows for the tagged steps and memcpy()s the cached rows back in, which is
+// bitwise-safe because every tagged op is row-independent (layernorm
+// normalizes within a row; a GEMM output row depends only on the matching
+// input row and the weights, at any row-chunk partition).
+
+namespace tailormatch::nn::graph {
+
+// Cached per-(model version, template prefix) state. `ids` is the exact
+// token prefix that keys the entry; `weights_epoch` ties it to a snapshot
+// of the model weights (in-place updates bump the epoch and strand stale
+// entries).
+struct PrefixState {
+  int rows = 0;  // P: number of shared prefix positions
+  int dim = 0;
+  uint64_t weights_epoch = 0;
+  std::vector<int> ids;
+  std::vector<float> embed;    // P x dim summed embedding input rows
+  std::vector<float> q, k, v;  // P x dim block-0 post-bias projections
+};
+
+struct Step {
+  OpKind kind = OpKind::kUnsupported;
+  std::vector<int> inputs;  // buffer ids
+  int output = -1;          // buffer id
+  int scratch = -1;         // buffer id (layernorm per-row stats)
+  int i0 = 0, i1 = 0;       // slice bounds
+  float f0 = 0.0f;          // scale factor / layernorm epsilon
+  // Prefix-reuse tags (set by EnablePrefixReuse): row_split steps execute
+  // rows [P, rows) only on a prefix hit; prefix_slot 0/1/2 maps the step's
+  // output rows [0, P) onto PrefixState::q/k/v.
+  bool row_split = false;
+  int prefix_slot = -1;
+};
+
+struct BufferInfo {
+  int rows = 0, cols = 0;
+  bool external = false;
+  // external buffers (weights / captured constants): values read live at
+  // every Run. The shared_ptr also pins capture-time impls so pointer
+  // identity stays unambiguous while recording.
+  std::shared_ptr<internal::TensorImpl> weights;
+  size_t offset = 0;        // float offset into the arena (non-external)
+  size_t alloc_floats = 0;  // 64-byte-aligned allocation size
+  int def = -1, last_use = -1;
+};
+
+class ForwardPlan {
+ public:
+  size_t arena_bytes() const { return arena_floats_ * sizeof(float); }
+  // Sum of all buffer allocations had nothing been reused — the liveness
+  // plan's savings show up as arena_bytes() << total_buffer_bytes().
+  size_t total_buffer_bytes() const;
+  int num_steps() const { return static_cast<int>(steps_.size()); }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int input_rows(int input) const;
+  int input_cols(int input) const;
+
+  // Grows `arena` to the plan's footprint and returns the caller-writable
+  // storage of input `input`. Inputs must be (re)written between runs.
+  float* InputPtr(Arena& arena, int input) const;
+
+  bool prefix_reusable() const { return prefix_ok_; }
+  // Tags the prefix-reusable steps reachable from the given (embedding sum)
+  // input. Returns false — leaving the plan fully functional without prefix
+  // reuse — unless the captured graph matches the provable pattern exactly:
+  // one layernorm consuming the embedding input, consumed only by three
+  // matmuls whose outputs each feed exactly one row-broadcast bias add with
+  // external bias (block 0's pre-attention q/k/v projections). Must be
+  // called before the plan is shared across threads.
+  bool EnablePrefixReuse(int embed_input);
+
+  // Executes the plan on `arena`, writing the output buffer (out_count
+  // floats) to `out`. `prefix` enables row-split reuse of cached rows;
+  // `capture` (rows preset to P) collects q/k/v prefix rows for a new
+  // cache entry. Both require prefix_reusable().
+  void Run(Arena& arena, float* out, size_t out_count,
+           const PrefixState* prefix = nullptr,
+           PrefixState* capture = nullptr) const;
+
+  // Introspection for tests.
+  const std::vector<Step>& steps() const { return steps_; }
+  const std::vector<BufferInfo>& buffers() const { return buffers_; }
+  int output_buffer() const { return output_; }
+
+ private:
+  friend class GraphCapture;
+
+  std::vector<Step> steps_;
+  std::vector<BufferInfo> buffers_;
+  std::vector<int> inputs_;  // buffer ids, in AddInput order
+  int output_ = -1;
+  size_t arena_floats_ = 0;
+  bool prefix_ok_ = false;
+};
+
+// RAII capture scope: installs the thread-local recording hook; every
+// tensor op executed on this thread between construction and Finish() is
+// appended to the plan. Register the data-dependent inputs (embedding sums,
+// attention bias) with AddInput before running the forward.
+class GraphCapture {
+ public:
+  GraphCapture();
+  ~GraphCapture();
+
+  GraphCapture(const GraphCapture&) = delete;
+  GraphCapture& operator=(const GraphCapture&) = delete;
+
+  // Marks a tensor as a per-request plan input; returns its input index.
+  int AddInput(const Tensor& t);
+
+  // Seals the capture into an executable plan whose output is `output`.
+  // Returns nullptr when the trace is not executable (an unsupported op was
+  // recorded, or `output` was never produced by a recorded op) — callers
+  // fall back to the dynamic path.
+  std::shared_ptr<ForwardPlan> Finish(const Tensor& output);
+
+ private:
+  class Sink;
+  std::unique_ptr<Sink> sink_;
+};
+
+}  // namespace tailormatch::nn::graph
+
+#endif  // TAILORMATCH_NN_GRAPH_EXECUTOR_H_

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -202,6 +203,62 @@ inline void MicroKernel4x32(int kl, const float* a, int lda, const float* b,
   *reinterpret_cast<v16sf*>(c + 3 * ldc + 16) = c31;
 }
 
+// Half-width register tile: a 4x16 tile of C in four 16-wide accumulators.
+// Covers the 16 <= n % 32 < 32 remainder that the 4x32 kernel leaves behind
+// — in particular the n == 16 projections of small-dim models and the
+// n == seq attention-score GEMMs, which would otherwise run entirely in the
+// scalar edge loop. Accumulation over k is ascending, one fused
+// multiply-add per element per step, exactly like the 4x32 kernel.
+inline void MicroKernel4x16(int kl, const float* a, int lda, const float* b,
+                            int ldb, float* c, int ldc) {
+  const float* a0 = a;
+  const float* a1 = a + lda;
+  const float* a2 = a + 2 * lda;
+  const float* a3 = a + 3 * lda;
+  v16sf c0 = *reinterpret_cast<const v16sf*>(c);
+  v16sf c1 = *reinterpret_cast<const v16sf*>(c + ldc);
+  v16sf c2 = *reinterpret_cast<const v16sf*>(c + 2 * ldc);
+  v16sf c3 = *reinterpret_cast<const v16sf*>(c + 3 * ldc);
+  for (int p = 0; p < kl; ++p) {
+    const v16sf b0 = *reinterpret_cast<const v16sf*>(b + p * ldb);
+    c0 += b0 * a0[p];
+    c1 += b0 * a1[p];
+    c2 += b0 * a2[p];
+    c3 += b0 * a3[p];
+  }
+  *reinterpret_cast<v16sf*>(c) = c0;
+  *reinterpret_cast<v16sf*>(c + ldc) = c1;
+  *reinterpret_cast<v16sf*>(c + 2 * ldc) = c2;
+  *reinterpret_cast<v16sf*>(c + 3 * ldc) = c3;
+}
+
+// Quarter-width register tile for 8 <= remainder < 16 columns — the
+// per-head attention-mix GEMMs (n == head_dim) live entirely here.
+typedef float v8sf __attribute__((vector_size(32), aligned(4)));
+
+inline void MicroKernel4x8(int kl, const float* a, int lda, const float* b,
+                           int ldb, float* c, int ldc) {
+  const float* a0 = a;
+  const float* a1 = a + lda;
+  const float* a2 = a + 2 * lda;
+  const float* a3 = a + 3 * lda;
+  v8sf c0 = *reinterpret_cast<const v8sf*>(c);
+  v8sf c1 = *reinterpret_cast<const v8sf*>(c + ldc);
+  v8sf c2 = *reinterpret_cast<const v8sf*>(c + 2 * ldc);
+  v8sf c3 = *reinterpret_cast<const v8sf*>(c + 3 * ldc);
+  for (int p = 0; p < kl; ++p) {
+    const v8sf b0 = *reinterpret_cast<const v8sf*>(b + p * ldb);
+    c0 += b0 * a0[p];
+    c1 += b0 * a1[p];
+    c2 += b0 * a2[p];
+    c3 += b0 * a3[p];
+  }
+  *reinterpret_cast<v8sf*>(c) = c0;
+  *reinterpret_cast<v8sf*>(c + ldc) = c1;
+  *reinterpret_cast<v8sf*>(c + 2 * ldc) = c2;
+  *reinterpret_cast<v8sf*>(c + 3 * ldc) = c3;
+}
+
 // Generic edge kernel for tile remainders; same ascending-k accumulation.
 inline void EdgeKernel(int rows, int j0, int j1, int kl, const float* a,
                        int lda, const float* b, int ldb, float* c, int ldc) {
@@ -218,6 +275,10 @@ inline void EdgeKernel(int rows, int j0, int j1, int kl, const float* a,
 void GemmNNBlockedRange(int i0, int i1, int n, int k, const float* a,
                         const float* b, float* c) {
   const int jn_full = (n / kNr) * kNr;
+  // One extra 16-wide then one 8-wide vector tile over the 32-wide
+  // remainder, so only n % 8 columns fall to the scalar edge loop.
+  const int jn_half = jn_full + (n - jn_full >= 16 ? 16 : 0);
+  const int jn_quarter = jn_half + (n - jn_half >= 8 ? 8 : 0);
   for (int kc = 0; kc < k; kc += kKc) {
     const int kl = std::min(kKc, k - kc);
     const float* bpanel = b + kc * n;
@@ -229,11 +290,19 @@ void GemmNNBlockedRange(int i0, int i1, int n, int k, const float* a,
         for (int j = 0; j < jn_full; j += kNr) {
           MicroKernel4x32(kl, apanel, k, bpanel + j, n, crow + j, n);
         }
-      } else if (jn_full > 0) {
-        EdgeKernel(rows, 0, jn_full, kl, apanel, k, bpanel, n, crow, n);
+        if (jn_half > jn_full) {
+          MicroKernel4x16(kl, apanel, k, bpanel + jn_full, n, crow + jn_full,
+                          n);
+        }
+        if (jn_quarter > jn_half) {
+          MicroKernel4x8(kl, apanel, k, bpanel + jn_half, n, crow + jn_half,
+                         n);
+        }
+      } else if (jn_quarter > 0) {
+        EdgeKernel(rows, 0, jn_quarter, kl, apanel, k, bpanel, n, crow, n);
       }
-      if (jn_full < n) {
-        EdgeKernel(rows, jn_full, n, kl, apanel, k, bpanel, n, crow, n);
+      if (jn_quarter < n) {
+        EdgeKernel(rows, jn_quarter, n, kl, apanel, k, bpanel, n, crow, n);
       }
     }
   }
@@ -287,19 +356,103 @@ void GemmTNBlocked(int m, int n, int k, const float* a, const float* b,
   }
 }
 
+// ---- Vectorized transcendentals ----
+//
+// Polynomial exp/tanh for the softmax and GELU forward kernels; libm's
+// scalar expf/tanhf are the dominant cost of an eval forward once the GEMMs
+// are tiled. Every element's result is a pure function of that element, so
+// row-partitioned parallelism keeps the bitwise thread-count invariance
+// contract, and the planned executor and the dynamic forward share these
+// kernels, which keeps the two inference paths bitwise identical.
+
+typedef int32_t v16si __attribute__((vector_size(64), aligned(4)));
+
+// exp(x) via 2^n * exp(r): n = round(x/ln2) through an explicit int
+// conversion (the float "magic number" rounding trick is unsafe under
+// -ffast-math reassociation), r in [-ln2/2, ln2/2] with a degree-6 Taylor
+// polynomial — relative error ~1 ulp for float.
+inline v16sf ExpV16(v16sf x) {
+  const v16sf vzero = {};
+  const v16sf vhi = vzero + 88.0f;
+  const v16sf vlo = vzero - 87.0f;
+  x = x > vhi ? vhi : x;
+  x = x < vlo ? vlo : x;
+  const v16sf vhalf = vzero + 0.5f;
+  const v16sf t = x * 1.44269504088896341f;
+  const v16si ni = __builtin_convertvector(t + (t > vzero ? vhalf : -vhalf),
+                                           v16si);
+  const v16sf nf = __builtin_convertvector(ni, v16sf);
+  const v16sf r = (x - nf * 0.693359375f) - nf * -2.12194440e-4f;
+  v16sf p = vzero + (1.0f / 720.0f);
+  p = p * r + (1.0f / 120.0f);
+  p = p * r + (1.0f / 24.0f);
+  p = p * r + (1.0f / 6.0f);
+  p = p * r + 0.5f;
+  p = p * r + 1.0f;
+  p = p * r + 1.0f;
+  // Vector-to-vector casts reinterpret bits (GCC vector extension).
+  const v16si bits = (ni + 127) << 23;
+  return p * (v16sf)bits;
+}
+
+// Scalar companion running the same algorithm for loop tails. Lanes and
+// tails may contract fma differently, but each element is deterministic
+// for a given index and input, which is all the contracts require.
+inline float ExpScalar(float x) {
+  x = std::min(std::max(x, -87.0f), 88.0f);
+  const float t = x * 1.44269504088896341f;
+  const int ni = static_cast<int>(t + (t > 0.0f ? 0.5f : -0.5f));
+  const float nf = static_cast<float>(ni);
+  const float r = (x - nf * 0.693359375f) - nf * -2.12194440e-4f;
+  float p = 1.0f / 720.0f;
+  p = p * r + (1.0f / 120.0f);
+  p = p * r + (1.0f / 24.0f);
+  p = p * r + (1.0f / 6.0f);
+  p = p * r + 0.5f;
+  p = p * r + 1.0f;
+  p = p * r + 1.0f;
+  const int bits = (ni + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return p * scale;
+}
+
+// tanh(z) = (e - 1) / (e + 1) with e = exp(2z); |z| clamped to 9 where
+// float tanh has fully saturated.
+inline v16sf TanhV16(v16sf z) {
+  const v16sf vzero = {};
+  const v16sf vhi = vzero + 9.0f;
+  const v16sf vlo = vzero - 9.0f;
+  z = z > vhi ? vhi : z;
+  z = z < vlo ? vlo : z;
+  const v16sf e = ExpV16(z + z);
+  return (e - 1.0f) / (e + 1.0f);
+}
+
+inline float TanhScalar(float z) {
+  z = std::min(std::max(z, -9.0f), 9.0f);
+  const float e = ExpScalar(z + z);
+  return (e - 1.0f) / (e + 1.0f);
+}
+
 // ---- Softmax ----
 
 void SoftmaxRowsRange(int r0, int r1, int n, const float* in, float* out) {
+  const int n16 = n & ~15;
   for (int i = r0; i < r1; ++i) {
     const float* x = in + static_cast<size_t>(i) * n;
     float* o = out + static_cast<size_t>(i) * n;
     float max_v = x[0];
     for (int j = 1; j < n; ++j) max_v = std::max(max_v, x[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      o[j] = std::exp(x[j] - max_v);
-      sum += o[j];
+    const v16sf vmax = (v16sf){} + max_v;
+    for (int j = 0; j < n16; j += 16) {
+      *reinterpret_cast<v16sf*>(o + j) =
+          ExpV16(*reinterpret_cast<const v16sf*>(x + j) - vmax);
     }
+    for (int j = n16; j < n; ++j) o[j] = ExpScalar(x[j] - max_v);
+    // Ascending scalar sum: one order for every thread count and backend.
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) sum += o[j];
     const float inv = 1.0f / sum;
     for (int j = 0; j < n; ++j) o[j] *= inv;
   }
@@ -410,23 +563,36 @@ void LayerNormBackwardRowsImpl(int rows, int n, const float* x,
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
 inline float GeluForward(float z) {
-  const float t = std::tanh(kGeluC * (z + 0.044715f * z * z * z));
+  const float t = TanhScalar(kGeluC * (z + 0.044715f * z * z * z));
   return 0.5f * z * (1.0f + t);
 }
 
+inline v16sf GeluForwardV16(v16sf z) {
+  const v16sf t = TanhV16(kGeluC * (z + 0.044715f * z * z * z));
+  return 0.5f * z * (1.0f + t);
+}
+
+// The derivative mirrors GeluForward's tanh so analytic and numeric
+// gradients of the implemented forward stay consistent.
 inline float GeluDerivative(float z) {
   const float u = kGeluC * (z + 0.044715f * z * z * z);
-  const float t = std::tanh(u);
+  const float t = TanhScalar(u);
   const float du = kGeluC * (1.0f + 3.0f * 0.044715f * z * z);
   return 0.5f * (1.0f + t) + 0.5f * z * (1.0f - t * t) * du;
 }
 
 void BiasGeluRowsRange(int r0, int r1, int n, const float* x,
                        const float* bias, float* out) {
+  const int n16 = n & ~15;
   for (int i = r0; i < r1; ++i) {
     const float* xi = x + static_cast<size_t>(i) * n;
     float* o = out + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) o[j] = GeluForward(xi[j] + bias[j]);
+    for (int j = 0; j < n16; j += 16) {
+      *reinterpret_cast<v16sf*>(o + j) =
+          GeluForwardV16(*reinterpret_cast<const v16sf*>(xi + j) +
+                         *reinterpret_cast<const v16sf*>(bias + j));
+    }
+    for (int j = n16; j < n; ++j) o[j] = GeluForward(xi[j] + bias[j]);
   }
 }
 

@@ -1,0 +1,97 @@
+#include "nn/op_compute.h"
+
+#include <cmath>
+
+namespace tailormatch::nn::compute {
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+void AddRows(size_t n, const float* a, const float* b, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void MulRows(size_t n, const float* a, const float* b, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ScaleRows(size_t n, const float* a, float s, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void AddRowBroadcast(int rows, int n, const float* a, const float* row,
+                     float* out) {
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[i * n + j] = a[i * n + j] + row[j];
+    }
+  }
+}
+
+void ReluRows(size_t n, const float* a, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+void GeluRows(size_t n, const float* a, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const float x = a[i];
+    const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+    out[i] = 0.5f * x * (1.0f + t);
+  }
+}
+
+void TanhRows(size_t n, const float* a, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::tanh(a[i]);
+}
+
+void Transpose(int m, int n, const float* a, float* out) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[j * m + i] = a[i * n + j];
+    }
+  }
+}
+
+void SliceCols(int m, int n, int begin, int w, const float* a, float* out) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < w; ++j) {
+      out[i * w + j] = a[i * n + begin + j];
+    }
+  }
+}
+
+void CopyColsInto(int m, int w, int total, int offset, const float* part,
+                  float* out) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < w; ++j) {
+      out[i * total + offset + j] = part[i * w + j];
+    }
+  }
+}
+
+void MeanRows(int m, int n, const float* a, float* out) {
+  for (int j = 0; j < n; ++j) out[j] = 0.0f;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out[j] += a[i * n + j];
+  }
+  for (int j = 0; j < n; ++j) out[j] /= static_cast<float>(m);
+}
+
+void MaxRows(int m, int n, const float* a, float* out, int* argmax) {
+  for (int j = 0; j < n; ++j) {
+    float best = a[j];
+    int best_row = 0;
+    for (int i = 1; i < m; ++i) {
+      const float v = a[i * n + j];
+      if (v > best) {
+        best = v;
+        best_row = i;
+      }
+    }
+    out[j] = best;
+    if (argmax != nullptr) argmax[j] = best_row;
+  }
+}
+
+}  // namespace tailormatch::nn::compute

@@ -1,0 +1,50 @@
+#ifndef TAILORMATCH_NN_OP_COMPUTE_H_
+#define TAILORMATCH_NN_OP_COMPUTE_H_
+
+#include <cstddef>
+
+// Shared forward compute loops for the "simple" (non-kernel-seam) tensor
+// ops. Both the dynamic autograd ops in tensor.cc and the planned graph
+// executor (graph_executor.cc) call these exact functions, and the loops
+// live in a single translation unit on purpose: the release build uses
+// -ffast-math, so the compiler may re-associate float arithmetic
+// differently in each compiled copy of a loop. Routing every execution
+// path through one compiled copy is what makes the planned executor
+// bitwise-identical to the dynamic path. The heavyweight ops — GEMM,
+// softmax, layernorm, bias-GELU — already share a single compiled copy
+// behind the kernels:: dispatch seam.
+//
+// All buffers are dense row-major. Unless stated otherwise, `out` may
+// alias `a` (every loop is elementwise with no loop-carried dependence),
+// which the prefix-embedding fill in the inference engine relies on.
+
+namespace tailormatch::nn::compute {
+
+// out[i] = a[i] + b[i]
+void AddRows(size_t n, const float* a, const float* b, float* out);
+// out[i] = a[i] * b[i]
+void MulRows(size_t n, const float* a, const float* b, float* out);
+// out[i] = a[i] * s
+void ScaleRows(size_t n, const float* a, float s, float* out);
+// out[r][j] = a[r][j] + row[j]
+void AddRowBroadcast(int rows, int n, const float* a, const float* row,
+                     float* out);
+void ReluRows(size_t n, const float* a, float* out);
+void GeluRows(size_t n, const float* a, float* out);
+void TanhRows(size_t n, const float* a, float* out);
+// out (n x m) = a (m x n) transposed. May not alias.
+void Transpose(int m, int n, const float* a, float* out);
+// out (m x w) = columns [begin, begin+w) of a (m x n). May not alias.
+void SliceCols(int m, int n, int begin, int w, const float* a, float* out);
+// Writes one concat part (m x w) into out (m x total) at column `offset`.
+void CopyColsInto(int m, int w, int total, int offset, const float* part,
+                  float* out);
+// out (1 x n) = column means of a (m x n). Zeroes out first.
+void MeanRows(int m, int n, const float* a, float* out);
+// out (1 x n) = column maxima of a (m x n); argmax (per column) may be
+// null when only values are needed (eval-mode executor).
+void MaxRows(int m, int n, const float* a, float* out, int* argmax);
+
+}  // namespace tailormatch::nn::compute
+
+#endif  // TAILORMATCH_NN_OP_COMPUTE_H_

@@ -5,18 +5,28 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "nn/graph_capture.h"
 #include "nn/kernels.h"
+#include "nn/op_compute.h"
 
 namespace tailormatch::nn {
 
 using internal::TensorImpl;
+using graph::OpKind;
+using internal::MaybeRecordOp;
+using internal::MaybeRecordOpVec;
 
 namespace internal {
 
 namespace {
 // -1 = no scope: AccumGrad falls through to the shared grad buffer.
 thread_local int g_active_grad_slot = -1;
+thread_local int64_t g_tensor_impl_allocs = 0;
 }  // namespace
+
+TensorImpl::TensorImpl() { ++g_tensor_impl_allocs; }
+
+int64_t TensorImplAllocCount() { return g_tensor_impl_allocs; }
 
 int ActiveGradSlot() { return g_active_grad_slot; }
 
@@ -210,6 +220,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Tensor out = MakeResult(m, n, {a, b});
   kernels::GemmNN(m, n, k, a.data().data(), b.data().data(),
                   out.data().data());
+  MaybeRecordOp(OpKind::kMatMul, {&a, &b}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto bi = b.impl();
@@ -234,9 +245,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor Add(const Tensor& a, const Tensor& b) {
   TM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Tensor out = MakeResult(a.rows(), a.cols(), {a, b});
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.data()[i] + b.data()[i];
-  }
+  compute::AddRows(out.size(), a.data().data(), b.data().data(),
+                   out.data().data());
+  MaybeRecordOp(OpKind::kAdd, {&a, &b}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto bi = b.impl();
@@ -260,11 +271,9 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
   TM_CHECK_EQ(a.cols(), row.cols());
   Tensor out = MakeResult(a.rows(), a.cols(), {a, row});
   const int n = a.cols();
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < n; ++j) {
-      out.data()[i * n + j] = a.data()[i * n + j] + row.data()[j];
-    }
-  }
+  compute::AddRowBroadcast(a.rows(), n, a.data().data(), row.data().data(),
+                           out.data().data());
+  MaybeRecordOp(OpKind::kAddRowBroadcast, {&a, &row}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto ri = row.impl();
@@ -290,9 +299,9 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   TM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Tensor out = MakeResult(a.rows(), a.cols(), {a, b});
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.data()[i] * b.data()[i];
-  }
+  compute::MulRows(out.size(), a.data().data(), b.data().data(),
+                   out.data().data());
+  MaybeRecordOp(OpKind::kMul, {&a, &b}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto bi = b.impl();
@@ -319,7 +328,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) { return Add(a, Scale(b, -1.0f)); }
 
 Tensor Scale(const Tensor& a, float s) {
   Tensor out = MakeResult(a.rows(), a.cols(), {a});
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = a.data()[i] * s;
+  compute::ScaleRows(out.size(), a.data().data(), s, out.data().data());
+  MaybeRecordOp(OpKind::kScale, {&a}, out, 0, 0, s);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -335,9 +345,8 @@ Tensor Scale(const Tensor& a, float s) {
 
 Tensor Relu(const Tensor& a) {
   Tensor out = MakeResult(a.rows(), a.cols(), {a});
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
-  }
+  compute::ReluRows(out.size(), a.data().data(), out.data().data());
+  MaybeRecordOp(OpKind::kRelu, {&a}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -357,11 +366,8 @@ constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
 Tensor Gelu(const Tensor& a) {
   Tensor out = MakeResult(a.rows(), a.cols(), {a});
-  for (size_t i = 0; i < out.size(); ++i) {
-    const float x = a.data()[i];
-    const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
-    out.data()[i] = 0.5f * x * (1.0f + t);
-  }
+  compute::GeluRows(out.size(), a.data().data(), out.data().data());
+  MaybeRecordOp(OpKind::kGelu, {&a}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -382,7 +388,8 @@ Tensor Gelu(const Tensor& a) {
 
 Tensor Tanh(const Tensor& a) {
   Tensor out = MakeResult(a.rows(), a.cols(), {a});
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(a.data()[i]);
+  compute::TanhRows(out.size(), a.data().data(), out.data().data());
+  MaybeRecordOp(OpKind::kTanh, {&a}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -401,6 +408,7 @@ Tensor Softmax(const Tensor& a) {
   Tensor out = MakeResult(a.rows(), a.cols(), {a});
   const int n = a.cols();
   kernels::SoftmaxRows(a.rows(), n, a.data().data(), out.data().data());
+  MaybeRecordOp(OpKind::kSoftmax, {&a}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -428,6 +436,7 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gain, const Tensor& bias,
   kernels::LayerNormRows(a.rows(), n, a.data().data(), gain.data().data(),
                          bias.data().data(), epsilon, out.data().data(),
                          stats->data());
+  MaybeRecordOp(OpKind::kLayerNorm, {&a, &gain, &bias}, out, 0, 0, epsilon);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto gi = gain.impl();
@@ -455,6 +464,7 @@ Tensor BiasGelu(const Tensor& a, const Tensor& bias) {
   Tensor out = MakeResult(rows, n, {a, bias});
   kernels::BiasGeluRows(rows, n, a.data().data(), bias.data().data(),
                         out.data().data());
+  MaybeRecordOp(OpKind::kBiasGelu, {&a, &bias}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto bi = bias.impl();
@@ -475,11 +485,8 @@ Tensor BiasGelu(const Tensor& a, const Tensor& bias) {
 Tensor Transpose(const Tensor& a) {
   Tensor out = MakeResult(a.cols(), a.rows(), {a});
   const int m = a.rows(), n = a.cols();
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      out.data()[j * m + i] = a.data()[i * n + j];
-    }
-  }
+  compute::Transpose(m, n, a.data().data(), out.data().data());
+  MaybeRecordOp(OpKind::kTranspose, {&a}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -499,11 +506,8 @@ Tensor SliceCols(const Tensor& a, int begin, int end) {
   TM_CHECK(begin >= 0 && begin < end && end <= a.cols());
   const int m = a.rows(), n = a.cols(), w = end - begin;
   Tensor out = MakeResult(m, w, {a});
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < w; ++j) {
-      out.data()[i * w + j] = a.data()[i * n + begin + j];
-    }
-  }
+  compute::SliceCols(m, n, begin, w, a.data().data(), out.data().data());
+  MaybeRecordOp(OpKind::kSliceCols, {&a}, out, begin, end);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -528,6 +532,7 @@ Tensor SliceRows(const Tensor& a, int begin, int end) {
       out.data()[i * n + j] = a.data()[(begin + i) * n + j];
     }
   }
+  MaybeRecordOp(OpKind::kSliceRows, {&a}, out, begin, end);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -560,13 +565,11 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
   int offset = 0;
   for (const Tensor& p : parts) {
     const int w = p.cols();
-    for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < w; ++j) {
-        out.data()[i * total + offset + j] = p.data()[i * w + j];
-      }
-    }
+    compute::CopyColsInto(m, w, total, offset, p.data().data(),
+                          out.data().data());
     offset += w;
   }
+  MaybeRecordOpVec(OpKind::kConcatCols, parts, out);
   if (needs_grad) {
     std::vector<std::shared_ptr<TensorImpl>> impls;
     impls.reserve(parts.size());
@@ -595,10 +598,8 @@ Tensor MeanRows(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   TM_CHECK_GT(m, 0);
   Tensor out = MakeResult(1, n, {a});
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) out.data()[j] += a.data()[i * n + j];
-  }
-  for (int j = 0; j < n; ++j) out.data()[j] /= static_cast<float>(m);
+  compute::MeanRows(m, n, a.data().data(), out.data().data());
+  MaybeRecordOp(OpKind::kMeanRows, {&a}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -618,19 +619,8 @@ Tensor MaxRows(const Tensor& a) {
   TM_CHECK_GT(m, 0);
   Tensor out = MakeResult(1, n, {a});
   auto argmax = std::make_shared<std::vector<int>>(n, 0);
-  for (int j = 0; j < n; ++j) {
-    float best = a.data()[j];
-    int best_row = 0;
-    for (int i = 1; i < m; ++i) {
-      const float v = a.data()[i * n + j];
-      if (v > best) {
-        best = v;
-        best_row = i;
-      }
-    }
-    out.data()[j] = best;
-    (*argmax)[j] = best_row;
-  }
+  compute::MaxRows(m, n, a.data().data(), out.data().data(), argmax->data());
+  MaybeRecordOp(OpKind::kMaxRows, {&a}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();
@@ -654,6 +644,9 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
       out.data()[i * dim + j] = table.data()[ids[i] * dim + j];
     }
   }
+  // Id-dependent gather: not part of the planned-op vocabulary (the
+  // inference engine fills embedding rows itself, outside capture scope).
+  MaybeRecordOp(OpKind::kUnsupported, {&table}, out);
   if (out.requires_grad()) {
     auto ti = table.impl();
     auto oi = out.impl().get();
@@ -694,7 +687,8 @@ Tensor ScalarScale(const Tensor& a, const Tensor& scalar) {
   TM_CHECK_EQ(scalar.size(), 1u);
   Tensor out = MakeResult(a.rows(), a.cols(), {a, scalar});
   const float s = scalar.data()[0];
-  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * s;
+  compute::ScaleRows(a.size(), a.data().data(), s, out.data().data());
+  MaybeRecordOp(OpKind::kScalarScale, {&a, &scalar}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto si = scalar.impl();
@@ -720,9 +714,12 @@ Tensor ScalarScale(const Tensor& a, const Tensor& scalar) {
 }
 
 Tensor DropoutOp(const Tensor& a, float p, bool training, Rng& rng) {
+  // Eval-mode dropout is the identity (no new node), so capture sees
+  // straight through it; a training-mode dropout poisons any capture.
   if (!training || p <= 0.0f) return a;
   TM_CHECK_LT(p, 1.0f);
   Tensor out = MakeResult(a.rows(), a.cols(), {a});
+  MaybeRecordOp(OpKind::kUnsupported, {&a}, out);
   auto mask = std::make_shared<std::vector<float>>(a.size());
   const float scale = 1.0f / (1.0f - p);
   for (size_t i = 0; i < a.size(); ++i) {
@@ -754,6 +751,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits, int target) {
   const float log_z = max_v + std::log(sum);
   Tensor out = MakeResult(1, 1, {logits});
   out.data()[0] = log_z - logits.data()[target];
+  MaybeRecordOp(OpKind::kUnsupported, {&logits}, out);
   if (out.requires_grad()) {
     auto li = logits.impl();
     auto oi = out.impl().get();
@@ -783,6 +781,7 @@ Tensor SigmoidBceLoss(const Tensor& logits,
     total += std::max(x, 0.0f) - x * t + std::log1p(std::exp(-std::abs(x)));
   }
   out.data()[0] = static_cast<float>(total / n);
+  MaybeRecordOp(OpKind::kUnsupported, {&logits}, out);
   if (out.requires_grad()) {
     auto li = logits.impl();
     auto oi = out.impl().get();
@@ -819,6 +818,7 @@ Tensor WeightedMseLoss(const Tensor& pred, const std::vector<float>& targets,
   }
   const float denom = active > 0.0 ? static_cast<float>(active) : 1.0f;
   out.data()[0] = static_cast<float>(total) / denom;
+  MaybeRecordOp(OpKind::kUnsupported, {&pred}, out);
   if (out.requires_grad()) {
     auto pi = pred.impl();
     auto oi = out.impl().get();
@@ -842,6 +842,7 @@ Tensor Sum(const Tensor& a) {
   float total = 0.0f;
   for (float v : a.data()) total += v;
   out.data()[0] = total;
+  MaybeRecordOp(OpKind::kUnsupported, {&a}, out);
   if (out.requires_grad()) {
     auto ai = a.impl();
     auto oi = out.impl().get();

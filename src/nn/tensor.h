@@ -1,6 +1,7 @@
 #ifndef TAILORMATCH_NN_TENSOR_H_
 #define TAILORMATCH_NN_TENSOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -18,6 +19,8 @@ namespace internal {
 // a DAG: each op result keeps handles to its parents plus a closure that
 // propagates gradients to them.
 struct TensorImpl {
+  TensorImpl();  // counts constructions per thread (see TensorImplAllocCount)
+
   int rows = 0;
   int cols = 0;
   std::vector<float> value;
@@ -45,6 +48,11 @@ struct TensorImpl {
 
 // Index of the grad slot active on the calling thread, -1 when none.
 int ActiveGradSlot();
+
+// Number of TensorImpl constructions on the calling thread since start. The
+// planned-graph executor's allocation regression test asserts this stays
+// flat across steady-state eval forwards (zero per-op heap churn).
+int64_t TensorImplAllocCount();
 
 }  // namespace internal
 

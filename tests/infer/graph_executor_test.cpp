@@ -1,0 +1,232 @@
+#include "nn/graph_executor.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/arena.h"
+#include "nn/kernels.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+// Plan capture / arena executor unit tests: capture a hand-built attention
+// stub, check the liveness plan reuses buffers, and assert planned
+// execution is bitwise identical to the dynamic graph with zero per-op
+// heap allocations after warmup.
+
+namespace tailormatch::nn {
+namespace {
+
+constexpr int kDim = 8;
+
+// A miniature pre-attention stack shaped like SimLlm block 0: layernorm on
+// the embedding input, q/k/v projections with bias, one attention mix, and
+// mean/max pooling. Weights require grad (like real model parameters), so
+// the dynamic path pays full autograd wiring.
+struct StubModel {
+  Tensor gain, lbias;
+  Tensor wq, bq, wk, bk, wv, bv;
+
+  explicit StubModel(uint64_t seed) {
+    Rng rng(seed);
+    gain = Tensor::Full(1, kDim, 1.0f, /*requires_grad=*/true);
+    lbias = Tensor::Zeros(1, kDim, /*requires_grad=*/true);
+    wq = Tensor::Randn(kDim, kDim, 0.3f, rng);
+    bq = Tensor::Randn(1, kDim, 0.1f, rng);
+    wk = Tensor::Randn(kDim, kDim, 0.3f, rng);
+    bk = Tensor::Randn(1, kDim, 0.1f, rng);
+    wv = Tensor::Randn(kDim, kDim, 0.3f, rng);
+    bv = Tensor::Randn(1, kDim, 0.1f, rng);
+  }
+
+  Tensor Forward(const Tensor& x) const {
+    Tensor ln = LayerNormOp(x, gain, lbias);
+    Tensor q = AddRowBroadcast(MatMul(ln, wq), bq);
+    Tensor k = AddRowBroadcast(MatMul(ln, wk), bk);
+    Tensor v = AddRowBroadcast(MatMul(ln, wv), bv);
+    Tensor scores = Softmax(Scale(MatMul(q, Transpose(k)), 0.5f));
+    Tensor mixed = MatMul(scores, v);
+    Tensor h = Add(x, mixed);
+    return ConcatCols({MeanRows(h), MaxRows(h)});
+  }
+};
+
+Tensor RandomInput(int rows, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn(rows, kDim, 1.0f, rng, /*requires_grad=*/false);
+}
+
+std::shared_ptr<graph::ForwardPlan> CapturePlan(const StubModel& model,
+                                                int rows, int* input_index) {
+  Tensor x = RandomInput(rows, 999);
+  graph::GraphCapture capture;
+  *input_index = capture.AddInput(x);
+  Tensor out = model.Forward(x);
+  return capture.Finish(out);
+}
+
+TEST(GraphExecutorTest, PlannedMatchesDynamicBitwise) {
+  const StubModel model(7);
+  int input_index = 0;
+  auto plan = CapturePlan(model, /*rows=*/12, &input_index);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_GT(plan->num_steps(), 10);
+
+  Arena arena;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Tensor x = RandomInput(12, seed);
+    Tensor expected = model.Forward(x);
+    float* in = plan->InputPtr(arena, input_index);
+    std::memcpy(in, x.data().data(), x.size() * sizeof(float));
+    std::vector<float> got(expected.size());
+    plan->Run(arena, got.data(), got.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected.data()[i]) << "element " << i;
+    }
+  }
+}
+
+TEST(GraphExecutorTest, PlannedMatchesDynamicAcrossBackendsAndThreads) {
+  const StubModel model(21);
+  int input_index = 0;
+  auto plan = CapturePlan(model, /*rows=*/16, &input_index);
+  ASSERT_NE(plan, nullptr);
+
+  Tensor x = RandomInput(16, 3);
+  std::vector<float> reference;
+  for (kernels::Backend backend :
+       {kernels::Backend::kReference, kernels::Backend::kBlocked}) {
+    for (int threads : {1, 2, 8}) {
+      kernels::KernelScope scope(backend, threads);
+      Tensor expected = model.Forward(x);
+      Arena arena;
+      float* in = plan->InputPtr(arena, input_index);
+      std::memcpy(in, x.data().data(), x.size() * sizeof(float));
+      std::vector<float> got(expected.size());
+      plan->Run(arena, got.data(), got.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], expected.data()[i]);
+      }
+      if (reference.empty()) {
+        reference = got;
+      } else {
+        EXPECT_EQ(reference, got) << "backend/thread variation changed bits";
+      }
+    }
+  }
+}
+
+TEST(GraphExecutorTest, LivenessPlanReusesBuffers) {
+  const StubModel model(5);
+  int input_index = 0;
+  auto plan = CapturePlan(model, /*rows=*/24, &input_index);
+  ASSERT_NE(plan, nullptr);
+  // The arena footprint must be strictly smaller than the sum of all
+  // buffers: dead intermediates hand their space to later steps.
+  EXPECT_LT(plan->arena_bytes(), plan->total_buffer_bytes());
+  EXPECT_GT(plan->arena_bytes(), 0u);
+}
+
+TEST(GraphExecutorTest, SteadyStateRunsAllocateNothing) {
+  const StubModel model(13);
+  int input_index = 0;
+  auto plan = CapturePlan(model, /*rows=*/12, &input_index);
+  ASSERT_NE(plan, nullptr);
+
+  Arena arena;
+  Tensor x = RandomInput(12, 4);
+  std::vector<float> out(2 * kDim);
+  // Warmup grows the arena once.
+  float* in = plan->InputPtr(arena, input_index);
+  std::memcpy(in, x.data().data(), x.size() * sizeof(float));
+  plan->Run(arena, out.data(), out.size());
+  const int64_t grows_after_warmup = arena.grow_count();
+  EXPECT_EQ(grows_after_warmup, 1);
+
+  // Satellite guarantee: steady-state planned forwards construct zero
+  // tensors (no autograd graph) and never touch the heap via the arena.
+  const int64_t tensors_before = internal::TensorImplAllocCount();
+  for (int iter = 0; iter < 10; ++iter) {
+    float* p = plan->InputPtr(arena, input_index);
+    std::memcpy(p, x.data().data(), x.size() * sizeof(float));
+    plan->Run(arena, out.data(), out.size());
+  }
+  EXPECT_EQ(internal::TensorImplAllocCount(), tensors_before);
+  EXPECT_EQ(arena.grow_count(), grows_after_warmup);
+}
+
+TEST(GraphExecutorTest, UnsupportedOpPoisonsCapture) {
+  Tensor x = RandomInput(4, 1);
+  Rng rng(2);
+  Tensor w = Tensor::Randn(kDim, kDim, 0.2f, rng);
+  graph::GraphCapture capture;
+  capture.AddInput(x);
+  Tensor h = MatMul(x, w);
+  Tensor loss = Sum(h);  // reduction op outside the planned vocabulary
+  EXPECT_EQ(capture.Finish(loss), nullptr);
+}
+
+TEST(GraphExecutorTest, FinishRejectsForeignOutput) {
+  Tensor x = RandomInput(4, 1);
+  graph::GraphCapture capture;
+  capture.AddInput(x);
+  Tensor unrelated = Tensor::Full(1, 2, 3.0f);
+  EXPECT_EQ(capture.Finish(unrelated), nullptr);
+}
+
+TEST(GraphExecutorTest, PrefixReuseTagsQkvPattern) {
+  const StubModel model(11);
+  int input_index = 0;
+  auto plan = CapturePlan(model, /*rows=*/12, &input_index);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->EnablePrefixReuse(input_index));
+  EXPECT_TRUE(plan->prefix_reusable());
+  int split_steps = 0, slots = 0;
+  for (const graph::Step& step : plan->steps()) {
+    split_steps += step.row_split ? 1 : 0;
+    slots += step.prefix_slot >= 0 ? 1 : 0;
+  }
+  EXPECT_EQ(split_steps, 7);  // layernorm + 3 matmuls + 3 bias adds
+  EXPECT_EQ(slots, 3);        // q, k, v
+}
+
+TEST(GraphExecutorTest, PrefixReuseRunsBitwiseEqualToFull) {
+  const StubModel model(17);
+  const int rows = 12, prefix_rows = 5;
+  int input_index = 0;
+  auto plan = CapturePlan(model, rows, &input_index);
+  ASSERT_NE(plan, nullptr);
+  ASSERT_TRUE(plan->EnablePrefixReuse(input_index));
+
+  Arena arena;
+  Tensor first = RandomInput(rows, 31);
+  // Cold run captures the prefix state for first's leading rows.
+  graph::PrefixState state;
+  state.rows = prefix_rows;
+  state.dim = kDim;
+  state.embed.assign(first.data().begin(),
+                     first.data().begin() + prefix_rows * kDim);
+  float* in = plan->InputPtr(arena, input_index);
+  std::memcpy(in, first.data().data(), first.size() * sizeof(float));
+  std::vector<float> cold_out(2 * kDim);
+  plan->Run(arena, cold_out.data(), cold_out.size(), nullptr, &state);
+  EXPECT_EQ(state.q.size(), static_cast<size_t>(prefix_rows * kDim));
+
+  // Second request: same prefix rows, different suffix.
+  Tensor second = RandomInput(rows, 32);
+  std::memcpy(second.data().data(), first.data().data(),
+              static_cast<size_t>(prefix_rows) * kDim * sizeof(float));
+  Tensor expected = model.Forward(second);
+
+  float* in2 = plan->InputPtr(arena, input_index);
+  std::memcpy(in2, second.data().data(), second.size() * sizeof(float));
+  std::vector<float> hit_out(2 * kDim);
+  plan->Run(arena, hit_out.data(), hit_out.size(), &state, nullptr);
+  for (size_t i = 0; i < hit_out.size(); ++i) {
+    EXPECT_EQ(hit_out[i], expected.data()[i]) << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::nn

@@ -1,0 +1,217 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "llm/infer_engine.h"
+#include "llm/sim_llm.h"
+#include "nn/kernels.h"
+#include "nn/layers.h"
+#include "text/tokenizer.h"
+
+// Differential oracle for planned-graph inference: every probability the
+// planned executor (with or without prefix-cache hits) produces must be
+// bitwise identical to the dynamic autograd forward, for every template,
+// batch size, batch composition, kernel backend, and thread count.
+
+namespace tailormatch::llm {
+namespace {
+
+text::Tokenizer OracleTokenizer() {
+  std::vector<std::string> corpus = {
+      "do the two entity descriptions refer to the same real-world product",
+      "are these records duplicates answer yes or no",
+      "entity 1: jabra evolve 80 stereo headset entity 2: sram pg 730",
+      "entity 1: widget pro model 500 entity 2: widget pro model 500 x",
+      "entity 1: sonara pulse monitor entity 2: vextech aspire keyboard",
+  };
+  text::Tokenizer tokenizer;
+  tokenizer.Train(corpus, 1500, 1);
+  return tokenizer;
+}
+
+ModelConfig OracleConfig(uint64_t seed = 5) {
+  ModelConfig config;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.max_seq = 48;
+  config.init_seed = seed;
+  return config;
+}
+
+// Two instruction templates (shared prefixes) x several pair suffixes, plus
+// a pathological prompt with no "entity" markers at all.
+std::vector<std::string> OraclePrompts() {
+  const std::string t1 =
+      "Do the two entity descriptions refer to the same real-world product? ";
+  const std::string t2 = "Are these records duplicates? Answer yes or no. ";
+  std::vector<std::string> prompts;
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"jabra evolve 80 stereo headset", "jabra evolve 80 headset"},
+      {"widget pro model 500", "widget pro model 500 x"},
+      {"sonara pulse monitor", "vextech aspire keyboard"},
+      {"sram pg 730 cassette", "sram pg 730"},
+  };
+  for (const auto& [a, b] : pairs) {
+    prompts.push_back(t1 + "Entity 1: " + a + " Entity 2: " + b);
+    prompts.push_back(t2 + "Entity 1: " + a + " Entity 2: " + b);
+  }
+  prompts.push_back("no markers at all just words");
+  return prompts;
+}
+
+std::vector<double> DynamicProbabilities(const SimLlm& model,
+                                         const std::vector<std::string>& p,
+                                         int threads = 1) {
+  InferExecutorModeScope scope(InferExecutorMode::kDynamic);
+  return model.PredictMatchProbabilities(p, threads);
+}
+
+std::vector<double> PlannedProbabilities(const SimLlm& model,
+                                         const std::vector<std::string>& p,
+                                         int threads = 1) {
+  InferExecutorModeScope scope(InferExecutorMode::kPlanned);
+  return model.PredictMatchProbabilities(p, threads);
+}
+
+void ExpectBitwiseEqual(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "prompt " << i << " diverged";
+  }
+}
+
+TEST(InferOracleTest, PlannedMatchesDynamicAcrossTemplatesAndBatches) {
+  SimLlm model(OracleConfig(), OracleTokenizer());
+  const std::vector<std::string> prompts = OraclePrompts();
+  const std::vector<double> expected = DynamicProbabilities(model, prompts);
+
+  // Single-pair path, repeated so later calls hit both plan and prefix
+  // caches — repeats must stay bitwise identical to the first scoring.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    InferExecutorModeScope scope(InferExecutorMode::kPlanned);
+    for (size_t i = 0; i < prompts.size(); ++i) {
+      EXPECT_EQ(model.PredictMatchProbability(prompts[i]), expected[i])
+          << "prompt " << i << " repeat " << repeat;
+    }
+  }
+  // Batched path in varying compositions (reversed, interleaved, singleton).
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts), expected);
+  std::vector<std::string> reversed(prompts.rbegin(), prompts.rend());
+  std::vector<double> expected_reversed(expected.rbegin(), expected.rend());
+  ExpectBitwiseEqual(PlannedProbabilities(model, reversed),
+                     expected_reversed);
+  ExpectBitwiseEqual(PlannedProbabilities(model, {prompts[0]}),
+                     {expected[0]});
+}
+
+TEST(InferOracleTest, PlannedMatchesDynamicAcrossBackendsAndThreads) {
+  SimLlm model(OracleConfig(), OracleTokenizer());
+  const std::vector<std::string> prompts = OraclePrompts();
+  for (nn::kernels::Backend backend :
+       {nn::kernels::Backend::kReference, nn::kernels::Backend::kBlocked}) {
+    // The kernel contract guarantees bitwise identity across thread counts
+    // for a fixed backend (backends may differ from each other in low bits),
+    // so the cross-config reference is per backend.
+    std::vector<double> reference;
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE(testing::Message()
+                   << "backend=" << static_cast<int>(backend)
+                   << " threads=" << threads);
+      nn::kernels::KernelScope scope(backend, threads);
+      const std::vector<double> dynamic_probs =
+          DynamicProbabilities(model, prompts, threads);
+      const std::vector<double> planned_probs =
+          PlannedProbabilities(model, prompts, threads);
+      ExpectBitwiseEqual(planned_probs, dynamic_probs);
+      if (reference.empty()) {
+        reference = planned_probs;
+      } else {
+        ExpectBitwiseEqual(planned_probs, reference);
+      }
+    }
+  }
+}
+
+TEST(InferOracleTest, PrefixCachePopulatesAndHitsStayExact) {
+  SimLlm model(OracleConfig(), OracleTokenizer());
+  const std::vector<std::string> prompts = OraclePrompts();
+  const std::vector<double> expected = DynamicProbabilities(model, prompts);
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts), expected);
+  // The two templates share prefixes across several pair suffixes, so the
+  // prefix cache must have filled (the no-marker prompt contributes none).
+  EXPECT_GT(model.infer_engine().prefix_entry_count(), 0);
+  EXPECT_GT(model.infer_engine().plan_count(), 0);
+  // Second pass rides the caches and must not drift.
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts), expected);
+}
+
+TEST(InferOracleTest, InPlaceWeightMutationStrandsPrefixState) {
+  SimLlm model(OracleConfig(), OracleTokenizer());
+  const std::vector<std::string> prompts = OraclePrompts();
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts),
+                     DynamicProbabilities(model, prompts));
+  const uint64_t epoch_before = model.infer_engine().weights_epoch();
+
+  // Mutate weights in place the way an optimizer step does, then notify.
+  std::vector<nn::Tensor> state = model.StateTensors();
+  for (float& v : state[0].data()) v += 0.25f;
+  model.NotifyWeightsMutated();
+  EXPECT_GT(model.infer_engine().weights_epoch(), epoch_before);
+
+  // Plans read weights live; prefix entries from the old epoch must not be
+  // served. Planned must track the *new* dynamic results exactly.
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts),
+                     DynamicProbabilities(model, prompts));
+}
+
+TEST(InferOracleTest, RestoreStateInvalidatesPlansAndPrefix) {
+  SimLlm model(OracleConfig(), OracleTokenizer());
+  const std::vector<std::string> prompts = OraclePrompts();
+  const std::vector<std::vector<float>> snapshot = model.SnapshotState();
+  const std::vector<double> before =
+      PlannedProbabilities(model, prompts);
+
+  std::vector<std::vector<float>> perturbed = snapshot;
+  for (float& v : perturbed[0]) v -= 0.5f;
+  model.RestoreState(perturbed);
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts),
+                     DynamicProbabilities(model, prompts));
+
+  // Restoring the original snapshot must reproduce the original bits.
+  model.RestoreState(snapshot);
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts), before);
+}
+
+TEST(InferOracleTest, LoraGraphStaysExactWithPrefixReuseDisabled) {
+  SimLlm model(OracleConfig(), OracleTokenizer());
+  nn::LoraConfig lora;
+  lora.rank = 2;
+  model.EnableLora(lora);
+  const std::vector<std::string> prompts = OraclePrompts();
+  const std::vector<double> expected = DynamicProbabilities(model, prompts);
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts), expected);
+  // The adapter chain adds extra consumers of the first layernorm, which
+  // fails the provable-prefix pattern: reuse must be off, correctness kept.
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts), expected);
+  EXPECT_EQ(model.infer_engine().prefix_entry_count(), 0);
+
+  model.MergeLora();
+  ExpectBitwiseEqual(PlannedProbabilities(model, prompts),
+                     DynamicProbabilities(model, prompts));
+}
+
+TEST(InferOracleTest, DynamicModeEnvSelectableViaScope) {
+  SimLlm model(OracleConfig(), OracleTokenizer());
+  InferExecutorModeScope scope(InferExecutorMode::kDynamic);
+  EXPECT_EQ(infer_executor_mode(), InferExecutorMode::kDynamic);
+  // Dynamic mode must not populate the planned caches.
+  (void)model.PredictMatchProbability(OraclePrompts()[0]);
+  EXPECT_EQ(model.infer_engine().plan_count(), 0);
+}
+
+}  // namespace
+}  // namespace tailormatch::llm

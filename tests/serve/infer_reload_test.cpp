@@ -1,0 +1,155 @@
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "llm/infer_engine.h"
+#include "llm/sim_llm.h"
+#include "serve/model_registry.h"
+#include "serve_test_util.h"
+
+// Satellite: prefix-cache correctness under ModelRegistry::Reload. A reload
+// swaps in a fresh SimLlm instance — and with it a fresh, empty InferEngine
+// — so planned-executor state (plans + prefix cache) can never be served
+// against the wrong weights. Readers hammering Get()+Predict across a
+// mid-traffic hot swap must only ever observe bitwise v1 or bitwise v2
+// probabilities, never a stale-version mixture.
+
+namespace tailormatch::serve {
+namespace {
+
+class InferReloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tm_infer_reload_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    v1_path_ = (dir_ / "v1.ckpt").string();
+    v2_path_ = (dir_ / "v2.ckpt").string();
+    ASSERT_TRUE(serve_test::WriteTinyCheckpoint(v1_path_, /*seed=*/11).ok());
+    ASSERT_TRUE(serve_test::WriteTinyCheckpoint(v2_path_, /*seed=*/29).ok());
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  std::string v1_path_;
+  std::string v2_path_;
+};
+
+std::vector<std::string> ReloadPrompts() {
+  return {
+      "Do the two entity descriptions refer to the same real-world product? "
+      "Entity 1: jabra evolve 80 Entity 2: sram pg 730",
+      "Do the two entity descriptions refer to the same real-world product? "
+      "Entity 1: widget pro model Entity 2: widget pro model x",
+  };
+}
+
+// Ground truth from standalone instances loaded off the same checkpoints:
+// the registry-served planned path must reproduce these bits exactly.
+std::vector<double> ExpectedProbabilities(const std::string& path) {
+  auto loaded = llm::SimLlm::LoadCheckpoint(path);
+  EXPECT_TRUE(loaded.ok());
+  std::vector<double> out;
+  for (const std::string& prompt : ReloadPrompts()) {
+    out.push_back(loaded.value()->PredictMatchProbability(prompt));
+  }
+  return out;
+}
+
+TEST_F(InferReloadTest, ReloadSwapsToFreshEngineState) {
+  llm::InferExecutorModeScope mode(llm::InferExecutorMode::kPlanned);
+  const std::vector<double> v1 = ExpectedProbabilities(v1_path_);
+  const std::vector<double> v2 = ExpectedProbabilities(v2_path_);
+  // Distinguishable versions — otherwise the test can't detect staleness.
+  ASSERT_NE(v1[0], v2[0]);
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("scorer", v1_path_).ok());
+  const std::vector<std::string> prompts = ReloadPrompts();
+
+  // Warm v1's plans and prefix cache through repeated traffic.
+  auto served_v1 = registry.Get("scorer");
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (size_t i = 0; i < prompts.size(); ++i) {
+      EXPECT_EQ(served_v1->model->PredictMatchProbability(prompts[i]), v1[i]);
+    }
+  }
+  EXPECT_GT(served_v1->model->infer_engine().plan_count(), 0);
+
+  // Hot swap. The new instance must serve v2 bits immediately — its engine
+  // starts empty, so no v1 plan or prefix entry can leak across.
+  ASSERT_TRUE(registry.Reload("scorer", v2_path_).ok());
+  auto served_v2 = registry.Get("scorer");
+  EXPECT_EQ(served_v2->version, 2u);
+  EXPECT_EQ(served_v2->model->infer_engine().plan_count(), 0);
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    EXPECT_EQ(served_v2->model->PredictMatchProbability(prompts[i]), v2[i]);
+  }
+
+  // The retained v1 snapshot keeps serving v1 bits from its own engine.
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    EXPECT_EQ(served_v1->model->PredictMatchProbability(prompts[i]), v1[i]);
+  }
+}
+
+TEST_F(InferReloadTest, MidTrafficReloadNeverServesStaleVersionLogits) {
+  llm::InferExecutorModeScope mode(llm::InferExecutorMode::kPlanned);
+  const std::vector<double> v1 = ExpectedProbabilities(v1_path_);
+  const std::vector<double> v2 = ExpectedProbabilities(v2_path_);
+  ASSERT_NE(v1[0], v2[0]);
+  ASSERT_NE(v1[1], v2[1]);
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("scorer", v1_path_).ok());
+  const std::vector<std::string> prompts = ReloadPrompts();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> scored{0};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      llm::InferExecutorModeScope reader_mode(llm::InferExecutorMode::kPlanned);
+      size_t i = static_cast<size_t>(t) % prompts.size();
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto served = registry.Get("scorer");
+        const double p = served->model->PredictMatchProbability(prompts[i]);
+        // Every response must be bitwise one of the two versions.
+        if (p != v1[i] && p != v2[i]) bad.fetch_add(1);
+        scored.fetch_add(1);
+        i = (i + 1) % prompts.size();
+      }
+    });
+  }
+  // Repeated hot swaps under live planned-executor traffic.
+  for (int swap = 0; swap < 6; ++swap) {
+    ASSERT_TRUE(
+        registry.Reload("scorer", swap % 2 == 0 ? v2_path_ : v1_path_).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(bad.load(), 0) << "a response matched neither v1 nor v2 bits";
+  EXPECT_GT(scored.load(), 0);
+  // Post-reload steady state: the last swap (index 5, odd) published
+  // v1_path_, so the registry must serve exactly v1 bits.
+  auto final_served = registry.Get("scorer");
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    EXPECT_EQ(final_served->model->PredictMatchProbability(prompts[i]), v1[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tailormatch::serve

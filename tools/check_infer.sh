@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# End-to-end check of the planned-graph inference executor:
+#   1. builds and runs the infer suites (`ctest -L infer`) — the
+#      differential oracle that pins the arena executor (with and without
+#      prefix-cache hits) bitwise to the dynamic autograd forward;
+#   2. reruns the oracle at TM_KERNEL_THREADS 1, 2, and 8, because the
+#      bitwise contract must hold at every worker thread count;
+#   3. runs `bench_serve_load --infer-gate`, which fails unless the planned
+#      executor sustains >= 2x the dynamic single-worker throughput.
+#
+# Usage: tools/check_infer.sh [build_dir]
+# (Also exposed as the `check-infer` CMake target.)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+cmake --build "${BUILD_DIR}" --target infer_tests bench_serve_load -j"$(nproc)"
+
+(cd "${BUILD_DIR}" && ctest -L infer --output-on-failure -j"$(nproc)")
+
+for threads in 1 2 8; do
+  echo "== infer oracle at TM_KERNEL_THREADS=${threads} =="
+  TM_KERNEL_THREADS="${threads}" "${BUILD_DIR}/tests/infer_tests" \
+    --gtest_brief=1
+done
+
+echo "== planned-vs-dynamic throughput gate =="
+"${BUILD_DIR}/bench/bench_serve_load" --infer-gate
+
+echo "check-infer: oracle at 3 thread counts + >=2x throughput gate clean"

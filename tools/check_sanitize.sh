@@ -8,7 +8,9 @@
 # kernel tests pin thread counts of 1/2/8. The serve suite adds the online
 # path's concurrency (sharded cache, registry hot-swaps, micro-batcher
 # submit/drain); the train suite adds the data-parallel trainer's concurrent
-# backward passes over shared parameters via per-slot gradient arenas.
+# backward passes over shared parameters via per-slot gradient arenas; the
+# infer suite adds the planned executor's shared plan/prefix caches under
+# concurrent scoring.
 #
 # Usage: tools/check_sanitize.sh [thread|address|undefined] [test_target...]
 # (Also exposed as the `check-sanitize` and `check-fault` CMake targets; the
@@ -19,7 +21,7 @@ SANITIZER="${1:-thread}"
 shift || true
 TARGETS=("$@")
 if [ "${#TARGETS[@]}" -eq 0 ]; then
-  TARGETS=(nn_tests obs_tests serve_tests train_tests chaos_tests cascade_tests)
+  TARGETS=(nn_tests obs_tests serve_tests train_tests chaos_tests cascade_tests infer_tests)
 fi
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
